@@ -1,0 +1,151 @@
+// Command dbproxy runs one Database-proxy: a web service translating one
+// heterogeneous database (BIM, SIM, or GIS) to the common open format
+// and registering it on the master node.
+//
+// Usage:
+//
+//	dbproxy -kind bim -in building.vendora -format vendora \
+//	    -district turin -master http://127.0.0.1:8080 -addr :0
+//	dbproxy -kind sim -in network.xml -district turin
+//	dbproxy -kind gis -district turin -synth 10
+//	dbproxy -kind bim -synth 1 -district turin    (synthetic building)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/bim"
+	"repro/internal/dbproxy"
+	"repro/internal/gis"
+	"repro/internal/sim"
+)
+
+func main() {
+	kind := flag.String("kind", "", "proxy kind: bim | sim | gis (required)")
+	in := flag.String("in", "", "database export file to load")
+	format := flag.String("format", "vendora", "BIM export format: vendora | vendorb")
+	district := flag.String("district", "turin", "district the database belongs to")
+	masterURL := flag.String("master", "", "master node base URL (empty: no registration)")
+	addr := flag.String("addr", "127.0.0.1:0", "web service listen address")
+	synth := flag.Int("synth", 0, "generate a synthetic database of this size instead of loading -in")
+	seed := flag.Int64("seed", 1, "synthetic generation seed")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "dbproxy: ", log.LstdFlags)
+	var bound string
+	var closeFn func()
+	var err error
+
+	switch *kind {
+	case "bim":
+		bound, closeFn, err = runBIM(*in, *format, *district, *masterURL, *addr, *synth, *seed)
+	case "sim":
+		bound, closeFn, err = runSIM(*in, *district, *masterURL, *addr, *synth, *seed)
+	case "gis":
+		bound, closeFn, err = runGIS(*district, *masterURL, *addr, *synth, *seed)
+	default:
+		logger.Fatalf("unknown -kind %q (want bim, sim, or gis)", *kind)
+	}
+	if err != nil {
+		logger.Fatal(err)
+	}
+	fmt.Printf("%s database proxy listening on http://%s\n", *kind, bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	logger.Print("shutting down")
+	closeFn()
+}
+
+func runBIM(in, format, district, masterURL, addr string, synth int, seed int64) (string, func(), error) {
+	var building *bim.Building
+	switch {
+	case synth > 0:
+		building = bim.Synthesize(bim.SynthOptions{Seed: seed, Storeys: synth})
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return "", nil, err
+		}
+		defer f.Close()
+		if format == "vendorb" {
+			building, err = bim.DecodeVendorB(f)
+		} else {
+			building, err = bim.DecodeVendorA(f)
+		}
+		if err != nil {
+			return "", nil, fmt.Errorf("decode %s: %w", in, err)
+		}
+	default:
+		return "", nil, fmt.Errorf("bim proxy needs -in or -synth")
+	}
+	p, err := dbproxy.NewBIMProxy(district, building)
+	if err != nil {
+		return "", nil, err
+	}
+	bound, err := p.Run(addr, masterURL)
+	if err != nil {
+		return "", nil, err
+	}
+	return bound, p.Close, nil
+}
+
+func runSIM(in, district, masterURL, addr string, synth int, seed int64) (string, func(), error) {
+	var network *sim.Network
+	switch {
+	case synth > 0:
+		network = sim.Synthesize(sim.SynthOptions{Seed: seed, Substations: synth})
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return "", nil, err
+		}
+		defer f.Close()
+		network, err = sim.DecodeExport(f)
+		if err != nil {
+			return "", nil, fmt.Errorf("decode %s: %w", in, err)
+		}
+	default:
+		return "", nil, fmt.Errorf("sim proxy needs -in or -synth")
+	}
+	p, err := dbproxy.NewSIMProxy(district, network)
+	if err != nil {
+		return "", nil, err
+	}
+	bound, err := p.Run(addr, masterURL)
+	if err != nil {
+		return "", nil, err
+	}
+	return bound, p.Close, nil
+}
+
+func runGIS(district, masterURL, addr string, synth int, seed int64) (string, func(), error) {
+	store := gis.NewStore(0)
+	for i := 0; i < synth; i++ {
+		lat := 45.05 + float64((seed+int64(i))%40)*0.001
+		lon := 7.62 + float64((seed+int64(i*7))%80)*0.001
+		err := store.Add(gis.Feature{
+			ID:   fmt.Sprintf("urn:district:%s/building:b%02d", district, i),
+			Kind: gis.FeatureBuilding, Name: fmt.Sprintf("Building %d", i),
+			Footprint: []gis.Point{
+				{Lat: lat, Lon: lon}, {Lat: lat + 0.0008, Lon: lon},
+				{Lat: lat + 0.0008, Lon: lon + 0.0008}, {Lat: lat, Lon: lon + 0.0008},
+			},
+		})
+		if err != nil {
+			return "", nil, err
+		}
+	}
+	p := dbproxy.NewGISProxy(district, store)
+	bound, err := p.Run(addr, masterURL)
+	if err != nil {
+		return "", nil, err
+	}
+	return bound, p.Close, nil
+}

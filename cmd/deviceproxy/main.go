@@ -1,0 +1,140 @@
+// Command deviceproxy runs one device-proxy over a simulated device.
+// It is the standalone deployment of Fig. 1(b): dedicated layer (choose
+// the protocol with -protocol), local database, and web service layer,
+// publishing into the middleware hub and registering on the master.
+//
+// Usage:
+//
+//	deviceproxy -uri urn:district:turin/building:b01/device:t1 \
+//	    -protocol zigbee -master http://127.0.0.1:8080 \
+//	    -hub 127.0.0.1:7000 -addr :0 -poll 1s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/dataformat"
+	"repro/internal/deviceproxy"
+	"repro/internal/middleware"
+	"repro/internal/protocol/enocean"
+	"repro/internal/protocol/ieee802154"
+	"repro/internal/wsn"
+)
+
+func main() {
+	uri := flag.String("uri", "", "device ontology URI (required)")
+	protocol := flag.String("protocol", "zigbee", "device protocol: ieee802.15.4 | zigbee | enocean | opc-ua")
+	masterURL := flag.String("master", "", "master node base URL (empty: no registration)")
+	hubAddr := flag.String("hub", "", "middleware hub address (empty: no publishing)")
+	addr := flag.String("addr", "127.0.0.1:0", "web service listen address")
+	poll := flag.Duration("poll", time.Second, "sampling period")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "deviceproxy: ", log.LstdFlags)
+	if *uri == "" {
+		logger.Fatal("missing -uri")
+	}
+
+	signals := map[dataformat.Quantity]wsn.Signal{
+		dataformat.Temperature: {Base: 21, Amplitude: 2, Period: 24 * time.Hour, NoiseStd: 0.1, Min: -10, Max: 40},
+		dataformat.Humidity:    {Base: 45, Amplitude: 8, Period: 24 * time.Hour, NoiseStd: 0.8, Min: 0, Max: 100},
+	}
+	driver, cleanup, actuates, err := buildDriver(*protocol, signals, *seed, *poll)
+	if err != nil {
+		logger.Fatalf("driver: %v", err)
+	}
+	defer cleanup()
+
+	var publisher deviceproxy.Publisher
+	if *hubAddr != "" {
+		node := middleware.NewNode(middleware.NodeOptions{ID: "devproxy:" + *uri})
+		if err := node.Dial(*hubAddr); err != nil {
+			logger.Fatalf("middleware hub: %v", err)
+		}
+		defer node.Close()
+		publisher = node
+	}
+
+	proxy, err := deviceproxy.New(deviceproxy.Options{
+		DeviceURI: *uri,
+		Name:      *protocol + " device",
+		Driver:    driver,
+		Senses:    []dataformat.Quantity{dataformat.Temperature, dataformat.Humidity},
+		Actuates:  actuates,
+		PollEvery: *poll,
+		Publisher: publisher,
+		MasterURL: *masterURL,
+	})
+	if err != nil {
+		logger.Fatalf("proxy: %v", err)
+	}
+	bound, err := proxy.Run(*addr)
+	if err != nil {
+		logger.Fatalf("run: %v", err)
+	}
+	fmt.Printf("device proxy for %s (%s) listening on http://%s\n", *uri, *protocol, bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	logger.Print("shutting down")
+	proxy.Close()
+}
+
+// buildDriver wires one simulated device plus its driver.
+func buildDriver(protocol string, signals map[dataformat.Quantity]wsn.Signal, seed int64, poll time.Duration) (deviceproxy.Driver, func(), []dataformat.Quantity, error) {
+	switch protocol {
+	case "ieee802.15.4":
+		radio := ieee802154.NewRadio(ieee802154.RadioOptions{Seed: seed})
+		node, err := wsn.NewNode802154(radio, 0x0D15, 0x0010, signals, seed)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		drv, err := wsn.NewDriver802154(radio, 0x0D15, 0x0001, 0x0010, len(signals))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return drv, func() { node.Close(); radio.Close() }, nil, nil
+	case "zigbee":
+		radio := ieee802154.NewRadio(ieee802154.RadioOptions{Seed: seed})
+		node, err := wsn.NewNodeZigbee(radio, 0x0D15, 0x0020, signals, true, seed)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		drv, err := wsn.NewDriverZigbee(radio, 0x0D15, 0x0002, 0x0020,
+			[]dataformat.Quantity{dataformat.Temperature, dataformat.Humidity, dataformat.SwitchState})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return drv, func() { node.Close(); radio.Close() }, []dataformat.Quantity{dataformat.SwitchState}, nil
+	case "enocean":
+		link := &wsn.SerialLink{}
+		node := wsn.NewNodeEnOcean(link, enocean.EEPTempHumA50401, 0x01800001, signals, seed)
+		node.Start(poll / 2)
+		node.Emit()
+		drv := wsn.NewDriverEnOcean(link, enocean.EEPTempHumA50401, 0x01800001, nil)
+		return drv, node.Close, nil, nil
+	case "opc-ua":
+		node, err := wsn.NewNodeOPCUA(signals, []dataformat.Quantity{dataformat.Temperature}, seed)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		drv, err := wsn.NewDriverOPCUA(node.Addr(),
+			[]dataformat.Quantity{dataformat.Temperature, dataformat.Humidity},
+			[]dataformat.Quantity{dataformat.Temperature})
+		if err != nil {
+			node.Close()
+			return nil, nil, nil, err
+		}
+		return drv, node.Close, []dataformat.Quantity{dataformat.Temperature}, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("unknown protocol %q", protocol)
+	}
+}

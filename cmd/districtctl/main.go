@@ -1,0 +1,249 @@
+// Command districtctl is the end-user application as a CLI: it queries
+// the master node, follows the returned proxy URIs, and prints either
+// the raw resolutions, the integrated comprehensive area model, device
+// data, or issues actuation commands.
+//
+// Usage:
+//
+//	districtctl -master http://127.0.0.1:8080 query -district turin
+//	districtctl -master ... model -district turin [-bbox 45.06,7.65,45.07,7.67]
+//	districtctl -master ... devices -entity urn:district:turin/building:b00
+//	districtctl -master ... latest -proxy http://127.0.0.1:9001/ -quantity temperature
+//	districtctl -master ... control -proxy http://... -quantity state.switch -value 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/awareness"
+	"repro/internal/client"
+	"repro/internal/dataformat"
+)
+
+func main() {
+	masterURL := flag.String("master", "http://127.0.0.1:8080", "master node base URL")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+	c := &client.Client{MasterURL: *masterURL}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+
+	var err error
+	switch cmd {
+	case "query":
+		err = cmdQuery(c, args)
+	case "model":
+		err = cmdModel(c, args)
+	case "devices":
+		err = cmdDevices(c, args)
+	case "latest":
+		err = cmdLatest(c, args)
+	case "control":
+		err = cmdControl(c, args)
+	case "report":
+		err = cmdReport(c, args)
+	default:
+		usage()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: districtctl [-master URL] query|model|devices|latest|control|report [options]")
+	os.Exit(2)
+}
+
+// cmdReport prints the user-awareness report: comfort per building,
+// alerts, and the consumption profile peak.
+func cmdReport(c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	district := fs.String("district", "turin", "district to report on")
+	history := fs.Duration("history", time.Hour, "measurement history window")
+	tempHigh := fs.Float64("temp-high", 26, "overheat alert threshold (degC)")
+	tempLow := fs.Float64("temp-low", 16, "underheat alert threshold (degC)")
+	fs.Parse(args)
+	model, err := c.BuildAreaModel(*district, client.Area{}, client.BuildOptions{
+		IncludeDevices: true,
+		IncludeGIS:     true,
+		History:        *history,
+	})
+	if err != nil && model == nil {
+		return err
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "warning: partial model: %v\n", err)
+	}
+	fmt.Printf("awareness report for %s (%d measurements)\n", model.District, len(model.Measurements))
+
+	for _, e := range model.Entities {
+		if e.Kind != dataformat.EntityBuilding {
+			continue
+		}
+		comfort, err := awareness.ComfortIndex(model, e.URI, awareness.DefaultComfort)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("  %-45s comfort %5.1f%% (%d samples)\n", e.URI, comfort.InBand*100, comfort.Samples)
+	}
+
+	alerts := awareness.Evaluate(model, []awareness.Rule{
+		{Name: "overheat", Quantity: dataformat.Temperature,
+			Above: awareness.Float(*tempHigh), Severity: awareness.SeverityWarning},
+		{Name: "underheat", Quantity: dataformat.Temperature,
+			Below: awareness.Float(*tempLow), Severity: awareness.SeverityWarning},
+	})
+	fmt.Printf("%d alerts\n", len(alerts))
+	for _, a := range alerts {
+		fmt.Printf("  [%s] %s: %s = %.2f (limit %.2f)\n", a.Severity, a.Rule, a.Device, a.Value, a.Limit)
+	}
+
+	if profile, err := awareness.ConsumptionProfile(model, "", time.Hour); err == nil {
+		at, w := profile.Peak()
+		fmt.Printf("consumption peak: %.0f W mean at %02d:00\n", w, int(at.Hours()))
+	}
+	return nil
+}
+
+// parseBBox parses "minLat,minLon,maxLat,maxLon".
+func parseBBox(s string) (client.Area, error) {
+	if s == "" {
+		return client.Area{}, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return client.Area{}, fmt.Errorf("bbox wants 4 comma-separated numbers, got %q", s)
+	}
+	var vals [4]float64
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return client.Area{}, fmt.Errorf("bbox component %d: %v", i, err)
+		}
+		vals[i] = v
+	}
+	return client.Area{MinLat: vals[0], MinLon: vals[1], MaxLat: vals[2], MaxLon: vals[3]}, nil
+}
+
+func cmdQuery(c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	district := fs.String("district", "turin", "district to query")
+	bbox := fs.String("bbox", "", "area minLat,minLon,maxLat,maxLon")
+	fs.Parse(args)
+	area, err := parseBBox(*bbox)
+	if err != nil {
+		return err
+	}
+	qr, err := c.Query(*district, area)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("district %s: %d entities (GIS %s, measurements %s)\n",
+		qr.District, len(qr.Entities), orNone(qr.GISURI), orNone(qr.MeasureURI))
+	for _, e := range qr.Entities {
+		fmt.Printf("  %-9s %-45s -> %s\n", e.Kind, e.URI, orNone(e.ProxyURI))
+	}
+	return nil
+}
+
+func cmdModel(c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("model", flag.ExitOnError)
+	district := fs.String("district", "turin", "district to query")
+	bbox := fs.String("bbox", "", "area minLat,minLon,maxLat,maxLon")
+	devices := fs.Bool("devices", true, "include device data")
+	fs.Parse(args)
+	area, err := parseBBox(*bbox)
+	if err != nil {
+		return err
+	}
+	model, err := c.BuildAreaModel(*district, area, client.BuildOptions{
+		IncludeDevices: *devices,
+		IncludeGIS:     true,
+	})
+	if err != nil && model == nil {
+		return err
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "warning: partial model: %v\n", err)
+	}
+	fmt.Printf("comprehensive model of %s: %d entities, %d measurements, %d conflicts, sources: %d\n",
+		model.District, len(model.Entities), len(model.Measurements), len(model.Conflicts), len(model.Sources))
+	for _, s := range model.Summarize() {
+		fmt.Printf("  %-50s %-14s latest %8.2f %-7s (n=%d, mean %.2f)\n",
+			s.Device, s.Quantity, s.Latest, s.Unit, s.Count, s.Mean)
+	}
+	for _, conflict := range model.Conflicts {
+		fmt.Printf("  conflict on %s.%s: kept %q (%s), dropped %q (%s)\n",
+			conflict.URI, conflict.Property, conflict.Kept, conflict.KeptFrom, conflict.Dropped, conflict.DropFrom)
+	}
+	return nil
+}
+
+func cmdDevices(c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("devices", flag.ExitOnError)
+	entity := fs.String("entity", "", "entity URI (required)")
+	fs.Parse(args)
+	if *entity == "" {
+		return fmt.Errorf("missing -entity")
+	}
+	devices, err := c.Devices(*entity)
+	if err != nil {
+		return err
+	}
+	for _, d := range devices {
+		fmt.Printf("  %-55s %-12s -> %s\n", d.URI, d.Extra["protocol"], orNone(d.ProxyURI))
+	}
+	return nil
+}
+
+func cmdLatest(c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("latest", flag.ExitOnError)
+	proxy := fs.String("proxy", "", "device proxy base URL (required)")
+	quantity := fs.String("quantity", "temperature", "quantity to read")
+	fs.Parse(args)
+	if *proxy == "" {
+		return fmt.Errorf("missing -proxy")
+	}
+	m, err := c.FetchLatest(*proxy, dataformat.Quantity(*quantity))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s %s = %.3f %s at %s (via %s)\n",
+		m.Device, m.Quantity, m.Value, m.Unit, m.Timestamp.Format("15:04:05"), m.Protocol)
+	return nil
+}
+
+func cmdControl(c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("control", flag.ExitOnError)
+	proxy := fs.String("proxy", "", "device proxy base URL (required)")
+	quantity := fs.String("quantity", "state.switch", "quantity to actuate")
+	value := fs.Float64("value", 1, "value to apply")
+	fs.Parse(args)
+	if *proxy == "" {
+		return fmt.Errorf("missing -proxy")
+	}
+	res, err := c.Control(*proxy, dataformat.Quantity(*quantity), *value)
+	if err != nil {
+		return err
+	}
+	if !res.Applied {
+		return fmt.Errorf("not applied: %s", res.Error)
+	}
+	fmt.Printf("applied %s=%g on %s\n", res.Quantity, res.Value, res.Device)
+	return nil
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "(none)"
+	}
+	return s
+}

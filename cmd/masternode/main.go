@@ -1,0 +1,54 @@
+// Command masternode runs the district master node: the unique entry
+// point of the infrastructure, holding the ontology and the proxy
+// registry. Districts and their entities can be preloaded from a JSON
+// ontology file; proxies then register themselves over HTTP.
+//
+// Usage:
+//
+//	masternode -addr :8080 [-district turin] [-sweep 1m] [-ttl 5m]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/master"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+	district := flag.String("district", "turin", "district to create at startup (empty: none)")
+	ttl := flag.Duration("ttl", 5*time.Minute, "proxy liveness TTL")
+	sweep := flag.Duration("sweep", time.Minute, "stale-registration sweep period (0 disables)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	m := master.New(master.Options{
+		LivenessTTL: *ttl,
+		SweepEvery:  *sweep,
+		Logger:      logger,
+	})
+	if *district != "" {
+		uri, err := m.Ontology().AddDistrict(*district, *district)
+		if err != nil {
+			logger.Fatalf("create district: %v", err)
+		}
+		logger.Printf("district %s ready", uri)
+	}
+	bound, err := m.Serve(*addr)
+	if err != nil {
+		logger.Fatalf("serve: %v", err)
+	}
+	fmt.Printf("master node listening on http://%s\n", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	logger.Print("shutting down")
+	m.Close()
+}

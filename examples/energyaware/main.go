@@ -1,0 +1,84 @@
+// Energy awareness: the feedback loop the paper aims at ("providing
+// feedback to end-users and increasing user awareness", §I). The example
+// builds the integrated area model, then derives the awareness layer:
+// comfort index per building, consumption profile with its daily peak,
+// and threshold alerts — the figures a district dashboard would show to
+// occupants and operators.
+//
+//	go run ./examples/energyaware
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/awareness"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/dataformat"
+)
+
+func main() {
+	district, err := core.Bootstrap(core.Spec{
+		Buildings:          2,
+		DevicesPerBuilding: 4,
+		PollEvery:          80 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatalf("bootstrap: %v", err)
+	}
+	defer district.Close()
+	if !district.WaitForSamples(8, 20*time.Second) {
+		log.Fatal("no samples")
+	}
+
+	c := district.Client()
+	model, err := c.BuildAreaModel("turin", client.Area{}, client.BuildOptions{
+		IncludeDevices: true,
+		IncludeGIS:     true,
+		History:        time.Hour, // pull the buffered history, not just latest
+	})
+	if err != nil {
+		log.Fatalf("area model: %v", err)
+	}
+	fmt.Printf("integrated %d measurements from %d sources\n\n",
+		len(model.Measurements), len(model.Sources))
+
+	// Comfort per building.
+	for _, uri := range []string{
+		"urn:district:turin/building:b00",
+		"urn:district:turin/building:b01",
+	} {
+		comfort, err := awareness.ComfortIndex(model, uri, awareness.DefaultComfort)
+		if err != nil {
+			fmt.Printf("%s: comfort n/a (%v)\n", uri, err)
+			continue
+		}
+		fmt.Printf("%s: comfort %.0f%% in band over %d samples (worst device: %s at %.0f%%)\n",
+			uri, comfort.InBand*100, comfort.Samples, comfort.WorstDevice, comfort.WorstInBand*100)
+	}
+
+	// Alerts: overheating and freeze protection.
+	alerts := awareness.Evaluate(model, []awareness.Rule{
+		{Name: "overheat", Quantity: dataformat.Temperature,
+			Above: awareness.Float(26), Severity: awareness.SeverityWarning},
+		{Name: "freeze-risk", Quantity: dataformat.Temperature,
+			Below: awareness.Float(5), Severity: awareness.SeverityCritical},
+		{Name: "dry-air", Quantity: dataformat.Humidity,
+			Below: awareness.Float(25), Severity: awareness.SeverityInfo},
+	})
+	fmt.Printf("\n%d active alerts\n", len(alerts))
+	for _, a := range alerts {
+		fmt.Printf("  [%s] %s: %s %s = %.2f (limit %.2f)\n",
+			a.Severity, a.Rule, a.Device, a.Quantity, a.Value, a.Limit)
+	}
+
+	// Consumption profile (only meaningful when power meters report).
+	if profile, err := awareness.ConsumptionProfile(model, "", time.Hour); err == nil {
+		at, w := profile.Peak()
+		fmt.Printf("\ndaily consumption peak: %.0f W mean at %02d:00\n", w, int(at.Hours()))
+	} else {
+		fmt.Printf("\nno power meters in this deployment (%v)\n", err)
+	}
+}

@@ -1,0 +1,81 @@
+// Heterogeneous integration: the paper's core claim demonstrated — four
+// devices speaking four different protocols (plain IEEE 802.15.4,
+// ZigBee/ZCL, EnOcean/ESP3, OPC UA) end up as uniform common-format
+// measurements in one integrated model, with the protocol only surviving
+// as provenance metadata. The example prints, for each device, the
+// native technology and the translated values, then shows that the
+// integrated series are indistinguishable in structure.
+//
+//	go run ./examples/heterogeneous
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/dataformat"
+)
+
+func main() {
+	district, err := core.Bootstrap(core.Spec{
+		Buildings:          1,
+		DevicesPerBuilding: 4, // exactly one of each protocol
+		Protocols:          core.AllProtocols,
+		PollEvery:          100 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatalf("bootstrap: %v", err)
+	}
+	defer district.Close()
+	if !district.WaitForSamples(3, 15*time.Second) {
+		log.Fatal("no samples")
+	}
+	c := district.Client()
+
+	// Per-device view: protocol, capabilities, latest reading.
+	devices, err := c.Devices("urn:district:turin/building:b00")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("devices behind the building's proxies:")
+	for _, d := range devices {
+		info, err := c.FetchDeviceInfo(d.ProxyURI)
+		if err != nil {
+			log.Fatalf("info %s: %v", d.URI, err)
+		}
+		m, err := c.FetchLatest(d.ProxyURI, dataformat.Temperature)
+		if err != nil {
+			log.Fatalf("latest %s: %v", d.URI, err)
+		}
+		fmt.Printf("  %-14s senses %v\n", info.Protocol, info.Senses)
+		fmt.Printf("    native read translated to: %s = %.2f %s\n", m.Quantity, m.Value, m.Unit)
+	}
+
+	// Integrated view: one model, origin-independent.
+	model, err := c.BuildAreaModel("turin", client.Area{}, client.BuildOptions{IncludeDevices: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nintegrated area model (protocol is provenance only):")
+	protocols := map[string]int{}
+	for _, m := range model.Measurements {
+		if m.Quantity != dataformat.Temperature {
+			continue
+		}
+		if m.Unit != dataformat.Celsius {
+			log.Fatalf("non-canonical unit slipped through: %q", m.Unit)
+		}
+		protocols[m.Protocol]++
+	}
+	for proto, n := range protocols {
+		fmt.Printf("  %-14s contributed %d temperature samples, all in degC\n", proto, n)
+	}
+	if len(protocols) < 4 {
+		fmt.Printf("  (only %d protocols visible in this round; raw devices: %d)\n", len(protocols), len(devices))
+	}
+	fmt.Printf("\n%d total measurements integrated from %d sources\n",
+		len(model.Measurements), len(model.Sources))
+}

@@ -1,0 +1,321 @@
+// Package awareness computes the end-user-facing figures the paper's
+// introduction motivates the infrastructure with: "(i) to profile energy
+// consumption, (ii) to promote user awareness, and (iii) to optimize the
+// demand response process" (§I). It consumes the comprehensive AreaModel
+// the integration engine produces and derives consumption profiles,
+// comfort indices, energy-use intensity, and threshold alerts — the
+// feedback loop that "increases user awareness" (§IV).
+package awareness
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/dataformat"
+	"repro/internal/integration"
+)
+
+// ComfortBand is the acceptable environmental envelope.
+type ComfortBand struct {
+	TempMin, TempMax float64 // degC
+	HumMin, HumMax   float64 // percent
+}
+
+// DefaultComfort is the EN 15251 category-II-ish band used when the
+// caller does not specify one.
+var DefaultComfort = ComfortBand{TempMin: 20, TempMax: 26, HumMin: 30, HumMax: 70}
+
+// Comfort summarizes how well an entity's spaces stay inside the band.
+type Comfort struct {
+	// Samples is the number of comfort-relevant samples considered.
+	Samples int
+	// InBand is the fraction of samples inside the band (0..1).
+	InBand float64
+	// WorstDevice is the device with the lowest in-band fraction.
+	WorstDevice string
+	// WorstInBand is that device's in-band fraction.
+	WorstInBand float64
+}
+
+// ErrNoData reports a KPI with no supporting measurements.
+var ErrNoData = errors.New("awareness: no supporting measurements")
+
+// ComfortIndex computes the comfort statistics over every temperature
+// and humidity measurement in the model whose device URI starts with
+// scope (pass "" for the whole model).
+func ComfortIndex(model *integration.AreaModel, scope string, band ComfortBand) (Comfort, error) {
+	type devAcc struct{ in, total int }
+	perDevice := make(map[string]*devAcc)
+	var in, total int
+	for _, m := range model.Measurements {
+		if scope != "" && !hasPrefix(m.Device, scope) {
+			continue
+		}
+		var ok bool
+		switch m.Quantity {
+		case dataformat.Temperature:
+			ok = m.Value >= band.TempMin && m.Value <= band.TempMax
+		case dataformat.Humidity:
+			ok = m.Value >= band.HumMin && m.Value <= band.HumMax
+		default:
+			continue
+		}
+		acc := perDevice[m.Device]
+		if acc == nil {
+			acc = &devAcc{}
+			perDevice[m.Device] = acc
+		}
+		acc.total++
+		total++
+		if ok {
+			acc.in++
+			in++
+		}
+	}
+	if total == 0 {
+		return Comfort{}, ErrNoData
+	}
+	c := Comfort{Samples: total, InBand: float64(in) / float64(total), WorstInBand: 2}
+	for dev, acc := range perDevice {
+		frac := float64(acc.in) / float64(acc.total)
+		if frac < c.WorstInBand || (frac == c.WorstInBand && dev < c.WorstDevice) {
+			c.WorstInBand = frac
+			c.WorstDevice = dev
+		}
+	}
+	return c, nil
+}
+
+// EUI is a building's energy-use intensity over an observation window.
+type EUI struct {
+	BuildingURI string
+	EnergyWh    float64
+	FloorAreaM2 float64
+	// WhPerM2 is the headline figure.
+	WhPerM2 float64
+	Window  time.Duration
+}
+
+// EnergyUseIntensity derives a building's EUI from the model: active
+// power samples of the building's devices integrated over time (trapezoid
+// on the sample timeline), divided by the BIM-reported floor area.
+func EnergyUseIntensity(model *integration.AreaModel, buildingURI string) (EUI, error) {
+	b, ok := model.Entity(buildingURI)
+	if !ok {
+		return EUI{}, fmt.Errorf("awareness: building %s not in model", buildingURI)
+	}
+	areaStr, ok := b.Prop("floorArea.m2")
+	if !ok {
+		return EUI{}, fmt.Errorf("awareness: building %s lacks floorArea.m2 (no BIM view merged)", buildingURI)
+	}
+	area, err := strconv.ParseFloat(areaStr, 64)
+	if err != nil || area <= 0 {
+		return EUI{}, fmt.Errorf("awareness: building %s bad floor area %q", buildingURI, areaStr)
+	}
+	// Collect the building's power samples, per device, time-ordered
+	// (the model keeps them sorted).
+	type series struct {
+		samples []dataformat.Measurement
+	}
+	perDevice := map[string]*series{}
+	for _, m := range model.Measurements {
+		if m.Quantity != dataformat.PowerActive || !hasPrefix(m.Device, buildingURI) {
+			continue
+		}
+		s := perDevice[m.Device]
+		if s == nil {
+			s = &series{}
+			perDevice[m.Device] = s
+		}
+		s.samples = append(s.samples, m)
+	}
+	if len(perDevice) == 0 {
+		return EUI{}, ErrNoData
+	}
+	var energyWh float64
+	var first, last time.Time
+	for _, s := range perDevice {
+		for i := 1; i < len(s.samples); i++ {
+			dt := s.samples[i].Timestamp.Sub(s.samples[i-1].Timestamp).Hours()
+			if dt <= 0 {
+				continue
+			}
+			energyWh += (s.samples[i].Value + s.samples[i-1].Value) / 2 * dt
+		}
+		if first.IsZero() || s.samples[0].Timestamp.Before(first) {
+			first = s.samples[0].Timestamp
+		}
+		if end := s.samples[len(s.samples)-1].Timestamp; end.After(last) {
+			last = end
+		}
+	}
+	return EUI{
+		BuildingURI: buildingURI,
+		EnergyWh:    energyWh,
+		FloorAreaM2: area,
+		WhPerM2:     energyWh / area,
+		Window:      last.Sub(first),
+	}, nil
+}
+
+// Severity grades alerts.
+type Severity string
+
+// Alert severities.
+const (
+	SeverityInfo     Severity = "info"
+	SeverityWarning  Severity = "warning"
+	SeverityCritical Severity = "critical"
+)
+
+// Rule is one threshold rule evaluated against the latest value of each
+// matching series.
+type Rule struct {
+	// Name labels the rule in alerts.
+	Name string
+	// Quantity selects the series the rule applies to.
+	Quantity dataformat.Quantity
+	// Scope restricts the rule to device URIs with this prefix ("" = all).
+	Scope string
+	// Above/Below fire when the latest value crosses them. Use one or
+	// both (both: fire outside the [Below, Above] band is NOT the
+	// semantics — Above fires when value > Above, Below when value < Below).
+	Above, Below *float64
+	// Severity of the produced alerts.
+	Severity Severity
+}
+
+// Alert is one rule violation.
+type Alert struct {
+	Rule     string              `json:"rule"`
+	Severity Severity            `json:"severity"`
+	Device   string              `json:"device"`
+	Quantity dataformat.Quantity `json:"quantity"`
+	Value    float64             `json:"value"`
+	Limit    float64             `json:"limit"`
+	At       time.Time           `json:"at"`
+}
+
+// Float returns a *float64 literal; a convenience for rule construction.
+func Float(v float64) *float64 { return &v }
+
+// Evaluate runs the rules against the latest value of every series in
+// the model and returns the alerts sorted by (severity, device).
+func Evaluate(model *integration.AreaModel, rules []Rule) []Alert {
+	var alerts []Alert
+	for _, s := range model.Summarize() {
+		for _, r := range rules {
+			if r.Quantity != s.Quantity {
+				continue
+			}
+			if r.Scope != "" && !hasPrefix(s.Device, r.Scope) {
+				continue
+			}
+			if r.Above != nil && s.Latest > *r.Above {
+				alerts = append(alerts, Alert{
+					Rule: r.Name, Severity: r.Severity, Device: s.Device,
+					Quantity: s.Quantity, Value: s.Latest, Limit: *r.Above, At: s.LatestAt,
+				})
+			}
+			if r.Below != nil && s.Latest < *r.Below {
+				alerts = append(alerts, Alert{
+					Rule: r.Name, Severity: r.Severity, Device: s.Device,
+					Quantity: s.Quantity, Value: s.Latest, Limit: *r.Below, At: s.LatestAt,
+				})
+			}
+		}
+	}
+	sort.Slice(alerts, func(i, j int) bool {
+		if alerts[i].Severity != alerts[j].Severity {
+			return severityRank(alerts[i].Severity) > severityRank(alerts[j].Severity)
+		}
+		if alerts[i].Device != alerts[j].Device {
+			return alerts[i].Device < alerts[j].Device
+		}
+		return alerts[i].Rule < alerts[j].Rule
+	})
+	return alerts
+}
+
+func severityRank(s Severity) int {
+	switch s {
+	case SeverityCritical:
+		return 2
+	case SeverityWarning:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Profile is a consumption profile: mean power per bucket of the day.
+type Profile struct {
+	BucketWidth time.Duration
+	// MeanPowerW holds one mean per bucket index (time.Duration since
+	// midnight / BucketWidth); buckets with no samples are NaN-free and
+	// simply absent from Present.
+	MeanPowerW []float64
+	Present    []bool
+}
+
+// ConsumptionProfile folds the model's power samples into a daily
+// profile with the given bucket width — the "energy consumption trends"
+// visualization input of the paper's §I.
+func ConsumptionProfile(model *integration.AreaModel, scope string, bucket time.Duration) (Profile, error) {
+	if bucket <= 0 || bucket > 24*time.Hour {
+		return Profile{}, fmt.Errorf("awareness: bad bucket width %v", bucket)
+	}
+	n := int(24 * time.Hour / bucket)
+	sums := make([]float64, n)
+	counts := make([]int, n)
+	for _, m := range model.Measurements {
+		if m.Quantity != dataformat.PowerActive {
+			continue
+		}
+		if scope != "" && !hasPrefix(m.Device, scope) {
+			continue
+		}
+		sinceMidnight := m.Timestamp.Sub(m.Timestamp.Truncate(24 * time.Hour))
+		idx := int(sinceMidnight / bucket)
+		if idx >= n {
+			idx = n - 1
+		}
+		sums[idx] += m.Value
+		counts[idx]++
+	}
+	p := Profile{BucketWidth: bucket, MeanPowerW: make([]float64, n), Present: make([]bool, n)}
+	any := false
+	for i := range sums {
+		if counts[i] > 0 {
+			p.MeanPowerW[i] = sums[i] / float64(counts[i])
+			p.Present[i] = true
+			any = true
+		}
+	}
+	if !any {
+		return Profile{}, ErrNoData
+	}
+	return p, nil
+}
+
+// Peak returns the highest present bucket's mean power and its start
+// offset since midnight.
+func (p *Profile) Peak() (time.Duration, float64) {
+	best := -1
+	for i, present := range p.Present {
+		if present && (best < 0 || p.MeanPowerW[i] > p.MeanPowerW[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, 0
+	}
+	return time.Duration(best) * p.BucketWidth, p.MeanPowerW[best]
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}

@@ -1,0 +1,231 @@
+package awareness
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/dataformat"
+	"repro/internal/integration"
+)
+
+var t0 = time.Date(2015, 3, 9, 0, 0, 0, 0, time.UTC)
+
+const b1 = "urn:district:turin/building:b01"
+const b2 = "urn:district:turin/building:b02"
+
+// buildModel assembles an AreaModel with a building entity and scripted
+// measurements.
+func buildModel(t *testing.T, ms []dataformat.Measurement) *integration.AreaModel {
+	t.Helper()
+	g := integration.NewMerger("turin")
+	e := dataformat.Entity{URI: b1, Kind: dataformat.EntityBuilding, Name: "B1"}
+	e.SetProp("floorArea.m2", "200", "float")
+	g.AddEntity("bim", e)
+	g.AddMeasurements("dev", ms)
+	return g.Result()
+}
+
+func temp(dev string, minute int, v float64) dataformat.Measurement {
+	return dataformat.Measurement{
+		Device: dev, Quantity: dataformat.Temperature, Unit: dataformat.Celsius,
+		Value: v, Timestamp: t0.Add(time.Duration(minute) * time.Minute),
+	}
+}
+
+func power(dev string, minute int, w float64) dataformat.Measurement {
+	return dataformat.Measurement{
+		Device: dev, Quantity: dataformat.PowerActive, Unit: dataformat.Watt,
+		Value: w, Timestamp: t0.Add(time.Duration(minute) * time.Minute),
+	}
+}
+
+func TestComfortIndex(t *testing.T) {
+	d1 := b1 + "/device:t1"
+	d2 := b1 + "/device:t2"
+	model := buildModel(t, []dataformat.Measurement{
+		temp(d1, 0, 22), temp(d1, 1, 23), temp(d1, 2, 21), temp(d1, 3, 24), // all in band
+		temp(d2, 0, 18), temp(d2, 1, 19), temp(d2, 2, 22), temp(d2, 3, 27), // 1 of 4 in band
+	})
+	c, err := ComfortIndex(model, "", DefaultComfort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Samples != 8 {
+		t.Errorf("Samples = %d", c.Samples)
+	}
+	if math.Abs(c.InBand-5.0/8) > 1e-9 {
+		t.Errorf("InBand = %v, want 0.625", c.InBand)
+	}
+	if c.WorstDevice != d2 || math.Abs(c.WorstInBand-0.25) > 1e-9 {
+		t.Errorf("worst = %s %v", c.WorstDevice, c.WorstInBand)
+	}
+}
+
+func TestComfortIndexScope(t *testing.T) {
+	model := buildModel(t, []dataformat.Measurement{
+		temp(b1+"/device:t1", 0, 22),
+		temp(b2+"/device:t1", 0, 5),
+	})
+	c, err := ComfortIndex(model, b1, DefaultComfort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Samples != 1 || c.InBand != 1 {
+		t.Errorf("scoped comfort = %+v", c)
+	}
+	if _, err := ComfortIndex(model, "urn:ghost", DefaultComfort); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty scope: %v", err)
+	}
+}
+
+func TestComfortIndexHumidity(t *testing.T) {
+	dev := b1 + "/device:h1"
+	model := buildModel(t, []dataformat.Measurement{
+		{Device: dev, Quantity: dataformat.Humidity, Unit: dataformat.Percent, Value: 50, Timestamp: t0},
+		{Device: dev, Quantity: dataformat.Humidity, Unit: dataformat.Percent, Value: 90, Timestamp: t0.Add(time.Minute)},
+		// CO2 is not a comfort quantity here: ignored.
+		{Device: dev, Quantity: dataformat.CO2, Unit: dataformat.PPM, Value: 5000, Timestamp: t0},
+	})
+	c, err := ComfortIndex(model, "", DefaultComfort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Samples != 2 || c.InBand != 0.5 {
+		t.Errorf("humidity comfort = %+v", c)
+	}
+}
+
+func TestEnergyUseIntensity(t *testing.T) {
+	dev := b1 + "/device:p1"
+	// Constant 1000 W over 60 minutes = 1000 Wh; area 200 m2 -> 5 Wh/m2.
+	var ms []dataformat.Measurement
+	for i := 0; i <= 60; i += 10 {
+		ms = append(ms, power(dev, i, 1000))
+	}
+	model := buildModel(t, ms)
+	eui, err := EnergyUseIntensity(model, b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eui.EnergyWh-1000) > 1e-9 {
+		t.Errorf("EnergyWh = %v, want 1000", eui.EnergyWh)
+	}
+	if math.Abs(eui.WhPerM2-5) > 1e-9 {
+		t.Errorf("WhPerM2 = %v, want 5", eui.WhPerM2)
+	}
+	if eui.Window != time.Hour {
+		t.Errorf("Window = %v", eui.Window)
+	}
+}
+
+func TestEnergyUseIntensityErrors(t *testing.T) {
+	model := buildModel(t, nil)
+	if _, err := EnergyUseIntensity(model, b1); !errors.Is(err, ErrNoData) {
+		t.Errorf("no power data: %v", err)
+	}
+	if _, err := EnergyUseIntensity(model, "urn:ghost"); err == nil {
+		t.Error("unknown building accepted")
+	}
+	// A building without the BIM floor-area property.
+	g := integration.NewMerger("turin")
+	g.AddEntity("gis", dataformat.Entity{URI: b1, Kind: dataformat.EntityBuilding})
+	if _, err := EnergyUseIntensity(g.Result(), b1); err == nil {
+		t.Error("missing floor area accepted")
+	}
+}
+
+func TestEvaluateRules(t *testing.T) {
+	d1 := b1 + "/device:t1"
+	d2 := b1 + "/device:p1"
+	model := buildModel(t, []dataformat.Measurement{
+		temp(d1, 0, 22), temp(d1, 5, 29), // latest 29: above 28
+		power(d2, 0, 500), power(d2, 5, 3500), // latest 3500: above 3000
+	})
+	rules := []Rule{
+		{Name: "overheat", Quantity: dataformat.Temperature, Above: Float(28), Severity: SeverityWarning},
+		{Name: "freeze", Quantity: dataformat.Temperature, Below: Float(5), Severity: SeverityCritical},
+		{Name: "overload", Quantity: dataformat.PowerActive, Above: Float(3000), Severity: SeverityCritical},
+	}
+	alerts := Evaluate(model, rules)
+	if len(alerts) != 2 {
+		t.Fatalf("alerts = %+v", alerts)
+	}
+	// Critical first.
+	if alerts[0].Rule != "overload" || alerts[0].Severity != SeverityCritical {
+		t.Errorf("first alert = %+v", alerts[0])
+	}
+	if alerts[1].Rule != "overheat" || alerts[1].Value != 29 {
+		t.Errorf("second alert = %+v", alerts[1])
+	}
+}
+
+func TestEvaluateScopeAndBelow(t *testing.T) {
+	model := buildModel(t, []dataformat.Measurement{
+		temp(b1+"/device:t1", 0, 2),
+		temp(b2+"/device:t1", 0, 2),
+	})
+	rules := []Rule{{
+		Name: "freeze", Quantity: dataformat.Temperature,
+		Below: Float(5), Scope: b1, Severity: SeverityCritical,
+	}}
+	alerts := Evaluate(model, rules)
+	if len(alerts) != 1 || alerts[0].Device != b1+"/device:t1" {
+		t.Fatalf("scoped alerts = %+v", alerts)
+	}
+	if alerts[0].Limit != 5 {
+		t.Errorf("limit = %v", alerts[0].Limit)
+	}
+}
+
+func TestConsumptionProfile(t *testing.T) {
+	dev := b1 + "/device:p1"
+	var ms []dataformat.Measurement
+	// 1000 W during hour 0, 2000 W during hour 13.
+	for i := 0; i < 6; i++ {
+		ms = append(ms, power(dev, i*10, 1000))
+		ms = append(ms, power(dev, 13*60+i*10, 2000))
+	}
+	model := buildModel(t, ms)
+	p, err := ConsumptionProfile(model, "", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.MeanPowerW) != 24 {
+		t.Fatalf("buckets = %d", len(p.MeanPowerW))
+	}
+	if !p.Present[0] || p.MeanPowerW[0] != 1000 {
+		t.Errorf("bucket 0 = %v (present %v)", p.MeanPowerW[0], p.Present[0])
+	}
+	if !p.Present[13] || p.MeanPowerW[13] != 2000 {
+		t.Errorf("bucket 13 = %v", p.MeanPowerW[13])
+	}
+	if p.Present[5] {
+		t.Error("empty bucket marked present")
+	}
+	at, w := p.Peak()
+	if at != 13*time.Hour || w != 2000 {
+		t.Errorf("Peak = %v %v", at, w)
+	}
+}
+
+func TestConsumptionProfileErrors(t *testing.T) {
+	model := buildModel(t, nil)
+	if _, err := ConsumptionProfile(model, "", time.Hour); !errors.Is(err, ErrNoData) {
+		t.Errorf("no data: %v", err)
+	}
+	if _, err := ConsumptionProfile(model, "", 0); err == nil {
+		t.Error("zero bucket accepted")
+	}
+	if _, err := ConsumptionProfile(model, "", 48*time.Hour); err == nil {
+		t.Error("oversized bucket accepted")
+	}
+}
+
+func TestProfilePeakEmpty(t *testing.T) {
+	p := Profile{BucketWidth: time.Hour, MeanPowerW: make([]float64, 24), Present: make([]bool, 24)}
+	if at, w := p.Peak(); at != 0 || w != 0 {
+		t.Errorf("empty peak = %v %v", at, w)
+	}
+}

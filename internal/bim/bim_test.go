@@ -1,0 +1,281 @@
+package bim
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleBuilding() *Building {
+	return &Building{
+		ID: "b01", Name: "DAUIN", Address: "Corso Duca degli Abruzzi 24",
+		Lat: 45.0628, Lon: 7.6624, YearBuilt: 1960,
+		Storeys: []Storey{{
+			ID: "b01-st0", Name: "Ground", Elevation: 0, Height: 3.5,
+			Spaces: []Space{
+				{
+					ID: "b01-st0-sp0", Name: "Lab 1", Usage: "office", Area: 45,
+					Devices: []string{"urn:district:turin/building:b01/device:t-1"},
+					Elements: []Element{
+						{ID: "e1", Kind: ElementWall, Area: 27, UValue: 0.9},
+						{ID: "e2", Kind: ElementWindow, Area: 6, UValue: 2.2},
+					},
+				},
+				{ID: "b01-st0-sp1", Name: "Corridor", Usage: "corridor", Area: 20},
+			},
+		}, {
+			ID: "b01-st1", Name: "First", Elevation: 3.5, Height: 3.2,
+			Spaces: []Space{{
+				ID: "b01-st1-sp0", Name: "Office 12", Usage: "office", Area: 18,
+				Devices: []string{
+					"urn:district:turin/building:b01/device:t-2",
+					"urn:district:turin/building:b01/device:h-1",
+				},
+				Elements: []Element{{ID: "e3", Kind: ElementRoof, Area: 18, UValue: 0.7}},
+			}},
+		}},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	b := sampleBuilding()
+	if err := b.Validate(); err != nil {
+		t.Fatalf("valid building rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Building)
+	}{
+		{"no building ID", func(b *Building) { b.ID = "" }},
+		{"no storey ID", func(b *Building) { b.Storeys[0].ID = "" }},
+		{"duplicate storey ID", func(b *Building) { b.Storeys[1].ID = b.Storeys[0].ID }},
+		{"negative height", func(b *Building) { b.Storeys[0].Height = -1 }},
+		{"no space ID", func(b *Building) { b.Storeys[0].Spaces[0].ID = "" }},
+		{"duplicate space ID", func(b *Building) { b.Storeys[1].Spaces[0].ID = "b01-st0-sp0" }},
+		{"negative area", func(b *Building) { b.Storeys[0].Spaces[0].Area = -2 }},
+		{"negative U-value", func(b *Building) { b.Storeys[0].Spaces[0].Elements[0].UValue = -0.1 }},
+	}
+	for _, tc := range cases {
+		bad := sampleBuilding()
+		tc.mutate(bad)
+		if err := bad.Validate(); !errors.Is(err, ErrInvalidModel) {
+			t.Errorf("%s: err = %v, want ErrInvalidModel", tc.name, err)
+		}
+	}
+}
+
+func TestDerivedMetrics(t *testing.T) {
+	b := sampleBuilding()
+	if got := b.FloorArea(); math.Abs(got-83) > 1e-9 {
+		t.Errorf("FloorArea = %v, want 83", got)
+	}
+	wantVol := 45*3.5 + 20*3.5 + 18*3.2
+	if got := b.HeatedVolume(); math.Abs(got-wantVol) > 1e-9 {
+		t.Errorf("HeatedVolume = %v, want %v", got, wantVol)
+	}
+	wantUA := 27*0.9 + 6*2.2 + 18*0.7
+	if got := b.EnvelopeUA(); math.Abs(got-wantUA) > 1e-9 {
+		t.Errorf("EnvelopeUA = %v, want %v", got, wantUA)
+	}
+	if got := b.DeviceURIs(); len(got) != 3 {
+		t.Errorf("DeviceURIs = %v", got)
+	}
+	if _, ok := b.SpaceByID("b01-st1-sp0"); !ok {
+		t.Error("SpaceByID missed an existing space")
+	}
+	if _, ok := b.SpaceByID("nope"); ok {
+		t.Error("SpaceByID found a ghost")
+	}
+	if s := b.Summary(); !strings.Contains(s, "2 storeys") || !strings.Contains(s, "3 devices") {
+		t.Errorf("Summary = %q", s)
+	}
+}
+
+func TestVendorARoundTrip(t *testing.T) {
+	b := sampleBuilding()
+	var buf bytes.Buffer
+	if err := EncodeVendorA(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeVendorA(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameBuilding(t, b, got)
+}
+
+func TestVendorBRoundTrip(t *testing.T) {
+	b := sampleBuilding()
+	var buf bytes.Buffer
+	if err := EncodeVendorB(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "gebaeude") {
+		t.Fatal("VendorB export does not use its own vocabulary")
+	}
+	got, err := DecodeVendorB(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameBuilding(t, b, got)
+}
+
+// assertSameBuilding compares the fields the common format cares about.
+func assertSameBuilding(t *testing.T, want, got *Building) {
+	t.Helper()
+	if got.ID != want.ID || got.Name != want.Name || got.YearBuilt != want.YearBuilt {
+		t.Errorf("identity: %+v", got)
+	}
+	if len(got.Storeys) != len(want.Storeys) {
+		t.Fatalf("storeys = %d, want %d", len(got.Storeys), len(want.Storeys))
+	}
+	if math.Abs(got.FloorArea()-want.FloorArea()) > 1e-6 {
+		t.Errorf("FloorArea = %v, want %v", got.FloorArea(), want.FloorArea())
+	}
+	if math.Abs(got.EnvelopeUA()-want.EnvelopeUA()) > 1e-6 {
+		t.Errorf("EnvelopeUA = %v, want %v", got.EnvelopeUA(), want.EnvelopeUA())
+	}
+	if math.Abs(got.HeatedVolume()-want.HeatedVolume()) > 1e-6 {
+		t.Errorf("HeatedVolume = %v, want %v", got.HeatedVolume(), want.HeatedVolume())
+	}
+	wd, gd := want.DeviceURIs(), got.DeviceURIs()
+	if len(wd) != len(gd) {
+		t.Fatalf("devices = %d, want %d", len(gd), len(wd))
+	}
+	for i := range wd {
+		if wd[i] != gd[i] {
+			t.Errorf("device %d = %q, want %q", i, gd[i], wd[i])
+		}
+	}
+	sp, ok := got.SpaceByID(want.Storeys[0].Spaces[0].ID)
+	if !ok || sp.Usage != want.Storeys[0].Spaces[0].Usage {
+		t.Errorf("space usage lost in translation: %+v", sp)
+	}
+}
+
+func TestCrossVendorTranslation(t *testing.T) {
+	// VendorA -> model -> VendorB -> model must preserve the content:
+	// this is exactly what two Database-proxies over different exports
+	// of the same building guarantee in the paper's design.
+	b := Synthesize(SynthOptions{Seed: 42})
+	var aBuf bytes.Buffer
+	if err := EncodeVendorA(&aBuf, b); err != nil {
+		t.Fatal(err)
+	}
+	fromA, err := DecodeVendorA(&aBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bBuf bytes.Buffer
+	if err := EncodeVendorB(&bBuf, fromA); err != nil {
+		t.Fatal(err)
+	}
+	fromB, err := DecodeVendorB(&bBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameBuilding(t, b, fromB)
+}
+
+func TestDecodeVendorARejects(t *testing.T) {
+	cases := map[string]string{
+		"no BLDG":        "STRY|s1|Ground|0|3\n",
+		"second BLDG":    "BLDG|b|n|a|1|2|1990\nBLDG|b2|n|a|1|2|1990\n",
+		"bad numeric":    "BLDG|b|n|a|x|2|1990\n",
+		"unknown tag":    "BLDG|b|n|a|1|2|1990\nWAT|x\n",
+		"orphan space":   "BLDG|b|n|a|1|2|1990\nSPCE|ghost|s|n|office|10\n",
+		"orphan element": "BLDG|b|n|a|1|2|1990\nELEM|ghost|e|wall|5|0.5\n",
+		"orphan device":  "BLDG|b|n|a|1|2|1990\nDEVC|ghost|urn:x\n",
+		"short STRY":     "BLDG|b|n|a|1|2|1990\nSTRY|s1\n",
+		"empty input":    "",
+		"comments only":  "# hello\n\n",
+	}
+	for name, input := range cases {
+		if _, err := DecodeVendorA(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestDecodeVendorBRejects(t *testing.T) {
+	if _, err := DecodeVendorB(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, err := DecodeVendorB(strings.NewReader(`{"schema":"other","gebaeude":{"kennung":"b"}}`)); err == nil {
+		t.Error("wrong schema accepted")
+	}
+	bad := `{"schema":"vb-bim-2.3","gebaeude":{"kennung":"b","etagen":[
+	  {"kennung":"s1","raeume":[{"kennung":"r1","bauteile":[{"kennung":"e1","art":"MYSTERY"}]}]}]}}`
+	if _, err := DecodeVendorB(strings.NewReader(bad)); err == nil {
+		t.Error("unknown element art accepted")
+	}
+}
+
+func TestVendorAIgnoresCommentsAndBlanks(t *testing.T) {
+	input := "# export from FM tool\nBLDG|b|n|a|45|7|2001\n\n# storeys\nSTRY|s1|Ground|0|3\n"
+	b, err := DecodeVendorA(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Storeys) != 1 {
+		t.Errorf("storeys = %d", len(b.Storeys))
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := Synthesize(SynthOptions{Seed: 7})
+	b := Synthesize(SynthOptions{Seed: 7})
+	if a.Summary() != b.Summary() || a.EnvelopeUA() != b.EnvelopeUA() {
+		t.Error("Synthesize not deterministic for equal seeds")
+	}
+	c := Synthesize(SynthOptions{Seed: 8})
+	if a.ID == c.ID && a.EnvelopeUA() == c.EnvelopeUA() {
+		t.Error("different seeds produced identical buildings")
+	}
+}
+
+func TestSynthesizeShape(t *testing.T) {
+	b := Synthesize(SynthOptions{Seed: 3, Storeys: 2, SpacesPerStorey: 3, DevicesPerSpace: 1})
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Storeys) != 2 || len(b.Storeys[0].Spaces) != 3 {
+		t.Errorf("shape: %s", b.Summary())
+	}
+	if got := len(b.DeviceURIs()); got != 6 {
+		t.Errorf("devices = %d, want 6", got)
+	}
+	if b.EnvelopeUA() <= 0 {
+		t.Error("EnvelopeUA should be positive")
+	}
+}
+
+// Property: synthetic buildings always validate and round-trip VendorA.
+func TestSynthesizedRoundTripProperty(t *testing.T) {
+	f := func(seed int64, storeys, spaces uint8) bool {
+		b := Synthesize(SynthOptions{
+			Seed:            seed,
+			Storeys:         int(storeys%5) + 1,
+			SpacesPerStorey: int(spaces%6) + 1,
+		})
+		if b.Validate() != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if EncodeVendorA(&buf, b) != nil {
+			return false
+		}
+		got, err := DecodeVendorA(&buf)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got.EnvelopeUA()-b.EnvelopeUA()) < 1e-6 &&
+			len(got.DeviceURIs()) == len(b.DeviceURIs())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,208 @@
+// Package bim implements the Building Information Model database of the
+// infrastructure: one per building, as in the paper ("there is a database
+// for each building, obtained from each Building Information Model").
+//
+// Real deployments export BIMs from vendor tools in mutually incompatible
+// encodings; the paper's Database-proxy exists precisely to translate
+// them into the common open format. To preserve that code path the
+// package ships two deliberately different vendor encodings of the same
+// model (VendorA: flat record-per-line text export; VendorB: nested JSON
+// with its own vocabulary), plus a synthetic building generator standing
+// in for the proprietary exports of the DIMMER pilot buildings.
+package bim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Building is the root of one building's information model.
+type Building struct {
+	ID      string
+	Name    string
+	Address string
+	// Lat/Lon georeference the building, matching its GIS footprint.
+	Lat, Lon float64
+	// YearBuilt is the construction year (thermal-envelope era proxy).
+	YearBuilt int
+	Storeys   []Storey
+}
+
+// Storey is one level of a building.
+type Storey struct {
+	ID        string
+	Name      string
+	Elevation float64 // metres above ground datum
+	Height    float64 // storey height in metres
+	Spaces    []Space
+}
+
+// Space is a room or zone within a storey.
+type Space struct {
+	ID    string
+	Name  string
+	Usage string  // office | classroom | corridor | plant | residential
+	Area  float64 // m^2
+	// Devices are the ontology URIs of sensors/actuators placed here.
+	Devices []string
+	// Elements are the envelope elements bounding the space.
+	Elements []Element
+}
+
+// ElementKind classifies envelope elements.
+type ElementKind string
+
+// Envelope element kinds.
+const (
+	ElementWall   ElementKind = "wall"
+	ElementWindow ElementKind = "window"
+	ElementDoor   ElementKind = "door"
+	ElementRoof   ElementKind = "roof"
+	ElementFloor  ElementKind = "floor"
+)
+
+// Element is one envelope element with its thermal properties.
+type Element struct {
+	ID     string
+	Kind   ElementKind
+	Area   float64 // m^2
+	UValue float64 // thermal transmittance, W/(m^2 K)
+}
+
+// Errors reported by model validation.
+var ErrInvalidModel = errors.New("bim: invalid model")
+
+// Validate checks structural invariants: IDs present and unique, areas
+// and U-values non-negative.
+func (b *Building) Validate() error {
+	if b.ID == "" {
+		return fmt.Errorf("%w: building without ID", ErrInvalidModel)
+	}
+	seen := map[string]bool{}
+	for si := range b.Storeys {
+		st := &b.Storeys[si]
+		if st.ID == "" {
+			return fmt.Errorf("%w: storey %d of %s without ID", ErrInvalidModel, si, b.ID)
+		}
+		if seen[st.ID] {
+			return fmt.Errorf("%w: duplicate storey ID %q", ErrInvalidModel, st.ID)
+		}
+		seen[st.ID] = true
+		if st.Height < 0 {
+			return fmt.Errorf("%w: storey %q negative height", ErrInvalidModel, st.ID)
+		}
+		for pi := range st.Spaces {
+			sp := &st.Spaces[pi]
+			if sp.ID == "" {
+				return fmt.Errorf("%w: space %d of storey %q without ID", ErrInvalidModel, pi, st.ID)
+			}
+			if seen[sp.ID] {
+				return fmt.Errorf("%w: duplicate space ID %q", ErrInvalidModel, sp.ID)
+			}
+			seen[sp.ID] = true
+			if sp.Area < 0 {
+				return fmt.Errorf("%w: space %q negative area", ErrInvalidModel, sp.ID)
+			}
+			for ei := range sp.Elements {
+				el := &sp.Elements[ei]
+				if el.Area < 0 || el.UValue < 0 {
+					return fmt.Errorf("%w: element %q negative area or U-value", ErrInvalidModel, el.ID)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// FloorArea returns the total floor area in m^2.
+func (b *Building) FloorArea() float64 {
+	var total float64
+	for _, st := range b.Storeys {
+		for _, sp := range st.Spaces {
+			total += sp.Area
+		}
+	}
+	return total
+}
+
+// HeatedVolume returns the total heated volume in m^3, approximated as
+// space area times storey height.
+func (b *Building) HeatedVolume() float64 {
+	var total float64
+	for _, st := range b.Storeys {
+		for _, sp := range st.Spaces {
+			total += sp.Area * st.Height
+		}
+	}
+	return total
+}
+
+// EnvelopeUA returns the overall envelope heat loss coefficient in W/K:
+// the sum of area times U-value over every envelope element. This is the
+// figure district heat-demand simulation consumes.
+func (b *Building) EnvelopeUA() float64 {
+	var total float64
+	for _, st := range b.Storeys {
+		for _, sp := range st.Spaces {
+			for _, el := range sp.Elements {
+				total += el.Area * el.UValue
+			}
+		}
+	}
+	return total
+}
+
+// DeviceURIs lists every device placed in the building, in model order.
+func (b *Building) DeviceURIs() []string {
+	var out []string
+	for _, st := range b.Storeys {
+		for _, sp := range st.Spaces {
+			out = append(out, sp.Devices...)
+		}
+	}
+	return out
+}
+
+// SpaceByID finds a space anywhere in the building.
+func (b *Building) SpaceByID(id string) (*Space, bool) {
+	for si := range b.Storeys {
+		for pi := range b.Storeys[si].Spaces {
+			if b.Storeys[si].Spaces[pi].ID == id {
+				return &b.Storeys[si].Spaces[pi], true
+			}
+		}
+	}
+	return nil, false
+}
+
+// Summary renders a one-line description used in logs and CLIs.
+func (b *Building) Summary() string {
+	var spaces, devices int
+	for _, st := range b.Storeys {
+		spaces += len(st.Spaces)
+		for _, sp := range st.Spaces {
+			devices += len(sp.Devices)
+		}
+	}
+	return fmt.Sprintf("%s (%s): %d storeys, %d spaces, %d devices, %.0f m2",
+		b.Name, b.ID, len(b.Storeys), spaces, devices, b.FloorArea())
+}
+
+// normalizeUsage maps vendor usage vocabulary onto the model's.
+func normalizeUsage(s string) string {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "office", "ufficio", "buro":
+		return "office"
+	case "classroom", "aula", "lecture":
+		return "classroom"
+	case "corridor", "corridoio", "hall":
+		return "corridor"
+	case "plant", "technical", "locale tecnico":
+		return "plant"
+	case "residential", "apartment", "flat":
+		return "residential"
+	default:
+		return "other"
+	}
+}

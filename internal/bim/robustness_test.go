@@ -1,0 +1,61 @@
+package bim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Decoder robustness: arbitrary input must yield an error or a valid
+// model, never a panic. These mirror what a Database-proxy faces when a
+// vendor export is corrupted in transit.
+
+func TestDecodeVendorANeverPanics(t *testing.T) {
+	f := func(input string) bool {
+		b, err := DecodeVendorA(strings.NewReader(input))
+		if err != nil {
+			return true
+		}
+		return b.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeVendorAStructuredGarbage(t *testing.T) {
+	// Inputs that look like the format but violate it field-wise.
+	f := func(a, b, c string) bool {
+		clean := func(s string) string {
+			return strings.Map(func(r rune) rune {
+				if r == '|' || r == '\n' {
+					return '_'
+				}
+				return r
+			}, s)
+		}
+		input := "BLDG|" + clean(a) + "|n|a|1|2|1990\nSTRY|" + clean(b) + "|x|0|3\nSPCE|" + clean(b) + "|" + clean(c) + "|r|office|10\n"
+		model, err := DecodeVendorA(strings.NewReader(input))
+		if err != nil {
+			return true
+		}
+		return model.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeVendorBNeverPanics(t *testing.T) {
+	f := func(input []byte) bool {
+		b, err := DecodeVendorB(bytes.NewReader(input))
+		if err != nil {
+			return true
+		}
+		return b.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

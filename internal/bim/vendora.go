@@ -1,0 +1,147 @@
+package bim
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// VendorA is a flat, line-oriented BIM export: one record per line,
+// pipe-separated, with a record-type tag in the first field — the shape
+// of a facility-management CSV dump. It deliberately shares nothing
+// with the VendorB encoding so the Database-proxy's translation layer is
+// exercised for real.
+//
+//	BLDG|id|name|address|lat|lon|year
+//	STRY|id|name|elevation|height
+//	SPCE|storeyID|id|name|usage|area
+//	ELEM|spaceID|id|kind|area|uvalue
+//	DEVC|spaceID|uri
+
+// ErrVendorA reports a malformed VendorA export.
+var ErrVendorA = errors.New("bim: malformed VendorA export")
+
+// EncodeVendorA writes the building in the VendorA flat format.
+func EncodeVendorA(w io.Writer, b *Building) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "BLDG|%s|%s|%s|%g|%g|%d\n", b.ID, b.Name, b.Address, b.Lat, b.Lon, b.YearBuilt)
+	for _, st := range b.Storeys {
+		fmt.Fprintf(bw, "STRY|%s|%s|%g|%g\n", st.ID, st.Name, st.Elevation, st.Height)
+		for _, sp := range st.Spaces {
+			fmt.Fprintf(bw, "SPCE|%s|%s|%s|%s|%g\n", st.ID, sp.ID, sp.Name, sp.Usage, sp.Area)
+			for _, el := range sp.Elements {
+				fmt.Fprintf(bw, "ELEM|%s|%s|%s|%g|%g\n", sp.ID, el.ID, el.Kind, el.Area, el.UValue)
+			}
+			for _, d := range sp.Devices {
+				fmt.Fprintf(bw, "DEVC|%s|%s\n", sp.ID, d)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeVendorA parses a VendorA export into a Building.
+func DecodeVendorA(r io.Reader) (*Building, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var b *Building
+	storeyIdx := map[string]int{}
+	spaceLoc := map[string][2]int{} // space ID -> (storey index, space index)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, "|")
+		bad := func(msg string) error {
+			return fmt.Errorf("%w: line %d: %s", ErrVendorA, line, msg)
+		}
+		switch fields[0] {
+		case "BLDG":
+			if len(fields) != 7 {
+				return nil, bad("BLDG needs 7 fields")
+			}
+			if b != nil {
+				return nil, bad("second BLDG record")
+			}
+			lat, err1 := strconv.ParseFloat(fields[4], 64)
+			lon, err2 := strconv.ParseFloat(fields[5], 64)
+			year, err3 := strconv.Atoi(fields[6])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, bad("BLDG numeric fields")
+			}
+			b = &Building{ID: fields[1], Name: fields[2], Address: fields[3], Lat: lat, Lon: lon, YearBuilt: year}
+		case "STRY":
+			if b == nil {
+				return nil, bad("STRY before BLDG")
+			}
+			if len(fields) != 5 {
+				return nil, bad("STRY needs 5 fields")
+			}
+			elev, err1 := strconv.ParseFloat(fields[3], 64)
+			height, err2 := strconv.ParseFloat(fields[4], 64)
+			if err1 != nil || err2 != nil {
+				return nil, bad("STRY numeric fields")
+			}
+			storeyIdx[fields[1]] = len(b.Storeys)
+			b.Storeys = append(b.Storeys, Storey{ID: fields[1], Name: fields[2], Elevation: elev, Height: height})
+		case "SPCE":
+			if b == nil {
+				return nil, bad("SPCE before BLDG")
+			}
+			if len(fields) != 6 {
+				return nil, bad("SPCE needs 6 fields")
+			}
+			si, ok := storeyIdx[fields[1]]
+			if !ok {
+				return nil, bad("SPCE references unknown storey " + fields[1])
+			}
+			area, err := strconv.ParseFloat(fields[5], 64)
+			if err != nil {
+				return nil, bad("SPCE area")
+			}
+			st := &b.Storeys[si]
+			spaceLoc[fields[2]] = [2]int{si, len(st.Spaces)}
+			st.Spaces = append(st.Spaces, Space{ID: fields[2], Name: fields[3], Usage: normalizeUsage(fields[4]), Area: area})
+		case "ELEM":
+			if len(fields) != 6 {
+				return nil, bad("ELEM needs 6 fields")
+			}
+			loc, ok := spaceLoc[fields[1]]
+			if !ok {
+				return nil, bad("ELEM references unknown space " + fields[1])
+			}
+			area, err1 := strconv.ParseFloat(fields[4], 64)
+			uv, err2 := strconv.ParseFloat(fields[5], 64)
+			if err1 != nil || err2 != nil {
+				return nil, bad("ELEM numeric fields")
+			}
+			sp := &b.Storeys[loc[0]].Spaces[loc[1]]
+			sp.Elements = append(sp.Elements, Element{ID: fields[2], Kind: ElementKind(fields[3]), Area: area, UValue: uv})
+		case "DEVC":
+			if len(fields) != 3 {
+				return nil, bad("DEVC needs 3 fields")
+			}
+			loc, ok := spaceLoc[fields[1]]
+			if !ok {
+				return nil, bad("DEVC references unknown space " + fields[1])
+			}
+			sp := &b.Storeys[loc[0]].Spaces[loc[1]]
+			sp.Devices = append(sp.Devices, fields[2])
+		default:
+			return nil, bad("unknown record tag " + fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("%w: no BLDG record", ErrVendorA)
+	}
+	return b, b.Validate()
+}

@@ -1,0 +1,166 @@
+package bim
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// VendorB is a nested JSON BIM export with its own vocabulary (German
+// field names, centimetre/square-centimetre units, usage codes) — the
+// shape of an architectural tool's project dump. Translating it is
+// deliberately non-trivial: units differ from the canonical model and
+// nothing shares a field name with VendorA.
+
+// ErrVendorB reports a malformed VendorB export.
+var ErrVendorB = errors.New("bim: malformed VendorB export")
+
+// vendorB wire types. Lengths are centimetres, areas square centimetres.
+type vbProject struct {
+	Gebaeude vbBuilding `json:"gebaeude"`
+	Schema   string     `json:"schema"`
+}
+
+type vbBuilding struct {
+	Kennung   string     `json:"kennung"`
+	Titel     string     `json:"titel"`
+	Anschrift string     `json:"anschrift"`
+	Breite    float64    `json:"breite"` // latitude
+	Laenge    float64    `json:"laenge"` // longitude
+	Baujahr   int        `json:"baujahr"`
+	Etagen    []vbStorey `json:"etagen"`
+}
+
+type vbStorey struct {
+	Kennung string    `json:"kennung"`
+	Titel   string    `json:"titel"`
+	HoeheCm float64   `json:"hoeheCm"`
+	KoteCm  float64   `json:"koteCm"`
+	Raeume  []vbSpace `json:"raeume"`
+}
+
+type vbSpace struct {
+	Kennung     string      `json:"kennung"`
+	Titel       string      `json:"titel"`
+	Nutzung     string      `json:"nutzung"`
+	FlaecheCm2  float64     `json:"flaecheCm2"`
+	Bauteile    []vbElement `json:"bauteile"`
+	Messstellen []string    `json:"messstellen"` // device URIs
+}
+
+type vbElement struct {
+	Kennung    string  `json:"kennung"`
+	Art        string  `json:"art"` // WAND | FENSTER | TUER | DACH | BODEN
+	FlaecheCm2 float64 `json:"flaecheCm2"`
+	UWert      float64 `json:"uWert"`
+}
+
+// vbSchema is the schema tag VendorB exports carry.
+const vbSchema = "vb-bim-2.3"
+
+// elementArt maps canonical element kinds to VendorB codes and back.
+var artToKind = map[string]ElementKind{
+	"WAND":    ElementWall,
+	"FENSTER": ElementWindow,
+	"TUER":    ElementDoor,
+	"DACH":    ElementRoof,
+	"BODEN":   ElementFloor,
+}
+
+var kindToArt = map[ElementKind]string{
+	ElementWall:   "WAND",
+	ElementWindow: "FENSTER",
+	ElementDoor:   "TUER",
+	ElementRoof:   "DACH",
+	ElementFloor:  "BODEN",
+}
+
+// usage codes used by VendorB exports.
+var vbUsage = map[string]string{
+	"office":      "BUERO",
+	"classroom":   "LEHRRAUM",
+	"corridor":    "FLUR",
+	"plant":       "TECHNIK",
+	"residential": "WOHNEN",
+	"other":       "SONSTIGE",
+}
+
+var vbUsageBack = map[string]string{
+	"BUERO":    "office",
+	"LEHRRAUM": "classroom",
+	"FLUR":     "corridor",
+	"TECHNIK":  "plant",
+	"WOHNEN":   "residential",
+	"SONSTIGE": "other",
+}
+
+// EncodeVendorB writes the building in the VendorB JSON format.
+func EncodeVendorB(w io.Writer, b *Building) error {
+	vb := vbProject{Schema: vbSchema, Gebaeude: vbBuilding{
+		Kennung: b.ID, Titel: b.Name, Anschrift: b.Address,
+		Breite: b.Lat, Laenge: b.Lon, Baujahr: b.YearBuilt,
+	}}
+	for _, st := range b.Storeys {
+		vst := vbStorey{Kennung: st.ID, Titel: st.Name,
+			HoeheCm: st.Height * 100, KoteCm: st.Elevation * 100}
+		for _, sp := range st.Spaces {
+			usage, ok := vbUsage[sp.Usage]
+			if !ok {
+				usage = "SONSTIGE"
+			}
+			vsp := vbSpace{Kennung: sp.ID, Titel: sp.Name, Nutzung: usage,
+				FlaecheCm2: sp.Area * 1e4, Messstellen: sp.Devices}
+			for _, el := range sp.Elements {
+				art, ok := kindToArt[el.Kind]
+				if !ok {
+					return fmt.Errorf("bim: element kind %q has no VendorB code", el.Kind)
+				}
+				vsp.Bauteile = append(vsp.Bauteile, vbElement{
+					Kennung: el.ID, Art: art, FlaecheCm2: el.Area * 1e4, UWert: el.UValue})
+			}
+			vst.Raeume = append(vst.Raeume, vsp)
+		}
+		vb.Gebaeude.Etagen = append(vb.Gebaeude.Etagen, vst)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(vb)
+}
+
+// DecodeVendorB parses a VendorB export into a Building.
+func DecodeVendorB(r io.Reader) (*Building, error) {
+	var vb vbProject
+	if err := json.NewDecoder(r).Decode(&vb); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrVendorB, err)
+	}
+	if vb.Schema != vbSchema {
+		return nil, fmt.Errorf("%w: schema %q (want %q)", ErrVendorB, vb.Schema, vbSchema)
+	}
+	g := vb.Gebaeude
+	b := &Building{ID: g.Kennung, Name: g.Titel, Address: g.Anschrift,
+		Lat: g.Breite, Lon: g.Laenge, YearBuilt: g.Baujahr}
+	for _, vst := range g.Etagen {
+		st := Storey{ID: vst.Kennung, Name: vst.Titel,
+			Height: vst.HoeheCm / 100, Elevation: vst.KoteCm / 100}
+		for _, vsp := range vst.Raeume {
+			usage, ok := vbUsageBack[vsp.Nutzung]
+			if !ok {
+				usage = "other"
+			}
+			sp := Space{ID: vsp.Kennung, Name: vsp.Titel, Usage: usage,
+				Area: vsp.FlaecheCm2 / 1e4, Devices: vsp.Messstellen}
+			for _, vel := range vsp.Bauteile {
+				kind, ok := artToKind[vel.Art]
+				if !ok {
+					return nil, fmt.Errorf("%w: unknown element art %q", ErrVendorB, vel.Art)
+				}
+				sp.Elements = append(sp.Elements, Element{
+					ID: vel.Kennung, Kind: kind, Area: vel.FlaecheCm2 / 1e4, UValue: vel.UWert})
+			}
+			st.Spaces = append(st.Spaces, sp)
+		}
+		b.Storeys = append(b.Storeys, st)
+	}
+	return b, b.Validate()
+}

@@ -1,0 +1,316 @@
+// Package client is the end-user application library: the consumer side
+// of the paper's architecture. It queries the master node for an area,
+// receives the proxies' web-service URIs, fetches each proxy's
+// translated model and data directly (the master redirects, it does not
+// aggregate), and integrates everything into a comprehensive AreaModel
+// via the integration engine.
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/dataformat"
+	"repro/internal/integration"
+	"repro/internal/master"
+	"repro/internal/ontology"
+	"repro/internal/proxyhttp"
+)
+
+// Client talks to one master node and the proxies it redirects to.
+type Client struct {
+	// MasterURL is the master node's base URL.
+	MasterURL string
+	// HTTP is the transport; nil uses a 10-second-timeout default.
+	HTTP *http.Client
+	// Encoding selects the preferred proxy encoding (default JSON).
+	Encoding dataformat.Encoding
+	// Concurrency bounds parallel proxy fetches (default 8).
+	Concurrency int
+}
+
+// Area is a bounding box for area queries; the zero Area means the
+// whole district.
+type Area struct {
+	MinLat, MinLon, MaxLat, MaxLon float64
+}
+
+// Empty reports whether the area is the whole-district marker.
+func (a Area) Empty() bool { return a == Area{} }
+
+// Errors returned by the client.
+var ErrMaster = errors.New("client: master request failed")
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 10 * time.Second}
+}
+
+func (c *Client) enc() dataformat.Encoding {
+	if c.Encoding == "" {
+		return dataformat.JSON
+	}
+	return c.Encoding
+}
+
+func (c *Client) masterURL(path string) string {
+	return strings.TrimSuffix(c.MasterURL, "/") + path
+}
+
+// getJSON fetches a JSON endpoint into v.
+func (c *Client) getJSON(rawURL string, v any) error {
+	rsp, err := c.http().Get(rawURL)
+	if err != nil {
+		return err
+	}
+	defer rsp.Body.Close()
+	if rsp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(rsp.Body, 512))
+		return fmt.Errorf("%w: %s: %d %s", ErrMaster, rawURL, rsp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(rsp.Body).Decode(v)
+}
+
+// Query asks the master node for the entities of an area and their
+// proxy URIs — the redirection step of the paper's flow.
+func (c *Client) Query(district string, area Area) (*master.QueryResponse, error) {
+	u := c.masterURL("/query") + "?district=" + url.QueryEscape(district)
+	if !area.Empty() {
+		u += fmt.Sprintf("&minLat=%g&minLon=%g&maxLat=%g&maxLon=%g",
+			area.MinLat, area.MinLon, area.MaxLat, area.MaxLon)
+	}
+	var out master.QueryResponse
+	if err := c.getJSON(u, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Devices asks the master node for the device leaves of an entity.
+func (c *Client) Devices(entityURI string) ([]ontology.Resolution, error) {
+	var out []ontology.Resolution
+	err := c.getJSON(c.masterURL("/devices")+"?entity="+url.QueryEscape(entityURI), &out)
+	return out, err
+}
+
+// FetchModel retrieves a proxy's translated model document.
+func (c *Client) FetchModel(proxyURI string) (*dataformat.Entity, error) {
+	doc, err := proxyhttp.GetDoc(c.http(), joinURL(proxyURI, "model"), c.enc())
+	if err != nil {
+		return nil, err
+	}
+	if doc.Entity == nil {
+		return nil, fmt.Errorf("client: %s returned a %q document, want entity", proxyURI, doc.Kind)
+	}
+	return doc.Entity, nil
+}
+
+// FetchGISFeatures retrieves the GIS features of an area.
+func (c *Client) FetchGISFeatures(gisURI string, area Area) ([]dataformat.Entity, error) {
+	u := joinURL(gisURI, "features")
+	if area.Empty() {
+		// The GIS proxy requires a box; ask for the whole world.
+		area = Area{MinLat: -90, MinLon: -180, MaxLat: 90, MaxLon: 180}
+	}
+	u += fmt.Sprintf("?minLat=%g&minLon=%g&maxLat=%g&maxLon=%g",
+		area.MinLat, area.MinLon, area.MaxLat, area.MaxLon)
+	doc, err := proxyhttp.GetDoc(c.http(), u, c.enc())
+	if err != nil {
+		return nil, err
+	}
+	return doc.Entities, nil
+}
+
+// FetchDeviceInfo retrieves a device proxy's description document.
+func (c *Client) FetchDeviceInfo(proxyURI string) (*dataformat.DeviceInfo, error) {
+	doc, err := proxyhttp.GetDoc(c.http(), joinURL(proxyURI, "info"), c.enc())
+	if err != nil {
+		return nil, err
+	}
+	if doc.Device == nil {
+		return nil, fmt.Errorf("client: %s returned a %q document, want device-info", proxyURI, doc.Kind)
+	}
+	return doc.Device, nil
+}
+
+// FetchLatest retrieves a device proxy's freshest sample of a quantity.
+func (c *Client) FetchLatest(proxyURI string, q dataformat.Quantity) (*dataformat.Measurement, error) {
+	u := joinURL(proxyURI, "latest") + "?quantity=" + url.QueryEscape(string(q))
+	doc, err := proxyhttp.GetDoc(c.http(), u, c.enc())
+	if err != nil {
+		return nil, err
+	}
+	if doc.Measurement == nil {
+		return nil, fmt.Errorf("client: %s returned a %q document, want measurement", proxyURI, doc.Kind)
+	}
+	return doc.Measurement, nil
+}
+
+// FetchData retrieves a device proxy's buffered samples of a quantity.
+func (c *Client) FetchData(proxyURI string, q dataformat.Quantity, from, to time.Time) ([]dataformat.Measurement, error) {
+	u := joinURL(proxyURI, "data") + "?quantity=" + url.QueryEscape(string(q))
+	if !from.IsZero() {
+		u += "&from=" + url.QueryEscape(from.Format(time.RFC3339))
+	}
+	if !to.IsZero() {
+		u += "&to=" + url.QueryEscape(to.Format(time.RFC3339))
+	}
+	doc, err := proxyhttp.GetDoc(c.http(), u, c.enc())
+	if err != nil {
+		return nil, err
+	}
+	return doc.Measurements, nil
+}
+
+// Control issues an actuation command through a device proxy.
+func (c *Client) Control(proxyURI string, q dataformat.Quantity, value float64) (*dataformat.ControlResult, error) {
+	body, err := json.Marshal(map[string]any{"quantity": q, "value": value})
+	if err != nil {
+		return nil, err
+	}
+	rsp, err := c.http().Post(joinURL(proxyURI, "control"), "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return nil, err
+	}
+	defer rsp.Body.Close()
+	if rsp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("client: control returned %d", rsp.StatusCode)
+	}
+	doc, err := dataformat.DecodeFrom(rsp.Body, dataformat.ParseEncoding(rsp.Header.Get("Content-Type")))
+	if err != nil {
+		return nil, err
+	}
+	if doc.Control == nil {
+		return nil, fmt.Errorf("client: control returned a %q document", doc.Kind)
+	}
+	return doc.Control, nil
+}
+
+// BuildOptions tune BuildAreaModel.
+type BuildOptions struct {
+	// IncludeDevices fetches each entity's device list and the latest
+	// sample of every sensed quantity from the device proxies.
+	IncludeDevices bool
+	// History, when positive, additionally fetches each device's
+	// buffered samples over the trailing window.
+	History time.Duration
+	// IncludeGIS fetches the district GIS features for the area.
+	IncludeGIS bool
+}
+
+// BuildAreaModel runs the full end-user flow of the paper: master query
+// → parallel proxy fetches → integration into a comprehensive model.
+func (c *Client) BuildAreaModel(district string, area Area, opts BuildOptions) (*integration.AreaModel, error) {
+	qr, err := c.Query(district, area)
+	if err != nil {
+		return nil, err
+	}
+	merger := integration.NewMerger(district)
+	conc := c.Concurrency
+	if conc <= 0 {
+		conc = 8
+	}
+	sem := make(chan struct{}, conc)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var errs []error
+	fail := func(err error) {
+		mu.Lock()
+		errs = append(errs, err)
+		mu.Unlock()
+	}
+
+	for _, res := range qr.Entities {
+		if res.ProxyURI == "" {
+			continue // entity not yet served by any proxy
+		}
+		res := res
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			model, err := c.FetchModel(res.ProxyURI)
+			if err != nil {
+				fail(fmt.Errorf("model of %s: %w", res.URI, err))
+				return
+			}
+			merger.AddEntity(res.ProxyURI, *model)
+			if opts.IncludeDevices {
+				c.fetchDevices(merger, res.URI, opts, fail)
+			}
+		}()
+	}
+	if opts.IncludeGIS && qr.GISURI != "" {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			features, err := c.FetchGISFeatures(qr.GISURI, area)
+			if err != nil {
+				fail(fmt.Errorf("gis features: %w", err))
+				return
+			}
+			for _, f := range features {
+				merger.AddEntity(qr.GISURI, f)
+			}
+		}()
+	}
+	wg.Wait()
+	model := merger.Result()
+	if len(errs) > 0 {
+		return model, errors.Join(errs...)
+	}
+	return model, nil
+}
+
+// fetchDevices pulls device info + data for one entity's devices.
+func (c *Client) fetchDevices(merger *integration.Merger, entityURI string, opts BuildOptions, fail func(error)) {
+	devices, err := c.Devices(entityURI)
+	if err != nil {
+		fail(fmt.Errorf("devices of %s: %w", entityURI, err))
+		return
+	}
+	for _, d := range devices {
+		if d.ProxyURI == "" {
+			continue
+		}
+		info, err := c.FetchDeviceInfo(d.ProxyURI)
+		if err != nil {
+			fail(fmt.Errorf("info of %s: %w", d.URI, err))
+			continue
+		}
+		e := dataformat.Entity{URI: d.URI, Kind: dataformat.EntityDevice, Name: info.Name}
+		e.SetProp("protocol", info.Protocol, "string")
+		e.SetProp("proxy.uri", d.ProxyURI, "uri")
+		merger.AddEntity(d.ProxyURI, e)
+		for _, q := range info.Senses {
+			if opts.History > 0 {
+				ms, err := c.FetchData(d.ProxyURI, q, time.Now().Add(-opts.History), time.Time{})
+				if err == nil {
+					merger.AddMeasurements(d.ProxyURI, ms)
+					continue
+				}
+			}
+			m, err := c.FetchLatest(d.ProxyURI, q)
+			if err != nil {
+				continue // no sample yet is not an integration failure
+			}
+			merger.AddMeasurements(d.ProxyURI, []dataformat.Measurement{*m})
+		}
+	}
+}
+
+// joinURL appends a path segment to a base URL that may or may not end
+// with a slash.
+func joinURL(base, path string) string {
+	return strings.TrimSuffix(base, "/") + "/" + path
+}

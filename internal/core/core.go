@@ -1,0 +1,392 @@
+// Package core is the framework facade of the reproduction: it wires
+// every subsystem of the paper's infrastructure — master node with its
+// ontology, middleware network, global measurements database, GIS / BIM
+// / SIM Database-proxies, and device-proxies over simulated WSN hardware
+// — into one running district. It is the paper's "infrastructure model"
+// as a callable API: examples, the districtsim binary, the integration
+// tests and the benchmark harness all bootstrap districts through it.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bim"
+	"repro/internal/client"
+	"repro/internal/dataformat"
+	"repro/internal/dbproxy"
+	"repro/internal/deviceproxy"
+	"repro/internal/gis"
+	"repro/internal/master"
+	"repro/internal/measuredb"
+	"repro/internal/middleware"
+	"repro/internal/ontology"
+	"repro/internal/protocol/enocean"
+	"repro/internal/protocol/ieee802154"
+	"repro/internal/sim"
+	"repro/internal/wsn"
+)
+
+// Protocol names the device technologies the bootstrap can deploy.
+type Protocol string
+
+// Deployable protocols, matching the paper's proxy list.
+const (
+	ProtoIEEE802154 Protocol = "ieee802.15.4"
+	ProtoZigBee     Protocol = "zigbee"
+	ProtoEnOcean    Protocol = "enocean"
+	ProtoOPCUA      Protocol = "opc-ua"
+)
+
+// AllProtocols is the default deployment rotation.
+var AllProtocols = []Protocol{ProtoZigBee, ProtoIEEE802154, ProtoEnOcean, ProtoOPCUA}
+
+// Spec sizes a synthetic district.
+type Spec struct {
+	// District is the district identifier (default "turin").
+	District string
+	// Buildings is the number of buildings (default 3).
+	Buildings int
+	// Networks is the number of distribution networks (default 1).
+	Networks int
+	// DevicesPerBuilding is the number of sensor devices per building
+	// (default 2), rotated over Protocols.
+	DevicesPerBuilding int
+	// Protocols is the deployment rotation (default AllProtocols).
+	Protocols []Protocol
+	// PollEvery is the device-proxy sampling period (default 200ms).
+	PollEvery time.Duration
+	// Seed drives all synthetic generation (default 1).
+	Seed int64
+}
+
+func (s *Spec) withDefaults() Spec {
+	out := *s
+	if out.District == "" {
+		out.District = "turin"
+	}
+	if out.Buildings <= 0 {
+		out.Buildings = 3
+	}
+	if out.Networks <= 0 {
+		out.Networks = 1
+	}
+	if out.DevicesPerBuilding <= 0 {
+		out.DevicesPerBuilding = 2
+	}
+	if len(out.Protocols) == 0 {
+		out.Protocols = AllProtocols
+	}
+	if out.PollEvery <= 0 {
+		out.PollEvery = 200 * time.Millisecond
+	}
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+	return out
+}
+
+// District is a fully wired, running district infrastructure.
+type District struct {
+	// Spec is the effective (defaulted) specification.
+	Spec Spec
+	// Master is the master node; MasterURL its HTTP base URL.
+	Master    *master.Master
+	MasterURL string
+	// Hub is the middleware relay node; HubAddr its TCP address.
+	Hub     *middleware.Node
+	HubAddr string
+	// Measure is the global measurements database service.
+	Measure    *measuredb.Service
+	MeasureURL string
+	// GIS is the district geographic database proxy.
+	GIS *dbproxy.GISProxy
+	// BIMs and SIMs are the per-building / per-network proxies.
+	BIMs []*dbproxy.BIMProxy
+	SIMs []*dbproxy.SIMProxy
+	// DeviceProxies are the running device proxies, one per device.
+	DeviceProxies []*deviceproxy.Proxy
+
+	pubNode *middleware.Node
+	closers []func()
+}
+
+// Bootstrap builds and starts a synthetic district per the spec.
+// The returned District owns every component; Close tears it all down.
+func Bootstrap(spec Spec) (*District, error) {
+	spec = spec.withDefaults()
+	d := &District{Spec: spec}
+	ok := false
+	defer func() {
+		if !ok {
+			d.Close()
+		}
+	}()
+
+	// Master node: the unique entry point.
+	d.Master = master.New(master.Options{})
+	addr, err := d.Master.Serve("127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("core: master: %w", err)
+	}
+	d.MasterURL = "http://" + addr
+	d.closers = append(d.closers, d.Master.Close)
+
+	// Middleware hub and the leaf node proxies publish through.
+	d.Hub = middleware.NewNode(middleware.NodeOptions{ID: "hub:" + spec.District, Relay: true})
+	hubAddr, err := d.Hub.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("core: middleware hub: %w", err)
+	}
+	d.HubAddr = hubAddr
+	d.closers = append(d.closers, d.Hub.Close)
+
+	d.pubNode = middleware.NewNode(middleware.NodeOptions{ID: "pub:" + spec.District})
+	if err := d.pubNode.Dial(hubAddr); err != nil {
+		return nil, fmt.Errorf("core: publisher node: %w", err)
+	}
+	d.closers = append(d.closers, d.pubNode.Close)
+
+	// Global measurements database, fed from the middleware.
+	d.Measure = measuredb.New(measuredb.Options{})
+	measureAddr, err := d.Measure.Serve("127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("core: measuredb: %w", err)
+	}
+	d.MeasureURL = "http://" + measureAddr
+	measureNode := middleware.NewNode(middleware.NodeOptions{ID: "measure:" + spec.District})
+	if _, err := d.Measure.AttachNode(measureNode); err != nil {
+		return nil, fmt.Errorf("core: measuredb subscribe: %w", err)
+	}
+	if err := measureNode.Dial(hubAddr); err != nil {
+		return nil, fmt.Errorf("core: measuredb node: %w", err)
+	}
+	d.closers = append(d.closers, measureNode.Close, d.Measure.Close)
+
+	// Ontology root.
+	ont := d.Master.Ontology()
+	districtURI, err := ont.AddDistrict(spec.District, spec.District)
+	if err != nil {
+		return nil, err
+	}
+	_ = ont.SetProperty(districtURI, ontology.PropMeasureURI, d.MeasureURL+"/")
+
+	// GIS database + proxy.
+	gisStore := gis.NewStore(0)
+	d.GIS = dbproxy.NewGISProxy(spec.District, gisStore)
+	gisAddr, err := d.GIS.Run("127.0.0.1:0", d.MasterURL)
+	if err != nil {
+		return nil, fmt.Errorf("core: gis proxy: %w", err)
+	}
+	_ = ont.SetProperty(districtURI, ontology.PropGISURI, "http://"+gisAddr+"/")
+	d.closers = append(d.closers, d.GIS.Close)
+
+	// Buildings: BIM + BIM proxy + ontology node + GIS footprint + devices.
+	for b := 0; b < spec.Buildings; b++ {
+		if err := d.addBuilding(districtURI, b); err != nil {
+			return nil, err
+		}
+	}
+
+	// Distribution networks: SIM + SIM proxy + ontology node.
+	for n := 0; n < spec.Networks; n++ {
+		network := sim.Synthesize(sim.SynthOptions{
+			ID:          fmt.Sprintf("dh%02d", n),
+			Substations: spec.Buildings,
+			Seed:        spec.Seed + int64(n)*1000,
+		})
+		proxy, err := dbproxy.NewSIMProxy(spec.District, network)
+		if err != nil {
+			return nil, err
+		}
+		plant := network.Plant()
+		netURI, err := ont.AddEntity(districtURI, ontology.KindNetwork, network.ID, network.Name, plant.Lat, plant.Lon)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := proxy.Run("127.0.0.1:0", d.MasterURL); err != nil {
+			return nil, fmt.Errorf("core: sim proxy %s: %w", network.ID, err)
+		}
+		_ = netURI
+		d.SIMs = append(d.SIMs, proxy)
+		d.closers = append(d.closers, proxy.Close)
+	}
+	ok = true
+	return d, nil
+}
+
+// addBuilding creates one building with its BIM proxy and devices.
+func (d *District) addBuilding(districtURI string, index int) error {
+	spec := d.Spec
+	ont := d.Master.Ontology()
+	building := bim.Synthesize(bim.SynthOptions{
+		ID:              fmt.Sprintf("b%02d", index),
+		Storeys:         2,
+		SpacesPerStorey: 2,
+		DevicesPerSpace: 0,
+		Seed:            spec.Seed + int64(index)*77,
+	})
+	buildingURI, err := ont.AddEntity(districtURI, ontology.KindBuilding, building.ID, building.Name, building.Lat, building.Lon)
+	if err != nil {
+		return err
+	}
+	// GIS footprint: a small square around the building position.
+	const half = 0.0004
+	err = d.GIS.Store().Add(gis.Feature{
+		ID: buildingURI, Kind: gis.FeatureBuilding, Name: building.Name,
+		Footprint: []gis.Point{
+			{Lat: building.Lat - half, Lon: building.Lon - half},
+			{Lat: building.Lat + half, Lon: building.Lon - half},
+			{Lat: building.Lat + half, Lon: building.Lon + half},
+			{Lat: building.Lat - half, Lon: building.Lon + half},
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	// Devices (and their URIs inside the BIM spaces).
+	for i := 0; i < spec.DevicesPerBuilding; i++ {
+		proto := spec.Protocols[i%len(spec.Protocols)]
+		deviceID := fmt.Sprintf("d%02d", i)
+		deviceURI := ontology.DeviceURI(buildingURI, deviceID)
+		// Place the device in a BIM space round-robin.
+		st := &building.Storeys[i%len(building.Storeys)]
+		sp := &st.Spaces[i%len(st.Spaces)]
+		sp.Devices = append(sp.Devices, deviceURI)
+
+		if _, err := ont.AddDevice(buildingURI, deviceID, fmt.Sprintf("%s sensor %d", proto, i), building.Lat, building.Lon); err != nil {
+			return err
+		}
+		if err := d.addDevice(deviceURI, proto, spec.Seed+int64(index*100+i)); err != nil {
+			return fmt.Errorf("core: device %s: %w", deviceURI, err)
+		}
+	}
+
+	proxy, err := dbproxy.NewBIMProxy(spec.District, building)
+	if err != nil {
+		return err
+	}
+	if _, err := proxy.Run("127.0.0.1:0", d.MasterURL); err != nil {
+		return fmt.Errorf("core: bim proxy %s: %w", building.ID, err)
+	}
+	d.BIMs = append(d.BIMs, proxy)
+	d.closers = append(d.closers, proxy.Close)
+	return nil
+}
+
+// addDevice spins one simulated device and its device proxy.
+func (d *District) addDevice(deviceURI string, proto Protocol, seed int64) error {
+	signals := map[dataformat.Quantity]wsn.Signal{
+		dataformat.Temperature: {Base: 21, Amplitude: 2, Period: 24 * time.Hour, NoiseStd: 0.1, Min: -10, Max: 40},
+		dataformat.Humidity:    {Base: 45, Amplitude: 8, Period: 24 * time.Hour, NoiseStd: 0.8, Min: 0, Max: 100},
+	}
+	senses := []dataformat.Quantity{dataformat.Temperature, dataformat.Humidity}
+	var driver deviceproxy.Driver
+	var actuates []dataformat.Quantity
+	switch proto {
+	case ProtoIEEE802154:
+		radio := ieee802154.NewRadio(ieee802154.RadioOptions{Seed: seed})
+		node, err := wsn.NewNode802154(radio, 0x0D15, 0x0010, signals, seed)
+		if err != nil {
+			return err
+		}
+		drv, err := wsn.NewDriver802154(radio, 0x0D15, 0x0001, 0x0010, len(signals))
+		if err != nil {
+			return err
+		}
+		driver = drv
+		d.closers = append(d.closers, node.Close, radio.Close)
+	case ProtoZigBee:
+		radio := ieee802154.NewRadio(ieee802154.RadioOptions{Seed: seed})
+		node, err := wsn.NewNodeZigbee(radio, 0x0D15, 0x0020, signals, true, seed)
+		if err != nil {
+			return err
+		}
+		drv, err := wsn.NewDriverZigbee(radio, 0x0D15, 0x0002, 0x0020,
+			[]dataformat.Quantity{dataformat.Temperature, dataformat.Humidity, dataformat.SwitchState})
+		if err != nil {
+			return err
+		}
+		driver = drv
+		senses = append(senses, dataformat.SwitchState)
+		actuates = []dataformat.Quantity{dataformat.SwitchState}
+		d.closers = append(d.closers, node.Close, radio.Close)
+	case ProtoEnOcean:
+		link := &wsn.SerialLink{}
+		sender := uint32(0x01800000) + uint32(seed&0xFFFF)
+		node := wsn.NewNodeEnOcean(link, enocean.EEPTempHumA50401, sender, signals, seed)
+		node.Start(d.Spec.PollEvery / 2)
+		node.Emit() // make the first poll succeed immediately
+		driver = wsn.NewDriverEnOcean(link, enocean.EEPTempHumA50401, sender, nil)
+		d.closers = append(d.closers, node.Close)
+	case ProtoOPCUA:
+		node, err := wsn.NewNodeOPCUA(signals, []dataformat.Quantity{dataformat.Temperature}, seed)
+		if err != nil {
+			return err
+		}
+		drv, err := wsn.NewDriverOPCUA(node.Addr(), senses, []dataformat.Quantity{dataformat.Temperature})
+		if err != nil {
+			node.Close()
+			return err
+		}
+		driver = drv
+		actuates = []dataformat.Quantity{dataformat.Temperature}
+		d.closers = append(d.closers, node.Close)
+	default:
+		return fmt.Errorf("core: unknown protocol %q", proto)
+	}
+
+	proxy, err := deviceproxy.New(deviceproxy.Options{
+		DeviceURI: deviceURI,
+		Name:      string(proto) + " device",
+		Driver:    driver,
+		Senses:    senses,
+		Actuates:  actuates,
+		PollEvery: d.Spec.PollEvery,
+		Publisher: d.pubNode,
+		MasterURL: d.MasterURL,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := proxy.Run("127.0.0.1:0"); err != nil {
+		return err
+	}
+	d.DeviceProxies = append(d.DeviceProxies, proxy)
+	d.closers = append(d.closers, proxy.Close)
+	return nil
+}
+
+// Client returns an end-user client bound to the district's master.
+func (d *District) Client() *client.Client {
+	return &client.Client{MasterURL: d.MasterURL}
+}
+
+// WaitForSamples blocks until every device proxy has buffered at least
+// n samples or the timeout elapses; it reports whether the goal was met.
+func (d *District) WaitForSamples(n uint64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		all := true
+		for _, p := range d.DeviceProxies {
+			if p.Stats().Samples < n {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return false
+}
+
+// Close tears the district down in reverse construction order.
+func (d *District) Close() {
+	for i := len(d.closers) - 1; i >= 0; i-- {
+		d.closers[i]()
+	}
+	d.closers = nil
+}

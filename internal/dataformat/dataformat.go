@@ -1,0 +1,315 @@
+// Package dataformat defines the open common data format that every proxy
+// in the district infrastructure translates its source data into.
+//
+// The paper (§II) requires that each proxy "offers a Web Service interface
+// which allows data retrieval and translation from its database to an open
+// standard, such as JSON or XML". This package is that standard: a small,
+// versioned vocabulary of documents (measurements, entity models, device
+// descriptions) with JSON and XML codecs and unit-aware values, so an
+// end-user application can integrate data while "disregarding their
+// origin".
+package dataformat
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Version is the common-format schema version stamped on every document.
+const Version = "1.0"
+
+// Kind discriminates the payload carried by a Document envelope.
+type Kind string
+
+// Document kinds understood by the infrastructure.
+const (
+	KindMeasurement   Kind = "measurement"
+	KindMeasurements  Kind = "measurements"
+	KindEntity        Kind = "entity"
+	KindEntitySet     Kind = "entity-set"
+	KindDeviceInfo    Kind = "device-info"
+	KindControlResult Kind = "control-result"
+)
+
+// Quantity is the physical quantity a measurement refers to.
+type Quantity string
+
+// Quantities used across the district. The set mirrors what the DIMMER
+// deployments sense: environmental comfort, electric power and energy,
+// thermal energy, and binary device states.
+const (
+	Temperature  Quantity = "temperature"
+	Humidity     Quantity = "humidity"
+	Illuminance  Quantity = "illuminance"
+	Occupancy    Quantity = "occupancy"
+	PowerActive  Quantity = "power.active"
+	EnergyActive Quantity = "energy.active"
+	FlowRate     Quantity = "flow.rate"
+	Pressure     Quantity = "pressure"
+	HeatPower    Quantity = "power.thermal"
+	HeatEnergy   Quantity = "energy.thermal"
+	SwitchState  Quantity = "state.switch"
+	ContactState Quantity = "state.contact"
+	Voltage      Quantity = "voltage"
+	Current      Quantity = "current"
+	Battery      Quantity = "battery"
+	CO2          Quantity = "co2"
+)
+
+// Unit identifies the unit of measure of a value.
+type Unit string
+
+// Units of the quantities above.
+const (
+	Celsius       Unit = "degC"
+	Fahrenheit    Unit = "degF"
+	Kelvin        Unit = "K"
+	Percent       Unit = "percent"
+	Lux           Unit = "lx"
+	Watt          Unit = "W"
+	Kilowatt      Unit = "kW"
+	WattHour      Unit = "Wh"
+	KilowattHour  Unit = "kWh"
+	Joule         Unit = "J"
+	LitrePerSec   Unit = "L/s"
+	CubicMPerHour Unit = "m3/h"
+	Pascal        Unit = "Pa"
+	Bar           Unit = "bar"
+	Volt          Unit = "V"
+	Ampere        Unit = "A"
+	PPM           Unit = "ppm"
+	Bool          Unit = "bool"
+	Unitless      Unit = ""
+)
+
+// Errors reported by validation and conversion.
+var (
+	ErrNoConversion = errors.New("dataformat: no unit conversion defined")
+	ErrInvalid      = errors.New("dataformat: invalid document")
+)
+
+// conversion holds a linear unit conversion y = Scale*x + Offset.
+type conversion struct {
+	scale, offset float64
+}
+
+// conversions maps (from, to) unit pairs to linear transforms. Only
+// same-dimension pairs appear; asking for anything else is ErrNoConversion.
+var conversions = map[[2]Unit]conversion{
+	{Celsius, Kelvin}:            {1, 273.15},
+	{Kelvin, Celsius}:            {1, -273.15},
+	{Celsius, Fahrenheit}:        {9.0 / 5.0, 32},
+	{Fahrenheit, Celsius}:        {5.0 / 9.0, -32 * 5.0 / 9.0},
+	{Kelvin, Fahrenheit}:         {9.0 / 5.0, 32 - 273.15*9.0/5.0},
+	{Fahrenheit, Kelvin}:         {5.0 / 9.0, 273.15 - 32*5.0/9.0},
+	{Kilowatt, Watt}:             {1000, 0},
+	{Watt, Kilowatt}:             {0.001, 0},
+	{KilowattHour, WattHour}:     {1000, 0},
+	{WattHour, KilowattHour}:     {0.001, 0},
+	{WattHour, Joule}:            {3600, 0},
+	{Joule, WattHour}:            {1.0 / 3600, 0},
+	{KilowattHour, Joule}:        {3.6e6, 0},
+	{Joule, KilowattHour}:        {1.0 / 3.6e6, 0},
+	{Bar, Pascal}:                {1e5, 0},
+	{Pascal, Bar}:                {1e-5, 0},
+	{CubicMPerHour, LitrePerSec}: {1000.0 / 3600, 0},
+	{LitrePerSec, CubicMPerHour}: {3600.0 / 1000, 0},
+}
+
+// Convert converts value from one unit to another. Converting a unit to
+// itself is the identity. Pairs without a defined conversion return
+// ErrNoConversion.
+func Convert(value float64, from, to Unit) (float64, error) {
+	if from == to {
+		return value, nil
+	}
+	c, ok := conversions[[2]Unit{from, to}]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q -> %q", ErrNoConversion, from, to)
+	}
+	return value*c.scale + c.offset, nil
+}
+
+// CanonicalUnit returns the unit measurements of a quantity are normalized
+// to by the integration engine, and whether the quantity is known.
+func CanonicalUnit(q Quantity) (Unit, bool) {
+	u, ok := canonicalUnits[q]
+	return u, ok
+}
+
+var canonicalUnits = map[Quantity]Unit{
+	Temperature:  Celsius,
+	Humidity:     Percent,
+	Illuminance:  Lux,
+	Occupancy:    Bool,
+	PowerActive:  Watt,
+	EnergyActive: WattHour,
+	FlowRate:     LitrePerSec,
+	Pressure:     Pascal,
+	HeatPower:    Watt,
+	HeatEnergy:   WattHour,
+	SwitchState:  Bool,
+	ContactState: Bool,
+	Voltage:      Volt,
+	Current:      Ampere,
+	Battery:      Percent,
+	CO2:          PPM,
+}
+
+// Location is a WGS-84 georeference, optionally with altitude in metres.
+type Location struct {
+	Latitude  float64 `json:"lat" xml:"lat,attr"`
+	Longitude float64 `json:"lon" xml:"lon,attr"`
+	Altitude  float64 `json:"alt,omitempty" xml:"alt,attr,omitempty"`
+}
+
+// Measurement is a single sensor observation in the common format.
+type Measurement struct {
+	// Source is the URI of the proxy that produced the document.
+	Source string `json:"source" xml:"source,attr"`
+	// Device is the infrastructure URI of the originating device
+	// (for example "urn:district:turin/building:b01/device:t-12").
+	Device string `json:"device" xml:"device,attr"`
+	// Protocol names the native technology the sample was read with
+	// ("ieee802.15.4", "zigbee", "enocean", "opc-ua", ...).
+	Protocol string `json:"protocol,omitempty" xml:"protocol,attr,omitempty"`
+	// Quantity and Unit qualify Value.
+	Quantity Quantity `json:"quantity" xml:"quantity,attr"`
+	Unit     Unit     `json:"unit" xml:"unit,attr"`
+	Value    float64  `json:"value" xml:"value"`
+	// Timestamp is when the sample was taken, UTC.
+	Timestamp time.Time `json:"timestamp" xml:"timestamp"`
+	// Location georeferences the sample when known.
+	Location *Location `json:"location,omitempty" xml:"location,omitempty"`
+	// Tags carries source-specific annotations that survive translation.
+	Tags map[string]string `json:"tags,omitempty" xml:"-"`
+}
+
+// Validate reports whether the measurement is well formed.
+func (m *Measurement) Validate() error {
+	switch {
+	case m.Device == "":
+		return fmt.Errorf("%w: measurement without device URI", ErrInvalid)
+	case m.Quantity == "":
+		return fmt.Errorf("%w: measurement without quantity", ErrInvalid)
+	case m.Timestamp.IsZero():
+		return fmt.Errorf("%w: measurement without timestamp", ErrInvalid)
+	}
+	return nil
+}
+
+// Normalize converts the measurement value to the canonical unit of its
+// quantity, in place. Quantities with no canonical unit are left untouched.
+func (m *Measurement) Normalize() error {
+	canon, ok := CanonicalUnit(m.Quantity)
+	if !ok || m.Unit == canon {
+		return nil
+	}
+	v, err := Convert(m.Value, m.Unit, canon)
+	if err != nil {
+		return err
+	}
+	m.Value = v
+	m.Unit = canon
+	return nil
+}
+
+// EntityKind classifies entities described by an Entity document.
+type EntityKind string
+
+// Entity kinds in the district ontology vocabulary.
+const (
+	EntityDistrict EntityKind = "district"
+	EntityBuilding EntityKind = "building"
+	EntityNetwork  EntityKind = "network"
+	EntityDevice   EntityKind = "device"
+	EntitySpace    EntityKind = "space"
+	EntityElement  EntityKind = "element"
+	EntityNode     EntityKind = "node"
+	EntityEdge     EntityKind = "edge"
+)
+
+// Property is one named, typed property of an entity. Values are kept as
+// strings in transit; Type records the logical type for consumers.
+type Property struct {
+	Name  string `json:"name" xml:"name,attr"`
+	Value string `json:"value" xml:"value,attr"`
+	Type  string `json:"type,omitempty" xml:"type,attr,omitempty"`
+}
+
+// Entity is the common-format description of a district entity: a
+// building as exported from a BIM, a network node from a SIM, a
+// georeferenced footprint from a GIS, or a device.
+type Entity struct {
+	URI        string     `json:"uri" xml:"uri,attr"`
+	Kind       EntityKind `json:"kind" xml:"kind,attr"`
+	Name       string     `json:"name,omitempty" xml:"name,attr,omitempty"`
+	Source     string     `json:"source,omitempty" xml:"source,attr,omitempty"`
+	Location   *Location  `json:"location,omitempty" xml:"location,omitempty"`
+	Properties []Property `json:"properties,omitempty" xml:"property,omitempty"`
+	Children   []Entity   `json:"children,omitempty" xml:"child,omitempty"`
+}
+
+// Validate reports whether the entity is well formed.
+func (e *Entity) Validate() error {
+	if e.URI == "" {
+		return fmt.Errorf("%w: entity without URI", ErrInvalid)
+	}
+	if e.Kind == "" {
+		return fmt.Errorf("%w: entity %q without kind", ErrInvalid, e.URI)
+	}
+	for i := range e.Children {
+		if err := e.Children[i].Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Prop returns the named property value and whether it exists.
+func (e *Entity) Prop(name string) (string, bool) {
+	for _, p := range e.Properties {
+		if p.Name == name {
+			return p.Value, true
+		}
+	}
+	return "", false
+}
+
+// SetProp sets a property, replacing any previous value with the name.
+func (e *Entity) SetProp(name, value, typ string) {
+	for i := range e.Properties {
+		if e.Properties[i].Name == name {
+			e.Properties[i].Value = value
+			e.Properties[i].Type = typ
+			return
+		}
+	}
+	e.Properties = append(e.Properties, Property{Name: name, Value: value, Type: typ})
+}
+
+// DeviceInfo describes a device behind a device-proxy: its identity, its
+// native protocol, and the quantities it can report or accept.
+type DeviceInfo struct {
+	URI       string     `json:"uri" xml:"uri,attr"`
+	Name      string     `json:"name,omitempty" xml:"name,attr,omitempty"`
+	Protocol  string     `json:"protocol" xml:"protocol,attr"`
+	Model     string     `json:"model,omitempty" xml:"model,attr,omitempty"`
+	Senses    []Quantity `json:"senses,omitempty" xml:"senses>quantity,omitempty"`
+	Actuates  []Quantity `json:"actuates,omitempty" xml:"actuates>quantity,omitempty"`
+	Location  *Location  `json:"location,omitempty" xml:"location,omitempty"`
+	ProxyURI  string     `json:"proxyUri,omitempty" xml:"proxyUri,attr,omitempty"`
+	BatteryPC float64    `json:"batteryPercent,omitempty" xml:"battery,attr,omitempty"`
+}
+
+// ControlResult reports the outcome of an actuator command issued through
+// a device-proxy web service.
+type ControlResult struct {
+	Device   string    `json:"device" xml:"device,attr"`
+	Quantity Quantity  `json:"quantity" xml:"quantity,attr"`
+	Value    float64   `json:"value" xml:"value"`
+	Applied  bool      `json:"applied" xml:"applied"`
+	Error    string    `json:"error,omitempty" xml:"error,omitempty"`
+	At       time.Time `json:"at" xml:"at"`
+}

@@ -1,0 +1,370 @@
+package dataformat
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleMeasurement() Measurement {
+	return Measurement{
+		Source:    "http://127.0.0.1:9001/",
+		Device:    "urn:district:turin/building:b01/device:t-12",
+		Protocol:  "zigbee",
+		Quantity:  Temperature,
+		Unit:      Celsius,
+		Value:     21.5,
+		Timestamp: time.Date(2015, 3, 9, 10, 0, 0, 0, time.UTC),
+		Location:  &Location{Latitude: 45.0628, Longitude: 7.6624},
+		Tags:      map[string]string{"room": "DAUIN-21"},
+	}
+}
+
+func TestConvertIdentity(t *testing.T) {
+	for _, u := range []Unit{Celsius, Watt, Percent, Unitless} {
+		got, err := Convert(42, u, u)
+		if err != nil {
+			t.Fatalf("Convert identity %q: %v", u, err)
+		}
+		if got != 42 {
+			t.Errorf("Convert(42, %q, %q) = %v, want 42", u, u, got)
+		}
+	}
+}
+
+func TestConvertKnownPairs(t *testing.T) {
+	tests := []struct {
+		from, to Unit
+		in, want float64
+	}{
+		{Celsius, Kelvin, 0, 273.15},
+		{Celsius, Fahrenheit, 100, 212},
+		{Fahrenheit, Celsius, 32, 0},
+		{Kelvin, Celsius, 273.15, 0},
+		{Kilowatt, Watt, 1.5, 1500},
+		{WattHour, Joule, 1, 3600},
+		{KilowattHour, Joule, 1, 3.6e6},
+		{Bar, Pascal, 2, 2e5},
+		{CubicMPerHour, LitrePerSec, 3.6, 1},
+	}
+	for _, tc := range tests {
+		got, err := Convert(tc.in, tc.from, tc.to)
+		if err != nil {
+			t.Fatalf("Convert(%v, %q, %q): %v", tc.in, tc.from, tc.to, err)
+		}
+		if math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Convert(%v, %q, %q) = %v, want %v", tc.in, tc.from, tc.to, got, tc.want)
+		}
+	}
+}
+
+func TestConvertUnknownPair(t *testing.T) {
+	if _, err := Convert(1, Celsius, Watt); err == nil {
+		t.Fatal("Convert(degC -> W) succeeded, want error")
+	}
+}
+
+// Every conversion pair that has an inverse must round-trip.
+func TestConvertRoundTripProperty(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+			return true // out of physical range; skip
+		}
+		for pair := range conversions {
+			there, err := Convert(v, pair[0], pair[1])
+			if err != nil {
+				return false
+			}
+			back, err := Convert(there, pair[1], pair[0])
+			if err != nil {
+				// inverse not defined for this pair; acceptable only if absent
+				if _, ok := conversions[[2]Unit{pair[1], pair[0]}]; ok {
+					return false
+				}
+				continue
+			}
+			if math.Abs(back-v) > 1e-6*(1+math.Abs(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEveryConversionHasInverse(t *testing.T) {
+	for pair := range conversions {
+		if _, ok := conversions[[2]Unit{pair[1], pair[0]}]; !ok {
+			t.Errorf("conversion %q -> %q has no inverse", pair[0], pair[1])
+		}
+	}
+}
+
+func TestCanonicalUnitsConvertible(t *testing.T) {
+	// Any unit that appears in a conversion pair with a canonical unit
+	// must convert to it; the canonical unit itself must be known.
+	for q, u := range canonicalUnits {
+		if u == "" && q != "" {
+			continue
+		}
+		got, ok := CanonicalUnit(q)
+		if !ok || got != u {
+			t.Errorf("CanonicalUnit(%q) = %q, %v", q, got, ok)
+		}
+	}
+}
+
+func TestMeasurementValidate(t *testing.T) {
+	m := sampleMeasurement()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("valid measurement rejected: %v", err)
+	}
+	bad := m
+	bad.Device = ""
+	if err := bad.Validate(); err == nil {
+		t.Error("measurement without device accepted")
+	}
+	bad = m
+	bad.Quantity = ""
+	if err := bad.Validate(); err == nil {
+		t.Error("measurement without quantity accepted")
+	}
+	bad = m
+	bad.Timestamp = time.Time{}
+	if err := bad.Validate(); err == nil {
+		t.Error("measurement without timestamp accepted")
+	}
+}
+
+func TestMeasurementNormalize(t *testing.T) {
+	m := sampleMeasurement()
+	m.Unit = Fahrenheit
+	m.Value = 212
+	if err := m.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Unit != Celsius || math.Abs(m.Value-100) > 1e-9 {
+		t.Errorf("Normalize = %v %q, want 100 degC", m.Value, m.Unit)
+	}
+	// Already canonical: no-op.
+	before := m.Value
+	if err := m.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Value != before {
+		t.Error("Normalize changed an already-canonical value")
+	}
+}
+
+func TestMeasurementNormalizeUnknownQuantity(t *testing.T) {
+	m := sampleMeasurement()
+	m.Quantity = "exotic"
+	m.Unit = "furlong"
+	if err := m.Normalize(); err != nil {
+		t.Fatalf("Normalize of unknown quantity should be a no-op, got %v", err)
+	}
+	if m.Unit != "furlong" {
+		t.Error("Normalize altered unknown quantity")
+	}
+}
+
+func TestEntityPropRoundTrip(t *testing.T) {
+	e := Entity{URI: "urn:district:turin", Kind: EntityDistrict}
+	if _, ok := e.Prop("name"); ok {
+		t.Fatal("Prop on empty entity returned ok")
+	}
+	e.SetProp("name", "Torino", "string")
+	e.SetProp("area", "130.0", "float")
+	if v, ok := e.Prop("name"); !ok || v != "Torino" {
+		t.Errorf("Prop(name) = %q, %v", v, ok)
+	}
+	e.SetProp("name", "Turin", "string")
+	if v, _ := e.Prop("name"); v != "Turin" {
+		t.Errorf("SetProp did not replace: %q", v)
+	}
+	if len(e.Properties) != 2 {
+		t.Errorf("len(Properties) = %d, want 2", len(e.Properties))
+	}
+}
+
+func TestEntityValidateRecursive(t *testing.T) {
+	e := Entity{
+		URI:  "urn:district:turin",
+		Kind: EntityDistrict,
+		Children: []Entity{
+			{URI: "urn:district:turin/building:b01", Kind: EntityBuilding},
+			{URI: "", Kind: EntityBuilding},
+		},
+	}
+	if err := e.Validate(); err == nil {
+		t.Fatal("entity with invalid child accepted")
+	}
+}
+
+func TestDocumentRoundTripJSONAndXML(t *testing.T) {
+	doc := NewMeasurementsDoc([]Measurement{sampleMeasurement(), sampleMeasurement()})
+	for _, enc := range []Encoding{JSON, XML} {
+		b, err := doc.Encode(enc)
+		if err != nil {
+			t.Fatalf("%s encode: %v", enc, err)
+		}
+		got, err := Decode(b, enc)
+		if err != nil {
+			t.Fatalf("%s decode: %v", enc, err)
+		}
+		if got.Kind != KindMeasurements || len(got.Measurements) != 2 {
+			t.Fatalf("%s round trip lost payload: %+v", enc, got)
+		}
+		m := got.Measurements[0]
+		if m.Device != doc.Measurements[0].Device ||
+			m.Quantity != doc.Measurements[0].Quantity ||
+			m.Value != doc.Measurements[0].Value ||
+			!m.Timestamp.Equal(doc.Measurements[0].Timestamp) {
+			t.Errorf("%s round trip mutated measurement: %+v", enc, m)
+		}
+	}
+}
+
+func TestEntityDocRoundTrip(t *testing.T) {
+	e := Entity{
+		URI: "urn:district:turin", Kind: EntityDistrict, Name: "Torino",
+		Location:   &Location{Latitude: 45.07, Longitude: 7.68},
+		Properties: []Property{{Name: "gis", Value: "http://gis/", Type: "uri"}},
+		Children: []Entity{{
+			URI: "urn:district:turin/building:b01", Kind: EntityBuilding,
+			Properties: []Property{{Name: "bim", Value: "http://bim1/", Type: "uri"}},
+		}},
+	}
+	for _, enc := range []Encoding{JSON, XML} {
+		b, err := NewEntityDoc(e).Encode(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(b, enc)
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", enc, err, b)
+		}
+		if got.Entity == nil || len(got.Entity.Children) != 1 {
+			t.Fatalf("%s round trip lost children: %+v", enc, got.Entity)
+		}
+		if v, ok := got.Entity.Children[0].Prop("bim"); !ok || v != "http://bim1/" {
+			t.Errorf("%s round trip lost child property", enc)
+		}
+	}
+}
+
+func TestDocumentValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  Document
+		ok   bool
+	}{
+		{"no version", Document{Kind: KindMeasurement, Measurement: &Measurement{}}, false},
+		{"unknown kind", Document{Version: Version, Kind: "bogus"}, false},
+		{"kind without payload", Document{Version: Version, Kind: KindMeasurement}, false},
+		{"entity without payload", Document{Version: Version, Kind: KindEntity}, false},
+		{"device without payload", Document{Version: Version, Kind: KindDeviceInfo}, false},
+		{"control without payload", Document{Version: Version, Kind: KindControlResult}, false},
+		{"empty measurements ok", Document{Version: Version, Kind: KindMeasurements}, true},
+		{"empty entity set ok", Document{Version: Version, Kind: KindEntitySet}, true},
+	}
+	for _, tc := range cases {
+		err := tc.doc.Validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestDeviceInfoAndControlDocs(t *testing.T) {
+	d := DeviceInfo{
+		URI: "urn:d/device:x", Protocol: "enocean", Model: "STM 330",
+		Senses: []Quantity{Temperature}, BatteryPC: 88,
+	}
+	b, err := NewDeviceInfoDoc(d).Encode(JSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b, JSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Device.Model != "STM 330" || got.Device.Senses[0] != Temperature {
+		t.Errorf("device round trip: %+v", got.Device)
+	}
+
+	c := ControlResult{Device: "urn:d/device:sw", Quantity: SwitchState, Value: 1, Applied: true, At: time.Now().UTC()}
+	b, err = NewControlResultDoc(c).Encode(XML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = Decode(b, XML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Control.Applied || got.Control.Device != c.Device {
+		t.Errorf("control round trip: %+v", got.Control)
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode([]byte("{"), JSON); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, err := Decode([]byte("<document"), XML); err == nil {
+		t.Error("truncated XML accepted")
+	}
+}
+
+func TestSniff(t *testing.T) {
+	if got := Sniff([]byte("  \n\t<document/>")); got != XML {
+		t.Errorf("Sniff XML = %q", got)
+	}
+	if got := Sniff([]byte(" {\"version\":\"1.0\"}")); got != JSON {
+		t.Errorf("Sniff JSON = %q", got)
+	}
+	if got := Sniff(nil); got != JSON {
+		t.Errorf("Sniff(nil) = %q, want json default", got)
+	}
+}
+
+func TestParseEncodingAndContentType(t *testing.T) {
+	if ParseEncoding("application/xml") != XML || ParseEncoding("text/xml") != XML || ParseEncoding("xml") != XML {
+		t.Error("ParseEncoding xml variants")
+	}
+	if ParseEncoding("application/json") != JSON || ParseEncoding("") != JSON || ParseEncoding("weird") != JSON {
+		t.Error("ParseEncoding json default")
+	}
+	if !strings.Contains(JSON.ContentType(), "json") || !strings.Contains(XML.ContentType(), "xml") {
+		t.Error("ContentType mismatch")
+	}
+}
+
+// Property: JSON round trip preserves arbitrary measurement values exactly
+// (encoding/json is lossless for float64).
+func TestMeasurementJSONRoundTripProperty(t *testing.T) {
+	f := func(value float64, devSuffix uint16) bool {
+		if math.IsNaN(value) || math.IsInf(value, 0) {
+			return true // JSON cannot carry non-finite floats; proxies never emit them
+		}
+		m := sampleMeasurement()
+		m.Value = value
+		m.Device = "urn:d/device:" + string(rune('a'+devSuffix%26))
+		b, err := NewMeasurementDoc(m).Encode(JSON)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(b, JSON)
+		if err != nil {
+			return false
+		}
+		return got.Measurement.Value == value && got.Measurement.Device == m.Device
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,283 @@
+package dbproxy
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/bim"
+	"repro/internal/dataformat"
+	"repro/internal/gis"
+	"repro/internal/ontology"
+	"repro/internal/proxyhttp"
+	"repro/internal/registry"
+	"repro/internal/sim"
+)
+
+// common carries the plumbing all Database-proxies share.
+type common struct {
+	srv proxyhttp.Server
+	reg *proxyhttp.Registrar
+}
+
+// run starts the web service and, when masterURL is set, registration.
+func (c *common) run(addr, masterURL string, handler http.Handler, r registry.Registration) (string, error) {
+	bound, err := c.srv.Serve(addr, handler)
+	if err != nil {
+		return "", err
+	}
+	if masterURL != "" {
+		r.BaseURL = "http://" + bound + "/"
+		c.reg = &proxyhttp.Registrar{MasterURL: masterURL, Registration: r}
+		if err := c.reg.Start(); err != nil {
+			c.srv.Close()
+			return "", err
+		}
+	}
+	return bound, nil
+}
+
+// close stops registration and the web service.
+func (c *common) close() {
+	if c.reg != nil {
+		c.reg.Stop()
+	}
+	c.srv.Close()
+}
+
+// BIMProxy serves one building's information model.
+type BIMProxy struct {
+	common
+	district string
+	mu       sync.RWMutex
+	building *bim.Building
+}
+
+// NewBIMProxy wraps a decoded building model.
+func NewBIMProxy(district string, b *bim.Building) (*BIMProxy, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return &BIMProxy{district: district, building: b}, nil
+}
+
+// EntityURI returns the building's ontology URI.
+func (p *BIMProxy) EntityURI() string {
+	return ontology.EntityURI(p.district, ontology.KindBuilding, p.building.ID)
+}
+
+// Handler returns the proxy's web interface:
+//
+//	GET /model     the translated building (entity document, JSON/XML)
+//	GET /devices   device URIs placed in the building
+//	GET /healthz
+func (p *BIMProxy) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/model", func(w http.ResponseWriter, r *http.Request) {
+		p.mu.RLock()
+		e := BuildingEntity(p.building, p.district)
+		p.mu.RUnlock()
+		proxyhttp.WriteDoc(w, r, dataformat.NewEntityDoc(e))
+	})
+	mux.HandleFunc("/devices", func(w http.ResponseWriter, r *http.Request) {
+		p.mu.RLock()
+		uris := p.building.DeviceURIs()
+		p.mu.RUnlock()
+		entities := make([]dataformat.Entity, len(uris))
+		for i, uri := range uris {
+			entities[i] = dataformat.Entity{URI: uri, Kind: dataformat.EntityDevice}
+		}
+		proxyhttp.WriteDoc(w, r, dataformat.NewEntitySetDoc(entities))
+	})
+	mux.HandleFunc("/healthz", healthz)
+	return mux
+}
+
+// Run starts the proxy and registers with the master when given.
+func (p *BIMProxy) Run(addr, masterURL string) (string, error) {
+	return p.run(addr, masterURL, p.Handler(), registry.Registration{
+		ID:        "bim:" + p.building.ID,
+		Kind:      registry.KindBIM,
+		EntityURI: p.EntityURI(),
+	})
+}
+
+// Close stops the proxy.
+func (p *BIMProxy) Close() { p.close() }
+
+// SIMProxy serves one distribution network's model.
+type SIMProxy struct {
+	common
+	district string
+	mu       sync.RWMutex
+	network  *sim.Network
+}
+
+// NewSIMProxy wraps a decoded network model.
+func NewSIMProxy(district string, n *sim.Network) (*SIMProxy, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return &SIMProxy{district: district, network: n}, nil
+}
+
+// EntityURI returns the network's ontology URI.
+func (p *SIMProxy) EntityURI() string {
+	return ontology.EntityURI(p.district, ontology.KindNetwork, p.network.ID)
+}
+
+// SetDemand updates a substation demand (used by scenario drivers).
+func (p *SIMProxy) SetDemand(nodeID string, kw float64) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.network.SetDemand(nodeID, kw)
+}
+
+// Handler returns the proxy's web interface:
+//
+//	GET /model      the translated network with solved flows
+//	GET /solution   the raw steady-state solution (JSON)
+//	GET /healthz
+func (p *SIMProxy) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/model", func(w http.ResponseWriter, r *http.Request) {
+		p.mu.RLock()
+		e, err := NetworkEntity(p.network, p.district)
+		p.mu.RUnlock()
+		if err != nil {
+			proxyhttp.Error(w, http.StatusInternalServerError, err)
+			return
+		}
+		proxyhttp.WriteDoc(w, r, dataformat.NewEntityDoc(e))
+	})
+	mux.HandleFunc("/solution", func(w http.ResponseWriter, r *http.Request) {
+		p.mu.RLock()
+		sol, err := p.network.Solve()
+		p.mu.RUnlock()
+		if err != nil {
+			proxyhttp.Error(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, sol)
+	})
+	mux.HandleFunc("/healthz", healthz)
+	return mux
+}
+
+// Run starts the proxy and registers with the master when given.
+func (p *SIMProxy) Run(addr, masterURL string) (string, error) {
+	return p.run(addr, masterURL, p.Handler(), registry.Registration{
+		ID:        "sim:" + p.network.ID,
+		Kind:      registry.KindSIM,
+		EntityURI: p.EntityURI(),
+	})
+}
+
+// Close stops the proxy.
+func (p *SIMProxy) Close() { p.close() }
+
+// GISProxy serves a district's geographic database.
+type GISProxy struct {
+	common
+	district string
+	store    *gis.Store
+}
+
+// NewGISProxy wraps a GIS store.
+func NewGISProxy(district string, store *gis.Store) *GISProxy {
+	return &GISProxy{district: district, store: store}
+}
+
+// EntityURI returns the district URI the GIS serves.
+func (p *GISProxy) EntityURI() string { return ontology.DistrictURI(p.district) }
+
+// Store exposes the underlying store (simulation wiring).
+func (p *GISProxy) Store() *gis.Store { return p.store }
+
+// Handler returns the proxy's web interface:
+//
+//	GET /features?minLat=&minLon=&maxLat=&maxLon=   bbox query
+//	GET /features?lat=&lon=&radius=                  radius query
+//	GET /feature?id=...
+//	GET /healthz
+func (p *GISProxy) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/features", p.handleFeatures)
+	mux.HandleFunc("/feature", p.handleFeature)
+	mux.HandleFunc("/healthz", healthz)
+	return mux
+}
+
+func (p *GISProxy) handleFeatures(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var feats []gis.Feature
+	var err error
+	switch {
+	case q.Get("radius") != "":
+		lat, err1 := strconv.ParseFloat(q.Get("lat"), 64)
+		lon, err2 := strconv.ParseFloat(q.Get("lon"), 64)
+		radius, err3 := strconv.ParseFloat(q.Get("radius"), 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			proxyhttp.Error(w, http.StatusBadRequest, errors.New("radius query needs lat, lon, radius"))
+			return
+		}
+		feats, err = p.store.QueryRadius(gis.Point{Lat: lat, Lon: lon}, radius)
+	case q.Get("minLat") != "":
+		var box gis.BBox
+		box.MinLat, _ = strconv.ParseFloat(q.Get("minLat"), 64)
+		box.MinLon, _ = strconv.ParseFloat(q.Get("minLon"), 64)
+		box.MaxLat, _ = strconv.ParseFloat(q.Get("maxLat"), 64)
+		box.MaxLon, _ = strconv.ParseFloat(q.Get("maxLon"), 64)
+		feats, err = p.store.QueryBBox(box)
+	default:
+		proxyhttp.Error(w, http.StatusBadRequest, errors.New("need a bbox or radius query"))
+		return
+	}
+	if err != nil {
+		proxyhttp.Error(w, http.StatusBadRequest, err)
+		return
+	}
+	entities := make([]dataformat.Entity, len(feats))
+	for i := range feats {
+		entities[i] = FeatureEntity(&feats[i])
+	}
+	proxyhttp.WriteDoc(w, r, dataformat.NewEntitySetDoc(entities))
+}
+
+func (p *GISProxy) handleFeature(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		proxyhttp.Error(w, http.StatusBadRequest, errors.New("missing id parameter"))
+		return
+	}
+	f, err := p.store.Get(id)
+	if err != nil {
+		proxyhttp.Error(w, http.StatusNotFound, err)
+		return
+	}
+	proxyhttp.WriteDoc(w, r, dataformat.NewEntityDoc(FeatureEntity(&f)))
+}
+
+// Run starts the proxy and registers with the master when given.
+func (p *GISProxy) Run(addr, masterURL string) (string, error) {
+	return p.run(addr, masterURL, p.Handler(), registry.Registration{
+		ID:        "gis:" + p.district,
+		Kind:      registry.KindGIS,
+		EntityURI: p.EntityURI(),
+	})
+}
+
+// Close stops the proxy.
+func (p *GISProxy) Close() { p.close() }
+
+func healthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "%s", mustJSON(v))
+}

@@ -1,0 +1,11 @@
+package dbproxy
+
+import "encoding/json"
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return []byte("{}")
+	}
+	return b
+}

@@ -1,0 +1,164 @@
+// Package dbproxy implements the Database-proxy of the paper: one proxy
+// per heterogeneous database (BIM, SIM, GIS), each offering "a Web
+// Service interface which allows data retrieval and translation from its
+// database to an open standard, such as JSON or XML" (§II). The
+// databases are never merged; each stays behind its own proxy and the
+// end-user application integrates the translated views.
+package dbproxy
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/bim"
+	"repro/internal/dataformat"
+	"repro/internal/gis"
+	"repro/internal/ontology"
+	"repro/internal/sim"
+)
+
+// BuildingEntity translates a BIM building into the common format: the
+// building as the root entity, storeys and spaces as children, envelope
+// elements as space properties and devices as leaf references.
+func BuildingEntity(b *bim.Building, district string) dataformat.Entity {
+	uri := ontology.EntityURI(district, ontology.KindBuilding, b.ID)
+	e := dataformat.Entity{
+		URI:  uri,
+		Kind: dataformat.EntityBuilding,
+		Name: b.Name,
+		Location: &dataformat.Location{
+			Latitude: b.Lat, Longitude: b.Lon,
+		},
+	}
+	e.SetProp("address", b.Address, "string")
+	e.SetProp("yearBuilt", strconv.Itoa(b.YearBuilt), "int")
+	e.SetProp("floorArea.m2", formatFloat(b.FloorArea()), "float")
+	e.SetProp("heatedVolume.m3", formatFloat(b.HeatedVolume()), "float")
+	e.SetProp("envelopeUA.WperK", formatFloat(b.EnvelopeUA()), "float")
+
+	for _, st := range b.Storeys {
+		se := dataformat.Entity{
+			URI:  uri + "/storey:" + st.ID,
+			Kind: dataformat.EntitySpace,
+			Name: st.Name,
+		}
+		se.SetProp("elevation.m", formatFloat(st.Elevation), "float")
+		se.SetProp("height.m", formatFloat(st.Height), "float")
+		for _, sp := range st.Spaces {
+			pe := dataformat.Entity{
+				URI:  uri + "/space:" + sp.ID,
+				Kind: dataformat.EntitySpace,
+				Name: sp.Name,
+			}
+			pe.SetProp("usage", sp.Usage, "string")
+			pe.SetProp("area.m2", formatFloat(sp.Area), "float")
+			var ua float64
+			for _, el := range sp.Elements {
+				ua += el.Area * el.UValue
+			}
+			pe.SetProp("envelopeUA.WperK", formatFloat(ua), "float")
+			for _, d := range sp.Devices {
+				pe.Children = append(pe.Children, dataformat.Entity{
+					URI: d, Kind: dataformat.EntityDevice,
+				})
+			}
+			se.Children = append(se.Children, pe)
+		}
+		e.Children = append(e.Children, se)
+	}
+	return e
+}
+
+// NetworkEntity translates a SIM network into the common format with
+// nodes and edges as children, annotated with the solved flows.
+func NetworkEntity(n *sim.Network, district string) (dataformat.Entity, error) {
+	uri := ontology.EntityURI(district, ontology.KindNetwork, n.ID)
+	e := dataformat.Entity{
+		URI:  uri,
+		Kind: dataformat.EntityNetwork,
+		Name: n.Name,
+	}
+	e.SetProp("kind", string(n.Kind), "string")
+	e.SetProp("demand.kW", formatFloat(n.TotalDemandKW()), "float")
+	sol, err := n.Solve()
+	if err != nil {
+		return dataformat.Entity{}, fmt.Errorf("dbproxy: solving network %s: %w", n.ID, err)
+	}
+	e.SetProp("plantOutput.kW", formatFloat(sol.PlantOutputKW), "float")
+	e.SetProp("loss.kW", formatFloat(sol.LossKW), "float")
+	e.SetProp("efficiency", formatFloat(sol.Efficiency()), "float")
+
+	flowOf := make(map[string]sim.EdgeFlow, len(sol.Flows))
+	for _, f := range sol.Flows {
+		flowOf[f.EdgeID] = f
+	}
+	for _, node := range n.Nodes {
+		ne := dataformat.Entity{
+			URI:  uri + "/node:" + node.ID,
+			Kind: dataformat.EntityNode,
+			Name: node.Name,
+			Location: &dataformat.Location{
+				Latitude: node.Lat, Longitude: node.Lon,
+			},
+		}
+		ne.SetProp("role", string(node.Kind), "string")
+		if node.Kind == sim.NodeSubstation {
+			ne.SetProp("demand.kW", formatFloat(node.DemandKW), "float")
+			if node.Building != "" {
+				ne.SetProp("servesBuilding", node.Building, "uri")
+			}
+		}
+		e.Children = append(e.Children, ne)
+	}
+	for _, edge := range n.Edges {
+		ee := dataformat.Entity{
+			URI:  uri + "/edge:" + edge.ID,
+			Kind: dataformat.EntityEdge,
+			Name: edge.ID,
+		}
+		ee.SetProp("parent", edge.Parent, "string")
+		ee.SetProp("child", edge.Child, "string")
+		ee.SetProp("length.m", formatFloat(edge.LengthM), "float")
+		if f, ok := flowOf[edge.ID]; ok {
+			ee.SetProp("flow.kW", formatFloat(f.FlowKW), "float")
+			ee.SetProp("loss.kW", formatFloat(f.LossKW), "float")
+		}
+		e.Children = append(e.Children, ee)
+	}
+	return e, nil
+}
+
+// FeatureEntity translates a GIS feature into the common format.
+func FeatureEntity(f *gis.Feature) dataformat.Entity {
+	c := f.Centroid()
+	e := dataformat.Entity{
+		URI:      f.ID,
+		Kind:     entityKindOfFeature(f.Kind),
+		Name:     f.Name,
+		Location: &dataformat.Location{Latitude: c.Lat, Longitude: c.Lon},
+	}
+	b := f.Bounds()
+	e.SetProp("bounds", fmt.Sprintf("%g,%g,%g,%g", b.MinLat, b.MinLon, b.MaxLat, b.MaxLon), "bbox")
+	e.SetProp("vertices", strconv.Itoa(len(f.Footprint)), "int")
+	for k, v := range f.Attributes {
+		e.SetProp("attr."+k, v, "string")
+	}
+	return e
+}
+
+func entityKindOfFeature(k gis.FeatureKind) dataformat.EntityKind {
+	switch k {
+	case gis.FeatureBuilding:
+		return dataformat.EntityBuilding
+	case gis.FeatureNetwork:
+		return dataformat.EntityNetwork
+	case gis.FeatureDevice:
+		return dataformat.EntityDevice
+	default:
+		return dataformat.EntityKind("area")
+	}
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

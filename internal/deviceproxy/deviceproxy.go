@@ -1,0 +1,507 @@
+// Package deviceproxy implements the Device-proxy of Fig. 1(b) of the
+// paper, with its three layers:
+//
+//  1. the *dedicated layer* — a protocol-specific Driver that collects
+//     data from the device (and pushes actuation commands to it);
+//  2. the *local database* — a time-series buffer of collected samples;
+//  3. the *Web Service layer* — the REST interface for remote management,
+//     data access and actuator control, which also publishes every
+//     sample into the middleware network with a publish/subscribe
+//     approach and registers the proxy on the master node.
+package deviceproxy
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/dataformat"
+	"repro/internal/measuredb"
+	"repro/internal/middleware"
+	"repro/internal/proxyhttp"
+	"repro/internal/registry"
+	"repro/internal/tsdb"
+)
+
+// Reading is one sample the dedicated layer collected from the device.
+type Reading struct {
+	Quantity dataformat.Quantity
+	Value    float64
+	Unit     dataformat.Unit
+	// Battery is the device battery percentage; negative means unknown
+	// (mains-powered or energy-harvesting devices).
+	Battery float64
+	// At is the sample time; zero means "now".
+	At time.Time
+}
+
+// Driver is the dedicated layer: the protocol-specific adapter between
+// the proxy and one physical (here: simulated) device.
+type Driver interface {
+	// Poll collects the device's current readings.
+	Poll() ([]Reading, error)
+	// Actuate pushes a command to the device.
+	Actuate(q dataformat.Quantity, value float64) error
+	// Protocol names the device's native technology.
+	Protocol() string
+	// Close releases the driver's resources.
+	Close() error
+}
+
+// ErrNotActuator is returned by drivers for unsupported actuation.
+var ErrNotActuator = errors.New("deviceproxy: device has no actuator for quantity")
+
+// Publisher abstracts where the web-service layer publishes samples: an
+// in-process middleware bus or a networked node.
+type Publisher interface {
+	Publish(ev middleware.Event) error
+}
+
+// Options configure a device proxy.
+type Options struct {
+	// DeviceURI is the device's ontology URI (required).
+	DeviceURI string
+	// Name is the device's human-readable name.
+	Name string
+	// Driver is the dedicated layer (required).
+	Driver Driver
+	// Model describes the hardware.
+	Model string
+	// Senses and Actuates describe the device's capabilities for /info.
+	Senses   []dataformat.Quantity
+	Actuates []dataformat.Quantity
+	// Location georeferences the device.
+	Location *dataformat.Location
+	// PollEvery is the dedicated layer's sampling period (default 1s).
+	PollEvery time.Duration
+	// LocalDB overrides the middle layer store (default: bounded store).
+	LocalDB *tsdb.Store
+	// Publisher receives measurement events (nil disables publishing).
+	Publisher Publisher
+	// MasterURL, when set, registers the proxy with the master node.
+	MasterURL string
+	// ProxyID overrides the registration ID (default: derived from URI).
+	ProxyID string
+}
+
+// Proxy is a running device proxy.
+type Proxy struct {
+	opts  Options
+	store *tsdb.Store
+	srv   proxyhttp.Server
+	reg   *proxyhttp.Registrar
+
+	mu      sync.Mutex
+	battery float64
+	stopCh  chan struct{}
+	wg      sync.WaitGroup
+	started bool
+
+	stats struct {
+		sync.Mutex
+		polls     uint64
+		pollErrs  uint64
+		samples   uint64
+		published uint64
+		controls  uint64
+	}
+}
+
+// New creates a device proxy. Run starts its layers.
+func New(opts Options) (*Proxy, error) {
+	if opts.DeviceURI == "" {
+		return nil, errors.New("deviceproxy: missing DeviceURI")
+	}
+	if opts.Driver == nil {
+		return nil, errors.New("deviceproxy: missing Driver")
+	}
+	if opts.PollEvery <= 0 {
+		opts.PollEvery = time.Second
+	}
+	store := opts.LocalDB
+	if store == nil {
+		store = tsdb.New(tsdb.Options{MaxSamplesPerSeries: 8192})
+	}
+	return &Proxy{opts: opts, store: store, battery: -1, stopCh: make(chan struct{})}, nil
+}
+
+// LocalDB exposes the middle layer (tests, benchmarks).
+func (p *Proxy) LocalDB() *tsdb.Store { return p.store }
+
+// Run starts the web service on addr, the sampling loop, and (when a
+// master URL is configured) the registration. It returns the bound
+// web-service address.
+func (p *Proxy) Run(addr string) (string, error) {
+	bound, err := p.srv.Serve(addr, p.Handler())
+	if err != nil {
+		return "", err
+	}
+	if p.opts.MasterURL != "" {
+		id := p.opts.ProxyID
+		if id == "" {
+			id = "devproxy:" + p.opts.DeviceURI
+		}
+		p.reg = &proxyhttp.Registrar{
+			MasterURL: p.opts.MasterURL,
+			Registration: registry.Registration{
+				ID:        id,
+				Kind:      registry.KindDevice,
+				BaseURL:   "http://" + bound + "/",
+				EntityURI: p.opts.DeviceURI,
+				Protocol:  p.opts.Driver.Protocol(),
+			},
+		}
+		if err := p.reg.Start(); err != nil {
+			p.srv.Close()
+			return "", err
+		}
+	}
+	p.mu.Lock()
+	p.started = true
+	p.mu.Unlock()
+	p.wg.Add(1)
+	go p.sampleLoop()
+	return bound, nil
+}
+
+// sampleLoop is the dedicated layer's collection loop.
+func (p *Proxy) sampleLoop() {
+	defer p.wg.Done()
+	ticker := time.NewTicker(p.opts.PollEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			p.PollOnce()
+		case <-p.stopCh:
+			return
+		}
+	}
+}
+
+// PollOnce performs one collection cycle: poll the driver, buffer the
+// readings in the local database, publish them to the middleware. It is
+// exported so simulations and benchmarks can drive the proxy without
+// waiting on timers.
+func (p *Proxy) PollOnce() {
+	readings, err := p.opts.Driver.Poll()
+	p.stats.Lock()
+	p.stats.polls++
+	if err != nil {
+		p.stats.pollErrs++
+		p.stats.Unlock()
+		return
+	}
+	p.stats.Unlock()
+	if len(readings) == 0 {
+		return
+	}
+	now := time.Now().UTC()
+	var ms []dataformat.Measurement
+	for _, r := range readings {
+		at := r.At
+		if at.IsZero() {
+			at = now
+		}
+		if r.Battery >= 0 {
+			p.mu.Lock()
+			p.battery = r.Battery
+			p.mu.Unlock()
+		}
+		key := tsdb.SeriesKey{Device: p.opts.DeviceURI, Quantity: string(r.Quantity)}
+		if err := p.store.Append(key, tsdb.Sample{At: at, Value: r.Value}); err != nil {
+			continue
+		}
+		p.stats.Lock()
+		p.stats.samples++
+		p.stats.Unlock()
+		ms = append(ms, dataformat.Measurement{
+			Source:    "http://" + p.srv.Addr() + "/",
+			Device:    p.opts.DeviceURI,
+			Protocol:  p.opts.Driver.Protocol(),
+			Quantity:  r.Quantity,
+			Unit:      r.Unit,
+			Value:     r.Value,
+			Timestamp: at,
+			Location:  p.opts.Location,
+		})
+	}
+	p.publish(ms)
+}
+
+// publish pushes measurements into the middleware, one event per
+// measurement on its device/quantity topic.
+func (p *Proxy) publish(ms []dataformat.Measurement) {
+	if p.opts.Publisher == nil {
+		return
+	}
+	for i := range ms {
+		payload, err := dataformat.NewMeasurementDoc(ms[i]).Encode(dataformat.JSON)
+		if err != nil {
+			continue
+		}
+		ev := middleware.Event{
+			Topic:   measuredb.Topic(ms[i].Device, ms[i].Quantity),
+			Payload: payload,
+			Headers: map[string]string{"content-type": "application/json"},
+			At:      ms[i].Timestamp,
+		}
+		if err := p.opts.Publisher.Publish(ev); err == nil {
+			p.stats.Lock()
+			p.stats.published++
+			p.stats.Unlock()
+		}
+	}
+}
+
+// Stats are cumulative proxy counters.
+type Stats struct {
+	Polls     uint64 `json:"polls"`
+	PollErrs  uint64 `json:"pollErrors"`
+	Samples   uint64 `json:"samples"`
+	Published uint64 `json:"published"`
+	Controls  uint64 `json:"controls"`
+}
+
+// Stats returns a snapshot of the proxy counters.
+func (p *Proxy) Stats() Stats {
+	p.stats.Lock()
+	defer p.stats.Unlock()
+	return Stats{
+		Polls: p.stats.polls, PollErrs: p.stats.pollErrs,
+		Samples: p.stats.samples, Published: p.stats.published,
+		Controls: p.stats.controls,
+	}
+}
+
+// Close stops the proxy: sampling loop, registration, web service,
+// driver, local database.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	started := p.started
+	p.started = false
+	p.mu.Unlock()
+	if started {
+		close(p.stopCh)
+		p.wg.Wait()
+	}
+	if p.reg != nil {
+		p.reg.Stop()
+	}
+	p.srv.Close()
+	_ = p.opts.Driver.Close()
+	p.store.Close()
+}
+
+// Handler returns the web-service layer:
+//
+//	GET  /info                        device description document
+//	GET  /data?quantity=&from=&to=    buffered samples
+//	GET  /latest?quantity=            most recent sample
+//	POST /control                     control-result document back
+//	GET  /stats
+//	GET  /healthz
+func (p *Proxy) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/info", p.handleInfo)
+	mux.HandleFunc("/data", p.handleData)
+	mux.HandleFunc("/latest", p.handleLatest)
+	mux.HandleFunc("/aggregate", p.handleAggregate)
+	mux.HandleFunc("/control", p.handleControl)
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, p.Stats())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "%s", mustJSON(v))
+}
+
+func mustJSON(v any) []byte {
+	b, err := jsonMarshal(v)
+	if err != nil {
+		return []byte("{}")
+	}
+	return b
+}
+
+func (p *Proxy) handleInfo(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	battery := p.battery
+	p.mu.Unlock()
+	info := dataformat.DeviceInfo{
+		URI:      p.opts.DeviceURI,
+		Name:     p.opts.Name,
+		Protocol: p.opts.Driver.Protocol(),
+		Model:    p.opts.Model,
+		Senses:   p.opts.Senses,
+		Actuates: p.opts.Actuates,
+		Location: p.opts.Location,
+		ProxyURI: "http://" + p.srv.Addr() + "/",
+	}
+	if battery >= 0 {
+		info.BatteryPC = battery
+	}
+	proxyhttp.WriteDoc(w, r, dataformat.NewDeviceInfoDoc(info))
+}
+
+func (p *Proxy) handleData(w http.ResponseWriter, r *http.Request) {
+	quantity := r.URL.Query().Get("quantity")
+	if quantity == "" {
+		proxyhttp.Error(w, http.StatusBadRequest, errors.New("missing quantity parameter"))
+		return
+	}
+	var from, to time.Time
+	var err error
+	if s := r.URL.Query().Get("from"); s != "" {
+		if from, err = time.Parse(time.RFC3339, s); err != nil {
+			proxyhttp.Error(w, http.StatusBadRequest, fmt.Errorf("bad from: %v", err))
+			return
+		}
+	}
+	if s := r.URL.Query().Get("to"); s != "" {
+		if to, err = time.Parse(time.RFC3339, s); err != nil {
+			proxyhttp.Error(w, http.StatusBadRequest, fmt.Errorf("bad to: %v", err))
+			return
+		}
+	}
+	key := tsdb.SeriesKey{Device: p.opts.DeviceURI, Quantity: quantity}
+	samples, err := p.store.Query(key, from, to)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, tsdb.ErrNoSeries) {
+			status = http.StatusNotFound
+		} else if errors.Is(err, tsdb.ErrBadInterval) {
+			status = http.StatusBadRequest
+		}
+		proxyhttp.Error(w, status, err)
+		return
+	}
+	ms := make([]dataformat.Measurement, len(samples))
+	unit, _ := dataformat.CanonicalUnit(dataformat.Quantity(quantity))
+	for i, smp := range samples {
+		ms[i] = dataformat.Measurement{
+			Source:    "http://" + p.srv.Addr() + "/",
+			Device:    p.opts.DeviceURI,
+			Protocol:  p.opts.Driver.Protocol(),
+			Quantity:  dataformat.Quantity(quantity),
+			Unit:      unit,
+			Value:     smp.Value,
+			Timestamp: smp.At,
+			Location:  p.opts.Location,
+		}
+	}
+	proxyhttp.WriteDoc(w, r, dataformat.NewMeasurementsDoc(ms))
+}
+
+func (p *Proxy) handleLatest(w http.ResponseWriter, r *http.Request) {
+	quantity := r.URL.Query().Get("quantity")
+	if quantity == "" {
+		proxyhttp.Error(w, http.StatusBadRequest, errors.New("missing quantity parameter"))
+		return
+	}
+	key := tsdb.SeriesKey{Device: p.opts.DeviceURI, Quantity: quantity}
+	smp, err := p.store.Latest(key)
+	if err != nil {
+		proxyhttp.Error(w, http.StatusNotFound, err)
+		return
+	}
+	unit, _ := dataformat.CanonicalUnit(dataformat.Quantity(quantity))
+	m := dataformat.Measurement{
+		Source:    "http://" + p.srv.Addr() + "/",
+		Device:    p.opts.DeviceURI,
+		Protocol:  p.opts.Driver.Protocol(),
+		Quantity:  dataformat.Quantity(quantity),
+		Unit:      unit,
+		Value:     smp.Value,
+		Timestamp: smp.At,
+		Location:  p.opts.Location,
+	}
+	proxyhttp.WriteDoc(w, r, dataformat.NewMeasurementDoc(m))
+}
+
+// handleAggregate serves downsampled buckets of the local buffer:
+// GET /aggregate?quantity=...&window=1m[&from=&to=]. Visualization
+// front-ends use this to draw trends without pulling raw samples.
+func (p *Proxy) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	quantity := r.URL.Query().Get("quantity")
+	if quantity == "" {
+		proxyhttp.Error(w, http.StatusBadRequest, errors.New("missing quantity parameter"))
+		return
+	}
+	window, err := time.ParseDuration(r.URL.Query().Get("window"))
+	if err != nil {
+		proxyhttp.Error(w, http.StatusBadRequest, fmt.Errorf("bad window: %v", err))
+		return
+	}
+	var from, to time.Time
+	if s := r.URL.Query().Get("from"); s != "" {
+		if from, err = time.Parse(time.RFC3339, s); err != nil {
+			proxyhttp.Error(w, http.StatusBadRequest, fmt.Errorf("bad from: %v", err))
+			return
+		}
+	}
+	if s := r.URL.Query().Get("to"); s != "" {
+		if to, err = time.Parse(time.RFC3339, s); err != nil {
+			proxyhttp.Error(w, http.StatusBadRequest, fmt.Errorf("bad to: %v", err))
+			return
+		}
+	}
+	key := tsdb.SeriesKey{Device: p.opts.DeviceURI, Quantity: quantity}
+	buckets, err := p.store.Downsample(key, from, to, window)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, tsdb.ErrNoSeries) {
+			status = http.StatusNotFound
+		}
+		proxyhttp.Error(w, status, err)
+		return
+	}
+	writeJSON(w, buckets)
+}
+
+// ControlRequest is the POST /control body.
+type ControlRequest struct {
+	Quantity dataformat.Quantity `json:"quantity"`
+	Value    float64             `json:"value"`
+}
+
+func (p *Proxy) handleControl(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		proxyhttp.Error(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	var req ControlRequest
+	if err := jsonDecode(r, &req); err != nil {
+		proxyhttp.Error(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Quantity == "" {
+		proxyhttp.Error(w, http.StatusBadRequest, errors.New("missing quantity"))
+		return
+	}
+	result := dataformat.ControlResult{
+		Device:   p.opts.DeviceURI,
+		Quantity: req.Quantity,
+		Value:    req.Value,
+		At:       time.Now().UTC(),
+	}
+	if err := p.opts.Driver.Actuate(req.Quantity, req.Value); err != nil {
+		result.Applied = false
+		result.Error = err.Error()
+	} else {
+		result.Applied = true
+		p.stats.Lock()
+		p.stats.controls++
+		p.stats.Unlock()
+	}
+	proxyhttp.WriteDoc(w, r, dataformat.NewControlResultDoc(result))
+}

@@ -1,0 +1,19 @@
+package deviceproxy
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+// jsonMarshal and jsonDecode isolate the JSON plumbing of the web layer.
+
+func jsonMarshal(v any) ([]byte, error) { return json.Marshal(v) }
+
+func jsonDecode(r *http.Request, v any) error {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}

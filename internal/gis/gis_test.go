@@ -1,0 +1,300 @@
+package gis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Turin city centre, used across the tests.
+var turin = Point{Lat: 45.0703, Lon: 7.6869}
+
+func buildingAt(id string, lat, lon, sizeDeg float64) Feature {
+	return Feature{
+		ID:   id,
+		Kind: FeatureBuilding,
+		Name: "Building " + id,
+		Footprint: []Point{
+			{lat, lon}, {lat + sizeDeg, lon}, {lat + sizeDeg, lon + sizeDeg}, {lat, lon + sizeDeg},
+		},
+	}
+}
+
+func TestHaversineKnownDistance(t *testing.T) {
+	milan := Point{Lat: 45.4642, Lon: 9.19}
+	d := Haversine(turin, milan)
+	if d < 115000 || d > 130000 { // ~125 km
+		t.Errorf("Turin-Milan = %v m, want ~125 km", d)
+	}
+	if Haversine(turin, turin) != 0 {
+		t.Error("zero distance expected")
+	}
+}
+
+func TestBBoxBasics(t *testing.T) {
+	b := BBox{MinLat: 45, MinLon: 7, MaxLat: 46, MaxLon: 8}
+	if !b.Valid() {
+		t.Error("valid box rejected")
+	}
+	if !(BBox{MinLat: 46, MinLon: 7, MaxLat: 45, MaxLon: 8}).Valid() == false {
+		t.Error("inverted box accepted")
+	}
+	if !b.Contains(turin) {
+		t.Error("Contains(turin) = false")
+	}
+	if b.Contains(Point{Lat: 44, Lon: 7.5}) {
+		t.Error("Contains outside point")
+	}
+	exp := b.Expand(Point{Lat: 44, Lon: 9})
+	if exp.MinLat != 44 || exp.MaxLon != 9 {
+		t.Errorf("Expand = %+v", exp)
+	}
+	if !b.Intersects(BBox{MinLat: 45.5, MinLon: 7.5, MaxLat: 47, MaxLon: 9}) {
+		t.Error("overlapping boxes reported disjoint")
+	}
+	if b.Intersects(BBox{MinLat: 50, MinLon: 7, MaxLat: 51, MaxLon: 8}) {
+		t.Error("disjoint boxes reported overlapping")
+	}
+}
+
+func TestFeatureCentroidAndBounds(t *testing.T) {
+	f := buildingAt("b1", 45.0, 7.0, 0.002)
+	c := f.Centroid()
+	if math.Abs(c.Lat-45.001) > 1e-9 || math.Abs(c.Lon-7.001) > 1e-9 {
+		t.Errorf("Centroid = %+v", c)
+	}
+	b := f.Bounds()
+	if b.MinLat != 45.0 || b.MaxLat != 45.002 {
+		t.Errorf("Bounds = %+v", b)
+	}
+	empty := Feature{}
+	if empty.Centroid() != (Point{}) {
+		t.Error("empty centroid")
+	}
+}
+
+func TestStoreAddGetRemove(t *testing.T) {
+	s := NewStore(0)
+	f := buildingAt("b1", 45.07, 7.68, 0.001)
+	if err := s.Add(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(f); !errors.Is(err, ErrDuplicateID) {
+		t.Errorf("duplicate add: %v", err)
+	}
+	if err := s.Add(Feature{ID: "empty"}); !errors.Is(err, ErrEmptyFootprint) {
+		t.Errorf("empty footprint: %v", err)
+	}
+	got, err := s.Get("b1")
+	if err != nil || got.Name != "Building b1" {
+		t.Fatalf("Get = %+v, %v", got, err)
+	}
+	if err := s.Remove("b1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("b1"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get after Remove: %v", err)
+	}
+	if err := s.Remove("b1"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double Remove: %v", err)
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestQueryBBox(t *testing.T) {
+	s := NewStore(0)
+	// A 3x3 block of buildings 0.01 degrees apart.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			id := fmt.Sprintf("b%d%d", i, j)
+			if err := s.Add(buildingAt(id, 45.0+float64(i)*0.01, 7.0+float64(j)*0.01, 0.002)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Box covering only the bottom-left 2x2.
+	got, err := s.QueryBBox(BBox{MinLat: 44.999, MinLon: 6.999, MaxLat: 45.013, MaxLon: 7.013})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		ids := make([]string, len(got))
+		for i, f := range got {
+			ids[i] = f.ID
+		}
+		t.Fatalf("got %d features %v, want 4", len(got), ids)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].ID >= got[i].ID {
+			t.Fatal("results not sorted by ID")
+		}
+	}
+	if _, err := s.QueryBBox(BBox{MinLat: 1, MaxLat: 0, MinLon: 0, MaxLon: 1}); !errors.Is(err, ErrBadBBox) {
+		t.Errorf("bad box: %v", err)
+	}
+}
+
+func TestQueryBBoxFeatureSpanningCells(t *testing.T) {
+	s := NewStore(0.005)
+	// Footprint much larger than one cell.
+	big := Feature{ID: "campus", Kind: FeatureArea, Footprint: []Point{
+		{45.00, 7.00}, {45.03, 7.00}, {45.03, 7.03}, {45.00, 7.03},
+	}}
+	if err := s.Add(big); err != nil {
+		t.Fatal(err)
+	}
+	// Query a box in the middle of the campus: must still find it once.
+	got, err := s.QueryBBox(BBox{MinLat: 45.014, MinLon: 7.014, MaxLat: 45.016, MaxLon: 7.016})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != "campus" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestQueryRadius(t *testing.T) {
+	s := NewStore(0)
+	_ = s.Add(Feature{ID: "near", Kind: FeatureDevice, Footprint: []Point{{45.0705, 7.6871}}})
+	_ = s.Add(Feature{ID: "mid", Kind: FeatureDevice, Footprint: []Point{{45.0750, 7.6920}}})
+	_ = s.Add(Feature{ID: "far", Kind: FeatureDevice, Footprint: []Point{{45.2000, 7.9000}}})
+
+	got, err := s.QueryRadius(turin, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != "near" || got[1].ID != "mid" {
+		ids := make([]string, len(got))
+		for i, f := range got {
+			ids[i] = f.ID
+		}
+		t.Fatalf("radius hits = %v, want [near mid] sorted by distance", ids)
+	}
+	if _, err := s.QueryRadius(turin, 0); err == nil {
+		t.Error("zero radius accepted")
+	}
+}
+
+func TestByKind(t *testing.T) {
+	s := NewStore(0)
+	_ = s.Add(buildingAt("b1", 45, 7, 0.001))
+	_ = s.Add(Feature{ID: "d1", Kind: FeatureDevice, Footprint: []Point{{45, 7}}})
+	_ = s.Add(Feature{ID: "d2", Kind: FeatureDevice, Footprint: []Point{{45.001, 7}}})
+	if got := s.ByKind(FeatureDevice); len(got) != 2 || got[0].ID != "d1" {
+		t.Errorf("ByKind(device) = %+v", got)
+	}
+	if got := s.ByKind(FeatureNetwork); len(got) != 0 {
+		t.Errorf("ByKind(network) = %+v", got)
+	}
+}
+
+func TestStoreCopySemantics(t *testing.T) {
+	s := NewStore(0)
+	f := buildingAt("b1", 45, 7, 0.001)
+	_ = s.Add(f)
+	f.Footprint[0].Lat = 0 // mutate caller's slice
+	got, _ := s.Get("b1")
+	if got.Footprint[0].Lat != 45 {
+		t.Error("store aliases caller's footprint slice")
+	}
+}
+
+// Property: QueryBBox agrees with a linear scan for random stores/boxes.
+func TestQueryBBoxMatchesLinearScanProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewStore(0.01)
+		var all []Feature
+		for i := 0; i < 50; i++ {
+			ft := Feature{
+				ID:   fmt.Sprintf("f%d", i),
+				Kind: FeatureDevice,
+				Footprint: []Point{{
+					45 + rng.Float64()*0.2,
+					7 + rng.Float64()*0.2,
+				}},
+			}
+			if err := s.Add(ft); err != nil {
+				return false
+			}
+			all = append(all, ft)
+		}
+		for trial := 0; trial < 10; trial++ {
+			lat := 45 + rng.Float64()*0.15
+			lon := 7 + rng.Float64()*0.15
+			box := BBox{MinLat: lat, MinLon: lon, MaxLat: lat + rng.Float64()*0.05, MaxLon: lon + rng.Float64()*0.05}
+			got, err := s.QueryBBox(box)
+			if err != nil {
+				return false
+			}
+			want := 0
+			for _, ft := range all {
+				if ft.Bounds().Intersects(box) {
+					want++
+				}
+			}
+			if len(got) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargeFeatureBypassesGrid(t *testing.T) {
+	s := NewStore(0.005)
+	// A footprint spanning several degrees: far more cells than
+	// maxCellsPerFeature; it must land in the linear side list.
+	continentwide := Feature{ID: "region", Kind: FeatureArea, Footprint: []Point{
+		{Lat: 40, Lon: 0}, {Lat: 50, Lon: 10},
+	}}
+	if err := s.Add(continentwide); err != nil {
+		t.Fatal(err)
+	}
+	small := buildingAt("b1", 45.07, 7.68, 0.001)
+	if err := s.Add(small); err != nil {
+		t.Fatal(err)
+	}
+	// A small box inside the region must find both features.
+	got, err := s.QueryBBox(BBox{MinLat: 45.069, MinLon: 7.679, MaxLat: 45.072, MaxLon: 7.683})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		ids := make([]string, len(got))
+		for i, f := range got {
+			ids[i] = f.ID
+		}
+		t.Fatalf("hits = %v, want [b1 region]", ids)
+	}
+	// Remove the large feature; only the building remains.
+	if err := s.Remove("region"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = s.QueryBBox(BBox{MinLat: 45.069, MinLon: 7.679, MaxLat: 45.072, MaxLon: 7.683})
+	if len(got) != 1 || got[0].ID != "b1" {
+		t.Fatalf("after remove: %+v", got)
+	}
+}
+
+func TestWholeWorldQueryLinearFallback(t *testing.T) {
+	s := NewStore(0.005)
+	for i := 0; i < 10; i++ {
+		_ = s.Add(buildingAt(fmt.Sprintf("b%d", i), 45+float64(i)*0.01, 7, 0.001))
+	}
+	got, err := s.QueryBBox(BBox{MinLat: -90, MinLon: -180, MaxLat: 90, MaxLon: 180})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("whole world = %d features", len(got))
+	}
+}

@@ -1,0 +1,277 @@
+// Package integration implements the end-user side of the paper's flow:
+// after the master node redirects the application to the relevant
+// proxies, the application "queries directly each returned proxy and
+// retrieves the model and the data for each entity", then integrates the
+// translated views "in order to build a comprehensive model of the
+// interested area" (§II). This package is that integration engine:
+// entity merging with conflict tracking, measurement normalization and
+// deduplication, and the comprehensive AreaModel.
+package integration
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dataformat"
+)
+
+// Conflict records two sources disagreeing on an entity property — the
+// situation that makes naive database union lossy (§II: "conflicting
+// values across different databases").
+type Conflict struct {
+	URI      string `json:"uri"`
+	Property string `json:"property"`
+	Kept     string `json:"kept"`
+	KeptFrom string `json:"keptFrom"`
+	Dropped  string `json:"dropped"`
+	DropFrom string `json:"droppedFrom"`
+}
+
+// AreaModel is the comprehensive integrated model of a queried area.
+type AreaModel struct {
+	// District names the area's district.
+	District string
+	// Entities holds the merged entities, sorted by URI.
+	Entities []dataformat.Entity
+	// Measurements holds normalized, deduplicated samples sorted by
+	// (device, quantity, timestamp).
+	Measurements []dataformat.Measurement
+	// Conflicts lists property disagreements between sources.
+	Conflicts []Conflict
+	// Sources lists the proxy sources that contributed, sorted.
+	Sources []string
+}
+
+// Entity returns the merged entity with the given URI.
+func (a *AreaModel) Entity(uri string) (*dataformat.Entity, bool) {
+	i := sort.Search(len(a.Entities), func(i int) bool { return a.Entities[i].URI >= uri })
+	if i < len(a.Entities) && a.Entities[i].URI == uri {
+		return &a.Entities[i], true
+	}
+	return nil, false
+}
+
+// MeasurementsFor filters the model's samples by device URI.
+func (a *AreaModel) MeasurementsFor(device string) []dataformat.Measurement {
+	var out []dataformat.Measurement
+	for _, m := range a.Measurements {
+		if m.Device == device {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Merger accumulates per-proxy responses into an AreaModel. It is safe
+// for concurrent use: the client fetches proxies in parallel.
+type Merger struct {
+	district string
+
+	mu           sync.Mutex
+	entities     map[string]*dataformat.Entity
+	entitySource map[string]string // URI -> first source
+	measurements map[measKey]dataformat.Measurement
+	conflicts    []Conflict
+	sources      map[string]struct{}
+	normErrs     int
+}
+
+type measKey struct {
+	device   string
+	quantity dataformat.Quantity
+	at       int64
+}
+
+// NewMerger creates a Merger for one district's area query.
+func NewMerger(district string) *Merger {
+	return &Merger{
+		district:     district,
+		entities:     make(map[string]*dataformat.Entity),
+		entitySource: make(map[string]string),
+		measurements: make(map[measKey]dataformat.Measurement),
+		sources:      make(map[string]struct{}),
+	}
+}
+
+// AddEntity merges one translated entity (and, recursively, its
+// children) from a source proxy.
+func (g *Merger) AddEntity(source string, e dataformat.Entity) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.sources[source] = struct{}{}
+	g.addEntityLocked(source, e)
+}
+
+func (g *Merger) addEntityLocked(source string, e dataformat.Entity) {
+	children := e.Children
+	e.Children = nil
+	existing, ok := g.entities[e.URI]
+	if !ok {
+		cp := e
+		cp.Properties = append([]dataformat.Property(nil), e.Properties...)
+		g.entities[e.URI] = &cp
+		g.entitySource[e.URI] = source
+	} else {
+		g.mergeInto(existing, source, &e)
+	}
+	for _, c := range children {
+		g.addEntityLocked(source, c)
+		// Preserve the parent/child relation as a property so the
+		// comprehensive model keeps its structure after flattening.
+		child := g.entities[c.URI]
+		if _, has := child.Prop("parent"); !has {
+			child.SetProp("parent", e.URI, "uri")
+		}
+	}
+}
+
+// mergeInto folds a second source's view of an entity into the kept one,
+// recording conflicts. First source wins (the paper keeps all databases
+// live rather than reconciling them; the integration layer makes the
+// disagreement visible instead of silently overwriting).
+func (g *Merger) mergeInto(kept *dataformat.Entity, source string, next *dataformat.Entity) {
+	if kept.Name == "" {
+		kept.Name = next.Name
+	} else if next.Name != "" && next.Name != kept.Name {
+		g.conflicts = append(g.conflicts, Conflict{
+			URI: kept.URI, Property: "name",
+			Kept: kept.Name, KeptFrom: g.entitySource[kept.URI],
+			Dropped: next.Name, DropFrom: source,
+		})
+	}
+	if kept.Location == nil {
+		kept.Location = next.Location
+	}
+	for _, p := range next.Properties {
+		prev, has := kept.Prop(p.Name)
+		if !has {
+			kept.SetProp(p.Name, p.Value, p.Type)
+			continue
+		}
+		if prev != p.Value {
+			g.conflicts = append(g.conflicts, Conflict{
+				URI: kept.URI, Property: p.Name,
+				Kept: prev, KeptFrom: g.entitySource[kept.URI],
+				Dropped: p.Value, DropFrom: source,
+			})
+		}
+	}
+}
+
+// AddMeasurements merges samples from a source, normalizing each to its
+// quantity's canonical unit and deduplicating identical samples arriving
+// through different paths (e.g. a device proxy and the global
+// measurements database).
+func (g *Merger) AddMeasurements(source string, ms []dataformat.Measurement) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.sources[source] = struct{}{}
+	for _, m := range ms {
+		if err := m.Normalize(); err != nil {
+			g.normErrs++
+			continue
+		}
+		key := measKey{device: m.Device, quantity: m.Quantity, at: m.Timestamp.UnixNano()}
+		if _, dup := g.measurements[key]; dup {
+			continue
+		}
+		g.measurements[key] = m
+	}
+}
+
+// NormalizationErrors reports how many samples failed unit conversion.
+func (g *Merger) NormalizationErrors() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.normErrs
+}
+
+// Result assembles the comprehensive area model.
+func (g *Merger) Result() *AreaModel {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := &AreaModel{District: g.district}
+	for _, e := range g.entities {
+		out.Entities = append(out.Entities, *e)
+	}
+	sort.Slice(out.Entities, func(i, j int) bool { return out.Entities[i].URI < out.Entities[j].URI })
+	for _, m := range g.measurements {
+		out.Measurements = append(out.Measurements, m)
+	}
+	sort.Slice(out.Measurements, func(i, j int) bool {
+		a, b := &out.Measurements[i], &out.Measurements[j]
+		if a.Device != b.Device {
+			return a.Device < b.Device
+		}
+		if a.Quantity != b.Quantity {
+			return a.Quantity < b.Quantity
+		}
+		return a.Timestamp.Before(b.Timestamp)
+	})
+	out.Conflicts = append([]Conflict(nil), g.conflicts...)
+	for s := range g.sources {
+		out.Sources = append(out.Sources, s)
+	}
+	sort.Strings(out.Sources)
+	return out
+}
+
+// Summary aggregates an area model for dashboards: latest value and
+// simple statistics per (device, quantity).
+type Summary struct {
+	Device   string              `json:"device"`
+	Quantity dataformat.Quantity `json:"quantity"`
+	Unit     dataformat.Unit     `json:"unit"`
+	Count    int                 `json:"count"`
+	Latest   float64             `json:"latest"`
+	LatestAt time.Time           `json:"latestAt"`
+	Min      float64             `json:"min"`
+	Max      float64             `json:"max"`
+	Mean     float64             `json:"mean"`
+}
+
+// Summarize folds the model's measurements into per-series summaries,
+// sorted by (device, quantity).
+func (a *AreaModel) Summarize() []Summary {
+	type acc struct {
+		s   Summary
+		sum float64
+	}
+	accs := make(map[measKey]*acc) // at=0: key per series
+	for _, m := range a.Measurements {
+		key := measKey{device: m.Device, quantity: m.Quantity}
+		sc, ok := accs[key]
+		if !ok {
+			sc = &acc{s: Summary{
+				Device: m.Device, Quantity: m.Quantity, Unit: m.Unit,
+				Min: m.Value, Max: m.Value,
+			}}
+			accs[key] = sc
+		}
+		sc.s.Count++
+		sc.sum += m.Value
+		if m.Value < sc.s.Min {
+			sc.s.Min = m.Value
+		}
+		if m.Value > sc.s.Max {
+			sc.s.Max = m.Value
+		}
+		if !m.Timestamp.Before(sc.s.LatestAt) {
+			sc.s.LatestAt = m.Timestamp
+			sc.s.Latest = m.Value
+		}
+	}
+	out := make([]Summary, 0, len(accs))
+	for _, sc := range accs {
+		sc.s.Mean = sc.sum / float64(sc.s.Count)
+		out = append(out, sc.s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Device != out[j].Device {
+			return out[i].Device < out[j].Device
+		}
+		return out[i].Quantity < out[j].Quantity
+	})
+	return out
+}

@@ -1,0 +1,247 @@
+package integration
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dataformat"
+)
+
+var t0 = time.Date(2015, 3, 9, 10, 0, 0, 0, time.UTC)
+
+func entity(uri, name string, props map[string]string) dataformat.Entity {
+	e := dataformat.Entity{URI: uri, Kind: dataformat.EntityBuilding, Name: name}
+	for k, v := range props {
+		e.SetProp(k, v, "string")
+	}
+	return e
+}
+
+func TestMergeDistinctEntities(t *testing.T) {
+	g := NewMerger("turin")
+	g.AddEntity("bim1", entity("urn:b1", "B1", map[string]string{"area": "100"}))
+	g.AddEntity("bim2", entity("urn:b2", "B2", nil))
+	out := g.Result()
+	if len(out.Entities) != 2 || out.Entities[0].URI != "urn:b1" {
+		t.Fatalf("entities = %+v", out.Entities)
+	}
+	if len(out.Conflicts) != 0 {
+		t.Errorf("conflicts = %+v", out.Conflicts)
+	}
+	if len(out.Sources) != 2 || out.Sources[0] != "bim1" {
+		t.Errorf("sources = %v", out.Sources)
+	}
+}
+
+func TestMergeSameEntityComplementary(t *testing.T) {
+	g := NewMerger("turin")
+	g.AddEntity("bim", entity("urn:b1", "B1", map[string]string{"area": "100"}))
+	g.AddEntity("gis", entity("urn:b1", "", map[string]string{"bounds": "45,7,46,8"}))
+	out := g.Result()
+	if len(out.Entities) != 1 {
+		t.Fatalf("entities = %d", len(out.Entities))
+	}
+	e := out.Entities[0]
+	if v, _ := e.Prop("area"); v != "100" {
+		t.Error("bim property lost")
+	}
+	if v, _ := e.Prop("bounds"); v != "45,7,46,8" {
+		t.Error("gis property lost")
+	}
+	if len(out.Conflicts) != 0 {
+		t.Errorf("conflicts = %+v", out.Conflicts)
+	}
+}
+
+func TestMergeConflictRecorded(t *testing.T) {
+	g := NewMerger("turin")
+	g.AddEntity("bim", entity("urn:b1", "DAUIN", map[string]string{"yearBuilt": "1960"}))
+	g.AddEntity("gis", entity("urn:b1", "Politecnico DAUIN", map[string]string{"yearBuilt": "1958"}))
+	out := g.Result()
+	if len(out.Conflicts) != 2 {
+		t.Fatalf("conflicts = %+v", out.Conflicts)
+	}
+	// First source wins.
+	e := out.Entities[0]
+	if v, _ := e.Prop("yearBuilt"); v != "1960" {
+		t.Errorf("kept = %q, want first source's value", v)
+	}
+	byProp := map[string]Conflict{}
+	for _, c := range out.Conflicts {
+		byProp[c.Property] = c
+	}
+	c := byProp["yearBuilt"]
+	if c.Kept != "1960" || c.Dropped != "1958" || c.KeptFrom != "bim" || c.DropFrom != "gis" {
+		t.Errorf("conflict = %+v", c)
+	}
+	if byProp["name"].Dropped != "Politecnico DAUIN" {
+		t.Errorf("name conflict = %+v", byProp["name"])
+	}
+}
+
+func TestMergeChildrenFlattenedWithParentLink(t *testing.T) {
+	g := NewMerger("turin")
+	parent := entity("urn:b1", "B1", nil)
+	parent.Children = []dataformat.Entity{
+		entity("urn:b1/space:s1", "Room", map[string]string{"usage": "office"}),
+	}
+	g.AddEntity("bim", parent)
+	out := g.Result()
+	if len(out.Entities) != 2 {
+		t.Fatalf("entities = %d", len(out.Entities))
+	}
+	child, ok := out.Entity("urn:b1/space:s1")
+	if !ok {
+		t.Fatal("child lost")
+	}
+	if v, _ := child.Prop("parent"); v != "urn:b1" {
+		t.Errorf("parent link = %q", v)
+	}
+}
+
+func TestMeasurementNormalizationAndDedup(t *testing.T) {
+	g := NewMerger("turin")
+	ms := []dataformat.Measurement{
+		{Device: "urn:d1", Quantity: dataformat.Temperature, Unit: dataformat.Fahrenheit, Value: 212, Timestamp: t0},
+		{Device: "urn:d1", Quantity: dataformat.Temperature, Unit: dataformat.Celsius, Value: 100, Timestamp: t0}, // same sample, other path
+		{Device: "urn:d1", Quantity: dataformat.PowerActive, Unit: dataformat.Kilowatt, Value: 1.5, Timestamp: t0},
+	}
+	g.AddMeasurements("devproxy", ms[:1])
+	g.AddMeasurements("measuredb", ms[1:])
+	out := g.Result()
+	if len(out.Measurements) != 2 {
+		t.Fatalf("measurements = %+v", out.Measurements)
+	}
+	for _, m := range out.Measurements {
+		switch m.Quantity {
+		case dataformat.Temperature:
+			if m.Unit != dataformat.Celsius || m.Value != 100 {
+				t.Errorf("temperature = %+v", m)
+			}
+		case dataformat.PowerActive:
+			if m.Unit != dataformat.Watt || m.Value != 1500 {
+				t.Errorf("power = %+v", m)
+			}
+		}
+	}
+}
+
+func TestMeasurementNormalizationErrors(t *testing.T) {
+	g := NewMerger("turin")
+	g.AddMeasurements("x", []dataformat.Measurement{
+		{Device: "urn:d1", Quantity: dataformat.Temperature, Unit: "furlong", Value: 1, Timestamp: t0},
+	})
+	if g.NormalizationErrors() != 1 {
+		t.Errorf("NormalizationErrors = %d", g.NormalizationErrors())
+	}
+	if len(g.Result().Measurements) != 0 {
+		t.Error("unconvertible measurement kept")
+	}
+}
+
+func TestMeasurementsSorted(t *testing.T) {
+	g := NewMerger("turin")
+	g.AddMeasurements("x", []dataformat.Measurement{
+		{Device: "urn:d2", Quantity: dataformat.Temperature, Unit: dataformat.Celsius, Value: 1, Timestamp: t0},
+		{Device: "urn:d1", Quantity: dataformat.Temperature, Unit: dataformat.Celsius, Value: 2, Timestamp: t0.Add(time.Minute)},
+		{Device: "urn:d1", Quantity: dataformat.Temperature, Unit: dataformat.Celsius, Value: 3, Timestamp: t0},
+		{Device: "urn:d1", Quantity: dataformat.Humidity, Unit: dataformat.Percent, Value: 4, Timestamp: t0},
+	})
+	out := g.Result()
+	order := make([]float64, len(out.Measurements))
+	for i, m := range out.Measurements {
+		order[i] = m.Value
+	}
+	want := []float64{4, 3, 2, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestAreaModelLookups(t *testing.T) {
+	g := NewMerger("turin")
+	g.AddEntity("bim", entity("urn:b1", "B1", nil))
+	g.AddMeasurements("p", []dataformat.Measurement{
+		{Device: "urn:d1", Quantity: dataformat.Temperature, Unit: dataformat.Celsius, Value: 21, Timestamp: t0},
+		{Device: "urn:d2", Quantity: dataformat.Temperature, Unit: dataformat.Celsius, Value: 22, Timestamp: t0},
+	})
+	out := g.Result()
+	if _, ok := out.Entity("urn:b1"); !ok {
+		t.Error("Entity lookup failed")
+	}
+	if _, ok := out.Entity("urn:ghost"); ok {
+		t.Error("ghost entity found")
+	}
+	if got := out.MeasurementsFor("urn:d1"); len(got) != 1 || got[0].Value != 21 {
+		t.Errorf("MeasurementsFor = %+v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	g := NewMerger("turin")
+	var ms []dataformat.Measurement
+	for i := 0; i < 10; i++ {
+		ms = append(ms, dataformat.Measurement{
+			Device: "urn:d1", Quantity: dataformat.Temperature, Unit: dataformat.Celsius,
+			Value: 20 + float64(i), Timestamp: t0.Add(time.Duration(i) * time.Minute),
+		})
+	}
+	ms = append(ms, dataformat.Measurement{
+		Device: "urn:d1", Quantity: dataformat.Humidity, Unit: dataformat.Percent,
+		Value: 50, Timestamp: t0,
+	})
+	g.AddMeasurements("p", ms)
+	sums := g.Result().Summarize()
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %+v", sums)
+	}
+	// Sorted: humidity before temperature.
+	if sums[0].Quantity != dataformat.Humidity || sums[0].Count != 1 {
+		t.Errorf("first = %+v", sums[0])
+	}
+	st := sums[1]
+	if st.Count != 10 || st.Min != 20 || st.Max != 29 || st.Mean != 24.5 || st.Latest != 29 {
+		t.Errorf("temperature summary = %+v", st)
+	}
+	if !st.LatestAt.Equal(t0.Add(9 * time.Minute)) {
+		t.Errorf("LatestAt = %v", st.LatestAt)
+	}
+}
+
+func TestMergerConcurrentUse(t *testing.T) {
+	g := NewMerger("turin")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := fmt.Sprintf("proxy%d", w)
+			for i := 0; i < 50; i++ {
+				uri := fmt.Sprintf("urn:b%d", i%10)
+				g.AddEntity(src, entity(uri, "B", map[string]string{"w": fmt.Sprint(w)}))
+				g.AddMeasurements(src, []dataformat.Measurement{{
+					Device: uri, Quantity: dataformat.Temperature, Unit: dataformat.Celsius,
+					Value: float64(i), Timestamp: t0.Add(time.Duration(i) * time.Second),
+				}})
+			}
+		}(w)
+	}
+	wg.Wait()
+	out := g.Result()
+	if len(out.Entities) != 10 {
+		t.Errorf("entities = %d", len(out.Entities))
+	}
+	if len(out.Sources) != 8 {
+		t.Errorf("sources = %d", len(out.Sources))
+	}
+	// 10 devices x 50 distinct timestamps... values collide per device:
+	// i%10 fixes device, i spans 50 → 5 samples per device at distinct
+	// times; all 8 workers add the same keys → dedup to 50 total.
+	if len(out.Measurements) != 50 {
+		t.Errorf("measurements = %d, want 50", len(out.Measurements))
+	}
+}

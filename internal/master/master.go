@@ -1,0 +1,324 @@
+// Package master implements the master node of the infrastructure: "the
+// unique entry point of the system" (paper §II). It maintains the
+// district ontology, accepts proxy registrations, and answers area
+// queries by returning the URIs of the proxies' web services for the
+// matching entities — redirecting clients rather than aggregating data,
+// which is the core scalability argument of the design.
+package master
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/dataformat"
+	"repro/internal/ontology"
+	"repro/internal/registry"
+)
+
+// Options configure a master node.
+type Options struct {
+	// LivenessTTL bounds how stale a proxy may be and still be linked
+	// into query responses. Zero means 5 minutes.
+	LivenessTTL time.Duration
+	// SweepEvery is the stale-registration sweep period. Zero disables
+	// the background sweeper (sweeps still happen lazily).
+	SweepEvery time.Duration
+	// Logger receives operational messages; nil silences them.
+	Logger *log.Logger
+}
+
+// Master is the ontology + registry service.
+type Master struct {
+	opts Options
+	ont  *ontology.Ontology
+	reg  *registry.Registry
+
+	mu     sync.Mutex
+	srv    *http.Server
+	ln     net.Listener
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+// New creates a master node with an empty ontology.
+func New(opts Options) *Master {
+	if opts.LivenessTTL <= 0 {
+		opts.LivenessTTL = 5 * time.Minute
+	}
+	return &Master{
+		opts:   opts,
+		ont:    ontology.New(),
+		reg:    registry.New(),
+		stopCh: make(chan struct{}),
+	}
+}
+
+// Ontology exposes the district forest for programmatic construction
+// (the districtsim bootstrap and the tests build districts through it).
+func (m *Master) Ontology() *ontology.Ontology { return m.ont }
+
+// Registry exposes the proxy registry.
+func (m *Master) Registry() *registry.Registry { return m.reg }
+
+// logf logs when a logger is configured.
+func (m *Master) logf(format string, args ...any) {
+	if m.opts.Logger != nil {
+		m.opts.Logger.Printf(format, args...)
+	}
+}
+
+// Handler returns the master's HTTP API:
+//
+//	POST   /register    body: registry.Registration JSON
+//	DELETE /register?id=...
+//	POST   /heartbeat?id=...
+//	GET    /query?district=...&minLat=&minLon=&maxLat=&maxLon=
+//	GET    /devices?entity=<uri>
+//	GET    /ontology?uri=<uri>     (Accept: application/json|xml)
+//	GET    /districts
+//	GET    /proxies
+//	GET    /healthz
+func (m *Master) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/register", m.handleRegister)
+	mux.HandleFunc("/heartbeat", m.handleHeartbeat)
+	mux.HandleFunc("/query", m.handleQuery)
+	mux.HandleFunc("/devices", m.handleDevices)
+	mux.HandleFunc("/ontology", m.handleOntology)
+	mux.HandleFunc("/districts", m.handleDistricts)
+	mux.HandleFunc("/proxies", m.handleProxies)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Serve binds the HTTP API to addr and returns the bound address.
+func (m *Master) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: m.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	m.mu.Lock()
+	m.srv = srv
+	m.ln = ln
+	m.mu.Unlock()
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			m.logf("master: serve: %v", err)
+		}
+	}()
+	if m.opts.SweepEvery > 0 {
+		m.wg.Add(1)
+		go m.sweepLoop()
+	}
+	m.logf("master: listening on %s", ln.Addr())
+	return ln.Addr().String(), nil
+}
+
+func (m *Master) sweepLoop() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.opts.SweepEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if n := m.reg.Sweep(m.opts.LivenessTTL); n > 0 {
+				m.logf("master: swept %d stale proxies", n)
+			}
+		case <-m.stopCh:
+			return
+		}
+	}
+}
+
+// Close shuts the HTTP server down.
+func (m *Master) Close() {
+	m.mu.Lock()
+	srv := m.srv
+	close(m.stopCh)
+	m.mu.Unlock()
+	if srv != nil {
+		srv.Close()
+	}
+	m.wg.Wait()
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// httpError reports an error with a JSON body.
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// handleRegister accepts proxy registrations and links the proxy's URL
+// into the ontology node it serves.
+func (m *Master) handleRegister(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var reg registry.Registration
+		if err := json.NewDecoder(r.Body).Decode(&reg); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := m.reg.Register(reg); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		// Link the proxy into the ontology when the entity exists. A
+		// registration for a not-yet-modelled entity is kept in the
+		// registry only; the ontology stays authoritative.
+		if _, err := m.ont.Get(reg.EntityURI); err == nil {
+			_ = m.ont.SetProperty(reg.EntityURI, ontology.PropProxyURI, reg.BaseURL)
+			if reg.Protocol != "" {
+				_ = m.ont.SetProperty(reg.EntityURI, ontology.PropProtocol, reg.Protocol)
+			}
+		}
+		m.logf("master: registered %s (%s) at %s", reg.ID, reg.Kind, reg.BaseURL)
+		writeJSON(w, http.StatusOK, map[string]string{"status": "registered", "id": reg.ID})
+	case http.MethodDelete:
+		id := r.URL.Query().Get("id")
+		if err := m.reg.Deregister(id); err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "deregistered", "id": id})
+	default:
+		httpError(w, http.StatusMethodNotAllowed, errors.New("use POST or DELETE"))
+	}
+}
+
+func (m *Master) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	id := r.URL.Query().Get("id")
+	if err := m.reg.Heartbeat(id); err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// parseArea reads the optional bounding-box query parameters.
+func parseArea(r *http.Request) (ontology.Area, error) {
+	q := r.URL.Query()
+	raw := [4]string{q.Get("minLat"), q.Get("minLon"), q.Get("maxLat"), q.Get("maxLon")}
+	if raw[0] == "" && raw[1] == "" && raw[2] == "" && raw[3] == "" {
+		return ontology.Area{}, nil
+	}
+	var vals [4]float64
+	for i, s := range raw {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return ontology.Area{}, fmt.Errorf("bad bounding box parameter %d: %q", i, s)
+		}
+		vals[i] = v
+	}
+	a := ontology.Area{MinLat: vals[0], MinLon: vals[1], MaxLat: vals[2], MaxLon: vals[3]}
+	if a.MinLat > a.MaxLat || a.MinLon > a.MaxLon {
+		return ontology.Area{}, errors.New("inverted bounding box")
+	}
+	return a, nil
+}
+
+// QueryResponse is the master's answer to an area query.
+type QueryResponse struct {
+	District string `json:"district"`
+	// GISURI and MeasureURI are the district-level proxy services.
+	GISURI     string                `json:"gisUri,omitempty"`
+	MeasureURI string                `json:"measureUri,omitempty"`
+	Entities   []ontology.Resolution `json:"entities"`
+}
+
+// handleQuery resolves an area to entity resolutions with proxy URIs.
+func (m *Master) handleQuery(w http.ResponseWriter, r *http.Request) {
+	district := r.URL.Query().Get("district")
+	if district == "" {
+		httpError(w, http.StatusBadRequest, errors.New("missing district parameter"))
+		return
+	}
+	area, err := parseArea(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	entities, err := m.ont.ResolveArea(district, area)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	rsp := QueryResponse{District: district, Entities: entities}
+	rootURI := ontology.DistrictURI(district)
+	if v, ok := m.ont.Property(rootURI, ontology.PropGISURI); ok {
+		rsp.GISURI = v
+	}
+	if v, ok := m.ont.Property(rootURI, ontology.PropMeasureURI); ok {
+		rsp.MeasureURI = v
+	}
+	writeJSON(w, http.StatusOK, rsp)
+}
+
+// handleDevices resolves an entity to its device leaves.
+func (m *Master) handleDevices(w http.ResponseWriter, r *http.Request) {
+	entity := r.URL.Query().Get("entity")
+	if entity == "" {
+		httpError(w, http.StatusBadRequest, errors.New("missing entity parameter"))
+		return
+	}
+	devices, err := m.ont.ResolveDevices(entity)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, devices)
+}
+
+// handleOntology returns a subtree as a common-format entity document.
+func (m *Master) handleOntology(w http.ResponseWriter, r *http.Request) {
+	uri := r.URL.Query().Get("uri")
+	if uri == "" {
+		httpError(w, http.StatusBadRequest, errors.New("missing uri parameter"))
+		return
+	}
+	e, err := m.ont.Entity(uri)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	enc := dataformat.JSON
+	if strings.Contains(r.Header.Get("Accept"), "xml") {
+		enc = dataformat.XML
+	}
+	doc := dataformat.NewEntityDoc(e)
+	w.Header().Set("Content-Type", enc.ContentType())
+	if err := doc.EncodeTo(w, enc); err != nil {
+		m.logf("master: encode ontology: %v", err)
+	}
+}
+
+func (m *Master) handleDistricts(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, m.ont.Districts())
+}
+
+func (m *Master) handleProxies(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, m.reg.List())
+}

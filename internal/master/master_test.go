@@ -1,0 +1,327 @@
+package master
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataformat"
+	"repro/internal/ontology"
+	"repro/internal/registry"
+)
+
+// newTestMaster builds a master with a small Turin district and returns
+// it with an httptest server over its handler.
+func newTestMaster(t *testing.T) (*Master, *httptest.Server) {
+	t.Helper()
+	m := New(Options{})
+	ont := m.Ontology()
+	turin, err := ont.AddDistrict("turin", "Torino")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ont.SetProperty(turin, ontology.PropGISURI, "http://gis/")
+	_ = ont.SetProperty(turin, ontology.PropMeasureURI, "http://measure/")
+	b1, err := ont.AddEntity(turin, ontology.KindBuilding, "b01", "DAUIN", 45.0628, 7.6624)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ont.AddEntity(turin, ontology.KindBuilding, "b02", "Library", 45.09, 7.70); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ont.AddDevice(b1, "t-1", "Temp", 45.0628, 7.6624); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(m.Handler())
+	t.Cleanup(ts.Close)
+	return m, ts
+}
+
+func postJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rsp
+}
+
+func TestRegisterLinksOntology(t *testing.T) {
+	m, ts := newTestMaster(t)
+	rsp := postJSON(t, ts.URL+"/register", registry.Registration{
+		ID: "bim-b01", Kind: registry.KindBIM,
+		BaseURL: "http://bim-b01/", EntityURI: "urn:district:turin/building:b01",
+	})
+	if rsp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", rsp.StatusCode)
+	}
+	rsp.Body.Close()
+	if v, ok := m.Ontology().Property("urn:district:turin/building:b01", ontology.PropProxyURI); !ok || v != "http://bim-b01/" {
+		t.Errorf("ontology not linked: %q %v", v, ok)
+	}
+	if m.Registry().Len() != 1 {
+		t.Errorf("registry len = %d", m.Registry().Len())
+	}
+}
+
+func TestRegisterRejectsGarbage(t *testing.T) {
+	_, ts := newTestMaster(t)
+	rsp, err := http.Post(ts.URL+"/register", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsp.Body.Close()
+	if rsp.StatusCode != http.StatusBadRequest {
+		t.Errorf("truncated body: status = %d", rsp.StatusCode)
+	}
+	rsp = postJSON(t, ts.URL+"/register", registry.Registration{ID: "x"})
+	rsp.Body.Close()
+	if rsp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid registration: status = %d", rsp.StatusCode)
+	}
+}
+
+func TestRegisterUnknownEntityKeptInRegistryOnly(t *testing.T) {
+	m, ts := newTestMaster(t)
+	rsp := postJSON(t, ts.URL+"/register", registry.Registration{
+		ID: "p", Kind: registry.KindBIM, BaseURL: "http://p/",
+		EntityURI: "urn:district:turin/building:ghost",
+	})
+	rsp.Body.Close()
+	if rsp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", rsp.StatusCode)
+	}
+	if m.Registry().Len() != 1 {
+		t.Error("registration dropped")
+	}
+}
+
+func TestDeregister(t *testing.T) {
+	m, ts := newTestMaster(t)
+	rsp := postJSON(t, ts.URL+"/register", registry.Registration{
+		ID: "p", Kind: registry.KindGIS, BaseURL: "http://p/", EntityURI: "urn:district:turin",
+	})
+	rsp.Body.Close()
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/register?id=p", nil)
+	rsp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsp.Body.Close()
+	if rsp.StatusCode != http.StatusOK || m.Registry().Len() != 0 {
+		t.Errorf("deregister: status = %d, len = %d", rsp.StatusCode, m.Registry().Len())
+	}
+
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/register?id=ghost", nil)
+	rsp, _ = http.DefaultClient.Do(req)
+	rsp.Body.Close()
+	if rsp.StatusCode != http.StatusNotFound {
+		t.Errorf("deregister ghost: status = %d", rsp.StatusCode)
+	}
+}
+
+func TestHeartbeat(t *testing.T) {
+	_, ts := newTestMaster(t)
+	rsp := postJSON(t, ts.URL+"/register", registry.Registration{
+		ID: "p", Kind: registry.KindGIS, BaseURL: "http://p/", EntityURI: "urn:district:turin",
+	})
+	rsp.Body.Close()
+	rsp, err := http.Post(ts.URL+"/heartbeat?id=p", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsp.Body.Close()
+	if rsp.StatusCode != http.StatusOK {
+		t.Errorf("heartbeat: %d", rsp.StatusCode)
+	}
+	rsp, _ = http.Post(ts.URL+"/heartbeat?id=ghost", "", nil)
+	rsp.Body.Close()
+	if rsp.StatusCode != http.StatusNotFound {
+		t.Errorf("heartbeat ghost: %d", rsp.StatusCode)
+	}
+}
+
+func TestQueryWholeDistrict(t *testing.T) {
+	_, ts := newTestMaster(t)
+	rsp, err := http.Get(ts.URL + "/query?district=turin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rsp.Body.Close()
+	var qr QueryResponse
+	if err := json.NewDecoder(rsp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.District != "turin" || len(qr.Entities) != 2 {
+		t.Fatalf("query = %+v", qr)
+	}
+	if qr.GISURI != "http://gis/" || qr.MeasureURI != "http://measure/" {
+		t.Errorf("district proxies = %q %q", qr.GISURI, qr.MeasureURI)
+	}
+}
+
+func TestQueryWithArea(t *testing.T) {
+	_, ts := newTestMaster(t)
+	url := ts.URL + "/query?district=turin&minLat=45.06&minLon=7.65&maxLat=45.07&maxLon=7.67"
+	rsp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rsp.Body.Close()
+	var qr QueryResponse
+	if err := json.NewDecoder(rsp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Entities) != 1 || qr.Entities[0].Name != "DAUIN" {
+		t.Fatalf("area query = %+v", qr.Entities)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	_, ts := newTestMaster(t)
+	for _, tc := range []struct {
+		url  string
+		want int
+	}{
+		{"/query", http.StatusBadRequest},
+		{"/query?district=ghost", http.StatusNotFound},
+		{"/query?district=turin&minLat=x&minLon=0&maxLat=1&maxLon=1", http.StatusBadRequest},
+		{"/query?district=turin&minLat=9&minLon=0&maxLat=1&maxLon=1", http.StatusBadRequest},
+	} {
+		rsp, err := http.Get(ts.URL + tc.url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rsp.Body.Close()
+		if rsp.StatusCode != tc.want {
+			t.Errorf("%s: status = %d, want %d", tc.url, rsp.StatusCode, tc.want)
+		}
+	}
+}
+
+func TestDevicesEndpoint(t *testing.T) {
+	_, ts := newTestMaster(t)
+	rsp, err := http.Get(ts.URL + "/devices?entity=urn:district:turin/building:b01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rsp.Body.Close()
+	var devices []ontology.Resolution
+	if err := json.NewDecoder(rsp.Body).Decode(&devices); err != nil {
+		t.Fatal(err)
+	}
+	if len(devices) != 1 || devices[0].Kind != ontology.KindDevice {
+		t.Fatalf("devices = %+v", devices)
+	}
+	rsp, _ = http.Get(ts.URL + "/devices")
+	rsp.Body.Close()
+	if rsp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing entity: %d", rsp.StatusCode)
+	}
+}
+
+func TestOntologyEndpointJSONAndXML(t *testing.T) {
+	_, ts := newTestMaster(t)
+	rsp, err := http.Get(ts.URL + "/ontology?uri=urn:district:turin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := dataformat.DecodeFrom(rsp.Body, dataformat.JSON)
+	rsp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Entity == nil || len(doc.Entity.Children) != 2 {
+		t.Fatalf("entity doc = %+v", doc)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/ontology?uri=urn:district:turin", nil)
+	req.Header.Set("Accept", "application/xml")
+	rsp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err = dataformat.DecodeFrom(rsp.Body, dataformat.XML)
+	rsp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Entity == nil || doc.Entity.Name != "Torino" {
+		t.Fatalf("xml entity = %+v", doc.Entity)
+	}
+}
+
+func TestDistrictsAndProxiesEndpoints(t *testing.T) {
+	_, ts := newTestMaster(t)
+	rsp, err := http.Get(ts.URL + "/districts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var districts []string
+	_ = json.NewDecoder(rsp.Body).Decode(&districts)
+	rsp.Body.Close()
+	if len(districts) != 1 || districts[0] != "urn:district:turin" {
+		t.Errorf("districts = %v", districts)
+	}
+
+	rsp, err = http.Get(ts.URL + "/proxies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var proxies []registry.Registration
+	_ = json.NewDecoder(rsp.Body).Decode(&proxies)
+	rsp.Body.Close()
+	if len(proxies) != 0 {
+		t.Errorf("proxies = %v", proxies)
+	}
+}
+
+func TestServeAndClose(t *testing.T) {
+	m := New(Options{SweepEvery: 10 * time.Millisecond, LivenessTTL: time.Hour})
+	if _, err := m.Ontology().AddDistrict("turin", "Torino"); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := m.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsp.Body.Close()
+	if rsp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d", rsp.StatusCode)
+	}
+	m.Close()
+	if _, err := http.Get(fmt.Sprintf("http://%s/healthz", addr)); err == nil {
+		t.Error("server still answering after Close")
+	}
+}
+
+func TestMethodGuards(t *testing.T) {
+	_, ts := newTestMaster(t)
+	rsp, err := http.Get(ts.URL + "/register")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsp.Body.Close()
+	if rsp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /register = %d", rsp.StatusCode)
+	}
+	rsp, _ = http.Get(ts.URL + "/heartbeat?id=x")
+	rsp.Body.Close()
+	if rsp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /heartbeat = %d", rsp.StatusCode)
+	}
+}

@@ -1,0 +1,395 @@
+// Package measuredb implements the district's global measurements
+// database service: the store "where data collected by sensors placed in
+// the district" accumulates (paper §II). Device-proxies publish their
+// samples into the middleware; this service subscribes to the
+// measurement topic space, ingests everything it sees, and serves
+// historical queries through a Database-proxy-style web service in the
+// common format.
+package measuredb
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataformat"
+	"repro/internal/middleware"
+	"repro/internal/proxyhttp"
+	"repro/internal/tsdb"
+)
+
+// Topic space for measurements: measurements/<district>/<entity>/<device>/<quantity>.
+const (
+	// TopicRoot prefixes every measurement publication.
+	TopicRoot = "measurements"
+	// IngestPattern subscribes to every measurement in the district.
+	IngestPattern = TopicRoot + "/#"
+)
+
+// Service is the measurements database.
+type Service struct {
+	store *tsdb.Store
+	srv   proxyhttp.Server
+
+	ingested atomic.Uint64
+	rejected atomic.Uint64
+}
+
+// Options configure the service.
+type Options struct {
+	// Store overrides the backing store; nil creates a default one.
+	Store *tsdb.Store
+}
+
+// New creates a measurements database service.
+func New(opts Options) *Service {
+	st := opts.Store
+	if st == nil {
+		st = tsdb.New(tsdb.Options{})
+	}
+	return &Service{store: st}
+}
+
+// Store exposes the backing store (benchmarks and tests).
+func (s *Service) Store() *tsdb.Store { return s.store }
+
+// Ingest stores one measurement document payload.
+func (s *Service) Ingest(m *dataformat.Measurement) error {
+	if err := m.Validate(); err != nil {
+		s.rejected.Add(1)
+		return err
+	}
+	key := tsdb.SeriesKey{Device: m.Device, Quantity: string(m.Quantity)}
+	if err := s.store.Append(key, tsdb.Sample{At: m.Timestamp, Value: m.Value}); err != nil {
+		s.rejected.Add(1)
+		return err
+	}
+	s.ingested.Add(1)
+	return nil
+}
+
+// AttachBus subscribes the service to the middleware's measurement
+// topics so every published sample lands in the store — the paper's
+// "publish data into the infrastructure (for instance to a global
+// measurement database)" path.
+func (s *Service) AttachBus(bus *middleware.Bus) (*middleware.Subscription, error) {
+	return bus.Subscribe(IngestPattern, s.onEvent)
+}
+
+// AttachNode subscribes through a networked middleware node.
+func (s *Service) AttachNode(node *middleware.Node) (*middleware.Subscription, error) {
+	return node.Subscribe(IngestPattern, s.onEvent)
+}
+
+func (s *Service) onEvent(ev middleware.Event) {
+	doc, err := dataformat.Decode(ev.Payload, dataformat.Sniff(ev.Payload))
+	if err != nil {
+		s.rejected.Add(1)
+		return
+	}
+	switch doc.Kind {
+	case dataformat.KindMeasurement:
+		_ = s.Ingest(doc.Measurement)
+	case dataformat.KindMeasurements:
+		for i := range doc.Measurements {
+			_ = s.Ingest(&doc.Measurements[i])
+		}
+	default:
+		s.rejected.Add(1)
+	}
+}
+
+// Stats are cumulative ingest counters.
+type Stats struct {
+	Ingested uint64     `json:"ingested"`
+	Rejected uint64     `json:"rejected"`
+	Store    tsdb.Stats `json:"store"`
+}
+
+// Stats returns a snapshot of service counters.
+func (s *Service) Stats() Stats {
+	return Stats{
+		Ingested: s.ingested.Load(),
+		Rejected: s.rejected.Load(),
+		Store:    s.store.Stats(),
+	}
+}
+
+// Handler returns the service's web interface:
+//
+//	POST /append                      body: measurement(s) document
+//	GET  /query?device=&quantity=&from=&to=
+//	GET  /latest?device=&quantity=
+//	GET  /series?device=              (all series, or one device's)
+//	GET  /aggregate?device=&quantity=&from=&to=
+//	GET  /stats
+//	GET  /healthz
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/append", s.handleAppend)
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/latest", s.handleLatest)
+	mux.HandleFunc("/series", s.handleSeries)
+	mux.HandleFunc("/aggregate", s.handleAggregate)
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Stats())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Serve binds the web interface and returns the bound address.
+func (s *Service) Serve(addr string) (string, error) {
+	return s.srv.Serve(addr, s.Handler())
+}
+
+// Close stops the web interface and the store.
+func (s *Service) Close() {
+	s.srv.Close()
+	s.store.Close()
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Service) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		proxyhttp.Error(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	doc, err := proxyhttp.ReadDoc(r)
+	if err != nil {
+		proxyhttp.Error(w, http.StatusBadRequest, err)
+		return
+	}
+	var stored int
+	switch doc.Kind {
+	case dataformat.KindMeasurement:
+		if err := s.Ingest(doc.Measurement); err != nil {
+			proxyhttp.Error(w, http.StatusBadRequest, err)
+			return
+		}
+		stored = 1
+	case dataformat.KindMeasurements:
+		for i := range doc.Measurements {
+			if err := s.Ingest(&doc.Measurements[i]); err != nil {
+				proxyhttp.Error(w, http.StatusBadRequest, err)
+				return
+			}
+			stored++
+		}
+	default:
+		proxyhttp.Error(w, http.StatusBadRequest, fmt.Errorf("unsupported document kind %q", doc.Kind))
+		return
+	}
+	writeJSON(w, map[string]int{"stored": stored})
+}
+
+// parseRange reads from/to as RFC 3339 timestamps; both optional.
+func parseRange(r *http.Request) (from, to time.Time, err error) {
+	if s := r.URL.Query().Get("from"); s != "" {
+		from, err = time.Parse(time.RFC3339, s)
+		if err != nil {
+			return from, to, fmt.Errorf("bad from: %v", err)
+		}
+	}
+	if s := r.URL.Query().Get("to"); s != "" {
+		to, err = time.Parse(time.RFC3339, s)
+		if err != nil {
+			return from, to, fmt.Errorf("bad to: %v", err)
+		}
+	}
+	return from, to, nil
+}
+
+func seriesKey(r *http.Request) (tsdb.SeriesKey, error) {
+	device := r.URL.Query().Get("device")
+	quantity := r.URL.Query().Get("quantity")
+	if device == "" || quantity == "" {
+		return tsdb.SeriesKey{}, errors.New("missing device or quantity parameter")
+	}
+	return tsdb.SeriesKey{Device: device, Quantity: quantity}, nil
+}
+
+// measurementsOf converts samples back to common-format measurements.
+func measurementsOf(key tsdb.SeriesKey, samples []tsdb.Sample, source string) []dataformat.Measurement {
+	out := make([]dataformat.Measurement, len(samples))
+	unit, _ := dataformat.CanonicalUnit(dataformat.Quantity(key.Quantity))
+	for i, smp := range samples {
+		out[i] = dataformat.Measurement{
+			Source:    source,
+			Device:    key.Device,
+			Quantity:  dataformat.Quantity(key.Quantity),
+			Unit:      unit,
+			Value:     smp.Value,
+			Timestamp: smp.At,
+		}
+	}
+	return out
+}
+
+func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
+	key, err := seriesKey(r)
+	if err != nil {
+		proxyhttp.Error(w, http.StatusBadRequest, err)
+		return
+	}
+	from, to, err := parseRange(r)
+	if err != nil {
+		proxyhttp.Error(w, http.StatusBadRequest, err)
+		return
+	}
+	samples, err := s.store.Query(key, from, to)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, tsdb.ErrNoSeries) {
+			status = http.StatusNotFound
+		} else if errors.Is(err, tsdb.ErrBadInterval) {
+			status = http.StatusBadRequest
+		}
+		proxyhttp.Error(w, status, err)
+		return
+	}
+	doc := dataformat.NewMeasurementsDoc(measurementsOf(key, samples, s.srv.Addr()))
+	proxyhttp.WriteDoc(w, r, doc)
+}
+
+func (s *Service) handleLatest(w http.ResponseWriter, r *http.Request) {
+	key, err := seriesKey(r)
+	if err != nil {
+		proxyhttp.Error(w, http.StatusBadRequest, err)
+		return
+	}
+	smp, err := s.store.Latest(key)
+	if err != nil {
+		proxyhttp.Error(w, http.StatusNotFound, err)
+		return
+	}
+	ms := measurementsOf(key, []tsdb.Sample{smp}, s.srv.Addr())
+	proxyhttp.WriteDoc(w, r, dataformat.NewMeasurementDoc(ms[0]))
+}
+
+// SeriesInfo describes one stored series.
+type SeriesInfo struct {
+	Device   string `json:"device"`
+	Quantity string `json:"quantity"`
+	Samples  int    `json:"samples"`
+}
+
+func (s *Service) handleSeries(w http.ResponseWriter, r *http.Request) {
+	device := r.URL.Query().Get("device")
+	var keys []tsdb.SeriesKey
+	if device != "" {
+		keys = s.store.KeysForDevice(device)
+	} else {
+		keys = s.store.Keys()
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Device != keys[j].Device {
+			return keys[i].Device < keys[j].Device
+		}
+		return keys[i].Quantity < keys[j].Quantity
+	})
+	out := make([]SeriesInfo, len(keys))
+	for i, k := range keys {
+		out[i] = SeriesInfo{Device: k.Device, Quantity: k.Quantity, Samples: s.store.Len(k)}
+	}
+	writeJSON(w, out)
+}
+
+// AggregateResponse is the JSON shape of /aggregate.
+type AggregateResponse struct {
+	Device   string  `json:"device"`
+	Quantity string  `json:"quantity"`
+	Count    int     `json:"count"`
+	Min      float64 `json:"min"`
+	Max      float64 `json:"max"`
+	Mean     float64 `json:"mean"`
+	Sum      float64 `json:"sum"`
+}
+
+func (s *Service) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	key, err := seriesKey(r)
+	if err != nil {
+		proxyhttp.Error(w, http.StatusBadRequest, err)
+		return
+	}
+	from, to, err := parseRange(r)
+	if err != nil {
+		proxyhttp.Error(w, http.StatusBadRequest, err)
+		return
+	}
+	agg, err := s.store.Aggregate(key, from, to)
+	if err != nil {
+		proxyhttp.Error(w, http.StatusNotFound, err)
+		return
+	}
+	// Optional downsampling: window=<duration> switches to buckets.
+	if ws := r.URL.Query().Get("window"); ws != "" {
+		window, err := time.ParseDuration(ws)
+		if err != nil {
+			proxyhttp.Error(w, http.StatusBadRequest, fmt.Errorf("bad window: %v", err))
+			return
+		}
+		buckets, err := s.store.Downsample(key, from, to, window)
+		if err != nil {
+			proxyhttp.Error(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, buckets)
+		return
+	}
+	writeJSON(w, AggregateResponse{
+		Device: key.Device, Quantity: key.Quantity,
+		Count: agg.Count, Min: agg.Min, Max: agg.Max, Mean: agg.Mean, Sum: agg.Sum,
+	})
+}
+
+// Topic builds the middleware topic for a measurement, mirroring the
+// device URI structure: measurements/<district>/<path...>/<quantity>.
+func Topic(deviceURI string, quantity dataformat.Quantity) string {
+	topic := TopicRoot
+	rest := deviceURI
+	const prefix = "urn:district:"
+	if len(rest) > len(prefix) && rest[:len(prefix)] == prefix {
+		rest = rest[len(prefix):]
+	}
+	for _, seg := range splitPath(rest) {
+		topic += "/" + sanitizeSegment(seg)
+	}
+	return topic + "/" + string(quantity)
+}
+
+func splitPath(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// sanitizeSegment keeps topic segments wildcard-free.
+func sanitizeSegment(s string) string {
+	if s == "+" || s == "#" || s == "" {
+		return "_"
+	}
+	return s
+}

@@ -1,0 +1,325 @@
+package measuredb
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"repro/internal/dataformat"
+	"repro/internal/middleware"
+	"repro/internal/proxyhttp"
+	"repro/internal/tsdb"
+)
+
+var t0 = time.Date(2015, 3, 9, 10, 0, 0, 0, time.UTC)
+
+func sampleMeasurement(i int) dataformat.Measurement {
+	return dataformat.Measurement{
+		Source:    "http://devproxy/",
+		Device:    "urn:district:turin/building:b01/device:t-1",
+		Quantity:  dataformat.Temperature,
+		Unit:      dataformat.Celsius,
+		Value:     20 + float64(i),
+		Timestamp: t0.Add(time.Duration(i) * time.Minute),
+	}
+}
+
+func TestIngestAndQueryDirect(t *testing.T) {
+	s := New(Options{})
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		m := sampleMeasurement(i)
+		if err := s.Ingest(&m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Ingested != 10 || st.Store.Samples != 10 || st.Store.Series != 1 {
+		t.Errorf("Stats = %+v", st)
+	}
+	bad := dataformat.Measurement{}
+	if err := s.Ingest(&bad); err == nil {
+		t.Error("invalid measurement ingested")
+	}
+	if got := s.Stats().Rejected; got != 1 {
+		t.Errorf("Rejected = %d", got)
+	}
+}
+
+func TestTopicConstruction(t *testing.T) {
+	got := Topic("urn:district:turin/building:b01/device:t-1", dataformat.Temperature)
+	want := "measurements/turin/building:b01/device:t-1/temperature"
+	if got != want {
+		t.Errorf("Topic = %q, want %q", got, want)
+	}
+	if err := middleware.ValidateTopic(got); err != nil {
+		t.Errorf("topic invalid for middleware: %v", err)
+	}
+	// Weird URIs never produce wildcard segments.
+	got = Topic("urn:district:x/+/#//", dataformat.CO2)
+	if err := middleware.ValidateTopic(got); err != nil {
+		t.Errorf("sanitization failed: %q %v", got, err)
+	}
+}
+
+func TestBusIngestPath(t *testing.T) {
+	s := New(Options{})
+	defer s.Close()
+	bus := middleware.NewBus(middleware.BusOptions{QueueLen: -1}) // synchronous
+	defer bus.Close()
+	if _, err := s.AttachBus(bus); err != nil {
+		t.Fatal(err)
+	}
+	m := sampleMeasurement(0)
+	payload, err := dataformat.NewMeasurementDoc(m).Encode(dataformat.JSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Publish(middleware.Event{
+		Topic:   Topic(m.Device, m.Quantity),
+		Payload: payload,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Ingested; got != 1 {
+		t.Fatalf("Ingested = %d", got)
+	}
+	// Garbage payloads are rejected, not fatal.
+	_ = bus.Publish(middleware.Event{Topic: "measurements/x", Payload: []byte("{")})
+	if got := s.Stats().Rejected; got != 1 {
+		t.Errorf("Rejected = %d", got)
+	}
+	// Batch documents ingest all entries.
+	batch := dataformat.NewMeasurementsDoc([]dataformat.Measurement{sampleMeasurement(1), sampleMeasurement(2)})
+	payload, _ = batch.Encode(dataformat.XML)
+	_ = bus.Publish(middleware.Event{Topic: "measurements/batch", Payload: payload})
+	if got := s.Stats().Ingested; got != 3 {
+		t.Errorf("Ingested after batch = %d", got)
+	}
+}
+
+func newTestServer(t *testing.T) (*Service, *httptest.Server) {
+	t.Helper()
+	s := New(Options{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+func postAppend(t *testing.T, url string, doc *dataformat.Document, enc dataformat.Encoding) int {
+	t.Helper()
+	body, err := doc.Encode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsp, err := http.Post(url+"/append", enc.ContentType(), bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rsp.Body.Close()
+	var out map[string]int
+	_ = json.NewDecoder(rsp.Body).Decode(&out)
+	if rsp.StatusCode != http.StatusOK {
+		t.Fatalf("/append = %d", rsp.StatusCode)
+	}
+	return out["stored"]
+}
+
+func TestAppendEndpoint(t *testing.T) {
+	s, ts := newTestServer(t)
+	doc := dataformat.NewMeasurementsDoc([]dataformat.Measurement{sampleMeasurement(0), sampleMeasurement(1)})
+	if stored := postAppend(t, ts.URL, doc, dataformat.JSON); stored != 2 {
+		t.Errorf("stored = %d", stored)
+	}
+	if s.Stats().Ingested != 2 {
+		t.Errorf("Ingested = %d", s.Stats().Ingested)
+	}
+	// XML append too.
+	doc = dataformat.NewMeasurementDoc(sampleMeasurement(2))
+	if stored := postAppend(t, ts.URL, doc, dataformat.XML); stored != 1 {
+		t.Errorf("xml stored = %d", stored)
+	}
+	if s.Stats().Ingested != 3 {
+		t.Errorf("Ingested after XML = %d", s.Stats().Ingested)
+	}
+}
+
+func TestAppendRejects(t *testing.T) {
+	_, ts := newTestServer(t)
+	rsp, err := http.Get(ts.URL + "/append")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsp.Body.Close()
+	if rsp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /append = %d", rsp.StatusCode)
+	}
+	rsp, err = http.Post(ts.URL+"/append", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsp.Body.Close()
+	if rsp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty POST /append = %d", rsp.StatusCode)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	s, ts := newTestServer(t)
+	for i := 0; i < 30; i++ {
+		m := sampleMeasurement(i)
+		_ = s.Ingest(&m)
+	}
+	device := url.QueryEscape("urn:district:turin/building:b01/device:t-1")
+	u := fmt.Sprintf("%s/query?device=%s&quantity=temperature&from=%s&to=%s",
+		ts.URL, device,
+		url.QueryEscape(t0.Add(5*time.Minute).Format(time.RFC3339)),
+		url.QueryEscape(t0.Add(9*time.Minute).Format(time.RFC3339)))
+	doc, err := proxyhttp.GetDoc(nil, u, dataformat.JSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Measurements) != 5 {
+		t.Fatalf("measurements = %d, want 5", len(doc.Measurements))
+	}
+	if doc.Measurements[0].Value != 25 || doc.Measurements[0].Unit != dataformat.Celsius {
+		t.Errorf("first = %+v", doc.Measurements[0])
+	}
+	// XML negotiation.
+	doc, err = proxyhttp.GetDoc(nil, u, dataformat.XML)
+	if err != nil || len(doc.Measurements) != 5 {
+		t.Errorf("xml query: %v, %d", err, len(doc.Measurements))
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, tc := range []struct {
+		query string
+		want  int
+	}{
+		{"/query?device=x", http.StatusBadRequest},
+		{"/query?device=x&quantity=temperature", http.StatusNotFound},
+		{"/query?device=x&quantity=t&from=garbage", http.StatusBadRequest},
+		{"/latest?device=x&quantity=temperature", http.StatusNotFound},
+		{"/latest", http.StatusBadRequest},
+		{"/aggregate?device=x&quantity=t", http.StatusNotFound},
+	} {
+		rsp, err := http.Get(ts.URL + tc.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rsp.Body.Close()
+		if rsp.StatusCode != tc.want {
+			t.Errorf("%s = %d, want %d", tc.query, rsp.StatusCode, tc.want)
+		}
+	}
+}
+
+func TestLatestEndpoint(t *testing.T) {
+	s, ts := newTestServer(t)
+	for i := 0; i < 5; i++ {
+		m := sampleMeasurement(i)
+		_ = s.Ingest(&m)
+	}
+	device := url.QueryEscape("urn:district:turin/building:b01/device:t-1")
+	doc, err := proxyhttp.GetDoc(nil, ts.URL+"/latest?device="+device+"&quantity=temperature", dataformat.JSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Measurement == nil || doc.Measurement.Value != 24 {
+		t.Errorf("latest = %+v", doc.Measurement)
+	}
+}
+
+func TestSeriesEndpoint(t *testing.T) {
+	s, ts := newTestServer(t)
+	m := sampleMeasurement(0)
+	_ = s.Ingest(&m)
+	m2 := m
+	m2.Quantity = dataformat.Humidity
+	_ = s.Ingest(&m2)
+	m3 := m
+	m3.Device = "urn:district:turin/building:b02/device:x"
+	_ = s.Ingest(&m3)
+
+	rsp, err := http.Get(ts.URL + "/series")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []SeriesInfo
+	_ = json.NewDecoder(rsp.Body).Decode(&all)
+	rsp.Body.Close()
+	if len(all) != 3 {
+		t.Fatalf("series = %+v", all)
+	}
+	device := url.QueryEscape(m.Device)
+	rsp, err = http.Get(ts.URL + "/series?device=" + device)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var one []SeriesInfo
+	_ = json.NewDecoder(rsp.Body).Decode(&one)
+	rsp.Body.Close()
+	if len(one) != 2 || one[0].Quantity != "humidity" {
+		t.Errorf("device series = %+v", one)
+	}
+}
+
+func TestAggregateEndpoint(t *testing.T) {
+	s, ts := newTestServer(t)
+	for i := 0; i < 10; i++ {
+		m := sampleMeasurement(i) // values 20..29
+		_ = s.Ingest(&m)
+	}
+	device := url.QueryEscape("urn:district:turin/building:b01/device:t-1")
+	rsp, err := http.Get(ts.URL + "/aggregate?device=" + device + "&quantity=temperature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agg AggregateResponse
+	_ = json.NewDecoder(rsp.Body).Decode(&agg)
+	rsp.Body.Close()
+	if agg.Count != 10 || agg.Min != 20 || agg.Max != 29 || agg.Mean != 24.5 {
+		t.Errorf("aggregate = %+v", agg)
+	}
+
+	// Downsampled buckets.
+	rsp, err = http.Get(ts.URL + "/aggregate?device=" + device + "&quantity=temperature&window=5m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buckets []tsdb.Bucket
+	_ = json.NewDecoder(rsp.Body).Decode(&buckets)
+	rsp.Body.Close()
+	if len(buckets) != 2 || buckets[0].Count != 5 {
+		t.Errorf("buckets = %+v", buckets)
+	}
+	rsp, _ = http.Get(ts.URL + "/aggregate?device=" + device + "&quantity=temperature&window=banana")
+	rsp.Body.Close()
+	if rsp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad window = %d", rsp.StatusCode)
+	}
+}
+
+func TestServeAndClose(t *testing.T) {
+	s := New(Options{})
+	addr, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsp.Body.Close()
+	s.Close()
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("server alive after Close")
+	}
+}

@@ -1,0 +1,245 @@
+package middleware
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Event is one published message.
+type Event struct {
+	// Topic is the concrete hierarchical topic the event was published on.
+	Topic string `json:"topic"`
+	// Payload is an opaque body; proxies put common-format documents here.
+	Payload []byte `json:"payload"`
+	// Headers carries small metadata (content type, source URI, ...).
+	Headers map[string]string `json:"headers,omitempty"`
+	// At is the publication timestamp, UTC.
+	At time.Time `json:"at"`
+}
+
+// Handler consumes events delivered to a subscription.
+type Handler func(Event)
+
+// ErrBusClosed reports use of a closed bus.
+var ErrBusClosed = errors.New("middleware: bus closed")
+
+// MatcherKind selects the subscription index implementation.
+type MatcherKind int
+
+// Matcher kinds. TrieMatcher is the production index; LinearMatcher is a
+// deliberately naive baseline used by the E2 ablation benchmark.
+const (
+	TrieMatcher MatcherKind = iota
+	LinearMatcher
+)
+
+// BusOptions configure a Bus.
+type BusOptions struct {
+	// Matcher selects the subscription index (default TrieMatcher).
+	Matcher MatcherKind
+	// QueueLen is the per-subscription delivery queue length; events are
+	// dropped (counted in Stats) once a subscriber's queue is full.
+	// Zero means the default (256). Negative means synchronous delivery
+	// on the publisher's goroutine.
+	QueueLen int
+}
+
+// Bus is the in-process event bus embedded in every proxy. Delivery is
+// per-subscription FIFO, asynchronous by default, at-most-once: slow
+// subscribers lose events rather than stalling publishers — the behaviour
+// a sensor-data middleware wants.
+type Bus struct {
+	opts BusOptions
+
+	idx    *lockedMatcher
+	mu     sync.Mutex
+	subs   map[int]*subscription
+	nextID int
+	closed bool
+
+	stats struct {
+		sync.Mutex
+		published uint64
+		delivered uint64
+		dropped   uint64
+	}
+}
+
+type subscription struct {
+	id      int
+	pattern string
+	handler Handler
+	queue   chan Event
+	done    chan struct{}
+	sync    bool
+}
+
+// Subscription is the caller's handle on an active subscription.
+type Subscription struct {
+	bus *Bus
+	id  int
+	// Pattern is the subscribed pattern.
+	Pattern string
+}
+
+// NewBus creates a Bus.
+func NewBus(opts BusOptions) *Bus {
+	var m matcher
+	switch opts.Matcher {
+	case LinearMatcher:
+		m = newLinearMatcher()
+	default:
+		m = newTrieMatcher()
+	}
+	if opts.QueueLen == 0 {
+		opts.QueueLen = 256
+	}
+	return &Bus{
+		opts: opts,
+		idx:  &lockedMatcher{m: m},
+		subs: make(map[int]*subscription),
+	}
+}
+
+// Subscribe registers a handler for a pattern. The handler runs on a
+// dedicated goroutine per subscription (or synchronously on the
+// publisher's goroutine when QueueLen < 0).
+func (b *Bus) Subscribe(pattern string, h Handler) (*Subscription, error) {
+	if err := ValidatePattern(pattern); err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrBusClosed
+	}
+	id := b.nextID
+	b.nextID++
+	sub := &subscription{id: id, pattern: pattern, handler: h, sync: b.opts.QueueLen < 0}
+	if !sub.sync {
+		sub.queue = make(chan Event, b.opts.QueueLen)
+		sub.done = make(chan struct{})
+		go sub.run(b)
+	}
+	b.subs[id] = sub
+	b.idx.add(pattern, id)
+	return &Subscription{bus: b, id: id, Pattern: pattern}, nil
+}
+
+func (s *subscription) run(b *Bus) {
+	for ev := range s.queue {
+		s.handler(ev)
+		b.stats.Lock()
+		b.stats.delivered++
+		b.stats.Unlock()
+	}
+	close(s.done)
+}
+
+// Unsubscribe removes the subscription and waits for its delivery
+// goroutine to drain.
+func (s *Subscription) Unsubscribe() {
+	b := s.bus
+	b.mu.Lock()
+	sub, ok := b.subs[s.id]
+	if ok {
+		delete(b.subs, s.id)
+		b.idx.remove(sub.pattern, s.id)
+	}
+	b.mu.Unlock()
+	if ok && !sub.sync {
+		close(sub.queue)
+		<-sub.done
+	}
+}
+
+// Publish delivers the event to every matching subscription. The topic
+// must be concrete (no wildcards).
+func (b *Bus) Publish(ev Event) error {
+	if err := ValidateTopic(ev.Topic); err != nil {
+		return err
+	}
+	if ev.At.IsZero() {
+		ev.At = time.Now().UTC()
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrBusClosed
+	}
+	var targets []*subscription
+	b.idx.match(ev.Topic, func(id int) {
+		if sub, ok := b.subs[id]; ok {
+			targets = append(targets, sub)
+		}
+	})
+	b.mu.Unlock()
+
+	b.stats.Lock()
+	b.stats.published++
+	b.stats.Unlock()
+
+	for _, sub := range targets {
+		if sub.sync {
+			sub.handler(ev)
+			b.stats.Lock()
+			b.stats.delivered++
+			b.stats.Unlock()
+			continue
+		}
+		select {
+		case sub.queue <- ev:
+		default:
+			b.stats.Lock()
+			b.stats.dropped++
+			b.stats.Unlock()
+		}
+	}
+	return nil
+}
+
+// BusStats are cumulative bus counters.
+type BusStats struct {
+	Published     uint64
+	Delivered     uint64
+	Dropped       uint64
+	Subscriptions int
+}
+
+// Stats returns a snapshot of the bus counters.
+func (b *Bus) Stats() BusStats {
+	b.mu.Lock()
+	n := len(b.subs)
+	b.mu.Unlock()
+	b.stats.Lock()
+	defer b.stats.Unlock()
+	return BusStats{
+		Published:     b.stats.published,
+		Delivered:     b.stats.delivered,
+		Dropped:       b.stats.dropped,
+		Subscriptions: n,
+	}
+}
+
+// Close shuts the bus down, draining all subscription goroutines.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	subs := make([]*subscription, 0, len(b.subs))
+	for _, s := range b.subs {
+		subs = append(subs, s)
+	}
+	b.subs = make(map[int]*subscription)
+	b.mu.Unlock()
+	for _, s := range subs {
+		if !s.sync {
+			close(s.queue)
+			<-s.done
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package middleware
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within deadline")
+}
+
+func TestBusPublishSubscribe(t *testing.T) {
+	b := NewBus(BusOptions{})
+	defer b.Close()
+	var got atomic.Int64
+	sub, err := b.Subscribe("district/+/temperature", func(ev Event) {
+		got.Add(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Unsubscribe()
+
+	if err := b.Publish(Event{Topic: "district/turin/temperature", Payload: []byte("21.5")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish(Event{Topic: "district/turin/humidity"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return got.Load() == 1 })
+}
+
+func TestBusSynchronousDelivery(t *testing.T) {
+	b := NewBus(BusOptions{QueueLen: -1})
+	defer b.Close()
+	var got int
+	if _, err := b.Subscribe("a/#", func(ev Event) { got++ }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := b.Publish(Event{Topic: "a/b"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got != 10 { // synchronous: no waiting needed
+		t.Fatalf("got %d deliveries, want 10", got)
+	}
+}
+
+func TestBusRejectsBadTopics(t *testing.T) {
+	b := NewBus(BusOptions{})
+	defer b.Close()
+	if err := b.Publish(Event{Topic: "a/+"}); err == nil {
+		t.Error("wildcard topic accepted by Publish")
+	}
+	if _, err := b.Subscribe("a//b", func(Event) {}); err == nil {
+		t.Error("bad pattern accepted by Subscribe")
+	}
+}
+
+func TestBusUnsubscribeStopsDelivery(t *testing.T) {
+	b := NewBus(BusOptions{})
+	defer b.Close()
+	var got atomic.Int64
+	sub, _ := b.Subscribe("x", func(Event) { got.Add(1) })
+	_ = b.Publish(Event{Topic: "x"})
+	waitFor(t, func() bool { return got.Load() == 1 })
+	sub.Unsubscribe()
+	_ = b.Publish(Event{Topic: "x"})
+	time.Sleep(20 * time.Millisecond)
+	if got.Load() != 1 {
+		t.Fatalf("delivery after Unsubscribe: %d", got.Load())
+	}
+}
+
+func TestBusSlowSubscriberDropsNotBlocks(t *testing.T) {
+	b := NewBus(BusOptions{QueueLen: 1})
+	defer b.Close()
+	block := make(chan struct{})
+	_, _ = b.Subscribe("x", func(Event) { <-block })
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			_ = b.Publish(Event{Topic: "x"})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("publisher blocked on slow subscriber")
+	}
+	close(block)
+	waitFor(t, func() bool { return b.Stats().Dropped > 0 })
+}
+
+func TestBusStats(t *testing.T) {
+	b := NewBus(BusOptions{QueueLen: -1})
+	defer b.Close()
+	_, _ = b.Subscribe("a", func(Event) {})
+	_, _ = b.Subscribe("#", func(Event) {})
+	_ = b.Publish(Event{Topic: "a"})
+	st := b.Stats()
+	if st.Published != 1 || st.Delivered != 2 || st.Subscriptions != 2 {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+func TestBusCloseIdempotentAndRejects(t *testing.T) {
+	b := NewBus(BusOptions{})
+	_, _ = b.Subscribe("a", func(Event) {})
+	b.Close()
+	b.Close()
+	if err := b.Publish(Event{Topic: "a"}); err != ErrBusClosed {
+		t.Fatalf("Publish after close = %v, want ErrBusClosed", err)
+	}
+	if _, err := b.Subscribe("a", func(Event) {}); err != ErrBusClosed {
+		t.Fatalf("Subscribe after close = %v, want ErrBusClosed", err)
+	}
+}
+
+func TestBusEventTimestampDefaulted(t *testing.T) {
+	b := NewBus(BusOptions{QueueLen: -1})
+	defer b.Close()
+	var at time.Time
+	_, _ = b.Subscribe("a", func(ev Event) { at = ev.At })
+	_ = b.Publish(Event{Topic: "a"})
+	if at.IsZero() {
+		t.Fatal("Publish did not default the event timestamp")
+	}
+}
+
+func TestBusConcurrentPublishers(t *testing.T) {
+	b := NewBus(BusOptions{QueueLen: 4096})
+	defer b.Close()
+	var got atomic.Int64
+	for i := 0; i < 4; i++ {
+		_, _ = b.Subscribe("load/#", func(Event) { got.Add(1) })
+	}
+	var wg sync.WaitGroup
+	const perPublisher = 250
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perPublisher; i++ {
+				_ = b.Publish(Event{Topic: "load/x"})
+			}
+		}()
+	}
+	wg.Wait()
+	waitFor(t, func() bool {
+		st := b.Stats()
+		return st.Delivered+st.Dropped == 4*8*perPublisher
+	})
+}

@@ -1,0 +1,481 @@
+package middleware
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Wire protocol: each frame is a 4-byte big-endian length followed by a
+// JSON-encoded message. JSON keeps the wire open-standard, in the spirit
+// of the paper's format choices; the length prefix keeps framing trivial.
+
+// maxFrame bounds a single middleware frame (16 MiB).
+const maxFrame = 16 << 20
+
+// message is the on-wire envelope between middleware nodes.
+type message struct {
+	Type    string `json:"type"` // hello | sub | unsub | pub
+	NodeID  string `json:"nodeId,omitempty"`
+	Pattern string `json:"pattern,omitempty"`
+	Origin  string `json:"origin,omitempty"`
+	Seq     uint64 `json:"seq,omitempty"`
+	Event   *Event `json:"event,omitempty"`
+	Relay   bool   `json:"relay,omitempty"`
+}
+
+// Message types.
+const (
+	msgHello = "hello"
+	msgSub   = "sub"
+	msgUnsub = "unsub"
+	msgPub   = "pub"
+)
+
+func writeFrame(w *bufio.Writer, m *message) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	if len(body) > maxFrame {
+		return fmt.Errorf("middleware: frame too large (%d bytes)", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(body); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func readFrame(r *bufio.Reader) (*message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("middleware: oversized frame (%d bytes)", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	var m message
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// NodeOptions configure a middleware Node.
+type NodeOptions struct {
+	// ID names the node in the network; default is the listen address.
+	ID string
+	// Bus is the local bus; a fresh one is created when nil.
+	Bus *Bus
+	// Relay makes the node request every event from its peers and
+	// re-forward events between links — the hub role. Leaf proxies leave
+	// this false and receive only what their local subscriptions match.
+	Relay bool
+	// DedupeWindow is the number of recently-seen event IDs remembered
+	// for flood suppression. Zero means the default (8192).
+	DedupeWindow int
+}
+
+// Node links a local Bus into the district-wide middleware network over
+// TCP. Leaf nodes advertise their local subscription patterns to peers;
+// relay (hub) nodes subscribe to everything and re-flood with duplicate
+// suppression, so an arbitrary mesh of relays delivers each event once.
+type Node struct {
+	opts NodeOptions
+	bus  *Bus
+	ln   net.Listener
+
+	mu     sync.Mutex
+	links  map[*link]struct{}
+	closed bool
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+
+	seq   uint64
+	seen  *seenCache
+	ownID string
+}
+
+// link is one established connection to a peer node.
+type link struct {
+	node   *Node
+	conn   net.Conn
+	enc    *bufio.Writer
+	encMu  sync.Mutex
+	peerID string
+	relay  bool // peer asked for everything
+	remote *lockedMatcher
+	subIDs map[string]int // local bus subscription per remote pattern
+	nextID int
+}
+
+// NewNode creates a Node around the given (or a fresh) bus.
+func NewNode(opts NodeOptions) *Node {
+	if opts.Bus == nil {
+		opts.Bus = NewBus(BusOptions{})
+	}
+	if opts.DedupeWindow <= 0 {
+		opts.DedupeWindow = 8192
+	}
+	return &Node{
+		opts:   opts,
+		bus:    opts.Bus,
+		links:  make(map[*link]struct{}),
+		seen:   newSeenCache(opts.DedupeWindow),
+		stopCh: make(chan struct{}),
+		ownID:  opts.ID,
+	}
+}
+
+// Bus returns the node's local bus.
+func (n *Node) Bus() *Bus { return n.bus }
+
+// ID returns the node's network identity.
+func (n *Node) ID() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ownID
+}
+
+// Listen starts accepting peer links on addr and returns the bound
+// address (useful with ":0").
+func (n *Node) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	n.mu.Lock()
+	n.ln = ln
+	if n.ownID == "" {
+		n.ownID = ln.Addr().String()
+	}
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go n.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (n *Node) acceptLoop(ln net.Listener) {
+	defer n.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.runLink(conn)
+		}()
+	}
+}
+
+// Dial links this node to a peer at addr.
+func (n *Node) Dial(addr string) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrNodeClosed
+	}
+	n.mu.Unlock()
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.runLink(conn)
+	}()
+	return nil
+}
+
+// DialPersistent links to a peer and re-dials with exponential backoff
+// whenever the link drops — the self-configuration behaviour §III of the
+// paper emphasizes for unattended district deployments. The maintenance
+// goroutine stops when the node closes.
+func (n *Node) DialPersistent(addr string) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrNodeClosed
+	}
+	n.wg.Add(1)
+	n.mu.Unlock()
+	go func() {
+		defer n.wg.Done()
+		backoff := 50 * time.Millisecond
+		const maxBackoff = 5 * time.Second
+		for {
+			n.mu.Lock()
+			closed := n.closed
+			n.mu.Unlock()
+			if closed {
+				return
+			}
+			conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+			if err != nil {
+				select {
+				case <-time.After(backoff):
+				case <-n.stopCh:
+					return
+				}
+				if backoff *= 2; backoff > maxBackoff {
+					backoff = maxBackoff
+				}
+				continue
+			}
+			backoff = 50 * time.Millisecond
+			n.runLink(conn) // blocks until the link drops
+		}
+	}()
+	return nil
+}
+
+// runLink performs the hello exchange and serves the link until EOF.
+func (n *Node) runLink(conn net.Conn) {
+	defer conn.Close()
+	l := &link{
+		node:   n,
+		conn:   conn,
+		enc:    bufio.NewWriter(conn),
+		remote: &lockedMatcher{m: newTrieMatcher()},
+		subIDs: make(map[string]int),
+	}
+	r := bufio.NewReader(conn)
+
+	if err := l.send(&message{Type: msgHello, NodeID: n.ID(), Relay: n.opts.Relay}); err != nil {
+		return
+	}
+	hello, err := readFrame(r)
+	if err != nil || hello.Type != msgHello {
+		return
+	}
+	l.peerID = hello.NodeID
+	l.relay = hello.Relay
+
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.links[l] = struct{}{}
+	n.mu.Unlock()
+	defer n.dropLink(l)
+	n.advertise(l)
+
+	for {
+		m, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		n.handle(l, m)
+	}
+}
+
+func (n *Node) dropLink(l *link) {
+	n.mu.Lock()
+	delete(n.links, l)
+	n.mu.Unlock()
+}
+
+func (l *link) send(m *message) error {
+	l.encMu.Lock()
+	defer l.encMu.Unlock()
+	l.conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	return writeFrame(l.enc, m)
+}
+
+// handle dispatches one inbound frame.
+func (n *Node) handle(l *link, m *message) {
+	switch m.Type {
+	case msgSub:
+		if ValidatePattern(m.Pattern) != nil {
+			return
+		}
+		id := l.nextID
+		l.nextID++
+		l.subIDs[m.Pattern] = id
+		l.remote.add(m.Pattern, id)
+	case msgUnsub:
+		if id, ok := l.subIDs[m.Pattern]; ok {
+			l.remote.remove(m.Pattern, id)
+			delete(l.subIDs, m.Pattern)
+		}
+	case msgPub:
+		if m.Event == nil {
+			return
+		}
+		eventID := m.Origin + "#" + fmt.Sprint(m.Seq)
+		if !n.seen.insert(eventID) {
+			return // already flooded through this node
+		}
+		_ = n.bus.Publish(*m.Event)
+		if n.opts.Relay {
+			n.forward(m, l)
+		}
+	}
+}
+
+// Publish publishes locally and into the network.
+func (n *Node) Publish(ev Event) error {
+	if ev.At.IsZero() {
+		ev.At = time.Now().UTC()
+	}
+	if err := n.bus.Publish(ev); err != nil {
+		return err
+	}
+	seq := atomic.AddUint64(&n.seq, 1)
+	m := &message{Type: msgPub, Origin: n.ID(), Seq: seq, Event: &ev}
+	n.seen.insert(m.Origin + "#" + fmt.Sprint(seq))
+	n.forward(m, nil)
+	return nil
+}
+
+// forward sends a pub to every link interested in its topic, except the
+// one it arrived on.
+func (n *Node) forward(m *message, from *link) {
+	n.mu.Lock()
+	targets := make([]*link, 0, len(n.links))
+	for l := range n.links {
+		if l == from {
+			continue
+		}
+		if l.relay || matchesLink(l, m.Event.Topic) {
+			targets = append(targets, l)
+		}
+	}
+	n.mu.Unlock()
+	for _, l := range targets {
+		_ = l.send(m) // broken links are reaped by their read loop
+	}
+}
+
+func matchesLink(l *link, topic string) bool {
+	found := false
+	l.remote.match(topic, func(int) { found = true })
+	return found
+}
+
+// Subscribe subscribes the local handler and advertises the pattern to
+// every current and future peer so remote publishes reach this node.
+func (n *Node) Subscribe(pattern string, h Handler) (*Subscription, error) {
+	sub, err := n.bus.Subscribe(pattern, h)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	links := make([]*link, 0, len(n.links))
+	for l := range n.links {
+		links = append(links, l)
+	}
+	n.mu.Unlock()
+	for _, l := range links {
+		_ = l.send(&message{Type: msgSub, Pattern: pattern})
+	}
+	return sub, nil
+}
+
+// advertise sends current local patterns on a fresh link. Called under no
+// locks; a race with new Subscribe calls only causes a redundant sub.
+func (n *Node) advertise(l *link) {
+	n.bus.mu.Lock()
+	patterns := make([]string, 0, len(n.bus.subs))
+	for _, s := range n.bus.subs {
+		patterns = append(patterns, s.pattern)
+	}
+	n.bus.mu.Unlock()
+	for _, p := range patterns {
+		_ = l.send(&message{Type: msgSub, Pattern: p})
+	}
+}
+
+// Peers reports the IDs of currently linked peers.
+func (n *Node) Peers() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.links))
+	for l := range n.links {
+		out = append(out, l.peerID)
+	}
+	return out
+}
+
+// Close tears the node down: listener, links, and local bus.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	close(n.stopCh)
+	ln := n.ln
+	links := make([]*link, 0, len(n.links))
+	for l := range n.links {
+		links = append(links, l)
+	}
+	n.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, l := range links {
+		l.conn.Close()
+	}
+	n.wg.Wait()
+	n.bus.Close()
+}
+
+// ErrNodeClosed reports use of a closed node.
+var ErrNodeClosed = errors.New("middleware: node closed")
+
+// seenCache is a fixed-size set of recently seen event IDs with FIFO
+// eviction, used for flood duplicate suppression.
+type seenCache struct {
+	mu    sync.Mutex
+	set   map[string]struct{}
+	ring  []string
+	next  int
+	limit int
+}
+
+func newSeenCache(limit int) *seenCache {
+	return &seenCache{
+		set:   make(map[string]struct{}, limit),
+		ring:  make([]string, limit),
+		limit: limit,
+	}
+}
+
+// insert adds id and reports true when it was not already present.
+func (c *seenCache) insert(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.set[id]; ok {
+		return false
+	}
+	if old := c.ring[c.next]; old != "" {
+		delete(c.set, old)
+	}
+	c.ring[c.next] = id
+	c.next = (c.next + 1) % c.limit
+	c.set[id] = struct{}{}
+	return true
+}

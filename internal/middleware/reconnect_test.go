@@ -1,0 +1,93 @@
+package middleware
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDialPersistentSurvivesHubRestart(t *testing.T) {
+	// Reserve a port, start a hub on it, kill it, restart on the same
+	// port: the persistent leaf must reconnect and deliveries resume.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+
+	hub1 := NewNode(NodeOptions{ID: "hub1", Relay: true})
+	if _, err := hub1.Listen(addr); err != nil {
+		t.Fatal(err)
+	}
+
+	leaf := NewNode(NodeOptions{ID: "leaf"})
+	var got atomic.Int64
+	if _, err := leaf.Subscribe("r/#", func(Event) { got.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := leaf.DialPersistent(addr); err != nil {
+		t.Fatal(err)
+	}
+	defer leaf.Close()
+	waitFor(t, func() bool { return len(leaf.Peers()) == 1 })
+	time.Sleep(50 * time.Millisecond)
+
+	if err := hub1.Publish(Event{Topic: "r/1"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return got.Load() == 1 })
+
+	// Hub dies; leaf loses the link.
+	hub1.Close()
+	waitFor(t, func() bool { return len(leaf.Peers()) == 0 })
+
+	// Hub restarts on the same port (retry: the OS may briefly hold it).
+	hub2 := NewNode(NodeOptions{ID: "hub2", Relay: true})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := hub2.Listen(addr); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Skip("port not reusable on this host")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	defer hub2.Close()
+
+	// The leaf reconnects and re-advertises; publishes reach it again.
+	waitFor(t, func() bool { return len(leaf.Peers()) == 1 })
+	time.Sleep(100 * time.Millisecond) // let the sub advertisement land
+	if err := hub2.Publish(Event{Topic: "r/2"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return got.Load() == 2 })
+}
+
+func TestDialPersistentOnClosedNode(t *testing.T) {
+	n := NewNode(NodeOptions{})
+	n.Close()
+	if err := n.DialPersistent("127.0.0.1:1"); err != ErrNodeClosed {
+		t.Fatalf("err = %v, want ErrNodeClosed", err)
+	}
+}
+
+func TestDialPersistentStopsOnClose(t *testing.T) {
+	// Target never listens: the dial loop must exit promptly on Close.
+	n := NewNode(NodeOptions{})
+	if err := n.DialPersistent("127.0.0.1:1"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		n.Close() // must not hang on the backoff loop
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung on persistent dialer")
+	}
+}

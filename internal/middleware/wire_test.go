@@ -1,0 +1,105 @@
+package middleware
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+func TestWireFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	in := &message{
+		Type: msgPub, Origin: "node-a", Seq: 42,
+		Event: &Event{Topic: "a/b/c", Payload: []byte("payload"), Headers: map[string]string{"k": "v"}},
+	}
+	if err := writeFrame(w, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readFrame(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != msgPub || out.Origin != "node-a" || out.Seq != 42 {
+		t.Errorf("envelope = %+v", out)
+	}
+	if out.Event == nil || out.Event.Topic != "a/b/c" || string(out.Event.Payload) != "payload" {
+		t.Errorf("event = %+v", out.Event)
+	}
+}
+
+func TestWireReadRejectsOversized(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], maxFrame+1)
+	buf.Write(hdr[:])
+	if _, err := readFrame(bufio.NewReader(&buf)); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestWireReadRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := writeFrame(w, &message{Type: msgSub, Pattern: "a/#"}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		if _, err := readFrame(bufio.NewReader(bytes.NewReader(full[:cut]))); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestWireReadRejectsGarbageJSON(t *testing.T) {
+	var buf bytes.Buffer
+	body := []byte("{not json")
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	buf.Write(hdr[:])
+	buf.Write(body)
+	if _, err := readFrame(bufio.NewReader(&buf)); err == nil {
+		t.Fatal("garbage body accepted")
+	}
+}
+
+// Property: any sequence of messages written back-to-back reads back in
+// order and intact.
+func TestWireStreamProperty(t *testing.T) {
+	f := func(patterns []string, seqs []uint16) bool {
+		if len(patterns) > 16 {
+			patterns = patterns[:16]
+		}
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		var want []message
+		for i, p := range patterns {
+			var seq uint64
+			if i < len(seqs) {
+				seq = uint64(seqs[i])
+			}
+			m := message{Type: msgSub, Pattern: p, Seq: seq}
+			if err := writeFrame(w, &m); err != nil {
+				return false
+			}
+			want = append(want, m)
+		}
+		r := bufio.NewReader(&buf)
+		for _, m := range want {
+			got, err := readFrame(r)
+			if err != nil {
+				return false
+			}
+			if got.Pattern != m.Pattern || got.Seq != m.Seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

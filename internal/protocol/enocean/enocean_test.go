@@ -1,0 +1,259 @@
+package enocean
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataformat"
+)
+
+func TestCRC8KnownVector(t *testing.T) {
+	// CRC-8/SMBUS (poly 0x07, init 0) of "123456789" is 0xF4.
+	if got := crc8([]byte("123456789")); got != 0xF4 {
+		t.Errorf("crc8 = %#02x, want 0xF4", got)
+	}
+}
+
+func TestPacketRoundTrip(t *testing.T) {
+	in := &Packet{Type: TypeRadioERP1, Data: []byte{1, 2, 3, 4}, Optional: []byte{9, 8}}
+	raw := in.Encode()
+	if raw[0] != SyncByte {
+		t.Fatal("packet does not start with sync byte")
+	}
+	out, n, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(raw) {
+		t.Errorf("consumed %d of %d", n, len(raw))
+	}
+	if out.Type != TypeRadioERP1 || string(out.Data) != string(in.Data) || string(out.Optional) != string(in.Optional) {
+		t.Errorf("round trip: %+v", out)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	raw := (&Packet{Type: TypeRadioERP1, Data: []byte{1, 2, 3}}).Encode()
+	for i := 1; i < len(raw); i++ { // skip sync byte (tested separately)
+		bad := append([]byte(nil), raw...)
+		bad[i] ^= 0x40
+		if _, _, err := Decode(bad); err == nil {
+			t.Errorf("corruption at byte %d accepted", i)
+		}
+	}
+	bad := append([]byte(nil), raw...)
+	bad[0] = 0x00
+	if _, _, err := Decode(bad); !errors.Is(err, ErrNoSync) {
+		t.Errorf("missing sync: %v", err)
+	}
+	if _, _, err := Decode(raw[:4]); !errors.Is(err, ErrShortESP3) {
+		t.Error("truncated packet accepted")
+	}
+}
+
+func TestDecodeStream(t *testing.T) {
+	p1 := (&Packet{Type: TypeRadioERP1, Data: []byte{1}}).Encode()
+	p2 := (&Packet{Type: TypeResponse, Data: []byte{2, 3}}).Encode()
+	stream := append([]byte{0x00, 0x13}, p1...) // leading garbage
+	stream = append(stream, 0x42)               // inter-packet garbage
+	stream = append(stream, p2...)
+	stream = append(stream, p1[:5]...) // incomplete trailing packet
+
+	pkts, consumed := DecodeStream(stream)
+	if len(pkts) != 2 {
+		t.Fatalf("decoded %d packets, want 2", len(pkts))
+	}
+	if pkts[0].Data[0] != 1 || pkts[1].Data[0] != 2 {
+		t.Errorf("packet payloads: %v %v", pkts[0].Data, pkts[1].Data)
+	}
+	if consumed != len(stream)-5 {
+		t.Errorf("consumed = %d, want %d (stop before incomplete packet)", consumed, len(stream)-5)
+	}
+}
+
+func TestDecodeStreamAllGarbage(t *testing.T) {
+	pkts, consumed := DecodeStream([]byte{1, 2, 3, 4})
+	if len(pkts) != 0 || consumed != 4 {
+		t.Errorf("pkts=%d consumed=%d", len(pkts), consumed)
+	}
+}
+
+func TestTelegramRoundTrip(t *testing.T) {
+	in := &Telegram{RORG: RORG4BS, Data: []byte{0, 0, 100, 0x08}, SenderID: 0x0180ABCD, Status: 0}
+	out, err := DecodeTelegram(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.RORG != RORG4BS || out.SenderID != 0x0180ABCD || len(out.Data) != 4 {
+		t.Errorf("round trip: %+v", out)
+	}
+	// Through a full ESP3 packet too.
+	pkt := in.WrapRadio()
+	decoded, _, err := Decode(pkt.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := DecodeTelegram(decoded.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.SenderID != in.SenderID {
+		t.Errorf("sender = %#08x", tg.SenderID)
+	}
+}
+
+func TestDecodeTelegramRejects(t *testing.T) {
+	if _, err := DecodeTelegram([]byte{0xA5, 1, 2}); err == nil {
+		t.Error("short telegram accepted")
+	}
+	if _, err := DecodeTelegram([]byte{0x99, 1, 0, 0, 0, 0, 0}); err == nil {
+		t.Error("unknown RORG accepted")
+	}
+	// 4BS telegram with 1BS length.
+	if _, err := DecodeTelegram([]byte{0xA5, 1, 0, 0, 0, 0, 0}); err == nil {
+		t.Error("length-mismatched telegram accepted")
+	}
+}
+
+func TestEEPTemperatureRoundTrip(t *testing.T) {
+	for _, want := range []float64{0, 10.5, 21.3, 40} {
+		tg, err := EncodeEEP(EEPTempA50205, 0x100, []Reading{{dataformat.Temperature, want, dataformat.Celsius}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := DecodeEEP(EEPTempA50205, tg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs) != 1 || rs[0].Quantity != dataformat.Temperature {
+			t.Fatalf("readings = %+v", rs)
+		}
+		if math.Abs(rs[0].Value-want) > 40.0/255+1e-9 { // 8-bit quantization
+			t.Errorf("temp = %v, want ~%v", rs[0].Value, want)
+		}
+	}
+}
+
+func TestEEPTempHumRoundTrip(t *testing.T) {
+	tg, err := EncodeEEP(EEPTempHumA50401, 0x200, []Reading{
+		{dataformat.Temperature, 22.0, dataformat.Celsius},
+		{dataformat.Humidity, 55.0, dataformat.Percent},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := DecodeEEP(EEPTempHumA50401, tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("readings = %+v", rs)
+	}
+	byQ := map[dataformat.Quantity]float64{}
+	for _, r := range rs {
+		byQ[r.Quantity] = r.Value
+	}
+	if math.Abs(byQ[dataformat.Humidity]-55) > 0.5 || math.Abs(byQ[dataformat.Temperature]-22) > 0.2 {
+		t.Errorf("decoded %+v", byQ)
+	}
+}
+
+func TestEEPHumidityOnly(t *testing.T) {
+	tg, err := EncodeEEP(EEPTempHumA50401, 0x200, []Reading{{dataformat.Humidity, 40, dataformat.Percent}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := DecodeEEP(EEPTempHumA50401, tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Quantity != dataformat.Humidity {
+		t.Fatalf("readings = %+v (temperature bit should be off)", rs)
+	}
+}
+
+func TestEEPRockerAndContact(t *testing.T) {
+	for _, on := range []float64{0, 1} {
+		tg, err := EncodeEEP(EEPRockerF60201, 0x300, []Reading{{dataformat.SwitchState, on, dataformat.Bool}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := DecodeEEP(EEPRockerF60201, tg)
+		if err != nil || len(rs) != 1 || rs[0].Value != on {
+			t.Errorf("rocker on=%v: %+v err=%v", on, rs, err)
+		}
+
+		tg, err = EncodeEEP(EEPContactD50001, 0x400, []Reading{{dataformat.ContactState, on, dataformat.Bool}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err = DecodeEEP(EEPContactD50001, tg)
+		if err != nil || len(rs) != 1 || rs[0].Value != on {
+			t.Errorf("contact on=%v: %+v err=%v", on, rs, err)
+		}
+	}
+}
+
+func TestEEPOccupancy(t *testing.T) {
+	for _, occ := range []float64{0, 1} {
+		tg, err := EncodeEEP(EEPOccupancyA5070, 0x500, []Reading{{dataformat.Occupancy, occ, dataformat.Bool}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := DecodeEEP(EEPOccupancyA5070, tg)
+		if err != nil || len(rs) != 1 || rs[0].Value != occ {
+			t.Errorf("occupancy %v: %+v err=%v", occ, rs, err)
+		}
+	}
+}
+
+func TestEEPTeachInDetected(t *testing.T) {
+	// 4BS with LRN bit (DB0 bit3) cleared is a teach-in.
+	tg := &Telegram{RORG: RORG4BS, Data: []byte{0, 0, 100, 0x00}, SenderID: 1}
+	if _, err := DecodeEEP(EEPTempA50205, tg); !errors.Is(err, ErrTeachIn) {
+		t.Errorf("err = %v, want ErrTeachIn", err)
+	}
+	tgc := &Telegram{RORG: RORG1BS, Data: []byte{0x00}, SenderID: 1}
+	if _, err := DecodeEEP(EEPContactD50001, tgc); !errors.Is(err, ErrTeachIn) {
+		t.Errorf("contact teach-in: %v", err)
+	}
+}
+
+func TestEEPMismatchedRORG(t *testing.T) {
+	tg := &Telegram{RORG: RORG1BS, Data: []byte{0x09}, SenderID: 1}
+	if _, err := DecodeEEP(EEPTempA50205, tg); err == nil {
+		t.Error("RORG mismatch accepted")
+	}
+}
+
+func TestEncodeEEPMissingReading(t *testing.T) {
+	if _, err := EncodeEEP(EEPTempA50205, 1, nil); err == nil {
+		t.Error("missing temperature reading accepted")
+	}
+}
+
+// Property: any byte stream, when split at arbitrary points, yields the
+// same packets via DecodeStream as the whole (prefix-consumption safety).
+func TestDecodeStreamIncrementalProperty(t *testing.T) {
+	f := func(vals []byte, split uint8) bool {
+		// Build a stream of two valid packets with the fuzz payload.
+		if len(vals) > 32 {
+			vals = vals[:32]
+		}
+		p1 := (&Packet{Type: TypeRadioERP1, Data: append([]byte{1}, vals...)}).Encode()
+		p2 := (&Packet{Type: TypeEvent, Data: []byte{2}}).Encode()
+		stream := append(append([]byte{}, p1...), p2...)
+
+		whole, _ := DecodeStream(stream)
+		cut := int(split) % len(stream)
+		first, consumed := DecodeStream(stream[:cut])
+		rest := append(append([]byte{}, stream[consumed:cut]...), stream[cut:]...)
+		second, _ := DecodeStream(rest)
+		return len(whole) == len(first)+len(second)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

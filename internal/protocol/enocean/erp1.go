@@ -1,0 +1,245 @@
+package enocean
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/dataformat"
+)
+
+// RORG is the radio telegram organization byte of an ERP1 telegram.
+type RORG uint8
+
+// Telegram organizations used by the supported profiles.
+const (
+	RORG4BS RORG = 0xA5 // 4-byte sensor data
+	RORG1BS RORG = 0xD5 // 1-byte sensor data (contacts)
+	RORGRPS RORG = 0xF6 // repeated switch (rockers)
+)
+
+// Telegram is a parsed ERP1 radio telegram.
+type Telegram struct {
+	RORG     RORG
+	Data     []byte // 4 bytes for 4BS, 1 byte for 1BS/RPS
+	SenderID uint32
+	Status   uint8
+}
+
+// ErrShortTelegram reports a truncated ERP1 payload.
+var ErrShortTelegram = errors.New("enocean: truncated ERP1 telegram")
+
+// Encode serializes the telegram as the Data field of a RadioERP1 packet.
+func (t *Telegram) Encode() []byte {
+	out := make([]byte, 0, 1+len(t.Data)+5)
+	out = append(out, uint8(t.RORG))
+	out = append(out, t.Data...)
+	out = binary.BigEndian.AppendUint32(out, t.SenderID)
+	return append(out, t.Status)
+}
+
+// DecodeTelegram parses an ERP1 telegram from a RadioERP1 packet's data.
+func DecodeTelegram(data []byte) (*Telegram, error) {
+	if len(data) < 7 { // rorg + >=1 data + sender(4) + status
+		return nil, ErrShortTelegram
+	}
+	rorg := RORG(data[0])
+	var dataLen int
+	switch rorg {
+	case RORG4BS:
+		dataLen = 4
+	case RORG1BS, RORGRPS:
+		dataLen = 1
+	default:
+		return nil, fmt.Errorf("enocean: unsupported RORG %#02x", data[0])
+	}
+	if len(data) != 1+dataLen+5 {
+		return nil, ErrShortTelegram
+	}
+	return &Telegram{
+		RORG:     rorg,
+		Data:     append([]byte(nil), data[1:1+dataLen]...),
+		SenderID: binary.BigEndian.Uint32(data[1+dataLen:]),
+		Status:   data[len(data)-1],
+	}, nil
+}
+
+// WrapRadio builds the ESP3 packet carrying the telegram, with the
+// standard optional data (subtelegram count 3, broadcast destination,
+// dBm 0xFF best, security 0).
+func (t *Telegram) WrapRadio() *Packet {
+	opt := []byte{0x03, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x00}
+	return &Packet{Type: TypeRadioERP1, Data: t.Encode(), Optional: opt}
+}
+
+// EEP identifies an EnOcean Equipment Profile as rorg-func-type.
+type EEP struct {
+	RORG uint8
+	Func uint8
+	Type uint8
+}
+
+// String renders the profile in the conventional A5-02-05 form.
+func (e EEP) String() string { return fmt.Sprintf("%02X-%02X-%02X", e.RORG, e.Func, e.Type) }
+
+// Profiles supported by the proxy.
+var (
+	EEPTempA50205     = EEP{0xA5, 0x02, 0x05} // temperature 0..40 degC
+	EEPTempHumA50401  = EEP{0xA5, 0x04, 0x01} // temperature 0..40 + humidity
+	EEPRockerF60201   = EEP{0xF6, 0x02, 0x01} // 2-rocker switch
+	EEPContactD50001  = EEP{0xD5, 0x00, 0x01} // single-input contact
+	EEPOccupancyA5070 = EEP{0xA5, 0x07, 0x01} // occupancy PIR
+)
+
+// Reading is one decoded physical value from a telegram.
+type Reading struct {
+	Quantity dataformat.Quantity
+	Value    float64
+	Unit     dataformat.Unit
+}
+
+// ErrTeachIn reports a teach-in telegram, which carries no data.
+var ErrTeachIn = errors.New("enocean: teach-in telegram")
+
+// DecodeEEP interprets a telegram under an equipment profile and returns
+// the readings it carries.
+func DecodeEEP(profile EEP, t *Telegram) ([]Reading, error) {
+	if uint8(t.RORG) != profile.RORG {
+		return nil, fmt.Errorf("enocean: telegram RORG %#02x does not match profile %s", uint8(t.RORG), profile)
+	}
+	switch profile {
+	case EEPTempA50205:
+		if len(t.Data) != 4 {
+			return nil, ErrShortTelegram
+		}
+		if t.Data[3]&0x08 == 0 {
+			return nil, ErrTeachIn
+		}
+		// DB1 holds 255..0 for 0..40 degC (inverted scale).
+		raw := float64(t.Data[2])
+		temp := (255 - raw) * 40 / 255
+		return []Reading{{dataformat.Temperature, temp, dataformat.Celsius}}, nil
+
+	case EEPTempHumA50401:
+		if len(t.Data) != 4 {
+			return nil, ErrShortTelegram
+		}
+		if t.Data[3]&0x08 == 0 {
+			return nil, ErrTeachIn
+		}
+		// DB2 humidity 0..250 -> 0..100%; DB1 temperature 0..250 -> 0..40 degC.
+		hum := float64(t.Data[1]) * 100 / 250
+		temp := float64(t.Data[2]) * 40 / 250
+		out := []Reading{{dataformat.Humidity, hum, dataformat.Percent}}
+		if t.Data[3]&0x02 != 0 { // T-sensor availability bit
+			out = append(out, Reading{dataformat.Temperature, temp, dataformat.Celsius})
+		}
+		return out, nil
+
+	case EEPOccupancyA5070:
+		if len(t.Data) != 4 {
+			return nil, ErrShortTelegram
+		}
+		if t.Data[3]&0x08 == 0 {
+			return nil, ErrTeachIn
+		}
+		// DB1 >= 128 means motion observed.
+		v := 0.0
+		if t.Data[2] >= 128 {
+			v = 1
+		}
+		return []Reading{{dataformat.Occupancy, v, dataformat.Bool}}, nil
+
+	case EEPRockerF60201:
+		if len(t.Data) != 1 {
+			return nil, ErrShortTelegram
+		}
+		// Bits 7..5 carry the rocker action, bit 4 the energy bow. A0
+		// pressed (0x30) or B0 pressed (0x70) means ON; AI/BI mean OFF.
+		v := 0.0
+		if t.Data[0]&0xF0 == 0x30 || t.Data[0]&0xF0 == 0x70 {
+			v = 1
+		}
+		return []Reading{{dataformat.SwitchState, v, dataformat.Bool}}, nil
+
+	case EEPContactD50001:
+		if len(t.Data) != 1 {
+			return nil, ErrShortTelegram
+		}
+		if t.Data[0]&0x08 == 0 {
+			return nil, ErrTeachIn
+		}
+		v := 0.0
+		if t.Data[0]&0x01 != 0 {
+			v = 1 // contact closed
+		}
+		return []Reading{{dataformat.ContactState, v, dataformat.Bool}}, nil
+
+	default:
+		return nil, fmt.Errorf("enocean: unsupported profile %s", profile)
+	}
+}
+
+// EncodeEEP builds the telegram a device with the given profile would
+// send for the readings — the inverse of DecodeEEP, used by the WSN
+// simulator's virtual EnOcean devices.
+func EncodeEEP(profile EEP, sender uint32, readings []Reading) (*Telegram, error) {
+	byQ := make(map[dataformat.Quantity]float64, len(readings))
+	for _, r := range readings {
+		byQ[r.Quantity] = r.Value
+	}
+	switch profile {
+	case EEPTempA50205:
+		temp, ok := byQ[dataformat.Temperature]
+		if !ok {
+			return nil, fmt.Errorf("enocean: profile %s needs a temperature reading", profile)
+		}
+		raw := 255 - clampByte(temp*255/40)
+		return &Telegram{RORG: RORG4BS, Data: []byte{0, 0, raw, 0x08}, SenderID: sender}, nil
+
+	case EEPTempHumA50401:
+		hum := byQ[dataformat.Humidity]
+		temp, hasTemp := byQ[dataformat.Temperature]
+		db3 := byte(0x08)
+		var db1 byte
+		if hasTemp {
+			db3 |= 0x02
+			db1 = clampByte(temp * 250 / 40)
+		}
+		return &Telegram{RORG: RORG4BS, Data: []byte{0, clampByte(hum * 250 / 100), db1, db3}, SenderID: sender}, nil
+
+	case EEPOccupancyA5070:
+		var db1 byte = 0
+		if byQ[dataformat.Occupancy] != 0 {
+			db1 = 200
+		}
+		return &Telegram{RORG: RORG4BS, Data: []byte{0, 0, db1, 0x08}, SenderID: sender}, nil
+
+	case EEPRockerF60201:
+		var db0 byte = 0x10 // A1 pressed (off)
+		if byQ[dataformat.SwitchState] != 0 {
+			db0 = 0x30 // A0 pressed (on)
+		}
+		return &Telegram{RORG: RORGRPS, Data: []byte{db0}, SenderID: sender, Status: 0x30}, nil
+
+	case EEPContactD50001:
+		var db0 byte = 0x08
+		if byQ[dataformat.ContactState] != 0 {
+			db0 |= 0x01
+		}
+		return &Telegram{RORG: RORG1BS, Data: []byte{db0}, SenderID: sender}, nil
+
+	default:
+		return nil, fmt.Errorf("enocean: unsupported profile %s", profile)
+	}
+}
+
+func clampByte(v float64) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v)
+}

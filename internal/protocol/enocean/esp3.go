@@ -1,0 +1,138 @@
+// Package enocean implements the EnOcean Serial Protocol 3 (ESP3) framing
+// and the EnOcean Equipment Profiles (EEP) the district's EnOcean
+// device-proxy understands. EnOcean devices are energy-harvesting
+// (batteryless) sensors and switches; the paper's testbed bridges them
+// into the infrastructure through a serial gateway, which this package
+// simulates with an in-memory byte stream while keeping the on-wire
+// encoding — sync byte, CRC-8 protected header and data, ERP1 radio
+// telegrams — exactly as a physical TCM 310 gateway would emit it.
+package enocean
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// SyncByte starts every ESP3 packet.
+const SyncByte = 0x55
+
+// PacketType discriminates ESP3 packet contents.
+type PacketType uint8
+
+// ESP3 packet types (ESP3 spec §1.8).
+const (
+	TypeRadioERP1 PacketType = 0x01
+	TypeResponse  PacketType = 0x02
+	TypeEvent     PacketType = 0x04
+	TypeCommand   PacketType = 0x05
+)
+
+// Packet is one ESP3 packet.
+type Packet struct {
+	Type     PacketType
+	Data     []byte
+	Optional []byte
+}
+
+// Errors reported by the ESP3 codec.
+var (
+	ErrNoSync    = errors.New("enocean: missing sync byte")
+	ErrShortESP3 = errors.New("enocean: truncated ESP3 packet")
+	ErrCRC       = errors.New("enocean: CRC mismatch")
+)
+
+// crc8 computes the CRC-8 used by ESP3 (polynomial 0x07, init 0).
+func crc8(data []byte) byte {
+	var crc byte
+	for _, b := range data {
+		crc ^= b
+		for i := 0; i < 8; i++ {
+			if crc&0x80 != 0 {
+				crc = crc<<1 ^ 0x07
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// Encode serializes the packet: sync, header (data length, optional
+// length, type), CRC8H, data, optional, CRC8D.
+func (p *Packet) Encode() []byte {
+	header := make([]byte, 4)
+	binary.BigEndian.PutUint16(header, uint16(len(p.Data)))
+	header[2] = uint8(len(p.Optional))
+	header[3] = uint8(p.Type)
+
+	out := make([]byte, 0, 7+len(p.Data)+len(p.Optional))
+	out = append(out, SyncByte)
+	out = append(out, header...)
+	out = append(out, crc8(header))
+	out = append(out, p.Data...)
+	out = append(out, p.Optional...)
+	out = append(out, crc8(out[6:]))
+	return out
+}
+
+// Decode parses one packet from the head of buf and returns it together
+// with the number of bytes consumed.
+func Decode(buf []byte) (*Packet, int, error) {
+	if len(buf) < 1 || buf[0] != SyncByte {
+		return nil, 0, ErrNoSync
+	}
+	if len(buf) < 6 {
+		return nil, 0, ErrShortESP3
+	}
+	header := buf[1:5]
+	if crc8(header) != buf[5] {
+		return nil, 0, fmt.Errorf("%w: header", ErrCRC)
+	}
+	dataLen := int(binary.BigEndian.Uint16(header))
+	optLen := int(header[2])
+	total := 6 + dataLen + optLen + 1
+	if len(buf) < total {
+		return nil, 0, ErrShortESP3
+	}
+	payload := buf[6 : 6+dataLen+optLen]
+	if crc8(payload) != buf[total-1] {
+		return nil, 0, fmt.Errorf("%w: data", ErrCRC)
+	}
+	p := &Packet{
+		Type:     PacketType(header[3]),
+		Data:     append([]byte(nil), payload[:dataLen]...),
+		Optional: append([]byte(nil), payload[dataLen:]...),
+	}
+	return p, total, nil
+}
+
+// DecodeStream scans a byte stream for packets, skipping garbage between
+// sync bytes, and returns the packets plus the number of bytes consumed
+// (up to the start of an incomplete trailing packet, if any).
+func DecodeStream(buf []byte) ([]*Packet, int) {
+	var out []*Packet
+	consumed := 0
+	for consumed < len(buf) {
+		idx := bytes.IndexByte(buf[consumed:], SyncByte)
+		if idx < 0 {
+			consumed = len(buf)
+			break
+		}
+		consumed += idx
+		p, n, err := Decode(buf[consumed:])
+		switch {
+		case err == nil:
+			out = append(out, p)
+			consumed += n
+		case errors.Is(err, ErrShortESP3):
+			// Incomplete trailing packet: wait for more bytes.
+			return out, consumed
+		default:
+			// Corrupt packet: skip this sync byte and rescan.
+			consumed++
+		}
+	}
+	return out, consumed
+}

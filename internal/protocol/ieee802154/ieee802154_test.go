@@ -1,0 +1,296 @@
+package ieee802154
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleFrame() *Frame {
+	return &Frame{
+		Type:       FrameData,
+		AckRequest: true,
+		IntraPAN:   true,
+		Seq:        42,
+		DestPAN:    0x1234,
+		DestAddr:   0x0001,
+		SrcAddr:    0x00A5,
+		Payload:    []byte{0xDE, 0xAD, 0xBE, 0xEF},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := sampleFrame()
+	raw, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != f.Type || got.Seq != f.Seq || got.DestPAN != f.DestPAN ||
+		got.DestAddr != f.DestAddr || got.SrcAddr != f.SrcAddr ||
+		!got.AckRequest || !got.IntraPAN {
+		t.Errorf("round trip mutated header: %+v", got)
+	}
+	if string(got.Payload) != string(f.Payload) {
+		t.Errorf("payload = % x", got.Payload)
+	}
+}
+
+func TestFrameInterPAN(t *testing.T) {
+	f := sampleFrame()
+	f.IntraPAN = false
+	f.SrcPAN = 0x5678
+	raw, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPAN != 0x5678 {
+		t.Errorf("SrcPAN = %#x, want 0x5678", got.SrcPAN)
+	}
+}
+
+func TestAckFrameRoundTrip(t *testing.T) {
+	raw, err := Ack(7).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 5 { // FCF(2) + seq(1) + FCS(2): the minimal 802.15.4 frame
+		t.Errorf("ack frame length = %d, want 5", len(raw))
+	}
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != FrameAck || got.Seq != 7 {
+		t.Errorf("ack round trip: %+v", got)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	raw, _ := sampleFrame().Encode()
+	for i := range raw {
+		corrupted := append([]byte(nil), raw...)
+		corrupted[i] ^= 0x01
+		if _, err := Decode(corrupted); err == nil {
+			// A flipped bit could in principle still produce a valid
+			// different frame only if it hits... nothing: FCS covers all
+			// preceding bytes, and flipping FCS bits breaks the match.
+			t.Errorf("corruption at byte %d not detected", i)
+		}
+	}
+}
+
+func TestDecodeShortFrame(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}); err != ErrShortFrame {
+		t.Fatalf("err = %v, want ErrShortFrame", err)
+	}
+}
+
+func TestEncodeOversizedPayload(t *testing.T) {
+	f := sampleFrame()
+	f.Payload = make([]byte, MaxPayload+1)
+	if _, err := f.Encode(); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+func TestFCSKnownVector(t *testing.T) {
+	// ITU-T CRC16 (reflected, init 0) of "123456789" is 0x6F91... that is
+	// for CRC-16/KERMIT with this exact bit ordering.
+	if got := fcs([]byte("123456789")); got != 0x2189 {
+		t.Errorf("fcs = %#04x, want 0x2189 (CRC-16/KERMIT)", got)
+	}
+}
+
+// Property: encode/decode round-trips arbitrary data frames.
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(seq uint8, destPAN, dest, src uint16, payload []byte, ack bool) bool {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		in := &Frame{
+			Type: FrameData, Seq: seq, IntraPAN: true, AckRequest: ack,
+			DestPAN: destPAN, DestAddr: dest, SrcAddr: src, Payload: payload,
+		}
+		raw, err := in.Encode()
+		if err != nil {
+			return false
+		}
+		out, err := Decode(raw)
+		if err != nil {
+			return false
+		}
+		if out.Seq != seq || out.DestPAN != destPAN || out.DestAddr != dest ||
+			out.SrcAddr != src || out.AckRequest != ack {
+			return false
+		}
+		if len(out.Payload) != len(payload) {
+			return false
+		}
+		for i := range payload {
+			if out.Payload[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSensorReadingRoundTrip(t *testing.T) {
+	in := SensorReading{Kind: ReadingTemperature, Value: 21.573, Battery: 88}
+	out, err := DecodeReading(EncodeReading(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != in.Kind || out.Battery != 88 {
+		t.Errorf("round trip: %+v", out)
+	}
+	if diff := out.Value - in.Value; diff > 0.001 || diff < -0.001 {
+		t.Errorf("value %v, want %v (milli resolution)", out.Value, in.Value)
+	}
+}
+
+func TestSensorReadingNegativeValue(t *testing.T) {
+	in := SensorReading{Kind: ReadingTemperature, Value: -12.5, Battery: 10}
+	out, err := DecodeReading(EncodeReading(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Value != -12.5 {
+		t.Errorf("negative value = %v, want -12.5", out.Value)
+	}
+}
+
+func TestDecodeReadingRejects(t *testing.T) {
+	if _, err := DecodeReading([]byte{1, 2}); err == nil {
+		t.Error("short payload accepted")
+	}
+	good := EncodeReading(SensorReading{Kind: ReadingCO2, Value: 400})
+	bad := append([]byte(nil), good...)
+	bad[3] ^= 0xFF
+	if _, err := DecodeReading(bad); err == nil {
+		t.Error("corrupted payload accepted")
+	}
+	bad = append([]byte(nil), good...)
+	bad[0] = 0x00
+	if _, err := DecodeReading(bad); err == nil {
+		t.Error("wrong magic accepted")
+	}
+}
+
+func TestRadioDelivery(t *testing.T) {
+	r := NewRadio(RadioOptions{})
+	defer r.Close()
+	a, err := r.Attach(0x1234, 0x0001, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Attach(0x1234, 0x0002, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &Frame{Type: FrameData, IntraPAN: true, DestPAN: 0x1234, DestAddr: 0x0002, SrcAddr: 0x0001, Payload: []byte("hi")}
+	if err := a.Send(f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Receive(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Payload) != "hi" || got.SrcAddr != 0x0001 {
+		t.Errorf("received %+v", got)
+	}
+}
+
+func TestRadioAddressFiltering(t *testing.T) {
+	r := NewRadio(RadioOptions{})
+	defer r.Close()
+	a, _ := r.Attach(0x1234, 0x0001, 0)
+	b, _ := r.Attach(0x1234, 0x0002, 0)
+	// Addressed to someone else: b must not deliver it.
+	f := &Frame{Type: FrameData, IntraPAN: true, DestPAN: 0x1234, DestAddr: 0x0099, SrcAddr: 0x0001}
+	_ = a.Send(f)
+	if _, err := b.Receive(50 * time.Millisecond); err != ErrRxTimeout {
+		t.Fatalf("err = %v, want ErrRxTimeout", err)
+	}
+	// Broadcast: delivered.
+	f.DestAddr = BroadcastAddr
+	_ = a.Send(f)
+	if _, err := b.Receive(time.Second); err != nil {
+		t.Fatalf("broadcast not delivered: %v", err)
+	}
+}
+
+func TestRadioLoss(t *testing.T) {
+	r := NewRadio(RadioOptions{LossProb: 1.0})
+	defer r.Close()
+	a, _ := r.Attach(1, 1, 0)
+	b, _ := r.Attach(1, 2, 0)
+	_ = a.Send(&Frame{Type: FrameData, IntraPAN: true, DestPAN: 1, DestAddr: 2, SrcAddr: 1})
+	if _, err := b.Receive(50 * time.Millisecond); err != ErrRxTimeout {
+		t.Fatalf("frame delivered despite 100%% loss: %v", err)
+	}
+	st := r.Stats()
+	if st.Frames != 1 || st.Dropped != 1 {
+		t.Errorf("Stats = %+v", st)
+	}
+}
+
+func TestRadioAckExchange(t *testing.T) {
+	r := NewRadio(RadioOptions{})
+	defer r.Close()
+	sensor, _ := r.Attach(1, 0x10, 0)
+	sink, _ := r.Attach(1, 0x01, 0)
+
+	payload := EncodeReading(SensorReading{Kind: ReadingHumidity, Value: 47.2, Battery: 91})
+	_ = sensor.Send(&Frame{Type: FrameData, AckRequest: true, IntraPAN: true, DestPAN: 1, DestAddr: 0x01, SrcAddr: 0x10, Seq: 9, Payload: payload})
+
+	got, err := sink.Receive(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Send(Ack(got.Seq)); err != nil {
+		t.Fatal(err)
+	}
+	ack, err := sensor.Receive(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Type != FrameAck || ack.Seq != 9 {
+		t.Errorf("ack = %+v", ack)
+	}
+	reading, err := DecodeReading(got.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reading.Kind != ReadingHumidity || reading.Battery != 91 {
+		t.Errorf("reading = %+v", reading)
+	}
+}
+
+func TestRadioDetachAndClose(t *testing.T) {
+	r := NewRadio(RadioOptions{})
+	a, _ := r.Attach(1, 1, 0)
+	b, _ := r.Attach(1, 2, 0)
+	b.Detach()
+	if st := r.Stats(); st.Nodes != 1 {
+		t.Errorf("Nodes = %d, want 1", st.Nodes)
+	}
+	r.Close()
+	if err := a.Transmit([]byte{1}); err != ErrRadioClosed {
+		t.Fatalf("Transmit after Close = %v, want ErrRadioClosed", err)
+	}
+	if _, err := r.Attach(1, 3, 0); err != ErrRadioClosed {
+		t.Fatalf("Attach after Close = %v, want ErrRadioClosed", err)
+	}
+}

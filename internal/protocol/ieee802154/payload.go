@@ -1,0 +1,76 @@
+package ieee802154
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// The plain-802.15.4 devices in the district (those not speaking ZigBee
+// on top) use a compact sensor payload: a magic byte, a reading kind, a
+// milli-unit scaled signed 32-bit value, and a battery level. This
+// mirrors the proprietary-but-simple payloads of the low-cost nodes the
+// paper's testbed deployed.
+
+// payloadMagic marks a sensor reading payload.
+const payloadMagic = 0x5E
+
+// ReadingKind identifies the sensed quantity in a sensor payload.
+type ReadingKind uint8
+
+// Reading kinds carried by plain 802.15.4 sensor payloads.
+const (
+	ReadingTemperature ReadingKind = 0x01 // milli-degC
+	ReadingHumidity    ReadingKind = 0x02 // milli-percent
+	ReadingIlluminance ReadingKind = 0x03 // milli-lux
+	ReadingPower       ReadingKind = 0x04 // milliwatt
+	ReadingOccupancy   ReadingKind = 0x05 // 0 / 1000
+	ReadingCO2         ReadingKind = 0x06 // milli-ppm
+)
+
+// SensorReading is one decoded plain-802.15.4 sensor sample.
+type SensorReading struct {
+	Kind    ReadingKind
+	Value   float64 // engineering units (degC, %, lx, W, ppm, bool)
+	Battery uint8   // percent
+}
+
+// ErrBadPayload reports a payload that is not a sensor reading.
+var ErrBadPayload = errors.New("ieee802154: not a sensor reading payload")
+
+// EncodeReading builds the 8-byte sensor payload.
+func EncodeReading(r SensorReading) []byte {
+	milli := int32(r.Value * 1000)
+	buf := make([]byte, 8)
+	buf[0] = payloadMagic
+	buf[1] = byte(r.Kind)
+	binary.BigEndian.PutUint32(buf[2:], uint32(milli))
+	buf[6] = r.Battery
+	buf[7] = checksum(buf[:7])
+	return buf
+}
+
+// DecodeReading parses a sensor payload.
+func DecodeReading(p []byte) (SensorReading, error) {
+	if len(p) != 8 || p[0] != payloadMagic {
+		return SensorReading{}, ErrBadPayload
+	}
+	if checksum(p[:7]) != p[7] {
+		return SensorReading{}, fmt.Errorf("%w: checksum mismatch", ErrBadPayload)
+	}
+	milli := int32(binary.BigEndian.Uint32(p[2:6]))
+	return SensorReading{
+		Kind:    ReadingKind(p[1]),
+		Value:   float64(milli) / 1000,
+		Battery: p[6],
+	}, nil
+}
+
+// checksum is the one-byte XOR fold used by the sensor payload.
+func checksum(b []byte) byte {
+	var c byte
+	for _, x := range b {
+		c ^= x
+	}
+	return c
+}

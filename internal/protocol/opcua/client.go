@@ -1,0 +1,154 @@
+package opcua
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is a UA-TCP client holding one connection to a server.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	r      *bufio.Reader
+	w      *bufio.Writer
+	nextID uint32
+	closed bool
+}
+
+// ErrClientClosed reports use of a closed client.
+var ErrClientClosed = errors.New("opcua: client closed")
+
+// Dial connects to a server and performs the Hello/Acknowledge handshake.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+	body, err := json.Marshal(hello{Version: protocolVersion, EndpointURL: "opc.tcp://" + addr})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetDeadline(time.Now().Add(timeout))
+	if err := writeMessage(c.w, tagHello, body); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	tag, ackBody, err := readMessage(c.r)
+	if err != nil || tag != tagAck {
+		conn.Close()
+		return nil, ErrBadHandshake
+	}
+	var ack acknowledge
+	if err := json.Unmarshal(ackBody, &ack); err != nil {
+		conn.Close()
+		return nil, ErrBadHandshake
+	}
+	conn.SetDeadline(time.Time{})
+	return c, nil
+}
+
+// call performs one request/response exchange.
+func (c *Client) call(service string, reqBody, rspBody any) error {
+	raw, err := json.Marshal(reqBody)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClientClosed
+	}
+	c.nextID++
+	req := request{RequestID: c.nextID, Service: service, Body: raw}
+	out, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	c.conn.SetDeadline(time.Now().Add(10 * time.Second))
+	defer c.conn.SetDeadline(time.Time{})
+	if err := writeMessage(c.w, tagMsg, out); err != nil {
+		return err
+	}
+	tag, body, err := readMessage(c.r)
+	if err != nil {
+		return err
+	}
+	if tag != tagMsg {
+		return fmt.Errorf("opcua: unexpected message %q", tag)
+	}
+	var rsp response
+	if err := json.Unmarshal(body, &rsp); err != nil {
+		return err
+	}
+	if rsp.RequestID != req.RequestID {
+		return fmt.Errorf("opcua: response id %d for request %d", rsp.RequestID, req.RequestID)
+	}
+	if rsp.Error != "" {
+		return fmt.Errorf("opcua: server: %s", rsp.Error)
+	}
+	return json.Unmarshal(rsp.Body, rspBody)
+}
+
+// Browse lists the children of a node.
+func (c *Client) Browse(node NodeID) ([]ReferenceDescription, error) {
+	var rsp browseResponse
+	if err := c.call(svcBrowse, browseRequest{Node: node}, &rsp); err != nil {
+		return nil, err
+	}
+	return rsp.References, nil
+}
+
+// ReadResult is one node's read outcome.
+type ReadResult struct {
+	Node   NodeID
+	Value  DataValue
+	Status StatusCode
+}
+
+// Read reads the Value attribute of the given nodes.
+func (c *Client) Read(nodes []NodeID) ([]ReadResult, error) {
+	var rsp readResponse
+	if err := c.call(svcRead, readRequest{Nodes: nodes}, &rsp); err != nil {
+		return nil, err
+	}
+	out := make([]ReadResult, len(rsp.Results))
+	for i, r := range rsp.Results {
+		out[i] = ReadResult{Node: r.Node, Value: r.Value, Status: r.Status}
+	}
+	return out, nil
+}
+
+// Write writes the Value attribute of one node.
+func (c *Client) Write(node NodeID, value float64) (StatusCode, error) {
+	var rsp writeResponse
+	if err := c.call(svcWrite, writeRequest{Values: []writeValue{{Node: node, Value: value}}}, &rsp); err != nil {
+		return 0, err
+	}
+	if len(rsp.Results) != 1 {
+		return 0, fmt.Errorf("opcua: %d write results for 1 value", len(rsp.Results))
+	}
+	return rsp.Results[0], nil
+}
+
+// Close sends CLO and drops the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.conn.SetDeadline(time.Now().Add(time.Second))
+	_ = writeMessage(c.w, tagClose, nil)
+	return c.conn.Close()
+}

@@ -1,0 +1,275 @@
+package opcua
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func buildingSpace(t *testing.T) *AddressSpace {
+	t.Helper()
+	s := NewAddressSpace()
+	floor := NodeID{1, "Floor1"}
+	if err := s.AddObject(RootID, floor, "Floor 1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddVariable(floor, NodeID{1, "Floor1.Temp"}, "Temperature", AccessRead, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddVariable(floor, NodeID{1, "Floor1.Setpoint"}, "Setpoint", AccessRead|AccessWrite, nil); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAddressSpaceBasics(t *testing.T) {
+	s := buildingSpace(t)
+	if s.Len() != 4 {
+		t.Errorf("Len = %d, want 4", s.Len())
+	}
+	refs, err := s.Browse(RootID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 1 || refs[0].BrowseName != "Floor 1" {
+		t.Fatalf("Browse(root) = %+v", refs)
+	}
+	refs, err = s.Browse(NodeID{1, "Floor1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 2 || refs[0].BrowseName != "Setpoint" || refs[1].BrowseName != "Temperature" {
+		t.Fatalf("Browse(floor) = %+v (want sorted by browse name)", refs)
+	}
+}
+
+func TestAddressSpaceErrors(t *testing.T) {
+	s := buildingSpace(t)
+	if err := s.AddObject(NodeID{9, "missing"}, NodeID{1, "X"}, "X"); !errors.Is(err, ErrNodeUnknown) {
+		t.Errorf("unknown parent: %v", err)
+	}
+	if err := s.AddObject(RootID, NodeID{1, "Floor1"}, "dup"); !errors.Is(err, ErrNodeExists) {
+		t.Errorf("duplicate: %v", err)
+	}
+	if _, err := s.Browse(NodeID{9, "missing"}); !errors.Is(err, ErrNodeUnknown) {
+		t.Errorf("browse unknown: %v", err)
+	}
+	if _, err := s.Value(NodeID{1, "Floor1"}); !errors.Is(err, ErrNotVariable) {
+		t.Errorf("value of object: %v", err)
+	}
+	if err := s.SetValue(NodeID{1, "Floor1"}, 1, time.Now()); !errors.Is(err, ErrNotVariable) {
+		t.Errorf("set value of object: %v", err)
+	}
+}
+
+func TestAddressSpaceWriteSemantics(t *testing.T) {
+	s := buildingSpace(t)
+	if code := s.Write(NodeID{1, "Floor1.Temp"}, 25); code != StatusBadNotWritable {
+		t.Errorf("write to read-only = %#x", code)
+	}
+	if code := s.Write(NodeID{9, "nope"}, 1); code != StatusBadNodeID {
+		t.Errorf("write to unknown = %#x", code)
+	}
+	if code := s.Write(NodeID{1, "Floor1.Setpoint"}, 22.5); code != StatusGood {
+		t.Errorf("write = %#x", code)
+	}
+	dv, err := s.Value(NodeID{1, "Floor1.Setpoint"})
+	if err != nil || dv.Value != 22.5 {
+		t.Errorf("value after write = %+v, %v", dv, err)
+	}
+}
+
+func TestWriteHookInvoked(t *testing.T) {
+	s := NewAddressSpace()
+	var mu sync.Mutex
+	var got []float64
+	err := s.AddVariable(RootID, NodeID{1, "Relay"}, "Relay", AccessRead|AccessWrite, func(v float64) error {
+		mu.Lock()
+		got = append(got, v)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := s.Write(NodeID{1, "Relay"}, 1); code != StatusGood {
+		t.Fatalf("write = %#x", code)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("hook calls = %v", got)
+	}
+}
+
+func TestWriteHookFailure(t *testing.T) {
+	s := NewAddressSpace()
+	_ = s.AddVariable(RootID, NodeID{1, "Relay"}, "Relay", AccessWrite, func(float64) error {
+		return errors.New("stuck relay")
+	})
+	if code := s.Write(NodeID{1, "Relay"}, 1); code == StatusGood {
+		t.Error("failing hook reported StatusGood")
+	}
+}
+
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	srv := NewServer(buildingSpace(t))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv, addr
+}
+
+func TestClientServerBrowseReadWrite(t *testing.T) {
+	srv, addr := startServer(t)
+	_ = srv.Space().SetValue(NodeID{1, "Floor1.Temp"}, 21.7, time.Now().UTC())
+
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	refs, err := c.Browse(RootID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 1 || refs[0].ID.ID != "Floor1" {
+		t.Fatalf("Browse = %+v", refs)
+	}
+
+	results, err := c.Read([]NodeID{{1, "Floor1.Temp"}, {9, "missing"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %+v", results)
+	}
+	if results[0].Status != StatusGood || results[0].Value.Value != 21.7 {
+		t.Errorf("read temp = %+v", results[0])
+	}
+	if results[1].Status != StatusBadNodeID {
+		t.Errorf("read missing = %+v", results[1])
+	}
+
+	code, err := c.Write(NodeID{1, "Floor1.Setpoint"}, 23)
+	if err != nil || code != StatusGood {
+		t.Fatalf("write: %v %#x", err, code)
+	}
+	dv, _ := srv.Space().Value(NodeID{1, "Floor1.Setpoint"})
+	if dv.Value != 23 {
+		t.Errorf("server-side value = %v", dv.Value)
+	}
+
+	code, err = c.Write(NodeID{1, "Floor1.Temp"}, 99)
+	if err != nil || code != StatusBadNotWritable {
+		t.Errorf("write read-only: %v %#x", err, code)
+	}
+}
+
+func TestClientUnknownService(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var out struct{}
+	if err := c.call("Subscribe", struct{}{}, &out); err == nil {
+		t.Error("unknown service accepted")
+	}
+}
+
+func TestClientSequentialRequests(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 50; i++ {
+		if _, err := c.Browse(RootID); err != nil {
+			t.Fatalf("browse %d: %v", i, err)
+		}
+	}
+}
+
+func TestClientConcurrentCallsSerialized(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				if _, err := c.Read([]NodeID{{1, "Floor1.Temp"}}); err != nil {
+					errs <- err
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestClientCloseThenUse(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := c.Browse(RootID); err != ErrClientClosed {
+		t.Errorf("call after close = %v, want ErrClientClosed", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func TestDialNonServer(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", 200*time.Millisecond); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestNodeIDString(t *testing.T) {
+	if got := (NodeID{2, "Boiler.Temp"}).String(); got != "ns=2;s=Boiler.Temp" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, addr := startServer(t)
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv.Close()
+	srv.Close()
+	// After server close, calls must fail rather than hang.
+	done := make(chan struct{})
+	go func() {
+		_, _ = c.Browse(RootID)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(12 * time.Second):
+		t.Fatal("call against closed server hung")
+	}
+}

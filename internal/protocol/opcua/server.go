@@ -1,0 +1,194 @@
+package opcua
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Server exposes an AddressSpace over the UA-TCP transport.
+type Server struct {
+	space *AddressSpace
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer creates a server over the given address space.
+func NewServer(space *AddressSpace) *Server {
+	return &Server{space: space, conns: make(map[net.Conn]struct{})}
+}
+
+// Space returns the served address space.
+func (s *Server) Space() *AddressSpace { return s.space }
+
+// Listen binds to addr and serves until Close. It returns the bound
+// address, so ":0" can be used in tests and simulations.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			s.serve(conn)
+		}()
+	}
+}
+
+// serve runs the handshake then the request loop for one connection.
+func (s *Server) serve(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+
+	tag, body, err := readMessage(r)
+	if err != nil || tag != tagHello {
+		return
+	}
+	var h hello
+	if err := json.Unmarshal(body, &h); err != nil {
+		return
+	}
+	ackBody, err := json.Marshal(acknowledge{Version: protocolVersion})
+	if err != nil {
+		return
+	}
+	if err := writeMessage(w, tagAck, ackBody); err != nil {
+		return
+	}
+
+	for {
+		tag, body, err := readMessage(r)
+		if err != nil {
+			return
+		}
+		switch tag {
+		case tagClose:
+			return
+		case tagMsg:
+			var req request
+			if err := json.Unmarshal(body, &req); err != nil {
+				return
+			}
+			rsp := s.dispatch(&req)
+			out, err := json.Marshal(rsp)
+			if err != nil {
+				return
+			}
+			if err := writeMessage(w, tagMsg, out); err != nil {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// dispatch executes one service request against the address space.
+func (s *Server) dispatch(req *request) *response {
+	rsp := &response{RequestID: req.RequestID, Service: req.Service}
+	fail := func(err error) *response {
+		rsp.Error = err.Error()
+		return rsp
+	}
+	switch req.Service {
+	case svcBrowse:
+		var br browseRequest
+		if err := json.Unmarshal(req.Body, &br); err != nil {
+			return fail(err)
+		}
+		refs, err := s.space.Browse(br.Node)
+		if err != nil {
+			return fail(err)
+		}
+		rsp.Body, _ = json.Marshal(browseResponse{References: refs})
+	case svcRead:
+		var rr readRequest
+		if err := json.Unmarshal(req.Body, &rr); err != nil {
+			return fail(err)
+		}
+		results := make([]readResult, len(rr.Nodes))
+		for i, id := range rr.Nodes {
+			results[i].Node = id
+			dv, err := s.space.Value(id)
+			if err != nil {
+				results[i].Status = StatusBadNodeID
+				continue
+			}
+			results[i].Value = dv
+			results[i].Status = StatusGood
+		}
+		rsp.Body, _ = json.Marshal(readResponse{Results: results})
+	case svcWrite:
+		var wr writeRequest
+		if err := json.Unmarshal(req.Body, &wr); err != nil {
+			return fail(err)
+		}
+		results := make([]StatusCode, len(wr.Values))
+		for i, wv := range wr.Values {
+			results[i] = s.space.Write(wv.Node, wv.Value)
+		}
+		rsp.Body, _ = json.Marshal(writeResponse{Results: results})
+	default:
+		return fail(fmt.Errorf("opcua: unknown service %q", req.Service))
+	}
+	return rsp
+}
+
+// Close stops the listener and drops every connection.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}

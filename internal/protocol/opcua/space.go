@@ -1,0 +1,223 @@
+// Package opcua implements a compact OPC Unified Architecture substrate:
+// the UA-TCP handshake (Hello/Acknowledge), message chunking headers, a
+// hierarchical address space of nodes, and the Browse/Read/Write service
+// set, over plain TCP.
+//
+// The paper uses an OPC UA proxy to give the infrastructure backward
+// compatibility with wired building-automation standards. The real
+// deployments talk to commercial OPC UA servers (BMS gateways); this
+// package stands in for those servers (DESIGN.md S7). Deliberate
+// simplifications, documented here and in DESIGN.md: no security modes
+// beyond None, a single secure-channel/session, and service bodies
+// encoded as JSON instead of UA-Binary (the transport-level headers stay
+// binary and spec-shaped). The service semantics — browse-by-reference,
+// attribute reads with timestamps and status codes, writes gated on
+// node access level — follow the specification.
+package opcua
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// NodeID identifies a node: a namespace index plus a string identifier
+// (the "s=" NodeId form; numeric ids are not needed by the district).
+type NodeID struct {
+	Namespace uint16 `json:"ns"`
+	ID        string `json:"id"`
+}
+
+// String renders the canonical ns=N;s=ID form.
+func (n NodeID) String() string { return fmt.Sprintf("ns=%d;s=%s", n.Namespace, n.ID) }
+
+// NodeClass distinguishes folder objects from variables.
+type NodeClass string
+
+// Node classes supported.
+const (
+	ClassObject   NodeClass = "Object"
+	ClassVariable NodeClass = "Variable"
+)
+
+// AccessLevel is the variable access bitmask.
+type AccessLevel uint8
+
+// Access level bits (OPC UA part 3 §5.6.2).
+const (
+	AccessRead  AccessLevel = 1 << 0
+	AccessWrite AccessLevel = 1 << 1
+)
+
+// StatusCode is a UA status code; only the values the substrate needs.
+type StatusCode uint32
+
+// Status codes.
+const (
+	StatusGood            StatusCode = 0x00000000
+	StatusBadNodeID       StatusCode = 0x80340000 // BadNodeIdUnknown
+	StatusBadNotWritable  StatusCode = 0x803B0000
+	StatusBadTypeMismatch StatusCode = 0x80740000
+)
+
+// DataValue is a variable value with source timestamp and status.
+type DataValue struct {
+	Value           float64    `json:"value"`
+	SourceTimestamp time.Time  `json:"sourceTimestamp"`
+	Status          StatusCode `json:"status"`
+}
+
+// Node is one entry of the address space.
+type Node struct {
+	ID          NodeID
+	BrowseName  string
+	Class       NodeClass
+	Access      AccessLevel
+	Description string
+
+	value    DataValue
+	children []NodeID
+	onWrite  func(float64) error
+}
+
+// AddressSpace is the server-side node store.
+type AddressSpace struct {
+	mu    sync.RWMutex
+	nodes map[NodeID]*Node
+	root  NodeID
+}
+
+// Errors reported by address-space operations.
+var (
+	ErrNodeExists  = errors.New("opcua: node already exists")
+	ErrNodeUnknown = errors.New("opcua: node unknown")
+	ErrNotVariable = errors.New("opcua: node is not a variable")
+	ErrNotWritable = errors.New("opcua: node not writable")
+)
+
+// RootID is the identifier of the Objects folder every space starts with.
+var RootID = NodeID{Namespace: 0, ID: "Objects"}
+
+// NewAddressSpace creates a space containing the root Objects folder.
+func NewAddressSpace() *AddressSpace {
+	s := &AddressSpace{nodes: make(map[NodeID]*Node), root: RootID}
+	s.nodes[RootID] = &Node{ID: RootID, BrowseName: "Objects", Class: ClassObject}
+	return s
+}
+
+// AddObject adds a folder object under parent.
+func (s *AddressSpace) AddObject(parent, id NodeID, browseName string) error {
+	return s.add(parent, &Node{ID: id, BrowseName: browseName, Class: ClassObject})
+}
+
+// AddVariable adds a variable node under parent. onWrite, when non-nil,
+// runs on every successful Write — the hook actuators hang off.
+func (s *AddressSpace) AddVariable(parent, id NodeID, browseName string, access AccessLevel, onWrite func(float64) error) error {
+	return s.add(parent, &Node{
+		ID: id, BrowseName: browseName, Class: ClassVariable,
+		Access: access, onWrite: onWrite,
+		value: DataValue{Status: StatusGood, SourceTimestamp: time.Now().UTC()},
+	})
+}
+
+func (s *AddressSpace) add(parent NodeID, n *Node) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.nodes[parent]
+	if !ok {
+		return fmt.Errorf("%w: parent %s", ErrNodeUnknown, parent)
+	}
+	if _, dup := s.nodes[n.ID]; dup {
+		return fmt.Errorf("%w: %s", ErrNodeExists, n.ID)
+	}
+	s.nodes[n.ID] = n
+	p.children = append(p.children, n.ID)
+	return nil
+}
+
+// SetValue updates a variable's value from the server side (a sampling
+// loop), stamping the source time.
+func (s *AddressSpace) SetValue(id NodeID, v float64, at time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNodeUnknown, id)
+	}
+	if n.Class != ClassVariable {
+		return ErrNotVariable
+	}
+	n.value = DataValue{Value: v, SourceTimestamp: at, Status: StatusGood}
+	return nil
+}
+
+// Value reads a variable's current data value.
+func (s *AddressSpace) Value(id NodeID) (DataValue, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, ok := s.nodes[id]
+	if !ok {
+		return DataValue{}, fmt.Errorf("%w: %s", ErrNodeUnknown, id)
+	}
+	if n.Class != ClassVariable {
+		return DataValue{}, ErrNotVariable
+	}
+	return n.value, nil
+}
+
+// Write performs a client-initiated write: access is checked, the value
+// stored, and the node's write hook invoked.
+func (s *AddressSpace) Write(id NodeID, v float64) StatusCode {
+	s.mu.Lock()
+	n, ok := s.nodes[id]
+	if !ok {
+		s.mu.Unlock()
+		return StatusBadNodeID
+	}
+	if n.Class != ClassVariable || n.Access&AccessWrite == 0 {
+		s.mu.Unlock()
+		return StatusBadNotWritable
+	}
+	n.value = DataValue{Value: v, SourceTimestamp: time.Now().UTC(), Status: StatusGood}
+	hook := n.onWrite
+	s.mu.Unlock()
+	if hook != nil {
+		if err := hook(v); err != nil {
+			return StatusBadTypeMismatch
+		}
+	}
+	return StatusGood
+}
+
+// ReferenceDescription describes one browse result entry.
+type ReferenceDescription struct {
+	ID         NodeID    `json:"id"`
+	BrowseName string    `json:"browseName"`
+	Class      NodeClass `json:"class"`
+}
+
+// Browse lists the children of a node, sorted by browse name.
+func (s *AddressSpace) Browse(id NodeID) ([]ReferenceDescription, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, ok := s.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNodeUnknown, id)
+	}
+	out := make([]ReferenceDescription, 0, len(n.children))
+	for _, cid := range n.children {
+		c := s.nodes[cid]
+		out = append(out, ReferenceDescription{ID: c.ID, BrowseName: c.BrowseName, Class: c.Class})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].BrowseName < out[j].BrowseName })
+	return out, nil
+}
+
+// Len reports the number of nodes including the root.
+func (s *AddressSpace) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.nodes)
+}

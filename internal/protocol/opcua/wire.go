@@ -1,0 +1,143 @@
+package opcua
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// UA-TCP message headers: a 3-byte type, the 'F' (final) chunk flag, and
+// a little-endian total length, exactly as in OPC UA part 6 §7.1.2.
+
+// Message type tags.
+const (
+	tagHello = "HEL"
+	tagAck   = "ACK"
+	tagMsg   = "MSG"
+	tagClose = "CLO"
+	tagError = "ERR"
+)
+
+// maxMessage bounds one UA-TCP message (8 MiB).
+const maxMessage = 8 << 20
+
+// protocolVersion is the UA-TCP protocol version announced in Hello.
+const protocolVersion uint32 = 0
+
+// Errors reported by the transport.
+var (
+	ErrBadHandshake = errors.New("opcua: bad handshake")
+	ErrOversized    = errors.New("opcua: oversized message")
+)
+
+// hello is the UA-TCP Hello body.
+type hello struct {
+	Version     uint32 `json:"version"`
+	EndpointURL string `json:"endpointUrl"`
+}
+
+// acknowledge is the UA-TCP Acknowledge body.
+type acknowledge struct {
+	Version uint32 `json:"version"`
+}
+
+// writeMessage frames and sends one message.
+func writeMessage(w *bufio.Writer, tag string, body []byte) error {
+	if len(body)+8 > maxMessage {
+		return ErrOversized
+	}
+	var hdr [8]byte
+	copy(hdr[:3], tag)
+	hdr[3] = 'F'
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(body)+8))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(body); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// readMessage reads one framed message.
+func readMessage(r *bufio.Reader) (tag string, body []byte, err error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return "", nil, err
+	}
+	if hdr[3] != 'F' {
+		return "", nil, fmt.Errorf("opcua: chunked messages unsupported (%q)", hdr[3])
+	}
+	size := binary.LittleEndian.Uint32(hdr[4:])
+	if size < 8 || size > maxMessage {
+		return "", nil, ErrOversized
+	}
+	body = make([]byte, size-8)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return "", nil, err
+	}
+	return string(hdr[:3]), body, nil
+}
+
+// Service names of the supported service set.
+const (
+	svcBrowse = "Browse"
+	svcRead   = "Read"
+	svcWrite  = "Write"
+)
+
+// request is a service request envelope carried in a MSG message.
+type request struct {
+	RequestID uint32          `json:"requestId"`
+	Service   string          `json:"service"`
+	Body      json.RawMessage `json:"body"`
+}
+
+// response is a service response envelope.
+type response struct {
+	RequestID uint32          `json:"requestId"`
+	Service   string          `json:"service"`
+	Error     string          `json:"error,omitempty"`
+	Body      json.RawMessage `json:"body,omitempty"`
+}
+
+// browseRequest/browseResponse carry the Browse service.
+type browseRequest struct {
+	Node NodeID `json:"node"`
+}
+
+type browseResponse struct {
+	References []ReferenceDescription `json:"references"`
+}
+
+// readRequest/readResponse carry the Read service (Value attribute only).
+type readRequest struct {
+	Nodes []NodeID `json:"nodes"`
+}
+
+type readResult struct {
+	Node   NodeID     `json:"node"`
+	Value  DataValue  `json:"value"`
+	Status StatusCode `json:"status"`
+}
+
+type readResponse struct {
+	Results []readResult `json:"results"`
+}
+
+// writeRequest/writeResponse carry the Write service.
+type writeValue struct {
+	Node  NodeID  `json:"node"`
+	Value float64 `json:"value"`
+}
+
+type writeRequest struct {
+	Values []writeValue `json:"values"`
+}
+
+type writeResponse struct {
+	Results []StatusCode `json:"results"`
+}

@@ -1,0 +1,92 @@
+package opcua
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+func TestUAMessageRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := writeMessage(w, tagMsg, []byte(`{"requestId":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	tag, body, err := readMessage(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag != tagMsg || string(body) != `{"requestId":1}` {
+		t.Errorf("round trip: %q %q", tag, body)
+	}
+}
+
+func TestUAMessageEmptyBody(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := writeMessage(w, tagClose, nil); err != nil {
+		t.Fatal(err)
+	}
+	tag, body, err := readMessage(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag != tagClose || len(body) != 0 {
+		t.Errorf("round trip: %q %q", tag, body)
+	}
+}
+
+func TestUAMessageRejectsChunked(t *testing.T) {
+	var buf bytes.Buffer
+	// Header with 'C' (intermediate chunk) instead of 'F'.
+	hdr := []byte{'M', 'S', 'G', 'C', 8, 0, 0, 0}
+	buf.Write(hdr)
+	if _, _, err := readMessage(bufio.NewReader(&buf)); err == nil {
+		t.Fatal("chunked message accepted")
+	}
+}
+
+func TestUAMessageRejectsBadSizes(t *testing.T) {
+	for _, size := range []uint32{0, 7, maxMessage + 9} {
+		var buf bytes.Buffer
+		hdr := make([]byte, 8)
+		copy(hdr, "MSGF")
+		binary.LittleEndian.PutUint32(hdr[4:], size)
+		buf.Write(hdr)
+		if _, _, err := readMessage(bufio.NewReader(&buf)); err == nil {
+			t.Fatalf("size %d accepted", size)
+		}
+	}
+}
+
+func TestUAWriteRejectsOversized(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := writeMessage(w, tagMsg, make([]byte, maxMessage)); err != ErrOversized {
+		t.Fatalf("err = %v, want ErrOversized", err)
+	}
+}
+
+// Property: arbitrary bodies round-trip through the UA-TCP framing.
+func TestUAMessageRoundTripProperty(t *testing.T) {
+	f := func(body []byte) bool {
+		if len(body) > 1<<16 {
+			body = body[:1<<16]
+		}
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		if err := writeMessage(w, tagHello, body); err != nil {
+			return false
+		}
+		tag, got, err := readMessage(bufio.NewReader(&buf))
+		if err != nil || tag != tagHello {
+			return false
+		}
+		return bytes.Equal(got, body)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

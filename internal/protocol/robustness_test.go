@@ -1,0 +1,116 @@
+// Package protocol_test holds cross-protocol decoder robustness checks:
+// every codec in the protocol substrates must reject arbitrary bytes
+// with an error, never a panic — the property that lets device-proxies
+// survive hostile or corrupted radio traffic.
+package protocol_test
+
+import (
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/protocol/enocean"
+	"repro/internal/protocol/ieee802154"
+	"repro/internal/protocol/opcua"
+	"repro/internal/protocol/zigbee"
+)
+
+func TestIEEE802154DecodeNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		frame, err := ieee802154.Decode(data)
+		return err != nil || frame != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIEEE802154ReadingNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, err := ieee802154.DecodeReading(data)
+		_ = err
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZigbeeDecodersNeverPanic(t *testing.T) {
+	f := func(data []byte) bool {
+		if frame, err := zigbee.DecodeFrame(data); err == nil {
+			_, _ = zigbee.DecodeReport(frame.Payload)
+			_, _ = zigbee.DecodeReadRequest(frame.Payload)
+			_, _ = zigbee.DecodeReadResponse(frame.Payload)
+			_, _, _ = zigbee.DecodeDefaultResponse(frame.Payload)
+		}
+		_, _ = zigbee.DecodeAPS(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnOceanDecodersNeverPanic(t *testing.T) {
+	f := func(data []byte) bool {
+		pkts, consumed := enocean.DecodeStream(data)
+		if consumed < 0 || consumed > len(data) {
+			return false
+		}
+		for _, p := range pkts {
+			if tg, err := enocean.DecodeTelegram(p.Data); err == nil {
+				for _, profile := range []enocean.EEP{
+					enocean.EEPTempA50205, enocean.EEPTempHumA50401,
+					enocean.EEPRockerF60201, enocean.EEPContactD50001,
+				} {
+					_, _ = enocean.DecodeEEP(profile, tg)
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A raw TCP client throwing garbage at an OPC UA server must get
+// disconnected, not crash the server.
+func TestOPCUAServerSurvivesGarbage(t *testing.T) {
+	srv := opcua.NewServer(opcua.NewAddressSpace())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	payloads := [][]byte{
+		[]byte("GET / HTTP/1.1\r\n\r\n"),
+		{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF},
+		append([]byte("HELF"), 0xFF, 0xFF, 0xFF, 0x7F), // oversized length
+		{},
+	}
+	for i, p := range payloads {
+		conn, err := dial(addr)
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		_, _ = conn.Write(p)
+		conn.Close()
+	}
+	// The server must still answer a well-formed client.
+	c, err := opcua.Dial(addr, 0)
+	if err != nil {
+		t.Fatalf("server dead after garbage: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Browse(opcua.RootID); err != nil {
+		t.Fatalf("browse after garbage: %v", err)
+	}
+}
+
+func dial(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, time.Second)
+}

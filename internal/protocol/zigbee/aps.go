@@ -1,0 +1,58 @@
+package zigbee
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// APSFrame is the application-support-sublayer encapsulation that carries
+// a ZCL frame inside an IEEE 802.15.4 data payload: endpoints route the
+// frame within a node, the cluster identifies the ZCL cluster, and the
+// profile scopes the cluster space (Home Automation 0x0104 in the
+// district deployments).
+type APSFrame struct {
+	DstEndpoint uint8
+	SrcEndpoint uint8
+	Cluster     ClusterID
+	Profile     uint16
+	Counter     uint8
+	ZCL         []byte
+}
+
+// ProfileHomeAutomation is the ZigBee HA application profile.
+const ProfileHomeAutomation uint16 = 0x0104
+
+// ErrShortAPS reports a truncated APS frame.
+var ErrShortAPS = errors.New("zigbee: APS frame too short")
+
+// apsHeaderLen is the fixed APS header width used here.
+const apsHeaderLen = 8
+
+// Encode serializes the APS frame into an 802.15.4 payload.
+func (a *APSFrame) Encode() []byte {
+	out := make([]byte, 0, apsHeaderLen+len(a.ZCL))
+	out = append(out, 0x00) // frame control: data, unicast, no security
+	out = append(out, a.DstEndpoint)
+	out = binary.LittleEndian.AppendUint16(out, uint16(a.Cluster))
+	out = binary.LittleEndian.AppendUint16(out, a.Profile)
+	out = append(out, a.SrcEndpoint, a.Counter)
+	return append(out, a.ZCL...)
+}
+
+// DecodeAPS parses an APS frame from an 802.15.4 payload.
+func DecodeAPS(data []byte) (*APSFrame, error) {
+	if len(data) < apsHeaderLen {
+		return nil, ErrShortAPS
+	}
+	a := &APSFrame{
+		DstEndpoint: data[1],
+		Cluster:     ClusterID(binary.LittleEndian.Uint16(data[2:])),
+		Profile:     binary.LittleEndian.Uint16(data[4:]),
+		SrcEndpoint: data[6],
+		Counter:     data[7],
+	}
+	if len(data) > apsHeaderLen {
+		a.ZCL = append([]byte(nil), data[apsHeaderLen:]...)
+	}
+	return a, nil
+}

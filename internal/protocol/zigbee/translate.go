@@ -1,0 +1,116 @@
+package zigbee
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataformat"
+)
+
+// Translation from ZCL cluster attributes to the common data format. The
+// scaling rules follow the ZCL specification for each measurement
+// cluster: temperature and humidity MeasuredValue are hundredths,
+// illuminance MeasuredValue is 10000*log10(lux)+1, electrical
+// measurement ActivePower is watts, metering summation is watt-hours.
+
+// Translate converts one attribute of a cluster into a quantity, value
+// and unit of the common format.
+func Translate(cluster ClusterID, attr Attribute) (dataformat.Quantity, float64, dataformat.Unit, error) {
+	switch cluster {
+	case ClusterTemperature:
+		if attr.ID == AttrMeasuredValue {
+			return dataformat.Temperature, float64(attr.Value) / 100, dataformat.Celsius, nil
+		}
+	case ClusterHumidity:
+		if attr.ID == AttrMeasuredValue {
+			return dataformat.Humidity, float64(attr.Value) / 100, dataformat.Percent, nil
+		}
+	case ClusterIlluminance:
+		if attr.ID == AttrMeasuredValue {
+			if attr.Value <= 0 {
+				return dataformat.Illuminance, 0, dataformat.Lux, nil
+			}
+			lux := math.Pow(10, (float64(attr.Value)-1)/10000)
+			return dataformat.Illuminance, lux, dataformat.Lux, nil
+		}
+	case ClusterPressure:
+		if attr.ID == AttrMeasuredValue {
+			// MeasuredValue is in kPa*10; common format uses Pa.
+			return dataformat.Pressure, float64(attr.Value) * 100, dataformat.Pascal, nil
+		}
+	case ClusterOccupancy:
+		if attr.ID == AttrOccupancyMap {
+			v := 0.0
+			if attr.Value&0x01 != 0 {
+				v = 1
+			}
+			return dataformat.Occupancy, v, dataformat.Bool, nil
+		}
+	case ClusterOnOff:
+		if attr.ID == AttrOnOffState {
+			v := 0.0
+			if attr.Value != 0 {
+				v = 1
+			}
+			return dataformat.SwitchState, v, dataformat.Bool, nil
+		}
+	case ClusterElectrical:
+		switch attr.ID {
+		case AttrActivePower:
+			return dataformat.PowerActive, float64(attr.Value), dataformat.Watt, nil
+		case AttrRMSVoltage:
+			return dataformat.Voltage, float64(attr.Value), dataformat.Volt, nil
+		case AttrRMSCurrent:
+			return dataformat.Current, float64(attr.Value) / 1000, dataformat.Ampere, nil
+		}
+	case ClusterMetering:
+		if attr.ID == AttrCurrentSumm {
+			return dataformat.EnergyActive, float64(attr.Value), dataformat.WattHour, nil
+		}
+	}
+	return "", 0, "", fmt.Errorf("zigbee: no translation for cluster %#04x attr %#04x", uint16(cluster), uint16(attr.ID))
+}
+
+// Untranslate converts a common-format quantity and value back into the
+// ZCL attribute encoding, used when writing actuator state.
+func Untranslate(q dataformat.Quantity, value float64) (ClusterID, Attribute, error) {
+	switch q {
+	case dataformat.SwitchState:
+		v := int64(0)
+		if value != 0 {
+			v = 1
+		}
+		return ClusterOnOff, Attribute{ID: AttrOnOffState, Type: TypeBool, Value: v}, nil
+	case dataformat.Temperature:
+		return ClusterTemperature, Attribute{ID: AttrMeasuredValue, Type: TypeInt16, Value: int64(value * 100)}, nil
+	case dataformat.Humidity:
+		return ClusterHumidity, Attribute{ID: AttrMeasuredValue, Type: TypeUint16, Value: int64(value * 100)}, nil
+	default:
+		return 0, Attribute{}, fmt.Errorf("zigbee: no attribute encoding for quantity %q", q)
+	}
+}
+
+// ClusterForQuantity returns the measurement cluster that reports a
+// quantity, used when a proxy builds read requests.
+func ClusterForQuantity(q dataformat.Quantity) (ClusterID, AttrID, bool) {
+	switch q {
+	case dataformat.Temperature:
+		return ClusterTemperature, AttrMeasuredValue, true
+	case dataformat.Humidity:
+		return ClusterHumidity, AttrMeasuredValue, true
+	case dataformat.Illuminance:
+		return ClusterIlluminance, AttrMeasuredValue, true
+	case dataformat.Occupancy:
+		return ClusterOccupancy, AttrOccupancyMap, true
+	case dataformat.SwitchState:
+		return ClusterOnOff, AttrOnOffState, true
+	case dataformat.PowerActive:
+		return ClusterElectrical, AttrActivePower, true
+	case dataformat.EnergyActive:
+		return ClusterMetering, AttrCurrentSumm, true
+	case dataformat.Pressure:
+		return ClusterPressure, AttrMeasuredValue, true
+	default:
+		return 0, 0, false
+	}
+}

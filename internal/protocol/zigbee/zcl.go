@@ -1,0 +1,369 @@
+// Package zigbee implements the ZigBee Cluster Library (ZCL) framing the
+// district's ZigBee device-proxy speaks, layered over IEEE 802.15.4
+// transport. It covers the cluster/attribute vocabulary the deployments
+// in the paper's project used (temperature, humidity, illuminance,
+// occupancy, on/off actuation, electrical measurement), the standard
+// read/report/write commands, and the APS-level encapsulation needed to
+// route ZCL frames between endpoints.
+package zigbee
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ClusterID identifies a ZCL cluster.
+type ClusterID uint16
+
+// Clusters used in the district deployments.
+const (
+	ClusterBasic       ClusterID = 0x0000
+	ClusterOnOff       ClusterID = 0x0006
+	ClusterIlluminance ClusterID = 0x0400
+	ClusterTemperature ClusterID = 0x0402
+	ClusterPressure    ClusterID = 0x0403
+	ClusterHumidity    ClusterID = 0x0405
+	ClusterOccupancy   ClusterID = 0x0406
+	ClusterElectrical  ClusterID = 0x0B04
+	ClusterMetering    ClusterID = 0x0702
+)
+
+// AttrID identifies an attribute within a cluster.
+type AttrID uint16
+
+// MeasuredValue is attribute 0x0000 of every measurement cluster.
+const AttrMeasuredValue AttrID = 0x0000
+
+// Cluster-specific attributes.
+const (
+	AttrOnOffState   AttrID = 0x0000 // OnOff cluster
+	AttrActivePower  AttrID = 0x050B // Electrical Measurement
+	AttrRMSVoltage   AttrID = 0x0505
+	AttrRMSCurrent   AttrID = 0x0508
+	AttrCurrentSumm  AttrID = 0x0000 // Metering: CurrentSummationDelivered
+	AttrOccupancyMap AttrID = 0x0000 // Occupancy: bitmap8
+)
+
+// DataType is a ZCL attribute data type code.
+type DataType uint8
+
+// ZCL data types supported by the codec.
+const (
+	TypeBool   DataType = 0x10
+	TypeBitmap DataType = 0x18
+	TypeUint8  DataType = 0x20
+	TypeUint16 DataType = 0x21
+	TypeUint32 DataType = 0x23
+	TypeInt8   DataType = 0x28
+	TypeInt16  DataType = 0x29
+	TypeInt32  DataType = 0x2B
+)
+
+// size returns the encoded width of the data type.
+func (t DataType) size() (int, error) {
+	switch t {
+	case TypeBool, TypeBitmap, TypeUint8, TypeInt8:
+		return 1, nil
+	case TypeUint16, TypeInt16:
+		return 2, nil
+	case TypeUint32, TypeInt32:
+		return 4, nil
+	default:
+		return 0, fmt.Errorf("zigbee: unsupported data type %#02x", uint8(t))
+	}
+}
+
+// CommandID is a ZCL general command.
+type CommandID uint8
+
+// General commands supported (ZCL §2.5).
+const (
+	CmdReadAttributes     CommandID = 0x00
+	CmdReadAttributesRsp  CommandID = 0x01
+	CmdWriteAttributes    CommandID = 0x02
+	CmdWriteAttributesRsp CommandID = 0x04
+	CmdReportAttributes   CommandID = 0x0A
+	CmdDefaultResponse    CommandID = 0x0B
+)
+
+// Status codes (ZCL §2.6.3).
+const (
+	StatusSuccess         = 0x00
+	StatusUnsupportedAttr = 0x86
+	StatusInvalidDataType = 0x8D
+	StatusReadOnly        = 0x88
+)
+
+// Frame is a parsed ZCL frame (general commands, no manufacturer code).
+type Frame struct {
+	// ClusterLocal marks cluster-specific (vs profile-wide) commands.
+	ClusterLocal bool
+	// FromServer is the direction bit (server-to-client when set).
+	FromServer bool
+	// DisableDefaultRsp suppresses the default response.
+	DisableDefaultRsp bool
+	// Seq is the transaction sequence number.
+	Seq uint8
+	// Command is the command identifier.
+	Command CommandID
+	// Payload is the command-specific body.
+	Payload []byte
+}
+
+// Errors reported by the ZCL codec.
+var (
+	ErrShortZCL = errors.New("zigbee: ZCL frame too short")
+	ErrManuf    = errors.New("zigbee: manufacturer-specific frames unsupported")
+)
+
+// Encode serializes the ZCL frame.
+func (f *Frame) Encode() []byte {
+	var fc uint8
+	if f.ClusterLocal {
+		fc |= 0x01
+	}
+	if f.FromServer {
+		fc |= 0x08
+	}
+	if f.DisableDefaultRsp {
+		fc |= 0x10
+	}
+	out := make([]byte, 0, 3+len(f.Payload))
+	out = append(out, fc, f.Seq, uint8(f.Command))
+	return append(out, f.Payload...)
+}
+
+// DecodeFrame parses a ZCL frame.
+func DecodeFrame(data []byte) (*Frame, error) {
+	if len(data) < 3 {
+		return nil, ErrShortZCL
+	}
+	fc := data[0]
+	if fc&0x04 != 0 {
+		return nil, ErrManuf
+	}
+	f := &Frame{
+		ClusterLocal:      fc&0x01 != 0,
+		FromServer:        fc&0x08 != 0,
+		DisableDefaultRsp: fc&0x10 != 0,
+		Seq:               data[1],
+		Command:           CommandID(data[2]),
+	}
+	if len(data) > 3 {
+		f.Payload = append([]byte(nil), data[3:]...)
+	}
+	return f, nil
+}
+
+// Attribute is one attribute record: identifier, type and raw value.
+type Attribute struct {
+	ID    AttrID
+	Type  DataType
+	Value int64 // sign-extended raw value; bools are 0/1
+}
+
+// encodeValue appends the attribute value in its wire width.
+func (a Attribute) encodeValue(out []byte) ([]byte, error) {
+	size, err := a.Type.size()
+	if err != nil {
+		return nil, err
+	}
+	switch size {
+	case 1:
+		out = append(out, uint8(a.Value))
+	case 2:
+		out = binary.LittleEndian.AppendUint16(out, uint16(a.Value))
+	case 4:
+		out = binary.LittleEndian.AppendUint32(out, uint32(a.Value))
+	}
+	return out, nil
+}
+
+// decodeValue reads a value of the given type, sign-extending as needed.
+func decodeValue(t DataType, data []byte) (int64, int, error) {
+	size, err := t.size()
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(data) < size {
+		return 0, 0, ErrShortZCL
+	}
+	var v int64
+	switch size {
+	case 1:
+		if t == TypeInt8 {
+			v = int64(int8(data[0]))
+		} else {
+			v = int64(data[0])
+		}
+	case 2:
+		raw := binary.LittleEndian.Uint16(data)
+		if t == TypeInt16 {
+			v = int64(int16(raw))
+		} else {
+			v = int64(raw)
+		}
+	case 4:
+		raw := binary.LittleEndian.Uint32(data)
+		if t == TypeInt32 {
+			v = int64(int32(raw))
+		} else {
+			v = int64(raw)
+		}
+	}
+	return v, size, nil
+}
+
+// EncodeReport builds a Report Attributes frame for the records.
+func EncodeReport(seq uint8, attrs []Attribute) ([]byte, error) {
+	var payload []byte
+	var err error
+	for _, a := range attrs {
+		payload = binary.LittleEndian.AppendUint16(payload, uint16(a.ID))
+		payload = append(payload, uint8(a.Type))
+		payload, err = a.encodeValue(payload)
+		if err != nil {
+			return nil, err
+		}
+	}
+	f := &Frame{Seq: seq, Command: CmdReportAttributes, FromServer: true, DisableDefaultRsp: true, Payload: payload}
+	return f.Encode(), nil
+}
+
+// DecodeReport parses the payload of a Report Attributes frame.
+func DecodeReport(payload []byte) ([]Attribute, error) {
+	var out []Attribute
+	for len(payload) > 0 {
+		if len(payload) < 3 {
+			return nil, ErrShortZCL
+		}
+		a := Attribute{
+			ID:   AttrID(binary.LittleEndian.Uint16(payload)),
+			Type: DataType(payload[2]),
+		}
+		v, n, err := decodeValue(a.Type, payload[3:])
+		if err != nil {
+			return nil, err
+		}
+		a.Value = v
+		out = append(out, a)
+		payload = payload[3+n:]
+	}
+	return out, nil
+}
+
+// EncodeReadRequest builds a Read Attributes frame for the attribute IDs.
+func EncodeReadRequest(seq uint8, ids []AttrID) []byte {
+	var payload []byte
+	for _, id := range ids {
+		payload = binary.LittleEndian.AppendUint16(payload, uint16(id))
+	}
+	f := &Frame{Seq: seq, Command: CmdReadAttributes, Payload: payload}
+	return f.Encode()
+}
+
+// DecodeReadRequest parses the payload of a Read Attributes frame.
+func DecodeReadRequest(payload []byte) ([]AttrID, error) {
+	if len(payload)%2 != 0 {
+		return nil, ErrShortZCL
+	}
+	out := make([]AttrID, 0, len(payload)/2)
+	for i := 0; i < len(payload); i += 2 {
+		out = append(out, AttrID(binary.LittleEndian.Uint16(payload[i:])))
+	}
+	return out, nil
+}
+
+// ReadRecord is one record of a Read Attributes Response.
+type ReadRecord struct {
+	ID     AttrID
+	Status uint8
+	Attr   Attribute // valid when Status == StatusSuccess
+}
+
+// EncodeReadResponse builds a Read Attributes Response frame.
+func EncodeReadResponse(seq uint8, records []ReadRecord) ([]byte, error) {
+	var payload []byte
+	var err error
+	for _, r := range records {
+		payload = binary.LittleEndian.AppendUint16(payload, uint16(r.ID))
+		payload = append(payload, r.Status)
+		if r.Status == StatusSuccess {
+			payload = append(payload, uint8(r.Attr.Type))
+			payload, err = r.Attr.encodeValue(payload)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	f := &Frame{Seq: seq, Command: CmdReadAttributesRsp, FromServer: true, DisableDefaultRsp: true, Payload: payload}
+	return f.Encode(), nil
+}
+
+// DecodeReadResponse parses the payload of a Read Attributes Response.
+func DecodeReadResponse(payload []byte) ([]ReadRecord, error) {
+	var out []ReadRecord
+	for len(payload) > 0 {
+		if len(payload) < 3 {
+			return nil, ErrShortZCL
+		}
+		r := ReadRecord{
+			ID:     AttrID(binary.LittleEndian.Uint16(payload)),
+			Status: payload[2],
+		}
+		payload = payload[3:]
+		if r.Status == StatusSuccess {
+			if len(payload) < 1 {
+				return nil, ErrShortZCL
+			}
+			r.Attr.ID = r.ID
+			r.Attr.Type = DataType(payload[0])
+			v, n, err := decodeValue(r.Attr.Type, payload[1:])
+			if err != nil {
+				return nil, err
+			}
+			r.Attr.Value = v
+			payload = payload[1+n:]
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// EncodeWriteRequest builds a Write Attributes frame.
+func EncodeWriteRequest(seq uint8, attrs []Attribute) ([]byte, error) {
+	var payload []byte
+	var err error
+	for _, a := range attrs {
+		payload = binary.LittleEndian.AppendUint16(payload, uint16(a.ID))
+		payload = append(payload, uint8(a.Type))
+		payload, err = a.encodeValue(payload)
+		if err != nil {
+			return nil, err
+		}
+	}
+	f := &Frame{Seq: seq, Command: CmdWriteAttributes, Payload: payload}
+	return f.Encode(), nil
+}
+
+// DecodeWriteRequest parses a Write Attributes payload; it shares the
+// record layout with Report Attributes.
+func DecodeWriteRequest(payload []byte) ([]Attribute, error) {
+	return DecodeReport(payload)
+}
+
+// EncodeDefaultResponse builds a Default Response frame.
+func EncodeDefaultResponse(seq uint8, cmd CommandID, status uint8) []byte {
+	f := &Frame{Seq: seq, Command: CmdDefaultResponse, FromServer: true, DisableDefaultRsp: true,
+		Payload: []byte{uint8(cmd), status}}
+	return f.Encode()
+}
+
+// DecodeDefaultResponse parses a Default Response payload.
+func DecodeDefaultResponse(payload []byte) (cmd CommandID, status uint8, err error) {
+	if len(payload) < 2 {
+		return 0, 0, ErrShortZCL
+	}
+	return CommandID(payload[0]), payload[1], nil
+}

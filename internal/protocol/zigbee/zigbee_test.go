@@ -1,0 +1,281 @@
+package zigbee
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataformat"
+)
+
+func TestZCLFrameRoundTrip(t *testing.T) {
+	in := &Frame{ClusterLocal: true, FromServer: true, DisableDefaultRsp: true,
+		Seq: 7, Command: CmdReportAttributes, Payload: []byte{1, 2, 3}}
+	out, err := DecodeFrame(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Seq != 7 || out.Command != CmdReportAttributes ||
+		!out.ClusterLocal || !out.FromServer || !out.DisableDefaultRsp {
+		t.Errorf("round trip: %+v", out)
+	}
+	if string(out.Payload) != string(in.Payload) {
+		t.Errorf("payload = % x", out.Payload)
+	}
+}
+
+func TestZCLRejects(t *testing.T) {
+	if _, err := DecodeFrame([]byte{0, 1}); err != ErrShortZCL {
+		t.Errorf("short frame: %v", err)
+	}
+	if _, err := DecodeFrame([]byte{0x04, 1, 2, 3, 4}); err != ErrManuf {
+		t.Errorf("manufacturer frame: %v", err)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	attrs := []Attribute{
+		{ID: AttrMeasuredValue, Type: TypeInt16, Value: 2157}, // 21.57 degC
+		{ID: 0x0001, Type: TypeUint8, Value: 88},              // battery
+		{ID: 0x0002, Type: TypeInt32, Value: -1234567},        // signed wide
+		{ID: 0x0003, Type: TypeBool, Value: 1},
+	}
+	raw, err := EncodeReport(5, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := DecodeFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Command != CmdReportAttributes || !f.FromServer {
+		t.Fatalf("frame: %+v", f)
+	}
+	got, err := DecodeReport(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(attrs) {
+		t.Fatalf("len = %d, want %d", len(got), len(attrs))
+	}
+	for i := range attrs {
+		if got[i] != attrs[i] {
+			t.Errorf("attr %d = %+v, want %+v", i, got[i], attrs[i])
+		}
+	}
+}
+
+func TestReportRejectsTruncation(t *testing.T) {
+	raw, _ := EncodeReport(0, []Attribute{{ID: 1, Type: TypeUint16, Value: 500}})
+	f, _ := DecodeFrame(raw)
+	if _, err := DecodeReport(f.Payload[:len(f.Payload)-1]); err == nil {
+		t.Error("truncated report accepted")
+	}
+}
+
+func TestEncodeReportUnsupportedType(t *testing.T) {
+	if _, err := EncodeReport(0, []Attribute{{ID: 1, Type: 0x42, Value: 1}}); err == nil {
+		t.Error("unsupported data type accepted")
+	}
+}
+
+func TestReadRequestRoundTrip(t *testing.T) {
+	ids := []AttrID{AttrMeasuredValue, 0x0001, 0xFFF0}
+	raw := EncodeReadRequest(9, ids)
+	f, err := DecodeFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Command != CmdReadAttributes || f.FromServer {
+		t.Fatalf("frame: %+v", f)
+	}
+	got, err := DecodeReadRequest(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != AttrMeasuredValue || got[2] != 0xFFF0 {
+		t.Errorf("ids = %v", got)
+	}
+	if _, err := DecodeReadRequest([]byte{1}); err == nil {
+		t.Error("odd-length read request accepted")
+	}
+}
+
+func TestReadResponseRoundTrip(t *testing.T) {
+	records := []ReadRecord{
+		{ID: AttrMeasuredValue, Status: StatusSuccess,
+			Attr: Attribute{ID: AttrMeasuredValue, Type: TypeInt16, Value: -500}},
+		{ID: 0x0009, Status: StatusUnsupportedAttr},
+	}
+	raw, err := EncodeReadResponse(3, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := DecodeFrame(raw)
+	got, err := DecodeReadResponse(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("len = %d", len(got))
+	}
+	if got[0].Attr.Value != -500 {
+		t.Errorf("value = %d, want -500 (sign extension)", got[0].Attr.Value)
+	}
+	if got[1].Status != StatusUnsupportedAttr {
+		t.Errorf("status = %#x", got[1].Status)
+	}
+}
+
+func TestWriteAndDefaultResponse(t *testing.T) {
+	raw, err := EncodeWriteRequest(1, []Attribute{{ID: AttrOnOffState, Type: TypeBool, Value: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := DecodeFrame(raw)
+	if f.Command != CmdWriteAttributes {
+		t.Fatalf("command = %#x", f.Command)
+	}
+	attrs, err := DecodeWriteRequest(f.Payload)
+	if err != nil || len(attrs) != 1 || attrs[0].Value != 1 {
+		t.Fatalf("attrs = %v, err %v", attrs, err)
+	}
+
+	raw = EncodeDefaultResponse(1, CmdWriteAttributes, StatusSuccess)
+	f, _ = DecodeFrame(raw)
+	cmd, status, err := DecodeDefaultResponse(f.Payload)
+	if err != nil || cmd != CmdWriteAttributes || status != StatusSuccess {
+		t.Fatalf("default response: %v %v %v", cmd, status, err)
+	}
+	if _, _, err := DecodeDefaultResponse([]byte{1}); err == nil {
+		t.Error("short default response accepted")
+	}
+}
+
+func TestAPSRoundTrip(t *testing.T) {
+	zcl, _ := EncodeReport(1, []Attribute{{ID: AttrMeasuredValue, Type: TypeInt16, Value: 2100}})
+	in := &APSFrame{DstEndpoint: 1, SrcEndpoint: 10, Cluster: ClusterTemperature,
+		Profile: ProfileHomeAutomation, Counter: 99, ZCL: zcl}
+	out, err := DecodeAPS(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cluster != ClusterTemperature || out.Profile != ProfileHomeAutomation ||
+		out.DstEndpoint != 1 || out.SrcEndpoint != 10 || out.Counter != 99 {
+		t.Errorf("APS round trip: %+v", out)
+	}
+	if _, err := DecodeAPS([]byte{1, 2, 3}); err != ErrShortAPS {
+		t.Errorf("short APS: %v", err)
+	}
+}
+
+func TestTranslateMeasurements(t *testing.T) {
+	cases := []struct {
+		cluster ClusterID
+		attr    Attribute
+		q       dataformat.Quantity
+		value   float64
+		unit    dataformat.Unit
+	}{
+		{ClusterTemperature, Attribute{ID: AttrMeasuredValue, Type: TypeInt16, Value: 2157}, dataformat.Temperature, 21.57, dataformat.Celsius},
+		{ClusterTemperature, Attribute{ID: AttrMeasuredValue, Type: TypeInt16, Value: -500}, dataformat.Temperature, -5, dataformat.Celsius},
+		{ClusterHumidity, Attribute{ID: AttrMeasuredValue, Type: TypeUint16, Value: 4720}, dataformat.Humidity, 47.2, dataformat.Percent},
+		{ClusterOccupancy, Attribute{ID: AttrOccupancyMap, Type: TypeBitmap, Value: 3}, dataformat.Occupancy, 1, dataformat.Bool},
+		{ClusterOnOff, Attribute{ID: AttrOnOffState, Type: TypeBool, Value: 0}, dataformat.SwitchState, 0, dataformat.Bool},
+		{ClusterElectrical, Attribute{ID: AttrActivePower, Type: TypeInt16, Value: 1500}, dataformat.PowerActive, 1500, dataformat.Watt},
+		{ClusterElectrical, Attribute{ID: AttrRMSCurrent, Type: TypeUint16, Value: 2500}, dataformat.Current, 2.5, dataformat.Ampere},
+		{ClusterMetering, Attribute{ID: AttrCurrentSumm, Type: TypeUint32, Value: 123456}, dataformat.EnergyActive, 123456, dataformat.WattHour},
+		{ClusterPressure, Attribute{ID: AttrMeasuredValue, Type: TypeInt16, Value: 1013}, dataformat.Pressure, 101300, dataformat.Pascal},
+	}
+	for _, tc := range cases {
+		q, v, u, err := Translate(tc.cluster, tc.attr)
+		if err != nil {
+			t.Errorf("Translate(%#04x, %#04x): %v", uint16(tc.cluster), uint16(tc.attr.ID), err)
+			continue
+		}
+		if q != tc.q || u != tc.unit || math.Abs(v-tc.value) > 1e-9 {
+			t.Errorf("Translate(%#04x) = %v %v %v, want %v %v %v",
+				uint16(tc.cluster), q, v, u, tc.q, tc.value, tc.unit)
+		}
+	}
+}
+
+func TestTranslateIlluminanceLog(t *testing.T) {
+	// MeasuredValue = 10000*log10(lux)+1; 500 lx -> 26990.
+	q, v, _, err := Translate(ClusterIlluminance, Attribute{ID: AttrMeasuredValue, Type: TypeUint16, Value: 26990})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != dataformat.Illuminance || math.Abs(v-500) > 0.5 {
+		t.Errorf("illuminance = %v, want ~500", v)
+	}
+	// Zero raw value means "too low to measure".
+	_, v, _, _ = Translate(ClusterIlluminance, Attribute{ID: AttrMeasuredValue, Type: TypeUint16, Value: 0})
+	if v != 0 {
+		t.Errorf("zero raw = %v", v)
+	}
+}
+
+func TestTranslateUnknown(t *testing.T) {
+	if _, _, _, err := Translate(ClusterBasic, Attribute{ID: 0x1234}); err == nil {
+		t.Error("unknown cluster/attr translated")
+	}
+}
+
+func TestUntranslateRoundTrip(t *testing.T) {
+	cluster, attr, err := Untranslate(dataformat.SwitchState, 1)
+	if err != nil || cluster != ClusterOnOff || attr.Value != 1 {
+		t.Fatalf("Untranslate switch: %v %v %v", cluster, attr, err)
+	}
+	q, v, _, err := Translate(cluster, attr)
+	if err != nil || q != dataformat.SwitchState || v != 1 {
+		t.Fatalf("round trip: %v %v %v", q, v, err)
+	}
+	if _, _, err := Untranslate(dataformat.CO2, 400); err == nil {
+		t.Error("unsupported quantity accepted")
+	}
+}
+
+func TestClusterForQuantity(t *testing.T) {
+	c, a, ok := ClusterForQuantity(dataformat.Temperature)
+	if !ok || c != ClusterTemperature || a != AttrMeasuredValue {
+		t.Errorf("ClusterForQuantity(temperature) = %v %v %v", c, a, ok)
+	}
+	if _, _, ok := ClusterForQuantity(dataformat.FlowRate); ok {
+		t.Error("flow rate has no ZigBee cluster; got ok")
+	}
+}
+
+// Property: report encode/decode round-trips arbitrary int16 attributes.
+func TestReportRoundTripProperty(t *testing.T) {
+	f := func(seq uint8, values []int16) bool {
+		if len(values) > 20 {
+			values = values[:20]
+		}
+		attrs := make([]Attribute, len(values))
+		for i, v := range values {
+			attrs[i] = Attribute{ID: AttrID(i), Type: TypeInt16, Value: int64(v)}
+		}
+		raw, err := EncodeReport(seq, attrs)
+		if err != nil {
+			return false
+		}
+		fr, err := DecodeFrame(raw)
+		if err != nil || fr.Seq != seq {
+			return false
+		}
+		got, err := DecodeReport(fr.Payload)
+		if err != nil || len(got) != len(attrs) {
+			return false
+		}
+		for i := range attrs {
+			if got[i] != attrs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

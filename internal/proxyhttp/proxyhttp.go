@@ -1,0 +1,265 @@
+// Package proxyhttp carries the web-service plumbing every proxy shares:
+// serving common-format documents with JSON/XML content negotiation,
+// registering with the master node, and keeping the registration fresh
+// with heartbeats. Device-proxies and Database-proxies differ in what
+// they serve, not in how they join the infrastructure; that common "how"
+// lives here.
+package proxyhttp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/dataformat"
+	"repro/internal/registry"
+)
+
+// NegotiateEncoding picks the response encoding from an Accept header.
+func NegotiateEncoding(r *http.Request) dataformat.Encoding {
+	if strings.Contains(r.Header.Get("Accept"), "xml") {
+		return dataformat.XML
+	}
+	return dataformat.JSON
+}
+
+// WriteDoc writes a common-format document honouring content negotiation.
+func WriteDoc(w http.ResponseWriter, r *http.Request, doc *dataformat.Document) {
+	enc := NegotiateEncoding(r)
+	body, err := doc.Encode(enc)
+	if err != nil {
+		Error(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", enc.ContentType())
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// Error writes a JSON error body with the given status.
+func Error(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// ReadDoc decodes a request body as a common-format document, sniffing
+// the encoding from the Content-Type (or the payload itself).
+func ReadDoc(r *http.Request) (*dataformat.Document, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	enc := dataformat.ParseEncoding(r.Header.Get("Content-Type"))
+	if r.Header.Get("Content-Type") == "" {
+		enc = dataformat.Sniff(body)
+	}
+	return dataformat.Decode(body, enc)
+}
+
+// Server wraps an http.Server bound to an ephemeral or fixed port.
+type Server struct {
+	mu  sync.Mutex
+	srv *http.Server
+	ln  net.Listener
+	wg  sync.WaitGroup
+}
+
+// Serve starts handler on addr and returns the bound address.
+func (s *Server) Serve(addr string, handler http.Handler) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
+	s.mu.Lock()
+	s.srv = srv
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address ("" before Serve).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server.
+func (s *Server) Close() {
+	s.mu.Lock()
+	srv := s.srv
+	s.mu.Unlock()
+	if srv != nil {
+		srv.Close()
+	}
+	s.wg.Wait()
+}
+
+// Registrar keeps one proxy registered with the master node.
+type Registrar struct {
+	// MasterURL is the master node's base URL.
+	MasterURL string
+	// Registration is this proxy's record; LastSeen is managed remotely.
+	Registration registry.Registration
+	// HeartbeatEvery is the keepalive period. Zero means 30 seconds.
+	HeartbeatEvery time.Duration
+	// Client is the HTTP client; nil uses a 5-second-timeout default.
+	Client *http.Client
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// ErrRegistration reports a failed master interaction.
+var ErrRegistration = errors.New("proxyhttp: registration failed")
+
+func (g *Registrar) client() *http.Client {
+	if g.Client != nil {
+		return g.Client
+	}
+	return &http.Client{Timeout: 5 * time.Second}
+}
+
+// Register performs one registration round trip.
+func (g *Registrar) Register() error {
+	body, err := json.Marshal(g.Registration)
+	if err != nil {
+		return err
+	}
+	rsp, err := g.client().Post(strings.TrimSuffix(g.MasterURL, "/")+"/register", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrRegistration, err)
+	}
+	defer rsp.Body.Close()
+	if rsp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%w: master returned %d", ErrRegistration, rsp.StatusCode)
+	}
+	return nil
+}
+
+// Start registers and then heartbeats until Stop.
+func (g *Registrar) Start() error {
+	if err := g.Register(); err != nil {
+		return err
+	}
+	every := g.HeartbeatEvery
+	if every <= 0 {
+		every = 30 * time.Second
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	g.cancel = cancel
+	g.done = make(chan struct{})
+	go func() {
+		defer close(g.done)
+		ticker := time.NewTicker(every)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				if err := g.heartbeat(); err != nil {
+					// A master restart forgets registrations; re-register.
+					_ = g.Register()
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+func (g *Registrar) heartbeat() error {
+	url := fmt.Sprintf("%s/heartbeat?id=%s", strings.TrimSuffix(g.MasterURL, "/"), g.Registration.ID)
+	rsp, err := g.client().Post(url, "", nil)
+	if err != nil {
+		return err
+	}
+	defer rsp.Body.Close()
+	if rsp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%w: heartbeat returned %d", ErrRegistration, rsp.StatusCode)
+	}
+	return nil
+}
+
+// Stop ends the heartbeat loop and deregisters from the master.
+func (g *Registrar) Stop() {
+	if g.cancel != nil {
+		g.cancel()
+		<-g.done
+	}
+	url := fmt.Sprintf("%s/register?id=%s", strings.TrimSuffix(g.MasterURL, "/"), g.Registration.ID)
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		return
+	}
+	if rsp, err := g.client().Do(req); err == nil {
+		rsp.Body.Close()
+	}
+}
+
+// GetDoc fetches and decodes a common-format document.
+func GetDoc(client *http.Client, url string, enc dataformat.Encoding) (*dataformat.Document, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", enc.ContentType())
+	rsp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer rsp.Body.Close()
+	if rsp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("proxyhttp: GET %s returned %d", url, rsp.StatusCode)
+	}
+	return dataformat.DecodeFrom(rsp.Body, dataformat.ParseEncoding(rsp.Header.Get("Content-Type")))
+}
+
+// PostDoc sends a common-format document and decodes the reply document
+// (nil when the response has no body).
+func PostDoc(client *http.Client, url string, doc *dataformat.Document, enc dataformat.Encoding) (*dataformat.Document, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	body, err := doc.Encode(enc)
+	if err != nil {
+		return nil, err
+	}
+	rsp, err := client.Post(url, enc.ContentType(), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer rsp.Body.Close()
+	if rsp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("proxyhttp: POST %s returned %d", url, rsp.StatusCode)
+	}
+	raw, err := io.ReadAll(io.LimitReader(rsp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	if len(bytes.TrimSpace(raw)) == 0 {
+		return nil, nil
+	}
+	return dataformat.Decode(raw, dataformat.ParseEncoding(rsp.Header.Get("Content-Type")))
+}

@@ -1,0 +1,213 @@
+// Package registry implements the master node's proxy registry. In the
+// paper every proxy "registers itself on a single master node"; this
+// package keeps those registrations — which proxy serves which ontology
+// entity, at which web-service URL — together with liveness tracking so
+// stale proxies age out of query results.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ProxyKind classifies registered proxies.
+type ProxyKind string
+
+// Proxy kinds, one per data-source family of the paper.
+const (
+	KindDevice  ProxyKind = "device"
+	KindBIM     ProxyKind = "bim"
+	KindSIM     ProxyKind = "sim"
+	KindGIS     ProxyKind = "gis"
+	KindMeasure ProxyKind = "measure"
+)
+
+// Valid reports whether the kind is one of the known proxy kinds.
+func (k ProxyKind) Valid() bool {
+	switch k {
+	case KindDevice, KindBIM, KindSIM, KindGIS, KindMeasure:
+		return true
+	default:
+		return false
+	}
+}
+
+// Registration is one proxy's record.
+type Registration struct {
+	// ID is the proxy's self-chosen unique identifier.
+	ID string `json:"id"`
+	// Kind classifies the proxy.
+	Kind ProxyKind `json:"kind"`
+	// BaseURL is the proxy's web-service entry point.
+	BaseURL string `json:"baseUrl"`
+	// EntityURI is the ontology entity the proxy serves (a building for
+	// a BIM proxy, a device for a device-proxy, a district for GIS).
+	EntityURI string `json:"entityUri"`
+	// Protocol is the native technology for device proxies.
+	Protocol string `json:"protocol,omitempty"`
+	// LastSeen is the time of the last registration or heartbeat.
+	LastSeen time.Time `json:"lastSeen"`
+}
+
+// Errors reported by the registry.
+var (
+	ErrInvalid  = errors.New("registry: invalid registration")
+	ErrNotFound = errors.New("registry: proxy not found")
+)
+
+// Validate checks the registration's required fields.
+func (r *Registration) Validate() error {
+	switch {
+	case r.ID == "":
+		return fmt.Errorf("%w: missing id", ErrInvalid)
+	case !r.Kind.Valid():
+		return fmt.Errorf("%w: unknown kind %q", ErrInvalid, r.Kind)
+	case r.BaseURL == "":
+		return fmt.Errorf("%w: missing baseUrl", ErrInvalid)
+	case r.EntityURI == "":
+		return fmt.Errorf("%w: missing entityUri", ErrInvalid)
+	}
+	return nil
+}
+
+// Registry is the thread-safe registration store.
+type Registry struct {
+	mu      sync.RWMutex
+	proxies map[string]Registration
+	now     func() time.Time
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{proxies: make(map[string]Registration), now: time.Now}
+}
+
+// WithClock overrides the registry clock (tests).
+func (g *Registry) WithClock(now func() time.Time) *Registry {
+	g.now = now
+	return g
+}
+
+// Register inserts or refreshes a registration (idempotent upsert).
+func (g *Registry) Register(r Registration) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	r.LastSeen = g.now()
+	g.mu.Lock()
+	g.proxies[r.ID] = r
+	g.mu.Unlock()
+	return nil
+}
+
+// Heartbeat refreshes a proxy's liveness.
+func (g *Registry) Heartbeat(id string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r, ok := g.proxies[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	r.LastSeen = g.now()
+	g.proxies[id] = r
+	return nil
+}
+
+// Deregister removes a proxy.
+func (g *Registry) Deregister(id string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.proxies[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	delete(g.proxies, id)
+	return nil
+}
+
+// Get returns one registration.
+func (g *Registry) Get(id string) (Registration, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	r, ok := g.proxies[id]
+	if !ok {
+		return Registration{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return r, nil
+}
+
+// List returns all registrations sorted by ID.
+func (g *Registry) List() []Registration {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]Registration, 0, len(g.proxies))
+	for _, r := range g.proxies {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByEntity returns the registrations serving an ontology entity URI.
+func (g *Registry) ByEntity(entityURI string) []Registration {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []Registration
+	for _, r := range g.proxies {
+		if r.EntityURI == entityURI {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByKind returns the registrations of one proxy kind sorted by ID.
+func (g *Registry) ByKind(kind ProxyKind) []Registration {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []Registration
+	for _, r := range g.proxies {
+		if r.Kind == kind {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Alive reports whether a proxy has been seen within ttl.
+func (g *Registry) Alive(id string, ttl time.Duration) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	r, ok := g.proxies[id]
+	if !ok {
+		return false
+	}
+	return g.now().Sub(r.LastSeen) <= ttl
+}
+
+// Sweep removes registrations not seen within ttl and returns how many
+// were dropped.
+func (g *Registry) Sweep(ttl time.Duration) int {
+	cutoff := g.now().Add(-ttl)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	dropped := 0
+	for id, r := range g.proxies {
+		if r.LastSeen.Before(cutoff) {
+			delete(g.proxies, id)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// Len reports the number of live registrations.
+func (g *Registry) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.proxies)
+}

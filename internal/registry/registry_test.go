@@ -1,0 +1,162 @@
+package registry
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func reg(id string, kind ProxyKind) Registration {
+	return Registration{
+		ID: id, Kind: kind,
+		BaseURL:   "http://127.0.0.1:9000/" + id,
+		EntityURI: "urn:district:turin/building:b01",
+	}
+}
+
+func TestRegisterAndGet(t *testing.T) {
+	g := New()
+	if err := g.Register(reg("p1", KindBIM)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.Get("p1")
+	if err != nil || got.Kind != KindBIM || got.LastSeen.IsZero() {
+		t.Fatalf("Get = %+v, %v", got, err)
+	}
+	if _, err := g.Get("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(ghost) = %v", err)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	g := New()
+	cases := []Registration{
+		{Kind: KindBIM, BaseURL: "u", EntityURI: "e"},          // no ID
+		{ID: "x", Kind: "weird", BaseURL: "u", EntityURI: "e"}, // bad kind
+		{ID: "x", Kind: KindBIM, EntityURI: "e"},               // no URL
+		{ID: "x", Kind: KindBIM, BaseURL: "u"},                 // no entity
+	}
+	for i, r := range cases {
+		if err := g.Register(r); !errors.Is(err, ErrInvalid) {
+			t.Errorf("case %d: err = %v, want ErrInvalid", i, err)
+		}
+	}
+}
+
+func TestRegisterUpsert(t *testing.T) {
+	g := New()
+	_ = g.Register(reg("p1", KindBIM))
+	r2 := reg("p1", KindBIM)
+	r2.BaseURL = "http://moved/"
+	if err := g.Register(r2); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := g.Get("p1")
+	if got.BaseURL != "http://moved/" {
+		t.Errorf("upsert did not replace: %+v", got)
+	}
+	if g.Len() != 1 {
+		t.Errorf("Len = %d", g.Len())
+	}
+}
+
+func TestHeartbeatAndAlive(t *testing.T) {
+	now := time.Date(2015, 3, 9, 10, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	g := New().WithClock(clock)
+	_ = g.Register(reg("p1", KindDevice))
+
+	if !g.Alive("p1", time.Minute) {
+		t.Error("fresh registration not alive")
+	}
+	now = now.Add(2 * time.Minute)
+	if g.Alive("p1", time.Minute) {
+		t.Error("stale registration alive")
+	}
+	if err := g.Heartbeat("p1"); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Alive("p1", time.Minute) {
+		t.Error("heartbeat did not refresh")
+	}
+	if err := g.Heartbeat("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Heartbeat(ghost) = %v", err)
+	}
+	if g.Alive("ghost", time.Minute) {
+		t.Error("unknown proxy alive")
+	}
+}
+
+func TestDeregister(t *testing.T) {
+	g := New()
+	_ = g.Register(reg("p1", KindGIS))
+	if err := g.Deregister("p1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Deregister("p1"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double deregister: %v", err)
+	}
+}
+
+func TestListByEntityByKind(t *testing.T) {
+	g := New()
+	_ = g.Register(reg("b", KindBIM))
+	_ = g.Register(reg("a", KindDevice))
+	other := reg("c", KindDevice)
+	other.EntityURI = "urn:district:turin/building:b02"
+	_ = g.Register(other)
+
+	if got := g.List(); len(got) != 3 || got[0].ID != "a" {
+		t.Errorf("List = %+v", got)
+	}
+	if got := g.ByEntity("urn:district:turin/building:b01"); len(got) != 2 {
+		t.Errorf("ByEntity = %+v", got)
+	}
+	if got := g.ByKind(KindDevice); len(got) != 2 || got[0].ID != "a" {
+		t.Errorf("ByKind = %+v", got)
+	}
+	if got := g.ByKind(KindSIM); len(got) != 0 {
+		t.Errorf("ByKind(sim) = %+v", got)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	now := time.Date(2015, 3, 9, 10, 0, 0, 0, time.UTC)
+	g := New().WithClock(func() time.Time { return now })
+	_ = g.Register(reg("old", KindBIM))
+	now = now.Add(10 * time.Minute)
+	_ = g.Register(reg("fresh", KindBIM))
+
+	if dropped := g.Sweep(time.Minute); dropped != 1 {
+		t.Errorf("Sweep dropped %d, want 1", dropped)
+	}
+	if _, err := g.Get("old"); !errors.Is(err, ErrNotFound) {
+		t.Error("stale proxy survived sweep")
+	}
+	if _, err := g.Get("fresh"); err != nil {
+		t.Error("fresh proxy swept")
+	}
+}
+
+func TestConcurrentRegistry(t *testing.T) {
+	g := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r := reg(string(rune('a'+w)), KindDevice)
+				_ = g.Register(r)
+				_ = g.Heartbeat(r.ID)
+				g.List()
+				g.Alive(r.ID, time.Minute)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if g.Len() != 8 {
+		t.Errorf("Len = %d, want 8", g.Len())
+	}
+}

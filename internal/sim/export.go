@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The utility's SIM exports arrive as XML with the operator's own
+// vocabulary — a third encoding style (after BIM VendorA's flat text and
+// VendorB's JSON) so each Database-proxy kind exercises a genuinely
+// different translation path.
+
+// ErrExport reports a malformed SIM export.
+var ErrExport = errors.New("sim: malformed export")
+
+type xmlNetwork struct {
+	XMLName  xml.Name  `xml:"distributionNetwork"`
+	Code     string    `xml:"code,attr"`
+	Label    string    `xml:"label,attr"`
+	Medium   string    `xml:"medium,attr"` // HOT_WATER | ELECTRICITY
+	Stations []xmlNode `xml:"stations>station"`
+	Links    []xmlLink `xml:"links>link"`
+}
+
+type xmlNode struct {
+	Code     string  `xml:"code,attr"`
+	Role     string  `xml:"role,attr"` // SOURCE | BRANCH | DELIVERY
+	Label    string  `xml:"label,attr"`
+	Lat      float64 `xml:"lat,attr"`
+	Lon      float64 `xml:"lon,attr"`
+	LoadKW   float64 `xml:"loadKw,attr,omitempty"`
+	Building string  `xml:"servesBuilding,attr,omitempty"`
+}
+
+type xmlLink struct {
+	Code      string  `xml:"code,attr"`
+	From      string  `xml:"from,attr"`
+	To        string  `xml:"to,attr"`
+	LengthM   float64 `xml:"lengthM,attr"`
+	LossPctKM float64 `xml:"lossPercentPerKm,attr"`
+}
+
+var mediumOf = map[NetworkKind]string{Heating: "HOT_WATER", Electric: "ELECTRICITY"}
+var kindOfMedium = map[string]NetworkKind{"HOT_WATER": Heating, "ELECTRICITY": Electric}
+
+var roleOf = map[NodeKind]string{NodePlant: "SOURCE", NodeJunction: "BRANCH", NodeSubstation: "DELIVERY"}
+var kindOfRole = map[string]NodeKind{"SOURCE": NodePlant, "BRANCH": NodeJunction, "DELIVERY": NodeSubstation}
+
+// EncodeExport writes the network in the operator XML export format.
+func EncodeExport(w io.Writer, n *Network) error {
+	x := xmlNetwork{Code: n.ID, Label: n.Name, Medium: mediumOf[n.Kind]}
+	for _, node := range n.Nodes {
+		x.Stations = append(x.Stations, xmlNode{
+			Code: node.ID, Role: roleOf[node.Kind], Label: node.Name,
+			Lat: node.Lat, Lon: node.Lon, LoadKW: node.DemandKW, Building: node.Building,
+		})
+	}
+	for _, e := range n.Edges {
+		x.Links = append(x.Links, xmlLink{
+			Code: e.ID, From: e.Parent, To: e.Child,
+			LengthM: e.LengthM, LossPctKM: e.LossPerKM * 100,
+		})
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(x); err != nil {
+		return err
+	}
+	return enc.Flush()
+}
+
+// DecodeExport parses an operator XML export into a Network.
+func DecodeExport(r io.Reader) (*Network, error) {
+	var x xmlNetwork
+	if err := xml.NewDecoder(r).Decode(&x); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrExport, err)
+	}
+	kind, ok := kindOfMedium[x.Medium]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown medium %q", ErrExport, x.Medium)
+	}
+	n := &Network{ID: x.Code, Name: x.Label, Kind: kind}
+	for _, st := range x.Stations {
+		nodeKind, ok := kindOfRole[st.Role]
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown role %q", ErrExport, st.Role)
+		}
+		n.Nodes = append(n.Nodes, Node{
+			ID: st.Code, Kind: nodeKind, Name: st.Label,
+			Lat: st.Lat, Lon: st.Lon, DemandKW: st.LoadKW, Building: st.Building,
+		})
+	}
+	for _, l := range x.Links {
+		n.Edges = append(n.Edges, Edge{
+			ID: l.Code, Parent: l.From, Child: l.To,
+			LengthM: l.LengthM, LossPerKM: l.LossPctKM / 100,
+		})
+	}
+	return n, n.Validate()
+}

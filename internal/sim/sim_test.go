@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// lineNetwork is plant -> junction -> substation (100 kW) with a lossy
+// pipe of known fraction.
+func lineNetwork() *Network {
+	return &Network{
+		ID: "dh1", Name: "Test DH", Kind: Heating,
+		Nodes: []Node{
+			{ID: "p", Kind: NodePlant, Name: "Plant"},
+			{ID: "j", Kind: NodeJunction, Name: "J"},
+			{ID: "s", Kind: NodeSubstation, Name: "S", DemandKW: 100, Building: "urn:b1"},
+		},
+		Edges: []Edge{
+			{ID: "e1", Parent: "p", Child: "j", LengthM: 1000, LossPerKM: 0.02},
+			{ID: "e2", Parent: "j", Child: "s", LengthM: 500, LossPerKM: 0.02},
+		},
+	}
+}
+
+func TestValidateGood(t *testing.T) {
+	if err := lineNetwork().Validate(); err != nil {
+		t.Fatalf("valid network rejected: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Network)
+		want   error
+	}{
+		{"no ID", func(n *Network) { n.ID = "" }, ErrInvalidNetwork},
+		{"no plant", func(n *Network) { n.Nodes[0].Kind = NodeJunction }, ErrInvalidNetwork},
+		{"two plants", func(n *Network) { n.Nodes[1].Kind = NodePlant }, ErrInvalidNetwork},
+		{"dup node", func(n *Network) { n.Nodes[1].ID = "p" }, ErrInvalidNetwork},
+		{"negative demand", func(n *Network) { n.Nodes[2].DemandKW = -5 }, ErrInvalidNetwork},
+		{"unknown edge parent", func(n *Network) { n.Edges[0].Parent = "ghost" }, ErrInvalidNetwork},
+		{"unknown edge child", func(n *Network) { n.Edges[1].Child = "ghost" }, ErrInvalidNetwork},
+		{"negative length", func(n *Network) { n.Edges[0].LengthM = -1 }, ErrInvalidNetwork},
+		{"two parents", func(n *Network) {
+			n.Edges = append(n.Edges, Edge{ID: "e3", Parent: "p", Child: "s"})
+		}, ErrNotTree},
+		{"unreachable node", func(n *Network) { n.Edges = n.Edges[:1] }, ErrNotTree},
+		{"plant has parent", func(n *Network) {
+			n.Edges = append(n.Edges, Edge{ID: "e3", Parent: "s", Child: "p"})
+		}, ErrNotTree},
+	}
+	for _, tc := range cases {
+		bad := lineNetwork()
+		tc.mutate(bad)
+		if err := bad.Validate(); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestSolveLineNetwork(t *testing.T) {
+	n := lineNetwork()
+	sol, err := n.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// e2: 100 kW delivered through 500 m at 2%/km -> 1% loss fraction.
+	flowE2 := 100 / (1 - 0.01)
+	// e1: flowE2 through 1000m at 2%/km -> 2% loss fraction.
+	flowE1 := flowE2 / (1 - 0.02)
+	if math.Abs(sol.PlantOutputKW-flowE1) > 1e-9 {
+		t.Errorf("PlantOutputKW = %v, want %v", sol.PlantOutputKW, flowE1)
+	}
+	if sol.DeliveredKW != 100 {
+		t.Errorf("DeliveredKW = %v", sol.DeliveredKW)
+	}
+	if math.Abs(sol.LossKW-(flowE1-100)) > 1e-9 {
+		t.Errorf("LossKW = %v", sol.LossKW)
+	}
+	if len(sol.Flows) != 2 || sol.Flows[0].EdgeID != "e1" {
+		t.Fatalf("Flows = %+v", sol.Flows)
+	}
+	if eff := sol.Efficiency(); math.Abs(eff-100/flowE1) > 1e-9 {
+		t.Errorf("Efficiency = %v", eff)
+	}
+}
+
+func TestSolveZeroDemand(t *testing.T) {
+	n := lineNetwork()
+	n.Nodes[2].DemandKW = 0
+	sol, err := n.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.PlantOutputKW != 0 || sol.LossKW != 0 || sol.Efficiency() != 0 {
+		t.Errorf("idle network: %+v", sol)
+	}
+}
+
+func TestSolveInvalidNetwork(t *testing.T) {
+	n := lineNetwork()
+	n.Edges = n.Edges[:1]
+	if _, err := n.Solve(); err == nil {
+		t.Fatal("Solve accepted an invalid network")
+	}
+}
+
+func TestSetDemand(t *testing.T) {
+	n := lineNetwork()
+	if !n.SetDemand("s", 250) {
+		t.Fatal("SetDemand on substation failed")
+	}
+	if n.SetDemand("j", 10) {
+		t.Error("SetDemand on junction succeeded")
+	}
+	if n.SetDemand("ghost", 10) {
+		t.Error("SetDemand on unknown node succeeded")
+	}
+	if n.TotalDemandKW() != 250 {
+		t.Errorf("TotalDemandKW = %v", n.TotalDemandKW())
+	}
+}
+
+func TestNodeLookups(t *testing.T) {
+	n := lineNetwork()
+	if p := n.Plant(); p.ID != "p" {
+		t.Errorf("Plant = %+v", p)
+	}
+	if _, ok := n.NodeByID("j"); !ok {
+		t.Error("NodeByID(j) missed")
+	}
+	if _, ok := n.NodeByID("ghost"); ok {
+		t.Error("NodeByID(ghost) found")
+	}
+}
+
+func TestSynthesizeValidAndDeterministic(t *testing.T) {
+	a := Synthesize(SynthOptions{Seed: 11, Substations: 20, Branching: 4})
+	if err := a.Validate(); err != nil {
+		t.Fatalf("synthetic network invalid: %v", err)
+	}
+	b := Synthesize(SynthOptions{Seed: 11, Substations: 20, Branching: 4})
+	if a.TotalDemandKW() != b.TotalDemandKW() || len(a.Edges) != len(b.Edges) {
+		t.Error("Synthesize not deterministic")
+	}
+	subs := 0
+	for _, node := range a.Nodes {
+		if node.Kind == NodeSubstation {
+			subs++
+		}
+	}
+	if subs != 20 {
+		t.Errorf("substations = %d, want 20", subs)
+	}
+}
+
+func TestSynthesizedSolves(t *testing.T) {
+	n := Synthesize(SynthOptions{Seed: 5, Substations: 50, Branching: 5})
+	sol, err := n.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.PlantOutputKW <= sol.DeliveredKW {
+		t.Errorf("plant output %v should exceed delivered %v (losses)", sol.PlantOutputKW, sol.DeliveredKW)
+	}
+	if eff := sol.Efficiency(); eff <= 0.8 || eff >= 1 {
+		t.Errorf("efficiency = %v, want in (0.8, 1) for city-scale pipes", eff)
+	}
+	if len(sol.Flows) != len(n.Edges) {
+		t.Errorf("flows = %d, edges = %d", len(sol.Flows), len(n.Edges))
+	}
+}
+
+func TestExportRoundTrip(t *testing.T) {
+	n := Synthesize(SynthOptions{Seed: 9, Substations: 12, Kind: Electric})
+	var buf bytes.Buffer
+	if err := EncodeExport(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "distributionNetwork") || !strings.Contains(buf.String(), "ELECTRICITY") {
+		t.Fatalf("export lacks operator vocabulary:\n%s", buf.String()[:200])
+	}
+	got, err := DecodeExport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != n.ID || got.Kind != Electric || len(got.Nodes) != len(n.Nodes) || len(got.Edges) != len(n.Edges) {
+		t.Errorf("round trip shape: %+v", got)
+	}
+	if math.Abs(got.TotalDemandKW()-n.TotalDemandKW()) > 1e-6 {
+		t.Errorf("demand = %v, want %v", got.TotalDemandKW(), n.TotalDemandKW())
+	}
+	// Physics must survive the percent/fraction conversion.
+	a, _ := n.Solve()
+	b, err := got.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.PlantOutputKW-b.PlantOutputKW) > 1e-6 {
+		t.Errorf("solution changed: %v vs %v", a.PlantOutputKW, b.PlantOutputKW)
+	}
+}
+
+func TestDecodeExportRejects(t *testing.T) {
+	if _, err := DecodeExport(strings.NewReader("<distributionNetwork")); err == nil {
+		t.Error("truncated XML accepted")
+	}
+	bad := `<distributionNetwork code="n" label="n" medium="STEAM"></distributionNetwork>`
+	if _, err := DecodeExport(strings.NewReader(bad)); err == nil {
+		t.Error("unknown medium accepted")
+	}
+	bad = `<distributionNetwork code="n" label="n" medium="HOT_WATER">
+	  <stations><station code="x" role="WAT" label="x"/></stations></distributionNetwork>`
+	if _, err := DecodeExport(strings.NewReader(bad)); err == nil {
+		t.Error("unknown role accepted")
+	}
+	// Structurally broken (no plant) must fail validation on decode.
+	bad = `<distributionNetwork code="n" label="n" medium="HOT_WATER">
+	  <stations><station code="x" role="BRANCH" label="x"/></stations></distributionNetwork>`
+	if _, err := DecodeExport(strings.NewReader(bad)); err == nil {
+		t.Error("plantless network accepted")
+	}
+}
+
+// Property: energy balance holds for arbitrary synthetic networks:
+// plant output = delivered + losses, and every edge flow is positive.
+func TestSolveEnergyBalanceProperty(t *testing.T) {
+	f := func(seed int64, subs, branching uint8) bool {
+		n := Synthesize(SynthOptions{
+			Seed:        seed,
+			Substations: int(subs%40) + 1,
+			Branching:   int(branching%6) + 1,
+		})
+		sol, err := n.Solve()
+		if err != nil {
+			return false
+		}
+		if math.Abs(sol.PlantOutputKW-(sol.DeliveredKW+sol.LossKW)) > 1e-6 {
+			return false
+		}
+		for _, fl := range sol.Flows {
+			if fl.FlowKW < 0 || fl.LossKW < 0 {
+				return false
+			}
+		}
+		return sol.Efficiency() > 0 && sol.Efficiency() <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,408 @@
+// Package tsdb is the time-series storage engine used at two points of the
+// infrastructure: as the "local database" middle layer of every
+// device-proxy (Fig. 1b of the paper) and as the backing store of the
+// global measurements database service.
+//
+// The engine stores samples per series, where a series is identified by a
+// (device URI, quantity) pair. Samples within a series are kept in
+// append-mostly segments ordered by timestamp; out-of-order arrivals are
+// tolerated and merged on read. A configurable retention bound keeps the
+// per-series footprint constant, matching the buffering role the proxy's
+// local database plays in the paper.
+package tsdb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SeriesKey identifies one time series.
+type SeriesKey struct {
+	Device   string
+	Quantity string
+}
+
+// String renders the key in the device|quantity form used in logs.
+func (k SeriesKey) String() string { return k.Device + "|" + k.Quantity }
+
+// Sample is one timestamped value.
+type Sample struct {
+	At    time.Time
+	Value float64
+}
+
+// Errors returned by the engine.
+var (
+	ErrNoSeries    = errors.New("tsdb: series not found")
+	ErrBadInterval = errors.New("tsdb: interval end before start")
+	ErrClosed      = errors.New("tsdb: store closed")
+)
+
+// Options configure a Store.
+type Options struct {
+	// MaxSamplesPerSeries bounds each series; once exceeded the oldest
+	// samples are evicted. Zero means the engine default (65536).
+	MaxSamplesPerSeries int
+	// Retention drops samples older than now-Retention at append time.
+	// Zero disables time-based retention.
+	Retention time.Duration
+	// SegmentSize is the number of samples per internal segment. Zero
+	// means the engine default (1024).
+	SegmentSize int
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.MaxSamplesPerSeries <= 0 {
+		out.MaxSamplesPerSeries = 65536
+	}
+	if out.SegmentSize <= 0 {
+		out.SegmentSize = 1024
+	}
+	return out
+}
+
+// Store is a thread-safe multi-series sample store.
+type Store struct {
+	opts Options
+
+	mu     sync.RWMutex
+	series map[SeriesKey]*series
+	closed bool
+}
+
+// series holds the segments of one series. Segments are time-ordered
+// relative to each other except for the spill segment, which absorbs
+// out-of-order writes and is merged on read.
+type series struct {
+	mu       sync.Mutex
+	segments []*segment
+	spill    []Sample // out-of-order arrivals, unsorted
+	count    int
+	lastAt   time.Time
+}
+
+// segment is a bounded run of time-ordered samples.
+type segment struct {
+	samples []Sample
+}
+
+// New creates a Store with the given options.
+func New(opts Options) *Store {
+	return &Store{opts: opts.withDefaults(), series: make(map[SeriesKey]*series)}
+}
+
+// Close marks the store closed; subsequent appends fail with ErrClosed.
+func (s *Store) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}
+
+// Append stores one sample in the series for key. Samples older than the
+// retention window are dropped silently (they would be evicted
+// immediately anyway); the method still succeeds.
+func (s *Store) Append(key SeriesKey, smp Sample) error {
+	if s.opts.Retention > 0 && time.Since(smp.At) > s.opts.Retention {
+		return nil
+	}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	sr := s.series[key]
+	s.mu.RUnlock()
+	if sr == nil {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return ErrClosed
+		}
+		sr = s.series[key]
+		if sr == nil {
+			sr = &series{}
+			s.series[key] = sr
+		}
+		s.mu.Unlock()
+	}
+
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	if !smp.At.Before(sr.lastAt) {
+		sr.appendOrdered(smp, s.opts.SegmentSize)
+		sr.lastAt = smp.At
+	} else {
+		sr.spill = append(sr.spill, smp)
+	}
+	sr.count++
+	sr.evict(s.opts.MaxSamplesPerSeries)
+	return nil
+}
+
+func (sr *series) appendOrdered(smp Sample, segSize int) {
+	n := len(sr.segments)
+	if n == 0 || len(sr.segments[n-1].samples) >= segSize {
+		sr.segments = append(sr.segments, &segment{samples: make([]Sample, 0, segSize)})
+		n++
+	}
+	seg := sr.segments[n-1]
+	seg.samples = append(seg.samples, smp)
+}
+
+// evict drops oldest samples until count <= max. The spill segment is
+// folded in first when eviction is needed, so ordering is preserved.
+func (sr *series) evict(max int) {
+	if sr.count <= max {
+		return
+	}
+	if len(sr.spill) > 0 {
+		sr.foldSpill()
+	}
+	excess := sr.count - max
+	for excess > 0 && len(sr.segments) > 0 {
+		head := sr.segments[0]
+		if len(head.samples) <= excess {
+			excess -= len(head.samples)
+			sr.count -= len(head.samples)
+			sr.segments = sr.segments[1:]
+			continue
+		}
+		head.samples = head.samples[excess:]
+		sr.count -= excess
+		excess = 0
+	}
+}
+
+// foldSpill merges the out-of-order spill into the ordered segments by a
+// full rebuild. Spills are rare in practice (device clocks are monotonic)
+// so the rebuild cost is acceptable.
+func (sr *series) foldSpill() {
+	all := sr.flatten()
+	sort.Slice(all, func(i, j int) bool { return all[i].At.Before(all[j].At) })
+	sr.segments = nil
+	sr.spill = nil
+	sr.count = 0
+	for _, smp := range all {
+		sr.appendOrdered(smp, 1024)
+		sr.count++
+	}
+	if n := len(all); n > 0 {
+		sr.lastAt = all[n-1].At
+	}
+}
+
+func (sr *series) flatten() []Sample {
+	out := make([]Sample, 0, sr.count)
+	for _, seg := range sr.segments {
+		out = append(out, seg.samples...)
+	}
+	out = append(out, sr.spill...)
+	return out
+}
+
+// Query returns the samples of a series with At in [from, to], in
+// ascending time order. A zero `to` means "now".
+func (s *Store) Query(key SeriesKey, from, to time.Time) ([]Sample, error) {
+	if to.IsZero() {
+		to = time.Now()
+	}
+	if to.Before(from) {
+		return nil, ErrBadInterval
+	}
+	s.mu.RLock()
+	sr := s.series[key]
+	s.mu.RUnlock()
+	if sr == nil {
+		return nil, ErrNoSeries
+	}
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	if len(sr.spill) > 0 {
+		sr.foldSpill()
+	}
+	// Segments are time-ordered; skip whole segments outside the range
+	// and binary-search only within boundary segments, so query cost is
+	// O(#segments + result) rather than O(series length).
+	var out []Sample
+	for _, seg := range sr.segments {
+		n := len(seg.samples)
+		if n == 0 || seg.samples[n-1].At.Before(from) {
+			continue
+		}
+		if seg.samples[0].At.After(to) {
+			break
+		}
+		lo := sort.Search(n, func(i int) bool { return !seg.samples[i].At.Before(from) })
+		hi := sort.Search(n, func(i int) bool { return seg.samples[i].At.After(to) })
+		out = append(out, seg.samples[lo:hi]...)
+	}
+	return out, nil
+}
+
+// Latest returns the most recent sample of a series.
+func (s *Store) Latest(key SeriesKey) (Sample, error) {
+	s.mu.RLock()
+	sr := s.series[key]
+	s.mu.RUnlock()
+	if sr == nil {
+		return Sample{}, ErrNoSeries
+	}
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	if len(sr.spill) > 0 {
+		sr.foldSpill()
+	}
+	if len(sr.segments) == 0 {
+		return Sample{}, ErrNoSeries
+	}
+	last := sr.segments[len(sr.segments)-1]
+	return last.samples[len(last.samples)-1], nil
+}
+
+// Len reports the number of stored samples of a series (0 if absent).
+func (s *Store) Len(key SeriesKey) int {
+	s.mu.RLock()
+	sr := s.series[key]
+	s.mu.RUnlock()
+	if sr == nil {
+		return 0
+	}
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	return sr.count
+}
+
+// Keys returns all series keys, in no particular order.
+func (s *Store) Keys() []SeriesKey {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]SeriesKey, 0, len(s.series))
+	for k := range s.series {
+		out = append(out, k)
+	}
+	return out
+}
+
+// KeysForDevice returns the series keys belonging to one device URI.
+func (s *Store) KeysForDevice(device string) []SeriesKey {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []SeriesKey
+	for k := range s.series {
+		if k.Device == device {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Quantity < out[j].Quantity })
+	return out
+}
+
+// Aggregate summarizes a time range of a series.
+type Aggregate struct {
+	Count       int
+	Min, Max    float64
+	Sum, Mean   float64
+	First, Last Sample
+}
+
+// Aggregate computes summary statistics over [from, to].
+func (s *Store) Aggregate(key SeriesKey, from, to time.Time) (Aggregate, error) {
+	samples, err := s.Query(key, from, to)
+	if err != nil {
+		return Aggregate{}, err
+	}
+	return aggregate(samples), nil
+}
+
+func aggregate(samples []Sample) Aggregate {
+	var a Aggregate
+	for i, smp := range samples {
+		if i == 0 {
+			a.Min, a.Max = smp.Value, smp.Value
+			a.First = smp
+		}
+		if smp.Value < a.Min {
+			a.Min = smp.Value
+		}
+		if smp.Value > a.Max {
+			a.Max = smp.Value
+		}
+		a.Sum += smp.Value
+		a.Last = smp
+		a.Count++
+	}
+	if a.Count > 0 {
+		a.Mean = a.Sum / float64(a.Count)
+	}
+	return a
+}
+
+// Bucket is one downsampled window.
+type Bucket struct {
+	Start time.Time
+	Aggregate
+}
+
+// Downsample splits [from, to) into fixed windows of the given width and
+// aggregates each. Empty windows are omitted.
+func (s *Store) Downsample(key SeriesKey, from, to time.Time, window time.Duration) ([]Bucket, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("tsdb: non-positive window %v", window)
+	}
+	samples, err := s.Query(key, from, to)
+	if err != nil {
+		return nil, err
+	}
+	var out []Bucket
+	var cur []Sample
+	var curStart time.Time
+	flush := func() {
+		if len(cur) > 0 {
+			out = append(out, Bucket{Start: curStart, Aggregate: aggregate(cur)})
+			cur = cur[:0]
+		}
+	}
+	for _, smp := range samples {
+		start := smp.At.Truncate(window)
+		if start.Before(from) {
+			start = from
+		}
+		if !start.Equal(curStart) {
+			flush()
+			curStart = start
+		}
+		cur = append(cur, smp)
+	}
+	flush()
+	return out, nil
+}
+
+// Stats summarizes the whole store.
+type Stats struct {
+	Series  int
+	Samples int
+}
+
+// Stats reports store-wide counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{Series: len(s.series)}
+	for _, sr := range s.series {
+		sr.mu.Lock()
+		st.Samples += sr.count
+		sr.mu.Unlock()
+	}
+	return st
+}
+
+// Drop removes a whole series.
+func (s *Store) Drop(key SeriesKey) {
+	s.mu.Lock()
+	delete(s.series, key)
+	s.mu.Unlock()
+}

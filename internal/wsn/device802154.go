@@ -1,0 +1,213 @@
+package wsn
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/dataformat"
+	"repro/internal/deviceproxy"
+	"repro/internal/protocol/ieee802154"
+)
+
+// pollCommand is the MAC-command payload the proxy sends to ask a plain
+// 802.15.4 node for a fresh reading (a simplified data-request).
+var pollCommand = []byte{0x04}
+
+// Node802154 is a plain IEEE 802.15.4 sensor node: it answers poll
+// requests with sensor-reading data frames, one per configured quantity.
+type Node802154 struct {
+	xcvr   *ieee802154.Transceiver
+	pan    uint16
+	addr   uint16
+	rng    *rand.Rand
+	signal map[dataformat.Quantity]Signal
+	batt   *battery
+
+	mu     sync.Mutex
+	seq    uint8
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+// readingKindOf maps quantities to the plain-802.15.4 payload kinds.
+var readingKindOf = map[dataformat.Quantity]ieee802154.ReadingKind{
+	dataformat.Temperature: ieee802154.ReadingTemperature,
+	dataformat.Humidity:    ieee802154.ReadingHumidity,
+	dataformat.Illuminance: ieee802154.ReadingIlluminance,
+	dataformat.PowerActive: ieee802154.ReadingPower,
+	dataformat.Occupancy:   ieee802154.ReadingOccupancy,
+	dataformat.CO2:         ieee802154.ReadingCO2,
+}
+
+var quantityOfKind = map[ieee802154.ReadingKind]struct {
+	q dataformat.Quantity
+	u dataformat.Unit
+}{
+	ieee802154.ReadingTemperature: {dataformat.Temperature, dataformat.Celsius},
+	ieee802154.ReadingHumidity:    {dataformat.Humidity, dataformat.Percent},
+	ieee802154.ReadingIlluminance: {dataformat.Illuminance, dataformat.Lux},
+	ieee802154.ReadingPower:       {dataformat.PowerActive, dataformat.Watt},
+	ieee802154.ReadingOccupancy:   {dataformat.Occupancy, dataformat.Bool},
+	ieee802154.ReadingCO2:         {dataformat.CO2, dataformat.PPM},
+}
+
+// NewNode802154 attaches a virtual sensor node to the radio and starts
+// its serving goroutine.
+func NewNode802154(radio *ieee802154.Radio, pan, addr uint16, signals map[dataformat.Quantity]Signal, seed int64) (*Node802154, error) {
+	xcvr, err := radio.Attach(pan, addr, 64)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node802154{
+		xcvr: xcvr, pan: pan, addr: addr,
+		rng:    rand.New(rand.NewSource(seed)),
+		signal: signals,
+		batt:   newBattery(100, 0.002),
+		stopCh: make(chan struct{}),
+	}
+	n.wg.Add(1)
+	go n.serve()
+	return n, nil
+}
+
+// serve answers poll requests until Close.
+func (n *Node802154) serve() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		default:
+		}
+		f, err := n.xcvr.Receive(100 * time.Millisecond)
+		if err != nil {
+			continue
+		}
+		if f.Type != ieee802154.FrameMACCmd || len(f.Payload) == 0 || f.Payload[0] != pollCommand[0] {
+			continue
+		}
+		n.respond(f.SrcAddr)
+	}
+}
+
+// respond transmits one data frame per quantity.
+func (n *Node802154) respond(to uint16) {
+	now := time.Now()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	level := n.batt.sample()
+	for q, sig := range n.signal {
+		kind, ok := readingKindOf[q]
+		if !ok {
+			continue
+		}
+		payload := ieee802154.EncodeReading(ieee802154.SensorReading{
+			Kind:    kind,
+			Value:   sig.valueAt(now, n.rng),
+			Battery: uint8(level),
+		})
+		n.seq++
+		frame := &ieee802154.Frame{
+			Type: ieee802154.FrameData, IntraPAN: true,
+			Seq: n.seq, DestPAN: n.pan, DestAddr: to, SrcAddr: n.addr,
+			Payload: payload,
+		}
+		_ = n.xcvr.Send(frame)
+	}
+}
+
+// Close detaches the node from the radio.
+func (n *Node802154) Close() {
+	close(n.stopCh)
+	n.wg.Wait()
+	n.xcvr.Detach()
+}
+
+// Driver802154 is the device-proxy dedicated layer for a plain 802.15.4
+// node: Poll sends a data request and collects the reading frames.
+type Driver802154 struct {
+	xcvr    *ieee802154.Transceiver
+	pan     uint16
+	device  uint16
+	expect  int
+	timeout time.Duration
+
+	mu  sync.Mutex
+	seq uint8
+}
+
+// NewDriver802154 attaches the proxy's transceiver to the radio.
+// expectReadings is how many quantities the device reports per poll.
+func NewDriver802154(radio *ieee802154.Radio, pan, proxyAddr, deviceAddr uint16, expectReadings int) (*Driver802154, error) {
+	xcvr, err := radio.Attach(pan, proxyAddr, 64)
+	if err != nil {
+		return nil, err
+	}
+	if expectReadings <= 0 {
+		expectReadings = 1
+	}
+	return &Driver802154{
+		xcvr: xcvr, pan: pan, device: deviceAddr,
+		expect: expectReadings, timeout: 500 * time.Millisecond,
+	}, nil
+}
+
+// Protocol implements deviceproxy.Driver.
+func (d *Driver802154) Protocol() string { return "ieee802.15.4" }
+
+// Poll implements deviceproxy.Driver: transmit a poll command, then
+// collect the device's reading frames.
+func (d *Driver802154) Poll() ([]deviceproxy.Reading, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.seq++
+	req := &ieee802154.Frame{
+		Type: ieee802154.FrameMACCmd, IntraPAN: true,
+		Seq: d.seq, DestPAN: d.pan, DestAddr: d.device, SrcAddr: d.xcvr.Addr(),
+		Payload: pollCommand,
+	}
+	if err := d.xcvr.Send(req); err != nil {
+		return nil, err
+	}
+	var out []deviceproxy.Reading
+	deadline := time.Now().Add(d.timeout)
+	for len(out) < d.expect && time.Now().Before(deadline) {
+		f, err := d.xcvr.Receive(time.Until(deadline))
+		if err != nil {
+			break
+		}
+		if f.Type != ieee802154.FrameData || f.SrcAddr != d.device {
+			continue
+		}
+		r, err := ieee802154.DecodeReading(f.Payload)
+		if err != nil {
+			continue
+		}
+		qi, ok := quantityOfKind[r.Kind]
+		if !ok {
+			continue
+		}
+		out = append(out, deviceproxy.Reading{
+			Quantity: qi.q, Value: r.Value, Unit: qi.u,
+			Battery: float64(r.Battery),
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("wsn: 802.15.4 device %#04x did not answer", d.device)
+	}
+	return out, nil
+}
+
+// Actuate implements deviceproxy.Driver; plain sensor nodes actuate
+// nothing.
+func (d *Driver802154) Actuate(q dataformat.Quantity, v float64) error {
+	return fmt.Errorf("%w: %s", deviceproxy.ErrNotActuator, q)
+}
+
+// Close implements deviceproxy.Driver.
+func (d *Driver802154) Close() error {
+	d.xcvr.Detach()
+	return nil
+}

@@ -1,0 +1,213 @@
+package wsn
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/dataformat"
+	"repro/internal/deviceproxy"
+	"repro/internal/protocol/enocean"
+)
+
+// SerialLink simulates the serial line between an EnOcean gateway module
+// and its host: a byte stream devices write ESP3 packets into and the
+// driver drains.
+type SerialLink struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+// Write appends bytes to the link (device side).
+func (l *SerialLink) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	l.buf = append(l.buf, p...)
+	l.mu.Unlock()
+	return len(p), nil
+}
+
+// Drain removes and returns all buffered bytes (host side).
+func (l *SerialLink) Drain() []byte {
+	l.mu.Lock()
+	out := l.buf
+	l.buf = nil
+	l.mu.Unlock()
+	return out
+}
+
+// NodeEnOcean is an energy-harvesting EnOcean device: it spontaneously
+// transmits telegrams for its profile on a period (as real harvesting
+// devices do) and, when it models an actuator, answers switch telegrams
+// addressed to it.
+type NodeEnOcean struct {
+	link    *SerialLink
+	profile enocean.EEP
+	sender  uint32
+	rng     *rand.Rand
+
+	mu      sync.Mutex
+	signal  map[dataformat.Quantity]Signal
+	state   float64 // actuator state for switch/contact profiles
+	stopCh  chan struct{}
+	wg      sync.WaitGroup
+	started bool
+}
+
+// NewNodeEnOcean creates a virtual EnOcean device on the link.
+func NewNodeEnOcean(link *SerialLink, profile enocean.EEP, sender uint32, signals map[dataformat.Quantity]Signal, seed int64) *NodeEnOcean {
+	return &NodeEnOcean{
+		link: link, profile: profile, sender: sender,
+		rng: rand.New(rand.NewSource(seed)), signal: signals,
+		stopCh: make(chan struct{}),
+	}
+}
+
+// Start begins spontaneous emission with the given period.
+func (n *NodeEnOcean) Start(every time.Duration) {
+	n.mu.Lock()
+	if n.started {
+		n.mu.Unlock()
+		return
+	}
+	n.started = true
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		ticker := time.NewTicker(every)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				n.Emit()
+			case <-n.stopCh:
+				return
+			}
+		}
+	}()
+}
+
+// Emit transmits one telegram for the current state. Exposed so tests
+// and benchmarks can force an emission.
+func (n *NodeEnOcean) Emit() {
+	now := time.Now()
+	n.mu.Lock()
+	readings := make([]enocean.Reading, 0, len(n.signal)+1)
+	for q, sig := range n.signal {
+		readings = append(readings, enocean.Reading{
+			Quantity: q, Value: sig.valueAt(now, n.rng),
+		})
+	}
+	switch n.profile {
+	case enocean.EEPRockerF60201:
+		readings = append(readings, enocean.Reading{Quantity: dataformat.SwitchState, Value: n.state})
+	case enocean.EEPContactD50001:
+		readings = append(readings, enocean.Reading{Quantity: dataformat.ContactState, Value: n.state})
+	}
+	n.mu.Unlock()
+
+	tg, err := enocean.EncodeEEP(n.profile, n.sender, readings)
+	if err != nil {
+		return
+	}
+	_, _ = n.link.Write(tg.WrapRadio().Encode())
+}
+
+// SetState flips the device's binary state (used to model a person
+// pressing a rocker or a window opening) and emits the telegram.
+func (n *NodeEnOcean) SetState(v float64) {
+	n.mu.Lock()
+	n.state = v
+	n.mu.Unlock()
+	n.Emit()
+}
+
+// State reports the binary state.
+func (n *NodeEnOcean) State() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.state
+}
+
+// Close stops spontaneous emission.
+func (n *NodeEnOcean) Close() {
+	n.mu.Lock()
+	started := n.started
+	n.started = false
+	n.mu.Unlock()
+	if started {
+		close(n.stopCh)
+		n.wg.Wait()
+	}
+}
+
+// DriverEnOcean is the device-proxy dedicated layer for EnOcean: it
+// drains the gateway's serial link, parses ESP3 packets, decodes the
+// device's profile, and caches the latest readings (EnOcean devices
+// push; the proxy's Poll returns the freshest received state).
+type DriverEnOcean struct {
+	link    *SerialLink
+	profile enocean.EEP
+	sender  uint32
+	node    *NodeEnOcean // actuation target, when the device is a relay
+
+	mu      sync.Mutex
+	pending []byte
+	latest  []deviceproxy.Reading
+}
+
+// NewDriverEnOcean creates the driver for one device on the link. The
+// optional actuator lets the driver command a relay device (EnOcean
+// actuation is a gateway-transmitted telegram; the simulation shortcuts
+// the air interface but keeps the telegram encoding on the link).
+func NewDriverEnOcean(link *SerialLink, profile enocean.EEP, sender uint32, actuator *NodeEnOcean) *DriverEnOcean {
+	return &DriverEnOcean{link: link, profile: profile, sender: sender, node: actuator}
+}
+
+// Protocol implements deviceproxy.Driver.
+func (d *DriverEnOcean) Protocol() string { return "enocean" }
+
+// Poll implements deviceproxy.Driver: drain the serial link, decode any
+// telegram from our device, and return the latest readings.
+func (d *DriverEnOcean) Poll() ([]deviceproxy.Reading, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.pending = append(d.pending, d.link.Drain()...)
+	packets, consumed := enocean.DecodeStream(d.pending)
+	d.pending = d.pending[consumed:]
+	for _, pkt := range packets {
+		if pkt.Type != enocean.TypeRadioERP1 {
+			continue
+		}
+		tg, err := enocean.DecodeTelegram(pkt.Data)
+		if err != nil || tg.SenderID != d.sender {
+			continue
+		}
+		readings, err := enocean.DecodeEEP(d.profile, tg)
+		if err != nil {
+			continue // teach-in or profile mismatch
+		}
+		out := make([]deviceproxy.Reading, len(readings))
+		for i, r := range readings {
+			out[i] = deviceproxy.Reading{Quantity: r.Quantity, Value: r.Value, Unit: r.Unit, Battery: -1}
+		}
+		d.latest = out
+	}
+	if d.latest == nil {
+		return nil, fmt.Errorf("wsn: no telegram from EnOcean device %#08x yet", d.sender)
+	}
+	return append([]deviceproxy.Reading(nil), d.latest...), nil
+}
+
+// Actuate implements deviceproxy.Driver for relay profiles.
+func (d *DriverEnOcean) Actuate(q dataformat.Quantity, v float64) error {
+	if d.node == nil || (q != dataformat.SwitchState && q != dataformat.ContactState) {
+		return fmt.Errorf("%w: %s", deviceproxy.ErrNotActuator, q)
+	}
+	d.node.SetState(v)
+	return nil
+}
+
+// Close implements deviceproxy.Driver.
+func (d *DriverEnOcean) Close() error { return nil }

@@ -1,0 +1,226 @@
+package wsn
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/dataformat"
+	"repro/internal/deviceproxy"
+	"repro/internal/protocol/opcua"
+)
+
+// NodeOPCUA simulates a wired building-automation controller exposed
+// through OPC UA — the legacy systems the paper's OPC UA proxy bridges.
+// It serves an address space whose variable values follow the configured
+// signals, refreshed by an internal sampling loop.
+type NodeOPCUA struct {
+	server *opcua.Server
+	addr   string
+	rng    *rand.Rand
+
+	mu     sync.Mutex
+	signal map[dataformat.Quantity]Signal
+	nodeOf map[dataformat.Quantity]opcua.NodeID
+	setps  map[dataformat.Quantity]float64
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewNodeOPCUA builds the controller's address space and starts serving
+// on an ephemeral port. Writable quantities get read/write variables.
+func NewNodeOPCUA(signals map[dataformat.Quantity]Signal, writable []dataformat.Quantity, seed int64) (*NodeOPCUA, error) {
+	space := opcua.NewAddressSpace()
+	plant := opcua.NodeID{Namespace: 1, ID: "Controller"}
+	if err := space.AddObject(opcua.RootID, plant, "Controller"); err != nil {
+		return nil, err
+	}
+	n := &NodeOPCUA{
+		server: opcua.NewServer(space),
+		rng:    rand.New(rand.NewSource(seed)),
+		signal: signals,
+		nodeOf: make(map[dataformat.Quantity]opcua.NodeID),
+		setps:  make(map[dataformat.Quantity]float64),
+		stopCh: make(chan struct{}),
+	}
+	for q := range signals {
+		id := opcua.NodeID{Namespace: 1, ID: "Controller." + string(q)}
+		if err := space.AddVariable(plant, id, string(q), opcua.AccessRead, nil); err != nil {
+			return nil, err
+		}
+		n.nodeOf[q] = id
+	}
+	for _, q := range writable {
+		q := q
+		id := opcua.NodeID{Namespace: 1, ID: "Controller.setpoint." + string(q)}
+		err := space.AddVariable(plant, id, "setpoint."+string(q), opcua.AccessRead|opcua.AccessWrite,
+			func(v float64) error {
+				n.mu.Lock()
+				n.setps[q] = v
+				n.mu.Unlock()
+				return nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		n.nodeOf[dataformat.Quantity("setpoint."+string(q))] = id
+	}
+	addr, err := n.server.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	n.addr = addr
+	n.refresh()
+	n.wg.Add(1)
+	go n.sampleLoop()
+	return n, nil
+}
+
+// Addr returns the server's endpoint address.
+func (n *NodeOPCUA) Addr() string { return n.addr }
+
+// Setpoint reports the last written setpoint for a quantity (tests).
+func (n *NodeOPCUA) Setpoint(q dataformat.Quantity) (float64, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	v, ok := n.setps[q]
+	return v, ok
+}
+
+func (n *NodeOPCUA) sampleLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(250 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			n.refresh()
+		case <-n.stopCh:
+			return
+		}
+	}
+}
+
+// refresh re-evaluates every signal into its variable.
+func (n *NodeOPCUA) refresh() {
+	now := time.Now().UTC()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for q, sig := range n.signal {
+		_ = n.server.Space().SetValue(n.nodeOf[q], sig.valueAt(now, n.rng), now)
+	}
+}
+
+// Close stops the controller.
+func (n *NodeOPCUA) Close() {
+	close(n.stopCh)
+	n.wg.Wait()
+	n.server.Close()
+}
+
+// DriverOPCUA is the device-proxy dedicated layer for OPC UA devices.
+type DriverOPCUA struct {
+	client *opcua.Client
+	// reads maps quantities to node IDs for Poll.
+	reads map[dataformat.Quantity]opcua.NodeID
+	// writes maps quantities to writable node IDs for Actuate.
+	writes map[dataformat.Quantity]opcua.NodeID
+}
+
+// NewDriverOPCUA dials the controller and maps quantities onto its
+// address space by browsing — the discovery a real OPC UA proxy does.
+func NewDriverOPCUA(addr string, quantities []dataformat.Quantity, writable []dataformat.Quantity) (*DriverOPCUA, error) {
+	client, err := opcua.Dial(addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	d := &DriverOPCUA{
+		client: client,
+		reads:  make(map[dataformat.Quantity]opcua.NodeID),
+		writes: make(map[dataformat.Quantity]opcua.NodeID),
+	}
+	// Browse Objects -> controllers -> variables.
+	roots, err := client.Browse(opcua.RootID)
+	if err != nil {
+		client.Close()
+		return nil, err
+	}
+	for _, obj := range roots {
+		vars, err := client.Browse(obj.ID)
+		if err != nil {
+			continue
+		}
+		for _, v := range vars {
+			if v.Class != opcua.ClassVariable {
+				continue
+			}
+			for _, q := range quantities {
+				if v.BrowseName == string(q) {
+					d.reads[q] = v.ID
+				}
+			}
+			for _, q := range writable {
+				if v.BrowseName == "setpoint."+string(q) {
+					d.writes[q] = v.ID
+				}
+			}
+		}
+	}
+	if len(d.reads) == 0 {
+		client.Close()
+		return nil, fmt.Errorf("wsn: no matching variables on OPC UA server %s", addr)
+	}
+	return d, nil
+}
+
+// Protocol implements deviceproxy.Driver.
+func (d *DriverOPCUA) Protocol() string { return "opc-ua" }
+
+// Poll implements deviceproxy.Driver with one batched Read service call.
+func (d *DriverOPCUA) Poll() ([]deviceproxy.Reading, error) {
+	ids := make([]opcua.NodeID, 0, len(d.reads))
+	qs := make([]dataformat.Quantity, 0, len(d.reads))
+	for q, id := range d.reads {
+		ids = append(ids, id)
+		qs = append(qs, q)
+	}
+	results, err := d.client.Read(ids)
+	if err != nil {
+		return nil, err
+	}
+	var out []deviceproxy.Reading
+	for i, res := range results {
+		if res.Status != opcua.StatusGood {
+			continue
+		}
+		unit, _ := dataformat.CanonicalUnit(qs[i])
+		out = append(out, deviceproxy.Reading{
+			Quantity: qs[i], Value: res.Value.Value, Unit: unit,
+			Battery: -1, At: res.Value.SourceTimestamp,
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("wsn: OPC UA poll returned no good values")
+	}
+	return out, nil
+}
+
+// Actuate implements deviceproxy.Driver with the Write service.
+func (d *DriverOPCUA) Actuate(q dataformat.Quantity, v float64) error {
+	id, ok := d.writes[q]
+	if !ok {
+		return fmt.Errorf("%w: %s", deviceproxy.ErrNotActuator, q)
+	}
+	code, err := d.client.Write(id, v)
+	if err != nil {
+		return err
+	}
+	if code != opcua.StatusGood {
+		return fmt.Errorf("wsn: OPC UA write rejected with status %#08x", uint32(code))
+	}
+	return nil
+}
+
+// Close implements deviceproxy.Driver.
+func (d *DriverOPCUA) Close() error { return d.client.Close() }

@@ -1,0 +1,351 @@
+package wsn
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/dataformat"
+	"repro/internal/deviceproxy"
+	"repro/internal/protocol/ieee802154"
+	"repro/internal/protocol/zigbee"
+)
+
+// zigbeeEndpoint is the application endpoint virtual devices expose.
+const zigbeeEndpoint = 1
+
+// NodeZigbee is a ZigBee HA device: it serves ZCL Read Attributes and
+// Write Attributes requests over the simulated 802.15.4 radio, keeping
+// attribute state (the on/off cluster is writable).
+type NodeZigbee struct {
+	xcvr *ieee802154.Transceiver
+	pan  uint16
+	addr uint16
+	rng  *rand.Rand
+
+	mu       sync.Mutex
+	signal   map[dataformat.Quantity]Signal
+	onOff    bool
+	hasRelay bool
+	seq      uint8
+	apsCnt   uint8
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewNodeZigbee attaches a virtual ZigBee device to the radio. When
+// relay is true the device also exposes a writable on/off cluster.
+func NewNodeZigbee(radio *ieee802154.Radio, pan, addr uint16, signals map[dataformat.Quantity]Signal, relay bool, seed int64) (*NodeZigbee, error) {
+	xcvr, err := radio.Attach(pan, addr, 64)
+	if err != nil {
+		return nil, err
+	}
+	n := &NodeZigbee{
+		xcvr: xcvr, pan: pan, addr: addr,
+		rng: rand.New(rand.NewSource(seed)), signal: signals,
+		hasRelay: relay,
+		stopCh:   make(chan struct{}),
+	}
+	n.wg.Add(1)
+	go n.serve()
+	return n, nil
+}
+
+// On reports the relay state (tests).
+func (n *NodeZigbee) On() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.onOff
+}
+
+func (n *NodeZigbee) serve() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		default:
+		}
+		f, err := n.xcvr.Receive(100 * time.Millisecond)
+		if err != nil || f.Type != ieee802154.FrameData {
+			continue
+		}
+		aps, err := zigbee.DecodeAPS(f.Payload)
+		if err != nil {
+			continue
+		}
+		zcl, err := zigbee.DecodeFrame(aps.ZCL)
+		if err != nil {
+			continue
+		}
+		switch zcl.Command {
+		case zigbee.CmdReadAttributes:
+			n.serveRead(f.SrcAddr, aps, zcl)
+		case zigbee.CmdWriteAttributes:
+			n.serveWrite(f.SrcAddr, aps, zcl)
+		}
+	}
+}
+
+// attributeOf produces the current raw attribute of a cluster.
+func (n *NodeZigbee) attributeOf(cluster zigbee.ClusterID, id zigbee.AttrID) (zigbee.Attribute, bool) {
+	now := time.Now()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch cluster {
+	case zigbee.ClusterOnOff:
+		if !n.hasRelay {
+			return zigbee.Attribute{}, false
+		}
+		v := int64(0)
+		if n.onOff {
+			v = 1
+		}
+		return zigbee.Attribute{ID: id, Type: zigbee.TypeBool, Value: v}, true
+	case zigbee.ClusterTemperature:
+		sig, ok := n.signal[dataformat.Temperature]
+		if !ok {
+			return zigbee.Attribute{}, false
+		}
+		return zigbee.Attribute{ID: id, Type: zigbee.TypeInt16,
+			Value: int64(sig.valueAt(now, n.rng) * 100)}, true
+	case zigbee.ClusterHumidity:
+		sig, ok := n.signal[dataformat.Humidity]
+		if !ok {
+			return zigbee.Attribute{}, false
+		}
+		return zigbee.Attribute{ID: id, Type: zigbee.TypeUint16,
+			Value: int64(sig.valueAt(now, n.rng) * 100)}, true
+	case zigbee.ClusterElectrical:
+		sig, ok := n.signal[dataformat.PowerActive]
+		if !ok {
+			return zigbee.Attribute{}, false
+		}
+		return zigbee.Attribute{ID: id, Type: zigbee.TypeInt16,
+			Value: int64(sig.valueAt(now, n.rng))}, true
+	case zigbee.ClusterOccupancy:
+		sig, ok := n.signal[dataformat.Occupancy]
+		if !ok {
+			return zigbee.Attribute{}, false
+		}
+		v := int64(0)
+		if sig.valueAt(now, n.rng) >= 0.5 {
+			v = 1
+		}
+		return zigbee.Attribute{ID: id, Type: zigbee.TypeBitmap, Value: v}, true
+	default:
+		return zigbee.Attribute{}, false
+	}
+}
+
+func (n *NodeZigbee) serveRead(to uint16, aps *zigbee.APSFrame, zcl *zigbee.Frame) {
+	ids, err := zigbee.DecodeReadRequest(zcl.Payload)
+	if err != nil {
+		return
+	}
+	records := make([]zigbee.ReadRecord, 0, len(ids))
+	for _, id := range ids {
+		attr, ok := n.attributeOf(aps.Cluster, id)
+		if !ok {
+			records = append(records, zigbee.ReadRecord{ID: id, Status: zigbee.StatusUnsupportedAttr})
+			continue
+		}
+		records = append(records, zigbee.ReadRecord{ID: id, Status: zigbee.StatusSuccess, Attr: attr})
+	}
+	rsp, err := zigbee.EncodeReadResponse(zcl.Seq, records)
+	if err != nil {
+		return
+	}
+	n.sendZCL(to, aps.Cluster, rsp)
+}
+
+func (n *NodeZigbee) serveWrite(to uint16, aps *zigbee.APSFrame, zcl *zigbee.Frame) {
+	attrs, err := zigbee.DecodeWriteRequest(zcl.Payload)
+	if err != nil {
+		return
+	}
+	status := uint8(zigbee.StatusSuccess)
+	for _, a := range attrs {
+		if aps.Cluster == zigbee.ClusterOnOff && a.ID == zigbee.AttrOnOffState && n.hasRelay {
+			n.mu.Lock()
+			n.onOff = a.Value != 0
+			n.mu.Unlock()
+			continue
+		}
+		status = zigbee.StatusReadOnly
+	}
+	n.sendZCL(to, aps.Cluster, zigbee.EncodeDefaultResponse(zcl.Seq, zigbee.CmdWriteAttributes, status))
+}
+
+func (n *NodeZigbee) sendZCL(to uint16, cluster zigbee.ClusterID, zcl []byte) {
+	n.mu.Lock()
+	n.apsCnt++
+	n.seq++
+	aps := &zigbee.APSFrame{
+		DstEndpoint: zigbeeEndpoint, SrcEndpoint: zigbeeEndpoint,
+		Cluster: cluster, Profile: zigbee.ProfileHomeAutomation,
+		Counter: n.apsCnt, ZCL: zcl,
+	}
+	frame := &ieee802154.Frame{
+		Type: ieee802154.FrameData, IntraPAN: true,
+		Seq: n.seq, DestPAN: n.pan, DestAddr: to, SrcAddr: n.addr,
+		Payload: aps.Encode(),
+	}
+	n.mu.Unlock()
+	_ = n.xcvr.Send(frame)
+}
+
+// Close detaches the device.
+func (n *NodeZigbee) Close() {
+	close(n.stopCh)
+	n.wg.Wait()
+	n.xcvr.Detach()
+}
+
+// DriverZigbee is the device-proxy dedicated layer for a ZigBee device.
+type DriverZigbee struct {
+	xcvr   *ieee802154.Transceiver
+	pan    uint16
+	device uint16
+	// Quantities drive which clusters Poll reads.
+	quantities []dataformat.Quantity
+	timeout    time.Duration
+
+	mu  sync.Mutex
+	seq uint8
+	cnt uint8
+}
+
+// NewDriverZigbee attaches the proxy's radio endpoint.
+func NewDriverZigbee(radio *ieee802154.Radio, pan, proxyAddr, deviceAddr uint16, quantities []dataformat.Quantity) (*DriverZigbee, error) {
+	xcvr, err := radio.Attach(pan, proxyAddr, 64)
+	if err != nil {
+		return nil, err
+	}
+	return &DriverZigbee{
+		xcvr: xcvr, pan: pan, device: deviceAddr,
+		quantities: quantities, timeout: 500 * time.Millisecond,
+	}, nil
+}
+
+// Protocol implements deviceproxy.Driver.
+func (d *DriverZigbee) Protocol() string { return "zigbee" }
+
+// exchange sends one ZCL request and waits for the matching response.
+func (d *DriverZigbee) exchange(cluster zigbee.ClusterID, zcl []byte, wantSeq uint8) (*zigbee.Frame, error) {
+	d.mu.Lock()
+	d.cnt++
+	aps := &zigbee.APSFrame{
+		DstEndpoint: zigbeeEndpoint, SrcEndpoint: zigbeeEndpoint,
+		Cluster: cluster, Profile: zigbee.ProfileHomeAutomation,
+		Counter: d.cnt, ZCL: zcl,
+	}
+	frame := &ieee802154.Frame{
+		Type: ieee802154.FrameData, IntraPAN: true,
+		Seq: wantSeq, DestPAN: d.pan, DestAddr: d.device, SrcAddr: d.xcvr.Addr(),
+		Payload: aps.Encode(),
+	}
+	d.mu.Unlock()
+	if err := d.xcvr.Send(frame); err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(d.timeout)
+	for time.Now().Before(deadline) {
+		f, err := d.xcvr.Receive(time.Until(deadline))
+		if err != nil {
+			return nil, err
+		}
+		if f.Type != ieee802154.FrameData || f.SrcAddr != d.device {
+			continue
+		}
+		rspAPS, err := zigbee.DecodeAPS(f.Payload)
+		if err != nil || rspAPS.Cluster != cluster {
+			continue
+		}
+		rspZCL, err := zigbee.DecodeFrame(rspAPS.ZCL)
+		if err != nil || rspZCL.Seq != wantSeq {
+			continue
+		}
+		return rspZCL, nil
+	}
+	return nil, fmt.Errorf("wsn: zigbee device %#04x timed out on cluster %#04x", d.device, uint16(cluster))
+}
+
+// Poll implements deviceproxy.Driver: one Read Attributes per quantity's
+// cluster, translated to common-format readings.
+func (d *DriverZigbee) Poll() ([]deviceproxy.Reading, error) {
+	var out []deviceproxy.Reading
+	for _, q := range d.quantities {
+		cluster, attrID, ok := zigbee.ClusterForQuantity(q)
+		if !ok {
+			continue
+		}
+		d.mu.Lock()
+		d.seq++
+		seq := d.seq
+		d.mu.Unlock()
+		rsp, err := d.exchange(cluster, zigbee.EncodeReadRequest(seq, []zigbee.AttrID{attrID}), seq)
+		if err != nil {
+			return out, err
+		}
+		if rsp.Command != zigbee.CmdReadAttributesRsp {
+			continue
+		}
+		records, err := zigbee.DecodeReadResponse(rsp.Payload)
+		if err != nil {
+			continue
+		}
+		for _, rec := range records {
+			if rec.Status != zigbee.StatusSuccess {
+				continue
+			}
+			quantity, value, unit, err := zigbee.Translate(cluster, rec.Attr)
+			if err != nil {
+				continue
+			}
+			out = append(out, deviceproxy.Reading{Quantity: quantity, Value: value, Unit: unit, Battery: -1})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("wsn: zigbee device %#04x returned no attributes", d.device)
+	}
+	return out, nil
+}
+
+// Actuate implements deviceproxy.Driver via ZCL Write Attributes.
+func (d *DriverZigbee) Actuate(q dataformat.Quantity, v float64) error {
+	cluster, attr, err := zigbee.Untranslate(q, v)
+	if err != nil {
+		return fmt.Errorf("%w: %s", deviceproxy.ErrNotActuator, q)
+	}
+	d.mu.Lock()
+	d.seq++
+	seq := d.seq
+	d.mu.Unlock()
+	zcl, err := zigbee.EncodeWriteRequest(seq, []zigbee.Attribute{attr})
+	if err != nil {
+		return err
+	}
+	rsp, err := d.exchange(cluster, zcl, seq)
+	if err != nil {
+		return err
+	}
+	if rsp.Command != zigbee.CmdDefaultResponse {
+		return fmt.Errorf("wsn: unexpected response command %#02x", uint8(rsp.Command))
+	}
+	_, status, err := zigbee.DecodeDefaultResponse(rsp.Payload)
+	if err != nil {
+		return err
+	}
+	if status != zigbee.StatusSuccess {
+		return fmt.Errorf("wsn: zigbee write rejected with status %#02x", status)
+	}
+	return nil
+}
+
+// Close implements deviceproxy.Driver.
+func (d *DriverZigbee) Close() error {
+	d.xcvr.Detach()
+	return nil
+}

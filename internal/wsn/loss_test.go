@@ -1,0 +1,123 @@
+package wsn
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dataformat"
+	"repro/internal/deviceproxy"
+	"repro/internal/protocol/ieee802154"
+	"repro/internal/tsdb"
+)
+
+// Failure injection: the proxy's dedicated layer over a lossy radio.
+// Individual polls may fail (counted as PollErrs), but the pipeline must
+// keep making progress and never corrupt the local database.
+
+func TestDeviceProxyOverLossyRadio(t *testing.T) {
+	radio := ieee802154.NewRadio(ieee802154.RadioOptions{LossProb: 0.4, Seed: 99})
+	defer radio.Close()
+	node, err := NewNode802154(radio, 1, 0x10, map[dataformat.Quantity]Signal{
+		dataformat.Temperature: {Base: 21},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	drv, err := NewDriver802154(radio, 1, 0x01, 0x10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv.timeout = 100 * time.Millisecond
+
+	proxy, err := deviceproxy.New(deviceproxy.Options{
+		DeviceURI: "urn:district:turin/building:b00/device:lossy",
+		Driver:    drv,
+		PollEvery: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proxy.Run("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	const polls = 40
+	for i := 0; i < polls; i++ {
+		proxy.PollOnce()
+	}
+	st := proxy.Stats()
+	if st.Polls != polls {
+		t.Fatalf("polls = %d", st.Polls)
+	}
+	// At 40% per-delivery loss a poll (request + response) succeeds
+	// ~36% of the time; with 40 polls, both outcomes must occur.
+	if st.Samples == 0 {
+		t.Fatal("no poll ever succeeded under 40% loss")
+	}
+	if st.PollErrs == 0 {
+		t.Fatal("no poll ever failed under 40% loss (loss injection broken?)")
+	}
+	// The local database holds exactly the successful samples, ordered.
+	key := tsdb.SeriesKey{Device: "urn:district:turin/building:b00/device:lossy", Quantity: "temperature"}
+	samples, err := proxy.LocalDB().Query(key, time.Time{}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(samples)) != st.Samples {
+		t.Errorf("local DB has %d samples, stats say %d", len(samples), st.Samples)
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].At.Before(samples[i-1].At) {
+			t.Fatal("local DB ordering violated under loss")
+		}
+	}
+}
+
+// Failure injection: a device that disappears mid-operation. The proxy
+// keeps serving its buffered history.
+func TestDeviceProxyDeviceDisappears(t *testing.T) {
+	radio := ieee802154.NewRadio(ieee802154.RadioOptions{Seed: 7})
+	defer radio.Close()
+	node, err := NewNode802154(radio, 1, 0x10, map[dataformat.Quantity]Signal{
+		dataformat.Temperature: {Base: 21},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv, err := NewDriver802154(radio, 1, 0x01, 0x10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv.timeout = 100 * time.Millisecond
+	proxy, err := deviceproxy.New(deviceproxy.Options{
+		DeviceURI: "urn:district:turin/building:b00/device:gone",
+		Driver:    drv,
+		PollEvery: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proxy.Run("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	proxy.PollOnce()
+	if proxy.Stats().Samples != 1 {
+		t.Fatalf("initial poll failed: %+v", proxy.Stats())
+	}
+	node.Close() // battery died
+
+	proxy.PollOnce()
+	st := proxy.Stats()
+	if st.PollErrs != 1 {
+		t.Fatalf("dead device not detected: %+v", st)
+	}
+	// Buffered history still served.
+	key := tsdb.SeriesKey{Device: "urn:district:turin/building:b00/device:gone", Quantity: "temperature"}
+	if _, err := proxy.LocalDB().Latest(key); err != nil {
+		t.Fatalf("history lost after device death: %v", err)
+	}
+}

@@ -1,0 +1,347 @@
+package wsn
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/dataformat"
+	"repro/internal/deviceproxy"
+	"repro/internal/protocol/enocean"
+	"repro/internal/protocol/ieee802154"
+)
+
+func tempSignals() map[dataformat.Quantity]Signal {
+	return map[dataformat.Quantity]Signal{
+		dataformat.Temperature: {Base: 21, NoiseStd: 0.1, Min: -10, Max: 40},
+	}
+}
+
+func TestSignalValueBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sig := Signal{Base: 21, Amplitude: 3, Period: time.Hour, NoiseStd: 0.5, Min: 19, Max: 23}
+	for i := 0; i < 1000; i++ {
+		v := sig.valueAt(time.Now().Add(time.Duration(i)*time.Minute), rng)
+		if v < 19 || v > 23 {
+			t.Fatalf("value %v out of clamp range", v)
+		}
+	}
+}
+
+func TestSignalDeterministicBase(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sig := Signal{Base: 42}
+	if v := sig.valueAt(time.Now(), rng); v != 42 {
+		t.Errorf("pure base signal = %v", v)
+	}
+}
+
+func TestBatteryDrains(t *testing.T) {
+	b := newBattery(100, 25)
+	levels := []float64{100, 75, 50, 25, 0, 0}
+	for i, want := range levels {
+		if got := b.sample(); got != want {
+			t.Errorf("sample %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestDefaultSignalsSane(t *testing.T) {
+	sigs := DefaultSignals()
+	for name, sig := range sigs {
+		if sig.Max <= sig.Min {
+			t.Errorf("%s: Max <= Min", name)
+		}
+	}
+	if _, ok := sigs["temperature"]; !ok {
+		t.Error("temperature signal missing")
+	}
+}
+
+func TestDriver802154PollAgainstNode(t *testing.T) {
+	radio := ieee802154.NewRadio(ieee802154.RadioOptions{})
+	defer radio.Close()
+	signals := map[dataformat.Quantity]Signal{
+		dataformat.Temperature: {Base: 21},
+		dataformat.Humidity:    {Base: 45},
+	}
+	node, err := NewNode802154(radio, 0x1234, 0x0010, signals, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	drv, err := NewDriver802154(radio, 0x1234, 0x0001, 0x0010, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drv.Close()
+
+	if drv.Protocol() != "ieee802.15.4" {
+		t.Errorf("protocol = %q", drv.Protocol())
+	}
+	readings, err := drv.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(readings) != 2 {
+		t.Fatalf("readings = %+v", readings)
+	}
+	byQ := map[dataformat.Quantity]deviceproxy.Reading{}
+	for _, r := range readings {
+		byQ[r.Quantity] = r
+	}
+	if math.Abs(byQ[dataformat.Temperature].Value-21) > 0.01 {
+		t.Errorf("temperature = %v", byQ[dataformat.Temperature].Value)
+	}
+	if byQ[dataformat.Temperature].Battery < 99 {
+		t.Errorf("battery = %v", byQ[dataformat.Temperature].Battery)
+	}
+	if err := drv.Actuate(dataformat.SwitchState, 1); !errors.Is(err, deviceproxy.ErrNotActuator) {
+		t.Errorf("Actuate = %v", err)
+	}
+}
+
+func TestDriver802154NoDevice(t *testing.T) {
+	radio := ieee802154.NewRadio(ieee802154.RadioOptions{})
+	defer radio.Close()
+	drv, err := NewDriver802154(radio, 1, 1, 0x99, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drv.Close()
+	drv.timeout = 50 * time.Millisecond
+	if _, err := drv.Poll(); err == nil {
+		t.Fatal("poll of absent device succeeded")
+	}
+}
+
+func TestDriverZigbeeReadAndActuate(t *testing.T) {
+	radio := ieee802154.NewRadio(ieee802154.RadioOptions{})
+	defer radio.Close()
+	signals := map[dataformat.Quantity]Signal{
+		dataformat.Temperature: {Base: 22.5},
+		dataformat.Humidity:    {Base: 51},
+	}
+	node, err := NewNodeZigbee(radio, 0x1234, 0x0020, signals, true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	drv, err := NewDriverZigbee(radio, 0x1234, 0x0002, 0x0020,
+		[]dataformat.Quantity{dataformat.Temperature, dataformat.Humidity, dataformat.SwitchState})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drv.Close()
+
+	readings, err := drv.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byQ := map[dataformat.Quantity]float64{}
+	for _, r := range readings {
+		byQ[r.Quantity] = r.Value
+	}
+	if math.Abs(byQ[dataformat.Temperature]-22.5) > 0.011 { // int16 0.01 resolution
+		t.Errorf("temperature = %v", byQ[dataformat.Temperature])
+	}
+	if math.Abs(byQ[dataformat.Humidity]-51) > 0.011 {
+		t.Errorf("humidity = %v", byQ[dataformat.Humidity])
+	}
+	if byQ[dataformat.SwitchState] != 0 {
+		t.Errorf("switch = %v, want off", byQ[dataformat.SwitchState])
+	}
+
+	if err := drv.Actuate(dataformat.SwitchState, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !node.On() {
+		t.Fatal("relay did not switch on")
+	}
+	readings, err = drv.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range readings {
+		if r.Quantity == dataformat.SwitchState && r.Value != 1 {
+			t.Errorf("switch after actuation = %v", r.Value)
+		}
+	}
+}
+
+func TestDriverZigbeeActuateUnsupported(t *testing.T) {
+	radio := ieee802154.NewRadio(ieee802154.RadioOptions{})
+	defer radio.Close()
+	node, err := NewNodeZigbee(radio, 1, 2, tempSignals(), false, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	drv, err := NewDriverZigbee(radio, 1, 3, 2, []dataformat.Quantity{dataformat.Temperature})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drv.Close()
+	if err := drv.Actuate(dataformat.CO2, 1); !errors.Is(err, deviceproxy.ErrNotActuator) {
+		t.Errorf("unsupported quantity: %v", err)
+	}
+	// Write to a non-relay device must be rejected by the device.
+	if err := drv.Actuate(dataformat.SwitchState, 1); err == nil {
+		t.Error("write to sensor-only device succeeded")
+	}
+}
+
+func TestDriverEnOceanReceives(t *testing.T) {
+	link := &SerialLink{}
+	node := NewNodeEnOcean(link, enocean.EEPTempHumA50401, 0x0180ABCD, map[dataformat.Quantity]Signal{
+		dataformat.Temperature: {Base: 20},
+		dataformat.Humidity:    {Base: 40},
+	}, 4)
+	defer node.Close()
+	drv := NewDriverEnOcean(link, enocean.EEPTempHumA50401, 0x0180ABCD, nil)
+	defer drv.Close()
+
+	// Nothing emitted yet.
+	if _, err := drv.Poll(); err == nil {
+		t.Fatal("poll before any telegram succeeded")
+	}
+	node.Emit()
+	readings, err := drv.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(readings) != 2 {
+		t.Fatalf("readings = %+v", readings)
+	}
+	// Latest state is cached: a second poll without new telegrams works.
+	if _, err := drv.Poll(); err != nil {
+		t.Fatalf("cached poll: %v", err)
+	}
+}
+
+func TestDriverEnOceanIgnoresOtherSenders(t *testing.T) {
+	link := &SerialLink{}
+	other := NewNodeEnOcean(link, enocean.EEPTempA50205, 0x0BADF00D, map[dataformat.Quantity]Signal{
+		dataformat.Temperature: {Base: 10},
+	}, 5)
+	defer other.Close()
+	other.Emit()
+	drv := NewDriverEnOcean(link, enocean.EEPTempA50205, 0x0180ABCD, nil)
+	defer drv.Close()
+	if _, err := drv.Poll(); err == nil {
+		t.Fatal("telegram from wrong sender accepted")
+	}
+}
+
+func TestDriverEnOceanActuate(t *testing.T) {
+	link := &SerialLink{}
+	relay := NewNodeEnOcean(link, enocean.EEPRockerF60201, 0x0180AAAA, nil, 6)
+	defer relay.Close()
+	drv := NewDriverEnOcean(link, enocean.EEPRockerF60201, 0x0180AAAA, relay)
+	defer drv.Close()
+
+	if err := drv.Actuate(dataformat.SwitchState, 1); err != nil {
+		t.Fatal(err)
+	}
+	if relay.State() != 1 {
+		t.Fatal("relay state not applied")
+	}
+	// The confirmation telegram is on the link; Poll decodes it.
+	readings, err := drv.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readings[0].Quantity != dataformat.SwitchState || readings[0].Value != 1 {
+		t.Errorf("confirmation = %+v", readings[0])
+	}
+	if err := drv.Actuate(dataformat.Temperature, 20); !errors.Is(err, deviceproxy.ErrNotActuator) {
+		t.Errorf("temperature actuation: %v", err)
+	}
+	drvNoAct := NewDriverEnOcean(link, enocean.EEPRockerF60201, 0x0180AAAA, nil)
+	if err := drvNoAct.Actuate(dataformat.SwitchState, 1); !errors.Is(err, deviceproxy.ErrNotActuator) {
+		t.Errorf("actuation without target: %v", err)
+	}
+}
+
+func TestDriverOPCUAPollAndActuate(t *testing.T) {
+	node, err := NewNodeOPCUA(map[dataformat.Quantity]Signal{
+		dataformat.Temperature: {Base: 19.5},
+		dataformat.PowerActive: {Base: 1200},
+	}, []dataformat.Quantity{dataformat.Temperature}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	drv, err := NewDriverOPCUA(node.Addr(),
+		[]dataformat.Quantity{dataformat.Temperature, dataformat.PowerActive},
+		[]dataformat.Quantity{dataformat.Temperature})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drv.Close()
+
+	if drv.Protocol() != "opc-ua" {
+		t.Errorf("protocol = %q", drv.Protocol())
+	}
+	readings, err := drv.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(readings) != 2 {
+		t.Fatalf("readings = %+v", readings)
+	}
+	byQ := map[dataformat.Quantity]float64{}
+	for _, r := range readings {
+		byQ[r.Quantity] = r.Value
+	}
+	if byQ[dataformat.Temperature] != 19.5 || byQ[dataformat.PowerActive] != 1200 {
+		t.Errorf("values = %v", byQ)
+	}
+
+	if err := drv.Actuate(dataformat.Temperature, 22); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := node.Setpoint(dataformat.Temperature); !ok || v != 22 {
+		t.Errorf("setpoint = %v %v", v, ok)
+	}
+	if err := drv.Actuate(dataformat.CO2, 1); !errors.Is(err, deviceproxy.ErrNotActuator) {
+		t.Errorf("unknown setpoint: %v", err)
+	}
+}
+
+func TestDriverOPCUANoVariables(t *testing.T) {
+	node, err := NewNodeOPCUA(map[dataformat.Quantity]Signal{
+		dataformat.Temperature: {Base: 19.5},
+	}, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	if _, err := NewDriverOPCUA(node.Addr(), []dataformat.Quantity{dataformat.CO2}, nil); err == nil {
+		t.Fatal("driver built with no matching variables")
+	}
+}
+
+func TestNodeEnOceanPeriodicEmission(t *testing.T) {
+	link := &SerialLink{}
+	node := NewNodeEnOcean(link, enocean.EEPTempA50205, 0x01020304, map[dataformat.Quantity]Signal{
+		dataformat.Temperature: {Base: 25},
+	}, 9)
+	node.Start(10 * time.Millisecond)
+	defer node.Close()
+	drv := NewDriverEnOcean(link, enocean.EEPTempA50205, 0x01020304, nil)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if readings, err := drv.Poll(); err == nil {
+			if math.Abs(readings[0].Value-25) > 0.2 {
+				t.Errorf("temperature = %v", readings[0].Value)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("no spontaneous emission observed")
+}

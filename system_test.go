@@ -1,0 +1,330 @@
+package repro
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/dataformat"
+	"repro/internal/master"
+	"repro/internal/middleware"
+	"repro/internal/ontology"
+	"repro/internal/proxyhttp"
+	"repro/internal/registry"
+)
+
+// System-level integration tests: whole-infrastructure behaviours that
+// no single package test can cover — failure recovery, multi-district
+// deployments, XML end-to-end, and the measurements history path.
+
+func bootstrap(t *testing.T, spec core.Spec) *core.District {
+	t.Helper()
+	d, err := core.Bootstrap(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return d
+}
+
+func TestSystemXMLEndToEnd(t *testing.T) {
+	d := bootstrap(t, core.Spec{
+		Buildings: 1, DevicesPerBuilding: 1,
+		Protocols: []core.Protocol{core.ProtoOPCUA},
+		PollEvery: 50 * time.Millisecond, Seed: 31,
+	})
+	if !d.WaitForSamples(1, 10*time.Second) {
+		t.Fatal("no samples")
+	}
+	// The whole client flow with XML as the negotiated encoding.
+	c := &client.Client{MasterURL: d.MasterURL, Encoding: dataformat.XML}
+	model, err := c.BuildAreaModel("turin", client.Area{}, client.BuildOptions{
+		IncludeDevices: true, IncludeGIS: true,
+	})
+	if err != nil {
+		t.Fatalf("XML flow: %v", err)
+	}
+	if len(model.Entities) == 0 || len(model.Measurements) == 0 {
+		t.Fatalf("XML flow lost data: %d entities, %d measurements",
+			len(model.Entities), len(model.Measurements))
+	}
+}
+
+func TestSystemHistoryThroughMeasureDB(t *testing.T) {
+	d := bootstrap(t, core.Spec{
+		Buildings: 1, DevicesPerBuilding: 1,
+		Protocols: []core.Protocol{core.ProtoZigBee},
+		PollEvery: 30 * time.Millisecond, Seed: 32,
+	})
+	if !d.WaitForSamples(5, 10*time.Second) {
+		t.Fatal("no samples")
+	}
+	// Wait until the middleware has carried at least 5 temperature
+	// samples into the global DB (each poll also publishes humidity and
+	// switch state, so the ingest counter alone is not enough).
+	device := url.QueryEscape("urn:district:turin/building:b00/device:d00")
+	historyURL := d.MeasureURL + "/query?device=" + device + "&quantity=temperature"
+	var doc *dataformat.Document
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		var err error
+		doc, err = proxyhttp.GetDoc(nil, historyURL, dataformat.JSON)
+		if err == nil && len(doc.Measurements) >= 5 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if doc == nil || len(doc.Measurements) < 5 {
+		n := 0
+		if doc != nil {
+			n = len(doc.Measurements)
+		}
+		t.Fatalf("history = %d samples; measuredb stats %+v", n, d.Measure.Stats())
+	}
+	// And the device proxy's own buffer agrees in magnitude.
+	c := d.Client()
+	devices, err := c.Devices("urn:district:turin/building:b00")
+	if err != nil || len(devices) == 0 {
+		t.Fatalf("devices: %v %v", devices, err)
+	}
+	ms, err := c.FetchData(devices[0].ProxyURI, dataformat.Temperature, time.Time{}, time.Time{})
+	if err != nil || len(ms) < 5 {
+		t.Fatalf("local buffer: %d samples, %v", len(ms), err)
+	}
+}
+
+func TestSystemProxyHeartbeatSurvivesMasterAmnesia(t *testing.T) {
+	// A master that forgets a registration (restart) must be repopulated
+	// by the proxy's heartbeat loop re-registering.
+	m := master.New(master.Options{})
+	if _, err := m.Ontology().AddDistrict("turin", "Torino"); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := m.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	reg := &proxyhttp.Registrar{
+		MasterURL: "http://" + addr,
+		Registration: registry.Registration{
+			ID: "p1", Kind: registry.KindGIS,
+			BaseURL: "http://p1/", EntityURI: "urn:district:turin",
+		},
+		HeartbeatEvery: 20 * time.Millisecond,
+	}
+	if err := reg.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Stop()
+	if m.Registry().Len() != 1 {
+		t.Fatal("initial registration missing")
+	}
+	// Simulate master-side amnesia.
+	if err := m.Registry().Deregister("p1"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if m.Registry().Len() == 1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("proxy did not re-register after master forgot it")
+}
+
+func TestSystemStaleProxySwept(t *testing.T) {
+	m := master.New(master.Options{LivenessTTL: 50 * time.Millisecond, SweepEvery: 20 * time.Millisecond})
+	if _, err := m.Ontology().AddDistrict("turin", "Torino"); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := m.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	// Register once without heartbeats.
+	one := &proxyhttp.Registrar{
+		MasterURL: "http://" + addr,
+		Registration: registry.Registration{
+			ID: "dying", Kind: registry.KindBIM,
+			BaseURL: "http://x/", EntityURI: "urn:district:turin",
+		},
+	}
+	if err := one.Register(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if m.Registry().Len() == 0 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("stale proxy never swept")
+}
+
+func TestSystemMultiDistrict(t *testing.T) {
+	// One master can serve several districts, each with its own tree;
+	// queries stay scoped.
+	m := master.New(master.Options{})
+	ont := m.Ontology()
+	for _, name := range []string{"turin", "milan"} {
+		uri, err := ont.AddDistrict(name, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := ont.AddEntity(uri, ontology.KindBuilding,
+				fmt.Sprintf("b%02d", i), "B", 45+float64(i)*0.01, 7.6); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	addr, err := m.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	c := &client.Client{MasterURL: "http://" + addr}
+	for _, name := range []string{"turin", "milan"} {
+		qr, err := c.Query(name, client.Area{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qr.District != name || len(qr.Entities) != 3 {
+			t.Fatalf("%s: %+v", name, qr)
+		}
+		for _, e := range qr.Entities {
+			if want := "urn:district:" + name; e.URI[:len(want)] != want {
+				t.Fatalf("cross-district leak: %s in %s query", e.URI, name)
+			}
+		}
+	}
+}
+
+func TestSystemMiddlewareSurvivesLeafCrash(t *testing.T) {
+	hub := middleware.NewNode(middleware.NodeOptions{ID: "hub", Relay: true})
+	hubAddr, err := hub.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+
+	crash := middleware.NewNode(middleware.NodeOptions{ID: "crash"})
+	if err := crash.Dial(hubAddr); err != nil {
+		t.Fatal(err)
+	}
+	waitPeers(t, crash, 1)
+	crash.Close() // leaf dies
+
+	// Hub keeps serving the survivors.
+	alive := middleware.NewNode(middleware.NodeOptions{ID: "alive"})
+	got := make(chan struct{}, 1)
+	if _, err := alive.Subscribe("x/#", func(middleware.Event) {
+		select {
+		case got <- struct{}{}:
+		default:
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := alive.Dial(hubAddr); err != nil {
+		t.Fatal(err)
+	}
+	defer alive.Close()
+	waitPeers(t, alive, 1)
+	time.Sleep(50 * time.Millisecond)
+
+	pub := middleware.NewNode(middleware.NodeOptions{ID: "pub"})
+	if err := pub.Dial(hubAddr); err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	waitPeers(t, pub, 1)
+	if err := pub.Publish(middleware.Event{Topic: "x/y", Payload: []byte("1")}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("event lost after peer crash")
+	}
+}
+
+func waitPeers(t *testing.T, n *middleware.Node, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(n.Peers()) >= want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("node %s never reached %d peers", n.ID(), want)
+}
+
+func TestSystemDeviceProxyStatsEndpoint(t *testing.T) {
+	d := bootstrap(t, core.Spec{
+		Buildings: 1, DevicesPerBuilding: 1,
+		Protocols: []core.Protocol{core.ProtoEnOcean},
+		PollEvery: 30 * time.Millisecond, Seed: 33,
+	})
+	if !d.WaitForSamples(2, 10*time.Second) {
+		t.Fatal("no samples")
+	}
+	c := d.Client()
+	devices, err := c.Devices("urn:district:turin/building:b00")
+	if err != nil || len(devices) != 1 {
+		t.Fatalf("devices: %v %v", devices, err)
+	}
+	rsp, err := http.Get(devices[0].ProxyURI + "stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rsp.Body.Close()
+	if rsp.StatusCode != http.StatusOK {
+		t.Fatalf("stats = %d", rsp.StatusCode)
+	}
+}
+
+func TestSystemOntologyEndpointReflectsRegistrations(t *testing.T) {
+	d := bootstrap(t, core.Spec{
+		Buildings: 1, DevicesPerBuilding: 1,
+		Protocols: []core.Protocol{core.ProtoOPCUA},
+		PollEvery: time.Hour, Seed: 34,
+	})
+	doc, err := proxyhttp.GetDoc(nil, d.MasterURL+"/ontology?uri=urn:district:turin", dataformat.JSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := doc.Entity
+	if e == nil {
+		t.Fatal("no entity")
+	}
+	// The building node must carry its BIM proxy URI from registration.
+	var building *dataformat.Entity
+	for i := range e.Children {
+		if e.Children[i].Kind == dataformat.EntityBuilding {
+			building = &e.Children[i]
+		}
+	}
+	if building == nil {
+		t.Fatal("no building in ontology export")
+	}
+	if v, ok := building.Prop(ontology.PropProxyURI); !ok || v == "" {
+		t.Error("building lacks registered proxy URI")
+	}
+	if len(building.Children) != 1 {
+		t.Fatalf("device leaves = %d", len(building.Children))
+	}
+	if v, ok := building.Children[0].Prop(ontology.PropProxyURI); !ok || v == "" {
+		t.Error("device lacks registered proxy URI")
+	}
+}

@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -67,9 +68,10 @@ func BenchmarkF1a_EndToEndAreaQuery(b *testing.B) {
 				p.PollOnce() // one buffered sample each
 			}
 			c := d.Client()
+			ctx := context.Background()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				model, err := c.BuildAreaModel("turin", client.Area{}, client.BuildOptions{
+				model, err := c.BuildAreaModel(ctx, "turin", client.Area{}, client.BuildOptions{
 					IncludeDevices: true, IncludeGIS: true,
 				})
 				if err != nil {

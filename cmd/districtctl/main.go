@@ -13,12 +13,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/awareness"
@@ -35,20 +38,24 @@ func main() {
 	c := &client.Client{MasterURL: *masterURL}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 
+	// Interrupts cancel in-flight requests and retry backoffs.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var err error
 	switch cmd {
 	case "query":
-		err = cmdQuery(c, args)
+		err = cmdQuery(ctx, c, args)
 	case "model":
-		err = cmdModel(c, args)
+		err = cmdModel(ctx, c, args)
 	case "devices":
-		err = cmdDevices(c, args)
+		err = cmdDevices(ctx, c, args)
 	case "latest":
-		err = cmdLatest(c, args)
+		err = cmdLatest(ctx, c, args)
 	case "control":
-		err = cmdControl(c, args)
+		err = cmdControl(ctx, c, args)
 	case "report":
-		err = cmdReport(c, args)
+		err = cmdReport(ctx, c, args)
 	default:
 		usage()
 	}
@@ -64,14 +71,14 @@ func usage() {
 
 // cmdReport prints the user-awareness report: comfort per building,
 // alerts, and the consumption profile peak.
-func cmdReport(c *client.Client, args []string) error {
+func cmdReport(ctx context.Context, c *client.Client, args []string) error {
 	fs := flag.NewFlagSet("report", flag.ExitOnError)
 	district := fs.String("district", "turin", "district to report on")
 	history := fs.Duration("history", time.Hour, "measurement history window")
 	tempHigh := fs.Float64("temp-high", 26, "overheat alert threshold (degC)")
 	tempLow := fs.Float64("temp-low", 16, "underheat alert threshold (degC)")
 	fs.Parse(args)
-	model, err := c.BuildAreaModel(*district, client.Area{}, client.BuildOptions{
+	model, err := c.BuildAreaModel(ctx, *district, client.Area{}, client.BuildOptions{
 		IncludeDevices: true,
 		IncludeGIS:     true,
 		History:        *history,
@@ -133,7 +140,7 @@ func parseBBox(s string) (client.Area, error) {
 	return client.Area{MinLat: vals[0], MinLon: vals[1], MaxLat: vals[2], MaxLon: vals[3]}, nil
 }
 
-func cmdQuery(c *client.Client, args []string) error {
+func cmdQuery(ctx context.Context, c *client.Client, args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	district := fs.String("district", "turin", "district to query")
 	bbox := fs.String("bbox", "", "area minLat,minLon,maxLat,maxLon")
@@ -142,7 +149,7 @@ func cmdQuery(c *client.Client, args []string) error {
 	if err != nil {
 		return err
 	}
-	qr, err := c.Query(*district, area)
+	qr, err := c.Query(ctx, *district, area)
 	if err != nil {
 		return err
 	}
@@ -154,7 +161,7 @@ func cmdQuery(c *client.Client, args []string) error {
 	return nil
 }
 
-func cmdModel(c *client.Client, args []string) error {
+func cmdModel(ctx context.Context, c *client.Client, args []string) error {
 	fs := flag.NewFlagSet("model", flag.ExitOnError)
 	district := fs.String("district", "turin", "district to query")
 	bbox := fs.String("bbox", "", "area minLat,minLon,maxLat,maxLon")
@@ -164,7 +171,7 @@ func cmdModel(c *client.Client, args []string) error {
 	if err != nil {
 		return err
 	}
-	model, err := c.BuildAreaModel(*district, area, client.BuildOptions{
+	model, err := c.BuildAreaModel(ctx, *district, area, client.BuildOptions{
 		IncludeDevices: *devices,
 		IncludeGIS:     true,
 	})
@@ -187,14 +194,14 @@ func cmdModel(c *client.Client, args []string) error {
 	return nil
 }
 
-func cmdDevices(c *client.Client, args []string) error {
+func cmdDevices(ctx context.Context, c *client.Client, args []string) error {
 	fs := flag.NewFlagSet("devices", flag.ExitOnError)
 	entity := fs.String("entity", "", "entity URI (required)")
 	fs.Parse(args)
 	if *entity == "" {
 		return fmt.Errorf("missing -entity")
 	}
-	devices, err := c.Devices(*entity)
+	devices, err := c.Devices(ctx, *entity)
 	if err != nil {
 		return err
 	}
@@ -204,7 +211,7 @@ func cmdDevices(c *client.Client, args []string) error {
 	return nil
 }
 
-func cmdLatest(c *client.Client, args []string) error {
+func cmdLatest(ctx context.Context, c *client.Client, args []string) error {
 	fs := flag.NewFlagSet("latest", flag.ExitOnError)
 	proxy := fs.String("proxy", "", "device proxy base URL (required)")
 	quantity := fs.String("quantity", "temperature", "quantity to read")
@@ -212,7 +219,7 @@ func cmdLatest(c *client.Client, args []string) error {
 	if *proxy == "" {
 		return fmt.Errorf("missing -proxy")
 	}
-	m, err := c.FetchLatest(*proxy, dataformat.Quantity(*quantity))
+	m, err := c.FetchLatest(ctx, *proxy, dataformat.Quantity(*quantity))
 	if err != nil {
 		return err
 	}
@@ -221,7 +228,7 @@ func cmdLatest(c *client.Client, args []string) error {
 	return nil
 }
 
-func cmdControl(c *client.Client, args []string) error {
+func cmdControl(ctx context.Context, c *client.Client, args []string) error {
 	fs := flag.NewFlagSet("control", flag.ExitOnError)
 	proxy := fs.String("proxy", "", "device proxy base URL (required)")
 	quantity := fs.String("quantity", "state.switch", "quantity to actuate")
@@ -230,7 +237,7 @@ func cmdControl(c *client.Client, args []string) error {
 	if *proxy == "" {
 		return fmt.Errorf("missing -proxy")
 	}
-	res, err := c.Control(*proxy, dataformat.Quantity(*quantity), *value)
+	res, err := c.Control(ctx, *proxy, dataformat.Quantity(*quantity), *value)
 	if err != nil {
 		return err
 	}

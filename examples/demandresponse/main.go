@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -22,6 +23,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	district, err := core.Bootstrap(core.Spec{
 		Buildings:          3,
 		Networks:           1,
@@ -38,7 +40,7 @@ func main() {
 	c := district.Client()
 
 	// 1. Discover the switchable actuators in the district.
-	qr, err := c.Query("turin", client.Area{})
+	qr, err := c.Query(ctx, "turin", client.Area{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,7 +49,7 @@ func main() {
 	}
 	var switches []actuator
 	for _, entity := range qr.Entities {
-		devices, err := c.Devices(entity.URI)
+		devices, err := c.Devices(ctx, entity.URI)
 		if err != nil {
 			continue
 		}
@@ -55,7 +57,7 @@ func main() {
 			if d.ProxyURI == "" {
 				continue
 			}
-			info, err := c.FetchDeviceInfo(d.ProxyURI)
+			info, err := c.FetchDeviceInfo(ctx, d.ProxyURI)
 			if err != nil {
 				continue
 			}
@@ -72,20 +74,20 @@ func main() {
 	}
 
 	// 2. Read the network's solved state from its SIM proxy.
-	solution := fetchSolution(district.SIMs[0].EntityURI(), c)
+	solution := fetchSolution(ctx, district.SIMs[0].EntityURI(), c)
 	fmt.Printf("baseline plant output: %.1f kW (efficiency %.3f)\n",
 		solution.PlantOutputKW, solution.Efficiency())
 
 	// 3. Simulate a demand spike and respond to it.
 	district.SIMs[0].SetDemand(spikeTarget(district), 4000)
-	solution = fetchSolution(district.SIMs[0].EntityURI(), c)
+	solution = fetchSolution(ctx, district.SIMs[0].EntityURI(), c)
 	fmt.Printf("after spike:           %.1f kW\n", solution.PlantOutputKW)
 
 	const peakKW = 2000.0
 	if solution.PlantOutputKW > peakKW {
 		fmt.Printf("peak threshold %.0f kW exceeded: shedding %d loads\n", peakKW, len(switches))
 		for _, sw := range switches {
-			res, err := c.Control(sw.proxyURI, dataformat.SwitchState, 0)
+			res, err := c.Control(ctx, sw.proxyURI, dataformat.SwitchState, 0)
 			if err != nil || !res.Applied {
 				fmt.Printf("  %-55s FAILED (%v)\n", sw.deviceURI, err)
 				continue
@@ -97,7 +99,7 @@ func main() {
 	// 4. Verify the switch states through the data path.
 	time.Sleep(300 * time.Millisecond) // let the next poll observe the state
 	for _, sw := range switches {
-		m, err := c.FetchLatest(sw.proxyURI, dataformat.SwitchState)
+		m, err := c.FetchLatest(ctx, sw.proxyURI, dataformat.SwitchState)
 		if err != nil {
 			continue
 		}
@@ -111,8 +113,8 @@ func main() {
 
 // fetchSolution reads a SIM proxy's /solution endpoint through the
 // master-resolved proxy URI.
-func fetchSolution(entityURI string, c *client.Client) *sim.Solution {
-	qr, err := c.Query("turin", client.Area{})
+func fetchSolution(ctx context.Context, entityURI string, c *client.Client) *sim.Solution {
+	qr, err := c.Query(ctx, "turin", client.Area{})
 	if err != nil {
 		log.Fatal(err)
 	}

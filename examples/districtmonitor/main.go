@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync/atomic"
@@ -22,6 +23,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	district, err := core.Bootstrap(core.Spec{
 		Buildings:          3,
 		Networks:           1,
@@ -54,7 +56,7 @@ func main() {
 	c := district.Client()
 	for round := 1; round <= 3; round++ {
 		time.Sleep(400 * time.Millisecond)
-		model, err := c.BuildAreaModel("turin", client.Area{}, client.BuildOptions{
+		model, err := c.BuildAreaModel(ctx, "turin", client.Area{}, client.BuildOptions{
 			IncludeDevices: true,
 			IncludeGIS:     true,
 		})

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -20,6 +21,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	district, err := core.Bootstrap(core.Spec{
 		Buildings:          2,
 		DevicesPerBuilding: 4,
@@ -34,7 +36,7 @@ func main() {
 	}
 
 	c := district.Client()
-	model, err := c.BuildAreaModel("turin", client.Area{}, client.BuildOptions{
+	model, err := c.BuildAreaModel(ctx, "turin", client.Area{}, client.BuildOptions{
 		IncludeDevices: true,
 		IncludeGIS:     true,
 		History:        time.Hour, // pull the buffered history, not just latest

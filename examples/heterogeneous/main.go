@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -20,6 +21,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	district, err := core.Bootstrap(core.Spec{
 		Buildings:          1,
 		DevicesPerBuilding: 4, // exactly one of each protocol
@@ -36,17 +38,17 @@ func main() {
 	c := district.Client()
 
 	// Per-device view: protocol, capabilities, latest reading.
-	devices, err := c.Devices("urn:district:turin/building:b00")
+	devices, err := c.Devices(ctx, "urn:district:turin/building:b00")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("devices behind the building's proxies:")
 	for _, d := range devices {
-		info, err := c.FetchDeviceInfo(d.ProxyURI)
+		info, err := c.FetchDeviceInfo(ctx, d.ProxyURI)
 		if err != nil {
 			log.Fatalf("info %s: %v", d.URI, err)
 		}
-		m, err := c.FetchLatest(d.ProxyURI, dataformat.Temperature)
+		m, err := c.FetchLatest(ctx, d.ProxyURI, dataformat.Temperature)
 		if err != nil {
 			log.Fatalf("latest %s: %v", d.URI, err)
 		}
@@ -55,7 +57,7 @@ func main() {
 	}
 
 	// Integrated view: one model, origin-independent.
-	model, err := c.BuildAreaModel("turin", client.Area{}, client.BuildOptions{IncludeDevices: true})
+	model, err := c.BuildAreaModel(ctx, "turin", client.Area{}, client.BuildOptions{IncludeDevices: true})
 	if err != nil {
 		log.Fatal(err)
 	}

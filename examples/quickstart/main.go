@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// 1. Boot the infrastructure: master node + ontology, middleware
 	//    hub, measurements DB, GIS/BIM/SIM proxies, device proxies over
 	//    simulated ZigBee/802.15.4/EnOcean/OPC-UA hardware.
@@ -36,7 +38,7 @@ func main() {
 	// 3. End-user flow: query the master for the whole district, follow
 	//    the proxy URIs, integrate everything.
 	c := district.Client()
-	model, err := c.BuildAreaModel("turin", client.Area{}, client.BuildOptions{
+	model, err := c.BuildAreaModel(ctx, "turin", client.Area{}, client.BuildOptions{
 		IncludeDevices: true,
 		IncludeGIS:     true,
 	})

@@ -1,0 +1,227 @@
+// Package api is the unified, versioned service-API layer every web
+// service of the infrastructure shares: the master node, the
+// measurements database, the Database-proxies (GIS/BIM/SIM), and the
+// device-proxies all register their endpoints on an api.Server instead
+// of hand-rolling http.HandleFunc surfaces.
+//
+// The layer provides, in one place:
+//
+//   - versioned routing: every endpoint is served under /v1/<path> with
+//     the bare legacy path kept as an alias, so pre-versioning clients
+//     keep working while new clients pin a version;
+//   - uniform not-found / method-not-allowed / error responses as a
+//     single JSON envelope (see errors.go);
+//   - typed endpoint adapters (handler.go) so service handlers take
+//     decoded requests and return values + errors — they never touch
+//     http.ResponseWriter;
+//   - a middleware chain (middleware.go): request-ID injection, access
+//     logging, per-route latency/count metrics, gzip compression, and
+//     panic recovery;
+//   - real Accept-header content negotiation (negotiate.go);
+//   - a context-aware retrying client transport (transport.go) shared
+//     by the end-user client and the proxy registration/heartbeat path.
+package api
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Version is the current API version prefix served by every Server.
+const Version = "v1"
+
+// URL joins a service base URL (with or without a trailing slash) and
+// an endpoint path-and-query into a versioned request URL:
+// URL("http://h:1/", "/query?district=x") → "http://h:1/v1/query?district=x".
+// Every consumer of the versioned API builds URLs through this one
+// helper so the version prefix lives in a single place.
+func URL(base, pathAndQuery string) string {
+	if !strings.HasPrefix(pathAndQuery, "/") {
+		pathAndQuery = "/" + pathAndQuery
+	}
+	return strings.TrimSuffix(base, "/") + "/" + Version + pathAndQuery
+}
+
+// Options configure a Server.
+type Options struct {
+	// Service names the service in access-log lines (e.g. "master").
+	Service string
+	// Logger receives access-log lines; nil disables access logging.
+	Logger Logger
+	// DisableGzip turns the gzip middleware off (mainly for tests that
+	// want to inspect raw bytes on the wire).
+	DisableGzip bool
+	// DisableLegacyAliases drops the unversioned route aliases; only
+	// /v1/... paths are then served.
+	DisableLegacyAliases bool
+}
+
+// Logger is the minimal logging interface the layer needs; *log.Logger
+// satisfies it.
+type Logger interface {
+	Printf(format string, args ...any)
+}
+
+// route is one registered path with its per-method handlers.
+type route struct {
+	pattern  string // the unversioned path, e.g. "/query"
+	handlers map[string]http.Handler
+	allow    string // precomputed Allow header value
+}
+
+// Server registers typed endpoints and serves them under /v1 plus
+// legacy aliases, wrapped in the standard middleware chain.
+type Server struct {
+	opts Options
+
+	mu      sync.RWMutex
+	routes  map[string]*route
+	metrics *Metrics
+
+	handlerOnce sync.Once
+	handler     http.Handler
+}
+
+// NewServer creates a Server with the built-in /healthz and /metrics
+// endpoints already registered.
+func NewServer(opts Options) *Server {
+	s := &Server{
+		opts:    opts,
+		routes:  make(map[string]*route),
+		metrics: NewMetrics(),
+	}
+	s.HandleFunc(http.MethodGet, "/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	s.Handle(http.MethodGet, "/metrics", Query(func(ctx context.Context, q url.Values) (any, error) {
+		return s.metrics.Snapshot(), nil
+	}))
+	return s
+}
+
+// Handle registers handler for method on path. The path must start with
+// "/" and is registered both as /v1<path> and (unless disabled) as the
+// bare legacy alias <path>. Multiple methods may be registered on the
+// same path; other methods then draw a uniform 405 envelope.
+func (s *Server) Handle(method, path string, handler http.Handler) {
+	if !strings.HasPrefix(path, "/") {
+		panic(fmt.Sprintf("api: route %q must start with /", path))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rt := s.routes[path]
+	if rt == nil {
+		rt = &route{pattern: path, handlers: make(map[string]http.Handler)}
+		s.routes[path] = rt
+	}
+	rt.handlers[method] = handler
+	methods := make([]string, 0, len(rt.handlers))
+	for m := range rt.handlers {
+		methods = append(methods, m)
+	}
+	sort.Strings(methods)
+	rt.allow = strings.Join(methods, ", ")
+}
+
+// HandleFunc registers a plain http.HandlerFunc (escape hatch for
+// endpoints that stream or set custom headers).
+func (s *Server) HandleFunc(method, path string, f http.HandlerFunc) {
+	s.Handle(method, path, f)
+}
+
+// Get registers a typed GET endpoint: fn receives the request context
+// and decoded query values and returns a response value. A returned
+// *dataformat.Document is content-negotiated; anything else is JSON.
+func (s *Server) Get(path string, fn func(ctx context.Context, q url.Values) (any, error)) {
+	s.Handle(http.MethodGet, path, Query(fn))
+}
+
+// Metrics exposes the per-route counters.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// stripVersion removes a leading /v1 segment, reporting whether the
+// request was explicitly versioned.
+func stripVersion(path string) (string, bool) {
+	const pfx = "/" + Version
+	if path == pfx {
+		return "/", true
+	}
+	if strings.HasPrefix(path, pfx+"/") {
+		return path[len(pfx):], true
+	}
+	return path, false
+}
+
+// lookup resolves a request to (pattern, handler). Misses return a
+// pattern used for metrics bucketing and an envelope-writing handler.
+func (s *Server) lookup(method, rawPath string) (string, http.Handler) {
+	path, versioned := stripVersion(rawPath)
+	if !versioned && s.opts.DisableLegacyAliases {
+		return "404", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			WriteError(w, r, NotFound(fmt.Errorf("unknown path %q (unversioned aliases disabled)", rawPath)))
+		})
+	}
+	s.mu.RLock()
+	rt := s.routes[path]
+	s.mu.RUnlock()
+	if rt == nil {
+		return "404", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			WriteError(w, r, NotFound(fmt.Errorf("unknown path %q", rawPath)))
+		})
+	}
+	h := rt.handlers[method]
+	if h == nil && method == http.MethodHead {
+		h = rt.handlers[http.MethodGet] // net/http serves HEAD via GET
+	}
+	if h == nil {
+		allow := rt.allow
+		return rt.pattern, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Allow", allow)
+			WriteError(w, r, MethodNotAllowed(fmt.Errorf("method %s not allowed on %s (use %s)", method, rt.pattern, allow)))
+		})
+	}
+	return rt.pattern, h
+}
+
+// dispatch routes the request and records the matched pattern for the
+// observing middleware.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request) {
+	pattern, h := s.lookup(r.Method, r.URL.Path)
+	if ri := routeInfoFrom(r.Context()); ri != nil {
+		ri.Pattern = pattern
+	}
+	h.ServeHTTP(w, r)
+}
+
+// Handler returns the service's complete http.Handler: the router
+// wrapped in the standard middleware chain. The chain order is
+// request-ID (outermost) → access log → metrics → gzip → recover →
+// router, so log lines carry request IDs, metrics see every outcome
+// including panics, and panic envelopes still travel gzipped.
+func (s *Server) Handler() http.Handler {
+	s.handlerOnce.Do(func() {
+		mws := []Middleware{RequestID()}
+		if s.opts.Logger != nil {
+			mws = append(mws, AccessLog(s.opts.Service, s.opts.Logger))
+		}
+		mws = append(mws, Observe(s.metrics))
+		if !s.opts.DisableGzip {
+			mws = append(mws, Gzip())
+		}
+		mws = append(mws, Recover())
+		s.handler = Chain(http.HandlerFunc(s.dispatch), mws...)
+	})
+	return s.handler
+}
+
+// ServeHTTP lets a Server be used directly as an http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.Handler().ServeHTTP(w, r)
+}

@@ -1,0 +1,150 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+)
+
+// Envelope is the single error shape every service returns. The "error"
+// field matches the pre-redesign ad-hoc bodies, so legacy clients that
+// only read that key keep working; code/status/requestId are additive.
+type Envelope struct {
+	Error     string `json:"error"`
+	Code      string `json:"code,omitempty"`
+	Status    int    `json:"status,omitempty"`
+	RequestID string `json:"requestId,omitempty"`
+}
+
+// Error attaches an HTTP status (and a short machine-readable code) to
+// an underlying error. Handlers wrap errors with the helpers below; the
+// adapters map anything unwrapped through the sentinel table.
+type Error struct {
+	Status int
+	Code   string
+	Err    error
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Err == nil {
+		return e.Code
+	}
+	return e.Err.Error()
+}
+
+// Unwrap exposes the wrapped error to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// codeFor derives a machine-readable code from a status.
+func codeFor(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusTooManyRequests:
+		return "rate_limited"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	case http.StatusNotAcceptable:
+		return "not_acceptable"
+	default:
+		if status >= 500 {
+			return "internal"
+		}
+		return "error"
+	}
+}
+
+// WithStatus wraps err with an explicit HTTP status.
+func WithStatus(status int, err error) error {
+	return &Error{Status: status, Code: codeFor(status), Err: err}
+}
+
+// BadRequest marks err as a 400.
+func BadRequest(err error) error { return WithStatus(http.StatusBadRequest, err) }
+
+// NotFound marks err as a 404.
+func NotFound(err error) error { return WithStatus(http.StatusNotFound, err) }
+
+// MethodNotAllowed marks err as a 405.
+func MethodNotAllowed(err error) error { return WithStatus(http.StatusMethodNotAllowed, err) }
+
+// Internal marks err as a 500.
+func Internal(err error) error { return WithStatus(http.StatusInternalServerError, err) }
+
+// statusTable maps sentinel errors to statuses. Service packages
+// register their domain sentinels (e.g. tsdb.ErrNoSeries → 404) so the
+// mapping lives next to the sentinel's owner, not in every handler.
+var statusTable struct {
+	sync.RWMutex
+	entries []statusEntry
+}
+
+type statusEntry struct {
+	sentinel error
+	status   int
+}
+
+// RegisterStatus maps a sentinel error (matched with errors.Is) to an
+// HTTP status for every service using this layer.
+func RegisterStatus(sentinel error, status int) {
+	statusTable.Lock()
+	defer statusTable.Unlock()
+	for i, e := range statusTable.entries {
+		if e.sentinel == sentinel {
+			statusTable.entries[i].status = status
+			return
+		}
+	}
+	statusTable.entries = append(statusTable.entries, statusEntry{sentinel, status})
+}
+
+// StatusOf resolves the HTTP status of an error: an explicit *Error
+// wins, then the sentinel table, then 500.
+func StatusOf(err error) int {
+	var ae *Error
+	if errors.As(err, &ae) && ae.Status != 0 {
+		return ae.Status
+	}
+	statusTable.RLock()
+	defer statusTable.RUnlock()
+	for _, e := range statusTable.entries {
+		if errors.Is(err, e.sentinel) {
+			return e.status
+		}
+	}
+	return http.StatusInternalServerError
+}
+
+// WriteError writes the uniform JSON error envelope for err, resolving
+// its status and attaching the request ID when one is in the context.
+func WriteError(w http.ResponseWriter, r *http.Request, err error) {
+	status := StatusOf(err)
+	WriteErrorStatus(w, r, status, err)
+}
+
+// WriteErrorStatus writes the envelope with an explicit status.
+func WriteErrorStatus(w http.ResponseWriter, r *http.Request, status int, err error) {
+	env := Envelope{
+		Error:  err.Error(),
+		Code:   codeFor(status),
+		Status: status,
+	}
+	var ae *Error
+	if errors.As(err, &ae) && ae.Code != "" {
+		env.Code = ae.Code
+	}
+	if r != nil {
+		env.RequestID = RequestIDFrom(r.Context())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(env)
+}

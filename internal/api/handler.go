@@ -1,0 +1,107 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"repro/internal/dataformat"
+)
+
+// maxBodyBytes bounds request bodies accepted by the adapters.
+const maxBodyBytes = 16 << 20
+
+// WriteJSON writes v as a JSON response with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeResult encodes a handler's return value: common-format documents
+// are content-negotiated (JSON/XML per Accept), everything else is
+// plain JSON.
+func writeResult(w http.ResponseWriter, r *http.Request, v any) {
+	switch out := v.(type) {
+	case *dataformat.Document:
+		if out == nil {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		WriteDoc(w, r, out)
+	case nil:
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		WriteJSON(w, http.StatusOK, out)
+	}
+}
+
+// Query adapts a typed query-parameter endpoint: fn gets the request
+// context and parsed query values, returns a value (or a
+// *dataformat.Document for negotiated output) and an error. It never
+// sees http.ResponseWriter — encoding, status mapping, and the error
+// envelope are the layer's job.
+func Query[Resp any](fn func(ctx context.Context, q url.Values) (Resp, error)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		out, err := fn(r.Context(), r.URL.Query())
+		if err != nil {
+			WriteError(w, r, err)
+			return
+		}
+		writeResult(w, r, out)
+	})
+}
+
+// Body adapts a typed JSON-body endpoint: the request body is decoded
+// into Req before fn runs. Decode failures map to 400.
+func Body[Req, Resp any](fn func(ctx context.Context, in Req) (Resp, error)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var in Req
+		dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+		if err := dec.Decode(&in); err != nil {
+			WriteError(w, r, BadRequest(fmt.Errorf("bad request body: %w", err)))
+			return
+		}
+		out, err := fn(r.Context(), in)
+		if err != nil {
+			WriteError(w, r, err)
+			return
+		}
+		writeResult(w, r, out)
+	})
+}
+
+// DocIn adapts an endpoint consuming a common-format document body.
+// The encoding is taken from Content-Type, or sniffed when absent.
+func DocIn[Resp any](fn func(ctx context.Context, doc *dataformat.Document) (Resp, error)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		doc, err := ReadDoc(r)
+		if err != nil {
+			WriteError(w, r, BadRequest(err))
+			return
+		}
+		out, err := fn(r.Context(), doc)
+		if err != nil {
+			WriteError(w, r, err)
+			return
+		}
+		writeResult(w, r, out)
+	})
+}
+
+// ReadDoc decodes a request body as a common-format document, sniffing
+// the encoding from the Content-Type (or the payload itself).
+func ReadDoc(r *http.Request) (*dataformat.Document, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		return nil, err
+	}
+	enc := dataformat.ParseEncoding(r.Header.Get("Content-Type"))
+	if r.Header.Get("Content-Type") == "" {
+		enc = dataformat.Sniff(body)
+	}
+	return dataformat.Decode(body, enc)
+}

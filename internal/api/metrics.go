@@ -1,0 +1,79 @@
+package api
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metrics accumulates per-route request counters. Routes are keyed by
+// "METHOD pattern" (the matched pattern, not the raw path, so metrics
+// cardinality stays bounded under hostile paths).
+type Metrics struct {
+	mu     sync.Mutex
+	routes map[string]*routeStats
+}
+
+type routeStats struct {
+	count   uint64
+	errors  uint64 // responses with status >= 400
+	totalNS int64
+	maxNS   int64
+}
+
+// NewMetrics creates an empty metrics set.
+func NewMetrics() *Metrics {
+	return &Metrics{routes: make(map[string]*routeStats)}
+}
+
+func (m *Metrics) observe(method, pattern string, status int, d time.Duration) {
+	key := method + " " + pattern
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs := m.routes[key]
+	if rs == nil {
+		rs = &routeStats{}
+		m.routes[key] = rs
+	}
+	rs.count++
+	if status >= 400 {
+		rs.errors++
+	}
+	ns := d.Nanoseconds()
+	rs.totalNS += ns
+	if ns > rs.maxNS {
+		rs.maxNS = ns
+	}
+}
+
+// RouteSnapshot is one route's counters at a point in time.
+type RouteSnapshot struct {
+	Route   string  `json:"route"`
+	Count   uint64  `json:"count"`
+	Errors  uint64  `json:"errors"`
+	MeanMs  float64 `json:"meanMs"`
+	MaxMs   float64 `json:"maxMs"`
+	TotalMs float64 `json:"totalMs"`
+}
+
+// Snapshot returns the counters of every route, sorted by route key.
+func (m *Metrics) Snapshot() []RouteSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]RouteSnapshot, 0, len(m.routes))
+	for key, rs := range m.routes {
+		snap := RouteSnapshot{
+			Route:   key,
+			Count:   rs.count,
+			Errors:  rs.errors,
+			MaxMs:   float64(rs.maxNS) / 1e6,
+			TotalMs: float64(rs.totalNS) / 1e6,
+		}
+		if rs.count > 0 {
+			snap.MeanMs = snap.TotalMs / float64(rs.count)
+		}
+		out = append(out, snap)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Route < out[j].Route })
+	return out
+}

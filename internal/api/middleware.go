@@ -1,0 +1,233 @@
+package api
+
+import (
+	"compress/gzip"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Middleware wraps an http.Handler with cross-cutting behaviour.
+type Middleware func(http.Handler) http.Handler
+
+// Chain applies middlewares to h with the first middleware outermost:
+// Chain(h, a, b) serves a(b(h)).
+func Chain(h http.Handler, mws ...Middleware) http.Handler {
+	for i := len(mws) - 1; i >= 0; i-- {
+		h = mws[i](h)
+	}
+	return h
+}
+
+// ctxKey namespaces the layer's context values.
+type ctxKey int
+
+const (
+	ctxKeyRequestID ctxKey = iota
+	ctxKeyRouteInfo
+)
+
+// RouteInfo carries the matched route pattern from the router back out
+// to the observing middlewares (which run outside the router).
+type RouteInfo struct {
+	Pattern string
+}
+
+func routeInfoFrom(ctx context.Context) *RouteInfo {
+	ri, _ := ctx.Value(ctxKeyRouteInfo).(*RouteInfo)
+	return ri
+}
+
+// RequestIDFrom returns the request ID middleware-injected into ctx, or
+// "" outside a request.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyRequestID).(string)
+	return id
+}
+
+// NewRequestID mints a 16-hex-char random request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// RequestID injects a request ID (honouring an inbound X-Request-ID so
+// IDs propagate across service hops) into the context and echoes it on
+// the response.
+func RequestID() Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			id := r.Header.Get("X-Request-ID")
+			if id == "" {
+				id = NewRequestID()
+			}
+			ctx := context.WithValue(r.Context(), ctxKeyRequestID, id)
+			ctx = context.WithValue(ctx, ctxKeyRouteInfo, &RouteInfo{})
+			w.Header().Set("X-Request-ID", id)
+			next.ServeHTTP(w, r.WithContext(ctx))
+		})
+	}
+}
+
+// statusWriter records the response status and size.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status != 0 {
+		return // first write wins; avoids superfluous-WriteHeader noise
+	}
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// AccessLog logs one line per request: service, method, path, matched
+// route, status, bytes, duration, and request ID.
+func AccessLog(service string, logger Logger) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw := &statusWriter{ResponseWriter: w}
+			start := time.Now()
+			next.ServeHTTP(sw, r)
+			pattern := r.URL.Path
+			if ri := routeInfoFrom(r.Context()); ri != nil && ri.Pattern != "" {
+				pattern = ri.Pattern
+			}
+			logger.Printf("%s: %s %s -> %s %d %dB %s rid=%s",
+				service, r.Method, r.URL.RequestURI(), pattern,
+				sw.status, sw.bytes, time.Since(start).Round(time.Microsecond),
+				RequestIDFrom(r.Context()))
+		})
+	}
+}
+
+// Observe records per-route count, error count, and latency.
+func Observe(m *Metrics) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw := &statusWriter{ResponseWriter: w}
+			start := time.Now()
+			next.ServeHTTP(sw, r)
+			pattern := "unmatched"
+			if ri := routeInfoFrom(r.Context()); ri != nil && ri.Pattern != "" {
+				pattern = ri.Pattern
+			}
+			m.observe(r.Method, pattern, sw.status, time.Since(start))
+		})
+	}
+}
+
+// Recover converts handler panics into a 500 envelope instead of a
+// dropped connection.
+func Recover() Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			defer func() {
+				if v := recover(); v != nil {
+					WriteErrorStatus(w, r, http.StatusInternalServerError,
+						fmt.Errorf("internal error: %v", v))
+				}
+			}()
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// gzipPool recycles gzip writers across requests.
+var gzipPool = sync.Pool{New: func() any {
+	return gzip.NewWriter(io.Discard)
+}}
+
+// gzipWriter compresses the response lazily: the gzip stream starts on
+// the first body write, so empty responses stay empty.
+type gzipWriter struct {
+	http.ResponseWriter
+	gz *gzip.Writer
+}
+
+func (w *gzipWriter) WriteHeader(status int) {
+	w.Header().Del("Content-Length") // length of the plain body no longer applies
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *gzipWriter) Write(p []byte) (int, error) {
+	if w.gz == nil {
+		w.gz = gzipPool.Get().(*gzip.Writer)
+		w.gz.Reset(w.ResponseWriter)
+	}
+	return w.gz.Write(p)
+}
+
+func (w *gzipWriter) close() {
+	if w.gz == nil {
+		return
+	}
+	_ = w.gz.Close()
+	w.gz.Reset(io.Discard)
+	gzipPool.Put(w.gz)
+	w.gz = nil
+}
+
+// acceptsGzip reports whether the client accepts gzip coding (with the
+// same q-value care as media-type negotiation: "gzip;q=0" is a refusal,
+// wherever the q parameter appears in the member).
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		fields := strings.Split(part, ";")
+		coding := strings.ToLower(strings.TrimSpace(fields[0]))
+		if coding != "gzip" && coding != "*" {
+			continue
+		}
+		refused := false
+		for _, p := range fields[1:] {
+			k, v, ok := strings.Cut(strings.TrimSpace(p), "=")
+			if !ok || !strings.EqualFold(strings.TrimSpace(k), "q") {
+				continue
+			}
+			q := strings.TrimSpace(v)
+			refused = strings.HasPrefix(q, "0") && !strings.ContainsAny(q, "123456789")
+		}
+		if !refused {
+			return true
+		}
+	}
+	return false
+}
+
+// Gzip compresses responses for clients that accept it.
+func Gzip() Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if !acceptsGzip(r) {
+				next.ServeHTTP(w, r)
+				return
+			}
+			w.Header().Set("Content-Encoding", "gzip")
+			w.Header().Add("Vary", "Accept-Encoding")
+			gw := &gzipWriter{ResponseWriter: w}
+			defer gw.close()
+			next.ServeHTTP(gw, r)
+		})
+	}
+}

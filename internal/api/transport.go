@@ -1,0 +1,254 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/dataformat"
+)
+
+// sharedHTTPClient pools connections across every Transport that does
+// not bring its own http.Client, so concurrent proxy fetches reuse
+// keep-alive connections instead of re-dialling per request.
+var sharedHTTPClient = &http.Client{
+	Timeout: 15 * time.Second,
+	Transport: &http.Transport{
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 32,
+		IdleConnTimeout:     90 * time.Second,
+	},
+}
+
+// SharedHTTPClient returns the process-wide pooled HTTP client.
+func SharedHTTPClient() *http.Client { return sharedHTTPClient }
+
+// StatusError reports a non-2xx response, preserving the status for
+// callers that branch on it and a trimmed body excerpt for logs.
+type StatusError struct {
+	Method string
+	URL    string
+	Status int
+	Body   string
+}
+
+// Error implements the error interface.
+func (e *StatusError) Error() string {
+	msg := fmt.Sprintf("api: %s %s returned %d", e.Method, e.URL, e.Status)
+	if e.Body != "" {
+		msg += ": " + e.Body
+	}
+	return msg
+}
+
+// Transport is the typed, context-aware client transport every consumer
+// shares: the end-user client, proxy registration, and heartbeats.
+// Transient failures (network errors and 429/502/503/504) retry with
+// capped exponential backoff plus jitter; context cancellation aborts
+// both in-flight requests and backoff sleeps.
+type Transport struct {
+	// Client overrides the pooled default HTTP client.
+	Client *http.Client
+	// MaxAttempts bounds tries per request (default 3; 1 disables retry).
+	MaxAttempts int
+	// BaseDelay is the first backoff step (default 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 2s).
+	MaxDelay time.Duration
+}
+
+func (t *Transport) httpClient() *http.Client {
+	if t != nil && t.Client != nil {
+		return t.Client
+	}
+	return sharedHTTPClient
+}
+
+func (t *Transport) attempts() int {
+	if t != nil && t.MaxAttempts > 0 {
+		return t.MaxAttempts
+	}
+	return 3
+}
+
+// backoff returns the sleep before attempt n (0-based), jittered to
+// 50–150% of min(BaseDelay·2ⁿ, MaxDelay) so synchronized clients spread
+// out.
+func (t *Transport) backoff(attempt int) time.Duration {
+	base, maxd := 100*time.Millisecond, 2*time.Second
+	if t != nil && t.BaseDelay > 0 {
+		base = t.BaseDelay
+	}
+	if t != nil && t.MaxDelay > 0 {
+		maxd = t.MaxDelay
+	}
+	d := base << attempt
+	if d > maxd || d <= 0 {
+		d = maxd
+	}
+	return time.Duration(float64(d) * (0.5 + rand.Float64()))
+}
+
+// retryableStatus reports statuses worth another attempt.
+func retryableStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// sleep waits d or until ctx is done.
+func sleep(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Do performs one logical request with retries. body may be nil; it is
+// replayed from the byte slice on every attempt. The response body is
+// fully read, so connections always return to the pool; non-2xx
+// responses come back as *StatusError.
+func (t *Transport) Do(ctx context.Context, method, url string, header http.Header, body []byte) ([]byte, *http.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt < t.attempts(); attempt++ {
+		if attempt > 0 {
+			if err := sleep(ctx, t.backoff(attempt-1)); err != nil {
+				return nil, nil, err
+			}
+		}
+		var reader io.Reader
+		if body != nil {
+			reader = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, url, reader)
+		if err != nil {
+			return nil, nil, err // malformed request: retrying cannot help
+		}
+		for k, vs := range header {
+			req.Header[k] = vs
+		}
+		rsp, err := t.httpClient().Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, nil, ctx.Err()
+			}
+			lastErr = err
+			continue // network-level failure: retry
+		}
+		raw, err := io.ReadAll(io.LimitReader(rsp.Body, maxBodyBytes))
+		rsp.Body.Close()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, nil, ctx.Err()
+			}
+			lastErr = err
+			continue
+		}
+		if rsp.StatusCode < 200 || rsp.StatusCode > 299 {
+			serr := &StatusError{
+				Method: method, URL: url, Status: rsp.StatusCode,
+				Body: strings.TrimSpace(string(raw[:min(len(raw), 512)])),
+			}
+			if retryableStatus(rsp.StatusCode) {
+				lastErr = serr
+				continue
+			}
+			return raw, rsp, serr
+		}
+		return raw, rsp, nil
+	}
+	return nil, nil, fmt.Errorf("api: %s %s failed after %d attempts: %w", method, url, t.attempts(), lastErr)
+}
+
+// GetJSON fetches url and decodes the JSON response into out (out may
+// be nil to discard the body).
+func (t *Transport) GetJSON(ctx context.Context, url string, out any) error {
+	h := http.Header{"Accept": {"application/json"}}
+	raw, _, err := t.Do(ctx, http.MethodGet, url, h, nil)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// PostJSON sends in as a JSON body (nil for an empty body) and decodes
+// the JSON response into out (nil to discard).
+func (t *Transport) PostJSON(ctx context.Context, url string, in, out any) error {
+	var body []byte
+	h := http.Header{"Accept": {"application/json"}}
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return err
+		}
+		h.Set("Content-Type", "application/json")
+	}
+	raw, _, err := t.Do(ctx, http.MethodPost, url, h, body)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// Delete issues a DELETE and discards the response body.
+func (t *Transport) Delete(ctx context.Context, url string) error {
+	_, _, err := t.Do(ctx, http.MethodDelete, url, nil, nil)
+	return err
+}
+
+// GetDoc fetches and decodes a common-format document, asking for enc
+// via the Accept header.
+func (t *Transport) GetDoc(ctx context.Context, url string, enc dataformat.Encoding) (*dataformat.Document, error) {
+	h := http.Header{"Accept": {enc.ContentType()}}
+	raw, rsp, err := t.Do(ctx, http.MethodGet, url, h, nil)
+	if err != nil {
+		return nil, err
+	}
+	return dataformat.Decode(raw, responseEncoding(rsp))
+}
+
+// PostDoc sends a common-format document and decodes the reply document
+// (nil when the response has no body).
+func (t *Transport) PostDoc(ctx context.Context, url string, doc *dataformat.Document, enc dataformat.Encoding) (*dataformat.Document, error) {
+	body, err := doc.Encode(enc)
+	if err != nil {
+		return nil, err
+	}
+	h := http.Header{
+		"Content-Type": {enc.ContentType()},
+		"Accept":       {enc.ContentType()},
+	}
+	raw, rsp, err := t.Do(ctx, http.MethodPost, url, h, body)
+	if err != nil {
+		return nil, err
+	}
+	if len(bytes.TrimSpace(raw)) == 0 {
+		return nil, nil
+	}
+	return dataformat.Decode(raw, responseEncoding(rsp))
+}
+
+// responseEncoding resolves the wire encoding of a response.
+func responseEncoding(rsp *http.Response) dataformat.Encoding {
+	ct, _, _ := strings.Cut(rsp.Header.Get("Content-Type"), ";")
+	return dataformat.ParseEncoding(strings.TrimSpace(ct))
+}

@@ -1,0 +1,137 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dataformat"
+)
+
+// fastTransport retries quickly so tests stay subsecond.
+func fastTransport() *Transport {
+	return &Transport{BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}
+}
+
+func TestTransportRetriesTransientFailures(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) < 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+
+	var out map[string]bool
+	if err := fastTransport().GetJSON(context.Background(), ts.URL, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out["ok"] || hits.Load() != 3 {
+		t.Fatalf("out=%v hits=%d", out, hits.Load())
+	}
+}
+
+func TestTransportDoesNotRetryClientErrors(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	err := fastTransport().GetJSON(context.Background(), ts.URL, nil)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("400 was retried: %d hits", hits.Load())
+	}
+}
+
+func TestTransportGivesUpAfterMaxAttempts(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusBadGateway)
+	}))
+	defer ts.Close()
+
+	tr := fastTransport()
+	tr.MaxAttempts = 2
+	err := tr.GetJSON(context.Background(), ts.URL, nil)
+	if err == nil || hits.Load() != 2 {
+		t.Fatalf("err=%v hits=%d", err, hits.Load())
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusBadGateway {
+		t.Fatalf("final error does not carry the status: %v", err)
+	}
+}
+
+func TestTransportContextCancelsBackoff(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	tr := &Transport{BaseDelay: time.Hour, MaxDelay: time.Hour} // would hang without ctx
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := tr.GetJSON(ctx, ts.URL, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("cancellation did not interrupt the backoff sleep")
+	}
+}
+
+func TestTransportBodyReplayedOnRetry(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		doc, err := ReadDoc(r)
+		if err != nil || doc.Measurement == nil {
+			t.Errorf("attempt %d: bad body: %v", hits.Load(), err)
+		}
+		if hits.Add(1) < 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		WriteDoc(w, r, doc)
+	}))
+	defer ts.Close()
+
+	doc := dataformat.NewMeasurementDoc(dataformat.Measurement{
+		Device: "urn:d", Quantity: dataformat.Temperature, Unit: dataformat.Celsius,
+		Value: 21, Timestamp: time.Date(2015, 3, 9, 10, 0, 0, 0, time.UTC),
+	})
+	got, err := fastTransport().PostDoc(context.Background(), ts.URL, doc, dataformat.JSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Measurement == nil || got.Measurement.Value != 21 {
+		t.Fatalf("echo = %+v", got)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("hits = %d", hits.Load())
+	}
+}
+
+func TestTransportBackoffIsCappedAndJittered(t *testing.T) {
+	tr := &Transport{BaseDelay: 100 * time.Millisecond, MaxDelay: 300 * time.Millisecond}
+	for attempt := 0; attempt < 10; attempt++ {
+		d := tr.backoff(attempt)
+		if d < 50*time.Millisecond || d > 450*time.Millisecond {
+			t.Fatalf("attempt %d: backoff %v outside jittered cap", attempt, d)
+		}
+	}
+}

@@ -4,36 +4,52 @@
 // translated model and data directly (the master redirects, it does not
 // aggregate), and integrates everything into a comprehensive AreaModel
 // via the integration engine.
+//
+// All methods take a context.Context, speak the versioned /v1 API, and
+// ride the shared retrying transport (internal/api): transient failures
+// back off exponentially with jitter, and concurrent proxy fetches
+// reuse pooled keep-alive connections under the configured concurrency
+// bound.
 package client
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"net/url"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/dataformat"
 	"repro/internal/integration"
 	"repro/internal/master"
 	"repro/internal/ontology"
-	"repro/internal/proxyhttp"
 )
 
 // Client talks to one master node and the proxies it redirects to.
 type Client struct {
 	// MasterURL is the master node's base URL.
 	MasterURL string
-	// HTTP is the transport; nil uses a 10-second-timeout default.
+	// HTTP overrides the transport's pooled HTTP client.
 	HTTP *http.Client
 	// Encoding selects the preferred proxy encoding (default JSON).
 	Encoding dataformat.Encoding
 	// Concurrency bounds parallel proxy fetches (default 8).
 	Concurrency int
+	// MaxAttempts bounds tries per request (default 3; 1 disables
+	// retries). BaseDelay/MaxDelay tune the backoff.
+	MaxAttempts int
+	// BaseDelay is the first backoff step (default 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 2s).
+	MaxDelay time.Duration
+
+	trOnce sync.Once
+	tr     *api.Transport
 }
 
 // Area is a bounding box for area queries; the zero Area means the
@@ -48,11 +64,17 @@ func (a Area) Empty() bool { return a == Area{} }
 // Errors returned by the client.
 var ErrMaster = errors.New("client: master request failed")
 
-func (c *Client) http() *http.Client {
-	if c.HTTP != nil {
-		return c.HTTP
-	}
-	return &http.Client{Timeout: 10 * time.Second}
+// transport lazily builds the shared typed transport.
+func (c *Client) transport() *api.Transport {
+	c.trOnce.Do(func() {
+		c.tr = &api.Transport{
+			Client:      c.HTTP,
+			MaxAttempts: c.MaxAttempts,
+			BaseDelay:   c.BaseDelay,
+			MaxDelay:    c.MaxDelay,
+		}
+	})
+	return c.tr
 }
 
 func (c *Client) enc() dataformat.Encoding {
@@ -62,49 +84,48 @@ func (c *Client) enc() dataformat.Encoding {
 	return c.Encoding
 }
 
-func (c *Client) masterURL(path string) string {
-	return strings.TrimSuffix(c.MasterURL, "/") + path
+// masterURL builds a versioned master endpoint URL.
+func (c *Client) masterURL(pathAndQuery string) string {
+	return api.URL(c.MasterURL, pathAndQuery)
 }
 
-// getJSON fetches a JSON endpoint into v.
-func (c *Client) getJSON(rawURL string, v any) error {
-	rsp, err := c.http().Get(rawURL)
-	if err != nil {
-		return err
+// getJSON fetches a master JSON endpoint into v.
+func (c *Client) getJSON(ctx context.Context, rawURL string, v any) error {
+	if err := c.transport().GetJSON(ctx, rawURL, v); err != nil {
+		var se *api.StatusError
+		if errors.As(err, &se) {
+			return fmt.Errorf("%w: %s: %d %s", ErrMaster, se.URL, se.Status, se.Body)
+		}
+		return fmt.Errorf("%w: %v", ErrMaster, err)
 	}
-	defer rsp.Body.Close()
-	if rsp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(rsp.Body, 512))
-		return fmt.Errorf("%w: %s: %d %s", ErrMaster, rawURL, rsp.StatusCode, strings.TrimSpace(string(body)))
-	}
-	return json.NewDecoder(rsp.Body).Decode(v)
+	return nil
 }
 
 // Query asks the master node for the entities of an area and their
 // proxy URIs — the redirection step of the paper's flow.
-func (c *Client) Query(district string, area Area) (*master.QueryResponse, error) {
+func (c *Client) Query(ctx context.Context, district string, area Area) (*master.QueryResponse, error) {
 	u := c.masterURL("/query") + "?district=" + url.QueryEscape(district)
 	if !area.Empty() {
 		u += fmt.Sprintf("&minLat=%g&minLon=%g&maxLat=%g&maxLon=%g",
 			area.MinLat, area.MinLon, area.MaxLat, area.MaxLon)
 	}
 	var out master.QueryResponse
-	if err := c.getJSON(u, &out); err != nil {
+	if err := c.getJSON(ctx, u, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
 // Devices asks the master node for the device leaves of an entity.
-func (c *Client) Devices(entityURI string) ([]ontology.Resolution, error) {
+func (c *Client) Devices(ctx context.Context, entityURI string) ([]ontology.Resolution, error) {
 	var out []ontology.Resolution
-	err := c.getJSON(c.masterURL("/devices")+"?entity="+url.QueryEscape(entityURI), &out)
+	err := c.getJSON(ctx, c.masterURL("/devices")+"?entity="+url.QueryEscape(entityURI), &out)
 	return out, err
 }
 
 // FetchModel retrieves a proxy's translated model document.
-func (c *Client) FetchModel(proxyURI string) (*dataformat.Entity, error) {
-	doc, err := proxyhttp.GetDoc(c.http(), joinURL(proxyURI, "model"), c.enc())
+func (c *Client) FetchModel(ctx context.Context, proxyURI string) (*dataformat.Entity, error) {
+	doc, err := c.transport().GetDoc(ctx, joinURL(proxyURI, "model"), c.enc())
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +136,7 @@ func (c *Client) FetchModel(proxyURI string) (*dataformat.Entity, error) {
 }
 
 // FetchGISFeatures retrieves the GIS features of an area.
-func (c *Client) FetchGISFeatures(gisURI string, area Area) ([]dataformat.Entity, error) {
+func (c *Client) FetchGISFeatures(ctx context.Context, gisURI string, area Area) ([]dataformat.Entity, error) {
 	u := joinURL(gisURI, "features")
 	if area.Empty() {
 		// The GIS proxy requires a box; ask for the whole world.
@@ -123,7 +144,7 @@ func (c *Client) FetchGISFeatures(gisURI string, area Area) ([]dataformat.Entity
 	}
 	u += fmt.Sprintf("?minLat=%g&minLon=%g&maxLat=%g&maxLon=%g",
 		area.MinLat, area.MinLon, area.MaxLat, area.MaxLon)
-	doc, err := proxyhttp.GetDoc(c.http(), u, c.enc())
+	doc, err := c.transport().GetDoc(ctx, u, c.enc())
 	if err != nil {
 		return nil, err
 	}
@@ -131,8 +152,8 @@ func (c *Client) FetchGISFeatures(gisURI string, area Area) ([]dataformat.Entity
 }
 
 // FetchDeviceInfo retrieves a device proxy's description document.
-func (c *Client) FetchDeviceInfo(proxyURI string) (*dataformat.DeviceInfo, error) {
-	doc, err := proxyhttp.GetDoc(c.http(), joinURL(proxyURI, "info"), c.enc())
+func (c *Client) FetchDeviceInfo(ctx context.Context, proxyURI string) (*dataformat.DeviceInfo, error) {
+	doc, err := c.transport().GetDoc(ctx, joinURL(proxyURI, "info"), c.enc())
 	if err != nil {
 		return nil, err
 	}
@@ -143,9 +164,9 @@ func (c *Client) FetchDeviceInfo(proxyURI string) (*dataformat.DeviceInfo, error
 }
 
 // FetchLatest retrieves a device proxy's freshest sample of a quantity.
-func (c *Client) FetchLatest(proxyURI string, q dataformat.Quantity) (*dataformat.Measurement, error) {
+func (c *Client) FetchLatest(ctx context.Context, proxyURI string, q dataformat.Quantity) (*dataformat.Measurement, error) {
 	u := joinURL(proxyURI, "latest") + "?quantity=" + url.QueryEscape(string(q))
-	doc, err := proxyhttp.GetDoc(c.http(), u, c.enc())
+	doc, err := c.transport().GetDoc(ctx, u, c.enc())
 	if err != nil {
 		return nil, err
 	}
@@ -156,7 +177,7 @@ func (c *Client) FetchLatest(proxyURI string, q dataformat.Quantity) (*dataforma
 }
 
 // FetchData retrieves a device proxy's buffered samples of a quantity.
-func (c *Client) FetchData(proxyURI string, q dataformat.Quantity, from, to time.Time) ([]dataformat.Measurement, error) {
+func (c *Client) FetchData(ctx context.Context, proxyURI string, q dataformat.Quantity, from, to time.Time) ([]dataformat.Measurement, error) {
 	u := joinURL(proxyURI, "data") + "?quantity=" + url.QueryEscape(string(q))
 	if !from.IsZero() {
 		u += "&from=" + url.QueryEscape(from.Format(time.RFC3339))
@@ -164,28 +185,32 @@ func (c *Client) FetchData(proxyURI string, q dataformat.Quantity, from, to time
 	if !to.IsZero() {
 		u += "&to=" + url.QueryEscape(to.Format(time.RFC3339))
 	}
-	doc, err := proxyhttp.GetDoc(c.http(), u, c.enc())
+	doc, err := c.transport().GetDoc(ctx, u, c.enc())
 	if err != nil {
 		return nil, err
 	}
 	return doc.Measurements, nil
 }
 
-// Control issues an actuation command through a device proxy.
-func (c *Client) Control(proxyURI string, q dataformat.Quantity, value float64) (*dataformat.ControlResult, error) {
+// Control issues an actuation command through a device proxy. Controls
+// are not idempotent, so this path never retries: one attempt, pass or
+// fail.
+func (c *Client) Control(ctx context.Context, proxyURI string, q dataformat.Quantity, value float64) (*dataformat.ControlResult, error) {
 	body, err := json.Marshal(map[string]any{"quantity": q, "value": value})
 	if err != nil {
 		return nil, err
 	}
-	rsp, err := c.http().Post(joinURL(proxyURI, "control"), "application/json", strings.NewReader(string(body)))
+	tr := &api.Transport{Client: c.HTTP, MaxAttempts: 1}
+	h := http.Header{
+		"Content-Type": {"application/json"},
+		"Accept":       {c.enc().ContentType()},
+	}
+	raw, rsp, err := tr.Do(ctx, http.MethodPost, joinURL(proxyURI, "control"), h, body)
 	if err != nil {
 		return nil, err
 	}
-	defer rsp.Body.Close()
-	if rsp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("client: control returned %d", rsp.StatusCode)
-	}
-	doc, err := dataformat.DecodeFrom(rsp.Body, dataformat.ParseEncoding(rsp.Header.Get("Content-Type")))
+	ct, _, _ := strings.Cut(rsp.Header.Get("Content-Type"), ";")
+	doc, err := dataformat.Decode(raw, dataformat.ParseEncoding(strings.TrimSpace(ct)))
 	if err != nil {
 		return nil, err
 	}
@@ -209,8 +234,9 @@ type BuildOptions struct {
 
 // BuildAreaModel runs the full end-user flow of the paper: master query
 // → parallel proxy fetches → integration into a comprehensive model.
-func (c *Client) BuildAreaModel(district string, area Area, opts BuildOptions) (*integration.AreaModel, error) {
-	qr, err := c.Query(district, area)
+// Cancelling ctx aborts in-flight fetches and backoff sleeps.
+func (c *Client) BuildAreaModel(ctx context.Context, district string, area Area, opts BuildOptions) (*integration.AreaModel, error) {
+	qr, err := c.Query(ctx, district, area)
 	if err != nil {
 		return nil, err
 	}
@@ -233,20 +259,24 @@ func (c *Client) BuildAreaModel(district string, area Area, opts BuildOptions) (
 		if res.ProxyURI == "" {
 			continue // entity not yet served by any proxy
 		}
+		if ctx.Err() != nil {
+			fail(ctx.Err())
+			break
+		}
 		res := res
 		wg.Add(1)
 		sem <- struct{}{}
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			model, err := c.FetchModel(res.ProxyURI)
+			model, err := c.FetchModel(ctx, res.ProxyURI)
 			if err != nil {
 				fail(fmt.Errorf("model of %s: %w", res.URI, err))
 				return
 			}
 			merger.AddEntity(res.ProxyURI, *model)
 			if opts.IncludeDevices {
-				c.fetchDevices(merger, res.URI, opts, fail)
+				c.fetchDevices(ctx, merger, res.URI, opts, fail)
 			}
 		}()
 	}
@@ -254,7 +284,7 @@ func (c *Client) BuildAreaModel(district string, area Area, opts BuildOptions) (
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			features, err := c.FetchGISFeatures(qr.GISURI, area)
+			features, err := c.FetchGISFeatures(ctx, qr.GISURI, area)
 			if err != nil {
 				fail(fmt.Errorf("gis features: %w", err))
 				return
@@ -273,8 +303,8 @@ func (c *Client) BuildAreaModel(district string, area Area, opts BuildOptions) (
 }
 
 // fetchDevices pulls device info + data for one entity's devices.
-func (c *Client) fetchDevices(merger *integration.Merger, entityURI string, opts BuildOptions, fail func(error)) {
-	devices, err := c.Devices(entityURI)
+func (c *Client) fetchDevices(ctx context.Context, merger *integration.Merger, entityURI string, opts BuildOptions, fail func(error)) {
+	devices, err := c.Devices(ctx, entityURI)
 	if err != nil {
 		fail(fmt.Errorf("devices of %s: %w", entityURI, err))
 		return
@@ -283,7 +313,11 @@ func (c *Client) fetchDevices(merger *integration.Merger, entityURI string, opts
 		if d.ProxyURI == "" {
 			continue
 		}
-		info, err := c.FetchDeviceInfo(d.ProxyURI)
+		if ctx.Err() != nil {
+			fail(ctx.Err())
+			return
+		}
+		info, err := c.FetchDeviceInfo(ctx, d.ProxyURI)
 		if err != nil {
 			fail(fmt.Errorf("info of %s: %w", d.URI, err))
 			continue
@@ -294,13 +328,13 @@ func (c *Client) fetchDevices(merger *integration.Merger, entityURI string, opts
 		merger.AddEntity(d.ProxyURI, e)
 		for _, q := range info.Senses {
 			if opts.History > 0 {
-				ms, err := c.FetchData(d.ProxyURI, q, time.Now().Add(-opts.History), time.Time{})
+				ms, err := c.FetchData(ctx, d.ProxyURI, q, time.Now().Add(-opts.History), time.Time{})
 				if err == nil {
 					merger.AddMeasurements(d.ProxyURI, ms)
 					continue
 				}
 			}
-			m, err := c.FetchLatest(d.ProxyURI, q)
+			m, err := c.FetchLatest(ctx, d.ProxyURI, q)
 			if err != nil {
 				continue // no sample yet is not an integration failure
 			}
@@ -309,8 +343,8 @@ func (c *Client) fetchDevices(merger *integration.Merger, entityURI string, opts
 	}
 }
 
-// joinURL appends a path segment to a base URL that may or may not end
-// with a slash.
+// joinURL appends a versioned path segment to a proxy base URL that may
+// or may not end with a slash.
 func joinURL(base, path string) string {
-	return strings.TrimSuffix(base, "/") + "/" + path
+	return api.URL(base, path)
 }

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -72,35 +73,35 @@ func newFixture(t *testing.T) *fixture {
 
 func TestQuery(t *testing.T) {
 	f := newFixture(t)
-	qr, err := f.client.Query("turin", Area{})
+	qr, err := f.client.Query(context.Background(), "turin", Area{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(qr.Entities) != 2 || qr.GISURI == "" {
 		t.Fatalf("query = %+v", qr)
 	}
-	if _, err := f.client.Query("ghost", Area{}); err == nil {
+	if _, err := f.client.Query(context.Background(), "ghost", Area{}); err == nil {
 		t.Error("unknown district accepted")
 	}
 }
 
 func TestFetchModel(t *testing.T) {
 	f := newFixture(t)
-	e, err := f.client.FetchModel(f.bimTS.URL + "/")
+	e, err := f.client.FetchModel(context.Background(), f.bimTS.URL+"/")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if e.Kind != dataformat.EntityBuilding {
 		t.Errorf("model = %+v", e)
 	}
-	if _, err := f.client.FetchModel(f.masterTS.URL + "/"); err == nil {
+	if _, err := f.client.FetchModel(context.Background(), f.masterTS.URL+"/"); err == nil {
 		t.Error("non-document endpoint accepted as model")
 	}
 }
 
 func TestFetchGISFeatures(t *testing.T) {
 	f := newFixture(t)
-	feats, err := f.client.FetchGISFeatures(f.gisTS.URL+"/", Area{})
+	feats, err := f.client.FetchGISFeatures(context.Background(), f.gisTS.URL+"/", Area{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestFetchGISFeatures(t *testing.T) {
 
 func TestBuildAreaModelMergesBIMAndGIS(t *testing.T) {
 	f := newFixture(t)
-	model, err := f.client.BuildAreaModel("turin", Area{}, BuildOptions{IncludeGIS: true})
+	model, err := f.client.BuildAreaModel(context.Background(), "turin", Area{}, BuildOptions{IncludeGIS: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestBuildAreaModelMergesBIMAndGIS(t *testing.T) {
 func TestBuildAreaModelPartialFailure(t *testing.T) {
 	f := newFixture(t)
 	f.bimTS.Close() // BIM proxy died
-	model, err := f.client.BuildAreaModel("turin", Area{}, BuildOptions{IncludeGIS: true})
+	model, err := f.client.BuildAreaModel(context.Background(), "turin", Area{}, BuildOptions{IncludeGIS: true})
 	if err == nil {
 		t.Fatal("dead proxy not reported")
 	}
@@ -150,24 +151,24 @@ func TestBuildAreaModelPartialFailure(t *testing.T) {
 func TestControlAndDeviceEndpoints(t *testing.T) {
 	// A fake device proxy speaking the common format.
 	mux := http.NewServeMux()
-	mux.HandleFunc("/info", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/v1/info", func(w http.ResponseWriter, r *http.Request) {
 		doc := dataformat.NewDeviceInfoDoc(dataformat.DeviceInfo{
 			URI: "urn:d", Protocol: "fake", Senses: []dataformat.Quantity{dataformat.Temperature},
 		})
 		proxyhttp.WriteDoc(w, r, doc)
 	})
-	mux.HandleFunc("/latest", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/v1/latest", func(w http.ResponseWriter, r *http.Request) {
 		doc := dataformat.NewMeasurementDoc(dataformat.Measurement{
 			Device: "urn:d", Quantity: dataformat.Temperature, Unit: dataformat.Celsius,
 			Value: 21, Timestamp: time.Now().UTC(),
 		})
 		proxyhttp.WriteDoc(w, r, doc)
 	})
-	mux.HandleFunc("/data", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/v1/data", func(w http.ResponseWriter, r *http.Request) {
 		doc := dataformat.NewMeasurementsDoc(nil)
 		proxyhttp.WriteDoc(w, r, doc)
 	})
-	mux.HandleFunc("/control", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/v1/control", func(w http.ResponseWriter, r *http.Request) {
 		doc := dataformat.NewControlResultDoc(dataformat.ControlResult{
 			Device: "urn:d", Quantity: dataformat.SwitchState, Value: 1, Applied: true, At: time.Now().UTC(),
 		})
@@ -177,19 +178,19 @@ func TestControlAndDeviceEndpoints(t *testing.T) {
 	defer ts.Close()
 
 	c := &Client{}
-	info, err := c.FetchDeviceInfo(ts.URL + "/")
+	info, err := c.FetchDeviceInfo(context.Background(), ts.URL+"/")
 	if err != nil || info.Protocol != "fake" {
 		t.Fatalf("info: %+v %v", info, err)
 	}
-	m, err := c.FetchLatest(ts.URL+"/", dataformat.Temperature)
+	m, err := c.FetchLatest(context.Background(), ts.URL+"/", dataformat.Temperature)
 	if err != nil || m.Value != 21 {
 		t.Fatalf("latest: %+v %v", m, err)
 	}
-	ms, err := c.FetchData(ts.URL+"/", dataformat.Temperature, time.Now().Add(-time.Hour), time.Now())
+	ms, err := c.FetchData(context.Background(), ts.URL+"/", dataformat.Temperature, time.Now().Add(-time.Hour), time.Now())
 	if err != nil || len(ms) != 0 {
 		t.Fatalf("data: %v %v", ms, err)
 	}
-	res, err := c.Control(ts.URL+"/", dataformat.SwitchState, 1)
+	res, err := c.Control(context.Background(), ts.URL+"/", dataformat.SwitchState, 1)
 	if err != nil || !res.Applied {
 		t.Fatalf("control: %+v %v", res, err)
 	}
@@ -197,14 +198,14 @@ func TestControlAndDeviceEndpoints(t *testing.T) {
 
 func TestDevicesViaMaster(t *testing.T) {
 	f := newFixture(t)
-	devices, err := f.client.Devices("urn:district:turin/building:b01")
+	devices, err := f.client.Devices(context.Background(), "urn:district:turin/building:b01")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(devices) != 0 {
 		t.Errorf("devices = %+v", devices)
 	}
-	if _, err := f.client.Devices("urn:ghost"); err == nil {
+	if _, err := f.client.Devices(context.Background(), "urn:ghost"); err == nil {
 		t.Error("unknown entity accepted")
 	}
 }
@@ -281,7 +282,7 @@ func TestBuildAreaModelWithDevices(t *testing.T) {
 
 	// Fake BIM proxy with a trivial model.
 	bimMux := http.NewServeMux()
-	bimMux.HandleFunc("/model", func(w http.ResponseWriter, r *http.Request) {
+	bimMux.HandleFunc("/v1/model", func(w http.ResponseWriter, r *http.Request) {
 		proxyhttp.WriteDoc(w, r, dataformat.NewEntityDoc(dataformat.Entity{
 			URI: b1, Kind: dataformat.EntityBuilding, Name: "B",
 		}))
@@ -296,16 +297,16 @@ func TestBuildAreaModelWithDevices(t *testing.T) {
 		{Device: d1, Quantity: dataformat.Temperature, Unit: dataformat.Celsius, Value: 21, Timestamp: time.Now().UTC().Add(-time.Minute)},
 	}
 	devMux := http.NewServeMux()
-	devMux.HandleFunc("/info", func(w http.ResponseWriter, r *http.Request) {
+	devMux.HandleFunc("/v1/info", func(w http.ResponseWriter, r *http.Request) {
 		proxyhttp.WriteDoc(w, r, dataformat.NewDeviceInfoDoc(dataformat.DeviceInfo{
 			URI: d1, Protocol: "fake", Name: "Temp",
 			Senses: []dataformat.Quantity{dataformat.Temperature},
 		}))
 	})
-	devMux.HandleFunc("/data", func(w http.ResponseWriter, r *http.Request) {
+	devMux.HandleFunc("/v1/data", func(w http.ResponseWriter, r *http.Request) {
 		proxyhttp.WriteDoc(w, r, dataformat.NewMeasurementsDoc(history))
 	})
-	devMux.HandleFunc("/latest", func(w http.ResponseWriter, r *http.Request) {
+	devMux.HandleFunc("/v1/latest", func(w http.ResponseWriter, r *http.Request) {
 		proxyhttp.WriteDoc(w, r, dataformat.NewMeasurementDoc(history[len(history)-1]))
 	})
 	devTS := httptest.NewServer(devMux)
@@ -317,7 +318,7 @@ func TestBuildAreaModelWithDevices(t *testing.T) {
 	c := &Client{MasterURL: masterTS.URL}
 
 	// History path: both buffered samples land in the model.
-	model, err := c.BuildAreaModel("turin", Area{}, BuildOptions{
+	model, err := c.BuildAreaModel(context.Background(), "turin", Area{}, BuildOptions{
 		IncludeDevices: true, History: time.Hour,
 	})
 	if err != nil {
@@ -335,7 +336,7 @@ func TestBuildAreaModelWithDevices(t *testing.T) {
 	}
 
 	// Latest-only path.
-	model, err = c.BuildAreaModel("turin", Area{}, BuildOptions{IncludeDevices: true})
+	model, err = c.BuildAreaModel(context.Background(), "turin", Area{}, BuildOptions{IncludeDevices: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -47,7 +48,8 @@ func TestEndToEndAreaQuery(t *testing.T) {
 		t.Fatal("device proxies produced no samples")
 	}
 	c := d.Client()
-	model, err := c.BuildAreaModel(d.Spec.District, client.Area{}, client.BuildOptions{
+	ctx := context.Background()
+	model, err := c.BuildAreaModel(ctx, d.Spec.District, client.Area{}, client.BuildOptions{
 		IncludeDevices: true,
 		IncludeGIS:     true,
 	})
@@ -91,7 +93,8 @@ func TestEndToEndAreaQuery(t *testing.T) {
 func TestAreaFilteringReducesScope(t *testing.T) {
 	d := bootstrapSmall(t)
 	c := d.Client()
-	whole, err := c.Query(d.Spec.District, client.Area{})
+	ctx := context.Background()
+	whole, err := c.Query(ctx, d.Spec.District, client.Area{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +106,7 @@ func TestAreaFilteringReducesScope(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	small, err := c.Query(d.Spec.District, client.Area{
+	small, err := c.Query(ctx, d.Spec.District, client.Area{
 		MinLat: node.Lat - 1e-6, MinLon: node.Lon - 1e-6,
 		MaxLat: node.Lat + 1e-6, MaxLon: node.Lon + 1e-6,
 	})
@@ -133,14 +136,15 @@ func TestMeasurementsReachGlobalDatabase(t *testing.T) {
 func TestActuationThroughInfrastructure(t *testing.T) {
 	d := bootstrapSmall(t)
 	c := d.Client()
+	ctx := context.Background()
 	// Find a ZigBee device (it actuates state.switch).
-	devices, err := c.Devices("urn:district:turin/building:b00")
+	devices, err := c.Devices(ctx, "urn:district:turin/building:b00")
 	if err != nil {
 		t.Fatal(err)
 	}
 	var proxyURI string
 	for _, dev := range devices {
-		info, err := c.FetchDeviceInfo(dev.ProxyURI)
+		info, err := c.FetchDeviceInfo(ctx, dev.ProxyURI)
 		if err != nil {
 			continue
 		}
@@ -153,7 +157,7 @@ func TestActuationThroughInfrastructure(t *testing.T) {
 	if proxyURI == "" {
 		t.Fatal("no switchable device found")
 	}
-	result, err := c.Control(proxyURI, dataformat.SwitchState, 1)
+	result, err := c.Control(ctx, proxyURI, dataformat.SwitchState, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +167,7 @@ func TestActuationThroughInfrastructure(t *testing.T) {
 	// The new state is visible on the next poll.
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {
-		m, err := c.FetchLatest(proxyURI, dataformat.SwitchState)
+		m, err := c.FetchLatest(ctx, proxyURI, dataformat.SwitchState)
 		if err == nil && m.Value == 1 {
 			return
 		}
@@ -175,7 +179,8 @@ func TestActuationThroughInfrastructure(t *testing.T) {
 func TestDeviceResolutionsCarryProtocol(t *testing.T) {
 	d := bootstrapSmall(t)
 	c := d.Client()
-	devices, err := c.Devices("urn:district:turin/building:b00")
+	ctx := context.Background()
+	devices, err := c.Devices(ctx, "urn:district:turin/building:b00")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,12 +1,20 @@
+// Package dbproxy implements the Database-proxies of the paper: web
+// services translating heterogeneous district databases (BIM, SIM, GIS)
+// into the common open format and registering them on the master node.
+// Every proxy serves its routes through the unified service-API layer
+// (internal/api): versioned /v1 paths with legacy aliases, uniform
+// error envelopes, and the standard middleware chain.
 package dbproxy
 
 import (
+	"context"
 	"errors"
-	"fmt"
 	"net/http"
+	"net/url"
 	"strconv"
 	"sync"
 
+	"repro/internal/api"
 	"repro/internal/bim"
 	"repro/internal/dataformat"
 	"repro/internal/gis"
@@ -18,9 +26,13 @@ import (
 
 // common carries the plumbing all Database-proxies share.
 type common struct {
-	srv proxyhttp.Server
-	reg *proxyhttp.Registrar
+	srv  proxyhttp.Server
+	apiS *api.Server
+	reg  *proxyhttp.Registrar
 }
+
+// Metrics exposes the per-route API metrics.
+func (c *common) Metrics() *api.Metrics { return c.apiS.Metrics() }
 
 // run starts the web service and, when masterURL is set, registration.
 func (c *common) run(addr, masterURL string, handler http.Handler, r registry.Registration) (string, error) {
@@ -60,7 +72,9 @@ func NewBIMProxy(district string, b *bim.Building) (*BIMProxy, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
-	return &BIMProxy{district: district, building: b}, nil
+	p := &BIMProxy{district: district, building: b}
+	p.apiS = p.buildAPI()
+	return p, nil
 }
 
 // EntityURI returns the building's ontology URI.
@@ -70,18 +84,18 @@ func (p *BIMProxy) EntityURI() string {
 
 // Handler returns the proxy's web interface:
 //
-//	GET /model     the translated building (entity document, JSON/XML)
-//	GET /devices   device URIs placed in the building
-//	GET /healthz
-func (p *BIMProxy) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/model", func(w http.ResponseWriter, r *http.Request) {
+//	GET /v1/model     the translated building (entity document, JSON/XML)
+//	GET /v1/devices   device URIs placed in the building
+//	GET /v1/metrics, /v1/healthz   (legacy unversioned aliases included)
+func (p *BIMProxy) buildAPI() *api.Server {
+	s := api.NewServer(api.Options{Service: "dbproxy-bim"})
+	s.Get("/model", func(ctx context.Context, q url.Values) (any, error) {
 		p.mu.RLock()
 		e := BuildingEntity(p.building, p.district)
 		p.mu.RUnlock()
-		proxyhttp.WriteDoc(w, r, dataformat.NewEntityDoc(e))
+		return dataformat.NewEntityDoc(e), nil
 	})
-	mux.HandleFunc("/devices", func(w http.ResponseWriter, r *http.Request) {
+	s.Get("/devices", func(ctx context.Context, q url.Values) (any, error) {
 		p.mu.RLock()
 		uris := p.building.DeviceURIs()
 		p.mu.RUnlock()
@@ -89,11 +103,13 @@ func (p *BIMProxy) Handler() http.Handler {
 		for i, uri := range uris {
 			entities[i] = dataformat.Entity{URI: uri, Kind: dataformat.EntityDevice}
 		}
-		proxyhttp.WriteDoc(w, r, dataformat.NewEntitySetDoc(entities))
+		return dataformat.NewEntitySetDoc(entities), nil
 	})
-	mux.HandleFunc("/healthz", healthz)
-	return mux
+	return s
 }
+
+// Handler returns the proxy's web interface.
+func (p *BIMProxy) Handler() http.Handler { return p.apiS.Handler() }
 
 // Run starts the proxy and registers with the master when given.
 func (p *BIMProxy) Run(addr, masterURL string) (string, error) {
@@ -120,7 +136,9 @@ func NewSIMProxy(district string, n *sim.Network) (*SIMProxy, error) {
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
-	return &SIMProxy{district: district, network: n}, nil
+	p := &SIMProxy{district: district, network: n}
+	p.apiS = p.buildAPI()
+	return p, nil
 }
 
 // EntityURI returns the network's ontology URI.
@@ -137,34 +155,34 @@ func (p *SIMProxy) SetDemand(nodeID string, kw float64) bool {
 
 // Handler returns the proxy's web interface:
 //
-//	GET /model      the translated network with solved flows
-//	GET /solution   the raw steady-state solution (JSON)
-//	GET /healthz
-func (p *SIMProxy) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/model", func(w http.ResponseWriter, r *http.Request) {
+//	GET /v1/model      the translated network with solved flows
+//	GET /v1/solution   the raw steady-state solution (JSON)
+//	GET /v1/metrics, /v1/healthz   (legacy unversioned aliases included)
+func (p *SIMProxy) buildAPI() *api.Server {
+	s := api.NewServer(api.Options{Service: "dbproxy-sim"})
+	s.Get("/model", func(ctx context.Context, q url.Values) (any, error) {
 		p.mu.RLock()
 		e, err := NetworkEntity(p.network, p.district)
 		p.mu.RUnlock()
 		if err != nil {
-			proxyhttp.Error(w, http.StatusInternalServerError, err)
-			return
+			return nil, api.Internal(err)
 		}
-		proxyhttp.WriteDoc(w, r, dataformat.NewEntityDoc(e))
+		return dataformat.NewEntityDoc(e), nil
 	})
-	mux.HandleFunc("/solution", func(w http.ResponseWriter, r *http.Request) {
+	s.Get("/solution", func(ctx context.Context, q url.Values) (any, error) {
 		p.mu.RLock()
 		sol, err := p.network.Solve()
 		p.mu.RUnlock()
 		if err != nil {
-			proxyhttp.Error(w, http.StatusInternalServerError, err)
-			return
+			return nil, api.Internal(err)
 		}
-		writeJSON(w, sol)
+		return sol, nil
 	})
-	mux.HandleFunc("/healthz", healthz)
-	return mux
+	return s
 }
+
+// Handler returns the proxy's web interface.
+func (p *SIMProxy) Handler() http.Handler { return p.apiS.Handler() }
 
 // Run starts the proxy and registers with the master when given.
 func (p *SIMProxy) Run(addr, masterURL string) (string, error) {
@@ -187,7 +205,9 @@ type GISProxy struct {
 
 // NewGISProxy wraps a GIS store.
 func NewGISProxy(district string, store *gis.Store) *GISProxy {
-	return &GISProxy{district: district, store: store}
+	p := &GISProxy{district: district, store: store}
+	p.apiS = p.buildAPI()
+	return p
 }
 
 // EntityURI returns the district URI the GIS serves.
@@ -198,20 +218,21 @@ func (p *GISProxy) Store() *gis.Store { return p.store }
 
 // Handler returns the proxy's web interface:
 //
-//	GET /features?minLat=&minLon=&maxLat=&maxLon=   bbox query
-//	GET /features?lat=&lon=&radius=                  radius query
-//	GET /feature?id=...
-//	GET /healthz
-func (p *GISProxy) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/features", p.handleFeatures)
-	mux.HandleFunc("/feature", p.handleFeature)
-	mux.HandleFunc("/healthz", healthz)
-	return mux
+//	GET /v1/features?minLat=&minLon=&maxLat=&maxLon=   bbox query
+//	GET /v1/features?lat=&lon=&radius=                 radius query
+//	GET /v1/feature?id=...
+//	GET /v1/metrics, /v1/healthz   (legacy unversioned aliases included)
+func (p *GISProxy) buildAPI() *api.Server {
+	s := api.NewServer(api.Options{Service: "dbproxy-gis"})
+	s.Get("/features", p.features)
+	s.Get("/feature", p.feature)
+	return s
 }
 
-func (p *GISProxy) handleFeatures(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
+// Handler returns the proxy's web interface.
+func (p *GISProxy) Handler() http.Handler { return p.apiS.Handler() }
+
+func (p *GISProxy) features(ctx context.Context, q url.Values) (any, error) {
 	var feats []gis.Feature
 	var err error
 	switch {
@@ -220,8 +241,7 @@ func (p *GISProxy) handleFeatures(w http.ResponseWriter, r *http.Request) {
 		lon, err2 := strconv.ParseFloat(q.Get("lon"), 64)
 		radius, err3 := strconv.ParseFloat(q.Get("radius"), 64)
 		if err1 != nil || err2 != nil || err3 != nil {
-			proxyhttp.Error(w, http.StatusBadRequest, errors.New("radius query needs lat, lon, radius"))
-			return
+			return nil, api.BadRequest(errors.New("radius query needs lat, lon, radius"))
 		}
 		feats, err = p.store.QueryRadius(gis.Point{Lat: lat, Lon: lon}, radius)
 	case q.Get("minLat") != "":
@@ -232,32 +252,28 @@ func (p *GISProxy) handleFeatures(w http.ResponseWriter, r *http.Request) {
 		box.MaxLon, _ = strconv.ParseFloat(q.Get("maxLon"), 64)
 		feats, err = p.store.QueryBBox(box)
 	default:
-		proxyhttp.Error(w, http.StatusBadRequest, errors.New("need a bbox or radius query"))
-		return
+		return nil, api.BadRequest(errors.New("need a bbox or radius query"))
 	}
 	if err != nil {
-		proxyhttp.Error(w, http.StatusBadRequest, err)
-		return
+		return nil, api.BadRequest(err)
 	}
 	entities := make([]dataformat.Entity, len(feats))
 	for i := range feats {
 		entities[i] = FeatureEntity(&feats[i])
 	}
-	proxyhttp.WriteDoc(w, r, dataformat.NewEntitySetDoc(entities))
+	return dataformat.NewEntitySetDoc(entities), nil
 }
 
-func (p *GISProxy) handleFeature(w http.ResponseWriter, r *http.Request) {
-	id := r.URL.Query().Get("id")
+func (p *GISProxy) feature(ctx context.Context, q url.Values) (any, error) {
+	id := q.Get("id")
 	if id == "" {
-		proxyhttp.Error(w, http.StatusBadRequest, errors.New("missing id parameter"))
-		return
+		return nil, api.BadRequest(errors.New("missing id parameter"))
 	}
 	f, err := p.store.Get(id)
 	if err != nil {
-		proxyhttp.Error(w, http.StatusNotFound, err)
-		return
+		return nil, api.NotFound(err)
 	}
-	proxyhttp.WriteDoc(w, r, dataformat.NewEntityDoc(FeatureEntity(&f)))
+	return dataformat.NewEntityDoc(FeatureEntity(&f)), nil
 }
 
 // Run starts the proxy and registers with the master when given.
@@ -271,13 +287,3 @@ func (p *GISProxy) Run(addr, masterURL string) (string, error) {
 
 // Close stops the proxy.
 func (p *GISProxy) Close() { p.close() }
-
-func healthz(w http.ResponseWriter, r *http.Request) {
-	w.WriteHeader(http.StatusOK)
-	fmt.Fprintln(w, "ok")
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, "%s", mustJSON(v))
-}

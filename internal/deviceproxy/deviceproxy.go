@@ -11,12 +11,15 @@
 package deviceproxy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"sync"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/dataformat"
 	"repro/internal/measuredb"
 	"repro/internal/middleware"
@@ -24,6 +27,14 @@ import (
 	"repro/internal/registry"
 	"repro/internal/tsdb"
 )
+
+func init() {
+	// Store sentinels → HTTP statuses. Also registered by measuredb;
+	// RegisterStatus dedupes, and registering here keeps /data status
+	// mapping correct even if the measuredb import ever goes away.
+	api.RegisterStatus(tsdb.ErrNoSeries, http.StatusNotFound)
+	api.RegisterStatus(tsdb.ErrBadInterval, http.StatusBadRequest)
+}
 
 // Reading is one sample the dedicated layer collected from the device.
 type Reading struct {
@@ -91,6 +102,7 @@ type Proxy struct {
 	opts  Options
 	store *tsdb.Store
 	srv   proxyhttp.Server
+	apiS  *api.Server
 	reg   *proxyhttp.Registrar
 
 	mu      sync.Mutex
@@ -124,8 +136,13 @@ func New(opts Options) (*Proxy, error) {
 	if store == nil {
 		store = tsdb.New(tsdb.Options{MaxSamplesPerSeries: 8192})
 	}
-	return &Proxy{opts: opts, store: store, battery: -1, stopCh: make(chan struct{})}, nil
+	p := &Proxy{opts: opts, store: store, battery: -1, stopCh: make(chan struct{})}
+	p.apiS = p.buildAPI()
+	return p, nil
 }
+
+// Metrics exposes the per-route API metrics.
+func (p *Proxy) Metrics() *api.Metrics { return p.apiS.Metrics() }
 
 // LocalDB exposes the middle layer (tests, benchmarks).
 func (p *Proxy) LocalDB() *tsdb.Store { return p.store }
@@ -295,45 +312,33 @@ func (p *Proxy) Close() {
 	p.store.Close()
 }
 
-// Handler returns the web-service layer:
+// buildAPI registers the web-service layer on the unified API layer
+// (versioned /v1 paths with legacy aliases):
 //
-//	GET  /info                        device description document
-//	GET  /data?quantity=&from=&to=    buffered samples
-//	GET  /latest?quantity=            most recent sample
-//	POST /control                     control-result document back
-//	GET  /stats
-//	GET  /healthz
-func (p *Proxy) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/info", p.handleInfo)
-	mux.HandleFunc("/data", p.handleData)
-	mux.HandleFunc("/latest", p.handleLatest)
-	mux.HandleFunc("/aggregate", p.handleAggregate)
-	mux.HandleFunc("/control", p.handleControl)
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, p.Stats())
+//	GET  /v1/info                        device description document
+//	GET  /v1/data?quantity=&from=&to=    buffered samples
+//	GET  /v1/latest?quantity=            most recent sample
+//	GET  /v1/aggregate?quantity=&window= downsampled buckets
+//	POST /v1/control                     control-result document back
+//	GET  /v1/stats
+//	GET  /v1/metrics, /v1/healthz
+func (p *Proxy) buildAPI() *api.Server {
+	s := api.NewServer(api.Options{Service: "deviceproxy"})
+	s.Get("/info", p.info)
+	s.Get("/data", p.data)
+	s.Get("/latest", p.latest)
+	s.Get("/aggregate", p.aggregate)
+	s.Handle(http.MethodPost, "/control", api.Body(p.control))
+	s.Get("/stats", func(ctx context.Context, q url.Values) (any, error) {
+		return p.Stats(), nil
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
-	return mux
+	return s
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, "%s", mustJSON(v))
-}
+// Handler returns the web-service layer.
+func (p *Proxy) Handler() http.Handler { return p.apiS.Handler() }
 
-func mustJSON(v any) []byte {
-	b, err := jsonMarshal(v)
-	if err != nil {
-		return []byte("{}")
-	}
-	return b
-}
-
-func (p *Proxy) handleInfo(w http.ResponseWriter, r *http.Request) {
+func (p *Proxy) info(ctx context.Context, q url.Values) (any, error) {
 	p.mu.Lock()
 	battery := p.battery
 	p.mu.Unlock()
@@ -350,72 +355,28 @@ func (p *Proxy) handleInfo(w http.ResponseWriter, r *http.Request) {
 	if battery >= 0 {
 		info.BatteryPC = battery
 	}
-	proxyhttp.WriteDoc(w, r, dataformat.NewDeviceInfoDoc(info))
+	return dataformat.NewDeviceInfoDoc(info), nil
 }
 
-func (p *Proxy) handleData(w http.ResponseWriter, r *http.Request) {
-	quantity := r.URL.Query().Get("quantity")
-	if quantity == "" {
-		proxyhttp.Error(w, http.StatusBadRequest, errors.New("missing quantity parameter"))
-		return
-	}
-	var from, to time.Time
-	var err error
-	if s := r.URL.Query().Get("from"); s != "" {
+// parseRange reads from/to as RFC 3339 timestamps; both optional.
+func parseRange(q url.Values) (from, to time.Time, err error) {
+	if s := q.Get("from"); s != "" {
 		if from, err = time.Parse(time.RFC3339, s); err != nil {
-			proxyhttp.Error(w, http.StatusBadRequest, fmt.Errorf("bad from: %v", err))
-			return
+			return from, to, fmt.Errorf("bad from: %v", err)
 		}
 	}
-	if s := r.URL.Query().Get("to"); s != "" {
+	if s := q.Get("to"); s != "" {
 		if to, err = time.Parse(time.RFC3339, s); err != nil {
-			proxyhttp.Error(w, http.StatusBadRequest, fmt.Errorf("bad to: %v", err))
-			return
+			return from, to, fmt.Errorf("bad to: %v", err)
 		}
 	}
-	key := tsdb.SeriesKey{Device: p.opts.DeviceURI, Quantity: quantity}
-	samples, err := p.store.Query(key, from, to)
-	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, tsdb.ErrNoSeries) {
-			status = http.StatusNotFound
-		} else if errors.Is(err, tsdb.ErrBadInterval) {
-			status = http.StatusBadRequest
-		}
-		proxyhttp.Error(w, status, err)
-		return
-	}
-	ms := make([]dataformat.Measurement, len(samples))
-	unit, _ := dataformat.CanonicalUnit(dataformat.Quantity(quantity))
-	for i, smp := range samples {
-		ms[i] = dataformat.Measurement{
-			Source:    "http://" + p.srv.Addr() + "/",
-			Device:    p.opts.DeviceURI,
-			Protocol:  p.opts.Driver.Protocol(),
-			Quantity:  dataformat.Quantity(quantity),
-			Unit:      unit,
-			Value:     smp.Value,
-			Timestamp: smp.At,
-			Location:  p.opts.Location,
-		}
-	}
-	proxyhttp.WriteDoc(w, r, dataformat.NewMeasurementsDoc(ms))
+	return from, to, nil
 }
 
-func (p *Proxy) handleLatest(w http.ResponseWriter, r *http.Request) {
-	quantity := r.URL.Query().Get("quantity")
-	if quantity == "" {
-		proxyhttp.Error(w, http.StatusBadRequest, errors.New("missing quantity parameter"))
-		return
-	}
-	key := tsdb.SeriesKey{Device: p.opts.DeviceURI, Quantity: quantity}
-	smp, err := p.store.Latest(key)
-	if err != nil {
-		proxyhttp.Error(w, http.StatusNotFound, err)
-		return
-	}
+// measurement rehydrates one stored sample into the common format.
+func (p *Proxy) measurement(quantity string, smp tsdb.Sample) dataformat.Measurement {
 	unit, _ := dataformat.CanonicalUnit(dataformat.Quantity(quantity))
-	m := dataformat.Measurement{
+	return dataformat.Measurement{
 		Source:    "http://" + p.srv.Addr() + "/",
 		Device:    p.opts.DeviceURI,
 		Protocol:  p.opts.Driver.Protocol(),
@@ -425,47 +386,67 @@ func (p *Proxy) handleLatest(w http.ResponseWriter, r *http.Request) {
 		Timestamp: smp.At,
 		Location:  p.opts.Location,
 	}
-	proxyhttp.WriteDoc(w, r, dataformat.NewMeasurementDoc(m))
 }
 
-// handleAggregate serves downsampled buckets of the local buffer:
+func (p *Proxy) data(ctx context.Context, q url.Values) (any, error) {
+	quantity := q.Get("quantity")
+	if quantity == "" {
+		return nil, api.BadRequest(errors.New("missing quantity parameter"))
+	}
+	from, to, err := parseRange(q)
+	if err != nil {
+		return nil, api.BadRequest(err)
+	}
+	key := tsdb.SeriesKey{Device: p.opts.DeviceURI, Quantity: quantity}
+	samples, err := p.store.Query(key, from, to)
+	if err != nil {
+		return nil, err // tsdb sentinels map through the shared table
+	}
+	ms := make([]dataformat.Measurement, len(samples))
+	for i, smp := range samples {
+		ms[i] = p.measurement(quantity, smp)
+	}
+	return dataformat.NewMeasurementsDoc(ms), nil
+}
+
+func (p *Proxy) latest(ctx context.Context, q url.Values) (any, error) {
+	quantity := q.Get("quantity")
+	if quantity == "" {
+		return nil, api.BadRequest(errors.New("missing quantity parameter"))
+	}
+	key := tsdb.SeriesKey{Device: p.opts.DeviceURI, Quantity: quantity}
+	smp, err := p.store.Latest(key)
+	if err != nil {
+		return nil, api.NotFound(err)
+	}
+	return dataformat.NewMeasurementDoc(p.measurement(quantity, smp)), nil
+}
+
+// aggregate serves downsampled buckets of the local buffer:
 // GET /aggregate?quantity=...&window=1m[&from=&to=]. Visualization
 // front-ends use this to draw trends without pulling raw samples.
-func (p *Proxy) handleAggregate(w http.ResponseWriter, r *http.Request) {
-	quantity := r.URL.Query().Get("quantity")
+func (p *Proxy) aggregate(ctx context.Context, q url.Values) (any, error) {
+	quantity := q.Get("quantity")
 	if quantity == "" {
-		proxyhttp.Error(w, http.StatusBadRequest, errors.New("missing quantity parameter"))
-		return
+		return nil, api.BadRequest(errors.New("missing quantity parameter"))
 	}
-	window, err := time.ParseDuration(r.URL.Query().Get("window"))
+	window, err := time.ParseDuration(q.Get("window"))
 	if err != nil {
-		proxyhttp.Error(w, http.StatusBadRequest, fmt.Errorf("bad window: %v", err))
-		return
+		return nil, api.BadRequest(fmt.Errorf("bad window: %v", err))
 	}
-	var from, to time.Time
-	if s := r.URL.Query().Get("from"); s != "" {
-		if from, err = time.Parse(time.RFC3339, s); err != nil {
-			proxyhttp.Error(w, http.StatusBadRequest, fmt.Errorf("bad from: %v", err))
-			return
-		}
-	}
-	if s := r.URL.Query().Get("to"); s != "" {
-		if to, err = time.Parse(time.RFC3339, s); err != nil {
-			proxyhttp.Error(w, http.StatusBadRequest, fmt.Errorf("bad to: %v", err))
-			return
-		}
+	from, to, err := parseRange(q)
+	if err != nil {
+		return nil, api.BadRequest(err)
 	}
 	key := tsdb.SeriesKey{Device: p.opts.DeviceURI, Quantity: quantity}
 	buckets, err := p.store.Downsample(key, from, to, window)
 	if err != nil {
-		status := http.StatusBadRequest
 		if errors.Is(err, tsdb.ErrNoSeries) {
-			status = http.StatusNotFound
+			return nil, err
 		}
-		proxyhttp.Error(w, status, err)
-		return
+		return nil, api.BadRequest(err)
 	}
-	writeJSON(w, buckets)
+	return buckets, nil
 }
 
 // ControlRequest is the POST /control body.
@@ -474,19 +455,11 @@ type ControlRequest struct {
 	Value    float64             `json:"value"`
 }
 
-func (p *Proxy) handleControl(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		proxyhttp.Error(w, http.StatusMethodNotAllowed, errors.New("use POST"))
-		return
-	}
-	var req ControlRequest
-	if err := jsonDecode(r, &req); err != nil {
-		proxyhttp.Error(w, http.StatusBadRequest, err)
-		return
-	}
+// control pushes an actuation command to the driver and reports the
+// outcome as a control-result document.
+func (p *Proxy) control(ctx context.Context, req ControlRequest) (any, error) {
 	if req.Quantity == "" {
-		proxyhttp.Error(w, http.StatusBadRequest, errors.New("missing quantity"))
-		return
+		return nil, api.BadRequest(errors.New("missing quantity"))
 	}
 	result := dataformat.ControlResult{
 		Device:   p.opts.DeviceURI,
@@ -503,5 +476,5 @@ func (p *Proxy) handleControl(w http.ResponseWriter, r *http.Request) {
 		p.stats.controls++
 		p.stats.Unlock()
 	}
-	proxyhttp.WriteDoc(w, r, dataformat.NewControlResultDoc(result))
+	return dataformat.NewControlResultDoc(result), nil
 }

@@ -7,21 +7,28 @@
 package master
 
 import (
-	"encoding/json"
+	"context"
 	"errors"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"net/url"
 	"strconv"
-	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/dataformat"
 	"repro/internal/ontology"
 	"repro/internal/registry"
 )
+
+func init() {
+	// Domain sentinels → HTTP statuses for the unified error envelope.
+	api.RegisterStatus(registry.ErrInvalid, http.StatusBadRequest)
+	api.RegisterStatus(registry.ErrNotFound, http.StatusNotFound)
+}
 
 // Options configure a master node.
 type Options struct {
@@ -40,6 +47,7 @@ type Master struct {
 	opts Options
 	ont  *ontology.Ontology
 	reg  *registry.Registry
+	apiS *api.Server
 
 	mu     sync.Mutex
 	srv    *http.Server
@@ -53,12 +61,14 @@ func New(opts Options) *Master {
 	if opts.LivenessTTL <= 0 {
 		opts.LivenessTTL = 5 * time.Minute
 	}
-	return &Master{
+	m := &Master{
 		opts:   opts,
 		ont:    ontology.New(),
 		reg:    registry.New(),
 		stopCh: make(chan struct{}),
 	}
+	m.apiS = m.buildAPI()
+	return m
 }
 
 // Ontology exposes the district forest for programmatic construction
@@ -68,6 +78,9 @@ func (m *Master) Ontology() *ontology.Ontology { return m.ont }
 // Registry exposes the proxy registry.
 func (m *Master) Registry() *registry.Registry { return m.reg }
 
+// Metrics exposes the per-route API metrics.
+func (m *Master) Metrics() *api.Metrics { return m.apiS.Metrics() }
+
 // logf logs when a logger is configured.
 func (m *Master) logf(format string, args ...any) {
 	if m.opts.Logger != nil {
@@ -75,32 +88,47 @@ func (m *Master) logf(format string, args ...any) {
 	}
 }
 
-// Handler returns the master's HTTP API:
-//
-//	POST   /register    body: registry.Registration JSON
-//	DELETE /register?id=...
-//	POST   /heartbeat?id=...
-//	GET    /query?district=...&minLat=&minLon=&maxLat=&maxLon=
-//	GET    /devices?entity=<uri>
-//	GET    /ontology?uri=<uri>     (Accept: application/json|xml)
-//	GET    /districts
-//	GET    /proxies
-//	GET    /healthz
-func (m *Master) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/register", m.handleRegister)
-	mux.HandleFunc("/heartbeat", m.handleHeartbeat)
-	mux.HandleFunc("/query", m.handleQuery)
-	mux.HandleFunc("/devices", m.handleDevices)
-	mux.HandleFunc("/ontology", m.handleOntology)
-	mux.HandleFunc("/districts", m.handleDistricts)
-	mux.HandleFunc("/proxies", m.handleProxies)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
-	return mux
+// apiLogger adapts the optional *log.Logger for the API layer.
+func (m *Master) apiLogger() api.Logger {
+	if m.opts.Logger == nil {
+		return nil
+	}
+	return m.opts.Logger
 }
+
+// buildAPI registers the master's endpoints on the unified API layer.
+// Every route is served under /v1/... with the bare path kept as a
+// legacy alias:
+//
+//	POST   /v1/register    body: registry.Registration JSON
+//	DELETE /v1/register?id=...
+//	POST   /v1/heartbeat?id=...
+//	GET    /v1/query?district=...&minLat=&minLon=&maxLat=&maxLon=
+//	GET    /v1/devices?entity=<uri>
+//	GET    /v1/ontology?uri=<uri>     (Accept: application/json|xml)
+//	GET    /v1/districts
+//	GET    /v1/proxies
+//	GET    /v1/metrics, /v1/healthz
+func (m *Master) buildAPI() *api.Server {
+	s := api.NewServer(api.Options{Service: "master", Logger: m.apiLogger()})
+
+	s.Handle(http.MethodPost, "/register", api.Body(m.register))
+	s.Handle(http.MethodDelete, "/register", api.Query(m.deregister))
+	s.Handle(http.MethodPost, "/heartbeat", api.Query(m.heartbeat))
+	s.Get("/query", m.query)
+	s.Get("/devices", m.devices)
+	s.Get("/ontology", m.ontologyDoc)
+	s.Get("/districts", func(ctx context.Context, q url.Values) (any, error) {
+		return m.ont.Districts(), nil
+	})
+	s.Get("/proxies", func(ctx context.Context, q url.Values) (any, error) {
+		return m.reg.List(), nil
+	})
+	return s
+}
+
+// Handler returns the master's HTTP API.
+func (m *Master) Handler() http.Handler { return m.apiS.Handler() }
 
 // Serve binds the HTTP API to addr and returns the bound address.
 func (m *Master) Serve(addr string) (string, error) {
@@ -156,71 +184,44 @@ func (m *Master) Close() {
 	m.wg.Wait()
 }
 
-// writeJSON writes v as a JSON response.
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+// register accepts a proxy registration and links the proxy's URL into
+// the ontology node it serves.
+func (m *Master) register(ctx context.Context, reg registry.Registration) (map[string]string, error) {
+	if err := m.reg.Register(reg); err != nil {
+		return nil, err
+	}
+	// Link the proxy into the ontology when the entity exists. A
+	// registration for a not-yet-modelled entity is kept in the
+	// registry only; the ontology stays authoritative.
+	if _, err := m.ont.Get(reg.EntityURI); err == nil {
+		_ = m.ont.SetProperty(reg.EntityURI, ontology.PropProxyURI, reg.BaseURL)
+		if reg.Protocol != "" {
+			_ = m.ont.SetProperty(reg.EntityURI, ontology.PropProtocol, reg.Protocol)
+		}
+	}
+	m.logf("master: registered %s (%s) at %s", reg.ID, reg.Kind, reg.BaseURL)
+	return map[string]string{"status": "registered", "id": reg.ID}, nil
 }
 
-// httpError reports an error with a JSON body.
-func httpError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// deregister removes a registration by id.
+func (m *Master) deregister(ctx context.Context, q url.Values) (map[string]string, error) {
+	id := q.Get("id")
+	if err := m.reg.Deregister(id); err != nil {
+		return nil, err
+	}
+	return map[string]string{"status": "deregistered", "id": id}, nil
 }
 
-// handleRegister accepts proxy registrations and links the proxy's URL
-// into the ontology node it serves.
-func (m *Master) handleRegister(w http.ResponseWriter, r *http.Request) {
-	switch r.Method {
-	case http.MethodPost:
-		var reg registry.Registration
-		if err := json.NewDecoder(r.Body).Decode(&reg); err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-		if err := m.reg.Register(reg); err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-		// Link the proxy into the ontology when the entity exists. A
-		// registration for a not-yet-modelled entity is kept in the
-		// registry only; the ontology stays authoritative.
-		if _, err := m.ont.Get(reg.EntityURI); err == nil {
-			_ = m.ont.SetProperty(reg.EntityURI, ontology.PropProxyURI, reg.BaseURL)
-			if reg.Protocol != "" {
-				_ = m.ont.SetProperty(reg.EntityURI, ontology.PropProtocol, reg.Protocol)
-			}
-		}
-		m.logf("master: registered %s (%s) at %s", reg.ID, reg.Kind, reg.BaseURL)
-		writeJSON(w, http.StatusOK, map[string]string{"status": "registered", "id": reg.ID})
-	case http.MethodDelete:
-		id := r.URL.Query().Get("id")
-		if err := m.reg.Deregister(id); err != nil {
-			httpError(w, http.StatusNotFound, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "deregistered", "id": id})
-	default:
-		httpError(w, http.StatusMethodNotAllowed, errors.New("use POST or DELETE"))
+// heartbeat refreshes a registration's liveness.
+func (m *Master) heartbeat(ctx context.Context, q url.Values) (map[string]string, error) {
+	if err := m.reg.Heartbeat(q.Get("id")); err != nil {
+		return nil, err
 	}
-}
-
-func (m *Master) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
-		return
-	}
-	id := r.URL.Query().Get("id")
-	if err := m.reg.Heartbeat(id); err != nil {
-		httpError(w, http.StatusNotFound, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	return map[string]string{"status": "ok"}, nil
 }
 
 // parseArea reads the optional bounding-box query parameters.
-func parseArea(r *http.Request) (ontology.Area, error) {
-	q := r.URL.Query()
+func parseArea(q url.Values) (ontology.Area, error) {
 	raw := [4]string{q.Get("minLat"), q.Get("minLon"), q.Get("maxLat"), q.Get("maxLon")}
 	if raw[0] == "" && raw[1] == "" && raw[2] == "" && raw[3] == "" {
 		return ontology.Area{}, nil
@@ -249,22 +250,19 @@ type QueryResponse struct {
 	Entities   []ontology.Resolution `json:"entities"`
 }
 
-// handleQuery resolves an area to entity resolutions with proxy URIs.
-func (m *Master) handleQuery(w http.ResponseWriter, r *http.Request) {
-	district := r.URL.Query().Get("district")
+// query resolves an area to entity resolutions with proxy URIs.
+func (m *Master) query(ctx context.Context, q url.Values) (any, error) {
+	district := q.Get("district")
 	if district == "" {
-		httpError(w, http.StatusBadRequest, errors.New("missing district parameter"))
-		return
+		return nil, api.BadRequest(errors.New("missing district parameter"))
 	}
-	area, err := parseArea(r)
+	area, err := parseArea(q)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
+		return nil, api.BadRequest(err)
 	}
 	entities, err := m.ont.ResolveArea(district, area)
 	if err != nil {
-		httpError(w, http.StatusNotFound, err)
-		return
+		return nil, api.NotFound(err)
 	}
 	rsp := QueryResponse{District: district, Entities: entities}
 	rootURI := ontology.DistrictURI(district)
@@ -274,51 +272,32 @@ func (m *Master) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if v, ok := m.ont.Property(rootURI, ontology.PropMeasureURI); ok {
 		rsp.MeasureURI = v
 	}
-	writeJSON(w, http.StatusOK, rsp)
+	return rsp, nil
 }
 
-// handleDevices resolves an entity to its device leaves.
-func (m *Master) handleDevices(w http.ResponseWriter, r *http.Request) {
-	entity := r.URL.Query().Get("entity")
+// devices resolves an entity to its device leaves.
+func (m *Master) devices(ctx context.Context, q url.Values) (any, error) {
+	entity := q.Get("entity")
 	if entity == "" {
-		httpError(w, http.StatusBadRequest, errors.New("missing entity parameter"))
-		return
+		return nil, api.BadRequest(errors.New("missing entity parameter"))
 	}
 	devices, err := m.ont.ResolveDevices(entity)
 	if err != nil {
-		httpError(w, http.StatusNotFound, err)
-		return
+		return nil, api.NotFound(err)
 	}
-	writeJSON(w, http.StatusOK, devices)
+	return devices, nil
 }
 
-// handleOntology returns a subtree as a common-format entity document.
-func (m *Master) handleOntology(w http.ResponseWriter, r *http.Request) {
-	uri := r.URL.Query().Get("uri")
+// ontologyDoc returns a subtree as a common-format entity document
+// (content-negotiated JSON/XML).
+func (m *Master) ontologyDoc(ctx context.Context, q url.Values) (any, error) {
+	uri := q.Get("uri")
 	if uri == "" {
-		httpError(w, http.StatusBadRequest, errors.New("missing uri parameter"))
-		return
+		return nil, api.BadRequest(errors.New("missing uri parameter"))
 	}
 	e, err := m.ont.Entity(uri)
 	if err != nil {
-		httpError(w, http.StatusNotFound, err)
-		return
+		return nil, api.NotFound(err)
 	}
-	enc := dataformat.JSON
-	if strings.Contains(r.Header.Get("Accept"), "xml") {
-		enc = dataformat.XML
-	}
-	doc := dataformat.NewEntityDoc(e)
-	w.Header().Set("Content-Type", enc.ContentType())
-	if err := doc.EncodeTo(w, enc); err != nil {
-		m.logf("master: encode ontology: %v", err)
-	}
-}
-
-func (m *Master) handleDistricts(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, m.ont.Districts())
-}
-
-func (m *Master) handleProxies(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, m.reg.List())
+	return dataformat.NewEntityDoc(e), nil
 }

@@ -8,19 +8,29 @@
 package measuredb
 
 import (
-	"encoding/json"
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"sort"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/dataformat"
 	"repro/internal/middleware"
 	"repro/internal/proxyhttp"
 	"repro/internal/tsdb"
 )
+
+func init() {
+	// Store sentinels → HTTP statuses for the unified error envelope.
+	// Registered here (the store's first web consumer); the device-proxy
+	// shares the mapping through the same table.
+	api.RegisterStatus(tsdb.ErrNoSeries, http.StatusNotFound)
+	api.RegisterStatus(tsdb.ErrBadInterval, http.StatusBadRequest)
+}
 
 // Topic space for measurements: measurements/<district>/<entity>/<device>/<quantity>.
 const (
@@ -34,6 +44,7 @@ const (
 type Service struct {
 	store *tsdb.Store
 	srv   proxyhttp.Server
+	apiS  *api.Server
 
 	ingested atomic.Uint64
 	rejected atomic.Uint64
@@ -43,6 +54,8 @@ type Service struct {
 type Options struct {
 	// Store overrides the backing store; nil creates a default one.
 	Store *tsdb.Store
+	// Logger receives access-log lines; nil silences them.
+	Logger api.Logger
 }
 
 // New creates a measurements database service.
@@ -51,7 +64,9 @@ func New(opts Options) *Service {
 	if st == nil {
 		st = tsdb.New(tsdb.Options{})
 	}
-	return &Service{store: st}
+	s := &Service{store: st}
+	s.apiS = s.buildAPI(opts.Logger)
+	return s
 }
 
 // Store exposes the backing store (benchmarks and tests).
@@ -119,31 +134,35 @@ func (s *Service) Stats() Stats {
 	}
 }
 
-// Handler returns the service's web interface:
+// buildAPI registers the service's endpoints on the unified API layer.
+// Every route is served under /v1/... with the bare path kept as a
+// legacy alias:
 //
-//	POST /append                      body: measurement(s) document
-//	GET  /query?device=&quantity=&from=&to=
-//	GET  /latest?device=&quantity=
-//	GET  /series?device=              (all series, or one device's)
-//	GET  /aggregate?device=&quantity=&from=&to=
-//	GET  /stats
-//	GET  /healthz
-func (s *Service) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/append", s.handleAppend)
-	mux.HandleFunc("/query", s.handleQuery)
-	mux.HandleFunc("/latest", s.handleLatest)
-	mux.HandleFunc("/series", s.handleSeries)
-	mux.HandleFunc("/aggregate", s.handleAggregate)
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, s.Stats())
+//	POST /v1/append                      body: measurement(s) document
+//	GET  /v1/query?device=&quantity=&from=&to=
+//	GET  /v1/latest?device=&quantity=
+//	GET  /v1/series?device=              (all series, or one device's)
+//	GET  /v1/aggregate?device=&quantity=&from=&to=[&window=]
+//	GET  /v1/stats
+//	GET  /v1/metrics, /v1/healthz
+func (s *Service) buildAPI(logger api.Logger) *api.Server {
+	srv := api.NewServer(api.Options{Service: "measuredb", Logger: logger})
+	srv.Handle(http.MethodPost, "/append", api.DocIn(s.append))
+	srv.Get("/query", s.query)
+	srv.Get("/latest", s.latest)
+	srv.Get("/series", s.series)
+	srv.Get("/aggregate", s.aggregate)
+	srv.Get("/stats", func(ctx context.Context, q url.Values) (any, error) {
+		return s.Stats(), nil
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
-	return mux
+	return srv
 }
+
+// Handler returns the service's web interface.
+func (s *Service) Handler() http.Handler { return s.apiS.Handler() }
+
+// Metrics exposes the per-route API metrics.
+func (s *Service) Metrics() *api.Metrics { return s.apiS.Metrics() }
 
 // Serve binds the web interface and returns the bound address.
 func (s *Service) Serve(addr string) (string, error) {
@@ -156,53 +175,37 @@ func (s *Service) Close() {
 	s.store.Close()
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func (s *Service) handleAppend(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		proxyhttp.Error(w, http.StatusMethodNotAllowed, errors.New("use POST"))
-		return
-	}
-	doc, err := proxyhttp.ReadDoc(r)
-	if err != nil {
-		proxyhttp.Error(w, http.StatusBadRequest, err)
-		return
-	}
+// append ingests one measurement(s) document.
+func (s *Service) append(ctx context.Context, doc *dataformat.Document) (map[string]int, error) {
 	var stored int
 	switch doc.Kind {
 	case dataformat.KindMeasurement:
 		if err := s.Ingest(doc.Measurement); err != nil {
-			proxyhttp.Error(w, http.StatusBadRequest, err)
-			return
+			return nil, api.BadRequest(err)
 		}
 		stored = 1
 	case dataformat.KindMeasurements:
 		for i := range doc.Measurements {
 			if err := s.Ingest(&doc.Measurements[i]); err != nil {
-				proxyhttp.Error(w, http.StatusBadRequest, err)
-				return
+				return nil, api.BadRequest(err)
 			}
 			stored++
 		}
 	default:
-		proxyhttp.Error(w, http.StatusBadRequest, fmt.Errorf("unsupported document kind %q", doc.Kind))
-		return
+		return nil, api.BadRequest(fmt.Errorf("unsupported document kind %q", doc.Kind))
 	}
-	writeJSON(w, map[string]int{"stored": stored})
+	return map[string]int{"stored": stored}, nil
 }
 
 // parseRange reads from/to as RFC 3339 timestamps; both optional.
-func parseRange(r *http.Request) (from, to time.Time, err error) {
-	if s := r.URL.Query().Get("from"); s != "" {
+func parseRange(q url.Values) (from, to time.Time, err error) {
+	if s := q.Get("from"); s != "" {
 		from, err = time.Parse(time.RFC3339, s)
 		if err != nil {
 			return from, to, fmt.Errorf("bad from: %v", err)
 		}
 	}
-	if s := r.URL.Query().Get("to"); s != "" {
+	if s := q.Get("to"); s != "" {
 		to, err = time.Parse(time.RFC3339, s)
 		if err != nil {
 			return from, to, fmt.Errorf("bad to: %v", err)
@@ -211,11 +214,11 @@ func parseRange(r *http.Request) (from, to time.Time, err error) {
 	return from, to, nil
 }
 
-func seriesKey(r *http.Request) (tsdb.SeriesKey, error) {
-	device := r.URL.Query().Get("device")
-	quantity := r.URL.Query().Get("quantity")
+func seriesKey(q url.Values) (tsdb.SeriesKey, error) {
+	device := q.Get("device")
+	quantity := q.Get("quantity")
 	if device == "" || quantity == "" {
-		return tsdb.SeriesKey{}, errors.New("missing device or quantity parameter")
+		return tsdb.SeriesKey{}, api.BadRequest(errors.New("missing device or quantity parameter"))
 	}
 	return tsdb.SeriesKey{Device: device, Quantity: quantity}, nil
 }
@@ -237,45 +240,35 @@ func measurementsOf(key tsdb.SeriesKey, samples []tsdb.Sample, source string) []
 	return out
 }
 
-func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
-	key, err := seriesKey(r)
+// query returns a series slice as a content-negotiated document; store
+// sentinels map to statuses through the shared table.
+func (s *Service) query(ctx context.Context, q url.Values) (any, error) {
+	key, err := seriesKey(q)
 	if err != nil {
-		proxyhttp.Error(w, http.StatusBadRequest, err)
-		return
+		return nil, err
 	}
-	from, to, err := parseRange(r)
+	from, to, err := parseRange(q)
 	if err != nil {
-		proxyhttp.Error(w, http.StatusBadRequest, err)
-		return
+		return nil, api.BadRequest(err)
 	}
 	samples, err := s.store.Query(key, from, to)
 	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, tsdb.ErrNoSeries) {
-			status = http.StatusNotFound
-		} else if errors.Is(err, tsdb.ErrBadInterval) {
-			status = http.StatusBadRequest
-		}
-		proxyhttp.Error(w, status, err)
-		return
+		return nil, err
 	}
-	doc := dataformat.NewMeasurementsDoc(measurementsOf(key, samples, s.srv.Addr()))
-	proxyhttp.WriteDoc(w, r, doc)
+	return dataformat.NewMeasurementsDoc(measurementsOf(key, samples, s.srv.Addr())), nil
 }
 
-func (s *Service) handleLatest(w http.ResponseWriter, r *http.Request) {
-	key, err := seriesKey(r)
+func (s *Service) latest(ctx context.Context, q url.Values) (any, error) {
+	key, err := seriesKey(q)
 	if err != nil {
-		proxyhttp.Error(w, http.StatusBadRequest, err)
-		return
+		return nil, err
 	}
 	smp, err := s.store.Latest(key)
 	if err != nil {
-		proxyhttp.Error(w, http.StatusNotFound, err)
-		return
+		return nil, api.NotFound(err)
 	}
 	ms := measurementsOf(key, []tsdb.Sample{smp}, s.srv.Addr())
-	proxyhttp.WriteDoc(w, r, dataformat.NewMeasurementDoc(ms[0]))
+	return dataformat.NewMeasurementDoc(ms[0]), nil
 }
 
 // SeriesInfo describes one stored series.
@@ -285,8 +278,8 @@ type SeriesInfo struct {
 	Samples  int    `json:"samples"`
 }
 
-func (s *Service) handleSeries(w http.ResponseWriter, r *http.Request) {
-	device := r.URL.Query().Get("device")
+func (s *Service) series(ctx context.Context, q url.Values) (any, error) {
+	device := q.Get("device")
 	var keys []tsdb.SeriesKey
 	if device != "" {
 		keys = s.store.KeysForDevice(device)
@@ -303,7 +296,7 @@ func (s *Service) handleSeries(w http.ResponseWriter, r *http.Request) {
 	for i, k := range keys {
 		out[i] = SeriesInfo{Device: k.Device, Quantity: k.Quantity, Samples: s.store.Len(k)}
 	}
-	writeJSON(w, out)
+	return out, nil
 }
 
 // AggregateResponse is the JSON shape of /aggregate.
@@ -317,41 +310,35 @@ type AggregateResponse struct {
 	Sum      float64 `json:"sum"`
 }
 
-func (s *Service) handleAggregate(w http.ResponseWriter, r *http.Request) {
-	key, err := seriesKey(r)
+func (s *Service) aggregate(ctx context.Context, q url.Values) (any, error) {
+	key, err := seriesKey(q)
 	if err != nil {
-		proxyhttp.Error(w, http.StatusBadRequest, err)
-		return
+		return nil, err
 	}
-	from, to, err := parseRange(r)
+	from, to, err := parseRange(q)
 	if err != nil {
-		proxyhttp.Error(w, http.StatusBadRequest, err)
-		return
+		return nil, api.BadRequest(err)
 	}
 	agg, err := s.store.Aggregate(key, from, to)
 	if err != nil {
-		proxyhttp.Error(w, http.StatusNotFound, err)
-		return
+		return nil, api.NotFound(err)
 	}
 	// Optional downsampling: window=<duration> switches to buckets.
-	if ws := r.URL.Query().Get("window"); ws != "" {
+	if ws := q.Get("window"); ws != "" {
 		window, err := time.ParseDuration(ws)
 		if err != nil {
-			proxyhttp.Error(w, http.StatusBadRequest, fmt.Errorf("bad window: %v", err))
-			return
+			return nil, api.BadRequest(fmt.Errorf("bad window: %v", err))
 		}
 		buckets, err := s.store.Downsample(key, from, to, window)
 		if err != nil {
-			proxyhttp.Error(w, http.StatusBadRequest, err)
-			return
+			return nil, api.BadRequest(err)
 		}
-		writeJSON(w, buckets)
-		return
+		return buckets, nil
 	}
-	writeJSON(w, AggregateResponse{
+	return AggregateResponse{
 		Device: key.Device, Quantity: key.Quantity,
 		Count: agg.Count, Min: agg.Min, Max: agg.Max, Mean: agg.Mean, Sum: agg.Sum,
-	})
+	}, nil
 }
 
 // Topic builds the middleware topic for a measurement, mirroring the

@@ -4,65 +4,46 @@
 // with heartbeats. Device-proxies and Database-proxies differ in what
 // they serve, not in how they join the infrastructure; that common "how"
 // lives here.
+//
+// The HTTP mechanics (negotiation, envelopes, retrying transport) are
+// delegated to the unified service-API layer in internal/api; the
+// helpers kept here are thin compatibility wrappers plus the Registrar.
 package proxyhttp
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"net/http"
-	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/dataformat"
 	"repro/internal/registry"
 )
 
-// NegotiateEncoding picks the response encoding from an Accept header.
+// NegotiateEncoding picks the response encoding from an Accept header,
+// with full media-type and q-value parsing (api.NegotiateEncoding).
 func NegotiateEncoding(r *http.Request) dataformat.Encoding {
-	if strings.Contains(r.Header.Get("Accept"), "xml") {
-		return dataformat.XML
-	}
-	return dataformat.JSON
+	return api.NegotiateEncoding(r)
 }
 
 // WriteDoc writes a common-format document honouring content negotiation.
 func WriteDoc(w http.ResponseWriter, r *http.Request, doc *dataformat.Document) {
-	enc := NegotiateEncoding(r)
-	body, err := doc.Encode(enc)
-	if err != nil {
-		Error(w, http.StatusInternalServerError, err)
-		return
-	}
-	w.Header().Set("Content-Type", enc.ContentType())
-	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(body)
+	api.WriteDoc(w, r, doc)
 }
 
-// Error writes a JSON error body with the given status.
+// Error writes the uniform JSON error envelope with the given status.
 func Error(w http.ResponseWriter, status int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	api.WriteErrorStatus(w, nil, status, err)
 }
 
 // ReadDoc decodes a request body as a common-format document, sniffing
 // the encoding from the Content-Type (or the payload itself).
 func ReadDoc(r *http.Request) (*dataformat.Document, error) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
-	if err != nil {
-		return nil, err
-	}
-	enc := dataformat.ParseEncoding(r.Header.Get("Content-Type"))
-	if r.Header.Get("Content-Type") == "" {
-		enc = dataformat.Sniff(body)
-	}
-	return dataformat.Decode(body, enc)
+	return api.ReadDoc(r)
 }
 
 // Server wraps an http.Server bound to an ephemeral or fixed port.
@@ -113,7 +94,10 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// Registrar keeps one proxy registered with the master node.
+// Registrar keeps one proxy registered with the master node. All master
+// interactions ride the shared retrying transport, so a briefly
+// unreachable master is absorbed by backoff instead of surfacing
+// immediately.
 type Registrar struct {
 	// MasterURL is the master node's base URL.
 	MasterURL string
@@ -121,7 +105,7 @@ type Registrar struct {
 	Registration registry.Registration
 	// HeartbeatEvery is the keepalive period. Zero means 30 seconds.
 	HeartbeatEvery time.Duration
-	// Client is the HTTP client; nil uses a 5-second-timeout default.
+	// Client is the HTTP client; nil uses the shared pooled client.
 	Client *http.Client
 
 	cancel context.CancelFunc
@@ -131,26 +115,23 @@ type Registrar struct {
 // ErrRegistration reports a failed master interaction.
 var ErrRegistration = errors.New("proxyhttp: registration failed")
 
-func (g *Registrar) client() *http.Client {
-	if g.Client != nil {
-		return g.Client
-	}
-	return &http.Client{Timeout: 5 * time.Second}
+func (g *Registrar) transport() *api.Transport {
+	return &api.Transport{Client: g.Client}
+}
+
+func (g *Registrar) masterURL(pathAndQuery string) string {
+	return api.URL(g.MasterURL, pathAndQuery)
 }
 
 // Register performs one registration round trip.
 func (g *Registrar) Register() error {
-	body, err := json.Marshal(g.Registration)
-	if err != nil {
-		return err
-	}
-	rsp, err := g.client().Post(strings.TrimSuffix(g.MasterURL, "/")+"/register", "application/json", bytes.NewReader(body))
-	if err != nil {
+	return g.RegisterContext(context.Background())
+}
+
+// RegisterContext performs one registration round trip under ctx.
+func (g *Registrar) RegisterContext(ctx context.Context) error {
+	if err := g.transport().PostJSON(ctx, g.masterURL("/register"), g.Registration, nil); err != nil {
 		return fmt.Errorf("%w: %v", ErrRegistration, err)
-	}
-	defer rsp.Body.Close()
-	if rsp.StatusCode != http.StatusOK {
-		return fmt.Errorf("%w: master returned %d", ErrRegistration, rsp.StatusCode)
 	}
 	return nil
 }
@@ -174,9 +155,9 @@ func (g *Registrar) Start() error {
 		for {
 			select {
 			case <-ticker.C:
-				if err := g.heartbeat(); err != nil {
+				if err := g.heartbeat(ctx); err != nil && ctx.Err() == nil {
 					// A master restart forgets registrations; re-register.
-					_ = g.Register()
+					_ = g.RegisterContext(ctx)
 				}
 			case <-ctx.Done():
 				return
@@ -186,15 +167,10 @@ func (g *Registrar) Start() error {
 	return nil
 }
 
-func (g *Registrar) heartbeat() error {
-	url := fmt.Sprintf("%s/heartbeat?id=%s", strings.TrimSuffix(g.MasterURL, "/"), g.Registration.ID)
-	rsp, err := g.client().Post(url, "", nil)
-	if err != nil {
-		return err
-	}
-	defer rsp.Body.Close()
-	if rsp.StatusCode != http.StatusOK {
-		return fmt.Errorf("%w: heartbeat returned %d", ErrRegistration, rsp.StatusCode)
+func (g *Registrar) heartbeat(ctx context.Context) error {
+	url := g.masterURL("/heartbeat?id=" + g.Registration.ID)
+	if err := g.transport().PostJSON(ctx, url, nil, nil); err != nil {
+		return fmt.Errorf("%w: %v", ErrRegistration, err)
 	}
 	return nil
 }
@@ -205,61 +181,24 @@ func (g *Registrar) Stop() {
 		g.cancel()
 		<-g.done
 	}
-	url := fmt.Sprintf("%s/register?id=%s", strings.TrimSuffix(g.MasterURL, "/"), g.Registration.ID)
-	req, err := http.NewRequest(http.MethodDelete, url, nil)
-	if err != nil {
-		return
-	}
-	if rsp, err := g.client().Do(req); err == nil {
-		rsp.Body.Close()
-	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	// Deregistration is best effort: a dead master forgets us anyway.
+	tr := &api.Transport{Client: g.Client, MaxAttempts: 1}
+	_ = tr.Delete(ctx, g.masterURL("/register?id="+g.Registration.ID))
 }
 
-// GetDoc fetches and decodes a common-format document.
+// GetDoc fetches and decodes a common-format document. Deprecated shim:
+// new code should use api.Transport.GetDoc with a real context.
 func GetDoc(client *http.Client, url string, enc dataformat.Encoding) (*dataformat.Document, error) {
-	if client == nil {
-		client = &http.Client{Timeout: 10 * time.Second}
-	}
-	req, err := http.NewRequest(http.MethodGet, url, nil)
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Accept", enc.ContentType())
-	rsp, err := client.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer rsp.Body.Close()
-	if rsp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("proxyhttp: GET %s returned %d", url, rsp.StatusCode)
-	}
-	return dataformat.DecodeFrom(rsp.Body, dataformat.ParseEncoding(rsp.Header.Get("Content-Type")))
+	tr := &api.Transport{Client: client}
+	return tr.GetDoc(context.Background(), url, enc)
 }
 
 // PostDoc sends a common-format document and decodes the reply document
-// (nil when the response has no body).
+// (nil when the response has no body). Deprecated shim: new code should
+// use api.Transport.PostDoc with a real context.
 func PostDoc(client *http.Client, url string, doc *dataformat.Document, enc dataformat.Encoding) (*dataformat.Document, error) {
-	if client == nil {
-		client = &http.Client{Timeout: 10 * time.Second}
-	}
-	body, err := doc.Encode(enc)
-	if err != nil {
-		return nil, err
-	}
-	rsp, err := client.Post(url, enc.ContentType(), bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	defer rsp.Body.Close()
-	if rsp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("proxyhttp: POST %s returned %d", url, rsp.StatusCode)
-	}
-	raw, err := io.ReadAll(io.LimitReader(rsp.Body, 16<<20))
-	if err != nil {
-		return nil, err
-	}
-	if len(bytes.TrimSpace(raw)) == 0 {
-		return nil, nil
-	}
-	return dataformat.Decode(raw, dataformat.ParseEncoding(rsp.Header.Get("Content-Type")))
+	tr := &api.Transport{Client: client}
+	return tr.PostDoc(context.Background(), url, doc, enc)
 }

@@ -154,7 +154,7 @@ func fakeMaster(t *testing.T, failHeartbeat *bool) (*httptest.Server, *int32) {
 	t.Helper()
 	var registered int32
 	mux := http.NewServeMux()
-	mux.HandleFunc("/register", func(w http.ResponseWriter, r *http.Request) {
+	register := func(w http.ResponseWriter, r *http.Request) {
 		switch r.Method {
 		case http.MethodPost:
 			atomic.AddInt32(&registered, 1)
@@ -163,14 +163,20 @@ func fakeMaster(t *testing.T, failHeartbeat *bool) (*httptest.Server, *int32) {
 			atomic.AddInt32(&registered, -1)
 			w.WriteHeader(http.StatusOK)
 		}
-	})
-	mux.HandleFunc("/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+	}
+	heartbeat := func(w http.ResponseWriter, r *http.Request) {
 		if failHeartbeat != nil && *failHeartbeat {
 			w.WriteHeader(http.StatusNotFound)
 			return
 		}
 		w.WriteHeader(http.StatusOK)
-	})
+	}
+	// The registrar speaks the versioned API; the bare paths stay
+	// registered to mirror the real master's legacy aliases.
+	mux.HandleFunc("/register", register)
+	mux.HandleFunc("/v1/register", register)
+	mux.HandleFunc("/heartbeat", heartbeat)
+	mux.HandleFunc("/v1/heartbeat", heartbeat)
 	ts := httptest.NewServer(mux)
 	t.Cleanup(ts.Close)
 	return ts, &registered

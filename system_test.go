@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/url"
@@ -42,7 +43,8 @@ func TestSystemXMLEndToEnd(t *testing.T) {
 	}
 	// The whole client flow with XML as the negotiated encoding.
 	c := &client.Client{MasterURL: d.MasterURL, Encoding: dataformat.XML}
-	model, err := c.BuildAreaModel("turin", client.Area{}, client.BuildOptions{
+	ctx := context.Background()
+	model, err := c.BuildAreaModel(ctx, "turin", client.Area{}, client.BuildOptions{
 		IncludeDevices: true, IncludeGIS: true,
 	})
 	if err != nil {
@@ -87,11 +89,12 @@ func TestSystemHistoryThroughMeasureDB(t *testing.T) {
 	}
 	// And the device proxy's own buffer agrees in magnitude.
 	c := d.Client()
-	devices, err := c.Devices("urn:district:turin/building:b00")
+	ctx := context.Background()
+	devices, err := c.Devices(ctx, "urn:district:turin/building:b00")
 	if err != nil || len(devices) == 0 {
 		t.Fatalf("devices: %v %v", devices, err)
 	}
-	ms, err := c.FetchData(devices[0].ProxyURI, dataformat.Temperature, time.Time{}, time.Time{})
+	ms, err := c.FetchData(ctx, devices[0].ProxyURI, dataformat.Temperature, time.Time{}, time.Time{})
 	if err != nil || len(ms) < 5 {
 		t.Fatalf("local buffer: %d samples, %v", len(ms), err)
 	}
@@ -193,8 +196,9 @@ func TestSystemMultiDistrict(t *testing.T) {
 	}
 	defer m.Close()
 	c := &client.Client{MasterURL: "http://" + addr}
+	ctx := context.Background()
 	for _, name := range []string{"turin", "milan"} {
-		qr, err := c.Query(name, client.Area{})
+		qr, err := c.Query(ctx, name, client.Area{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -280,7 +284,8 @@ func TestSystemDeviceProxyStatsEndpoint(t *testing.T) {
 		t.Fatal("no samples")
 	}
 	c := d.Client()
-	devices, err := c.Devices("urn:district:turin/building:b00")
+	ctx := context.Background()
+	devices, err := c.Devices(ctx, "urn:district:turin/building:b00")
 	if err != nil || len(devices) != 1 {
 		t.Fatalf("devices: %v %v", devices, err)
 	}

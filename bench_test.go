@@ -12,10 +12,15 @@ package repro
 import (
 	"context"
 	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"bytes"
+	"repro/internal/api"
 	"repro/internal/bim"
 	"repro/internal/client"
 	"repro/internal/core"
@@ -24,7 +29,6 @@ import (
 	"repro/internal/deviceproxy"
 	"repro/internal/gis"
 	"repro/internal/integration"
-
 	"repro/internal/master"
 	"repro/internal/measuredb"
 	"repro/internal/middleware"
@@ -36,6 +40,7 @@ import (
 	"repro/internal/proxyhttp"
 	"repro/internal/registry"
 	"repro/internal/sim"
+	"repro/internal/stream"
 	"repro/internal/tsdb"
 	"repro/internal/wsn"
 )
@@ -692,4 +697,140 @@ func BenchmarkF1b_AblationPublish(b *testing.B) {
 			}
 		})
 	}
+}
+
+// ---------------------------------------------------------------------
+// S1 — stream fan-out: one publisher feeding many concurrent
+// subscribers through the SSE hub. The hub holds its lock across the
+// whole fan-out, so this measures the per-event cost of sequencing +
+// ring append + trie match + N bounded-queue handoffs.
+// ---------------------------------------------------------------------
+
+func BenchmarkS1_StreamHubFanout(b *testing.B) {
+	for _, subs := range []int{1, 16, 128} {
+		b.Run(fmt.Sprintf("subscribers=%d", subs), func(b *testing.B) {
+			hub := stream.NewHub(stream.HubOptions{FirstID: 1, QueueLen: 4096})
+			defer hub.Close()
+			var delivered atomic.Int64
+			var wg sync.WaitGroup
+			for i := 0; i < subs; i++ {
+				sub, _, err := hub.Subscribe("measurements/#", 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for range sub.C {
+						delivered.Add(1)
+					}
+				}()
+			}
+			ev := middleware.Event{
+				Topic:   "measurements/turin/building:b00/device:d00/temperature",
+				Payload: []byte(`{"value":21.5}`),
+				At:      benchT0,
+			}
+			// Wave pacing: fully drain every 1024 events, so per-queue
+			// backlog stays well under QueueLen and no subscriber is ever
+			// evicted — the benchmark must measure fan-out, not eviction.
+			waitDrained := func(events int) {
+				want := int64(events) * int64(subs)
+				for delivered.Load() < want {
+					if hub.Stats().Evicted > 0 {
+						b.Fatal("benchmark evicted a subscriber")
+					}
+					runtime.Gosched()
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := hub.Publish(ev); err != nil {
+					b.Fatal(err)
+				}
+				if i%1024 == 1023 {
+					waitDrained(i + 1)
+				}
+			}
+			waitDrained(b.N)
+			b.StopTimer()
+			hub.Close()
+			wg.Wait()
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// S2 — stream fan-out end to end: one publisher on the service bus, 100
+// SSE subscribers over real HTTP connections. Reported time is per
+// published event fully delivered to all 100 subscribers.
+// ---------------------------------------------------------------------
+
+func BenchmarkS2_StreamSSEFanout100(b *testing.B) {
+	const subs = 100
+	bus := middleware.NewBus(middleware.BusOptions{QueueLen: -1})
+	defer bus.Close()
+	svc, err := stream.NewService(bus, stream.Options{
+		Hub: stream.HubOptions{FirstID: 1, QueueLen: 8192, History: 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	srv := api.NewServer(api.Options{Service: "bench"})
+	svc.Mount(srv)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var delivered atomic.Int64
+	for i := 0; i < subs; i++ {
+		sub, err := stream.Subscribe(ctx, ts.URL, "measurements/#", stream.SubscribeOptions{Buffer: 1024})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer sub.Close()
+		go func() {
+			for range sub.Events {
+				delivered.Add(1)
+			}
+		}()
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for svc.Hub().Stats().Subscribers < subs {
+		if time.Now().After(deadline) {
+			b.Fatalf("only %d/%d SSE subscribers attached", svc.Hub().Stats().Subscribers, subs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ev := middleware.Event{
+		Topic:   "measurements/turin/building:b00/device:d00/temperature",
+		Payload: []byte(`{"value":21.5}`),
+		At:      benchT0,
+	}
+	// Wave pacing: fully drain every 64 events, so the per-subscriber
+	// SSE queues can always absorb the in-flight wave and slow-consumer
+	// eviction cannot fire.
+	waitDrained := func(events int) {
+		want := int64(events) * subs
+		for delivered.Load() < want {
+			if svc.Hub().Stats().Evicted > 0 {
+				b.Fatal("benchmark evicted a subscriber")
+			}
+			runtime.Gosched()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bus.Publish(ev); err != nil {
+			b.Fatal(err)
+		}
+		if i%64 == 63 {
+			waitDrained(i + 1)
+		}
+	}
+	waitDrained(b.N)
+	b.StopTimer()
 }

@@ -8,6 +8,12 @@
 //	deviceproxy -uri urn:district:turin/building:b01/device:t1 \
 //	    -protocol zigbee -master http://127.0.0.1:8080 \
 //	    -hub 127.0.0.1:7000 -addr :0 -poll 1s
+//
+// Instead of (or in addition to) the middleware TCP hub, samples can be
+// streamed to a remote service's HTTP publish ingress — the federated
+// topology where the measurements database runs on another host:
+//
+//	deviceproxy -uri ... -publish http://measuredb-host:9002
 package main
 
 import (
@@ -19,22 +25,40 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/dataformat"
 	"repro/internal/deviceproxy"
 	"repro/internal/middleware"
 	"repro/internal/protocol/enocean"
 	"repro/internal/protocol/ieee802154"
+	"repro/internal/stream"
 	"repro/internal/wsn"
 )
+
+// multiPublisher fans one sample out to several publishers (TCP hub and
+// HTTP ingress at once); the first error wins, later targets still run.
+type multiPublisher []deviceproxy.Publisher
+
+func (m multiPublisher) Publish(ev middleware.Event) error {
+	var first error
+	for _, p := range m {
+		if err := p.Publish(ev); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
 
 func main() {
 	uri := flag.String("uri", "", "device ontology URI (required)")
 	protocol := flag.String("protocol", "zigbee", "device protocol: ieee802.15.4 | zigbee | enocean | opc-ua")
 	masterURL := flag.String("master", "", "master node base URL (empty: no registration)")
-	hubAddr := flag.String("hub", "", "middleware hub address (empty: no publishing)")
+	hubAddr := flag.String("hub", "", "middleware hub address (empty: no TCP publishing)")
+	publishURL := flag.String("publish", "", "remote service base URL to stream samples to over HTTP (empty: none)")
 	addr := flag.String("addr", "127.0.0.1:0", "web service listen address")
 	poll := flag.Duration("poll", time.Second, "sampling period")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	rate := flag.Float64("rate", 0, "per-client rate limit on hot data routes, requests/second (0: unlimited)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "deviceproxy: ", log.LstdFlags)
@@ -52,14 +76,30 @@ func main() {
 	}
 	defer cleanup()
 
-	var publisher deviceproxy.Publisher
+	var publishers []deviceproxy.Publisher
 	if *hubAddr != "" {
 		node := middleware.NewNode(middleware.NodeOptions{ID: "devproxy:" + *uri})
 		if err := node.Dial(*hubAddr); err != nil {
 			logger.Fatalf("middleware hub: %v", err)
 		}
 		defer node.Close()
-		publisher = node
+		publishers = append(publishers, node)
+	}
+	if *publishURL != "" {
+		publishers = append(publishers, &stream.RemotePublisher{BaseURL: *publishURL})
+	}
+	var publisher deviceproxy.Publisher
+	switch len(publishers) {
+	case 0:
+	case 1:
+		publisher = publishers[0]
+	default:
+		publisher = multiPublisher(publishers)
+	}
+
+	var limiter *api.RateLimiter
+	if *rate > 0 {
+		limiter = api.NewRateLimiter(*rate, int(*rate*2)+1)
 	}
 
 	proxy, err := deviceproxy.New(deviceproxy.Options{
@@ -71,6 +111,7 @@ func main() {
 		PollEvery: *poll,
 		Publisher: publisher,
 		MasterURL: *masterURL,
+		RateLimit: limiter,
 	})
 	if err != nil {
 		logger.Fatalf("proxy: %v", err)

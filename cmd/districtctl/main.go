@@ -10,6 +10,8 @@
 //	districtctl -master ... devices -entity urn:district:turin/building:b00
 //	districtctl -master ... latest -proxy http://127.0.0.1:9001/ -quantity temperature
 //	districtctl -master ... control -proxy http://... -quantity state.switch -value 1
+//	districtctl -master ... watch "registry/#"
+//	districtctl -master ... watch -url http://measuredb:9002 "measurements/turin/#"
 package main
 
 import (
@@ -27,6 +29,8 @@ import (
 	"repro/internal/awareness"
 	"repro/internal/client"
 	"repro/internal/dataformat"
+	"repro/internal/middleware"
+	"repro/internal/stream"
 )
 
 func main() {
@@ -56,6 +60,8 @@ func main() {
 		err = cmdControl(ctx, c, args)
 	case "report":
 		err = cmdReport(ctx, c, args)
+	case "watch":
+		err = cmdWatch(ctx, c, args)
 	default:
 		usage()
 	}
@@ -65,8 +71,55 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: districtctl [-master URL] query|model|devices|latest|control|report [options]")
+	fmt.Fprintln(os.Stderr, "usage: districtctl [-master URL] query|model|devices|latest|control|report|watch [options]")
 	os.Exit(2)
+}
+
+// cmdWatch tails a service's live event stream: by default the master
+// node's (registry lifecycle), or any streaming service via -url (the
+// measurements database, a device proxy). Measurement payloads are
+// decoded and printed as one line per sample; everything else prints as
+// raw payload bytes. The subscription reconnects and resumes on its own;
+// interrupt to stop.
+func cmdWatch(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	urlFlag := fs.String("url", "", "service base URL to stream from (default: the master node)")
+	patternFlag := fs.String("pattern", "#", "topic pattern to watch")
+	raw := fs.Bool("raw", false, "print raw payloads, skip measurement decoding")
+	fs.Parse(args)
+	pattern := *patternFlag
+	if fs.NArg() > 0 {
+		pattern = fs.Arg(0)
+	}
+	var sub *stream.Subscription
+	var err error
+	if *urlFlag == "" {
+		sub, err = c.Subscribe(ctx, pattern)
+	} else {
+		sub, err = c.SubscribeService(ctx, *urlFlag, pattern)
+	}
+	if err != nil {
+		return err
+	}
+	defer sub.Close()
+	fmt.Fprintf(os.Stderr, "watching %q (interrupt to stop)\n", pattern)
+	for ev := range sub.Events {
+		printEvent(ev, *raw)
+	}
+	return sub.Err()
+}
+
+// printEvent renders one live event.
+func printEvent(ev middleware.Event, raw bool) {
+	at := ev.At.Local().Format("15:04:05.000")
+	if !raw {
+		if doc, err := dataformat.Decode(ev.Payload, dataformat.Sniff(ev.Payload)); err == nil && doc.Measurement != nil {
+			m := doc.Measurement
+			fmt.Printf("%s  %-60s %10.3f %-8s %s\n", at, ev.Topic, m.Value, m.Unit, m.Device)
+			return
+		}
+	}
+	fmt.Printf("%s  %-60s %s\n", at, ev.Topic, ev.Payload)
 }
 
 // cmdReport prints the user-awareness report: comfort per building,

@@ -3,7 +3,10 @@
 // distribution network's solved load; when the plant output exceeds a
 // peak threshold, it sheds load by switching off actuators found through
 // the master node — device discovery, capability inspection, and control
-// all flow through the infrastructure's web services.
+// all flow through the infrastructure's web services. The effect of the
+// shed is then confirmed live: the controller subscribes to the
+// measurements database's event stream and watches the switch-state
+// samples drop to zero as the devices report back.
 //
 //	go run ./examples/demandresponse
 package main
@@ -83,6 +86,14 @@ func main() {
 	solution = fetchSolution(ctx, district.SIMs[0].EntityURI(), c)
 	fmt.Printf("after spike:           %.1f kW\n", solution.PlantOutputKW)
 
+	// 3b. Subscribe to the live measurement stream BEFORE shedding, so
+	// the confirmation samples cannot be missed.
+	sub, err := c.SubscribeService(ctx, district.MeasureURL, "measurements/turin/#")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sub.Close()
+
 	const peakKW = 2000.0
 	if solution.PlantOutputKW > peakKW {
 		fmt.Printf("peak threshold %.0f kW exceeded: shedding %d loads\n", peakKW, len(switches))
@@ -96,18 +107,32 @@ func main() {
 		}
 	}
 
-	// 4. Verify the switch states through the data path.
-	time.Sleep(300 * time.Millisecond) // let the next poll observe the state
+	// 4. Verify live: watch the stream until every shed device reports a
+	// zero switch-state sample (or the deadline passes).
+	pending := make(map[string]bool, len(switches))
 	for _, sw := range switches {
-		m, err := c.FetchLatest(ctx, sw.proxyURI, dataformat.SwitchState)
-		if err != nil {
-			continue
+		pending[sw.deviceURI] = true
+	}
+	deadline := time.After(10 * time.Second)
+	for len(pending) > 0 {
+		select {
+		case ev, ok := <-sub.Events:
+			if !ok {
+				log.Fatalf("stream ended early: %v", sub.Err())
+			}
+			doc, err := dataformat.Decode(ev.Payload, dataformat.Sniff(ev.Payload))
+			if err != nil || doc.Measurement == nil {
+				continue
+			}
+			m := doc.Measurement
+			if m.Quantity != dataformat.SwitchState || m.Value != 0 || !pending[m.Device] {
+				continue
+			}
+			delete(pending, m.Device)
+			fmt.Printf("verified live %-55s OFF\n", m.Device)
+		case <-deadline:
+			log.Fatalf("%d loads never confirmed off over the stream", len(pending))
 		}
-		state := "ON"
-		if m.Value == 0 {
-			state = "OFF"
-		}
-		fmt.Printf("verified %-55s %s\n", sw.deviceURI, state)
 	}
 }
 

@@ -1,9 +1,10 @@
 // District monitor: the Fig. 1(a) walk as a live dashboard. An operator
 // watches one area of the district: the example subscribes to the
-// middleware for real-time events AND periodically rebuilds the
-// integrated area model from the proxies, printing consumption and
-// comfort summaries — the "visualization and simulation of energy
-// consumption trends" use case that motivates the paper.
+// measurements database's HTTP event stream for real-time samples AND
+// periodically rebuilds the integrated area model from the proxies,
+// printing consumption and comfort summaries — the "visualization and
+// simulation of energy consumption trends" use case that motivates the
+// paper.
 //
 //	go run ./examples/districtmonitor
 package main
@@ -19,7 +20,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataformat"
 	"repro/internal/integration"
-	"repro/internal/middleware"
 )
 
 func main() {
@@ -34,26 +34,28 @@ func main() {
 		log.Fatalf("bootstrap: %v", err)
 	}
 	defer district.Close()
+	c := district.Client()
 
-	// Live path: subscribe to the middleware like any other peer.
+	// Live path: subscribe to the measurements database's event stream
+	// over HTTP — no middleware link needed, any host on the network
+	// could run this monitor against the service URL alone.
 	var live atomic.Int64
-	monitor := middleware.NewNode(middleware.NodeOptions{ID: "monitor"})
-	defer monitor.Close()
-	if _, err := monitor.Subscribe("measurements/turin/#", func(ev middleware.Event) {
-		live.Add(1)
-	}); err != nil {
+	sub, err := c.SubscribeService(ctx, district.MeasureURL, "measurements/turin/#")
+	if err != nil {
 		log.Fatal(err)
 	}
-	if err := monitor.Dial(district.HubAddr); err != nil {
-		log.Fatal(err)
-	}
+	defer sub.Close()
+	go func() {
+		for range sub.Events {
+			live.Add(1)
+		}
+	}()
 
 	if !district.WaitForSamples(2, 15*time.Second) {
 		log.Fatal("no samples")
 	}
 
 	// Periodic path: area query -> proxies -> integration, three rounds.
-	c := district.Client()
 	for round := 1; round <= 3; round++ {
 		time.Sleep(400 * time.Millisecond)
 		model, err := c.BuildAreaModel(ctx, "turin", client.Area{}, client.BuildOptions{
@@ -69,7 +71,8 @@ func main() {
 	}
 
 	st := district.Measure.Stats()
-	fmt.Printf("\nglobal measurements DB: %d samples in %d series\n", st.Ingested, st.Store.Series)
+	fmt.Printf("\nglobal measurements DB: %d samples in %d series (streamed %d events to %d subscribers)\n",
+		st.Ingested, st.Store.Series, st.Stream.Delivered, st.Stream.Subscribers)
 }
 
 // printComfort prints per-device temperature/humidity.

@@ -100,9 +100,23 @@ func NewServer(opts Options) *Server {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
-	s.Handle(http.MethodGet, "/metrics", Query(func(ctx context.Context, q url.Values) (any, error) {
-		return s.metrics.Snapshot(), nil
-	}))
+	s.HandleFunc(http.MethodGet, "/metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Prometheus exposition on explicit request (?format=prometheus)
+		// or when the Accept header genuinely prefers text/plain over
+		// JSON; the JSON snapshot stays the default.
+		prom := r.URL.Query().Get("format") == "prometheus"
+		if !prom && r.URL.Query().Get("format") == "" {
+			prom = NegotiateMediaType(r.Header.Get("Accept"),
+				"application/json", "text/plain") == "text/plain"
+		}
+		if prom {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			w.WriteHeader(http.StatusOK)
+			s.metrics.WritePrometheus(w, s.opts.Service)
+			return
+		}
+		WriteJSON(w, http.StatusOK, s.metrics.Snapshot())
+	})
 	return s
 }
 

@@ -1,7 +1,10 @@
 package api
 
 import (
+	"fmt"
+	"io"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -76,4 +79,34 @@ func (m *Metrics) Snapshot() []RouteSnapshot {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Route < out[j].Route })
 	return out
+}
+
+// labelEscaper escapes a Prometheus label value per the text exposition
+// format (backslash, double quote, and newline).
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+// WritePrometheus renders the counters in the Prometheus text exposition
+// format (version 0.0.4), one sample per route and method, labelled with
+// the owning service. Scrapers hit /v1/metrics?format=prometheus (or
+// negotiate text/plain) instead of the JSON snapshot.
+func (m *Metrics) WritePrometheus(w io.Writer, service string) {
+	snaps := m.Snapshot()
+	emit := func(name, help, typ string, value func(RouteSnapshot) float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, s := range snaps {
+			method, route, _ := strings.Cut(s.Route, " ")
+			fmt.Fprintf(w, "%s{service=%q,method=%q,route=%q} %g\n",
+				name, escapeLabel(service), escapeLabel(method), escapeLabel(route), value(s))
+		}
+	}
+	emit("repro_http_requests_total", "Requests served, by route.", "counter",
+		func(s RouteSnapshot) float64 { return float64(s.Count) })
+	emit("repro_http_request_errors_total", "Responses with status >= 400, by route.", "counter",
+		func(s RouteSnapshot) float64 { return float64(s.Errors) })
+	emit("repro_http_request_duration_seconds_sum", "Total handler time, by route.", "counter",
+		func(s RouteSnapshot) float64 { return s.TotalMs / 1e3 })
+	emit("repro_http_request_duration_seconds_max", "Slowest handler time, by route.", "gauge",
+		func(s RouteSnapshot) float64 { return s.MaxMs / 1e3 })
 }

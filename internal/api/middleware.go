@@ -102,6 +102,14 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards to the underlying writer so streaming endpoints
+// (Server-Sent Events) keep working through the observing middlewares.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // AccessLog logs one line per request: service, method, path, matched
 // route, status, bytes, duration, and request ID.
 func AccessLog(service string, logger Logger) Middleware {
@@ -179,6 +187,18 @@ func (w *gzipWriter) Write(p []byte) (int, error) {
 	return w.gz.Write(p)
 }
 
+// Flush ends the current gzip block and flushes the underlying writer,
+// so a streaming endpoint accidentally running gzipped still makes
+// progress on the wire.
+func (w *gzipWriter) Flush() {
+	if w.gz != nil {
+		_ = w.gz.Flush()
+	}
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 func (w *gzipWriter) close() {
 	if w.gz == nil {
 		return
@@ -215,11 +235,14 @@ func acceptsGzip(r *http.Request) bool {
 	return false
 }
 
-// Gzip compresses responses for clients that accept it.
+// Gzip compresses responses for clients that accept it. Event-stream
+// requests are exempt: compressing an unbounded SSE response trades
+// per-event latency for ratio, the opposite of what live subscribers
+// want.
 func Gzip() Middleware {
 	return func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-			if !acceptsGzip(r) {
+			if !acceptsGzip(r) || strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
 				next.ServeHTTP(w, r)
 				return
 			}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -117,15 +118,48 @@ func sleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
+// retryAfter parses a 429/503 Retry-After header (delta-seconds form;
+// the HTTP-date form is not used by this infrastructure). Zero means
+// absent or unparsable.
+func retryAfter(rsp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(rsp.Header.Get("Retry-After")))
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	const maxRetryAfter = 30 * time.Second // cap hostile/buggy server hints
+	d := time.Duration(secs) * time.Second
+	if d > maxRetryAfter {
+		d = maxRetryAfter
+	}
+	return d
+}
+
 // Do performs one logical request with retries. body may be nil; it is
 // replayed from the byte slice on every attempt. The response body is
 // fully read, so connections always return to the pool; non-2xx
 // responses come back as *StatusError.
+//
+// Every request carries an X-Request-ID: an inbound one from ctx (when
+// the caller is itself serving a request through this layer) or a fresh
+// one minted per logical request, so cross-service traces line up in
+// access logs. All attempts of one request share the same ID.
 func (t *Transport) Do(ctx context.Context, method, url string, header http.Header, body []byte) ([]byte, *http.Response, error) {
+	requestID := header.Get("X-Request-ID")
+	if requestID == "" {
+		if requestID = RequestIDFrom(ctx); requestID == "" {
+			requestID = NewRequestID()
+		}
+	}
 	var lastErr error
+	var serverWait time.Duration
 	for attempt := 0; attempt < t.attempts(); attempt++ {
 		if attempt > 0 {
-			if err := sleep(ctx, t.backoff(attempt-1)); err != nil {
+			wait := t.backoff(attempt - 1)
+			if serverWait > wait {
+				wait = serverWait // a Retry-After hint overrides shorter backoff
+			}
+			serverWait = 0
+			if err := sleep(ctx, wait); err != nil {
 				return nil, nil, err
 			}
 		}
@@ -140,6 +174,7 @@ func (t *Transport) Do(ctx context.Context, method, url string, header http.Head
 		for k, vs := range header {
 			req.Header[k] = vs
 		}
+		req.Header.Set("X-Request-ID", requestID)
 		rsp, err := t.httpClient().Do(req)
 		if err != nil {
 			if ctx.Err() != nil {
@@ -164,6 +199,7 @@ func (t *Transport) Do(ctx context.Context, method, url string, header http.Head
 			}
 			if retryableStatus(rsp.StatusCode) {
 				lastErr = serr
+				serverWait = retryAfter(rsp)
 				continue
 			}
 			return raw, rsp, serr

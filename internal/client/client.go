@@ -25,9 +25,12 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/dataformat"
+	"repro/internal/deviceproxy"
 	"repro/internal/integration"
 	"repro/internal/master"
+	"repro/internal/middleware"
 	"repro/internal/ontology"
+	"repro/internal/stream"
 )
 
 // Client talks to one master node and the proxies it redirects to.
@@ -218,6 +221,49 @@ func (c *Client) Control(ctx context.Context, proxyURI string, q dataformat.Quan
 		return nil, fmt.Errorf("client: control returned a %q document", doc.Kind)
 	}
 	return doc.Control, nil
+}
+
+// ControlBatch issues many actuation commands to one device proxy in a
+// single round trip (POST /v1/devices/actuate). Like Control, the path
+// never retries: actuation is not idempotent.
+func (c *Client) ControlBatch(ctx context.Context, proxyURI string, cmds []deviceproxy.ControlRequest) (*deviceproxy.BatchResponse, error) {
+	if len(cmds) == 0 {
+		return nil, errors.New("client: empty command batch")
+	}
+	tr := &api.Transport{Client: c.HTTP, MaxAttempts: 1}
+	var out deviceproxy.BatchResponse
+	err := tr.PostJSON(ctx, joinURL(proxyURI, "devices/actuate"),
+		deviceproxy.BatchRequest{Commands: cmds}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Subscribe opens a live subscription to the master node's event stream
+// (registry lifecycle topics) for a topic pattern. The subscription
+// reconnects automatically and resumes with Last-Event-ID, so consumers
+// see each event at most once with no gaps across a reconnect.
+func (c *Client) Subscribe(ctx context.Context, pattern string) (*stream.Subscription, error) {
+	return stream.Subscribe(ctx, c.MasterURL, pattern, stream.SubscribeOptions{})
+}
+
+// SubscribeService opens a live subscription to any streaming service of
+// the infrastructure (measurements database, a device proxy) by its base
+// URL — the redirection pattern of the paper applied to live data: the
+// master's query response carries the URIs, the client subscribes to the
+// source directly.
+func (c *Client) SubscribeService(ctx context.Context, serviceURL, pattern string) (*stream.Subscription, error) {
+	return stream.Subscribe(ctx, serviceURL, pattern, stream.SubscribeOptions{})
+}
+
+// PublishEvent injects one event into a remote service's bus through its
+// /v1/publish ingress. Like Control, it never retries: injection is not
+// idempotent, and a retry after a lost response would duplicate the
+// event in every downstream store.
+func (c *Client) PublishEvent(ctx context.Context, serviceURL string, ev middleware.Event) error {
+	tr := &api.Transport{Client: c.HTTP, MaxAttempts: 1}
+	return tr.PostJSON(ctx, api.URL(serviceURL, "/publish"), ev, nil)
 }
 
 // BuildOptions tune BuildAreaModel.

@@ -25,6 +25,7 @@ import (
 	"repro/internal/middleware"
 	"repro/internal/proxyhttp"
 	"repro/internal/registry"
+	"repro/internal/stream"
 	"repro/internal/tsdb"
 )
 
@@ -95,15 +96,22 @@ type Options struct {
 	MasterURL string
 	// ProxyID overrides the registration ID (default: derived from URI).
 	ProxyID string
+	// RateLimit, when set, throttles the hot data routes (/data, /latest,
+	// /aggregate) and the stream publish ingress per client IP.
+	RateLimit *api.RateLimiter
+	// Stream tunes the proxy's streaming subsystem.
+	Stream stream.Options
 }
 
 // Proxy is a running device proxy.
 type Proxy struct {
-	opts  Options
-	store *tsdb.Store
-	srv   proxyhttp.Server
-	apiS  *api.Server
-	reg   *proxyhttp.Registrar
+	opts    Options
+	store   *tsdb.Store
+	srv     proxyhttp.Server
+	apiS    *api.Server
+	reg     *proxyhttp.Registrar
+	bus     *middleware.Bus
+	streamS *stream.Service
 
 	mu      sync.Mutex
 	battery float64
@@ -137,9 +145,24 @@ func New(opts Options) (*Proxy, error) {
 		store = tsdb.New(tsdb.Options{MaxSamplesPerSeries: 8192})
 	}
 	p := &Proxy{opts: opts, store: store, battery: -1, stopCh: make(chan struct{})}
+	// The proxy's own bus carries every sample it collects; the stream
+	// service federates it, so remote peers can subscribe to this one
+	// device live without any middleware TCP link.
+	p.bus = middleware.NewBus(middleware.BusOptions{QueueLen: -1})
+	streamOpts := opts.Stream
+	if streamOpts.PublishLimiter == nil {
+		streamOpts.PublishLimiter = opts.RateLimit
+	}
+	p.streamS, _ = stream.NewService(p.bus, streamOpts)
 	p.apiS = p.buildAPI()
 	return p, nil
 }
+
+// Bus exposes the proxy's event bus (everything the proxy publishes).
+func (p *Proxy) Bus() *middleware.Bus { return p.bus }
+
+// Stream exposes the proxy's streaming service.
+func (p *Proxy) Stream() *stream.Service { return p.streamS }
 
 // Metrics exposes the per-route API metrics.
 func (p *Proxy) Metrics() *api.Metrics { return p.apiS.Metrics() }
@@ -249,11 +272,10 @@ func (p *Proxy) PollOnce() {
 }
 
 // publish pushes measurements into the middleware, one event per
-// measurement on its device/quantity topic.
+// measurement on its device/quantity topic: always onto the proxy's own
+// bus (feeding its /v1/stream subscribers) and, when configured, to the
+// external Publisher (middleware node or remote HTTP ingress).
 func (p *Proxy) publish(ms []dataformat.Measurement) {
-	if p.opts.Publisher == nil {
-		return
-	}
 	for i := range ms {
 		payload, err := dataformat.NewMeasurementDoc(ms[i]).Encode(dataformat.JSON)
 		if err != nil {
@@ -264,6 +286,10 @@ func (p *Proxy) publish(ms []dataformat.Measurement) {
 			Payload: payload,
 			Headers: map[string]string{"content-type": "application/json"},
 			At:      ms[i].Timestamp,
+		}
+		_ = p.bus.Publish(ev)
+		if p.opts.Publisher == nil {
+			continue
 		}
 		if err := p.opts.Publisher.Publish(ev); err == nil {
 			p.stats.Lock()
@@ -308,6 +334,8 @@ func (p *Proxy) Close() {
 		p.reg.Stop()
 	}
 	p.srv.Close()
+	p.streamS.Close()
+	p.bus.Close()
 	_ = p.opts.Driver.Close()
 	p.store.Close()
 }
@@ -320,18 +348,32 @@ func (p *Proxy) Close() {
 //	GET  /v1/latest?quantity=            most recent sample
 //	GET  /v1/aggregate?quantity=&window= downsampled buckets
 //	POST /v1/control                     control-result document back
+//	POST /v1/devices/actuate             batch actuation (many quantities)
 //	GET  /v1/stats
+//	GET  /v1/stream?topic=<pattern>      live samples (SSE)
+//	POST /v1/publish                     event ingress (middleware.Event JSON)
 //	GET  /v1/metrics, /v1/healthz
+//
+// The hot data routes are rate-limited per client IP when Options.RateLimit
+// is set (429 + Retry-After on rejection).
 func (p *Proxy) buildAPI() *api.Server {
 	s := api.NewServer(api.Options{Service: "deviceproxy"})
+	limit := func(h http.Handler) http.Handler {
+		if p.opts.RateLimit == nil {
+			return h
+		}
+		return api.RateLimit(p.opts.RateLimit)(h)
+	}
 	s.Get("/info", p.info)
-	s.Get("/data", p.data)
-	s.Get("/latest", p.latest)
-	s.Get("/aggregate", p.aggregate)
+	s.Handle(http.MethodGet, "/data", limit(api.Query(p.data)))
+	s.Handle(http.MethodGet, "/latest", limit(api.Query(p.latest)))
+	s.Handle(http.MethodGet, "/aggregate", limit(api.Query(p.aggregate)))
 	s.Handle(http.MethodPost, "/control", api.Body(p.control))
+	s.Handle(http.MethodPost, "/devices/actuate", api.Body(p.actuateBatch))
 	s.Get("/stats", func(ctx context.Context, q url.Values) (any, error) {
 		return p.Stats(), nil
 	})
+	p.streamS.Mount(s)
 	return s
 }
 
@@ -449,10 +491,55 @@ func (p *Proxy) aggregate(ctx context.Context, q url.Values) (any, error) {
 	return buckets, nil
 }
 
-// ControlRequest is the POST /control body.
+// ControlRequest is the POST /control body (and one element of a batch).
 type ControlRequest struct {
 	Quantity dataformat.Quantity `json:"quantity"`
 	Value    float64             `json:"value"`
+}
+
+// BatchRequest is the POST /devices/actuate body: many actuation
+// commands applied in one round trip.
+type BatchRequest struct {
+	Commands []ControlRequest `json:"commands"`
+}
+
+// BatchResponse reports the per-command outcomes in request order, plus
+// how many applied.
+type BatchResponse struct {
+	Applied int                        `json:"applied"`
+	Results []dataformat.ControlResult `json:"results"`
+}
+
+// actuateBatch pushes every command of a batch to the driver. Failures
+// don't abort the batch: each command reports its own outcome, the way
+// a demand-response controller shedding many loads wants it.
+func (p *Proxy) actuateBatch(ctx context.Context, req BatchRequest) (any, error) {
+	if len(req.Commands) == 0 {
+		return nil, api.BadRequest(errors.New("empty command batch"))
+	}
+	out := BatchResponse{Results: make([]dataformat.ControlResult, 0, len(req.Commands))}
+	for _, cmd := range req.Commands {
+		if cmd.Quantity == "" {
+			return nil, api.BadRequest(errors.New("batch command missing quantity"))
+		}
+		result := dataformat.ControlResult{
+			Device:   p.opts.DeviceURI,
+			Quantity: cmd.Quantity,
+			Value:    cmd.Value,
+			At:       time.Now().UTC(),
+		}
+		if err := p.opts.Driver.Actuate(cmd.Quantity, cmd.Value); err != nil {
+			result.Error = err.Error()
+		} else {
+			result.Applied = true
+			out.Applied++
+			p.stats.Lock()
+			p.stats.controls++
+			p.stats.Unlock()
+		}
+		out.Results = append(out.Results, result)
+	}
+	return out, nil
 }
 
 // control pushes an actuation command to the driver and reports the

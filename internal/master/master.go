@@ -8,6 +8,7 @@ package master
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
@@ -20,8 +21,10 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/dataformat"
+	"repro/internal/middleware"
 	"repro/internal/ontology"
 	"repro/internal/registry"
+	"repro/internal/stream"
 )
 
 func init() {
@@ -44,10 +47,12 @@ type Options struct {
 
 // Master is the ontology + registry service.
 type Master struct {
-	opts Options
-	ont  *ontology.Ontology
-	reg  *registry.Registry
-	apiS *api.Server
+	opts   Options
+	ont    *ontology.Ontology
+	reg    *registry.Registry
+	apiS   *api.Server
+	bus    *middleware.Bus
+	stream *stream.Service
 
 	mu     sync.Mutex
 	srv    *http.Server
@@ -65,10 +70,33 @@ func New(opts Options) *Master {
 		opts:   opts,
 		ont:    ontology.New(),
 		reg:    registry.New(),
+		bus:    middleware.NewBus(middleware.BusOptions{QueueLen: -1}),
 		stopCh: make(chan struct{}),
 	}
+	// Registry lifecycle events stream to remote subscribers (districtctl
+	// watch "registry/#", dashboards) through the master's own bus.
+	m.stream, _ = stream.NewService(m.bus, stream.Options{})
 	m.apiS = m.buildAPI()
 	return m
+}
+
+// Bus exposes the master's event bus (registry lifecycle topics).
+func (m *Master) Bus() *middleware.Bus { return m.bus }
+
+// Stream exposes the master's streaming service.
+func (m *Master) Stream() *stream.Service { return m.stream }
+
+// publishEvent emits one registry lifecycle event on the master's bus.
+func (m *Master) publishEvent(topic string, v any) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	_ = m.bus.Publish(middleware.Event{
+		Topic:   topic,
+		Payload: payload,
+		Headers: map[string]string{"content-type": "application/json"},
+	})
 }
 
 // Ontology exposes the district forest for programmatic construction
@@ -124,6 +152,7 @@ func (m *Master) buildAPI() *api.Server {
 	s.Get("/proxies", func(ctx context.Context, q url.Values) (any, error) {
 		return m.reg.List(), nil
 	})
+	m.stream.Mount(s)
 	return s
 }
 
@@ -165,6 +194,7 @@ func (m *Master) sweepLoop() {
 		case <-ticker.C:
 			if n := m.reg.Sweep(m.opts.LivenessTTL); n > 0 {
 				m.logf("master: swept %d stale proxies", n)
+				m.publishEvent("registry/swept", map[string]int{"swept": n})
 			}
 		case <-m.stopCh:
 			return
@@ -182,6 +212,8 @@ func (m *Master) Close() {
 		srv.Close()
 	}
 	m.wg.Wait()
+	m.stream.Close()
+	m.bus.Close()
 }
 
 // register accepts a proxy registration and links the proxy's URL into
@@ -200,6 +232,7 @@ func (m *Master) register(ctx context.Context, reg registry.Registration) (map[s
 		}
 	}
 	m.logf("master: registered %s (%s) at %s", reg.ID, reg.Kind, reg.BaseURL)
+	m.publishEvent("registry/registered", reg)
 	return map[string]string{"status": "registered", "id": reg.ID}, nil
 }
 
@@ -209,6 +242,7 @@ func (m *Master) deregister(ctx context.Context, q url.Values) (map[string]strin
 	if err := m.reg.Deregister(id); err != nil {
 		return nil, err
 	}
+	m.publishEvent("registry/deregistered", map[string]string{"id": id})
 	return map[string]string{"status": "deregistered", "id": id}, nil
 }
 

@@ -21,6 +21,7 @@ import (
 	"repro/internal/dataformat"
 	"repro/internal/middleware"
 	"repro/internal/proxyhttp"
+	"repro/internal/stream"
 	"repro/internal/tsdb"
 )
 
@@ -46,6 +47,15 @@ type Service struct {
 	srv   proxyhttp.Server
 	apiS  *api.Server
 
+	// bus is the service's event spine: everything the service hears —
+	// local publishes, relayed middleware-node traffic, and remote
+	// HTTP /v1/publish injections — flows through it, so the ingest
+	// subscription and the streaming hub see one unified event order.
+	bus     *middleware.Bus
+	ownBus  bool
+	ingest  *middleware.Subscription
+	streamS *stream.Service
+
 	ingested atomic.Uint64
 	rejected atomic.Uint64
 }
@@ -56,6 +66,12 @@ type Options struct {
 	Store *tsdb.Store
 	// Logger receives access-log lines; nil silences them.
 	Logger api.Logger
+	// Bus overrides the service's event spine; nil creates a private
+	// one. The service always ingests from (and streams) this bus.
+	Bus *middleware.Bus
+	// Stream tunes the streaming subsystem (hub sizing, publish-ingress
+	// rate limiting).
+	Stream stream.Options
 }
 
 // New creates a measurements database service.
@@ -64,10 +80,37 @@ func New(opts Options) *Service {
 	if st == nil {
 		st = tsdb.New(tsdb.Options{})
 	}
-	s := &Service{store: st}
+	s := &Service{store: st, bus: opts.Bus}
+	if s.bus == nil {
+		// Synchronous delivery: the spine's only subscribers (store
+		// ingest, stream hub) are non-blocking, and publishing inline on
+		// the caller's goroutine keeps ingestion immediate — the
+		// behaviour callers of AttachBus with a synchronous bus expect.
+		s.bus = middleware.NewBus(middleware.BusOptions{QueueLen: -1})
+		s.ownBus = true
+	}
+	// On the service's own freshly-created spine these cannot fail; an
+	// externally supplied bus can (already closed), and a service without
+	// its ingest path or stream is unusable — fail loudly at build time
+	// rather than nil-panic on the first request.
+	var err error
+	if s.ingest, err = s.bus.Subscribe(IngestPattern, s.onEvent); err != nil {
+		panic(fmt.Sprintf("measuredb: ingest subscription on supplied bus: %v", err))
+	}
+	if s.streamS, err = stream.NewService(s.bus, opts.Stream); err != nil {
+		panic(fmt.Sprintf("measuredb: stream service on supplied bus: %v", err))
+	}
 	s.apiS = s.buildAPI(opts.Logger)
 	return s
 }
+
+// Bus exposes the service's event spine. Publishing a measurement
+// document event on it both stores the sample and streams it to every
+// live subscriber.
+func (s *Service) Bus() *middleware.Bus { return s.bus }
+
+// Stream exposes the streaming service (hub stats, KickAll).
+func (s *Service) Stream() *stream.Service { return s.streamS }
 
 // Store exposes the backing store (benchmarks and tests).
 func (s *Service) Store() *tsdb.Store { return s.store }
@@ -87,17 +130,27 @@ func (s *Service) Ingest(m *dataformat.Measurement) error {
 	return nil
 }
 
-// AttachBus subscribes the service to the middleware's measurement
+// AttachBus subscribes the service to an external bus's measurement
 // topics so every published sample lands in the store — the paper's
 // "publish data into the infrastructure (for instance to a global
-// measurement database)" path.
+// measurement database)" path. External events are relayed onto the
+// service's own spine first, so they also reach the streaming hub and
+// its remote SSE subscribers.
 func (s *Service) AttachBus(bus *middleware.Bus) (*middleware.Subscription, error) {
-	return bus.Subscribe(IngestPattern, s.onEvent)
+	if bus == s.bus {
+		return s.ingest, nil // already the spine; nothing to relay
+	}
+	return bus.Subscribe(IngestPattern, s.relay)
 }
 
 // AttachNode subscribes through a networked middleware node.
 func (s *Service) AttachNode(node *middleware.Node) (*middleware.Subscription, error) {
-	return node.Subscribe(IngestPattern, s.onEvent)
+	return node.Subscribe(IngestPattern, s.relay)
+}
+
+// relay forwards one externally-heard event onto the service's spine.
+func (s *Service) relay(ev middleware.Event) {
+	_ = s.bus.Publish(ev)
 }
 
 func (s *Service) onEvent(ev middleware.Event) {
@@ -120,9 +173,10 @@ func (s *Service) onEvent(ev middleware.Event) {
 
 // Stats are cumulative ingest counters.
 type Stats struct {
-	Ingested uint64     `json:"ingested"`
-	Rejected uint64     `json:"rejected"`
-	Store    tsdb.Stats `json:"store"`
+	Ingested uint64          `json:"ingested"`
+	Rejected uint64          `json:"rejected"`
+	Store    tsdb.Stats      `json:"store"`
+	Stream   stream.HubStats `json:"stream"`
 }
 
 // Stats returns a snapshot of service counters.
@@ -131,6 +185,7 @@ func (s *Service) Stats() Stats {
 		Ingested: s.ingested.Load(),
 		Rejected: s.rejected.Load(),
 		Store:    s.store.Stats(),
+		Stream:   s.streamS.Hub().Stats(),
 	}
 }
 
@@ -144,6 +199,8 @@ func (s *Service) Stats() Stats {
 //	GET  /v1/series?device=              (all series, or one device's)
 //	GET  /v1/aggregate?device=&quantity=&from=&to=[&window=]
 //	GET  /v1/stats
+//	GET  /v1/stream?topic=<pattern>      live events (SSE)
+//	POST /v1/publish                     event ingress (middleware.Event JSON)
 //	GET  /v1/metrics, /v1/healthz
 func (s *Service) buildAPI(logger api.Logger) *api.Server {
 	srv := api.NewServer(api.Options{Service: "measuredb", Logger: logger})
@@ -155,6 +212,7 @@ func (s *Service) buildAPI(logger api.Logger) *api.Server {
 	srv.Get("/stats", func(ctx context.Context, q url.Values) (any, error) {
 		return s.Stats(), nil
 	})
+	s.streamS.Mount(srv)
 	return srv
 }
 
@@ -169,9 +227,14 @@ func (s *Service) Serve(addr string) (string, error) {
 	return s.srv.Serve(addr, s.Handler())
 }
 
-// Close stops the web interface and the store.
+// Close stops the web interface, the streaming subsystem, and the store.
 func (s *Service) Close() {
 	s.srv.Close()
+	s.streamS.Close()
+	s.ingest.Unsubscribe()
+	if s.ownBus {
+		s.bus.Close()
+	}
 	s.store.Close()
 }
 

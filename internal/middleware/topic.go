@@ -215,6 +215,32 @@ func (m *linearMatcher) match(topic string, visit func(id int)) {
 	}
 }
 
+// Index is an exported, concurrency-safe subscription index backed by
+// the production trie matcher. Other subsystems that need to resolve a
+// concrete topic to a set of integer subscriber IDs (the stream fan-out
+// hub) reuse this instead of re-implementing pattern matching; match
+// cost stays proportional to topic depth, not subscriber count.
+type Index struct {
+	lm lockedMatcher
+}
+
+// NewIndex creates an empty trie-backed pattern index.
+func NewIndex() *Index {
+	return &Index{lm: lockedMatcher{m: newTrieMatcher()}}
+}
+
+// Add registers id under pattern (the pattern must be pre-validated).
+func (ix *Index) Add(pattern string, id int) { ix.lm.add(pattern, id) }
+
+// Remove drops id's registration under pattern.
+func (ix *Index) Remove(pattern string, id int) { ix.lm.remove(pattern, id) }
+
+// Match visits the id of every pattern matching the concrete topic.
+func (ix *Index) Match(topic string, visit func(id int)) { ix.lm.match(topic, visit) }
+
+// Len returns the number of registered patterns.
+func (ix *Index) Len() int { return ix.lm.len() }
+
 // guard wraps a matcher with a lock so Bus and Node can share it.
 type lockedMatcher struct {
 	mu sync.RWMutex

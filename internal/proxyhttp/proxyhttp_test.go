@@ -150,7 +150,7 @@ func TestServerServeAndClose(t *testing.T) {
 }
 
 // fakeMaster implements just enough of the master's registration API.
-func fakeMaster(t *testing.T, failHeartbeat *bool) (*httptest.Server, *int32) {
+func fakeMaster(t *testing.T, failHeartbeat *atomic.Bool) (*httptest.Server, *int32) {
 	t.Helper()
 	var registered int32
 	mux := http.NewServeMux()
@@ -165,7 +165,7 @@ func fakeMaster(t *testing.T, failHeartbeat *bool) (*httptest.Server, *int32) {
 		}
 	}
 	heartbeat := func(w http.ResponseWriter, r *http.Request) {
-		if failHeartbeat != nil && *failHeartbeat {
+		if failHeartbeat != nil && failHeartbeat.Load() {
 			w.WriteHeader(http.StatusNotFound)
 			return
 		}
@@ -205,7 +205,7 @@ func TestRegistrarLifecycle(t *testing.T) {
 }
 
 func TestRegistrarReRegistersOnHeartbeatFailure(t *testing.T) {
-	fail := false
+	var fail atomic.Bool
 	ts, registered := fakeMaster(t, &fail)
 	reg := &Registrar{
 		MasterURL: ts.URL,
@@ -218,7 +218,7 @@ func TestRegistrarReRegistersOnHeartbeatFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer reg.Stop()
-	fail = true // master forgets: heartbeats 404, registrar re-registers
+	fail.Store(true) // master forgets: heartbeats 404, registrar re-registers
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
 		if atomic.LoadInt32(registered) >= 2 {

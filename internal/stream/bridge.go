@@ -1,0 +1,90 @@
+package stream
+
+import (
+	"context"
+	"sync/atomic"
+
+	"repro/internal/middleware"
+)
+
+// ViaHeader marks an event as having crossed a bridge; its value is the
+// remote base URL the event was mirrored from. A bridge never mirrors an
+// event that already carries its own source marker, which breaks the
+// trivial two-bridge loop (A→B and B→A over the same subtree).
+const ViaHeader = "x-stream-via"
+
+// Bridge mirrors a topic subtree from a remote service's stream into a
+// local bus: the distributed data path of the paper's Fig. 1 topology —
+// device proxies publish on one host, the measurements database ingests
+// on another — carried over the versioned HTTP API instead of a
+// dedicated middleware TCP link. It rides a resuming Subscription, so a
+// remote restart or network blip costs nothing as long as the remote
+// replay ring covers the outage.
+type Bridge struct {
+	sub      *Subscription
+	remote   string
+	done     chan struct{}
+	mirrored atomic.Uint64
+	skipped  atomic.Uint64
+}
+
+// NewBridge subscribes to pattern on the service at remoteBase and
+// republishes every received event into local. Cancelling ctx or
+// calling Close stops the mirror.
+func NewBridge(ctx context.Context, remoteBase, pattern string, local Publisher, opts SubscribeOptions) (*Bridge, error) {
+	sub, err := Subscribe(ctx, remoteBase, pattern, opts)
+	if err != nil {
+		return nil, err
+	}
+	b := &Bridge{sub: sub, remote: remoteBase, done: make(chan struct{})}
+	go b.run(local)
+	return b, nil
+}
+
+func (b *Bridge) run(local Publisher) {
+	defer close(b.done)
+	for ev := range b.sub.Events {
+		if ev.Headers[ViaHeader] != "" {
+			b.skipped.Add(1)
+			continue // already bridged once; don't build forwarding loops
+		}
+		// Copy headers before annotating: the map may be shared with
+		// other consumers of the same subscription buffer.
+		headers := make(map[string]string, len(ev.Headers)+1)
+		for k, v := range ev.Headers {
+			headers[k] = v
+		}
+		headers[ViaHeader] = b.remote
+		ev.Headers = headers
+		if err := local.Publish(ev); err == nil {
+			b.mirrored.Add(1)
+		}
+	}
+}
+
+// Mirrored returns how many events the bridge republished locally.
+func (b *Bridge) Mirrored() uint64 { return b.mirrored.Load() }
+
+// Skipped returns how many already-bridged events were dropped (loop
+// protection).
+func (b *Bridge) Skipped() uint64 { return b.skipped.Load() }
+
+// LastID returns the remote event ID the bridge has mirrored up to.
+func (b *Bridge) LastID() uint64 { return b.sub.LastID() }
+
+// Err surfaces the underlying subscription's terminal error, if any.
+func (b *Bridge) Err() error { return b.sub.Err() }
+
+// Close stops the bridge and waits for the mirror loop to drain.
+func (b *Bridge) Close() {
+	b.sub.Close()
+	<-b.done
+}
+
+// Ensure the middleware types satisfy the local-side contract.
+var (
+	_ Publisher = (*middleware.Bus)(nil)
+	_ Publisher = (*middleware.Node)(nil)
+	_ EventBus  = (*middleware.Bus)(nil)
+	_ EventBus  = (*middleware.Node)(nil)
+)

@@ -1,0 +1,300 @@
+// Package stream is the real-time event streaming subsystem: it
+// federates the in-process middleware bus across services over the
+// versioned HTTP API. Server side, a Hub fans bus events out to
+// HTTP subscribers over Server-Sent Events with monotonic event IDs,
+// bounded per-subscriber queues, and slow-consumer eviction; a
+// /v1/publish ingress lets remote processes inject events. Client side,
+// Subscribe consumes a remote stream with automatic reconnection and
+// Last-Event-ID resume (no gaps, no duplicates across a reconnect), and
+// Bridge mirrors a remote topic subtree into a local bus — a device
+// proxy on one host publishes, the measurements database on another
+// ingests, exactly the distributed topology of the paper's Fig. 1.
+package stream
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/middleware"
+
+	"sync"
+)
+
+// ErrHubClosed reports use of a closed hub.
+var ErrHubClosed = errors.New("stream: hub closed")
+
+// Entry is one sequenced event: what a Hub fans out and what the SSE
+// wire carries (the ID travels as the SSE id field).
+type Entry struct {
+	// ID is the hub-assigned monotonic sequence number.
+	ID uint64
+	// Event is the bus event.
+	Event middleware.Event
+}
+
+// HubOptions configure a Hub.
+type HubOptions struct {
+	// History is the replay ring capacity: how many recent events are
+	// retained for Last-Event-ID resume. Zero means the default (1024).
+	History int
+	// QueueLen is the per-subscriber queue capacity; a subscriber whose
+	// queue overflows is evicted (it reconnects and resumes from the
+	// replay ring) rather than stalling the hub or silently losing
+	// events. Zero means the default (256).
+	QueueLen int
+	// FirstID overrides the first event ID. Zero derives the ID base
+	// from the wall clock, so a restarted hub keeps assigning IDs above
+	// everything it assigned before — a resuming client never mistakes
+	// fresh events for already-seen ones.
+	FirstID uint64
+}
+
+func (o HubOptions) withDefaults() HubOptions {
+	if o.History <= 0 {
+		o.History = 1024
+	}
+	if o.QueueLen <= 0 {
+		o.QueueLen = 256
+	}
+	if o.FirstID == 0 {
+		o.FirstID = uint64(time.Now().UnixNano())
+	}
+	return o
+}
+
+// Hub sequences events and fans them out to pattern subscribers. It is
+// the server half of the streaming subsystem: every event gets a
+// monotonic ID, lands in a bounded replay ring, and is delivered to
+// every subscriber whose topic pattern matches (trie-indexed, so match
+// cost grows with topic depth, not subscriber count).
+type Hub struct {
+	opts HubOptions
+
+	mu        sync.Mutex
+	idx       *middleware.Index
+	subs      map[int]*Sub
+	nextSubID int
+	lastID    uint64 // last assigned event ID
+	ring      []Entry
+	ringStart int // index of the oldest entry once the ring is full
+	closed    bool
+
+	published uint64
+	delivered uint64
+	evicted   uint64
+	replayed  uint64
+}
+
+// NewHub creates a Hub.
+func NewHub(opts HubOptions) *Hub {
+	opts = opts.withDefaults()
+	return &Hub{
+		opts:   opts,
+		idx:    middleware.NewIndex(),
+		subs:   make(map[int]*Sub),
+		lastID: opts.FirstID - 1,
+	}
+}
+
+// Sub is one hub subscription: the server-side peer of an SSE
+// connection (or any other in-process consumer).
+type Sub struct {
+	// Pattern is the subscribed topic pattern.
+	Pattern string
+	// Gap reports that events between the subscriber's Last-Event-ID
+	// and the oldest retained entry had already expired from the replay
+	// ring at subscribe time — the resume could not be gapless.
+	Gap bool
+	// C delivers sequenced events. It is closed when the subscription
+	// ends: by Close, by hub shutdown, or by slow-consumer eviction
+	// (drain it to the end; buffered entries are still valid).
+	C <-chan Entry
+
+	hub     *Hub
+	id      int
+	ch      chan Entry
+	evicted bool // guarded by hub.mu
+}
+
+// Subscribe registers a subscriber for pattern. afterID > 0 requests
+// resume: every retained event with ID > afterID matching the pattern
+// is returned as replay (deliver it before reading C — entries arriving
+// on C are strictly newer, so the hand-off is gapless and duplicate-free).
+func (h *Hub) Subscribe(pattern string, afterID uint64) (*Sub, []Entry, error) {
+	if err := middleware.ValidatePattern(pattern); err != nil {
+		return nil, nil, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, nil, ErrHubClosed
+	}
+	sub := &Sub{
+		hub:     h,
+		id:      h.nextSubID,
+		Pattern: pattern,
+		ch:      make(chan Entry, h.opts.QueueLen),
+	}
+	sub.C = sub.ch
+	h.nextSubID++
+
+	var replay []Entry
+	if afterID > 0 && afterID != h.lastID {
+		n := len(h.ring)
+		for i := 0; i < n; i++ {
+			e := h.ring[(h.ringStart+i)%n]
+			if e.ID > afterID && middleware.Match(pattern, e.Event.Topic) {
+				replay = append(replay, e)
+			}
+		}
+		h.replayed += uint64(len(replay))
+		// The resume is gapless only when the ring still reaches back to
+		// afterID+1 (or the client is from a different ID epoch entirely).
+		switch {
+		case afterID > h.lastID:
+			sub.Gap = true // future/foreign ID: nothing to line up against
+		case n == 0 || h.ring[h.ringStart].ID > afterID+1:
+			sub.Gap = true
+		}
+	}
+
+	h.subs[sub.id] = sub
+	h.idx.Add(pattern, sub.id)
+	return sub, replay, nil
+}
+
+// Close ends the subscription and releases its queue.
+func (s *Sub) Close() {
+	h := s.hub
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.removeLocked(s)
+}
+
+// Evicted reports whether the hub dropped this subscriber for falling
+// behind (C is closed in that case).
+func (s *Sub) Evicted() bool {
+	s.hub.mu.Lock()
+	defer s.hub.mu.Unlock()
+	return s.evicted
+}
+
+// removeLocked detaches a subscription; idempotent.
+func (h *Hub) removeLocked(s *Sub) {
+	if _, ok := h.subs[s.id]; !ok {
+		return
+	}
+	delete(h.subs, s.id)
+	h.idx.Remove(s.Pattern, s.id)
+	close(s.ch)
+}
+
+// Publish sequences one event and fans it out. A subscriber whose queue
+// is full is evicted on the spot: unlike the in-process bus (at-most-once,
+// drop-on-overflow), the stream contract is "no silent gaps" — the
+// evicted consumer reconnects and resumes from the replay ring.
+func (h *Hub) Publish(ev middleware.Event) error {
+	if err := middleware.ValidateTopic(ev.Topic); err != nil {
+		return err
+	}
+	if ev.At.IsZero() {
+		ev.At = time.Now().UTC()
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return ErrHubClosed
+	}
+	h.lastID++
+	h.published++
+	e := Entry{ID: h.lastID, Event: ev}
+
+	if len(h.ring) < h.opts.History {
+		h.ring = append(h.ring, e)
+	} else {
+		h.ring[h.ringStart] = e
+		h.ringStart = (h.ringStart + 1) % len(h.ring)
+	}
+
+	var evict []*Sub
+	h.idx.Match(ev.Topic, func(id int) {
+		sub := h.subs[id]
+		if sub == nil {
+			return
+		}
+		select {
+		case sub.ch <- e:
+			h.delivered++
+		default:
+			evict = append(evict, sub)
+		}
+	})
+	for _, s := range evict {
+		s.evicted = true
+		h.evicted++
+		h.removeLocked(s)
+	}
+	return nil
+}
+
+// KickAll evicts every subscriber (each sees its channel close and, over
+// SSE, reconnects and resumes). An operational lever for draining a
+// service before shutdown or rebalancing, and the deterministic way to
+// exercise resume in tests. Returns how many were evicted.
+func (h *Hub) KickAll() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, s := range h.subs {
+		s.evicted = true
+		h.evicted++
+		h.removeLocked(s)
+		n++
+	}
+	return n
+}
+
+// LastID returns the most recently assigned event ID (FirstID-1 when
+// nothing has been published).
+func (h *Hub) LastID() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.lastID
+}
+
+// HubStats are cumulative hub counters.
+type HubStats struct {
+	Published   uint64 `json:"published"`
+	Delivered   uint64 `json:"delivered"`
+	Evicted     uint64 `json:"evicted"`
+	Replayed    uint64 `json:"replayed"`
+	Subscribers int    `json:"subscribers"`
+	Retained    int    `json:"retained"`
+}
+
+// Stats returns a snapshot of the hub counters.
+func (h *Hub) Stats() HubStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HubStats{
+		Published:   h.published,
+		Delivered:   h.delivered,
+		Evicted:     h.evicted,
+		Replayed:    h.replayed,
+		Subscribers: len(h.subs),
+		Retained:    len(h.ring),
+	}
+}
+
+// Close shuts the hub down; every subscriber's channel is closed.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for _, s := range h.subs {
+		h.removeLocked(s)
+	}
+}

@@ -1,0 +1,215 @@
+package stream
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/middleware"
+)
+
+// EventBus is the slice of bus behaviour the streaming service needs;
+// both *middleware.Bus and *middleware.Node satisfy it.
+type EventBus interface {
+	Subscribe(pattern string, h middleware.Handler) (*middleware.Subscription, error)
+	Publish(ev middleware.Event) error
+}
+
+// Options configure a Service.
+type Options struct {
+	// Hub configures the fan-out hub.
+	Hub HubOptions
+	// KeepAlive is the SSE comment heartbeat period, so half-open
+	// connections are detected. Zero means the default (15s).
+	KeepAlive time.Duration
+	// PublishLimiter, when set, rate-limits the /publish ingress per
+	// client IP (429 + Retry-After on rejection).
+	PublishLimiter *api.RateLimiter
+}
+
+// Service bundles a Hub with the bus it observes and the HTTP endpoints
+// that expose it: GET /v1/stream (SSE out) and POST /v1/publish (event
+// ingress). Every service that owns a bus mounts one on its api.Server.
+type Service struct {
+	hub       *Hub
+	bus       EventBus
+	sub       *middleware.Subscription
+	keepAlive time.Duration
+	limiter   *api.RateLimiter
+}
+
+// NewService creates a streaming service over bus: every event the bus
+// delivers flows into the hub (and out to SSE subscribers), and every
+// event POSTed to /publish flows into the bus (and so to its local
+// subscribers and back out the hub).
+func NewService(bus EventBus, opts Options) (*Service, error) {
+	hub := NewHub(opts.Hub)
+	sub, err := bus.Subscribe(middleware.WildcardRest, func(ev middleware.Event) {
+		_ = hub.Publish(ev)
+	})
+	if err != nil {
+		hub.Close()
+		return nil, err
+	}
+	keepAlive := opts.KeepAlive
+	if keepAlive <= 0 {
+		keepAlive = 15 * time.Second
+	}
+	return &Service{
+		hub:       hub,
+		bus:       bus,
+		sub:       sub,
+		keepAlive: keepAlive,
+		limiter:   opts.PublishLimiter,
+	}, nil
+}
+
+// Hub exposes the fan-out hub (stats, KickAll).
+func (s *Service) Hub() *Hub { return s.hub }
+
+// Close detaches from the bus and shuts the hub down; every SSE
+// subscriber's stream ends.
+func (s *Service) Close() {
+	s.sub.Unsubscribe()
+	s.hub.Close()
+}
+
+// Mount registers the streaming endpoints on an api.Server:
+//
+//	GET  /v1/stream?topic=<pattern>   Server-Sent Events (Last-Event-ID resume)
+//	POST /v1/publish                  body: middleware.Event JSON
+func (s *Service) Mount(srv *api.Server) {
+	srv.HandleFunc(http.MethodGet, "/stream", s.handleStream)
+	var publish http.Handler = api.Body(s.publish)
+	if s.limiter != nil {
+		publish = api.RateLimit(s.limiter)(publish)
+	}
+	srv.Handle(http.MethodPost, "/publish", publish)
+}
+
+// publish injects a remote event into the local bus.
+func (s *Service) publish(ctx context.Context, ev middleware.Event) (map[string]any, error) {
+	if err := middleware.ValidateTopic(ev.Topic); err != nil {
+		return nil, api.BadRequest(fmt.Errorf("bad topic %q: %w", ev.Topic, err))
+	}
+	if err := s.bus.Publish(ev); err != nil {
+		return nil, err
+	}
+	return map[string]any{"status": "published", "topic": ev.Topic}, nil
+}
+
+// lastEventID reads the resume position: the standard Last-Event-ID
+// header (what EventSource and our client send on reconnect) or a
+// lastId query parameter (curl-friendly).
+func lastEventID(r *http.Request) (uint64, error) {
+	raw := r.Header.Get("Last-Event-ID")
+	if raw == "" {
+		raw = r.URL.Query().Get("lastId")
+	}
+	if raw == "" {
+		return 0, nil
+	}
+	id, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad Last-Event-ID %q: %v", raw, err)
+	}
+	return id, nil
+}
+
+// writeEntry emits one SSE frame: id + JSON-encoded event.
+func writeEntry(w http.ResponseWriter, e Entry) error {
+	data, err := json.Marshal(e.Event)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\ndata: %s\n\n", e.ID, data)
+	return err
+}
+
+// handleStream serves one SSE subscription until the client goes away,
+// the hub evicts it, or the service closes.
+func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
+	pattern := r.URL.Query().Get("topic")
+	if pattern == "" {
+		pattern = middleware.WildcardRest
+	}
+	afterID, err := lastEventID(r)
+	if err != nil {
+		api.WriteError(w, r, api.BadRequest(err))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		api.WriteError(w, r, api.Internal(fmt.Errorf("response writer cannot stream")))
+		return
+	}
+	sub, replay, err := s.hub.Subscribe(pattern, afterID)
+	if err != nil {
+		api.WriteError(w, r, api.BadRequest(fmt.Errorf("bad pattern %q: %v", pattern, err)))
+		return
+	}
+	defer sub.Close()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream; charset=utf-8")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // keep reverse proxies from buffering
+	w.WriteHeader(http.StatusOK)
+	if _, err := fmt.Fprint(w, "retry: 1000\n\n"); err != nil {
+		return
+	}
+	if sub.Gap {
+		// The client resumed past the replay ring; it gets everything
+		// still retained plus a marker that the stream has a hole.
+		if _, err := fmt.Fprint(w, ": gap: resume point expired from replay buffer\n\n"); err != nil {
+			return
+		}
+	}
+	for _, e := range replay {
+		if err := writeEntry(w, e); err != nil {
+			return
+		}
+	}
+	flusher.Flush()
+
+	ticker := time.NewTicker(s.keepAlive)
+	defer ticker.Stop()
+	for {
+		select {
+		case e, ok := <-sub.C:
+			if !ok {
+				return // evicted or hub closed: client reconnects and resumes
+			}
+			if err := writeEntry(w, e); err != nil {
+				return
+			}
+			// Drain whatever queued behind it before flushing once.
+			for drained := true; drained; {
+				select {
+				case e, ok := <-sub.C:
+					if !ok {
+						flusher.Flush()
+						return
+					}
+					if err := writeEntry(w, e); err != nil {
+						return
+					}
+				default:
+					drained = false
+				}
+			}
+			flusher.Flush()
+		case <-ticker.C:
+			if _, err := fmt.Fprint(w, ": keep-alive\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

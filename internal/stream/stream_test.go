@@ -1,0 +1,472 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/middleware"
+)
+
+func event(topic, payload string) middleware.Event {
+	return middleware.Event{Topic: topic, Payload: []byte(payload)}
+}
+
+// collect drains n entries from a sub channel with a deadline.
+func collect(t *testing.T, c <-chan Entry, n int) []Entry {
+	t.Helper()
+	out := make([]Entry, 0, n)
+	deadline := time.After(5 * time.Second)
+	for len(out) < n {
+		select {
+		case e, ok := <-c:
+			if !ok {
+				t.Fatalf("channel closed after %d/%d entries", len(out), n)
+			}
+			out = append(out, e)
+		case <-deadline:
+			t.Fatalf("timeout after %d/%d entries", len(out), n)
+		}
+	}
+	return out
+}
+
+func TestHubFanoutFiltersByPattern(t *testing.T) {
+	h := NewHub(HubOptions{FirstID: 1})
+	defer h.Close()
+
+	all, _, err := h.Subscribe("#", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temp, _, err := h.Subscribe("measurements/+/temperature", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := h.Subscribe("bad//pattern", 0); err == nil {
+		t.Fatal("malformed pattern accepted")
+	}
+
+	for i, topic := range []string{
+		"measurements/d1/temperature",
+		"measurements/d1/humidity",
+		"registry/registered",
+		"measurements/d2/temperature",
+	} {
+		if err := h.Publish(event(topic, fmt.Sprint(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got := collect(t, all.C, 4)
+	for i := 1; i < len(got); i++ {
+		if got[i].ID != got[i-1].ID+1 {
+			t.Fatalf("IDs not monotonic: %d then %d", got[i-1].ID, got[i].ID)
+		}
+	}
+	filtered := collect(t, temp.C, 2)
+	for _, e := range filtered {
+		if !strings.HasSuffix(e.Event.Topic, "/temperature") {
+			t.Fatalf("pattern leak: %s", e.Event.Topic)
+		}
+	}
+	st := h.Stats()
+	if st.Published != 4 || st.Delivered != 6 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestHubReplayResume(t *testing.T) {
+	h := NewHub(HubOptions{FirstID: 1, History: 64})
+	defer h.Close()
+	for i := 1; i <= 10; i++ {
+		if err := h.Publish(event("a/b", fmt.Sprint(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Resume after ID 6: replay must be exactly 7..10, no gap flagged.
+	sub, replay, err := h.Subscribe("#", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Gap {
+		t.Fatal("gap reported though ring covers the resume point")
+	}
+	if len(replay) != 4 || replay[0].ID != 7 || replay[3].ID != 10 {
+		t.Fatalf("replay = %+v", replay)
+	}
+	// Live events continue the sequence with no duplicates.
+	if err := h.Publish(event("a/b", "11")); err != nil {
+		t.Fatal(err)
+	}
+	live := collect(t, sub.C, 1)
+	if live[0].ID != 11 {
+		t.Fatalf("live ID = %d, want 11", live[0].ID)
+	}
+}
+
+func TestHubReplayGapDetection(t *testing.T) {
+	h := NewHub(HubOptions{FirstID: 1, History: 4})
+	defer h.Close()
+	for i := 1; i <= 10; i++ { // ring retains only 7..10
+		if err := h.Publish(event("a/b", fmt.Sprint(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sub, replay, err := h.Subscribe("#", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sub.Gap {
+		t.Fatal("expired resume point not flagged as gap")
+	}
+	if len(replay) != 4 || replay[0].ID != 7 {
+		t.Fatalf("replay = %+v", replay)
+	}
+	// A current resume point stays gapless.
+	fresh, _, err := h.Subscribe("#", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Gap {
+		t.Fatal("up-to-date subscriber flagged as gapped")
+	}
+}
+
+func TestHubSlowConsumerEvictedWithoutStalling(t *testing.T) {
+	h := NewHub(HubOptions{FirstID: 1, QueueLen: 4})
+	defer h.Close()
+	slow, _, err := h.Subscribe("#", 0) // never drained
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, _, err := h.Subscribe("#", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var drained atomic.Int64
+	done := make(chan []Entry)
+	go func() {
+		var got []Entry
+		for e := range fast.C {
+			got = append(got, e)
+			drained.Add(1)
+		}
+		done <- got
+	}()
+
+	start := time.Now()
+	for i := 1; i <= 20; i++ {
+		if err := h.Publish(event("x/y", fmt.Sprint(i))); err != nil {
+			t.Fatal(err)
+		}
+		// Pace on the fast consumer so only the slow one builds backlog.
+		for drained.Load() < int64(i) && time.Since(start) < 5*time.Second {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("publish stalled behind slow consumer: %v for 20 events", d)
+	}
+	if !slow.Evicted() {
+		t.Fatal("slow consumer not evicted")
+	}
+	// The slow consumer's channel closes after its buffered entries.
+	n := 0
+	for range slow.C {
+		n++
+	}
+	if n != 4 {
+		t.Fatalf("slow consumer drained %d buffered entries, want 4", n)
+	}
+	h.Close()
+	got := <-done
+	if len(got) != 20 {
+		t.Fatalf("fast consumer saw %d/20 events", len(got))
+	}
+	if st := h.Stats(); st.Evicted != 1 {
+		t.Fatalf("evicted = %d", st.Evicted)
+	}
+}
+
+// newStreamServer wires a synchronous bus + stream service into a full
+// api.Server behind httptest (the complete middleware chain, gzip
+// included, exactly as a real service serves it).
+func newStreamServer(t *testing.T, opts Options) (*middleware.Bus, *Service, *httptest.Server) {
+	t.Helper()
+	bus := middleware.NewBus(middleware.BusOptions{QueueLen: -1})
+	if opts.Hub.FirstID == 0 {
+		opts.Hub.FirstID = 1
+	}
+	svc, err := NewService(bus, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := api.NewServer(api.Options{Service: "streamtest"})
+	svc.Mount(srv)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+		bus.Close()
+	})
+	return bus, svc, ts
+}
+
+func TestSSERoundTrip(t *testing.T) {
+	bus, svc, ts := newStreamServer(t, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	sub, err := Subscribe(ctx, ts.URL, "measurements/#", SubscribeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	// The SSE subscription races the first publish; wait for the hub to
+	// see the subscriber before publishing.
+	waitSubscribers(t, svc, 1)
+
+	want := map[string]bool{}
+	for i := 0; i < 5; i++ {
+		topic := fmt.Sprintf("measurements/dev%d/temperature", i)
+		want[topic] = true
+		if err := bus.Publish(middleware.Event{
+			Topic:   topic,
+			Payload: []byte(fmt.Sprintf(`{"n":%d}`, i)),
+			Headers: map[string]string{"content-type": "application/json"},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bus.Publish(event("other/topic", "filtered")) // must not arrive
+
+	for i := 0; i < 5; i++ {
+		select {
+		case ev := <-sub.Events:
+			if !want[ev.Topic] {
+				t.Fatalf("unexpected topic %s", ev.Topic)
+			}
+			delete(want, ev.Topic)
+			if ev.Headers["content-type"] != "application/json" {
+				t.Fatalf("headers lost: %+v", ev.Headers)
+			}
+			if ev.At.IsZero() {
+				t.Fatal("timestamp lost in transit")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out with %d topics outstanding", len(want))
+		}
+	}
+}
+
+func TestPublishIngressReachesBusAndStream(t *testing.T) {
+	bus, svc, ts := newStreamServer(t, Options{})
+	ctx := context.Background()
+
+	// A local bus subscriber and a remote SSE subscriber both see an
+	// event injected through the HTTP ingress.
+	local := make(chan middleware.Event, 1)
+	if _, err := bus.Subscribe("ingress/#", func(ev middleware.Event) { local <- ev }); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := Subscribe(ctx, ts.URL, "ingress/#", SubscribeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	waitSubscribers(t, svc, 1)
+
+	pub := &RemotePublisher{BaseURL: ts.URL}
+	if err := pub.Publish(event("ingress/x", "hello")); err != nil {
+		t.Fatal(err)
+	}
+	for name, ch := range map[string]<-chan middleware.Event{"local": local, "sse": sub.Events} {
+		select {
+		case ev := <-ch:
+			if ev.Topic != "ingress/x" || string(ev.Payload) != "hello" {
+				t.Fatalf("%s got %+v", name, ev)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s subscriber never saw the ingress event", name)
+		}
+	}
+
+	// Wildcard topics are rejected at the ingress.
+	if err := pub.Publish(middleware.Event{Topic: "bad/#", Payload: []byte("x")}); err == nil {
+		t.Fatal("wildcard topic accepted by ingress")
+	}
+}
+
+// TestSSEReconnectResumeExactlyOnce drives the full resume loop: the
+// hub evicts every SSE subscriber mid-stream (KickAll — the same path a
+// slow-consumer eviction or service drain takes), the client reconnects
+// on its own with Last-Event-ID, and the replay ring fills the gap so
+// the consumer sees every event exactly once.
+func TestSSEReconnectResumeExactlyOnce(t *testing.T) {
+	bus, svc, ts := newStreamServer(t, Options{Hub: HubOptions{History: 256}})
+	ctx := context.Background()
+
+	sub, err := Subscribe(ctx, ts.URL, "seq/#", SubscribeOptions{
+		BaseDelay: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	waitSubscribers(t, svc, 1)
+
+	publish := func(from, to int) {
+		for i := from; i <= to; i++ {
+			if err := bus.Publish(event("seq/n", fmt.Sprint(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	receive := func(n int) []string {
+		var out []string
+		deadline := time.After(10 * time.Second)
+		for len(out) < n {
+			select {
+			case ev, ok := <-sub.Events:
+				if !ok {
+					t.Fatalf("stream ended early (%v) after %d/%d", sub.Err(), len(out), n)
+				}
+				out = append(out, string(ev.Payload))
+			case <-deadline:
+				t.Fatalf("timeout after %d/%d events", len(out), n)
+			}
+		}
+		return out
+	}
+
+	publish(1, 10)
+	got := receive(10)
+
+	// Kill every server-side subscription; publish while the client is
+	// disconnected; the reconnect must replay exactly what was missed.
+	if n := svc.Hub().KickAll(); n != 1 {
+		t.Fatalf("kicked %d subscribers, want 1", n)
+	}
+	publish(11, 20)
+	waitSubscribers(t, svc, 1) // reconnected
+	publish(21, 25)
+	got = append(got, receive(15)...)
+
+	if sub.Reconnects() == 0 {
+		t.Fatal("client never reconnected")
+	}
+	seen := map[string]int{}
+	for _, p := range got {
+		seen[p]++
+	}
+	for i := 1; i <= 25; i++ {
+		if seen[fmt.Sprint(i)] != 1 {
+			t.Fatalf("event %d delivered %d times; all: %v", i, seen[fmt.Sprint(i)], got)
+		}
+	}
+}
+
+func TestBridgeMirrorsRemoteSubtree(t *testing.T) {
+	remoteBus, svc, ts := newStreamServer(t, Options{})
+	ctx := context.Background()
+
+	localBus := middleware.NewBus(middleware.BusOptions{QueueLen: -1})
+	defer localBus.Close()
+	mirrored := make(chan middleware.Event, 16)
+	if _, err := localBus.Subscribe("measurements/#", func(ev middleware.Event) { mirrored <- ev }); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := NewBridge(ctx, ts.URL, "measurements/#", localBus, SubscribeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	waitSubscribers(t, svc, 1)
+
+	if err := remoteBus.Publish(middleware.Event{
+		Topic: "measurements/d1/temperature", Payload: []byte("21.5"),
+		Headers: map[string]string{"content-type": "text/plain"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	remoteBus.Publish(event("registry/registered", "not-mirrored"))
+
+	select {
+	case ev := <-mirrored:
+		if ev.Topic != "measurements/d1/temperature" {
+			t.Fatalf("mirrored topic = %s", ev.Topic)
+		}
+		if ev.Headers[ViaHeader] != ts.URL {
+			t.Fatalf("via marker missing: %+v", ev.Headers)
+		}
+		if ev.Headers["content-type"] != "text/plain" {
+			t.Fatalf("original headers lost: %+v", ev.Headers)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("bridge never mirrored the event")
+	}
+
+	// Already-bridged events are not re-mirrored (loop protection).
+	if err := remoteBus.Publish(middleware.Event{
+		Topic: "measurements/d1/humidity", Payload: []byte("45"),
+		Headers: map[string]string{ViaHeader: "http://elsewhere"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Skipped() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if b.Skipped() != 1 {
+		t.Fatalf("loop protection skipped %d events, want 1", b.Skipped())
+	}
+	select {
+	case ev := <-mirrored:
+		t.Fatalf("bridged event re-mirrored: %+v", ev)
+	default:
+	}
+	if b.Mirrored() != 1 {
+		t.Fatalf("Mirrored = %d", b.Mirrored())
+	}
+}
+
+func TestPublishIngressRateLimited(t *testing.T) {
+	_, _, ts := newStreamServer(t, Options{
+		PublishLimiter: api.NewRateLimiter(1, 2), // 2-token burst, 1/s refill
+	})
+	pub := &RemotePublisher{BaseURL: ts.URL, Transport: &api.Transport{MaxAttempts: 1}}
+	if err := pub.Publish(event("a/b", "1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(event("a/b", "2")); err != nil {
+		t.Fatal(err)
+	}
+	err := pub.Publish(event("a/b", "3"))
+	var se *api.StatusError
+	if err == nil || !errors.As(err, &se) || se.Status != http.StatusTooManyRequests {
+		t.Fatalf("third publish = %v, want 429", err)
+	}
+}
+
+// waitSubscribers polls the hub until the subscriber count reaches n.
+func waitSubscribers(t *testing.T, svc *Service, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if svc.Hub().Stats().Subscribers >= n {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("hub never reached %d subscribers", n)
+}

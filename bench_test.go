@@ -834,3 +834,146 @@ func BenchmarkS2_StreamSSEFanout100(b *testing.B) {
 	waitDrained(b.N)
 	b.StopTimer()
 }
+
+// ---------------------------------------------------------------------
+// Q — the /v2 query data plane: cursor iteration vs range flattening in
+// the store, batch fan-in over HTTP, and row-at-a-time streaming.
+// ---------------------------------------------------------------------
+
+// Q1 — reading one large stored range. Query materializes the whole
+// range in a single slice (O(range) memory per call); the cursor
+// iterator walks it in bounded pages (O(page) memory), which is the
+// primitive under /v2 pagination and the NDJSON/CSV streams. Both
+// produce the same rows — the contrast is allocation shape.
+func BenchmarkQ1_TsdbIteratorVsQueryFlatten(b *testing.B) {
+	const n = 131072
+	key := tsdb.SeriesKey{Device: "urn:d", Quantity: "temperature"}
+	s := tsdb.New(tsdb.Options{MaxSamplesPerSeries: 1 << 20})
+	for i := 0; i < n; i++ {
+		if err := s.Append(key, tsdb.Sample{At: benchT0.Add(time.Duration(i) * time.Second), Value: float64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	from, to := benchT0, benchT0.Add(n*time.Second)
+	b.Run("op=query-flatten", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			samples, err := s.Query(key, from, to)
+			if err != nil || len(samples) != n {
+				b.Fatalf("flatten returned %d samples, err %v", len(samples), err)
+			}
+		}
+	})
+	for _, page := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("op=iter/page=%d", page), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				it := s.Iter(key, from, to, page)
+				rows := 0
+				for _, ok := it.Next(); ok; _, ok = it.Next() {
+					rows++
+				}
+				if err := it.Err(); err != nil || rows != n {
+					b.Fatalf("iterator returned %d rows, err %v", rows, err)
+				}
+			}
+		})
+	}
+}
+
+// benchV2Service builds a measurements DB (legacy aliases off, as the
+// binaries now run) pre-filled with devices×perSeries samples, serves
+// it over HTTP, and returns the /v2 sub-client.
+func benchV2Service(b *testing.B, devices, perSeries int) (*client.Measurements, func(int) string) {
+	b.Helper()
+	svc := measuredb.New(measuredb.Options{DisableLegacyAliases: true})
+	b.Cleanup(svc.Close)
+	device := func(d int) string {
+		return fmt.Sprintf("urn:district:turin/building:b%03d/device:d0", d)
+	}
+	store := svc.Store()
+	for d := 0; d < devices; d++ {
+		key := tsdb.SeriesKey{Device: device(d), Quantity: "temperature"}
+		for i := 0; i < perSeries; i++ {
+			if err := store.Append(key, tsdb.Sample{At: benchT0.Add(time.Duration(i) * time.Second), Value: float64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	ts := httptest.NewServer(svc.Handler())
+	b.Cleanup(ts.Close)
+	c := &client.Client{MaxAttempts: 1}
+	return c.Measurements(ts.URL), device
+}
+
+// Q2 — the dashboard-poll shape that motivated the redesign: reading a
+// summary of many series. Per-series issues one /v2 aggregate round
+// trip per device; batch resolves every selector in one POST /v2/query
+// with aggregate pushdown.
+func BenchmarkQ2_V2BatchQueryFanIn(b *testing.B) {
+	const devices, perSeries = 120, 50
+	mc, device := benchV2Service(b, devices, perSeries)
+	ctx := context.Background()
+
+	req := measuredb.BatchQuery{Aggregate: true}
+	for d := 0; d < devices; d++ {
+		req.Selectors = append(req.Selectors, measuredb.SeriesSelector{Device: device(d), Quantity: "temperature"})
+	}
+	b.Run(fmt.Sprintf("op=batch-aggregate/selectors=%d", devices), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rsp, err := mc.Query(ctx, req)
+			if err != nil || rsp.Series != devices {
+				b.Fatalf("batch resolved %+v, err %v", rsp, err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("op=per-series-aggregate/requests=%d", devices), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for d := 0; d < devices; d++ {
+				agg, err := mc.Aggregate(ctx, device(d), "temperature")
+				if err != nil || agg.Count != perSeries {
+					b.Fatalf("aggregate of device %d = %+v, err %v", d, agg, err)
+				}
+			}
+		}
+	})
+}
+
+// Q3 — shipping one large range to a client: auto-depaginating JSON
+// pages vs one row-at-a-time NDJSON stream. Neither endpoint holds the
+// range in memory; the stream also amortizes the HTTP round trips.
+func BenchmarkQ3_V2SamplesTransport(b *testing.B) {
+	const rows = 50000
+	mc, device := benchV2Service(b, 1, rows)
+	ctx := context.Background()
+
+	b.Run("op=json-pages/limit=1000", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			it := mc.Iter(ctx, device(0), "temperature", client.WithLimit(1000))
+			n := 0
+			for _, ok := it.Next(); ok; _, ok = it.Next() {
+				n++
+			}
+			if err := it.Err(); err != nil || n != rows {
+				b.Fatalf("depaginated %d rows over %d pages, err %v", n, it.Pages(), err)
+			}
+		}
+	})
+	b.Run("op=ndjson-stream", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st, err := mc.Stream(ctx, device(0), "temperature")
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := 0
+			for _, ok := st.Next(); ok; _, ok = st.Next() {
+				n++
+			}
+			err = st.Err()
+			st.Close()
+			if err != nil || n != rows {
+				b.Fatalf("streamed %d rows, err %v", n, err)
+			}
+		}
+	})
+}

@@ -34,6 +34,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "web service listen address")
 	synth := flag.Int("synth", 0, "generate a synthetic database of this size instead of loading -in")
 	seed := flag.Int64("seed", 1, "synthetic generation seed")
+	legacy := flag.Bool("legacy-aliases", false, "serve unversioned legacy route aliases (escape hatch)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "dbproxy: ", log.LstdFlags)
@@ -43,11 +44,11 @@ func main() {
 
 	switch *kind {
 	case "bim":
-		bound, closeFn, err = runBIM(*in, *format, *district, *masterURL, *addr, *synth, *seed)
+		bound, closeFn, err = runBIM(*in, *format, *district, *masterURL, *addr, *synth, *seed, *legacy)
 	case "sim":
-		bound, closeFn, err = runSIM(*in, *district, *masterURL, *addr, *synth, *seed)
+		bound, closeFn, err = runSIM(*in, *district, *masterURL, *addr, *synth, *seed, *legacy)
 	case "gis":
-		bound, closeFn, err = runGIS(*district, *masterURL, *addr, *synth, *seed)
+		bound, closeFn, err = runGIS(*district, *masterURL, *addr, *synth, *seed, *legacy)
 	default:
 		logger.Fatalf("unknown -kind %q (want bim, sim, or gis)", *kind)
 	}
@@ -63,7 +64,7 @@ func main() {
 	closeFn()
 }
 
-func runBIM(in, format, district, masterURL, addr string, synth int, seed int64) (string, func(), error) {
+func runBIM(in, format, district, masterURL, addr string, synth int, seed int64, legacy bool) (string, func(), error) {
 	var building *bim.Building
 	switch {
 	case synth > 0:
@@ -89,6 +90,7 @@ func runBIM(in, format, district, masterURL, addr string, synth int, seed int64)
 	if err != nil {
 		return "", nil, err
 	}
+	p.SetLegacyAliases(legacy)
 	bound, err := p.Run(addr, masterURL)
 	if err != nil {
 		return "", nil, err
@@ -96,7 +98,7 @@ func runBIM(in, format, district, masterURL, addr string, synth int, seed int64)
 	return bound, p.Close, nil
 }
 
-func runSIM(in, district, masterURL, addr string, synth int, seed int64) (string, func(), error) {
+func runSIM(in, district, masterURL, addr string, synth int, seed int64, legacy bool) (string, func(), error) {
 	var network *sim.Network
 	switch {
 	case synth > 0:
@@ -118,6 +120,7 @@ func runSIM(in, district, masterURL, addr string, synth int, seed int64) (string
 	if err != nil {
 		return "", nil, err
 	}
+	p.SetLegacyAliases(legacy)
 	bound, err := p.Run(addr, masterURL)
 	if err != nil {
 		return "", nil, err
@@ -125,7 +128,7 @@ func runSIM(in, district, masterURL, addr string, synth int, seed int64) (string
 	return bound, p.Close, nil
 }
 
-func runGIS(district, masterURL, addr string, synth int, seed int64) (string, func(), error) {
+func runGIS(district, masterURL, addr string, synth int, seed int64, legacy bool) (string, func(), error) {
 	store := gis.NewStore(0)
 	for i := 0; i < synth; i++ {
 		lat := 45.05 + float64((seed+int64(i))%40)*0.001
@@ -143,6 +146,7 @@ func runGIS(district, masterURL, addr string, synth int, seed int64) (string, fu
 		}
 	}
 	p := dbproxy.NewGISProxy(district, store)
+	p.SetLegacyAliases(legacy)
 	bound, err := p.Run(addr, masterURL)
 	if err != nil {
 		return "", nil, err

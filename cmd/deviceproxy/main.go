@@ -59,6 +59,7 @@ func main() {
 	poll := flag.Duration("poll", time.Second, "sampling period")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	rate := flag.Float64("rate", 0, "per-client rate limit on hot data routes, requests/second (0: unlimited)")
+	legacy := flag.Bool("legacy-aliases", false, "serve unversioned legacy route aliases (escape hatch)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "deviceproxy: ", log.LstdFlags)
@@ -103,15 +104,16 @@ func main() {
 	}
 
 	proxy, err := deviceproxy.New(deviceproxy.Options{
-		DeviceURI: *uri,
-		Name:      *protocol + " device",
-		Driver:    driver,
-		Senses:    []dataformat.Quantity{dataformat.Temperature, dataformat.Humidity},
-		Actuates:  actuates,
-		PollEvery: *poll,
-		Publisher: publisher,
-		MasterURL: *masterURL,
-		RateLimit: limiter,
+		DeviceURI:            *uri,
+		Name:                 *protocol + " device",
+		Driver:               driver,
+		Senses:               []dataformat.Quantity{dataformat.Temperature, dataformat.Humidity},
+		Actuates:             actuates,
+		PollEvery:            *poll,
+		Publisher:            publisher,
+		MasterURL:            *masterURL,
+		RateLimit:            limiter,
+		DisableLegacyAliases: !*legacy,
 	})
 	if err != nil {
 		logger.Fatalf("proxy: %v", err)

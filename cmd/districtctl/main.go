@@ -12,6 +12,13 @@
 //	districtctl -master ... control -proxy http://... -quantity state.switch -value 1
 //	districtctl -master ... watch "registry/#"
 //	districtctl -master ... watch -url http://measuredb:9002 "measurements/turin/#"
+//	districtctl -master ... series -url http://measuredb:9002 [-device 'urn:district:turin/*']
+//	districtctl -master ... samples -url http://measuredb:9002 -device <uri> -quantity temperature
+//
+// The CLI speaks the sub-client SDK: catalog commands ride
+// client.Catalog(), device reads/actuation client.Devices(), live
+// streams client.Streams(), and the measurements commands the /v2 data
+// plane through client.Measurements() (cursor depagination included).
 package main
 
 import (
@@ -62,6 +69,10 @@ func main() {
 		err = cmdReport(ctx, c, args)
 	case "watch":
 		err = cmdWatch(ctx, c, args)
+	case "series":
+		err = cmdSeries(ctx, c, args)
+	case "samples":
+		err = cmdSamples(ctx, c, args)
 	default:
 		usage()
 	}
@@ -71,8 +82,83 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: districtctl [-master URL] query|model|devices|latest|control|report|watch [options]")
+	fmt.Fprintln(os.Stderr, "usage: districtctl [-master URL] query|model|devices|latest|control|report|watch|series|samples [options]")
 	os.Exit(2)
+}
+
+// measureBase resolves the measurements-database base URL: the -url
+// flag, or the MeasureURI advertised by the master for the district.
+func measureBase(ctx context.Context, c *client.Client, urlFlag, district string) (string, error) {
+	if urlFlag != "" {
+		return urlFlag, nil
+	}
+	qr, err := c.Catalog().Query(ctx, district, client.Area{})
+	if err != nil {
+		return "", err
+	}
+	if qr.MeasureURI == "" {
+		return "", fmt.Errorf("district %s advertises no measurements database; pass -url", district)
+	}
+	return qr.MeasureURI, nil
+}
+
+// cmdSeries lists the measurement store's series catalog through the
+// /v2 data plane, depaginating transparently.
+func cmdSeries(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("series", flag.ExitOnError)
+	urlFlag := fs.String("url", "", "measurements DB base URL (default: resolve via the master)")
+	district := fs.String("district", "turin", "district (for -url resolution)")
+	device := fs.String("device", "", "device URI or glob filter ('*' matches any run)")
+	quantity := fs.String("quantity", "", "quantity or glob filter")
+	fs.Parse(args)
+	base, err := measureBase(ctx, c, *urlFlag, *district)
+	if err != nil {
+		return err
+	}
+	series, err := c.Measurements(base).AllSeries(ctx,
+		client.WithDevice(*device), client.WithQuantity(*quantity))
+	if err != nil {
+		return err
+	}
+	for _, s := range series {
+		fmt.Printf("  %-60s %-16s %d samples\n", s.Device, s.Quantity, s.Samples)
+	}
+	fmt.Printf("%d series\n", len(series))
+	return nil
+}
+
+// cmdSamples walks one series through the auto-depaginating iterator —
+// however long the range, the client holds one page at a time.
+func cmdSamples(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("samples", flag.ExitOnError)
+	urlFlag := fs.String("url", "", "measurements DB base URL (default: resolve via the master)")
+	district := fs.String("district", "turin", "district (for -url resolution)")
+	device := fs.String("device", "", "device URI (required)")
+	quantity := fs.String("quantity", "temperature", "quantity to read")
+	limit := fs.Int("limit", 500, "page size for the cursor walk")
+	fs.Parse(args)
+	if *device == "" {
+		return fmt.Errorf("missing -device")
+	}
+	base, err := measureBase(ctx, c, *urlFlag, *district)
+	if err != nil {
+		return err
+	}
+	it := c.Measurements(base).Iter(ctx, *device, *quantity, client.WithLimit(*limit))
+	n := 0
+	for {
+		p, ok := it.Next()
+		if !ok {
+			break
+		}
+		fmt.Printf("%s  %12.4f\n", p.At.Local().Format("2006-01-02 15:04:05.000"), p.Value)
+		n++
+	}
+	if err := it.Err(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%d samples over %d pages\n", n, it.Pages())
+	return nil
 }
 
 // cmdWatch tails a service's live event stream: by default the master
@@ -94,9 +180,9 @@ func cmdWatch(ctx context.Context, c *client.Client, args []string) error {
 	var sub *stream.Subscription
 	var err error
 	if *urlFlag == "" {
-		sub, err = c.Subscribe(ctx, pattern)
+		sub, err = c.Streams().Subscribe(ctx, pattern)
 	} else {
-		sub, err = c.SubscribeService(ctx, *urlFlag, pattern)
+		sub, err = c.Streams().SubscribeService(ctx, *urlFlag, pattern)
 	}
 	if err != nil {
 		return err
@@ -202,7 +288,7 @@ func cmdQuery(ctx context.Context, c *client.Client, args []string) error {
 	if err != nil {
 		return err
 	}
-	qr, err := c.Query(ctx, *district, area)
+	qr, err := c.Catalog().Query(ctx, *district, area)
 	if err != nil {
 		return err
 	}
@@ -254,7 +340,7 @@ func cmdDevices(ctx context.Context, c *client.Client, args []string) error {
 	if *entity == "" {
 		return fmt.Errorf("missing -entity")
 	}
-	devices, err := c.Devices(ctx, *entity)
+	devices, err := c.Catalog().Devices(ctx, *entity)
 	if err != nil {
 		return err
 	}
@@ -272,7 +358,7 @@ func cmdLatest(ctx context.Context, c *client.Client, args []string) error {
 	if *proxy == "" {
 		return fmt.Errorf("missing -proxy")
 	}
-	m, err := c.FetchLatest(ctx, *proxy, dataformat.Quantity(*quantity))
+	m, err := c.Devices().Latest(ctx, *proxy, dataformat.Quantity(*quantity))
 	if err != nil {
 		return err
 	}
@@ -290,7 +376,7 @@ func cmdControl(ctx context.Context, c *client.Client, args []string) error {
 	if *proxy == "" {
 		return fmt.Errorf("missing -proxy")
 	}
-	res, err := c.Control(ctx, *proxy, dataformat.Quantity(*quantity), *value)
+	res, err := c.Devices().Control(ctx, *proxy, dataformat.Quantity(*quantity), *value)
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/measuredb"
 )
 
 func main() {
@@ -26,6 +28,9 @@ func main() {
 	devices := flag.Int("devices", 4, "devices per building")
 	poll := flag.Duration("poll", time.Second, "device sampling period")
 	seed := flag.Int64("seed", 1, "synthetic generation seed")
+	legacy := flag.Bool("legacy-aliases", false, "serve unversioned legacy route aliases on every service (escape hatch)")
+	readRate := flag.Float64("read-rate", 0, "measurements DB read-tier rate limit per client IP (req/s, 0 = off)")
+	batchRate := flag.Float64("batch-rate", 0, "measurements DB /v2/query batch-tier rate limit per client IP (req/s, 0 = off)")
 	flag.Parse()
 
 	d, err := core.Bootstrap(core.Spec{
@@ -34,6 +39,9 @@ func main() {
 		DevicesPerBuilding: *devices,
 		PollEvery:          *poll,
 		Seed:               *seed,
+		LegacyAliases:      *legacy,
+		MeasureReadRate:    *readRate,
+		MeasureBatchRate:   *batchRate,
 	})
 	if err != nil {
 		log.Fatalf("bootstrap: %v", err)
@@ -50,11 +58,26 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	ticker := time.NewTicker(10 * time.Second)
 	defer ticker.Stop()
+	// The periodic report goes through the /v2 data plane over HTTP —
+	// one batch query aggregating every stored series — so the sim
+	// exercises the same path a remote dashboard would.
+	mc := d.Client().Measurements(d.MeasureURL)
+	ctx := context.Background()
 	for {
 		select {
 		case <-ticker.C:
 			st := d.Measure.Stats()
-			fmt.Fprintf(os.Stderr, "measurements: %d ingested, %d series\n", st.Ingested, st.Store.Series)
+			rsp, err := mc.Query(ctx, measuredb.BatchQuery{
+				Selectors: []measuredb.SeriesSelector{{Device: "*"}},
+				Aggregate: true,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "measurements: %d ingested, %d series (v2 batch query failed: %v)\n",
+					st.Ingested, st.Store.Series, err)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "measurements: %d ingested; v2 batch: %d series, %d samples aggregated\n",
+				st.Ingested, rsp.Series, rsp.Samples)
 		case <-sig:
 			fmt.Fprintln(os.Stderr, "shutting down")
 			d.Close()

@@ -25,13 +25,15 @@ func main() {
 	district := flag.String("district", "turin", "district to create at startup (empty: none)")
 	ttl := flag.Duration("ttl", 5*time.Minute, "proxy liveness TTL")
 	sweep := flag.Duration("sweep", time.Minute, "stale-registration sweep period (0 disables)")
+	legacy := flag.Bool("legacy-aliases", false, "serve unversioned legacy route aliases (escape hatch; versioned /v1 paths are always served)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
 	m := master.New(master.Options{
-		LivenessTTL: *ttl,
-		SweepEvery:  *sweep,
-		Logger:      logger,
+		LivenessTTL:          *ttl,
+		SweepEvery:           *sweep,
+		Logger:               logger,
+		DisableLegacyAliases: !*legacy,
 	})
 	if *district != "" {
 		uri, err := m.Ontology().AddDistrict(*district, *district)

@@ -19,6 +19,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/dataformat"
@@ -43,7 +44,7 @@ func main() {
 	c := district.Client()
 
 	// 1. Discover the switchable actuators in the district.
-	qr, err := c.Query(ctx, "turin", client.Area{})
+	qr, err := c.Catalog().Query(ctx, "turin", client.Area{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func main() {
 	}
 	var switches []actuator
 	for _, entity := range qr.Entities {
-		devices, err := c.Devices(ctx, entity.URI)
+		devices, err := c.Catalog().Devices(ctx, entity.URI)
 		if err != nil {
 			continue
 		}
@@ -60,7 +61,7 @@ func main() {
 			if d.ProxyURI == "" {
 				continue
 			}
-			info, err := c.FetchDeviceInfo(ctx, d.ProxyURI)
+			info, err := c.Devices().Info(ctx, d.ProxyURI)
 			if err != nil {
 				continue
 			}
@@ -88,7 +89,7 @@ func main() {
 
 	// 3b. Subscribe to the live measurement stream BEFORE shedding, so
 	// the confirmation samples cannot be missed.
-	sub, err := c.SubscribeService(ctx, district.MeasureURL, "measurements/turin/#")
+	sub, err := c.Streams().SubscribeService(ctx, district.MeasureURL, "measurements/turin/#")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func main() {
 	if solution.PlantOutputKW > peakKW {
 		fmt.Printf("peak threshold %.0f kW exceeded: shedding %d loads\n", peakKW, len(switches))
 		for _, sw := range switches {
-			res, err := c.Control(ctx, sw.proxyURI, dataformat.SwitchState, 0)
+			res, err := c.Devices().Control(ctx, sw.proxyURI, dataformat.SwitchState, 0)
 			if err != nil || !res.Applied {
 				fmt.Printf("  %-55s FAILED (%v)\n", sw.deviceURI, err)
 				continue
@@ -139,7 +140,7 @@ func main() {
 // fetchSolution reads a SIM proxy's /solution endpoint through the
 // master-resolved proxy URI.
 func fetchSolution(ctx context.Context, entityURI string, c *client.Client) *sim.Solution {
-	qr, err := c.Query(ctx, "turin", client.Area{})
+	qr, err := c.Catalog().Query(ctx, "turin", client.Area{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func fetchSolution(ctx context.Context, entityURI string, c *client.Client) *sim
 		if e.URI != entityURI || e.ProxyURI == "" {
 			continue
 		}
-		rsp, err := http.Get(e.ProxyURI + "solution")
+		rsp, err := http.Get(api.URL(e.ProxyURI, "solution"))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataformat"
 	"repro/internal/integration"
+	"repro/internal/measuredb"
 )
 
 func main() {
@@ -40,7 +41,7 @@ func main() {
 	// over HTTP — no middleware link needed, any host on the network
 	// could run this monitor against the service URL alone.
 	var live atomic.Int64
-	sub, err := c.SubscribeService(ctx, district.MeasureURL, "measurements/turin/#")
+	sub, err := c.Streams().SubscribeService(ctx, district.MeasureURL, "measurements/turin/#")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,6 +69,31 @@ func main() {
 		fmt.Printf("\n=== monitoring round %d (live events so far: %d) ===\n", round, live.Load())
 		printComfort(model)
 		printNetwork(model)
+	}
+
+	// One /v2 batch query replaces a per-series polling loop: every
+	// building's temperature series aggregates in a single round trip,
+	// pushed down into the store (no raw samples cross the wire).
+	mc := c.Measurements(district.MeasureURL)
+	batch := measuredb.BatchQuery{Aggregate: true}
+	for b := 0; b < 3; b++ {
+		batch.Selectors = append(batch.Selectors, measuredb.SeriesSelector{
+			Device:   fmt.Sprintf("urn:district:turin/building:b%02d/*", b),
+			Quantity: "temperature",
+		})
+	}
+	rsp, err := mc.Query(ctx, batch)
+	if err != nil {
+		log.Fatalf("batch query: %v", err)
+	}
+	fmt.Printf("\nper-building temperature (one batch query, %d series, %d samples aggregated):\n",
+		rsp.Series, rsp.Samples)
+	for _, res := range rsp.Results {
+		for _, series := range res.Series {
+			agg := series.Aggregate
+			fmt.Printf("  %-55s mean %6.2f degC over %d samples [%.2f..%.2f]\n",
+				series.Device, agg.Mean, agg.Count, agg.Min, agg.Max)
+		}
 	}
 
 	st := district.Measure.Stats()

@@ -38,17 +38,17 @@ func main() {
 	c := district.Client()
 
 	// Per-device view: protocol, capabilities, latest reading.
-	devices, err := c.Devices(ctx, "urn:district:turin/building:b00")
+	devices, err := c.Catalog().Devices(ctx, "urn:district:turin/building:b00")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("devices behind the building's proxies:")
 	for _, d := range devices {
-		info, err := c.FetchDeviceInfo(ctx, d.ProxyURI)
+		info, err := c.Devices().Info(ctx, d.ProxyURI)
 		if err != nil {
 			log.Fatalf("info %s: %v", d.URI, err)
 		}
-		m, err := c.FetchLatest(ctx, d.ProxyURI, dataformat.Temperature)
+		m, err := c.Devices().Latest(ctx, d.ProxyURI, dataformat.Temperature)
 		if err != nil {
 			log.Fatalf("latest %s: %v", d.URI, err)
 		}

@@ -35,16 +35,32 @@ import (
 // Version is the current API version prefix served by every Server.
 const Version = "v1"
 
+// Version2 is the resource-oriented query data plane prefix. /v2 routes
+// are registered explicitly (HandleV2 and friends), may carry {param}
+// path segments, and never get unversioned legacy aliases.
+const Version2 = "v2"
+
 // URL joins a service base URL (with or without a trailing slash) and
 // an endpoint path-and-query into a versioned request URL:
 // URL("http://h:1/", "/query?district=x") → "http://h:1/v1/query?district=x".
 // Every consumer of the versioned API builds URLs through this one
 // helper so the version prefix lives in a single place.
 func URL(base, pathAndQuery string) string {
+	return versionedURL(base, Version, pathAndQuery)
+}
+
+// URL2 builds a /v2 request URL the way URL builds /v1 ones. Path
+// segments holding reserved characters (device URIs contain "/") must be
+// escaped with url.PathEscape by the caller.
+func URL2(base, pathAndQuery string) string {
+	return versionedURL(base, Version2, pathAndQuery)
+}
+
+func versionedURL(base, version, pathAndQuery string) string {
 	if !strings.HasPrefix(pathAndQuery, "/") {
 		pathAndQuery = "/" + pathAndQuery
 	}
-	return strings.TrimSuffix(base, "/") + "/" + Version + pathAndQuery
+	return strings.TrimSuffix(base, "/") + "/" + version + pathAndQuery
 }
 
 // Options configure a Server.
@@ -69,19 +85,30 @@ type Logger interface {
 
 // route is one registered path with its per-method handlers.
 type route struct {
-	pattern  string // the unversioned path, e.g. "/query"
+	pattern  string // the metrics pattern, e.g. "/query" or "/v2/series"
 	handlers map[string]http.Handler
 	allow    string // precomputed Allow header value
 }
 
+// patternRoute is one /v2 route with {param} path segments. Matching
+// runs over the escaped request path, so a parameter value may itself
+// contain percent-encoded reserved characters (device URIs carry "/").
+type patternRoute struct {
+	route
+	segs []string // parsed pattern segments; "{name}" marks a parameter
+}
+
 // Server registers typed endpoints and serves them under /v1 plus
-// legacy aliases, wrapped in the standard middleware chain.
+// legacy aliases (and, when registered, resource-style /v2 routes),
+// wrapped in the standard middleware chain.
 type Server struct {
 	opts Options
 
-	mu      sync.RWMutex
-	routes  map[string]*route
-	metrics *Metrics
+	mu        sync.RWMutex
+	routes    map[string]*route
+	v2routes  map[string]*route // exact-path /v2 routes
+	v2pattern []*patternRoute   // {param} /v2 routes, in registration order
+	metrics   *Metrics
 
 	handlerOnce sync.Once
 	handler     http.Handler
@@ -91,9 +118,10 @@ type Server struct {
 // endpoints already registered.
 func NewServer(opts Options) *Server {
 	s := &Server{
-		opts:    opts,
-		routes:  make(map[string]*route),
-		metrics: NewMetrics(),
+		opts:     opts,
+		routes:   make(map[string]*route),
+		v2routes: make(map[string]*route),
+		metrics:  NewMetrics(),
 	}
 	s.HandleFunc(http.MethodGet, "/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -115,7 +143,10 @@ func NewServer(opts Options) *Server {
 			s.metrics.WritePrometheus(w, s.opts.Service)
 			return
 		}
-		WriteJSON(w, http.StatusOK, s.metrics.Snapshot())
+		WriteJSON(w, http.StatusOK, MetricsSnapshot{
+			Routes:   s.metrics.Snapshot(),
+			Limiters: s.metrics.Limiters(),
+		})
 	})
 	return s
 }
@@ -135,6 +166,11 @@ func (s *Server) Handle(method, path string, handler http.Handler) {
 		rt = &route{pattern: path, handlers: make(map[string]http.Handler)}
 		s.routes[path] = rt
 	}
+	rt.set(method, handler)
+}
+
+// set binds one method handler and refreshes the Allow header value.
+func (rt *route) set(method string, handler http.Handler) {
 	rt.handlers[method] = handler
 	methods := make([]string, 0, len(rt.handlers))
 	for m := range rt.handlers {
@@ -157,57 +193,201 @@ func (s *Server) Get(path string, fn func(ctx context.Context, q url.Values) (an
 	s.Handle(http.MethodGet, path, Query(fn))
 }
 
+// HandleV2 registers handler for method on a /v2 path. The path may
+// carry {param} segments ("/series/{device}/{quantity}/samples"); a
+// parameter matches exactly one path segment of the escaped request
+// path, so clients escape reserved characters inside a value with
+// url.PathEscape (a device URI's "/" travels as %2F). Matched values
+// are exposed through http.Request.PathValue. /v2 routes never get
+// unversioned legacy aliases.
+func (s *Server) HandleV2(method, path string, handler http.Handler) {
+	if !strings.HasPrefix(path, "/") {
+		panic(fmt.Sprintf("api: route %q must start with /", path))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !strings.Contains(path, "{") {
+		rt := s.v2routes[path]
+		if rt == nil {
+			rt = &route{pattern: "/" + Version2 + path, handlers: make(map[string]http.Handler)}
+			s.v2routes[path] = rt
+		}
+		rt.set(method, handler)
+		return
+	}
+	segs := strings.Split(strings.TrimPrefix(path, "/"), "/")
+	for _, seg := range segs {
+		if strings.HasPrefix(seg, "{") != strings.HasSuffix(seg, "}") ||
+			seg == "{}" || strings.Count(seg, "{") > 1 {
+			panic(fmt.Sprintf("api: malformed segment %q in route %q", seg, path))
+		}
+	}
+	for _, pr := range s.v2pattern {
+		if equalSegs(pr.segs, segs) {
+			pr.set(method, handler)
+			return
+		}
+	}
+	pr := &patternRoute{
+		route: route{pattern: "/" + Version2 + path, handlers: make(map[string]http.Handler)},
+		segs:  segs,
+	}
+	pr.set(method, handler)
+	s.v2pattern = append(s.v2pattern, pr)
+}
+
+// GetV2 registers a typed GET endpoint on a /v2 path, with path
+// parameters available through the Params accessor.
+func (s *Server) GetV2(path string, fn func(ctx context.Context, p Params, q url.Values) (any, error)) {
+	s.HandleV2(http.MethodGet, path, QueryP(fn))
+}
+
+// equalSegs reports whether two parsed patterns collide: literal
+// segments must match, parameter segments collide regardless of name.
+func equalSegs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		pa, pb := strings.HasPrefix(a[i], "{"), strings.HasPrefix(b[i], "{")
+		if pa != pb || (!pa && a[i] != b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// match tries the pattern against the escaped, version-stripped request
+// path, returning the decoded parameter values.
+func (pr *patternRoute) match(escPath string) (map[string]string, bool) {
+	segs := strings.Split(strings.TrimPrefix(escPath, "/"), "/")
+	if len(segs) != len(pr.segs) {
+		return nil, false
+	}
+	var params map[string]string
+	for i, ps := range pr.segs {
+		val, err := url.PathUnescape(segs[i])
+		if err != nil {
+			return nil, false
+		}
+		if strings.HasPrefix(ps, "{") {
+			if params == nil {
+				params = make(map[string]string, 2)
+			}
+			params[ps[1:len(ps)-1]] = val
+		} else if ps != val {
+			return nil, false
+		}
+	}
+	return params, true
+}
+
+// SetLegacyAliases toggles the unversioned route aliases at runtime
+// (services expose it so deployments can retire the aliases via a flag
+// without rebuilding their option structs).
+func (s *Server) SetLegacyAliases(enabled bool) {
+	s.mu.Lock()
+	s.opts.DisableLegacyAliases = !enabled
+	s.mu.Unlock()
+}
+
 // Metrics exposes the per-route counters.
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// stripVersion removes a leading /v1 segment, reporting whether the
-// request was explicitly versioned.
-func stripVersion(path string) (string, bool) {
-	const pfx = "/" + Version
-	if path == pfx {
-		return "/", true
+// stripVersion removes a leading version segment, reporting which
+// version prefixed the path ("" for unversioned legacy paths).
+func stripVersion(path string) (string, string) {
+	for _, v := range [...]string{Version, Version2} {
+		pfx := "/" + v
+		if path == pfx {
+			return "/", v
+		}
+		if strings.HasPrefix(path, pfx+"/") {
+			return path[len(pfx):], v
+		}
 	}
-	if strings.HasPrefix(path, pfx+"/") {
-		return path[len(pfx):], true
-	}
-	return path, false
+	return path, ""
 }
 
-// lookup resolves a request to (pattern, handler). Misses return a
-// pattern used for metrics bucketing and an envelope-writing handler.
-func (s *Server) lookup(method, rawPath string) (string, http.Handler) {
-	path, versioned := stripVersion(rawPath)
-	if !versioned && s.opts.DisableLegacyAliases {
-		return "404", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-			WriteError(w, r, NotFound(fmt.Errorf("unknown path %q (unversioned aliases disabled)", rawPath)))
-		})
-	}
-	s.mu.RLock()
-	rt := s.routes[path]
-	s.mu.RUnlock()
-	if rt == nil {
-		return "404", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-			WriteError(w, r, NotFound(fmt.Errorf("unknown path %q", rawPath)))
-		})
-	}
+// notFoundHandler writes the uniform 404 envelope for rawPath.
+func notFoundHandler(rawPath, hint string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		WriteError(w, r, NotFound(fmt.Errorf("unknown path %q%s", rawPath, hint)))
+	})
+}
+
+// resolve picks the method handler of a matched route, falling back to
+// the uniform 405 envelope (and GET for HEAD, as net/http does).
+func (rt *route) resolve(method string) http.Handler {
 	h := rt.handlers[method]
 	if h == nil && method == http.MethodHead {
-		h = rt.handlers[http.MethodGet] // net/http serves HEAD via GET
+		h = rt.handlers[http.MethodGet]
 	}
 	if h == nil {
-		allow := rt.allow
-		return rt.pattern, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		allow, pattern := rt.allow, rt.pattern
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Allow", allow)
-			WriteError(w, r, MethodNotAllowed(fmt.Errorf("method %s not allowed on %s (use %s)", method, rt.pattern, allow)))
+			WriteError(w, r, MethodNotAllowed(fmt.Errorf("method %s not allowed on %s (use %s)", method, pattern, allow)))
 		})
 	}
-	return rt.pattern, h
+	return h
+}
+
+// lookup resolves a request to (pattern, handler), setting any /v2 path
+// parameters on the request. Misses return a pattern used for metrics
+// bucketing and an envelope-writing handler.
+func (s *Server) lookup(r *http.Request) (string, http.Handler) {
+	rawPath := r.URL.Path
+	path, version := stripVersion(rawPath)
+	if version == Version2 {
+		return s.lookupV2(r, rawPath)
+	}
+	s.mu.RLock()
+	disabled := s.opts.DisableLegacyAliases
+	rt := s.routes[path]
+	s.mu.RUnlock()
+	if version == "" && disabled {
+		return "404", notFoundHandler(rawPath, " (unversioned aliases disabled)")
+	}
+	if rt == nil {
+		return "404", notFoundHandler(rawPath, "")
+	}
+	return rt.pattern, rt.resolve(r.Method)
+}
+
+// lookupV2 resolves a /v2 request: exact routes first, then pattern
+// routes over the escaped path (so percent-encoded reserved characters
+// inside one parameter survive segment splitting).
+func (s *Server) lookupV2(r *http.Request, rawPath string) (string, http.Handler) {
+	path, _ := stripVersion(rawPath)
+	s.mu.RLock()
+	rt := s.v2routes[path]
+	patterns := s.v2pattern
+	s.mu.RUnlock()
+	if rt == nil {
+		escPath, _ := stripVersion(r.URL.EscapedPath())
+		for _, pr := range patterns {
+			params, ok := pr.match(escPath)
+			if !ok {
+				continue
+			}
+			for k, v := range params {
+				r.SetPathValue(k, v)
+			}
+			rt = &pr.route
+			break
+		}
+	}
+	if rt == nil {
+		return "404", notFoundHandler(rawPath, "")
+	}
+	return rt.pattern, rt.resolve(r.Method)
 }
 
 // dispatch routes the request and records the matched pattern for the
 // observing middleware.
 func (s *Server) dispatch(w http.ResponseWriter, r *http.Request) {
-	pattern, h := s.lookup(r.Method, r.URL.Path)
+	pattern, h := s.lookup(r)
 	if ri := routeInfoFrom(r.Context()); ri != nil {
 		ri.Pattern = pattern
 	}

@@ -282,18 +282,123 @@ func TestBuiltinHealthzAndMetrics(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("/v1/metrics = %d", rec.Code)
 	}
-	var snaps []RouteSnapshot
-	if err := json.Unmarshal(rec.Body.Bytes(), &snaps); err != nil || len(snaps) == 0 {
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil || len(snap.Routes) == 0 {
 		t.Fatalf("metrics body = %q (%v)", rec.Body, err)
 	}
 	found := false
-	for _, s := range snaps {
+	for _, s := range snap.Routes {
 		if s.Route == "GET /hello" && s.Count >= 1 {
 			found = true
 		}
 	}
 	if !found {
-		t.Fatalf("GET /hello not counted: %+v", snaps)
+		t.Fatalf("GET /hello not counted: %+v", snap.Routes)
+	}
+}
+
+func TestMetricsExposesLimiterTiers(t *testing.T) {
+	s := testServer(Options{})
+	rl := NewRateLimiter(1, 1)
+	s.Metrics().RegisterLimiter("read", rl)
+	rl.Allow("10.0.0.1") // one admitted
+	rl.Allow("10.0.0.1") // one rejected (burst 1)
+
+	rec := get(t, s.Handler(), "/v1/metrics", nil)
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics body = %q (%v)", rec.Body, err)
+	}
+	if len(snap.Limiters) != 1 {
+		t.Fatalf("limiters = %+v", snap.Limiters)
+	}
+	l := snap.Limiters[0]
+	if l.Tier != "read" || l.Allowed != 1 || l.Rejected != 1 || l.Buckets != 1 {
+		t.Fatalf("limiter stats = %+v", l)
+	}
+
+	rec = get(t, s.Handler(), "/v1/metrics?format=prometheus", nil)
+	body := rec.Body.String()
+	for _, want := range []string{
+		`repro_rate_limit_allowed_total{service="",tier="read"} 1`,
+		`repro_rate_limit_rejected_total{service="",tier="read"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("prometheus exposition missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestV2ExactAndPatternRouting(t *testing.T) {
+	s := NewServer(Options{DisableGzip: true})
+	s.HandleV2(http.MethodPost, "/query", Body(func(ctx context.Context, in map[string]int) (map[string]int, error) {
+		return map[string]int{"n": in["n"] * 2}, nil
+	}))
+	s.GetV2("/series/{device}/{quantity}/samples", func(ctx context.Context, p Params, q url.Values) (any, error) {
+		return map[string]string{
+			"device":   p.Get("device"),
+			"quantity": p.Get("quantity"),
+			"limit":    q.Get("limit"),
+		}, nil
+	})
+	h := s.Handler()
+
+	// Exact /v2 route.
+	r := httptest.NewRequest(http.MethodPost, "/v2/query", strings.NewReader(`{"n":21}`))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, r)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"n":42`) {
+		t.Fatalf("/v2/query = %d %q", rec.Code, rec.Body)
+	}
+
+	// Pattern route with an escaped device URI (embedded slashes).
+	device := "urn:district:turin/building:b00/device:d01"
+	target := "/v2/series/" + url.PathEscape(device) + "/temperature/samples?limit=5"
+	rec = get(t, h, target, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("pattern route = %d %q", rec.Code, rec.Body)
+	}
+	var out map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["device"] != device || out["quantity"] != "temperature" || out["limit"] != "5" {
+		t.Fatalf("params = %+v", out)
+	}
+
+	// Wrong method on a matched pattern draws the uniform 405.
+	r = httptest.NewRequest(http.MethodDelete, target, nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, r)
+	if rec.Code != http.StatusMethodNotAllowed || rec.Header().Get("Allow") != "GET" {
+		t.Fatalf("pattern 405 = %d Allow=%q", rec.Code, rec.Header().Get("Allow"))
+	}
+
+	// /v2 misses draw the envelope; /v2 routes have no legacy aliases.
+	if rec := get(t, h, "/v2/nope", nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("/v2 miss = %d", rec.Code)
+	}
+	if rec := get(t, h, "/series/x/y/samples", nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("unversioned v2 path = %d, want 404", rec.Code)
+	}
+}
+
+func TestSetLegacyAliasesAtRuntime(t *testing.T) {
+	s := testServer(Options{})
+	h := s.Handler()
+	if rec := get(t, h, "/hello?name=a", nil); rec.Code != http.StatusOK {
+		t.Fatalf("alias before disable = %d", rec.Code)
+	}
+	s.SetLegacyAliases(false)
+	if rec := get(t, h, "/hello?name=a", nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("alias after disable = %d", rec.Code)
+	}
+	if rec := get(t, h, "/v1/hello?name=a", nil); rec.Code != http.StatusOK {
+		t.Fatalf("versioned path after disable = %d", rec.Code)
+	}
+	s.SetLegacyAliases(true)
+	if rec := get(t, h, "/hello?name=a", nil); rec.Code != http.StatusOK {
+		t.Fatalf("alias after re-enable = %d", rec.Code)
 	}
 }
 

@@ -55,6 +55,31 @@ func Query[Resp any](fn func(ctx context.Context, q url.Values) (Resp, error)) h
 	})
 }
 
+// Params exposes the {param} path values a /v2 pattern route matched on
+// the request.
+type Params struct{ r *http.Request }
+
+// Get returns the decoded value of one named path parameter ("" when
+// the route has no such parameter).
+func (p Params) Get(name string) string { return p.r.PathValue(name) }
+
+// ParamsOf exposes the path parameters of a request to handlers that
+// bypass the typed adapters (streaming endpoints).
+func ParamsOf(r *http.Request) Params { return Params{r: r} }
+
+// QueryP adapts a typed endpoint that reads both /v2 path parameters
+// and query values; otherwise identical to Query.
+func QueryP[Resp any](fn func(ctx context.Context, p Params, q url.Values) (Resp, error)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		out, err := fn(r.Context(), Params{r: r}, r.URL.Query())
+		if err != nil {
+			WriteError(w, r, err)
+			return
+		}
+		writeResult(w, r, out)
+	})
+}
+
 // Body adapts a typed JSON-body endpoint: the request body is decoded
 // into Req before fn runs. Decode failures map to 400.
 func Body[Req, Resp any](fn func(ctx context.Context, in Req) (Resp, error)) http.Handler {

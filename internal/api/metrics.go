@@ -13,8 +13,15 @@ import (
 // "METHOD pattern" (the matched pattern, not the raw path, so metrics
 // cardinality stays bounded under hostile paths).
 type Metrics struct {
-	mu     sync.Mutex
-	routes map[string]*routeStats
+	mu       sync.Mutex
+	routes   map[string]*routeStats
+	limiters []limiterEntry
+}
+
+// limiterEntry labels one registered rate limiter with its tier.
+type limiterEntry struct {
+	tier string
+	rl   *RateLimiter
 }
 
 type routeStats struct {
@@ -57,6 +64,41 @@ type RouteSnapshot struct {
 	MeanMs  float64 `json:"meanMs"`
 	MaxMs   float64 `json:"maxMs"`
 	TotalMs float64 `json:"totalMs"`
+}
+
+// RegisterLimiter labels a rate limiter with its route-class tier
+// ("read", "batch", "publish", ...) and includes its counters in the
+// metrics endpoints. Registering the same limiter again under the same
+// tier is a no-op.
+func (m *Metrics) RegisterLimiter(tier string, rl *RateLimiter) {
+	if rl == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, e := range m.limiters {
+		if e.tier == tier && e.rl == rl {
+			return
+		}
+	}
+	m.limiters = append(m.limiters, limiterEntry{tier: tier, rl: rl})
+}
+
+// Limiters returns a stats snapshot of every registered limiter, sorted
+// by tier.
+func (m *Metrics) Limiters() []LimiterStats {
+	m.mu.Lock()
+	entries := make([]limiterEntry, len(m.limiters))
+	copy(entries, m.limiters)
+	m.mu.Unlock()
+	out := make([]LimiterStats, 0, len(entries))
+	for _, e := range entries {
+		st := e.rl.Stats()
+		st.Tier = e.tier
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tier < out[j].Tier })
+	return out
 }
 
 // Snapshot returns the counters of every route, sorted by route key.
@@ -109,4 +151,29 @@ func (m *Metrics) WritePrometheus(w io.Writer, service string) {
 		func(s RouteSnapshot) float64 { return s.TotalMs / 1e3 })
 	emit("repro_http_request_duration_seconds_max", "Slowest handler time, by route.", "gauge",
 		func(s RouteSnapshot) float64 { return s.MaxMs / 1e3 })
+
+	limiters := m.Limiters()
+	if len(limiters) == 0 {
+		return
+	}
+	emitL := func(name, help, typ string, value func(LimiterStats) float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, l := range limiters {
+			fmt.Fprintf(w, "%s{service=%q,tier=%q} %g\n",
+				name, escapeLabel(service), escapeLabel(l.Tier), value(l))
+		}
+	}
+	emitL("repro_rate_limit_allowed_total", "Requests admitted by the tier's limiter.", "counter",
+		func(l LimiterStats) float64 { return float64(l.Allowed) })
+	emitL("repro_rate_limit_rejected_total", "Requests rejected with 429 by the tier's limiter.", "counter",
+		func(l LimiterStats) float64 { return float64(l.Rejected) })
+	emitL("repro_rate_limit_buckets", "Live per-client buckets held by the tier's limiter.", "gauge",
+		func(l LimiterStats) float64 { return float64(l.Buckets) })
+}
+
+// MetricsSnapshot is the JSON body of /v1/metrics: per-route counters
+// plus, when limiters are registered, per-tier limiter stats.
+type MetricsSnapshot struct {
+	Routes   []RouteSnapshot `json:"routes"`
+	Limiters []LimiterStats  `json:"limiters,omitempty"`
 }

@@ -24,6 +24,9 @@ type RateLimiter struct {
 	mu      sync.Mutex
 	buckets map[string]*bucket
 	now     func() time.Time // test hook
+
+	allowed  uint64
+	rejected uint64
 }
 
 type bucket struct {
@@ -81,10 +84,35 @@ func (rl *RateLimiter) Allow(key string) (bool, time.Duration) {
 	}
 	if b.tokens >= 1 {
 		b.tokens--
+		rl.allowed++
 		return true, 0
 	}
+	rl.rejected++
 	wait := time.Duration((1 - b.tokens) / rl.Rate * float64(time.Second))
 	return false, wait
+}
+
+// LimiterStats is a snapshot of one limiter's configuration and
+// cumulative counters; Tier is the route-class label the limiter was
+// registered under (Metrics.RegisterLimiter).
+type LimiterStats struct {
+	Tier     string  `json:"tier,omitempty"`
+	Rate     float64 `json:"rate"`
+	Burst    float64 `json:"burst"`
+	Allowed  uint64  `json:"allowed"`
+	Rejected uint64  `json:"rejected"`
+	Buckets  int     `json:"buckets"`
+}
+
+// Stats returns a snapshot of the limiter counters.
+func (rl *RateLimiter) Stats() LimiterStats {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	return LimiterStats{
+		Rate: rl.Rate, Burst: rl.Burst,
+		Allowed: rl.allowed, Rejected: rl.rejected,
+		Buckets: len(rl.buckets),
+	}
 }
 
 // pruneLocked drops buckets that have fully refilled (forgetting them

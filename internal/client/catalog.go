@@ -1,0 +1,77 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/url"
+
+	"repro/internal/api"
+	"repro/internal/dataformat"
+	"repro/internal/master"
+	"repro/internal/ontology"
+)
+
+// Catalog is the master-node sub-client: the redirection step of the
+// paper's flow. It answers "what exists where" — area queries, device
+// resolution, the ontology — and returns the proxy URIs the data
+// sub-clients then talk to directly.
+type Catalog struct {
+	c *Client
+}
+
+// Catalog returns the master-node sub-client.
+func (c *Client) Catalog() *Catalog { return &Catalog{c: c} }
+
+// Query asks the master node for the entities of an area and their
+// proxy URIs.
+func (cc *Catalog) Query(ctx context.Context, district string, area Area) (*master.QueryResponse, error) {
+	u := cc.c.masterURL("/query") + "?district=" + url.QueryEscape(district)
+	if !area.Empty() {
+		u += fmt.Sprintf("&minLat=%g&minLon=%g&maxLat=%g&maxLon=%g",
+			area.MinLat, area.MinLon, area.MaxLat, area.MaxLon)
+	}
+	var out master.QueryResponse
+	if err := cc.c.getJSON(ctx, u, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Devices asks the master node for the device leaves of an entity.
+func (cc *Catalog) Devices(ctx context.Context, entityURI string) ([]ontology.Resolution, error) {
+	var out []ontology.Resolution
+	err := cc.c.getJSON(ctx, cc.c.masterURL("/devices")+"?entity="+url.QueryEscape(entityURI), &out)
+	return out, err
+}
+
+// Districts lists the districts the master node serves.
+func (cc *Catalog) Districts(ctx context.Context) ([]string, error) {
+	var out []string
+	err := cc.c.getJSON(ctx, cc.c.masterURL("/districts"), &out)
+	return out, err
+}
+
+// Ontology retrieves an ontology subtree as a common-format entity.
+func (cc *Catalog) Ontology(ctx context.Context, uri string) (*dataformat.Entity, error) {
+	doc, err := cc.c.transport().GetDoc(ctx, cc.c.masterURL("/ontology")+"?uri="+url.QueryEscape(uri), cc.c.enc())
+	if err != nil {
+		return nil, err
+	}
+	if doc.Entity == nil {
+		return nil, fmt.Errorf("client: ontology returned a %q document, want entity", doc.Kind)
+	}
+	return doc.Entity, nil
+}
+
+// Proxies lists the live proxy registrations.
+func (cc *Catalog) Proxies(ctx context.Context) ([]map[string]any, error) {
+	var out []map[string]any
+	err := cc.c.getJSON(ctx, cc.c.masterURL("/proxies"), &out)
+	return out, err
+}
+
+// joinURL appends a versioned path segment to a proxy base URL that may
+// or may not end with a slash.
+func joinURL(base, path string) string {
+	return api.URL(base, path)
+}

@@ -5,21 +5,34 @@
 // aggregate), and integrates everything into a comprehensive AreaModel
 // via the integration engine.
 //
-// All methods take a context.Context, speak the versioned /v1 API, and
-// ride the shared retrying transport (internal/api): transient failures
-// back off exponentially with jitter, and concurrent proxy fetches
-// reuse pooled keep-alive connections under the configured concurrency
-// bound.
+// The library is organised as typed sub-clients over one shared
+// transport, mirroring the service surfaces:
+//
+//	c.Catalog()                  master node: area queries, device
+//	                             resolution, ontology, registrations
+//	c.Measurements(baseURL)      measurements DB /v2 data plane: batch
+//	                             query, cursor pages, auto-depaginating
+//	                             iterator, NDJSON streaming
+//	c.Devices()                  device proxies: info/latest/data reads
+//	                             and (batch) actuation
+//	c.Streams()                  live SSE subscriptions + publish ingress
+//
+// All methods take a context.Context, speak the versioned /v1 and /v2
+// APIs, and ride the shared retrying transport (internal/api):
+// transient failures back off exponentially with jitter, and concurrent
+// proxy fetches reuse pooled keep-alive connections under the
+// configured concurrency bound.
+//
+// The pre-redesign monolithic methods survive as thin deprecated
+// forwarders, except Devices(ctx, entity) — its name now returns the
+// device sub-client; use Catalog().Devices instead.
 package client
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
-	"net/url"
-	"strings"
 	"sync"
 	"time"
 
@@ -29,11 +42,12 @@ import (
 	"repro/internal/integration"
 	"repro/internal/master"
 	"repro/internal/middleware"
-	"repro/internal/ontology"
 	"repro/internal/stream"
 )
 
-// Client talks to one master node and the proxies it redirects to.
+// Client talks to one master node and the proxies it redirects to. It
+// is the root of the sub-client family; the sub-clients share its
+// transport, encoding, and retry configuration.
 type Client struct {
 	// MasterURL is the master node's base URL.
 	MasterURL string
@@ -104,29 +118,8 @@ func (c *Client) getJSON(ctx context.Context, rawURL string, v any) error {
 	return nil
 }
 
-// Query asks the master node for the entities of an area and their
-// proxy URIs — the redirection step of the paper's flow.
-func (c *Client) Query(ctx context.Context, district string, area Area) (*master.QueryResponse, error) {
-	u := c.masterURL("/query") + "?district=" + url.QueryEscape(district)
-	if !area.Empty() {
-		u += fmt.Sprintf("&minLat=%g&minLon=%g&maxLat=%g&maxLon=%g",
-			area.MinLat, area.MinLon, area.MaxLat, area.MaxLon)
-	}
-	var out master.QueryResponse
-	if err := c.getJSON(ctx, u, &out); err != nil {
-		return nil, err
-	}
-	return &out, nil
-}
-
-// Devices asks the master node for the device leaves of an entity.
-func (c *Client) Devices(ctx context.Context, entityURI string) ([]ontology.Resolution, error) {
-	var out []ontology.Resolution
-	err := c.getJSON(ctx, c.masterURL("/devices")+"?entity="+url.QueryEscape(entityURI), &out)
-	return out, err
-}
-
-// FetchModel retrieves a proxy's translated model document.
+// FetchModel retrieves a Database-proxy's translated model document
+// (BIM building, SIM network).
 func (c *Client) FetchModel(ctx context.Context, proxyURI string) (*dataformat.Entity, error) {
 	doc, err := c.transport().GetDoc(ctx, joinURL(proxyURI, "model"), c.enc())
 	if err != nil {
@@ -154,117 +147,77 @@ func (c *Client) FetchGISFeatures(ctx context.Context, gisURI string, area Area)
 	return doc.Entities, nil
 }
 
+// ---------------------------------------------------------------------
+// Deprecated monolithic surface: thin forwarders onto the sub-clients,
+// kept so pre-redesign consumers keep compiling during the migration.
+// ---------------------------------------------------------------------
+
+// Query asks the master node for the entities of an area.
+//
+// Deprecated: use Catalog().Query.
+func (c *Client) Query(ctx context.Context, district string, area Area) (*master.QueryResponse, error) {
+	return c.Catalog().Query(ctx, district, area)
+}
+
 // FetchDeviceInfo retrieves a device proxy's description document.
+//
+// Deprecated: use Devices().Info.
 func (c *Client) FetchDeviceInfo(ctx context.Context, proxyURI string) (*dataformat.DeviceInfo, error) {
-	doc, err := c.transport().GetDoc(ctx, joinURL(proxyURI, "info"), c.enc())
-	if err != nil {
-		return nil, err
-	}
-	if doc.Device == nil {
-		return nil, fmt.Errorf("client: %s returned a %q document, want device-info", proxyURI, doc.Kind)
-	}
-	return doc.Device, nil
+	return c.Devices().Info(ctx, proxyURI)
 }
 
 // FetchLatest retrieves a device proxy's freshest sample of a quantity.
+//
+// Deprecated: use Devices().Latest.
 func (c *Client) FetchLatest(ctx context.Context, proxyURI string, q dataformat.Quantity) (*dataformat.Measurement, error) {
-	u := joinURL(proxyURI, "latest") + "?quantity=" + url.QueryEscape(string(q))
-	doc, err := c.transport().GetDoc(ctx, u, c.enc())
-	if err != nil {
-		return nil, err
-	}
-	if doc.Measurement == nil {
-		return nil, fmt.Errorf("client: %s returned a %q document, want measurement", proxyURI, doc.Kind)
-	}
-	return doc.Measurement, nil
+	return c.Devices().Latest(ctx, proxyURI, q)
 }
 
 // FetchData retrieves a device proxy's buffered samples of a quantity.
+//
+// Deprecated: use Devices().Data.
 func (c *Client) FetchData(ctx context.Context, proxyURI string, q dataformat.Quantity, from, to time.Time) ([]dataformat.Measurement, error) {
-	u := joinURL(proxyURI, "data") + "?quantity=" + url.QueryEscape(string(q))
-	if !from.IsZero() {
-		u += "&from=" + url.QueryEscape(from.Format(time.RFC3339))
-	}
-	if !to.IsZero() {
-		u += "&to=" + url.QueryEscape(to.Format(time.RFC3339))
-	}
-	doc, err := c.transport().GetDoc(ctx, u, c.enc())
-	if err != nil {
-		return nil, err
-	}
-	return doc.Measurements, nil
+	return c.Devices().Data(ctx, proxyURI, q, from, to)
 }
 
-// Control issues an actuation command through a device proxy. Controls
-// are not idempotent, so this path never retries: one attempt, pass or
-// fail.
+// Control issues an actuation command through a device proxy.
+//
+// Deprecated: use Devices().Control.
 func (c *Client) Control(ctx context.Context, proxyURI string, q dataformat.Quantity, value float64) (*dataformat.ControlResult, error) {
-	body, err := json.Marshal(map[string]any{"quantity": q, "value": value})
-	if err != nil {
-		return nil, err
-	}
-	tr := &api.Transport{Client: c.HTTP, MaxAttempts: 1}
-	h := http.Header{
-		"Content-Type": {"application/json"},
-		"Accept":       {c.enc().ContentType()},
-	}
-	raw, rsp, err := tr.Do(ctx, http.MethodPost, joinURL(proxyURI, "control"), h, body)
-	if err != nil {
-		return nil, err
-	}
-	ct, _, _ := strings.Cut(rsp.Header.Get("Content-Type"), ";")
-	doc, err := dataformat.Decode(raw, dataformat.ParseEncoding(strings.TrimSpace(ct)))
-	if err != nil {
-		return nil, err
-	}
-	if doc.Control == nil {
-		return nil, fmt.Errorf("client: control returned a %q document", doc.Kind)
-	}
-	return doc.Control, nil
+	return c.Devices().Control(ctx, proxyURI, q, value)
 }
 
-// ControlBatch issues many actuation commands to one device proxy in a
-// single round trip (POST /v1/devices/actuate). Like Control, the path
-// never retries: actuation is not idempotent.
+// ControlBatch issues many actuation commands in one round trip.
+//
+// Deprecated: use Devices().ControlBatch.
 func (c *Client) ControlBatch(ctx context.Context, proxyURI string, cmds []deviceproxy.ControlRequest) (*deviceproxy.BatchResponse, error) {
-	if len(cmds) == 0 {
-		return nil, errors.New("client: empty command batch")
-	}
-	tr := &api.Transport{Client: c.HTTP, MaxAttempts: 1}
-	var out deviceproxy.BatchResponse
-	err := tr.PostJSON(ctx, joinURL(proxyURI, "devices/actuate"),
-		deviceproxy.BatchRequest{Commands: cmds}, &out)
-	if err != nil {
-		return nil, err
-	}
-	return &out, nil
+	return c.Devices().ControlBatch(ctx, proxyURI, cmds)
 }
 
-// Subscribe opens a live subscription to the master node's event stream
-// (registry lifecycle topics) for a topic pattern. The subscription
-// reconnects automatically and resumes with Last-Event-ID, so consumers
-// see each event at most once with no gaps across a reconnect.
+// Subscribe opens a live subscription to the master node's stream.
+//
+// Deprecated: use Streams().Subscribe.
 func (c *Client) Subscribe(ctx context.Context, pattern string) (*stream.Subscription, error) {
-	return stream.Subscribe(ctx, c.MasterURL, pattern, stream.SubscribeOptions{})
+	return c.Streams().Subscribe(ctx, pattern)
 }
 
-// SubscribeService opens a live subscription to any streaming service of
-// the infrastructure (measurements database, a device proxy) by its base
-// URL — the redirection pattern of the paper applied to live data: the
-// master's query response carries the URIs, the client subscribes to the
-// source directly.
+// SubscribeService opens a live subscription to any streaming service.
+//
+// Deprecated: use Streams().SubscribeService.
 func (c *Client) SubscribeService(ctx context.Context, serviceURL, pattern string) (*stream.Subscription, error) {
-	return stream.Subscribe(ctx, serviceURL, pattern, stream.SubscribeOptions{})
+	return c.Streams().SubscribeService(ctx, serviceURL, pattern)
 }
 
-// PublishEvent injects one event into a remote service's bus through its
-// /v1/publish ingress. Like Control, it never retries: injection is not
-// idempotent, and a retry after a lost response would duplicate the
-// event in every downstream store.
+// PublishEvent injects one event into a remote service's bus.
+//
+// Deprecated: use Streams().Publish.
 func (c *Client) PublishEvent(ctx context.Context, serviceURL string, ev middleware.Event) error {
-	tr := &api.Transport{Client: c.HTTP, MaxAttempts: 1}
-	return tr.PostJSON(ctx, api.URL(serviceURL, "/publish"), ev, nil)
+	return c.Streams().Publish(ctx, serviceURL, ev)
 }
+
+// ---------------------------------------------------------------------
+// Integration flow
+// ---------------------------------------------------------------------
 
 // BuildOptions tune BuildAreaModel.
 type BuildOptions struct {
@@ -282,7 +235,7 @@ type BuildOptions struct {
 // → parallel proxy fetches → integration into a comprehensive model.
 // Cancelling ctx aborts in-flight fetches and backoff sleeps.
 func (c *Client) BuildAreaModel(ctx context.Context, district string, area Area, opts BuildOptions) (*integration.AreaModel, error) {
-	qr, err := c.Query(ctx, district, area)
+	qr, err := c.Catalog().Query(ctx, district, area)
 	if err != nil {
 		return nil, err
 	}
@@ -350,11 +303,12 @@ func (c *Client) BuildAreaModel(ctx context.Context, district string, area Area,
 
 // fetchDevices pulls device info + data for one entity's devices.
 func (c *Client) fetchDevices(ctx context.Context, merger *integration.Merger, entityURI string, opts BuildOptions, fail func(error)) {
-	devices, err := c.Devices(ctx, entityURI)
+	devices, err := c.Catalog().Devices(ctx, entityURI)
 	if err != nil {
 		fail(fmt.Errorf("devices of %s: %w", entityURI, err))
 		return
 	}
+	dc := c.Devices()
 	for _, d := range devices {
 		if d.ProxyURI == "" {
 			continue
@@ -363,7 +317,7 @@ func (c *Client) fetchDevices(ctx context.Context, merger *integration.Merger, e
 			fail(ctx.Err())
 			return
 		}
-		info, err := c.FetchDeviceInfo(ctx, d.ProxyURI)
+		info, err := dc.Info(ctx, d.ProxyURI)
 		if err != nil {
 			fail(fmt.Errorf("info of %s: %w", d.URI, err))
 			continue
@@ -374,23 +328,17 @@ func (c *Client) fetchDevices(ctx context.Context, merger *integration.Merger, e
 		merger.AddEntity(d.ProxyURI, e)
 		for _, q := range info.Senses {
 			if opts.History > 0 {
-				ms, err := c.FetchData(ctx, d.ProxyURI, q, time.Now().Add(-opts.History), time.Time{})
+				ms, err := dc.Data(ctx, d.ProxyURI, q, time.Now().Add(-opts.History), time.Time{})
 				if err == nil {
 					merger.AddMeasurements(d.ProxyURI, ms)
 					continue
 				}
 			}
-			m, err := c.FetchLatest(ctx, d.ProxyURI, q)
+			m, err := dc.Latest(ctx, d.ProxyURI, q)
 			if err != nil {
 				continue // no sample yet is not an integration failure
 			}
 			merger.AddMeasurements(d.ProxyURI, []dataformat.Measurement{*m})
 		}
 	}
-}
-
-// joinURL appends a versioned path segment to a proxy base URL that may
-// or may not end with a slash.
-func joinURL(base, path string) string {
-	return api.URL(base, path)
 }

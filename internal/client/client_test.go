@@ -198,14 +198,14 @@ func TestControlAndDeviceEndpoints(t *testing.T) {
 
 func TestDevicesViaMaster(t *testing.T) {
 	f := newFixture(t)
-	devices, err := f.client.Devices(context.Background(), "urn:district:turin/building:b01")
+	devices, err := f.client.Catalog().Devices(context.Background(), "urn:district:turin/building:b01")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(devices) != 0 {
 		t.Errorf("devices = %+v", devices)
 	}
-	if _, err := f.client.Devices(context.Background(), "urn:ghost"); err == nil {
+	if _, err := f.client.Catalog().Devices(context.Background(), "urn:ghost"); err == nil {
 		t.Error("unknown entity accepted")
 	}
 }

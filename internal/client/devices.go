@@ -1,0 +1,113 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/dataformat"
+	"repro/internal/deviceproxy"
+)
+
+// Devices is the device-proxy sub-client: per-device reads (info,
+// latest, buffered history) and actuation against the proxy URIs the
+// Catalog resolved. Reads retry on the shared transport; actuation
+// never retries (it is not idempotent).
+type Devices struct {
+	c *Client
+}
+
+// Devices returns the device-proxy sub-client.
+func (c *Client) Devices() *Devices { return &Devices{c: c} }
+
+// Info retrieves a device proxy's description document.
+func (d *Devices) Info(ctx context.Context, proxyURI string) (*dataformat.DeviceInfo, error) {
+	doc, err := d.c.transport().GetDoc(ctx, joinURL(proxyURI, "info"), d.c.enc())
+	if err != nil {
+		return nil, err
+	}
+	if doc.Device == nil {
+		return nil, fmt.Errorf("client: %s returned a %q document, want device-info", proxyURI, doc.Kind)
+	}
+	return doc.Device, nil
+}
+
+// Latest retrieves a device proxy's freshest sample of a quantity.
+func (d *Devices) Latest(ctx context.Context, proxyURI string, q dataformat.Quantity) (*dataformat.Measurement, error) {
+	u := joinURL(proxyURI, "latest") + "?quantity=" + url.QueryEscape(string(q))
+	doc, err := d.c.transport().GetDoc(ctx, u, d.c.enc())
+	if err != nil {
+		return nil, err
+	}
+	if doc.Measurement == nil {
+		return nil, fmt.Errorf("client: %s returned a %q document, want measurement", proxyURI, doc.Kind)
+	}
+	return doc.Measurement, nil
+}
+
+// Data retrieves a device proxy's buffered samples of a quantity.
+func (d *Devices) Data(ctx context.Context, proxyURI string, q dataformat.Quantity, from, to time.Time) ([]dataformat.Measurement, error) {
+	u := joinURL(proxyURI, "data") + "?quantity=" + url.QueryEscape(string(q))
+	if !from.IsZero() {
+		u += "&from=" + url.QueryEscape(from.Format(time.RFC3339))
+	}
+	if !to.IsZero() {
+		u += "&to=" + url.QueryEscape(to.Format(time.RFC3339))
+	}
+	doc, err := d.c.transport().GetDoc(ctx, u, d.c.enc())
+	if err != nil {
+		return nil, err
+	}
+	return doc.Measurements, nil
+}
+
+// Control issues an actuation command through a device proxy. Controls
+// are not idempotent, so this path never retries: one attempt, pass or
+// fail.
+func (d *Devices) Control(ctx context.Context, proxyURI string, q dataformat.Quantity, value float64) (*dataformat.ControlResult, error) {
+	body, err := json.Marshal(map[string]any{"quantity": q, "value": value})
+	if err != nil {
+		return nil, err
+	}
+	tr := &api.Transport{Client: d.c.HTTP, MaxAttempts: 1}
+	h := http.Header{
+		"Content-Type": {"application/json"},
+		"Accept":       {d.c.enc().ContentType()},
+	}
+	raw, rsp, err := tr.Do(ctx, http.MethodPost, joinURL(proxyURI, "control"), h, body)
+	if err != nil {
+		return nil, err
+	}
+	ct, _, _ := strings.Cut(rsp.Header.Get("Content-Type"), ";")
+	doc, err := dataformat.Decode(raw, dataformat.ParseEncoding(strings.TrimSpace(ct)))
+	if err != nil {
+		return nil, err
+	}
+	if doc.Control == nil {
+		return nil, fmt.Errorf("client: control returned a %q document", doc.Kind)
+	}
+	return doc.Control, nil
+}
+
+// ControlBatch issues many actuation commands to one device proxy in a
+// single round trip (POST /v1/devices/actuate). Like Control, the path
+// never retries.
+func (d *Devices) ControlBatch(ctx context.Context, proxyURI string, cmds []deviceproxy.ControlRequest) (*deviceproxy.BatchResponse, error) {
+	if len(cmds) == 0 {
+		return nil, errors.New("client: empty command batch")
+	}
+	tr := &api.Transport{Client: d.c.HTTP, MaxAttempts: 1}
+	var out deviceproxy.BatchResponse
+	err := tr.PostJSON(ctx, joinURL(proxyURI, "devices/actuate"),
+		deviceproxy.BatchRequest{Commands: cmds}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/bim"
 	"repro/internal/client"
 	"repro/internal/dataformat"
@@ -58,6 +59,17 @@ type Spec struct {
 	PollEvery time.Duration
 	// Seed drives all synthetic generation (default 1).
 	Seed int64
+	// LegacyAliases keeps the unversioned route aliases on every
+	// service. Off by default: the infrastructure is /v1+/v2-only, the
+	// -legacy-aliases flag of the drivers is the escape hatch.
+	LegacyAliases bool
+	// MeasureReadRate, when positive, rate-limits the measurements DB's
+	// cheap read routes per client IP (requests/second, the "read"
+	// tier). MeasureBatchRate does the same for POST /v2/query (the
+	// "batch" tier, typically much lower — each batch fans out over
+	// many series). Per-tier limiter stats surface in /v1/metrics.
+	MeasureReadRate  float64
+	MeasureBatchRate float64
 }
 
 func (s *Spec) withDefaults() Spec {
@@ -124,7 +136,7 @@ func Bootstrap(spec Spec) (*District, error) {
 	}()
 
 	// Master node: the unique entry point.
-	d.Master = master.New(master.Options{})
+	d.Master = master.New(master.Options{DisableLegacyAliases: !spec.LegacyAliases})
 	addr, err := d.Master.Serve("127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("core: master: %w", err)
@@ -148,7 +160,17 @@ func Bootstrap(spec Spec) (*District, error) {
 	d.closers = append(d.closers, d.pubNode.Close)
 
 	// Global measurements database, fed from the middleware.
-	d.Measure = measuredb.New(measuredb.Options{})
+	limiter := func(rate float64) *api.RateLimiter {
+		if rate <= 0 {
+			return nil
+		}
+		return api.NewRateLimiter(rate, int(rate*2)+1)
+	}
+	d.Measure = measuredb.New(measuredb.Options{
+		DisableLegacyAliases: !spec.LegacyAliases,
+		ReadLimiter:          limiter(spec.MeasureReadRate),
+		BatchLimiter:         limiter(spec.MeasureBatchRate),
+	})
 	measureAddr, err := d.Measure.Serve("127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("core: measuredb: %w", err)
@@ -174,6 +196,7 @@ func Bootstrap(spec Spec) (*District, error) {
 	// GIS database + proxy.
 	gisStore := gis.NewStore(0)
 	d.GIS = dbproxy.NewGISProxy(spec.District, gisStore)
+	d.GIS.SetLegacyAliases(spec.LegacyAliases)
 	gisAddr, err := d.GIS.Run("127.0.0.1:0", d.MasterURL)
 	if err != nil {
 		return nil, fmt.Errorf("core: gis proxy: %w", err)
@@ -199,6 +222,7 @@ func Bootstrap(spec Spec) (*District, error) {
 		if err != nil {
 			return nil, err
 		}
+		proxy.SetLegacyAliases(spec.LegacyAliases)
 		plant := network.Plant()
 		netURI, err := ont.AddEntity(districtURI, ontology.KindNetwork, network.ID, network.Name, plant.Lat, plant.Lon)
 		if err != nil {
@@ -267,6 +291,7 @@ func (d *District) addBuilding(districtURI string, index int) error {
 	if err != nil {
 		return err
 	}
+	proxy.SetLegacyAliases(spec.LegacyAliases)
 	if _, err := proxy.Run("127.0.0.1:0", d.MasterURL); err != nil {
 		return fmt.Errorf("core: bim proxy %s: %w", building.ID, err)
 	}
@@ -338,14 +363,15 @@ func (d *District) addDevice(deviceURI string, proto Protocol, seed int64) error
 	}
 
 	proxy, err := deviceproxy.New(deviceproxy.Options{
-		DeviceURI: deviceURI,
-		Name:      string(proto) + " device",
-		Driver:    driver,
-		Senses:    senses,
-		Actuates:  actuates,
-		PollEvery: d.Spec.PollEvery,
-		Publisher: d.pubNode,
-		MasterURL: d.MasterURL,
+		DeviceURI:            deviceURI,
+		Name:                 string(proto) + " device",
+		Driver:               driver,
+		Senses:               senses,
+		Actuates:             actuates,
+		PollEvery:            d.Spec.PollEvery,
+		Publisher:            d.pubNode,
+		MasterURL:            d.MasterURL,
+		DisableLegacyAliases: !d.Spec.LegacyAliases,
 	})
 	if err != nil {
 		return err

@@ -138,7 +138,7 @@ func TestActuationThroughInfrastructure(t *testing.T) {
 	c := d.Client()
 	ctx := context.Background()
 	// Find a ZigBee device (it actuates state.switch).
-	devices, err := c.Devices(ctx, "urn:district:turin/building:b00")
+	devices, err := c.Catalog().Devices(ctx, "urn:district:turin/building:b00")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +180,7 @@ func TestDeviceResolutionsCarryProtocol(t *testing.T) {
 	d := bootstrapSmall(t)
 	c := d.Client()
 	ctx := context.Background()
-	devices, err := c.Devices(ctx, "urn:district:turin/building:b00")
+	devices, err := c.Catalog().Devices(ctx, "urn:district:turin/building:b00")
 	if err != nil {
 		t.Fatal(err)
 	}

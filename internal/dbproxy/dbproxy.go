@@ -34,6 +34,10 @@ type common struct {
 // Metrics exposes the per-route API metrics.
 func (c *common) Metrics() *api.Metrics { return c.apiS.Metrics() }
 
+// SetLegacyAliases toggles the unversioned route aliases at runtime
+// (the -legacy-aliases escape hatch of cmd/dbproxy).
+func (c *common) SetLegacyAliases(enabled bool) { c.apiS.SetLegacyAliases(enabled) }
+
 // run starts the web service and, when masterURL is set, registration.
 func (c *common) run(addr, masterURL string, handler http.Handler, r registry.Registration) (string, error) {
 	bound, err := c.srv.Serve(addr, handler)

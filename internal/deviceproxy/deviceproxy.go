@@ -97,10 +97,14 @@ type Options struct {
 	// ProxyID overrides the registration ID (default: derived from URI).
 	ProxyID string
 	// RateLimit, when set, throttles the hot data routes (/data, /latest,
-	// /aggregate) and the stream publish ingress per client IP.
+	// /aggregate) and the stream publish ingress per client IP. It is
+	// surfaced in /v1/metrics as the "read" tier.
 	RateLimit *api.RateLimiter
 	// Stream tunes the proxy's streaming subsystem.
 	Stream stream.Options
+	// DisableLegacyAliases drops the unversioned route aliases; only
+	// versioned paths are then served.
+	DisableLegacyAliases bool
 }
 
 // Proxy is a running device proxy.
@@ -166,6 +170,9 @@ func (p *Proxy) Stream() *stream.Service { return p.streamS }
 
 // Metrics exposes the per-route API metrics.
 func (p *Proxy) Metrics() *api.Metrics { return p.apiS.Metrics() }
+
+// SetLegacyAliases toggles the unversioned route aliases at runtime.
+func (p *Proxy) SetLegacyAliases(enabled bool) { p.apiS.SetLegacyAliases(enabled) }
 
 // LocalDB exposes the middle layer (tests, benchmarks).
 func (p *Proxy) LocalDB() *tsdb.Store { return p.store }
@@ -357,12 +364,19 @@ func (p *Proxy) Close() {
 // The hot data routes are rate-limited per client IP when Options.RateLimit
 // is set (429 + Retry-After on rejection).
 func (p *Proxy) buildAPI() *api.Server {
-	s := api.NewServer(api.Options{Service: "deviceproxy"})
+	s := api.NewServer(api.Options{
+		Service:              "deviceproxy",
+		DisableLegacyAliases: p.opts.DisableLegacyAliases,
+	})
 	limit := func(h http.Handler) http.Handler {
 		if p.opts.RateLimit == nil {
 			return h
 		}
 		return api.RateLimit(p.opts.RateLimit)(h)
+	}
+	s.Metrics().RegisterLimiter("read", p.opts.RateLimit)
+	if p.opts.Stream.PublishLimiter != nil && p.opts.Stream.PublishLimiter != p.opts.RateLimit {
+		s.Metrics().RegisterLimiter("publish", p.opts.Stream.PublishLimiter)
 	}
 	s.Get("/info", p.info)
 	s.Handle(http.MethodGet, "/data", limit(api.Query(p.data)))

@@ -43,6 +43,9 @@ type Options struct {
 	SweepEvery time.Duration
 	// Logger receives operational messages; nil silences them.
 	Logger *log.Logger
+	// DisableLegacyAliases drops the unversioned route aliases; only
+	// versioned paths are then served.
+	DisableLegacyAliases bool
 }
 
 // Master is the ontology + registry service.
@@ -109,6 +112,9 @@ func (m *Master) Registry() *registry.Registry { return m.reg }
 // Metrics exposes the per-route API metrics.
 func (m *Master) Metrics() *api.Metrics { return m.apiS.Metrics() }
 
+// SetLegacyAliases toggles the unversioned route aliases at runtime.
+func (m *Master) SetLegacyAliases(enabled bool) { m.apiS.SetLegacyAliases(enabled) }
+
 // logf logs when a logger is configured.
 func (m *Master) logf(format string, args ...any) {
 	if m.opts.Logger != nil {
@@ -138,7 +144,11 @@ func (m *Master) apiLogger() api.Logger {
 //	GET    /v1/proxies
 //	GET    /v1/metrics, /v1/healthz
 func (m *Master) buildAPI() *api.Server {
-	s := api.NewServer(api.Options{Service: "master", Logger: m.apiLogger()})
+	s := api.NewServer(api.Options{
+		Service:              "master",
+		Logger:               m.apiLogger(),
+		DisableLegacyAliases: m.opts.DisableLegacyAliases,
+	})
 
 	s.Handle(http.MethodPost, "/register", api.Body(m.register))
 	s.Handle(http.MethodDelete, "/register", api.Query(m.deregister))

@@ -70,8 +70,20 @@ type Options struct {
 	// one. The service always ingests from (and streams) this bus.
 	Bus *middleware.Bus
 	// Stream tunes the streaming subsystem (hub sizing, publish-ingress
-	// rate limiting).
+	// rate limiting). A PublishLimiter set here is exposed in the
+	// metrics as the "publish" tier.
 	Stream stream.Options
+	// DisableLegacyAliases drops the unversioned route aliases; only
+	// /v1 and /v2 paths are then served.
+	DisableLegacyAliases bool
+	// ReadLimiter, when set, rate-limits the cheap read routes (v1
+	// query/latest/series/aggregate and the /v2 reads) per client IP —
+	// the "read" tier.
+	ReadLimiter *api.RateLimiter
+	// BatchLimiter, when set, rate-limits POST /v2/query per client IP
+	// — the "batch" tier. Batch reads fan out over many series, so they
+	// get a tighter budget than cheap single-series reads.
+	BatchLimiter *api.RateLimiter
 }
 
 // New creates a measurements database service.
@@ -100,7 +112,7 @@ func New(opts Options) *Service {
 	if s.streamS, err = stream.NewService(s.bus, opts.Stream); err != nil {
 		panic(fmt.Sprintf("measuredb: stream service on supplied bus: %v", err))
 	}
-	s.apiS = s.buildAPI(opts.Logger)
+	s.apiS = s.buildAPI(opts)
 	return s
 }
 
@@ -190,8 +202,9 @@ func (s *Service) Stats() Stats {
 }
 
 // buildAPI registers the service's endpoints on the unified API layer.
-// Every route is served under /v1/... with the bare path kept as a
-// legacy alias:
+// The v1 surface is served under /v1/... with the bare path kept as a
+// legacy alias (unless disabled); the /v2 query data plane (v2.go) has
+// no aliases:
 //
 //	POST /v1/append                      body: measurement(s) document
 //	GET  /v1/query?device=&quantity=&from=&to=
@@ -202,19 +215,48 @@ func (s *Service) Stats() Stats {
 //	GET  /v1/stream?topic=<pattern>      live events (SSE)
 //	POST /v1/publish                     event ingress (middleware.Event JSON)
 //	GET  /v1/metrics, /v1/healthz
-func (s *Service) buildAPI(logger api.Logger) *api.Server {
-	srv := api.NewServer(api.Options{Service: "measuredb", Logger: logger})
+//	GET  /v2/series[?device=&quantity=&limit=&cursor=]
+//	GET  /v2/series/{device}/{quantity}/samples|latest|aggregate
+//	POST /v2/query                       batch multi-series read
+//
+// Route classes draw their own rate-limit tiers: cheap reads share
+// Options.ReadLimiter, the batch endpoint Options.BatchLimiter, and the
+// publish ingress the stream PublishLimiter — all surfaced per tier in
+// /v1/metrics.
+func (s *Service) buildAPI(opts Options) *api.Server {
+	srv := api.NewServer(api.Options{
+		Service:              "measuredb",
+		Logger:               opts.Logger,
+		DisableLegacyAliases: opts.DisableLegacyAliases,
+	})
+	tier := func(rl *api.RateLimiter, name string) func(http.Handler) http.Handler {
+		if rl == nil {
+			return func(h http.Handler) http.Handler { return h }
+		}
+		srv.Metrics().RegisterLimiter(name, rl)
+		return api.RateLimit(rl)
+	}
+	read := tier(opts.ReadLimiter, "read")
+	batch := tier(opts.BatchLimiter, "batch")
+	if opts.Stream.PublishLimiter != nil {
+		srv.Metrics().RegisterLimiter("publish", opts.Stream.PublishLimiter)
+	}
+
 	srv.Handle(http.MethodPost, "/append", api.DocIn(s.append))
-	srv.Get("/query", s.query)
-	srv.Get("/latest", s.latest)
-	srv.Get("/series", s.series)
-	srv.Get("/aggregate", s.aggregate)
+	srv.Handle(http.MethodGet, "/query", read(api.Query(s.query)))
+	srv.Handle(http.MethodGet, "/latest", read(api.Query(s.latest)))
+	srv.Handle(http.MethodGet, "/series", read(api.Query(s.series)))
+	srv.Handle(http.MethodGet, "/aggregate", read(api.Query(s.aggregate)))
 	srv.Get("/stats", func(ctx context.Context, q url.Values) (any, error) {
 		return s.Stats(), nil
 	})
+	s.mountV2(srv, read, batch)
 	s.streamS.Mount(srv)
 	return srv
 }
+
+// SetLegacyAliases toggles the unversioned route aliases at runtime.
+func (s *Service) SetLegacyAliases(enabled bool) { s.apiS.SetLegacyAliases(enabled) }
 
 // Handler returns the service's web interface.
 func (s *Service) Handler() http.Handler { return s.apiS.Handler() }

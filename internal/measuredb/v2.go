@@ -1,0 +1,578 @@
+package measuredb
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/dataformat"
+	"repro/internal/tsdb"
+)
+
+// The /v2 query data plane: resource-oriented routes over the
+// measurements store, following the batch/pagination conventions of
+// mainstream time-series APIs instead of one-series-per-request query
+// params.
+//
+//	GET  /v2/series                                      series catalog (globs, paginated)
+//	GET  /v2/series/{device}/{quantity}/samples          samples (cursor pages; JSON/NDJSON/CSV)
+//	GET  /v2/series/{device}/{quantity}/latest           freshest sample
+//	GET  /v2/series/{device}/{quantity}/aggregate        summary or windowed buckets
+//	POST /v2/query                                       batch multi-series read
+//
+// Device URIs contain "/", so the {device} path parameter travels
+// percent-encoded (url.PathEscape). Cursors are opaque: clients echo
+// next_cursor back verbatim.
+
+// Streamable media types of the samples route. JSON stays the default;
+// NDJSON and CSV are written row-at-a-time, so a response is O(1) in
+// server memory however large the range is.
+const (
+	NDJSONType = "application/x-ndjson"
+	CSVType    = "text/csv"
+)
+
+// v2 pagination and batch bounds.
+const (
+	maxPageLimit      = 10000
+	maxBatchSelectors = 1024
+)
+
+// Point is one sample on the /v2 wire. Device and Quantity are set on
+// self-contained rows (NDJSON/CSV, batch results) and omitted inside a
+// SamplesPage, whose envelope already names the series.
+type Point struct {
+	Device   string    `json:"device,omitempty"`
+	Quantity string    `json:"quantity,omitempty"`
+	At       time.Time `json:"at"`
+	Value    float64   `json:"value"`
+}
+
+// SamplesPage is the JSON body of GET /v2/.../samples: one bounded page
+// plus the opaque cursor resuming after it.
+type SamplesPage struct {
+	Device     string  `json:"device"`
+	Quantity   string  `json:"quantity"`
+	Samples    []Point `json:"samples"`
+	Count      int     `json:"count"`
+	NextCursor string  `json:"next_cursor,omitempty"`
+}
+
+// SeriesPage is the JSON body of GET /v2/series.
+type SeriesPage struct {
+	Series     []SeriesInfo `json:"series"`
+	Count      int          `json:"count"`
+	NextCursor string       `json:"next_cursor,omitempty"`
+}
+
+// SeriesSelector names the series a batch query entry reads: an exact
+// device URI or a glob ('*' matches any run of characters), and an
+// exact/glob quantity (empty selects every quantity of the device).
+type SeriesSelector struct {
+	Device   string `json:"device"`
+	Quantity string `json:"quantity,omitempty"`
+}
+
+// BatchQuery is the POST /v2/query body: many selectors evaluated in
+// one request over a shared time range, optionally pushing aggregation
+// or windowed downsampling into the store instead of shipping raw rows.
+type BatchQuery struct {
+	Selectors []SeriesSelector `json:"selectors"`
+	From      time.Time        `json:"from,omitempty"`
+	To        time.Time        `json:"to,omitempty"`
+	// Limit caps raw samples per matched series (default DefaultPageLimit,
+	// max maxPageLimit); ignored when Aggregate or Window is set.
+	Limit int `json:"limit,omitempty"`
+	// Aggregate returns one summary per series instead of samples.
+	Aggregate bool `json:"aggregate,omitempty"`
+	// Window (a Go duration, e.g. "5m") returns downsampled buckets.
+	Window string `json:"window,omitempty"`
+}
+
+// BatchSeries is one matched series' result inside a batch response.
+type BatchSeries struct {
+	Device    string             `json:"device"`
+	Quantity  string             `json:"quantity"`
+	Samples   []Point            `json:"samples,omitempty"`
+	Aggregate *AggregateResponse `json:"aggregate,omitempty"`
+	Buckets   []tsdb.Bucket      `json:"buckets,omitempty"`
+	// Truncated reports that the series holds more samples in range than
+	// Limit allowed; page through /v2/.../samples to get the rest.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// BatchResult pairs one selector with what it matched. A selector that
+// matches nothing reports an Error instead of failing the whole batch.
+type BatchResult struct {
+	Selector SeriesSelector `json:"selector"`
+	Series   []BatchSeries  `json:"series,omitempty"`
+	Error    string         `json:"error,omitempty"`
+}
+
+// BatchResponse is the POST /v2/query reply: per-selector results in
+// request order plus whole-batch totals.
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
+	Series  int           `json:"series"`
+	Samples int           `json:"samples"`
+}
+
+// ---------------------------------------------------------------------
+// Opaque cursors
+// ---------------------------------------------------------------------
+
+// encodeCursor renders a store cursor opaquely (base64url of
+// "<unix-nanos>:<seen>").
+func encodeCursor(c tsdb.Cursor) string {
+	raw := strconv.FormatInt(c.After.UnixNano(), 10) + ":" + strconv.Itoa(c.Seen)
+	return base64.RawURLEncoding.EncodeToString([]byte(raw))
+}
+
+// decodeCursor parses an opaque cursor ("" is the start of the range).
+func decodeCursor(s string) (tsdb.Cursor, error) {
+	if s == "" {
+		return tsdb.Cursor{}, nil
+	}
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return tsdb.Cursor{}, fmt.Errorf("bad cursor: %v", err)
+	}
+	nanosStr, seenStr, ok := strings.Cut(string(raw), ":")
+	if !ok {
+		return tsdb.Cursor{}, errors.New("bad cursor: malformed payload")
+	}
+	nanos, err1 := strconv.ParseInt(nanosStr, 10, 64)
+	seen, err2 := strconv.Atoi(seenStr)
+	if err1 != nil || err2 != nil || seen < 0 {
+		return tsdb.Cursor{}, errors.New("bad cursor: malformed payload")
+	}
+	return tsdb.Cursor{After: time.Unix(0, nanos).UTC(), Seen: seen}, nil
+}
+
+// encodeSeriesCursor marks a position in the sorted series catalog.
+func encodeSeriesCursor(k tsdb.SeriesKey) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(k.Device + "\x00" + k.Quantity))
+}
+
+func decodeSeriesCursor(s string) (tsdb.SeriesKey, error) {
+	if s == "" {
+		return tsdb.SeriesKey{}, nil
+	}
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return tsdb.SeriesKey{}, fmt.Errorf("bad cursor: %v", err)
+	}
+	device, quantity, ok := strings.Cut(string(raw), "\x00")
+	if !ok {
+		return tsdb.SeriesKey{}, errors.New("bad cursor: malformed payload")
+	}
+	return tsdb.SeriesKey{Device: device, Quantity: quantity}, nil
+}
+
+// ---------------------------------------------------------------------
+// Selector resolution
+// ---------------------------------------------------------------------
+
+// globMatch reports whether s matches pattern, where '*' matches any
+// run of characters (including separators — a district-wide selector is
+// "urn:district:turin/*"). Iterative with backtracking, no allocation.
+func globMatch(pattern, s string) bool {
+	pi, si := 0, 0
+	star, mark := -1, 0
+	for si < len(s) {
+		switch {
+		// The wildcard case must win over the literal one: a '*' in the
+		// subject would otherwise consume the pattern's '*' as a literal
+		// and lose the backtrack point.
+		case pi < len(pattern) && pattern[pi] == '*':
+			star, mark = pi, si
+			pi++
+		case pi < len(pattern) && pattern[pi] == s[si]:
+			pi++
+			si++
+		case star >= 0:
+			mark++
+			pi, si = star+1, mark
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '*' {
+		pi++
+	}
+	return pi == len(pattern)
+}
+
+func hasGlob(s string) bool { return strings.ContainsRune(s, '*') }
+
+// sortKeys orders series keys by device, then quantity.
+func sortKeys(keys []tsdb.SeriesKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Device != keys[j].Device {
+			return keys[i].Device < keys[j].Device
+		}
+		return keys[i].Quantity < keys[j].Quantity
+	})
+}
+
+// resolveSelector expands one selector to the stored series it matches,
+// sorted for deterministic output.
+func (s *Service) resolveSelector(sel SeriesSelector) []tsdb.SeriesKey {
+	if sel.Device != "" && !hasGlob(sel.Device) && sel.Quantity != "" && !hasGlob(sel.Quantity) {
+		key := tsdb.SeriesKey{Device: sel.Device, Quantity: sel.Quantity}
+		if s.store.Len(key) > 0 {
+			return []tsdb.SeriesKey{key}
+		}
+		return nil
+	}
+	var out []tsdb.SeriesKey
+	for _, k := range s.store.Keys() {
+		if sel.Device != "" && !globMatch(sel.Device, k.Device) {
+			continue
+		}
+		if sel.Quantity != "" && !globMatch(sel.Quantity, k.Quantity) {
+			continue
+		}
+		out = append(out, k)
+	}
+	sortKeys(out)
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Route plumbing
+// ---------------------------------------------------------------------
+
+// mountV2 registers the /v2 data plane on the service's API server,
+// wrapping the routes in their rate-limit tiers.
+func (s *Service) mountV2(srv *api.Server, read, batch func(http.Handler) http.Handler) {
+	srv.HandleV2(http.MethodGet, "/series", read(api.Query(s.v2Series)))
+	srv.HandleV2(http.MethodGet, "/series/{device}/{quantity}/samples", read(http.HandlerFunc(s.v2Samples)))
+	srv.HandleV2(http.MethodGet, "/series/{device}/{quantity}/latest", read(api.QueryP(s.v2Latest)))
+	srv.HandleV2(http.MethodGet, "/series/{device}/{quantity}/aggregate", read(api.QueryP(s.v2Aggregate)))
+	srv.HandleV2(http.MethodPost, "/query", batch(api.Body(s.v2Batch)))
+}
+
+// pageLimit parses the limit query parameter with the shared bounds.
+func pageLimit(q url.Values) (int, error) {
+	raw := q.Get("limit")
+	if raw == "" {
+		return tsdb.DefaultPageLimit, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad limit %q", raw)
+	}
+	return min(n, maxPageLimit), nil
+}
+
+// clampLimit applies the shared bounds to a body-supplied limit.
+func clampLimit(n int) int {
+	if n <= 0 {
+		return tsdb.DefaultPageLimit
+	}
+	return min(n, maxPageLimit)
+}
+
+// v2Series serves the paginated series catalog, optionally filtered by
+// device/quantity globs.
+func (s *Service) v2Series(ctx context.Context, q url.Values) (any, error) {
+	limit, err := pageLimit(q)
+	if err != nil {
+		return nil, api.BadRequest(err)
+	}
+	after, err := decodeSeriesCursor(q.Get("cursor"))
+	if err != nil {
+		return nil, api.BadRequest(err)
+	}
+	keys := s.resolveSelector(SeriesSelector{Device: q.Get("device"), Quantity: q.Get("quantity")})
+	if after != (tsdb.SeriesKey{}) {
+		i := sort.Search(len(keys), func(i int) bool {
+			if keys[i].Device != after.Device {
+				return keys[i].Device > after.Device
+			}
+			return keys[i].Quantity > after.Quantity
+		})
+		keys = keys[i:]
+	}
+	page := SeriesPage{Series: make([]SeriesInfo, 0, min(limit, len(keys)))}
+	for _, k := range keys {
+		if len(page.Series) == limit {
+			page.NextCursor = encodeSeriesCursor(tsdb.SeriesKey{
+				Device:   page.Series[limit-1].Device,
+				Quantity: page.Series[limit-1].Quantity,
+			})
+			break
+		}
+		page.Series = append(page.Series, SeriesInfo{Device: k.Device, Quantity: k.Quantity, Samples: s.store.Len(k)})
+	}
+	page.Count = len(page.Series)
+	return page, nil
+}
+
+// samplesParams decodes the shared parameters of the per-series routes.
+func samplesParams(p api.Params, q url.Values) (key tsdb.SeriesKey, from, to time.Time, err error) {
+	key = tsdb.SeriesKey{Device: p.Get("device"), Quantity: p.Get("quantity")}
+	if key.Device == "" || key.Quantity == "" {
+		return key, from, to, api.BadRequest(errors.New("missing device or quantity path segment"))
+	}
+	if from, to, err = parseRange(q); err != nil {
+		return key, from, to, api.BadRequest(err)
+	}
+	return key, from, to, nil
+}
+
+// v2Samples serves one series range: a JSON cursor page by default, or
+// a row-at-a-time NDJSON/CSV stream when the client asks for one (via
+// Accept or the encoding query parameter).
+func (s *Service) v2Samples(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	key, from, to, err := samplesParams(api.ParamsOf(r), q)
+	if err != nil {
+		api.WriteError(w, r, err)
+		return
+	}
+	limit, err := pageLimit(q)
+	if err != nil {
+		api.WriteError(w, r, api.BadRequest(err))
+		return
+	}
+	cur, err := decodeCursor(q.Get("cursor"))
+	if err != nil {
+		api.WriteError(w, r, api.BadRequest(err))
+		return
+	}
+
+	mediaType := api.NegotiateMediaType(r.Header.Get("Accept"), "application/json", NDJSONType, CSVType)
+	switch q.Get("encoding") {
+	case "":
+	case "json":
+		mediaType = "application/json"
+	case "ndjson":
+		mediaType = NDJSONType
+	case "csv":
+		mediaType = CSVType
+	default:
+		api.WriteError(w, r, api.BadRequest(fmt.Errorf("bad encoding %q (want json, ndjson, or csv)", q.Get("encoding"))))
+		return
+	}
+
+	if mediaType == "application/json" || mediaType == "" {
+		page, err := s.store.QueryPage(key, from, to, cur, limit)
+		if err != nil {
+			api.WriteError(w, r, err)
+			return
+		}
+		out := SamplesPage{
+			Device:   key.Device,
+			Quantity: key.Quantity,
+			Samples:  make([]Point, len(page.Samples)),
+			Count:    len(page.Samples),
+		}
+		for i, smp := range page.Samples {
+			out.Samples[i] = Point{At: smp.At, Value: smp.Value}
+		}
+		if page.More {
+			out.NextCursor = encodeCursor(page.Next)
+		}
+		api.WriteJSON(w, http.StatusOK, out)
+		return
+	}
+
+	// Streaming encodings ride the store iterator: rows go out as they
+	// are read, a bounded page at a time, so the response never
+	// materializes the range. An explicit limit still caps the stream;
+	// the default streams the whole range.
+	streamLimit := 0
+	if q.Get("limit") != "" {
+		streamLimit = limit
+	}
+	it := s.store.Iter(key, from, to, 0)
+	it = it.StartAt(cur)
+	s.streamSamples(w, r, key, it, mediaType, streamLimit)
+}
+
+// streamSamples writes iterator rows in the negotiated encoding,
+// flushing periodically so slow consumers see progress.
+func (s *Service) streamSamples(w http.ResponseWriter, r *http.Request, key tsdb.SeriesKey, it *tsdb.Iterator, mediaType string, limit int) {
+	// Surface a missing series as a proper envelope before committing
+	// the streaming content type.
+	first, ok := it.Next()
+	if !ok {
+		if err := it.Err(); err != nil {
+			api.WriteError(w, r, err)
+			return
+		}
+	}
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", mediaType+"; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+
+	var writeRow func(p Point) error
+	var finish func()
+	switch mediaType {
+	case NDJSONType:
+		enc := json.NewEncoder(w)
+		writeRow = func(p Point) error { return enc.Encode(p) }
+		finish = func() {}
+	case CSVType:
+		cw := csv.NewWriter(w)
+		_ = cw.Write([]string{"device", "quantity", "at", "value"})
+		writeRow = func(p Point) error {
+			return cw.Write([]string{
+				p.Device, p.Quantity,
+				p.At.UTC().Format(time.RFC3339Nano),
+				strconv.FormatFloat(p.Value, 'g', -1, 64),
+			})
+		}
+		finish = func() { cw.Flush() }
+	}
+
+	rows := 0
+	for smp, more := first, ok; more; smp, more = it.Next() {
+		row := Point{Device: key.Device, Quantity: key.Quantity, At: smp.At, Value: smp.Value}
+		if err := writeRow(row); err != nil {
+			return // client went away
+		}
+		rows++
+		if limit > 0 && rows >= limit {
+			break
+		}
+		if rows%256 == 0 {
+			finish()
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+	finish()
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// v2Latest serves the freshest sample of one series as a measurement
+// document (content-negotiated like the v1 route).
+func (s *Service) v2Latest(ctx context.Context, p api.Params, q url.Values) (any, error) {
+	key := tsdb.SeriesKey{Device: p.Get("device"), Quantity: p.Get("quantity")}
+	smp, err := s.store.Latest(key)
+	if err != nil {
+		return nil, api.NotFound(err)
+	}
+	ms := measurementsOf(key, []tsdb.Sample{smp}, s.srv.Addr())
+	return dataformat.NewMeasurementDoc(ms[0]), nil
+}
+
+// v2Aggregate serves a range summary, or windowed buckets with window=.
+func (s *Service) v2Aggregate(ctx context.Context, p api.Params, q url.Values) (any, error) {
+	key, from, to, err := samplesParams(p, q)
+	if err != nil {
+		return nil, err
+	}
+	if ws := q.Get("window"); ws != "" {
+		window, err := time.ParseDuration(ws)
+		if err != nil {
+			return nil, api.BadRequest(fmt.Errorf("bad window: %v", err))
+		}
+		buckets, err := s.store.Downsample(key, from, to, window)
+		if err != nil {
+			return nil, err
+		}
+		return buckets, nil
+	}
+	agg, err := s.store.Aggregate(key, from, to)
+	if err != nil {
+		return nil, err
+	}
+	return aggregateResponse(key, agg), nil
+}
+
+// aggregateResponse renders a store aggregate on the wire.
+func aggregateResponse(key tsdb.SeriesKey, agg tsdb.Aggregate) *AggregateResponse {
+	return &AggregateResponse{
+		Device: key.Device, Quantity: key.Quantity,
+		Count: agg.Count, Min: agg.Min, Max: agg.Max, Mean: agg.Mean, Sum: agg.Sum,
+	}
+}
+
+// v2Batch evaluates a batch of series selectors in one request.
+func (s *Service) v2Batch(ctx context.Context, req BatchQuery) (any, error) {
+	if len(req.Selectors) == 0 {
+		return nil, api.BadRequest(errors.New("empty selector batch"))
+	}
+	if len(req.Selectors) > maxBatchSelectors {
+		return nil, api.BadRequest(fmt.Errorf("%d selectors exceed the batch cap of %d", len(req.Selectors), maxBatchSelectors))
+	}
+	if !req.To.IsZero() && req.To.Before(req.From) {
+		return nil, api.BadRequest(errors.New("to before from"))
+	}
+	var window time.Duration
+	if req.Window != "" {
+		var err error
+		if window, err = time.ParseDuration(req.Window); err != nil {
+			return nil, api.BadRequest(fmt.Errorf("bad window: %v", err))
+		}
+	}
+	limit := clampLimit(req.Limit)
+
+	out := BatchResponse{Results: make([]BatchResult, len(req.Selectors))}
+	for i, sel := range req.Selectors {
+		res := BatchResult{Selector: sel}
+		keys := s.resolveSelector(sel)
+		if len(keys) == 0 {
+			res.Error = "no matching series"
+			out.Results[i] = res
+			continue
+		}
+		for _, key := range keys {
+			bs := BatchSeries{Device: key.Device, Quantity: key.Quantity}
+			var err error
+			switch {
+			case window > 0:
+				var buckets []tsdb.Bucket
+				if buckets, err = s.store.Downsample(key, req.From, req.To, window); err == nil {
+					bs.Buckets = buckets
+					for _, b := range buckets {
+						out.Samples += b.Count
+					}
+				}
+			case req.Aggregate:
+				var agg tsdb.Aggregate
+				if agg, err = s.store.Aggregate(key, req.From, req.To); err == nil {
+					bs.Aggregate = aggregateResponse(key, agg)
+					out.Samples += agg.Count
+				}
+			default:
+				var page tsdb.Page
+				if page, err = s.store.QueryPage(key, req.From, req.To, tsdb.Cursor{}, limit); err == nil {
+					bs.Samples = make([]Point, len(page.Samples))
+					for j, smp := range page.Samples {
+						bs.Samples[j] = Point{At: smp.At, Value: smp.Value}
+					}
+					bs.Truncated = page.More
+					out.Samples += len(bs.Samples)
+				}
+			}
+			if err != nil {
+				// A series evicted between resolution and read is a
+				// per-selector miss, never a whole-batch failure.
+				res.Error = err.Error()
+				continue
+			}
+			res.Series = append(res.Series, bs)
+			out.Series++
+		}
+		out.Results[i] = res
+	}
+	return out, nil
+}

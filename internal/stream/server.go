@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -120,15 +121,19 @@ func lastEventID(r *http.Request) (uint64, error) {
 	return id, nil
 }
 
-// writeEntry emits one SSE frame: id + JSON-encoded event.
-func writeEntry(w http.ResponseWriter, e Entry) error {
+// appendEntry renders one SSE frame (id + JSON-encoded event) into buf.
+func appendEntry(buf *bytes.Buffer, e Entry) error {
 	data, err := json.Marshal(e.Event)
 	if err != nil {
 		return err
 	}
-	_, err = fmt.Fprintf(w, "id: %d\ndata: %s\n\n", e.ID, data)
-	return err
+	fmt.Fprintf(buf, "id: %d\ndata: %s\n\n", e.ID, data)
+	return nil
 }
+
+// maxWaveBytes bounds the coalescing buffer: a wave larger than this is
+// written out in chunks, so a deep replay cannot balloon memory.
+const maxWaveBytes = 64 << 10
 
 // handleStream serves one SSE subscription until the client goes away,
 // the hub evicts it, or the service closes.
@@ -159,22 +164,42 @@ func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
 	h.Set("Cache-Control", "no-cache")
 	h.Set("X-Accel-Buffering", "no") // keep reverse proxies from buffering
 	w.WriteHeader(http.StatusOK)
-	if _, err := fmt.Fprint(w, "retry: 1000\n\n"); err != nil {
-		return
+
+	// Frames are coalesced per wave: every frame ready to go out (the
+	// replay batch, or one delivered event plus everything queued behind
+	// it) is rendered into one buffer and hits the wire as a single
+	// Write+Flush. Syscall and flush cost is paid per wave, not per
+	// event — the dominant share of the SSE fan-out cost at high rates.
+	var buf bytes.Buffer
+	flushBuf := func() bool {
+		if buf.Len() == 0 {
+			return true
+		}
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			return false
+		}
+		buf.Reset()
+		flusher.Flush()
+		return true
 	}
+
+	buf.WriteString("retry: 1000\n\n")
 	if sub.Gap {
 		// The client resumed past the replay ring; it gets everything
 		// still retained plus a marker that the stream has a hole.
-		if _, err := fmt.Fprint(w, ": gap: resume point expired from replay buffer\n\n"); err != nil {
-			return
-		}
+		buf.WriteString(": gap: resume point expired from replay buffer\n\n")
 	}
 	for _, e := range replay {
-		if err := writeEntry(w, e); err != nil {
+		if err := appendEntry(&buf, e); err != nil {
+			return
+		}
+		if buf.Len() >= maxWaveBytes && !flushBuf() {
 			return
 		}
 	}
-	flusher.Flush()
+	if !flushBuf() {
+		return
+	}
 
 	ticker := time.NewTicker(s.keepAlive)
 	defer ticker.Stop()
@@ -184,30 +209,32 @@ func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
 			if !ok {
 				return // evicted or hub closed: client reconnects and resumes
 			}
-			if err := writeEntry(w, e); err != nil {
+			if err := appendEntry(&buf, e); err != nil {
 				return
 			}
-			// Drain whatever queued behind it before flushing once.
-			for drained := true; drained; {
+			// Coalesce whatever queued behind it into the same wave.
+			for drained := false; !drained && buf.Len() < maxWaveBytes; {
 				select {
 				case e, ok := <-sub.C:
 					if !ok {
-						flusher.Flush()
+						flushBuf()
 						return
 					}
-					if err := writeEntry(w, e); err != nil {
+					if err := appendEntry(&buf, e); err != nil {
 						return
 					}
 				default:
-					drained = false
+					drained = true
 				}
 			}
-			flusher.Flush()
-		case <-ticker.C:
-			if _, err := fmt.Fprint(w, ": keep-alive\n\n"); err != nil {
+			if !flushBuf() {
 				return
 			}
-			flusher.Flush()
+		case <-ticker.C:
+			buf.WriteString(": keep-alive\n\n")
+			if !flushBuf() {
+				return
+			}
 		case <-r.Context().Done():
 			return
 		}

@@ -1,0 +1,204 @@
+package tsdb
+
+import "time"
+
+// DefaultPageLimit bounds a QueryPage when the caller passes limit <= 0.
+const DefaultPageLimit = 1000
+
+// Cursor is a resume position inside one series range scan. It is
+// value-based, not offset-based: it records the timestamp of the last
+// returned sample plus how many samples with exactly that timestamp have
+// already been returned, so it stays valid when the store mutates
+// between pages (old samples evicted, new ones appended or spilled in).
+// The zero Cursor starts at the beginning of the range.
+type Cursor struct {
+	// After is the timestamp of the last sample already returned.
+	After time.Time
+	// Seen is how many samples with At == After were already returned
+	// (several samples may share one timestamp).
+	Seen int
+}
+
+// zero reports whether the cursor is the start-of-range marker.
+func (c Cursor) zero() bool { return c.After.IsZero() }
+
+// Page is one bounded slice of a series range scan.
+type Page struct {
+	// Samples are the page's samples in ascending time order.
+	Samples []Sample
+	// Next resumes the scan after the last sample of this page; only
+	// meaningful when More is true.
+	Next Cursor
+	// More reports that the range holds samples beyond this page.
+	More bool
+}
+
+// QueryPage returns one bounded page of the samples of a series with At
+// in [from, to], resuming after cur. A zero `to` means "now"; limit <= 0
+// means DefaultPageLimit. Unlike Query, the result is O(limit) in memory
+// regardless of the range size, so arbitrarily large ranges can be
+// walked page by page without ever materializing the whole range.
+func (s *Store) QueryPage(key SeriesKey, from, to time.Time, cur Cursor, limit int) (Page, error) {
+	if to.IsZero() {
+		to = time.Now()
+	}
+	if to.Before(from) {
+		return Page{}, ErrBadInterval
+	}
+	if limit <= 0 {
+		limit = DefaultPageLimit
+	}
+	s.mu.RLock()
+	sr := s.series[key]
+	s.mu.RUnlock()
+	if sr == nil {
+		return Page{}, ErrNoSeries
+	}
+
+	// Resume position: scan from the cursor timestamp (skipping the
+	// samples at that exact timestamp already returned) or from `from`.
+	start, skip := from, 0
+	if !cur.zero() && !cur.After.Before(from) {
+		start, skip = cur.After, cur.Seen
+	}
+	if start.After(to) {
+		return Page{}, nil
+	}
+
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	if len(sr.spill) > 0 {
+		sr.foldSpill()
+	}
+	// Collect limit+1 samples to learn whether the range continues.
+	page := Page{Samples: make([]Sample, 0, min(limit, 4096))}
+	for _, seg := range sr.segments {
+		n := len(seg.samples)
+		if n == 0 || seg.samples[n-1].At.Before(start) {
+			continue
+		}
+		if seg.samples[0].At.After(to) {
+			break
+		}
+		lo := searchSamples(seg.samples, func(smp Sample) bool { return !smp.At.Before(start) })
+		hi := searchSamples(seg.samples, func(smp Sample) bool { return smp.At.After(to) })
+		for _, smp := range seg.samples[lo:hi] {
+			// Only samples at the exact cursor timestamp are skipped:
+			// if some were evicted meanwhile, later samples must not
+			// be swallowed by a stale skip count.
+			if skip > 0 && smp.At.Equal(start) {
+				skip--
+				continue
+			}
+			page.Samples = append(page.Samples, smp)
+			if len(page.Samples) > limit {
+				break
+			}
+		}
+		if len(page.Samples) > limit {
+			break
+		}
+	}
+	if len(page.Samples) > limit {
+		page.Samples = page.Samples[:limit]
+		page.More = true
+	}
+	if n := len(page.Samples); n > 0 && page.More {
+		last := page.Samples[n-1].At
+		seen := 0
+		for i := n - 1; i >= 0 && page.Samples[i].At.Equal(last); i-- {
+			seen++
+		}
+		if !cur.zero() && last.Equal(cur.After) {
+			seen += cur.Seen
+		}
+		page.Next = Cursor{After: last, Seen: seen}
+	}
+	return page, nil
+}
+
+// searchSamples is sort.Search specialised to a sample slice.
+func searchSamples(samples []Sample, f func(Sample) bool) int {
+	lo, hi := 0, len(samples)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if f(samples[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Iterator walks one series range in bounded pages: memory stays
+// O(page size) however large the range is. The store may mutate between
+// pages; the value-based cursor keeps the walk gap- and duplicate-free
+// with respect to the samples that remain stored.
+type Iterator struct {
+	s        *Store
+	key      SeriesKey
+	from, to time.Time
+	pageSize int
+
+	page    Page
+	i       int
+	started bool
+	done    bool
+	err     error
+}
+
+// Iter returns an iterator over the samples of a series with At in
+// [from, to]. A zero `to` pins the upper bound to "now" once, so the
+// walk is stable while the series keeps growing. pageSize <= 0 means
+// DefaultPageLimit.
+func (s *Store) Iter(key SeriesKey, from, to time.Time, pageSize int) *Iterator {
+	if to.IsZero() {
+		to = time.Now()
+	}
+	if pageSize <= 0 {
+		pageSize = DefaultPageLimit
+	}
+	return &Iterator{s: s, key: key, from: from, to: to, pageSize: pageSize}
+}
+
+// StartAt positions the iterator to resume after cur (e.g. a cursor a
+// paginated API echoed back). It must be called before the first Next.
+func (it *Iterator) StartAt(cur Cursor) *Iterator {
+	it.page.Next = cur
+	return it
+}
+
+// Next returns the next sample, advancing the iterator. It reports false
+// when the range is exhausted or an error occurred (check Err).
+func (it *Iterator) Next() (Sample, bool) {
+	for {
+		if it.err != nil || it.done {
+			return Sample{}, false
+		}
+		if it.i < len(it.page.Samples) {
+			smp := it.page.Samples[it.i]
+			it.i++
+			return smp, true
+		}
+		if it.started && !it.page.More {
+			it.done = true
+			return Sample{}, false
+		}
+		page, err := it.s.QueryPage(it.key, it.from, it.to, it.page.Next, it.pageSize)
+		if err != nil {
+			it.err = err
+			return Sample{}, false
+		}
+		it.started = true
+		it.page = page
+		it.i = 0
+		if len(page.Samples) == 0 && !page.More {
+			it.done = true
+			return Sample{}, false
+		}
+	}
+}
+
+// Err returns the error that stopped the iterator, if any.
+func (it *Iterator) Err() error { return it.err }

@@ -309,36 +309,50 @@ type Aggregate struct {
 	First, Last Sample
 }
 
-// Aggregate computes summary statistics over [from, to].
+// Aggregate computes summary statistics over [from, to]. It walks the
+// range through the paging iterator, so memory stays bounded however
+// large the range is — the aggregation is pushed down into the store
+// instead of flattening the samples first.
 func (s *Store) Aggregate(key SeriesKey, from, to time.Time) (Aggregate, error) {
-	samples, err := s.Query(key, from, to)
-	if err != nil {
+	it := s.Iter(key, from, to, 0)
+	var a Aggregate
+	for {
+		smp, ok := it.Next()
+		if !ok {
+			break
+		}
+		a.add(smp)
+	}
+	if err := it.Err(); err != nil {
 		return Aggregate{}, err
 	}
-	return aggregate(samples), nil
+	a.finish()
+	return a, nil
 }
 
-func aggregate(samples []Sample) Aggregate {
-	var a Aggregate
-	for i, smp := range samples {
-		if i == 0 {
-			a.Min, a.Max = smp.Value, smp.Value
-			a.First = smp
-		}
-		if smp.Value < a.Min {
-			a.Min = smp.Value
-		}
-		if smp.Value > a.Max {
-			a.Max = smp.Value
-		}
-		a.Sum += smp.Value
-		a.Last = smp
-		a.Count++
+// add folds one sample into the running aggregate. Mean is filled by
+// finish, once, not per row — add runs in the pushdown hot loops.
+func (a *Aggregate) add(smp Sample) {
+	if a.Count == 0 {
+		a.Min, a.Max = smp.Value, smp.Value
+		a.First = smp
 	}
+	if smp.Value < a.Min {
+		a.Min = smp.Value
+	}
+	if smp.Value > a.Max {
+		a.Max = smp.Value
+	}
+	a.Sum += smp.Value
+	a.Last = smp
+	a.Count++
+}
+
+// finish computes the derived fields of a folded aggregate.
+func (a *Aggregate) finish() {
 	if a.Count > 0 {
 		a.Mean = a.Sum / float64(a.Count)
 	}
-	return a
 }
 
 // Bucket is one downsampled window.
@@ -348,25 +362,29 @@ type Bucket struct {
 }
 
 // Downsample splits [from, to) into fixed windows of the given width and
-// aggregates each. Empty windows are omitted.
+// aggregates each. Empty windows are omitted. Like Aggregate, the range
+// is walked through the paging iterator: only the running bucket is held
+// in memory, never the raw samples.
 func (s *Store) Downsample(key SeriesKey, from, to time.Time, window time.Duration) ([]Bucket, error) {
 	if window <= 0 {
 		return nil, fmt.Errorf("tsdb: non-positive window %v", window)
 	}
-	samples, err := s.Query(key, from, to)
-	if err != nil {
-		return nil, err
-	}
+	it := s.Iter(key, from, to, 0)
 	var out []Bucket
-	var cur []Sample
+	var cur Aggregate
 	var curStart time.Time
 	flush := func() {
-		if len(cur) > 0 {
-			out = append(out, Bucket{Start: curStart, Aggregate: aggregate(cur)})
-			cur = cur[:0]
+		if cur.Count > 0 {
+			cur.finish()
+			out = append(out, Bucket{Start: curStart, Aggregate: cur})
+			cur = Aggregate{}
 		}
 	}
-	for _, smp := range samples {
+	for {
+		smp, ok := it.Next()
+		if !ok {
+			break
+		}
 		start := smp.At.Truncate(window)
 		if start.Before(from) {
 			start = from
@@ -375,7 +393,10 @@ func (s *Store) Downsample(key SeriesKey, from, to time.Time, window time.Durati
 			flush()
 			curStart = start
 		}
-		cur = append(cur, smp)
+		cur.add(smp)
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
 	}
 	flush()
 	return out, nil

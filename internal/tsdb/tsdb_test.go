@@ -272,7 +272,10 @@ func TestAggregateInvariantProperty(t *testing.T) {
 			}
 			samples = append(samples, Sample{At: t0.Add(time.Duration(i) * time.Second), Value: v})
 		}
-		a := aggregate(samples)
+		var a Aggregate
+		for _, smp := range samples {
+			a.add(smp)
+		}
 		if a.Count != len(samples) {
 			return false
 		}

@@ -73,7 +73,7 @@ func TestSystemHistoryThroughMeasureDB(t *testing.T) {
 	// samples into the global DB (each poll also publishes humidity and
 	// switch state, so the ingest counter alone is not enough).
 	device := url.QueryEscape("urn:district:turin/building:b00/device:d00")
-	historyURL := d.MeasureURL + "/query?device=" + device + "&quantity=temperature"
+	historyURL := d.MeasureURL + "/v1/query?device=" + device + "&quantity=temperature"
 	var doc *dataformat.Document
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {
@@ -94,7 +94,7 @@ func TestSystemHistoryThroughMeasureDB(t *testing.T) {
 	// And the device proxy's own buffer agrees in magnitude.
 	c := d.Client()
 	ctx := context.Background()
-	devices, err := c.Devices(ctx, "urn:district:turin/building:b00")
+	devices, err := c.Catalog().Devices(ctx, "urn:district:turin/building:b00")
 	if err != nil || len(devices) == 0 {
 		t.Fatalf("devices: %v %v", devices, err)
 	}
@@ -421,7 +421,7 @@ func TestSystemDeviceProxyLiveStream(t *testing.T) {
 	})
 	c := d.Client()
 	ctx := context.Background()
-	devices, err := c.Devices(ctx, "urn:district:turin/building:b00")
+	devices, err := c.Catalog().Devices(ctx, "urn:district:turin/building:b00")
 	if err != nil || len(devices) != 1 {
 		t.Fatalf("devices: %v %v", devices, err)
 	}
@@ -463,7 +463,7 @@ func TestSystemBatchActuation(t *testing.T) {
 	})
 	c := d.Client()
 	ctx := context.Background()
-	devices, err := c.Devices(ctx, "urn:district:turin/building:b00")
+	devices, err := c.Catalog().Devices(ctx, "urn:district:turin/building:b00")
 	if err != nil || len(devices) != 1 {
 		t.Fatalf("devices: %v %v", devices, err)
 	}
@@ -497,11 +497,11 @@ func TestSystemDeviceProxyStatsEndpoint(t *testing.T) {
 	}
 	c := d.Client()
 	ctx := context.Background()
-	devices, err := c.Devices(ctx, "urn:district:turin/building:b00")
+	devices, err := c.Catalog().Devices(ctx, "urn:district:turin/building:b00")
 	if err != nil || len(devices) != 1 {
 		t.Fatalf("devices: %v %v", devices, err)
 	}
-	rsp, err := http.Get(devices[0].ProxyURI + "stats")
+	rsp, err := http.Get(devices[0].ProxyURI + "v1/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -517,7 +517,7 @@ func TestSystemOntologyEndpointReflectsRegistrations(t *testing.T) {
 		Protocols: []core.Protocol{core.ProtoOPCUA},
 		PollEvery: time.Hour, Seed: 34,
 	})
-	doc, err := proxyhttp.GetDoc(nil, d.MasterURL+"/ontology?uri=urn:district:turin", dataformat.JSON)
+	doc, err := proxyhttp.GetDoc(nil, d.MasterURL+"/v1/ontology?uri=urn:district:turin", dataformat.JSON)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -977,3 +977,214 @@ func BenchmarkQ3_V2SamplesTransport(b *testing.B) {
 		}
 	})
 }
+
+// ---------------------------------------------------------------------
+// I — the /v2 ingest data plane and the sharded storage engine: write
+// throughput vs shard count, and the ingest transports vs the legacy
+// event-per-sample bus hop.
+// ---------------------------------------------------------------------
+
+// I1 — engine ingest throughput vs the single-lock store. The workload
+// is the ingest-dominated shape of the platform: concurrent producers
+// (gateways, proxy batchers, backfills) shipping per-device runs of
+// samples across many devices. store=single-lock is the pre-redesign
+// path — every sample individually resolved and locked in one Store,
+// exactly what the bus hop's Ingest-per-event did. The sharded engine
+// partitions rows by device hash once per run, hands them to the
+// per-shard append queues, and each shard's single writer applies whole
+// runs under one lock; shard count sets the write parallelism available
+// to multi-core hosts. Reported time is per ingested row.
+//
+// NOTE: the shards=N/shards=1 ratio measures write parallelism, so it
+// only opens up with real cores — on a single-core container every
+// variant converges to the same per-row cost (the queue+partition
+// machinery costs nothing it doesn't win back in run grouping), which
+// is itself the useful result there: sharding is free when it can't
+// help.
+func BenchmarkI1Ingest(b *testing.B) {
+	const (
+		devices   = 512
+		producers = 4
+		runLen    = 16 // consecutive samples per device, a flushed buffer
+		chunk     = 1024
+		perProd   = devices / producers
+	)
+	keys := make([]tsdb.SeriesKey, devices)
+	for d := range keys {
+		keys[d] = tsdb.SeriesKey{
+			Device:   fmt.Sprintf("urn:district:turin/building:b%03d/device:d%d", d/4, d%4),
+			Quantity: "temperature",
+		}
+	}
+	// produce feeds count rows from producer w's disjoint device subset
+	// as per-device runs (timestamps ascend per series). The chunk
+	// buffer is reused across ships — both write paths copy rows before
+	// returning (Enqueue partitions, Append reads by value).
+	produce := func(w, count int, ship func([]tsdb.Row)) {
+		rows := make([]tsdb.Row, 0, chunk)
+		for i := 0; i < count; i++ {
+			run := i / runLen
+			key := keys[w*perProd+run%perProd]
+			rows = append(rows, tsdb.Row{
+				Key:    key,
+				Sample: tsdb.Sample{At: benchT0.Add(time.Duration(run/perProd*runLen+i%runLen) * time.Second), Value: float64(i)},
+			})
+			if len(rows) == chunk {
+				ship(rows)
+				rows = rows[:0]
+			}
+		}
+		if len(rows) > 0 {
+			ship(rows)
+		}
+	}
+	runProducers := func(b *testing.B, ship func([]tsdb.Row)) {
+		var wg sync.WaitGroup
+		for w := 0; w < producers; w++ {
+			count := b.N / producers
+			if w == 0 {
+				count += b.N % producers
+			}
+			wg.Add(1)
+			go func(w, count int) {
+				defer wg.Done()
+				produce(w, count, ship)
+			}(w, count)
+		}
+		wg.Wait()
+	}
+
+	b.Run("store=single-lock", func(b *testing.B) {
+		st := tsdb.New(tsdb.Options{MaxSamplesPerSeries: 1 << 16})
+		defer st.Close()
+		b.ResetTimer()
+		runProducers(b, func(rows []tsdb.Row) {
+			for _, r := range rows { // the old path: one resolve+lock per sample
+				if err := st.Append(r.Key, r.Sample); err != nil {
+					b.Error(err)
+				}
+			}
+		})
+		b.StopTimer()
+		if st.Stats().Samples == 0 {
+			b.Fatal("no samples ingested")
+		}
+	})
+	for _, shards := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			eng := tsdb.NewSharded(tsdb.ShardedOptions{
+				Shards: shards,
+				Store:  tsdb.Options{MaxSamplesPerSeries: 1 << 16},
+			})
+			defer eng.Close()
+			b.ResetTimer()
+			runProducers(b, func(rows []tsdb.Row) {
+				if err := eng.Enqueue(rows); err != nil {
+					b.Error(err)
+				}
+			})
+			eng.Flush()
+			b.StopTimer()
+			if eng.Stats().Samples == 0 {
+				b.Fatal("no samples ingested")
+			}
+		})
+	}
+}
+
+// I2 — shipping samples to the measurements DB over HTTP: the batched
+// JSON ingest, the NDJSON streaming writer, and the legacy
+// one-event-per-sample /v1/publish bus hop they replace. Reported time
+// is per row delivered and stored.
+func BenchmarkI2_V2IngestTransport(b *testing.B) {
+	newSvc := func(b *testing.B) (*measuredb.Service, string) {
+		b.Helper()
+		svc := measuredb.New(measuredb.Options{DisableLegacyAliases: true})
+		b.Cleanup(svc.Close)
+		ts := httptest.NewServer(svc.Handler())
+		b.Cleanup(ts.Close)
+		return svc, ts.URL
+	}
+	row := func(i int) measuredb.Point {
+		return measuredb.Point{
+			Device:   fmt.Sprintf("urn:district:turin/building:b%03d/device:d0", i%64),
+			Quantity: "temperature",
+			At:       benchT0.Add(time.Duration(i) * time.Second),
+			Value:    float64(i),
+		}
+	}
+	ctx := context.Background()
+
+	b.Run("op=json-batch/rows=1000", func(b *testing.B) {
+		svc, url := newSvc(b)
+		ic := (&client.Client{MaxAttempts: 1}).Ingest(url)
+		b.ResetTimer()
+		for sent := 0; sent < b.N; {
+			n := 1000
+			if left := b.N - sent; left < n {
+				n = left
+			}
+			rows := make([]measuredb.Point, n)
+			for i := range rows {
+				rows[i] = row(sent + i)
+			}
+			res, err := ic.Append(ctx, rows)
+			if err != nil || res.Rejected != 0 {
+				b.Fatalf("append: %+v, err %v", res, err)
+			}
+			sent += n
+		}
+		b.StopTimer()
+		if svc.Stats().Ingested != uint64(b.N) {
+			b.Fatalf("ingested %d of %d", svc.Stats().Ingested, b.N)
+		}
+	})
+	b.Run("op=ndjson-stream", func(b *testing.B) {
+		svc, url := newSvc(b)
+		ic := (&client.Client{MaxAttempts: 1}).Ingest(url)
+		b.ResetTimer()
+		st, err := ic.Stream(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if err := st.Write(row(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		res, err := st.Close()
+		b.StopTimer()
+		if err != nil || res.Accepted != b.N {
+			b.Fatalf("stream summary %+v, err %v", res, err)
+		}
+		_ = svc
+	})
+	b.Run("op=bus-publish-per-sample", func(b *testing.B) {
+		svc, url := newSvc(b)
+		pub := &stream.RemotePublisher{BaseURL: url, Transport: &api.Transport{MaxAttempts: 1}}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m := row(i)
+			doc := dataformat.NewMeasurementDoc(dataformat.Measurement{
+				Source: "http://bench/", Device: m.Device,
+				Quantity: dataformat.Temperature, Unit: dataformat.Celsius,
+				Value: m.Value, Timestamp: m.At,
+			})
+			payload, err := doc.Encode(dataformat.JSON)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := pub.Publish(middleware.Event{
+				Topic:   measuredb.Topic(m.Device, dataformat.Temperature),
+				Payload: payload,
+				At:      m.At,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if svc.Stats().Ingested != uint64(b.N) {
+			b.Fatalf("ingested %d of %d", svc.Stats().Ingested, b.N)
+		}
+	})
+}

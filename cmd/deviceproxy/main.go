@@ -9,9 +9,14 @@
 //	    -protocol zigbee -master http://127.0.0.1:8080 \
 //	    -hub 127.0.0.1:7000 -addr :0 -poll 1s
 //
-// Instead of (or in addition to) the middleware TCP hub, samples can be
-// streamed to a remote service's HTTP publish ingress — the federated
-// topology where the measurements database runs on another host:
+// Instead of the middleware hops, samples can be shipped straight to
+// the measurements database's batched /v2 ingest plane — the preferred
+// write path:
+//
+//	deviceproxy -uri ... -ingest http://measuredb-host:9002
+//
+// The middleware TCP hub and the HTTP publish ingress remain as the
+// deprecated event-per-sample fallbacks:
 //
 //	deviceproxy -uri ... -publish http://measuredb-host:9002
 package main
@@ -26,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/client"
 	"repro/internal/dataformat"
 	"repro/internal/deviceproxy"
 	"repro/internal/middleware"
@@ -54,7 +60,8 @@ func main() {
 	protocol := flag.String("protocol", "zigbee", "device protocol: ieee802.15.4 | zigbee | enocean | opc-ua")
 	masterURL := flag.String("master", "", "master node base URL (empty: no registration)")
 	hubAddr := flag.String("hub", "", "middleware hub address (empty: no TCP publishing)")
-	publishURL := flag.String("publish", "", "remote service base URL to stream samples to over HTTP (empty: none)")
+	publishURL := flag.String("publish", "", "remote service base URL to publish samples to over HTTP, one event per sample (deprecated; empty: none)")
+	ingestURL := flag.String("ingest", "", "measurements DB base URL to ship samples to via batched /v2 ingest (empty: none)")
 	addr := flag.String("addr", "127.0.0.1:0", "web service listen address")
 	poll := flag.Duration("poll", time.Second, "sampling period")
 	seed := flag.Int64("seed", 1, "simulation seed")
@@ -98,6 +105,16 @@ func main() {
 		publisher = multiPublisher(publishers)
 	}
 
+	var writer deviceproxy.SampleWriter
+	if *ingestURL != "" {
+		batcher := (&client.Client{}).Ingest(*ingestURL).Batcher(client.BatcherOptions{
+			FlushEvery: *poll,
+			OnError:    func(err error) { logger.Printf("ingest flush: %v", err) },
+		})
+		defer batcher.Close()
+		writer = batcher
+	}
+
 	var limiter *api.RateLimiter
 	if *rate > 0 {
 		limiter = api.NewRateLimiter(*rate, int(*rate*2)+1)
@@ -110,6 +127,7 @@ func main() {
 		Senses:               []dataformat.Quantity{dataformat.Temperature, dataformat.Humidity},
 		Actuates:             actuates,
 		PollEvery:            *poll,
+		Writer:               writer,
 		Publisher:            publisher,
 		MasterURL:            *masterURL,
 		RateLimit:            limiter,

@@ -31,6 +31,9 @@ func main() {
 	legacy := flag.Bool("legacy-aliases", false, "serve unversioned legacy route aliases on every service (escape hatch)")
 	readRate := flag.Float64("read-rate", 0, "measurements DB read-tier rate limit per client IP (req/s, 0 = off)")
 	batchRate := flag.Float64("batch-rate", 0, "measurements DB /v2/query batch-tier rate limit per client IP (req/s, 0 = off)")
+	ingestRate := flag.Float64("ingest-rate", 0, "measurements DB /v2 ingest write-tier rate limit per client IP (req/s, 0 = off)")
+	shards := flag.Int("shards", 0, "measurements DB storage shards (0 = engine default)")
+	busWrites := flag.Bool("bus-writes", false, "route device samples over the deprecated middleware bus hop instead of /v2 ingest")
 	flag.Parse()
 
 	d, err := core.Bootstrap(core.Spec{
@@ -42,6 +45,9 @@ func main() {
 		LegacyAliases:      *legacy,
 		MeasureReadRate:    *readRate,
 		MeasureBatchRate:   *batchRate,
+		MeasureWriteRate:   *ingestRate,
+		MeasureShards:      *shards,
+		BusWrites:          *busWrites,
 	})
 	if err != nil {
 		log.Fatalf("bootstrap: %v", err)

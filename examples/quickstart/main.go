@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/measuredb"
 )
 
 func main() {
@@ -50,5 +51,33 @@ func main() {
 		len(model.Entities), len(model.Sources), len(model.Measurements))
 	for _, s := range model.Summarize() {
 		fmt.Printf("  %-55s %-12s latest %7.2f %s\n", s.Device, s.Quantity, s.Latest, s.Unit)
+	}
+
+	// 4. Write path: derive a district-level series and append it
+	//    through the typed /v2 ingest sub-client (the batched write
+	//    plane the device proxies themselves ride), then read it back
+	//    through the /v2 query plane.
+	var sum float64
+	var n int
+	for _, s := range model.Summarize() {
+		if s.Quantity == "temperature" {
+			sum += s.Latest
+			n++
+		}
+	}
+	if n > 0 {
+		const derived = "urn:district:turin/derived:avg"
+		res, err := c.Ingest(district.MeasureURL).Append(ctx, []measuredb.Point{
+			{Device: derived, Quantity: "temperature", At: time.Now().UTC(), Value: sum / float64(n)},
+		})
+		if err != nil {
+			log.Fatalf("ingest: %v", err)
+		}
+		latest, err := c.Measurements(district.MeasureURL).Latest(ctx, derived, "temperature")
+		if err != nil {
+			log.Fatalf("read back: %v", err)
+		}
+		fmt.Printf("\nderived district mean: %.2f °C (ingested %d row via /v2/ingest)\n",
+			latest.Value, res.Accepted)
 	}
 }

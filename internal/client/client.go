@@ -10,9 +10,13 @@
 //
 //	c.Catalog()                  master node: area queries, device
 //	                             resolution, ontology, registrations
-//	c.Measurements(baseURL)      measurements DB /v2 data plane: batch
-//	                             query, cursor pages, auto-depaginating
-//	                             iterator, NDJSON streaming
+//	c.Measurements(baseURL)      measurements DB /v2 query data plane:
+//	                             batch query, cursor pages, auto-
+//	                             depaginating iterator, NDJSON streaming
+//	c.Ingest(baseURL)            measurements DB /v2 ingest data plane:
+//	                             batched appends, auto-flushing batch
+//	                             builder, NDJSON streaming writer,
+//	                             idempotent retries
 //	c.Devices()                  device proxies: info/latest/data reads
 //	                             and (batch) actuation
 //	c.Streams()                  live SSE subscriptions + publish ingress
@@ -208,9 +212,12 @@ func (c *Client) SubscribeService(ctx context.Context, serviceURL, pattern strin
 	return c.Streams().SubscribeService(ctx, serviceURL, pattern)
 }
 
-// PublishEvent injects one event into a remote service's bus.
+// PublishEvent injects one event into a remote service's bus. For
+// measurement writes, the bus hop itself is the deprecated path: ship
+// samples through Ingest(baseURL) — batched, idempotent, and stored
+// without a re-decode — instead of publishing measurement documents.
 //
-// Deprecated: use Streams().Publish.
+// Deprecated: use Streams().Publish (or Ingest for measurement writes).
 func (c *Client) PublishEvent(ctx context.Context, serviceURL string, ev middleware.Event) error {
 	return c.Streams().Publish(ctx, serviceURL, ev)
 }

@@ -1,0 +1,347 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/measuredb"
+)
+
+// Ingest is the measurements-database write sub-client, bound to one
+// service base URL. It speaks the /v2 ingest data plane: batched JSON
+// appends, single-series PUTs, a size/interval auto-flushing batch
+// builder for steady producers (device proxies, load generators), and a
+// row-at-a-time NDJSON streaming writer for bulk backfills.
+//
+// Every delivery carries an Idempotency-Key — caller-supplied or minted
+// per batch — so the transport's retries can replay a timed-out request
+// without double-appending its rows.
+type Ingest struct {
+	c    *Client
+	base string
+}
+
+// Ingest returns the write sub-client for the measurements database at
+// baseURL.
+func (c *Client) Ingest(baseURL string) *Ingest {
+	return &Ingest{c: c, base: baseURL}
+}
+
+// IngestOption tunes one ingest delivery.
+type IngestOption func(*ingestOpts)
+
+type ingestOpts struct {
+	idempotencyKey string
+}
+
+// WithIdempotencyKey pins the delivery's Idempotency-Key (default: a
+// fresh key per call, which still protects transport-level retries).
+func WithIdempotencyKey(key string) IngestOption {
+	return func(o *ingestOpts) { o.idempotencyKey = key }
+}
+
+func applyIngestOpts(opts []IngestOption) ingestOpts {
+	o := ingestOpts{idempotencyKey: api.NewRequestID()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// post delivers one JSON write and decodes the summary envelope.
+func (g *Ingest) post(ctx context.Context, method, u string, in any, o ingestOpts) (*measuredb.IngestResult, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return nil, err
+	}
+	h := http.Header{
+		"Accept":       {"application/json"},
+		"Content-Type": {"application/json"},
+	}
+	if o.idempotencyKey != "" {
+		h.Set("Idempotency-Key", o.idempotencyKey)
+	}
+	raw, _, err := g.c.transport().Do(ctx, method, u, h, body)
+	if err != nil {
+		return nil, err
+	}
+	var out measuredb.IngestResult
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Append delivers one batch of self-contained rows (device and quantity
+// on each row) to POST /v2/ingest, returning the per-row summary.
+func (g *Ingest) Append(ctx context.Context, rows []measuredb.Point, opts ...IngestOption) (*measuredb.IngestResult, error) {
+	if len(rows) == 0 {
+		return &measuredb.IngestResult{}, nil
+	}
+	o := applyIngestOpts(opts)
+	return g.post(ctx, http.MethodPost, api.URL2(g.base, "/ingest"), measuredb.IngestBatch{Rows: rows}, o)
+}
+
+// AppendSeries appends samples to one series through
+// PUT /v2/series/{device}/{quantity}/samples; sample rows need only
+// at/value.
+func (g *Ingest) AppendSeries(ctx context.Context, device, quantity string, samples []measuredb.Point, opts ...IngestOption) (*measuredb.IngestResult, error) {
+	if len(samples) == 0 {
+		return &measuredb.IngestResult{}, nil
+	}
+	o := applyIngestOpts(opts)
+	u := api.URL2(g.base, "/series/"+url.PathEscape(device)+"/"+url.PathEscape(quantity)+"/samples")
+	return g.post(ctx, http.MethodPut, u, measuredb.SeriesAppend{Samples: samples}, o)
+}
+
+// ---------------------------------------------------------------------
+// Auto-flushing batch builder
+// ---------------------------------------------------------------------
+
+// BatcherOptions tune a Batcher.
+type BatcherOptions struct {
+	// MaxRows flushes when the pending batch reaches this size
+	// (default 256).
+	MaxRows int
+	// FlushEvery flushes a non-empty pending batch on this interval,
+	// bounding staleness for slow producers (default 1s; negative
+	// disables the timer — size-only flushing).
+	FlushEvery time.Duration
+	// FlushTimeout bounds one delivery (default 10s).
+	FlushTimeout time.Duration
+	// OnError observes failed deliveries (nil: drop silently). The rows
+	// of a failed delivery are dropped, not retried — the transport
+	// already retried transient failures under the batch's
+	// idempotency key.
+	OnError func(error)
+	// OnResult observes each delivery's summary (nil: ignored).
+	OnResult func(*measuredb.IngestResult)
+}
+
+// Batcher coalesces single samples into /v2/ingest batches, flushing on
+// size or interval — the producer-side replacement for the
+// one-event-per-sample bus hop. Most Adds only stage the row under a
+// lock; the Add that fills the batch to MaxRows delivers it inline
+// (bounded by FlushTimeout), which is the batcher's backpressure: a
+// producer outrunning the database slows to the delivery rate instead
+// of buffering without bound.
+type Batcher struct {
+	g    *Ingest
+	opts BatcherOptions
+
+	mu     sync.Mutex
+	buf    []measuredb.Point
+	closed bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Batcher builds an auto-flushing batch writer over this sub-client.
+func (g *Ingest) Batcher(opts BatcherOptions) *Batcher {
+	if opts.MaxRows <= 0 {
+		opts.MaxRows = 256
+	}
+	if opts.FlushEvery == 0 {
+		opts.FlushEvery = time.Second
+	}
+	if opts.FlushTimeout <= 0 {
+		opts.FlushTimeout = 10 * time.Second
+	}
+	b := &Batcher{
+		g:    g,
+		opts: opts,
+		buf:  make([]measuredb.Point, 0, opts.MaxRows),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// loop drives the interval flushes.
+func (b *Batcher) loop() {
+	defer close(b.done)
+	if b.opts.FlushEvery < 0 {
+		<-b.stop
+		return
+	}
+	ticker := time.NewTicker(b.opts.FlushEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			b.flush(b.take(0))
+		case <-b.stop:
+			return
+		}
+	}
+}
+
+// take removes and returns the pending rows when they number at least
+// threshold (0 takes any).
+func (b *Batcher) take(threshold int) []measuredb.Point {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.buf) == 0 || len(b.buf) < threshold {
+		return nil
+	}
+	rows := b.buf
+	b.buf = make([]measuredb.Point, 0, b.opts.MaxRows)
+	return rows
+}
+
+// flush delivers one taken batch.
+func (b *Batcher) flush(rows []measuredb.Point) {
+	if len(rows) == 0 {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), b.opts.FlushTimeout)
+	defer cancel()
+	res, err := b.g.Append(ctx, rows)
+	if err != nil {
+		if b.opts.OnError != nil {
+			b.opts.OnError(err)
+		}
+		return
+	}
+	if b.opts.OnResult != nil {
+		b.opts.OnResult(res)
+	}
+}
+
+// ErrBatcherClosed is returned by Add after Close.
+var ErrBatcherClosed = errors.New("client: ingest batcher closed")
+
+// Add stages one row, flushing inline when the size threshold fires.
+func (b *Batcher) Add(p measuredb.Point) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrBatcherClosed
+	}
+	b.buf = append(b.buf, p)
+	b.mu.Unlock()
+	b.flush(b.take(b.opts.MaxRows))
+	return nil
+}
+
+// Flush delivers any pending rows now.
+func (b *Batcher) Flush() { b.flush(b.take(0)) }
+
+// Close stops the interval goroutine and delivers the pending tail.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	b.mu.Unlock()
+	close(b.stop)
+	<-b.done
+	b.flush(b.take(0))
+}
+
+// ---------------------------------------------------------------------
+// NDJSON streaming writer
+// ---------------------------------------------------------------------
+
+// IngestStream is a row-at-a-time NDJSON write: rows cross the wire as
+// they are written (chunked transfer), neither end materializes the
+// batch, and Close returns the server's per-row summary.
+type IngestStream struct {
+	pw     *io.PipeWriter
+	enc    *json.Encoder
+	result chan streamResult
+	closed bool
+}
+
+type streamResult struct {
+	res *measuredb.IngestResult
+	err error
+}
+
+// Stream opens an NDJSON streaming write to POST /v2/ingest. Write rows
+// with Write, then Close to finish the request and read the summary.
+func (g *Ingest) Stream(ctx context.Context, opts ...IngestOption) (*IngestStream, error) {
+	o := applyIngestOpts(opts)
+	pr, pw := io.Pipe()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, api.URL2(g.base, "/ingest"), pr)
+	if err != nil {
+		pw.Close()
+		return nil, err
+	}
+	req.Header.Set("Content-Type", measuredb.NDJSONType)
+	req.Header.Set("Accept", "application/json")
+	if o.idempotencyKey != "" {
+		req.Header.Set("Idempotency-Key", o.idempotencyKey)
+	}
+	// Like the read-side Stream: reuse a caller transport for pooling but
+	// never its whole-request timeout, which would cut a long upload.
+	hc := streamHTTPClient
+	if g.c.HTTP != nil {
+		hc = &http.Client{Transport: g.c.HTTP.Transport, Jar: g.c.HTTP.Jar}
+	}
+	st := &IngestStream{pw: pw, enc: json.NewEncoder(pw), result: make(chan streamResult, 1)}
+	go func() {
+		rsp, err := hc.Do(req)
+		if err != nil {
+			pr.CloseWithError(err) // unblock a writer mid-Write
+			st.result <- streamResult{err: err}
+			return
+		}
+		defer rsp.Body.Close()
+		raw, _ := io.ReadAll(io.LimitReader(rsp.Body, 1<<20))
+		if rsp.StatusCode != http.StatusOK {
+			st.result <- streamResult{err: &api.StatusError{
+				Method: http.MethodPost, URL: req.URL.String(),
+				Status: rsp.StatusCode, Body: strings.TrimSpace(string(raw)),
+			}}
+			return
+		}
+		var res measuredb.IngestResult
+		if err := json.Unmarshal(raw, &res); err != nil {
+			st.result <- streamResult{err: err}
+			return
+		}
+		st.result <- streamResult{res: &res}
+	}()
+	return st, nil
+}
+
+// Write ships one row.
+func (s *IngestStream) Write(p measuredb.Point) error { return s.enc.Encode(p) }
+
+// Close finishes the upload and returns the server's summary envelope.
+func (s *IngestStream) Close() (*measuredb.IngestResult, error) {
+	if s.closed {
+		return nil, fmt.Errorf("client: ingest stream closed twice")
+	}
+	s.closed = true
+	if err := s.pw.Close(); err != nil {
+		return nil, err
+	}
+	r := <-s.result
+	return r.res, r.err
+}
+
+// Abort cancels the upload without a summary (e.g. the producer failed
+// mid-stream); the server keeps the rows already received.
+func (s *IngestStream) Abort(err error) {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.pw.CloseWithError(err)
+	<-s.result
+}

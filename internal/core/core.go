@@ -67,9 +67,19 @@ type Spec struct {
 	// cheap read routes per client IP (requests/second, the "read"
 	// tier). MeasureBatchRate does the same for POST /v2/query (the
 	// "batch" tier, typically much lower — each batch fans out over
-	// many series). Per-tier limiter stats surface in /v1/metrics.
+	// many series), and MeasureWriteRate for the /v2 ingest plane (the
+	// "write" tier). Per-tier limiter stats surface in /v1/metrics.
 	MeasureReadRate  float64
 	MeasureBatchRate float64
+	MeasureWriteRate float64
+	// MeasureShards partitions the measurements DB's storage engine by
+	// device hash (0 = the engine default).
+	MeasureShards int
+	// BusWrites routes device-proxy samples to the measurements DB over
+	// the deprecated middleware bus hop instead of the batched /v2
+	// ingest plane — the escape hatch while external deployments
+	// migrate.
+	BusWrites bool
 }
 
 func (s *Spec) withDefaults() Spec {
@@ -120,6 +130,7 @@ type District struct {
 	DeviceProxies []*deviceproxy.Proxy
 
 	pubNode *middleware.Node
+	ingest  *client.Batcher
 	closers []func()
 }
 
@@ -168,8 +179,10 @@ func Bootstrap(spec Spec) (*District, error) {
 	}
 	d.Measure = measuredb.New(measuredb.Options{
 		DisableLegacyAliases: !spec.LegacyAliases,
+		Shards:               spec.MeasureShards,
 		ReadLimiter:          limiter(spec.MeasureReadRate),
 		BatchLimiter:         limiter(spec.MeasureBatchRate),
+		WriteLimiter:         limiter(spec.MeasureWriteRate),
 	})
 	measureAddr, err := d.Measure.Serve("127.0.0.1:0")
 	if err != nil {
@@ -184,6 +197,18 @@ func Bootstrap(spec Spec) (*District, error) {
 		return nil, fmt.Errorf("core: measuredb node: %w", err)
 	}
 	d.closers = append(d.closers, measureNode.Close, d.Measure.Close)
+
+	// The device proxies' write path: one shared auto-flushing /v2
+	// ingest batcher (unless the deprecated bus hop is requested). It
+	// closes — final flush included — before the measurements DB does,
+	// and after the proxies stop sampling.
+	if !spec.BusWrites {
+		d.ingest = (&client.Client{}).Ingest(d.MeasureURL).Batcher(client.BatcherOptions{
+			MaxRows:    512,
+			FlushEvery: 200 * time.Millisecond,
+		})
+		d.closers = append(d.closers, d.ingest.Close)
+	}
 
 	// Ontology root.
 	ont := d.Master.Ontology()
@@ -362,17 +387,22 @@ func (d *District) addDevice(deviceURI string, proto Protocol, seed int64) error
 		return fmt.Errorf("core: unknown protocol %q", proto)
 	}
 
-	proxy, err := deviceproxy.New(deviceproxy.Options{
+	opts := deviceproxy.Options{
 		DeviceURI:            deviceURI,
 		Name:                 string(proto) + " device",
 		Driver:               driver,
 		Senses:               senses,
 		Actuates:             actuates,
 		PollEvery:            d.Spec.PollEvery,
-		Publisher:            d.pubNode,
 		MasterURL:            d.MasterURL,
 		DisableLegacyAliases: !d.Spec.LegacyAliases,
-	})
+	}
+	if d.ingest != nil {
+		opts.Writer = d.ingest // batched /v2 ingest plane
+	} else {
+		opts.Publisher = d.pubNode // deprecated bus hop (Spec.BusWrites)
+	}
+	proxy, err := deviceproxy.New(opts)
 	if err != nil {
 		return err
 	}

@@ -71,6 +71,15 @@ type Publisher interface {
 	Publish(ev middleware.Event) error
 }
 
+// SampleWriter is the /v2 ingest hook: collected samples are handed to
+// it as self-contained rows, batched and shipped by the implementation
+// (client.(*Ingest).Batcher is the canonical one). Compared to the bus
+// hop, rows arrive at the measurements DB without a document re-decode
+// and in size/interval-coalesced batches.
+type SampleWriter interface {
+	Add(p measuredb.Point) error
+}
+
 // Options configure a device proxy.
 type Options struct {
 	// DeviceURI is the device's ontology URI (required).
@@ -90,7 +99,19 @@ type Options struct {
 	PollEvery time.Duration
 	// LocalDB overrides the middle layer store (default: bounded store).
 	LocalDB *tsdb.Store
+	// Writer, when set, ships every collected sample to the measurements
+	// DB through the /v2 ingest plane (typically a client ingest
+	// batcher). It supersedes Publisher for the global write path; the
+	// proxy still publishes on its own bus for its local /v1/stream
+	// subscribers either way.
+	Writer SampleWriter
 	// Publisher receives measurement events (nil disables publishing).
+	// Ignored when Writer is set, so a migrating deployment doesn't
+	// double-write.
+	//
+	// Deprecated: the one-event-per-sample bus hop; prefer Writer (the
+	// batched /v2 ingest plane). Kept as the fallback for federated
+	// topologies that still relay through the middleware network.
 	Publisher Publisher
 	// MasterURL, when set, registers the proxy with the master node.
 	MasterURL string
@@ -278,10 +299,11 @@ func (p *Proxy) PollOnce() {
 	p.publish(ms)
 }
 
-// publish pushes measurements into the middleware, one event per
-// measurement on its device/quantity topic: always onto the proxy's own
-// bus (feeding its /v1/stream subscribers) and, when configured, to the
-// external Publisher (middleware node or remote HTTP ingress).
+// publish ships measurements out of the proxy: always onto its own bus
+// (feeding its /v1/stream subscribers), then either to the /v2 ingest
+// Writer as self-contained rows (the batched write path) or, as the
+// deprecated fallback, to the external Publisher one event per
+// measurement (middleware node or remote HTTP ingress).
 func (p *Proxy) publish(ms []dataformat.Measurement) {
 	for i := range ms {
 		payload, err := dataformat.NewMeasurementDoc(ms[i]).Encode(dataformat.JSON)
@@ -295,18 +317,33 @@ func (p *Proxy) publish(ms []dataformat.Measurement) {
 			At:      ms[i].Timestamp,
 		}
 		_ = p.bus.Publish(ev)
-		if p.opts.Publisher == nil {
-			continue
-		}
-		if err := p.opts.Publisher.Publish(ev); err == nil {
-			p.stats.Lock()
-			p.stats.published++
-			p.stats.Unlock()
+		switch {
+		case p.opts.Writer != nil:
+			row := measuredb.Point{
+				Device:   ms[i].Device,
+				Quantity: string(ms[i].Quantity),
+				At:       ms[i].Timestamp,
+				Value:    ms[i].Value,
+			}
+			if err := p.opts.Writer.Add(row); err == nil {
+				p.stats.Lock()
+				p.stats.published++
+				p.stats.Unlock()
+			}
+		case p.opts.Publisher != nil:
+			if err := p.opts.Publisher.Publish(ev); err == nil {
+				p.stats.Lock()
+				p.stats.published++
+				p.stats.Unlock()
+			}
 		}
 	}
 }
 
-// Stats are cumulative proxy counters.
+// Stats are cumulative proxy counters. Published counts samples handed
+// off the proxy: accepted by the Writer's batcher (delivery outcomes
+// are the batcher's OnError/OnResult and the DB's own counters) or, on
+// the deprecated path, successfully published to the Publisher.
 type Stats struct {
 	Polls     uint64 `json:"polls"`
 	PollErrs  uint64 `json:"pollErrors"`

@@ -389,3 +389,78 @@ func TestAggregateEndpoint(t *testing.T) {
 		}
 	}
 }
+
+// captureWriter is a SampleWriter recording the rows it receives.
+type captureWriter struct {
+	mu   sync.Mutex
+	rows []measuredb.Point
+}
+
+func (w *captureWriter) Add(p measuredb.Point) error {
+	w.mu.Lock()
+	w.rows = append(w.rows, p)
+	w.mu.Unlock()
+	return nil
+}
+
+// capturePublisher counts bus-hop publications.
+type capturePublisher struct {
+	mu     sync.Mutex
+	events int
+}
+
+func (p *capturePublisher) Publish(middleware.Event) error {
+	p.mu.Lock()
+	p.events++
+	p.mu.Unlock()
+	return nil
+}
+
+// TestWriterSupersedesPublisher checks the /v2 ingest Writer receives
+// every collected sample as a self-contained row and the deprecated
+// Publisher is skipped when both are configured (no double writes).
+func TestWriterSupersedesPublisher(t *testing.T) {
+	drv := &fakeDriver{readings: []Reading{
+		{Quantity: dataformat.Temperature, Value: 21.5, Unit: dataformat.Celsius},
+		{Quantity: dataformat.Humidity, Value: 44, Unit: dataformat.Percent},
+	}}
+	w := &captureWriter{}
+	pub := &capturePublisher{}
+	p, err := New(Options{
+		DeviceURI: testURI,
+		Driver:    drv,
+		PollEvery: time.Hour,
+		Writer:    w,
+		Publisher: pub,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	p.PollOnce()
+	w.mu.Lock()
+	rows := append([]measuredb.Point(nil), w.rows...)
+	w.mu.Unlock()
+	if len(rows) != 2 {
+		t.Fatalf("writer received %d rows, want 2", len(rows))
+	}
+	if rows[0].Device != testURI || rows[0].Quantity != "temperature" || rows[0].Value != 21.5 {
+		t.Fatalf("row 0 = %+v", rows[0])
+	}
+	if rows[0].At.IsZero() {
+		t.Fatal("row without timestamp")
+	}
+	pub.mu.Lock()
+	events := pub.events
+	pub.mu.Unlock()
+	if events != 0 {
+		t.Fatalf("deprecated publisher still received %d events", events)
+	}
+	if got := p.Stats().Published; got != 2 {
+		t.Fatalf("published counter = %d", got)
+	}
+}

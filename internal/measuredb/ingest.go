@@ -1,0 +1,466 @@
+package measuredb
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/dataformat"
+	"repro/internal/middleware"
+	"repro/internal/tsdb"
+)
+
+// The /v2 ingest data plane: the write half of the resource-oriented
+// API, replacing the one-sample-at-a-time bus hop for bulk writers.
+//
+//	POST /v2/ingest                                  batched JSON or NDJSON rows
+//	PUT  /v2/series/{device}/{quantity}/samples      single-series append
+//
+// Both routes report per-row outcomes: a row that fails validation (or
+// lands on a closed store) is counted and located in the summary
+// envelope instead of failing the request. NDJSON bodies are decoded
+// row at a time and applied in bounded chunks, so a request is O(chunk)
+// in server memory however many rows it carries. An optional
+// Idempotency-Key header deduplicates retries inside a sliding window.
+
+// maxIngestBody bounds ingest (and batch query) request bodies.
+const maxIngestBody = 64 << 20
+
+// ingestChunk is how many staged rows are applied per engine batch.
+const ingestChunk = 512
+
+// maxIngestErrors caps the per-row error list in a summary envelope;
+// further failures only count (ErrorsTruncated marks the cut).
+const maxIngestErrors = 64
+
+// IngestBatch is the JSON body of POST /v2/ingest.
+type IngestBatch struct {
+	Rows []Point `json:"rows"`
+}
+
+// SeriesAppend is the JSON body of PUT /v2/series/{device}/{quantity}/samples.
+// Sample rows carry at/value only; the series is named by the path.
+type SeriesAppend struct {
+	Samples []Point `json:"samples"`
+}
+
+// RowError locates one rejected row by its 0-based position in the
+// request body.
+type RowError struct {
+	Row   int    `json:"row"`
+	Error string `json:"error"`
+}
+
+// IngestResult is the summary envelope of the ingest plane.
+type IngestResult struct {
+	Accepted int        `json:"accepted"`
+	Rejected int        `json:"rejected"`
+	Errors   []RowError `json:"errors,omitempty"`
+	// ErrorsTruncated reports that more rows failed than Errors lists.
+	ErrorsTruncated bool `json:"errors_truncated,omitempty"`
+	// Replayed marks an idempotent replay: the rows were NOT re-applied,
+	// this is the stored outcome of the first delivery.
+	Replayed bool `json:"replayed,omitempty"`
+}
+
+// ---------------------------------------------------------------------
+// Idempotency window
+// ---------------------------------------------------------------------
+
+// defaultIdempotencyWindow is how long ingest results are replayable.
+const defaultIdempotencyWindow = 10 * time.Minute
+
+// maxDedupEntries bounds the window's memory under hostile keys.
+const maxDedupEntries = 4096
+
+// dedupWindow remembers recent ingest outcomes by Idempotency-Key, so a
+// client retrying a timed-out request (the shared transport replays
+// bodies on retry) does not double-append its rows. A key is claimed
+// BEFORE its rows are applied: a retry arriving while the first
+// delivery is still in flight waits for it and replays its outcome —
+// the in-flight window is exactly when timed-out retries land.
+type dedupWindow struct {
+	mu      sync.Mutex
+	ttl     time.Duration
+	entries map[string]*dedupEntry
+	queue   []dedupRef // FIFO of insertions for TTL/cap eviction
+	now     func() time.Time
+}
+
+type dedupEntry struct {
+	res  IngestResult
+	at   time.Time
+	done chan struct{} // closed when res is final
+	ok   bool          // res is valid (false: delivery abandoned)
+}
+
+type dedupRef struct {
+	key string
+	at  time.Time
+}
+
+// newDedupWindow builds the window (ttl 0 = default; negative disables
+// deduplication and returns nil).
+func newDedupWindow(ttl time.Duration) *dedupWindow {
+	if ttl < 0 {
+		return nil
+	}
+	if ttl == 0 {
+		ttl = defaultIdempotencyWindow
+	}
+	return &dedupWindow{ttl: ttl, entries: make(map[string]*dedupEntry), now: time.Now}
+}
+
+// pruneLocked drops expired entries and enforces the cap. In-flight
+// entries survive the cap sweep (they are completed or abandoned by
+// their request) but fall to TTL like any other — a delivery outliving
+// the whole window has no retry left to protect.
+func (d *dedupWindow) pruneLocked() {
+	now := d.now()
+	for len(d.queue) > 0 {
+		ref := d.queue[0]
+		if now.Sub(ref.at) < d.ttl && len(d.queue) <= maxDedupEntries {
+			break
+		}
+		d.queue = d.queue[1:]
+		// A re-used key may have a fresher entry; only forget the one
+		// this ref inserted.
+		if e, ok := d.entries[ref.key]; ok && e.at.Equal(ref.at) {
+			delete(d.entries, ref.key)
+		}
+	}
+}
+
+// dedupToken is one request's claim on an idempotency key; exactly one
+// of store or abandon must be called once the request settles.
+type dedupToken struct {
+	d *dedupWindow
+	e *dedupEntry
+}
+
+// store finalizes the claimed delivery: waiting and future retries
+// replay res.
+func (t *dedupToken) store(res IngestResult) {
+	if t == nil {
+		return
+	}
+	t.d.mu.Lock()
+	t.e.res, t.e.ok = res, true
+	close(t.e.done)
+	t.d.mu.Unlock()
+}
+
+// abandon releases the claim without an outcome (the request failed
+// before applying rows); a retry re-executes from scratch.
+func (t *dedupToken) abandon() {
+	if t == nil || t.e == nil {
+		return
+	}
+	t.d.mu.Lock()
+	if !t.e.ok { // store may have run already
+		delete(t.d.entries, t.key())
+		close(t.e.done)
+	}
+	t.d.mu.Unlock()
+	t.e = nil
+}
+
+// key finds the entry's key (abandon is rare; a scan is fine).
+func (t *dedupToken) key() string {
+	for k, e := range t.d.entries {
+		if e == t.e {
+			return k
+		}
+	}
+	return ""
+}
+
+// begin claims key for this request. It returns, exclusively:
+// a non-nil token (the caller owns the delivery and must store or
+// abandon), a non-nil result (a finished delivery to replay), or an
+// error (the context ended while waiting on an in-flight delivery).
+// An empty key (or disabled window) returns all nils: no idempotency.
+func (d *dedupWindow) begin(ctx context.Context, key string) (*dedupToken, *IngestResult, error) {
+	if d == nil || key == "" {
+		return nil, nil, nil
+	}
+	for {
+		d.mu.Lock()
+		d.pruneLocked()
+		e := d.entries[key]
+		if e == nil {
+			e = &dedupEntry{at: d.now(), done: make(chan struct{})}
+			d.entries[key] = e
+			d.queue = append(d.queue, dedupRef{key: key, at: e.at})
+			d.mu.Unlock()
+			return &dedupToken{d: d, e: e}, nil, nil
+		}
+		if e.ok {
+			res := e.res
+			res.Replayed = true
+			d.mu.Unlock()
+			return nil, &res, nil
+		}
+		done := e.done
+		d.mu.Unlock()
+		select {
+		case <-done: // finished or abandoned; re-examine
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Row staging
+// ---------------------------------------------------------------------
+
+// ingester stages the rows of one ingest request and applies them in
+// bounded chunks through the engine's batched, shard-parallel append
+// path. While at least one SSE subscriber is connected (re-checked per
+// chunk, so one joining mid-backfill picks up from the next chunk),
+// accepted rows are republished to the service's stream hub — directly
+// to the hub, not the bus, which would re-ingest them. With no
+// subscribers the hub (and its bounded replay ring) is skipped: that
+// keeps the ingest-dominated path free of per-row document encoding,
+// at the documented cost that rows ingested while nobody listens are
+// not resumable via Last-Event-ID (the bus write path feeds the ring
+// unconditionally).
+type ingester struct {
+	s   *Service
+	res IngestResult
+
+	rows []tsdb.Row
+	src  []int // global row index per staged row
+	next int   // next global row index
+}
+
+func (s *Service) newIngester() *ingester {
+	return &ingester{
+		s:    s,
+		rows: make([]tsdb.Row, 0, ingestChunk),
+		src:  make([]int, 0, ingestChunk),
+	}
+}
+
+// reject records one failed row.
+func (g *ingester) reject(row int, msg string) {
+	g.res.Rejected++
+	if len(g.res.Errors) < maxIngestErrors {
+		g.res.Errors = append(g.res.Errors, RowError{Row: row, Error: msg})
+	} else {
+		g.res.ErrorsTruncated = true
+	}
+}
+
+// add validates and stages one self-contained row (device and quantity
+// on the row itself).
+func (g *ingester) add(p Point) {
+	row := g.next
+	g.next++
+	if p.Device == "" {
+		g.reject(row, "missing device")
+		return
+	}
+	if p.Quantity == "" {
+		g.reject(row, "missing quantity")
+		return
+	}
+	g.stage(row, tsdb.SeriesKey{Device: p.Device, Quantity: p.Quantity}, p)
+}
+
+// addTo validates and stages one row of a path-named series.
+func (g *ingester) addTo(key tsdb.SeriesKey, p Point) {
+	row := g.next
+	g.next++
+	g.stage(row, key, p)
+}
+
+// stage applies the shared value/time validation and queues the row.
+func (g *ingester) stage(row int, key tsdb.SeriesKey, p Point) {
+	if math.IsNaN(p.Value) || math.IsInf(p.Value, 0) {
+		g.reject(row, "non-finite value")
+		return
+	}
+	at := p.At
+	if at.IsZero() {
+		at = time.Now().UTC()
+	}
+	g.rows = append(g.rows, tsdb.Row{Key: key, Sample: tsdb.Sample{At: at, Value: p.Value}})
+	g.src = append(g.src, row)
+	if len(g.rows) >= ingestChunk {
+		g.flush()
+	}
+}
+
+// flush applies the staged chunk and folds per-row outcomes into the
+// summary.
+func (g *ingester) flush() {
+	if len(g.rows) == 0 {
+		return
+	}
+	errs := g.s.store.AppendBatch(g.rows)
+	live := g.s.streamS.Hub().Stats().Subscribers > 0
+	for i := range g.rows {
+		if errs != nil && errs[i] != nil {
+			g.reject(g.src[i], errs[i].Error())
+			continue
+		}
+		g.res.Accepted++
+		if live {
+			g.publish(g.rows[i])
+		}
+	}
+	g.rows = g.rows[:0]
+	g.src = g.src[:0]
+}
+
+// publish feeds one accepted row to the stream hub for live subscribers.
+func (g *ingester) publish(r tsdb.Row) {
+	m := measurementsOf(r.Key, []tsdb.Sample{r.Sample}, g.s.srv.Addr())[0]
+	payload, err := dataformat.NewMeasurementDoc(m).Encode(dataformat.JSON)
+	if err != nil {
+		return
+	}
+	_ = g.s.streamS.Hub().Publish(middleware.Event{
+		Topic:   Topic(r.Key.Device, dataformat.Quantity(r.Key.Quantity)),
+		Payload: payload,
+		Headers: map[string]string{"content-type": "application/json"},
+		At:      r.Sample.At,
+	})
+}
+
+// finish applies any staged tail and returns the summary.
+func (g *ingester) finish() IngestResult {
+	g.flush()
+	g.s.ingested.Add(uint64(g.res.Accepted))
+	g.s.rejected.Add(uint64(g.res.Rejected))
+	return g.res
+}
+
+// ---------------------------------------------------------------------
+// Handlers
+// ---------------------------------------------------------------------
+
+// claimIdempotency claims the request's Idempotency-Key. When the key
+// already has an outcome (finished, or finishing while we wait), it is
+// replayed and handled=true is returned; otherwise the caller owns the
+// delivery and must tok.store (success) or tok.abandon (early failure)
+// — tok is nil when the request carries no key.
+func (s *Service) claimIdempotency(w http.ResponseWriter, r *http.Request) (tok *dedupToken, handled bool) {
+	tok, res, err := s.dedup.begin(r.Context(), r.Header.Get("Idempotency-Key"))
+	if err != nil {
+		api.WriteError(w, r, api.WithStatus(http.StatusServiceUnavailable,
+			fmt.Errorf("waiting on in-flight idempotent delivery: %v", err)))
+		return nil, true
+	}
+	if res != nil {
+		w.Header().Set("Idempotent-Replay", "true")
+		api.WriteJSON(w, http.StatusOK, *res)
+		return nil, true
+	}
+	return tok, false
+}
+
+// v2Ingest serves POST /v2/ingest: a batched JSON body ({"rows":[...]})
+// by default, or a row-at-a-time NDJSON stream when the request body is
+// application/x-ndjson. Rows are applied in bounded chunks through the
+// sharded engine; the response is a per-row summary envelope.
+func (s *Service) v2Ingest(w http.ResponseWriter, r *http.Request) {
+	tok, handled := s.claimIdempotency(w, r)
+	if handled {
+		return
+	}
+	defer tok.abandon() // no-op once the outcome is stored
+	// Body encoding negotiation mirrors the read plane: NDJSON on an
+	// explicit Content-Type or encoding=ndjson, anything else decoded
+	// as JSON (curl's default form content type included).
+	ct, _, _ := strings.Cut(r.Header.Get("Content-Type"), ";")
+	ndjson := strings.TrimSpace(ct) == NDJSONType
+	switch enc := r.URL.Query().Get("encoding"); enc {
+	case "":
+	case "json":
+		ndjson = false
+	case "ndjson":
+		ndjson = true
+	default:
+		api.WriteError(w, r, api.BadRequest(fmt.Errorf("bad encoding %q (want json or ndjson)", enc)))
+		return
+	}
+
+	body := http.MaxBytesReader(w, r.Body, maxIngestBody)
+	g := s.newIngester()
+	if ndjson {
+		dec := json.NewDecoder(body)
+		for {
+			var p Point
+			if err := dec.Decode(&p); err != nil {
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				// A malformed line poisons the rest of the stream: report
+				// it at its row index and stop reading; earlier rows stand.
+				g.reject(g.next, "malformed row: "+err.Error())
+				break
+			}
+			g.add(p)
+		}
+	} else {
+		var batch IngestBatch
+		if err := json.NewDecoder(body).Decode(&batch); err != nil {
+			api.WriteError(w, r, api.BadRequest(fmt.Errorf("bad request body: %v", err)))
+			return
+		}
+		if len(batch.Rows) == 0 {
+			api.WriteError(w, r, api.BadRequest(errors.New("empty rows")))
+			return
+		}
+		for _, p := range batch.Rows {
+			g.add(p)
+		}
+	}
+	res := g.finish()
+	tok.store(res)
+	api.WriteJSON(w, http.StatusOK, res)
+}
+
+// v2PutSamples serves PUT /v2/series/{device}/{quantity}/samples: an
+// append to one path-named series, with the same summary envelope and
+// idempotency window as POST /v2/ingest.
+func (s *Service) v2PutSamples(w http.ResponseWriter, r *http.Request) {
+	p := api.ParamsOf(r)
+	key := tsdb.SeriesKey{Device: p.Get("device"), Quantity: p.Get("quantity")}
+	if key.Device == "" || key.Quantity == "" {
+		api.WriteError(w, r, api.BadRequest(errors.New("missing device or quantity path segment")))
+		return
+	}
+	tok, handled := s.claimIdempotency(w, r)
+	if handled {
+		return
+	}
+	defer tok.abandon() // no-op once the outcome is stored
+	var req SeriesAppend
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody)).Decode(&req); err != nil {
+		api.WriteError(w, r, api.BadRequest(fmt.Errorf("bad request body: %v", err)))
+		return
+	}
+	if len(req.Samples) == 0 {
+		api.WriteError(w, r, api.BadRequest(errors.New("empty samples")))
+		return
+	}
+	g := s.newIngester()
+	for _, smp := range req.Samples {
+		g.addTo(key, smp)
+	}
+	res := g.finish()
+	tok.store(res)
+	api.WriteJSON(w, http.StatusOK, res)
+}

@@ -43,9 +43,10 @@ const (
 
 // Service is the measurements database.
 type Service struct {
-	store *tsdb.Store
+	store tsdb.Engine
 	srv   proxyhttp.Server
 	apiS  *api.Server
+	dedup *dedupWindow
 
 	// bus is the service's event spine: everything the service hears —
 	// local publishes, relayed middleware-node traffic, and remote
@@ -62,7 +63,15 @@ type Service struct {
 
 // Options configure the service.
 type Options struct {
-	// Store overrides the backing store; nil creates a default one.
+	// Engine overrides the backing storage engine. Nil builds a
+	// device-hash tsdb.Sharded engine with Shards partitions.
+	Engine tsdb.Engine
+	// Shards sizes the default sharded engine (0 = tsdb.DefaultShards).
+	// Ignored when Engine (or Store) is supplied.
+	Shards int
+	// Store overrides the backing store with a single-lock tsdb.Store.
+	//
+	// Deprecated: use Engine; kept so pre-sharding callers compile.
 	Store *tsdb.Store
 	// Logger receives access-log lines; nil silences them.
 	Logger api.Logger
@@ -84,15 +93,25 @@ type Options struct {
 	// — the "batch" tier. Batch reads fan out over many series, so they
 	// get a tighter budget than cheap single-series reads.
 	BatchLimiter *api.RateLimiter
+	// WriteLimiter, when set, rate-limits the /v2 ingest plane
+	// (POST /v2/ingest, PUT /v2/series/.../samples) per client IP — the
+	// "write" tier.
+	WriteLimiter *api.RateLimiter
+	// IdempotencyWindow is how long ingest Idempotency-Keys are
+	// remembered (0 = 10 minutes; negative disables deduplication).
+	IdempotencyWindow time.Duration
 }
 
 // New creates a measurements database service.
 func New(opts Options) *Service {
-	st := opts.Store
-	if st == nil {
-		st = tsdb.New(tsdb.Options{})
+	st := opts.Engine
+	if st == nil && opts.Store != nil {
+		st = opts.Store
 	}
-	s := &Service{store: st, bus: opts.Bus}
+	if st == nil {
+		st = tsdb.NewSharded(tsdb.ShardedOptions{Shards: opts.Shards})
+	}
+	s := &Service{store: st, bus: opts.Bus, dedup: newDedupWindow(opts.IdempotencyWindow)}
 	if s.bus == nil {
 		// Synchronous delivery: the spine's only subscribers (store
 		// ingest, stream hub) are non-blocking, and publishing inline on
@@ -124,8 +143,8 @@ func (s *Service) Bus() *middleware.Bus { return s.bus }
 // Stream exposes the streaming service (hub stats, KickAll).
 func (s *Service) Stream() *stream.Service { return s.streamS }
 
-// Store exposes the backing store (benchmarks and tests).
-func (s *Service) Store() *tsdb.Store { return s.store }
+// Store exposes the backing storage engine (benchmarks and tests).
+func (s *Service) Store() tsdb.Engine { return s.store }
 
 // Ingest stores one measurement document payload.
 func (s *Service) Ingest(m *dataformat.Measurement) error {
@@ -218,11 +237,13 @@ func (s *Service) Stats() Stats {
 //	GET  /v2/series[?device=&quantity=&limit=&cursor=]
 //	GET  /v2/series/{device}/{quantity}/samples|latest|aggregate
 //	POST /v2/query                       batch multi-series read
+//	POST /v2/ingest                      batched / NDJSON sample ingest
+//	PUT  /v2/series/{device}/{quantity}/samples  single-series append
 //
 // Route classes draw their own rate-limit tiers: cheap reads share
-// Options.ReadLimiter, the batch endpoint Options.BatchLimiter, and the
-// publish ingress the stream PublishLimiter — all surfaced per tier in
-// /v1/metrics.
+// Options.ReadLimiter, the batch endpoint Options.BatchLimiter, the
+// ingest plane Options.WriteLimiter, and the publish ingress the stream
+// PublishLimiter — all surfaced per tier in /v1/metrics.
 func (s *Service) buildAPI(opts Options) *api.Server {
 	srv := api.NewServer(api.Options{
 		Service:              "measuredb",
@@ -238,6 +259,7 @@ func (s *Service) buildAPI(opts Options) *api.Server {
 	}
 	read := tier(opts.ReadLimiter, "read")
 	batch := tier(opts.BatchLimiter, "batch")
+	write := tier(opts.WriteLimiter, "write")
 	if opts.Stream.PublishLimiter != nil {
 		srv.Metrics().RegisterLimiter("publish", opts.Stream.PublishLimiter)
 	}
@@ -250,7 +272,7 @@ func (s *Service) buildAPI(opts Options) *api.Server {
 	srv.Get("/stats", func(ctx context.Context, q url.Values) (any, error) {
 		return s.Stats(), nil
 	})
-	s.mountV2(srv, read, batch)
+	s.mountV2(srv, read, batch, write)
 	s.streamS.Mount(srv)
 	return srv
 }

@@ -1,0 +1,144 @@
+package measuredb
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/tsdb"
+)
+
+// Scatter-gather planning over the sharded store. A glob selector can
+// match series in every shard; resolution fans one matcher per shard and
+// merges the sorted per-shard key lists, so catalog listings and batch
+// queries see one deterministic order whatever the partitioning is.
+// Exact selectors skip the fan-out: the device hash names the one shard
+// that can hold the series.
+
+// matchKeys filters one key list by a selector, sorted.
+func matchKeys(keys []tsdb.SeriesKey, sel SeriesSelector) []tsdb.SeriesKey {
+	var out []tsdb.SeriesKey
+	for _, k := range keys {
+		if sel.Device != "" && !globMatch(sel.Device, k.Device) {
+			continue
+		}
+		if sel.Quantity != "" && !globMatch(sel.Quantity, k.Quantity) {
+			continue
+		}
+		out = append(out, k)
+	}
+	sortKeys(out)
+	return out
+}
+
+// mergeSortedKeys k-way merges per-shard sorted key lists into one
+// sorted list. Shard counts are small, so a linear min-scan per output
+// key beats heap bookkeeping.
+func mergeSortedKeys(lists [][]tsdb.SeriesKey) []tsdb.SeriesKey {
+	total, nonEmpty, last := 0, 0, -1
+	for i, l := range lists {
+		total += len(l)
+		if len(l) > 0 {
+			nonEmpty++
+			last = i
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	if nonEmpty == 1 {
+		return lists[last]
+	}
+	out := make([]tsdb.SeriesKey, 0, total)
+	pos := make([]int, len(lists))
+	for len(out) < total {
+		best := -1
+		for i, l := range lists {
+			if pos[i] >= len(l) {
+				continue
+			}
+			if best < 0 || keyLess(l[pos[i]], lists[best][pos[best]]) {
+				best = i
+			}
+		}
+		out = append(out, lists[best][pos[best]])
+		pos[best]++
+	}
+	return out
+}
+
+// keyLess orders series keys by device, then quantity.
+func keyLess(a, b tsdb.SeriesKey) bool {
+	if a.Device != b.Device {
+		return a.Device < b.Device
+	}
+	return a.Quantity < b.Quantity
+}
+
+// resolveSelector expands one selector to the stored series it matches,
+// sorted for deterministic output. On a sharded engine, glob selectors
+// scatter one matcher per shard and gather a merged sorted list; exact
+// device selectors only consult the owning shard.
+func (s *Service) resolveSelector(sel SeriesSelector) []tsdb.SeriesKey {
+	exactDevice := sel.Device != "" && !hasGlob(sel.Device)
+	if exactDevice && sel.Quantity != "" && !hasGlob(sel.Quantity) {
+		key := tsdb.SeriesKey{Device: sel.Device, Quantity: sel.Quantity}
+		if s.store.Len(key) > 0 {
+			return []tsdb.SeriesKey{key}
+		}
+		return nil
+	}
+	sh, sharded := s.store.(*tsdb.Sharded)
+	switch {
+	case sharded && exactDevice:
+		// One device → one shard; its key list is already device-local.
+		return matchKeys(s.store.KeysForDevice(sel.Device), sel)
+	case sharded && sh.NumShards() > 1:
+		per := make([][]tsdb.SeriesKey, sh.NumShards())
+		var wg sync.WaitGroup
+		for i := range per {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				per[i] = matchKeys(sh.Shard(i).Keys(), sel)
+			}(i)
+		}
+		wg.Wait()
+		return mergeSortedKeys(per)
+	default:
+		return matchKeys(s.store.Keys(), sel)
+	}
+}
+
+// gatherBatch evaluates one function per selector concurrently, bounded
+// by the host's parallelism, writing each result into its
+// request-ordered slot. It is the gather half of POST /v2/query: the
+// per-selector work (resolution, per-shard reads) runs in parallel, the
+// response order stays the request order.
+func gatherBatch(n int, eval func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			eval(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				eval(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -217,36 +217,7 @@ func hasGlob(s string) bool { return strings.ContainsRune(s, '*') }
 
 // sortKeys orders series keys by device, then quantity.
 func sortKeys(keys []tsdb.SeriesKey) {
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].Device != keys[j].Device {
-			return keys[i].Device < keys[j].Device
-		}
-		return keys[i].Quantity < keys[j].Quantity
-	})
-}
-
-// resolveSelector expands one selector to the stored series it matches,
-// sorted for deterministic output.
-func (s *Service) resolveSelector(sel SeriesSelector) []tsdb.SeriesKey {
-	if sel.Device != "" && !hasGlob(sel.Device) && sel.Quantity != "" && !hasGlob(sel.Quantity) {
-		key := tsdb.SeriesKey{Device: sel.Device, Quantity: sel.Quantity}
-		if s.store.Len(key) > 0 {
-			return []tsdb.SeriesKey{key}
-		}
-		return nil
-	}
-	var out []tsdb.SeriesKey
-	for _, k := range s.store.Keys() {
-		if sel.Device != "" && !globMatch(sel.Device, k.Device) {
-			continue
-		}
-		if sel.Quantity != "" && !globMatch(sel.Quantity, k.Quantity) {
-			continue
-		}
-		out = append(out, k)
-	}
-	sortKeys(out)
-	return out
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
 }
 
 // ---------------------------------------------------------------------
@@ -255,12 +226,14 @@ func (s *Service) resolveSelector(sel SeriesSelector) []tsdb.SeriesKey {
 
 // mountV2 registers the /v2 data plane on the service's API server,
 // wrapping the routes in their rate-limit tiers.
-func (s *Service) mountV2(srv *api.Server, read, batch func(http.Handler) http.Handler) {
+func (s *Service) mountV2(srv *api.Server, read, batch, write func(http.Handler) http.Handler) {
 	srv.HandleV2(http.MethodGet, "/series", read(api.Query(s.v2Series)))
 	srv.HandleV2(http.MethodGet, "/series/{device}/{quantity}/samples", read(http.HandlerFunc(s.v2Samples)))
 	srv.HandleV2(http.MethodGet, "/series/{device}/{quantity}/latest", read(api.QueryP(s.v2Latest)))
 	srv.HandleV2(http.MethodGet, "/series/{device}/{quantity}/aggregate", read(api.QueryP(s.v2Aggregate)))
-	srv.HandleV2(http.MethodPost, "/query", batch(api.Body(s.v2Batch)))
+	srv.HandleV2(http.MethodPost, "/query", batch(http.HandlerFunc(s.v2Query)))
+	srv.HandleV2(http.MethodPost, "/ingest", write(http.HandlerFunc(s.v2Ingest)))
+	srv.HandleV2(http.MethodPut, "/series/{device}/{quantity}/samples", write(http.HandlerFunc(s.v2PutSamples)))
 }
 
 // pageLimit parses the limit query parameter with the shared bounds.
@@ -505,74 +478,263 @@ func aggregateResponse(key tsdb.SeriesKey, agg tsdb.Aggregate) *AggregateRespons
 	}
 }
 
-// v2Batch evaluates a batch of series selectors in one request.
-func (s *Service) v2Batch(ctx context.Context, req BatchQuery) (any, error) {
+// batchPlan is a validated, normalized batch query.
+type batchPlan struct {
+	req    BatchQuery
+	window time.Duration
+	limit  int
+}
+
+// planBatch validates a batch request and normalizes its bounds.
+func planBatch(req BatchQuery) (batchPlan, error) {
 	if len(req.Selectors) == 0 {
-		return nil, api.BadRequest(errors.New("empty selector batch"))
+		return batchPlan{}, api.BadRequest(errors.New("empty selector batch"))
 	}
 	if len(req.Selectors) > maxBatchSelectors {
-		return nil, api.BadRequest(fmt.Errorf("%d selectors exceed the batch cap of %d", len(req.Selectors), maxBatchSelectors))
+		return batchPlan{}, api.BadRequest(fmt.Errorf("%d selectors exceed the batch cap of %d", len(req.Selectors), maxBatchSelectors))
 	}
 	if !req.To.IsZero() && req.To.Before(req.From) {
-		return nil, api.BadRequest(errors.New("to before from"))
+		return batchPlan{}, api.BadRequest(errors.New("to before from"))
 	}
-	var window time.Duration
+	plan := batchPlan{req: req, limit: clampLimit(req.Limit)}
 	if req.Window != "" {
 		var err error
-		if window, err = time.ParseDuration(req.Window); err != nil {
-			return nil, api.BadRequest(fmt.Errorf("bad window: %v", err))
+		if plan.window, err = time.ParseDuration(req.Window); err != nil {
+			return batchPlan{}, api.BadRequest(fmt.Errorf("bad window: %v", err))
 		}
 	}
-	limit := clampLimit(req.Limit)
+	return plan, nil
+}
 
-	out := BatchResponse{Results: make([]BatchResult, len(req.Selectors))}
+// evalSelector resolves one selector and reads every matched series.
+func (s *Service) evalSelector(plan batchPlan, sel SeriesSelector) BatchResult {
+	res := BatchResult{Selector: sel}
+	keys := s.resolveSelector(sel)
+	if len(keys) == 0 {
+		res.Error = "no matching series"
+		return res
+	}
+	req := plan.req
+	for _, key := range keys {
+		bs := BatchSeries{Device: key.Device, Quantity: key.Quantity}
+		var err error
+		switch {
+		case plan.window > 0:
+			var buckets []tsdb.Bucket
+			if buckets, err = s.store.Downsample(key, req.From, req.To, plan.window); err == nil {
+				bs.Buckets = buckets
+			}
+		case req.Aggregate:
+			var agg tsdb.Aggregate
+			if agg, err = s.store.Aggregate(key, req.From, req.To); err == nil {
+				bs.Aggregate = aggregateResponse(key, agg)
+			}
+		default:
+			var page tsdb.Page
+			if page, err = s.store.QueryPage(key, req.From, req.To, tsdb.Cursor{}, plan.limit); err == nil {
+				bs.Samples = make([]Point, len(page.Samples))
+				for j, smp := range page.Samples {
+					bs.Samples[j] = Point{At: smp.At, Value: smp.Value}
+				}
+				bs.Truncated = page.More
+			}
+		}
+		if err != nil {
+			// A series evicted between resolution and read is a
+			// per-selector miss, never a whole-batch failure.
+			res.Error = err.Error()
+			continue
+		}
+		res.Series = append(res.Series, bs)
+	}
+	return res
+}
+
+// sampleCount is one series result's contribution to the batch totals.
+func (bs *BatchSeries) sampleCount() int {
+	switch {
+	case bs.Aggregate != nil:
+		return bs.Aggregate.Count
+	case bs.Buckets != nil:
+		n := 0
+		for _, b := range bs.Buckets {
+			n += b.Count
+		}
+		return n
+	default:
+		return len(bs.Samples)
+	}
+}
+
+// evalBatch scatters the selectors over a bounded worker pool — each
+// selector's resolution additionally fans over the store's shards — and
+// gathers request-ordered results with whole-batch totals.
+func (s *Service) evalBatch(plan batchPlan) BatchResponse {
+	out := BatchResponse{Results: make([]BatchResult, len(plan.req.Selectors))}
+	gatherBatch(len(plan.req.Selectors), func(i int) {
+		out.Results[i] = s.evalSelector(plan, plan.req.Selectors[i])
+	})
+	for i := range out.Results {
+		for j := range out.Results[i].Series {
+			out.Series++
+			out.Samples += out.Results[i].Series[j].sampleCount()
+		}
+	}
+	return out
+}
+
+// v2Query evaluates a batch of series selectors in one request: a JSON
+// document by default, or a row-at-a-time NDJSON stream (Accept or
+// encoding=ndjson) whose raw-sample rows ride the store iterator, so the
+// response is O(1) in server memory however much the selectors match.
+func (s *Service) v2Query(w http.ResponseWriter, r *http.Request) {
+	var req BatchQuery
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody)).Decode(&req); err != nil {
+		api.WriteError(w, r, api.BadRequest(fmt.Errorf("bad request body: %v", err)))
+		return
+	}
+	plan, err := planBatch(req)
+	if err != nil {
+		api.WriteError(w, r, err)
+		return
+	}
+	mediaType := api.NegotiateMediaType(r.Header.Get("Accept"), "application/json", NDJSONType)
+	switch enc := r.URL.Query().Get("encoding"); enc {
+	case "":
+	case "json":
+		mediaType = "application/json"
+	case "ndjson":
+		mediaType = NDJSONType
+	default:
+		api.WriteError(w, r, api.BadRequest(fmt.Errorf("bad encoding %q (want json or ndjson)", enc)))
+		return
+	}
+	if mediaType == NDJSONType {
+		s.streamBatch(w, plan)
+		return
+	}
+	api.WriteJSON(w, http.StatusOK, s.evalBatch(plan))
+}
+
+// BatchRow is one line of an NDJSON-streamed batch response. Exactly one
+// of the payload fields is set: At/Value for a raw sample, Aggregate or
+// Bucket for pushed-down summaries, Truncated marking a series cut at
+// the limit, or Error for a failed selector.
+type BatchRow struct {
+	Selector  int                `json:"selector"`
+	Device    string             `json:"device,omitempty"`
+	Quantity  string             `json:"quantity,omitempty"`
+	At        *time.Time         `json:"at,omitempty"`
+	Value     *float64           `json:"value,omitempty"`
+	Truncated bool               `json:"truncated,omitempty"`
+	Aggregate *AggregateResponse `json:"aggregate,omitempty"`
+	Bucket    *tsdb.Bucket       `json:"bucket,omitempty"`
+	Error     string             `json:"error,omitempty"`
+}
+
+// BatchTrailer is the last line of an NDJSON-streamed batch response:
+// the whole-batch totals the JSON envelope carries in its top level.
+type BatchTrailer struct {
+	Summary bool `json:"summary"`
+	Series  int  `json:"series"`
+	Samples int  `json:"samples"`
+}
+
+// streamBatch writes one NDJSON row per sample/bucket/aggregate, walking
+// raw-sample selectors through the store iterator: selectors stream in
+// request order, memory stays O(1), and a trailer line carries the
+// totals.
+func (s *Service) streamBatch(w http.ResponseWriter, plan batchPlan) {
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", NDJSONType+"; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	req := plan.req
+	trailer := BatchTrailer{Summary: true}
+	rows := 0
+	emit := func(row BatchRow) bool {
+		rows++
+		if rows%256 == 0 && flusher != nil {
+			flusher.Flush()
+		}
+		return enc.Encode(row) == nil
+	}
 	for i, sel := range req.Selectors {
-		res := BatchResult{Selector: sel}
 		keys := s.resolveSelector(sel)
 		if len(keys) == 0 {
-			res.Error = "no matching series"
-			out.Results[i] = res
+			if !emit(BatchRow{Selector: i, Error: "no matching series"}) {
+				return
+			}
 			continue
 		}
 		for _, key := range keys {
-			bs := BatchSeries{Device: key.Device, Quantity: key.Quantity}
-			var err error
+			row := BatchRow{Selector: i, Device: key.Device, Quantity: key.Quantity}
 			switch {
-			case window > 0:
-				var buckets []tsdb.Bucket
-				if buckets, err = s.store.Downsample(key, req.From, req.To, window); err == nil {
-					bs.Buckets = buckets
-					for _, b := range buckets {
-						out.Samples += b.Count
+			case plan.window > 0:
+				buckets, err := s.store.Downsample(key, req.From, req.To, plan.window)
+				if err != nil {
+					if !emit(BatchRow{Selector: i, Error: err.Error()}) {
+						return
+					}
+					continue
+				}
+				trailer.Series++
+				for bi := range buckets {
+					trailer.Samples += buckets[bi].Count
+					row.Bucket = &buckets[bi]
+					if !emit(row) {
+						return
 					}
 				}
 			case req.Aggregate:
-				var agg tsdb.Aggregate
-				if agg, err = s.store.Aggregate(key, req.From, req.To); err == nil {
-					bs.Aggregate = aggregateResponse(key, agg)
-					out.Samples += agg.Count
+				agg, err := s.store.Aggregate(key, req.From, req.To)
+				if err != nil {
+					if !emit(BatchRow{Selector: i, Error: err.Error()}) {
+						return
+					}
+					continue
+				}
+				trailer.Series++
+				trailer.Samples += agg.Count
+				row.Aggregate = aggregateResponse(key, agg)
+				if !emit(row) {
+					return
 				}
 			default:
-				var page tsdb.Page
-				if page, err = s.store.QueryPage(key, req.From, req.To, tsdb.Cursor{}, limit); err == nil {
-					bs.Samples = make([]Point, len(page.Samples))
-					for j, smp := range page.Samples {
-						bs.Samples[j] = Point{At: smp.At, Value: smp.Value}
+				it := s.store.Iter(key, req.From, req.To, 0)
+				n := 0
+				for n < plan.limit {
+					smp, ok := it.Next()
+					if !ok {
+						break
 					}
-					bs.Truncated = page.More
-					out.Samples += len(bs.Samples)
+					n++
+					at, v := smp.At, smp.Value
+					row.At, row.Value = &at, &v
+					if !emit(row) {
+						return
+					}
+				}
+				if err := it.Err(); err != nil {
+					if !emit(BatchRow{Selector: i, Error: err.Error()}) {
+						return
+					}
+					continue
+				}
+				trailer.Series++
+				trailer.Samples += n
+				if n == plan.limit {
+					if _, more := it.Next(); more {
+						if !emit(BatchRow{Selector: i, Device: key.Device, Quantity: key.Quantity, Truncated: true}) {
+							return
+						}
+					}
 				}
 			}
-			if err != nil {
-				// A series evicted between resolution and read is a
-				// per-selector miss, never a whole-batch failure.
-				res.Error = err.Error()
-				continue
-			}
-			res.Series = append(res.Series, bs)
-			out.Series++
 		}
-		out.Results[i] = res
 	}
-	return out, nil
+	_ = enc.Encode(trailer)
+	if flusher != nil {
+		flusher.Flush()
+	}
 }

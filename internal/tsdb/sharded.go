@@ -1,0 +1,398 @@
+package tsdb
+
+import (
+	"sync"
+	"time"
+)
+
+// Engine is the storage surface the measurements services program
+// against: the single-lock Store implements it, and so does the
+// device-hash Sharded engine that partitions the key space for
+// write-parallel ingest. Readers and writers address series by key;
+// which shard (if any) owns a series is the engine's business.
+type Engine interface {
+	Append(key SeriesKey, smp Sample) error
+	AppendBatch(rows []Row) []error
+	Query(key SeriesKey, from, to time.Time) ([]Sample, error)
+	QueryPage(key SeriesKey, from, to time.Time, cur Cursor, limit int) (Page, error)
+	Iter(key SeriesKey, from, to time.Time, pageSize int) *Iterator
+	Latest(key SeriesKey) (Sample, error)
+	Len(key SeriesKey) int
+	Keys() []SeriesKey
+	KeysForDevice(device string) []SeriesKey
+	Aggregate(key SeriesKey, from, to time.Time) (Aggregate, error)
+	Downsample(key SeriesKey, from, to time.Time, window time.Duration) ([]Bucket, error)
+	Stats() Stats
+	Drop(key SeriesKey)
+	Close()
+}
+
+var (
+	_ Engine = (*Store)(nil)
+	_ Engine = (*Sharded)(nil)
+)
+
+// Row is one keyed sample, the unit of batched ingest.
+type Row struct {
+	Key    SeriesKey
+	Sample Sample
+}
+
+// AppendBatch appends rows in order, coalescing consecutive rows of the
+// same series into one locked run: batched producers (device buffers,
+// NDJSON backfills, the ingest chunker) pay the map lookup and the
+// series lock once per run instead of once per sample. The returned
+// slice is aligned with rows — errs[i] is rows[i]'s failure — and nil
+// when every row landed.
+func (s *Store) AppendBatch(rows []Row) []error {
+	var errs []error
+	for j := 0; j < len(rows); {
+		k := j + 1
+		for k < len(rows) && rows[k].Key == rows[j].Key {
+			k++
+		}
+		if err := s.appendRun(rows[j].Key, rows[j:k]); err != nil {
+			if errs == nil {
+				errs = make([]error, len(rows))
+			}
+			for m := j; m < k; m++ {
+				errs[m] = err
+			}
+		}
+		j = k
+	}
+	return errs
+}
+
+// DefaultShards is the shard count a zero ShardedOptions gets.
+const DefaultShards = 8
+
+// defaultQueueLen is the per-shard append-queue capacity, in batches.
+const defaultQueueLen = 256
+
+// ShardedOptions configure a Sharded engine.
+type ShardedOptions struct {
+	// Shards is the number of device-hash partitions (default
+	// DefaultShards). All of a device's series land in one shard, so
+	// per-series ordering and cursor semantics are exactly the Store's.
+	Shards int
+	// Store configures each shard's underlying Store.
+	Store Options
+	// QueueLen is the per-shard append-queue capacity in batches
+	// (default 256). Enqueue blocks when a shard's queue is full, which
+	// back-pressures producers instead of growing memory.
+	QueueLen int
+}
+
+// Sharded is a device-hash-partitioned storage engine: N independent
+// Stores, each owning the series of the devices that hash to it, plus a
+// single-writer append queue per shard. Reads route to the owning shard
+// and behave exactly like a Store (same value-based cursors, same
+// iterator); batched writes are split by shard and applied by the
+// per-shard workers in parallel, so ingest throughput scales with the
+// shard count instead of funnelling through one lock.
+type Sharded struct {
+	shards []*Store
+	queues []chan batchItem
+
+	mu     sync.RWMutex // guards closed vs. queue sends
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// batchItem is one unit of work on a shard's append queue. rows are the
+// shard's slice of a caller batch; idx maps them back to the caller's
+// indices inside errs (both nil for fire-and-forget enqueues). done, when
+// set, is signalled after the rows are applied.
+type batchItem struct {
+	rows []Row
+	idx  []int
+	errs []error
+	done *sync.WaitGroup
+}
+
+// NewSharded creates a Sharded engine and starts its append workers.
+func NewSharded(opts ShardedOptions) *Sharded {
+	n := opts.Shards
+	if n <= 0 {
+		n = DefaultShards
+	}
+	qlen := opts.QueueLen
+	if qlen <= 0 {
+		qlen = defaultQueueLen
+	}
+	s := &Sharded{
+		shards: make([]*Store, n),
+		queues: make([]chan batchItem, n),
+	}
+	for i := 0; i < n; i++ {
+		s.shards[i] = New(opts.Store)
+		s.queues[i] = make(chan batchItem, qlen)
+		s.wg.Add(1)
+		go s.worker(i)
+	}
+	return s
+}
+
+// worker drains one shard's append queue; it is the shard's only queued
+// writer, so queued appends never contend with each other and ride the
+// run-grouped batch path.
+func (s *Sharded) worker(i int) {
+	defer s.wg.Done()
+	store := s.shards[i]
+	for item := range s.queues[i] {
+		errs := store.AppendBatch(item.rows)
+		if errs != nil && item.errs != nil {
+			for j, err := range errs {
+				if err != nil {
+					item.errs[item.idx[j]] = err
+				}
+			}
+		}
+		if item.done != nil {
+			item.done.Done()
+		}
+	}
+}
+
+// NumShards reports the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// ShardFor reports which shard owns a device's series.
+func (s *Sharded) ShardFor(device string) int {
+	return int(fnv64a(device) % uint64(len(s.shards)))
+}
+
+// Shard exposes one shard's Store (scatter-gather planners fan reads
+// over the shards directly).
+func (s *Sharded) Shard(i int) *Store { return s.shards[i] }
+
+// shard returns the Store owning a device.
+func (s *Sharded) shard(device string) *Store {
+	return s.shards[s.ShardFor(device)]
+}
+
+// fnv64a is the FNV-1a hash, inlined to keep the per-row routing cost to
+// a few nanoseconds on the ingest hot path.
+func fnv64a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// partition splits rows into per-shard sub-batches, recording each row's
+// original index when track is set (so per-row errors line up). A
+// counting pass sizes every sub-batch exactly — no growth reallocations
+// on the ingest hot path — and the device hash is computed once per run
+// of equal devices, since batched producers ship per-device runs.
+func (s *Sharded) partition(rows []Row, track bool) (per [][]Row, idx [][]int) {
+	n := len(s.shards)
+	counts := make([]int, n)
+	shardOf := make([]int32, len(rows))
+	lastDev, sh := "", 0
+	for i := range rows {
+		if i == 0 || rows[i].Key.Device != lastDev {
+			sh = s.ShardFor(rows[i].Key.Device)
+			lastDev = rows[i].Key.Device
+		}
+		shardOf[i] = int32(sh)
+		counts[sh]++
+	}
+	per = make([][]Row, n)
+	if track {
+		idx = make([][]int, n)
+	}
+	for sh, c := range counts {
+		if c == 0 {
+			continue
+		}
+		per[sh] = make([]Row, 0, c)
+		if track {
+			idx[sh] = make([]int, 0, c)
+		}
+	}
+	for i, r := range rows {
+		sh := shardOf[i]
+		per[sh] = append(per[sh], r)
+		if track {
+			idx[sh] = append(idx[sh], i)
+		}
+	}
+	return per, idx
+}
+
+// Append stores one sample synchronously in the owning shard.
+func (s *Sharded) Append(key SeriesKey, smp Sample) error {
+	return s.shard(key.Device).Append(key, smp)
+}
+
+// AppendBatch splits rows by owning shard and applies the sub-batches in
+// parallel through the per-shard append queues, waiting for all of them.
+// The returned slice is aligned with rows (nil when every row landed);
+// each worker writes only its own rows' slots, so no locking is needed
+// around the shared slice.
+func (s *Sharded) AppendBatch(rows []Row) []error {
+	if len(rows) == 0 {
+		return nil
+	}
+	per, idx := s.partition(rows, true)
+	errs := make([]error, len(rows))
+	var done sync.WaitGroup
+
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		for i := range errs {
+			errs[i] = ErrClosed
+		}
+		return errs
+	}
+	for sh, sub := range per {
+		if len(sub) == 0 {
+			continue
+		}
+		done.Add(1)
+		s.queues[sh] <- batchItem{rows: sub, idx: idx[sh], errs: errs, done: &done}
+	}
+	s.mu.RUnlock()
+	done.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return errs
+		}
+	}
+	return nil
+}
+
+// Enqueue hands rows to the per-shard append workers without waiting
+// for them to land; Flush establishes a happened-before with readers.
+// Errors are dropped (the only queued-append failure is a closed
+// engine). Rows are copied while partitioning, so the caller may reuse
+// the slice immediately. Returns ErrClosed when the engine is closed.
+func (s *Sharded) Enqueue(rows []Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	per, _ := s.partition(rows, false)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	for sh, sub := range per {
+		if len(sub) == 0 {
+			continue
+		}
+		s.queues[sh] <- batchItem{rows: sub}
+	}
+	return nil
+}
+
+// Flush blocks until every append enqueued before the call has been
+// applied to its shard.
+func (s *Sharded) Flush() {
+	var done sync.WaitGroup
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return
+	}
+	for _, q := range s.queues {
+		done.Add(1)
+		q <- batchItem{done: &done}
+	}
+	s.mu.RUnlock()
+	done.Wait()
+}
+
+// Query routes to the owning shard.
+func (s *Sharded) Query(key SeriesKey, from, to time.Time) ([]Sample, error) {
+	return s.shard(key.Device).Query(key, from, to)
+}
+
+// QueryPage routes to the owning shard. A series lives in exactly one
+// shard, so the value-based cursor is by construction a per-shard resume
+// position and keeps its mutation-safety across pages.
+func (s *Sharded) QueryPage(key SeriesKey, from, to time.Time, cur Cursor, limit int) (Page, error) {
+	return s.shard(key.Device).QueryPage(key, from, to, cur, limit)
+}
+
+// Iter returns the owning shard's iterator.
+func (s *Sharded) Iter(key SeriesKey, from, to time.Time, pageSize int) *Iterator {
+	return s.shard(key.Device).Iter(key, from, to, pageSize)
+}
+
+// Latest routes to the owning shard.
+func (s *Sharded) Latest(key SeriesKey) (Sample, error) {
+	return s.shard(key.Device).Latest(key)
+}
+
+// Len routes to the owning shard.
+func (s *Sharded) Len(key SeriesKey) int { return s.shard(key.Device).Len(key) }
+
+// Keys concatenates every shard's keys, in no particular order.
+func (s *Sharded) Keys() []SeriesKey {
+	var out []SeriesKey
+	for _, sh := range s.shards {
+		out = append(out, sh.Keys()...)
+	}
+	return out
+}
+
+// KeysForDevice routes to the owning shard (a device's series never
+// straddle shards).
+func (s *Sharded) KeysForDevice(device string) []SeriesKey {
+	return s.shard(device).KeysForDevice(device)
+}
+
+// Aggregate routes to the owning shard.
+func (s *Sharded) Aggregate(key SeriesKey, from, to time.Time) (Aggregate, error) {
+	return s.shard(key.Device).Aggregate(key, from, to)
+}
+
+// Downsample routes to the owning shard.
+func (s *Sharded) Downsample(key SeriesKey, from, to time.Time, window time.Duration) ([]Bucket, error) {
+	return s.shard(key.Device).Downsample(key, from, to, window)
+}
+
+// Stats sums the shard counters.
+func (s *Sharded) Stats() Stats {
+	var st Stats
+	st.Shards = len(s.shards)
+	for _, sh := range s.shards {
+		sub := sh.Stats()
+		st.Series += sub.Series
+		st.Samples += sub.Samples
+	}
+	return st
+}
+
+// Drop removes a series from its owning shard.
+func (s *Sharded) Drop(key SeriesKey) { s.shard(key.Device).Drop(key) }
+
+// Close drains the append queues, stops the workers, and closes the
+// shards. Subsequent writes fail with ErrClosed.
+func (s *Sharded) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for _, q := range s.queues {
+		close(q)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	for _, sh := range s.shards {
+		sh.Close()
+	}
+}

@@ -102,17 +102,12 @@ func (s *Store) Close() {
 	s.mu.Unlock()
 }
 
-// Append stores one sample in the series for key. Samples older than the
-// retention window are dropped silently (they would be evicted
-// immediately anyway); the method still succeeds.
-func (s *Store) Append(key SeriesKey, smp Sample) error {
-	if s.opts.Retention > 0 && time.Since(smp.At) > s.opts.Retention {
-		return nil
-	}
+// getOrCreate resolves (creating on first write) the series of a key.
+func (s *Store) getOrCreate(key SeriesKey) (*series, error) {
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
-		return ErrClosed
+		return nil, ErrClosed
 	}
 	sr := s.series[key]
 	s.mu.RUnlock()
@@ -120,7 +115,7 @@ func (s *Store) Append(key SeriesKey, smp Sample) error {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
-			return ErrClosed
+			return nil, ErrClosed
 		}
 		sr = s.series[key]
 		if sr == nil {
@@ -129,16 +124,58 @@ func (s *Store) Append(key SeriesKey, smp Sample) error {
 		}
 		s.mu.Unlock()
 	}
+	return sr, nil
+}
 
-	sr.mu.Lock()
-	defer sr.mu.Unlock()
+// put stores one sample in a locked series: ordered tail append or
+// out-of-order spill.
+func (sr *series) put(smp Sample, segSize int) {
 	if !smp.At.Before(sr.lastAt) {
-		sr.appendOrdered(smp, s.opts.SegmentSize)
+		sr.appendOrdered(smp, segSize)
 		sr.lastAt = smp.At
 	} else {
 		sr.spill = append(sr.spill, smp)
 	}
 	sr.count++
+}
+
+// Append stores one sample in the series for key. Samples older than the
+// retention window are dropped silently (they would be evicted
+// immediately anyway); the method still succeeds.
+func (s *Store) Append(key SeriesKey, smp Sample) error {
+	if s.opts.Retention > 0 && time.Since(smp.At) > s.opts.Retention {
+		return nil
+	}
+	sr, err := s.getOrCreate(key)
+	if err != nil {
+		return err
+	}
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	sr.put(smp, s.opts.SegmentSize)
+	sr.evict(s.opts.MaxSamplesPerSeries)
+	return nil
+}
+
+// appendRun stores a run of same-series rows (row keys are ignored;
+// the run is stored under key) with one series resolution and one lock
+// acquisition for the whole run. Per-sample semantics match Append;
+// eviction runs once after the run, so the per-series bound may
+// transiently overshoot by at most the run length.
+func (s *Store) appendRun(key SeriesKey, rows []Row) error {
+	sr, err := s.getOrCreate(key)
+	if err != nil {
+		return err
+	}
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	for i := range rows {
+		smp := rows[i].Sample
+		if s.opts.Retention > 0 && time.Since(smp.At) > s.opts.Retention {
+			continue
+		}
+		sr.put(smp, s.opts.SegmentSize)
+	}
 	sr.evict(s.opts.MaxSamplesPerSeries)
 	return nil
 }
@@ -402,10 +439,13 @@ func (s *Store) Downsample(key SeriesKey, from, to time.Time, window time.Durati
 	return out, nil
 }
 
-// Stats summarizes the whole store.
+// Stats summarizes the whole store (or, for a Sharded engine, all
+// shards together — Shards is then the partition count, 0 for a plain
+// Store).
 type Stats struct {
 	Series  int
 	Samples int
+	Shards  int `json:",omitempty"`
 }
 
 // Stats reports store-wide counters.

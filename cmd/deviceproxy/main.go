@@ -27,6 +27,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -38,6 +39,8 @@ import (
 	"repro/internal/protocol/enocean"
 	"repro/internal/protocol/ieee802154"
 	"repro/internal/stream"
+	"repro/internal/tsdb"
+	"repro/internal/wal"
 	"repro/internal/wsn"
 )
 
@@ -67,6 +70,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	rate := flag.Float64("rate", 0, "per-client rate limit on hot data routes, requests/second (0: unlimited)")
 	legacy := flag.Bool("legacy-aliases", false, "serve unversioned legacy route aliases (escape hatch)")
+	dataDir := flag.String("data-dir", "", "durable storage directory for the proxy's local sample buffer (empty = in-memory)")
+	fsync := flag.String("fsync", "none", "WAL fsync policy with -data-dir: none | interval | always")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "deviceproxy: ", log.LstdFlags)
@@ -120,6 +125,25 @@ func main() {
 		limiter = api.NewRateLimiter(*rate, int(*rate*2)+1)
 	}
 
+	// The local database layer: an in-memory buffer by default, a
+	// WAL-backed engine when -data-dir makes the buffer restart-proof.
+	var localEngine tsdb.Engine
+	if *dataDir != "" {
+		mode, err := wal.ParseMode(*fsync)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		localEngine, err = tsdb.OpenSharded(tsdb.ShardedOptions{
+			Shards: 1,
+			Dir:    filepath.Join(*dataDir, "localdb"),
+			Fsync:  mode,
+			Store:  tsdb.Options{MaxSamplesPerSeries: 8192},
+		})
+		if err != nil {
+			logger.Fatalf("local db: %v", err)
+		}
+	}
+
 	proxy, err := deviceproxy.New(deviceproxy.Options{
 		DeviceURI:            *uri,
 		Name:                 *protocol + " device",
@@ -127,6 +151,7 @@ func main() {
 		Senses:               []dataformat.Quantity{dataformat.Temperature, dataformat.Humidity},
 		Actuates:             actuates,
 		PollEvery:            *poll,
+		LocalEngine:          localEngine,
 		Writer:               writer,
 		Publisher:            publisher,
 		MasterURL:            *masterURL,

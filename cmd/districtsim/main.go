@@ -34,6 +34,9 @@ func main() {
 	ingestRate := flag.Float64("ingest-rate", 0, "measurements DB /v2 ingest write-tier rate limit per client IP (req/s, 0 = off)")
 	shards := flag.Int("shards", 0, "measurements DB storage shards (0 = engine default)")
 	busWrites := flag.Bool("bus-writes", false, "route device samples over the deprecated middleware bus hop instead of /v2 ingest")
+	dataDir := flag.String("data-dir", "", "durable storage directory: WAL+snapshots under the measurements DB, persisted stream replay ring and ingest dedup window (empty = in-memory)")
+	fsync := flag.String("fsync", "none", "WAL fsync policy with -data-dir: none | interval | always")
+	snapshotEvery := flag.Int("snapshot-every", 0, "snapshot+compact each storage shard's WAL after N rows (0 = engine default)")
 	flag.Parse()
 
 	d, err := core.Bootstrap(core.Spec{
@@ -48,6 +51,9 @@ func main() {
 		MeasureWriteRate:   *ingestRate,
 		MeasureShards:      *shards,
 		BusWrites:          *busWrites,
+		DataDir:            *dataDir,
+		FsyncMode:          *fsync,
+		SnapshotEvery:      *snapshotEvery,
 	})
 	if err != nil {
 		log.Fatalf("bootstrap: %v", err)
@@ -56,6 +62,9 @@ func main() {
 	fmt.Printf("  master node     %s\n", d.MasterURL)
 	fmt.Printf("  middleware hub  %s\n", d.HubAddr)
 	fmt.Printf("  measurements DB %s\n", d.MeasureURL)
+	if *dataDir != "" {
+		fmt.Printf("  durable storage %s (fsync=%s)\n", *dataDir, *fsync)
+	}
 	fmt.Printf("  %d buildings, %d networks, %d device proxies\n",
 		len(d.BIMs), len(d.SIMs), len(d.DeviceProxies))
 	fmt.Printf("\ntry: districtctl -master %s model -district %s\n", d.MasterURL, d.Spec.District)

@@ -14,10 +14,13 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"repro/internal/master"
+	"repro/internal/stream"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -26,14 +29,26 @@ func main() {
 	ttl := flag.Duration("ttl", 5*time.Minute, "proxy liveness TTL")
 	sweep := flag.Duration("sweep", time.Minute, "stale-registration sweep period (0 disables)")
 	legacy := flag.Bool("legacy-aliases", false, "serve unversioned legacy route aliases (escape hatch; versioned /v1 paths are always served)")
+	dataDir := flag.String("data-dir", "", "durable storage directory for the registry-event stream replay ring (empty = in-memory)")
+	fsync := flag.String("fsync", "none", "WAL fsync policy with -data-dir: none | interval | always")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
+	var streamOpts stream.Options
+	if *dataDir != "" {
+		mode, err := wal.ParseMode(*fsync)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		streamOpts.Hub.Dir = filepath.Join(*dataDir, "stream")
+		streamOpts.Hub.Fsync = mode
+	}
 	m := master.New(master.Options{
 		LivenessTTL:          *ttl,
 		SweepEvery:           *sweep,
 		Logger:               logger,
 		DisableLegacyAliases: !*legacy,
+		Stream:               streamOpts,
 	})
 	if *district != "" {
 		uri, err := m.Ontology().AddDistrict(*district, *district)

@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"repro/internal/api"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/protocol/enocean"
 	"repro/internal/protocol/ieee802154"
 	"repro/internal/sim"
+	"repro/internal/wal"
 	"repro/internal/wsn"
 )
 
@@ -80,6 +82,20 @@ type Spec struct {
 	// ingest plane — the escape hatch while external deployments
 	// migrate.
 	BusWrites bool
+	// DataDir enables the durable storage layer under the measurements
+	// DB (in <DataDir>/measuredb): per-shard WAL + snapshots beneath the
+	// tsdb engine, a journaled stream replay ring (SSE Last-Event-ID
+	// resume survives a service restart), and a persisted ingest
+	// idempotency window. Empty keeps the district fully in-memory — the
+	// default, so existing tests and benches are unaffected.
+	DataDir string
+	// FsyncMode is the WAL fsync policy: "none" (default — acked writes
+	// survive a process kill, not a machine crash), "interval", or
+	// "always" (fsync before ack, group-committed per shard).
+	FsyncMode string
+	// SnapshotEvery compacts each tsdb shard's WAL into a snapshot
+	// after this many appended rows (0 = engine default).
+	SnapshotEvery int
 }
 
 func (s *Spec) withDefaults() Spec {
@@ -177,13 +193,26 @@ func Bootstrap(spec Spec) (*District, error) {
 		}
 		return api.NewRateLimiter(rate, int(rate*2)+1)
 	}
-	d.Measure = measuredb.New(measuredb.Options{
+	mopts := measuredb.Options{
 		DisableLegacyAliases: !spec.LegacyAliases,
 		Shards:               spec.MeasureShards,
 		ReadLimiter:          limiter(spec.MeasureReadRate),
 		BatchLimiter:         limiter(spec.MeasureBatchRate),
 		WriteLimiter:         limiter(spec.MeasureWriteRate),
-	})
+	}
+	if spec.DataDir != "" {
+		mode, err := wal.ParseMode(spec.FsyncMode)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		mopts.DataDir = filepath.Join(spec.DataDir, "measuredb")
+		mopts.Fsync = mode
+		mopts.SnapshotEvery = spec.SnapshotEvery
+	}
+	d.Measure, err = measuredb.Open(mopts)
+	if err != nil {
+		return nil, fmt.Errorf("core: measuredb: %w", err)
+	}
 	measureAddr, err := d.Measure.Serve("127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("core: measuredb: %w", err)

@@ -97,7 +97,14 @@ type Options struct {
 	Location *dataformat.Location
 	// PollEvery is the dedicated layer's sampling period (default 1s).
 	PollEvery time.Duration
-	// LocalDB overrides the middle layer store (default: bounded store).
+	// LocalEngine overrides the middle layer with any storage engine —
+	// e.g. a durable tsdb.OpenSharded engine so the proxy's sample
+	// buffer survives a restart (-data-dir on the deviceproxy binary).
+	LocalEngine tsdb.Engine
+	// LocalDB overrides the middle layer store.
+	//
+	// Deprecated: use LocalEngine (a *tsdb.Store satisfies it); kept so
+	// pre-engine callers compile. Ignored when LocalEngine is set.
 	LocalDB *tsdb.Store
 	// Writer, when set, ships every collected sample to the measurements
 	// DB through the /v2 ingest plane (typically a client ingest
@@ -131,7 +138,7 @@ type Options struct {
 // Proxy is a running device proxy.
 type Proxy struct {
 	opts    Options
-	store   *tsdb.Store
+	store   tsdb.Engine
 	srv     proxyhttp.Server
 	apiS    *api.Server
 	reg     *proxyhttp.Registrar
@@ -165,7 +172,10 @@ func New(opts Options) (*Proxy, error) {
 	if opts.PollEvery <= 0 {
 		opts.PollEvery = time.Second
 	}
-	store := opts.LocalDB
+	var store tsdb.Engine = opts.LocalEngine
+	if store == nil && opts.LocalDB != nil {
+		store = opts.LocalDB
+	}
 	if store == nil {
 		store = tsdb.New(tsdb.Options{MaxSamplesPerSeries: 8192})
 	}
@@ -196,7 +206,7 @@ func (p *Proxy) Metrics() *api.Metrics { return p.apiS.Metrics() }
 func (p *Proxy) SetLegacyAliases(enabled bool) { p.apiS.SetLegacyAliases(enabled) }
 
 // LocalDB exposes the middle layer (tests, benchmarks).
-func (p *Proxy) LocalDB() *tsdb.Store { return p.store }
+func (p *Proxy) LocalDB() tsdb.Engine { return p.store }
 
 // Run starts the web service on addr, the sampling loop, and (when a
 // master URL is configured) the registration. It returns the bound

@@ -46,6 +46,10 @@ type Options struct {
 	// DisableLegacyAliases drops the unversioned route aliases; only
 	// versioned paths are then served.
 	DisableLegacyAliases bool
+	// Stream tunes the master's streaming subsystem; setting Hub.Dir
+	// re-backs the registry-event replay ring with an on-disk log, so
+	// `districtctl watch` resumes survive a master restart.
+	Stream stream.Options
 }
 
 // Master is the ontology + registry service.
@@ -77,8 +81,13 @@ func New(opts Options) *Master {
 		stopCh: make(chan struct{}),
 	}
 	// Registry lifecycle events stream to remote subscribers (districtctl
-	// watch "registry/#", dashboards) through the master's own bus.
-	m.stream, _ = stream.NewService(m.bus, stream.Options{})
+	// watch "registry/#", dashboards) through the master's own bus. On
+	// the fresh bus this can only fail opening a durable replay ring —
+	// an unusable deployment, reported loudly at build time.
+	var err error
+	if m.stream, err = stream.NewService(m.bus, opts.Stream); err != nil {
+		panic("master: stream service: " + err.Error())
+	}
 	m.apiS = m.buildAPI()
 	return m
 }

@@ -1,0 +1,238 @@
+package measuredb
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dataformat"
+	"repro/internal/wal"
+)
+
+// openDurableServer builds a durable service over dir, plus its HTTP
+// front. close=false leaves the service un-Closed — the in-process
+// stand-in for a SIGKILL (everything acked was already write(2)-flushed
+// or fsynced; nothing graceful runs).
+func openDurableServer(t *testing.T, dir string) (*Service, *httptest.Server) {
+	t.Helper()
+	s, err := Open(Options{DataDir: dir, Fsync: wal.FsyncAlways, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	return s, ts
+}
+
+func TestDurableIngestAndDedupSurviveKill(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := openDurableServer(t, dir)
+	defer ts1.Close() // the service itself is deliberately NOT closed
+
+	body := `{"rows":[
+		{"device":"` + ingestDevice + `","quantity":"temperature","at":"2015-03-09T10:00:00Z","value":20.5},
+		{"device":"` + ingestDevice + `","quantity":"temperature","at":"2015-03-09T10:01:00Z","value":21}
+	]}`
+	code, rsp := postIngest(t, ts1.URL, "application/json", "crash-key-1", body)
+	if code != http.StatusOK {
+		t.Fatalf("ingest = %d: %s", code, rsp)
+	}
+	preSamples := s1.Store().Stats().Samples
+	if preSamples != 2 {
+		t.Fatalf("pre-kill samples = %d", preSamples)
+	}
+
+	// "Restart": a second service over the same data dir.
+	s2, ts2 := openDurableServer(t, dir)
+	defer func() { ts2.Close(); s2.Close() }()
+	if got := s2.Store().Stats().Samples; got != preSamples {
+		t.Fatalf("recovered %d samples, want %d", got, preSamples)
+	}
+
+	// The same keyed batch replays from the persisted window instead of
+	// double-appending.
+	code, rsp = postIngest(t, ts2.URL, "application/json", "crash-key-1", body)
+	if code != http.StatusOK {
+		t.Fatalf("retry = %d: %s", code, rsp)
+	}
+	var res IngestResult
+	if err := json.Unmarshal([]byte(rsp), &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Replayed || res.Accepted != 2 {
+		t.Fatalf("retry result = %+v, want replayed accepted=2", res)
+	}
+	if got := s2.Store().Stats().Samples; got != preSamples {
+		t.Fatalf("retry duplicated rows: %d samples, want %d", got, preSamples)
+	}
+
+	// A fresh key still executes normally on the recovered service.
+	code, rsp = postIngest(t, ts2.URL, "application/json", "crash-key-2", body)
+	if code != http.StatusOK {
+		t.Fatalf("fresh ingest = %d: %s", code, rsp)
+	}
+	if got := s2.Store().Stats().Samples; got != preSamples+2 {
+		t.Fatalf("fresh ingest landed %d samples, want %d", got, preSamples+2)
+	}
+}
+
+func TestDurableV1AppendSharesWritePath(t *testing.T) {
+	// /v1/append is a forwarder onto the v2 staging path: with a durable
+	// engine its rows are journaled exactly like /v2/ingest rows, and
+	// the response carries the Deprecation pointer at /v2/ingest.
+	dir := t.TempDir()
+	_, ts1 := openDurableServer(t, dir)
+	defer ts1.Close()
+
+	doc := dataformat.NewMeasurementDoc(dataformat.Measurement{
+		Source:    "t",
+		Device:    ingestDevice,
+		Quantity:  dataformat.Temperature,
+		Unit:      "Cel",
+		Value:     19,
+		Timestamp: time.Date(2015, 3, 9, 10, 0, 0, 0, time.UTC),
+	})
+	body, err := doc.Encode(dataformat.JSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := http.Post(ts1.URL+"/v1/append", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("v1 append = %d", r.StatusCode)
+	}
+	if r.Header.Get("Deprecation") != "true" {
+		t.Fatal("missing Deprecation header on /v1/append")
+	}
+
+	s2, ts2 := openDurableServer(t, dir)
+	defer func() { ts2.Close(); s2.Close() }()
+	if got := s2.Store().Stats().Samples; got != 1 {
+		t.Fatalf("v1-appended row not recovered: %d samples", got)
+	}
+}
+
+// TestDedupClaimTTL pins the regression from the never-completed-claim
+// bug: a client that claims a key and dies mid-request (its handler
+// never stores or abandons) must not park retries of that key forever —
+// after the claim TTL, the next retry takes the claim over.
+func TestDedupClaimTTL(t *testing.T) {
+	d := newDedupWindow(0, 0)
+	var clockMu sync.Mutex
+	now := time.Now()
+	d.now = func() time.Time { clockMu.Lock(); defer clockMu.Unlock(); return now }
+	advance := func(dt time.Duration) { clockMu.Lock(); now = now.Add(dt); clockMu.Unlock() }
+	ctx := context.Background()
+
+	tok1, res, err := d.begin(ctx, "k")
+	if tok1 == nil || res != nil || err != nil {
+		t.Fatalf("claim = %v %v %v", tok1, res, err)
+	}
+	// tok1's owner dies: neither store nor abandon ever runs.
+
+	// Within the TTL, a retry with a deadline waits and then errors.
+	cctx, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if _, _, err := d.begin(cctx, "k"); err == nil {
+		t.Fatal("retry inside claim TTL did not wait")
+	}
+
+	// Past the TTL the claim is handed over and the retry re-executes.
+	advance(defaultClaimTTL + time.Second)
+	tok2, res, err := d.begin(ctx, "k")
+	if err != nil || res != nil || tok2 == nil {
+		t.Fatalf("post-TTL begin = %v %v %v", tok2, res, err)
+	}
+	tok2.store(IngestResult{Accepted: 3})
+
+	// The stolen claim's late outcome is discarded: tok1 settling must
+	// not clobber the new owner's stored result (and must not panic on
+	// the already-closed done channel).
+	tok1.store(IngestResult{Accepted: 99})
+	_, res, err = d.begin(ctx, "k")
+	if err != nil || res == nil || res.Accepted != 3 || !res.Replayed {
+		t.Fatalf("replay after takeover = %+v, %v", res, err)
+	}
+
+	// Waiters blocked on the dead claim wake up when it is stolen and
+	// line up behind the new owner.
+	tok3, _, _ := d.begin(ctx, "k2")
+	_ = tok3 // dead owner again
+	woken := make(chan *IngestResult, 1)
+	go func() {
+		_, res, err := d.begin(ctx, "k2")
+		if err != nil {
+			t.Errorf("waiter: %v", err)
+		}
+		woken <- res
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter block
+	advance(defaultClaimTTL + time.Second)
+	tok4, res, err := d.begin(ctx, "k2") // steals
+	if tok4 == nil || res != nil || err != nil {
+		t.Fatalf("steal = %v %v %v", tok4, res, err)
+	}
+	tok4.store(IngestResult{Accepted: 5})
+	select {
+	case res := <-woken:
+		if res == nil || res.Accepted != 5 {
+			t.Fatalf("woken waiter got %+v", res)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter stayed parked after the claim was stolen")
+	}
+}
+
+func TestDedupClaimTTLDisabled(t *testing.T) {
+	d := newDedupWindow(0, -1)
+	now := time.Now()
+	d.now = func() time.Time { return now }
+	tok, _, _ := d.begin(context.Background(), "k")
+	if tok == nil {
+		t.Fatal("no claim")
+	}
+	// Well past any claim TTL but inside the idempotency window (the
+	// whole entry expires with the window either way).
+	now = now.Add(5 * time.Minute)
+	cctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, _, err := d.begin(cctx, "k"); err == nil {
+		t.Fatal("takeover happened with claimTTL disabled")
+	}
+}
+
+func TestDedupWindowCompactsOnBoot(t *testing.T) {
+	dir := t.TempDir()
+	d := newDedupWindow(0, 0)
+	if err := d.openLog(dir, wal.FsyncNone); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		tok, _, _ := d.begin(context.Background(), string(rune('a'+i)))
+		tok.store(IngestResult{Accepted: i})
+	}
+	d.close()
+
+	d2 := newDedupWindow(0, 0)
+	if err := d2.openLog(dir, wal.FsyncNone); err != nil {
+		t.Fatal(err)
+	}
+	defer d2.close()
+	_, res, err := d2.begin(context.Background(), "c")
+	if err != nil || res == nil || res.Accepted != 2 || !res.Replayed {
+		t.Fatalf("reloaded outcome = %+v, %v", res, err)
+	}
+	// An unknown key executes fresh.
+	tok, res, _ := d2.begin(context.Background(), "zz")
+	if tok == nil || res != nil {
+		t.Fatalf("fresh key = %v %v", tok, res)
+	}
+	tok.abandon()
+}

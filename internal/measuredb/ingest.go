@@ -16,6 +16,7 @@ import (
 	"repro/internal/dataformat"
 	"repro/internal/middleware"
 	"repro/internal/tsdb"
+	"repro/internal/wal"
 )
 
 // The /v2 ingest data plane: the write half of the resource-oriented
@@ -78,28 +79,54 @@ type IngestResult struct {
 // defaultIdempotencyWindow is how long ingest results are replayable.
 const defaultIdempotencyWindow = 10 * time.Minute
 
+// defaultClaimTTL is how long an unfinished claim may block retries
+// before a retry takes it over (see begin).
+const defaultClaimTTL = time.Minute
+
 // maxDedupEntries bounds the window's memory under hostile keys.
 const maxDedupEntries = 4096
+
+// dedupCompactEvery rewrites the persisted window (snapshot + log
+// truncation) after this many appended outcome records.
+const dedupCompactEvery = 4 * maxDedupEntries
 
 // dedupWindow remembers recent ingest outcomes by Idempotency-Key, so a
 // client retrying a timed-out request (the shared transport replays
 // bodies on retry) does not double-append its rows. A key is claimed
 // BEFORE its rows are applied: a retry arriving while the first
 // delivery is still in flight waits for it and replays its outcome —
-// the in-flight window is exactly when timed-out retries land.
+// the in-flight window is exactly when timed-out retries land. A claim
+// older than claimTTL whose owner never settled (a client that died
+// mid-request holding the connection open) is handed over to the next
+// retry instead of parking it forever.
+//
+// With a log attached (openLog), finished outcomes are also persisted,
+// so a batch acked before a crash replays after the restart instead of
+// double-appending. Claims are not persisted: a crash mid-delivery
+// leaves no outcome, and the retry re-executes against whatever prefix
+// of the batch the tsdb WAL preserved.
 type dedupWindow struct {
-	mu      sync.Mutex
-	ttl     time.Duration
-	entries map[string]*dedupEntry
-	queue   []dedupRef // FIFO of insertions for TTL/cap eviction
-	now     func() time.Time
+	mu       sync.Mutex
+	ttl      time.Duration
+	claimTTL time.Duration
+	entries  map[string]*dedupEntry
+	queue    []dedupRef // FIFO of insertions for TTL/cap eviction
+	now      func() time.Time
+
+	log         *wal.Log // nil: memory-only
+	dir         string
+	appended    int
+	persistErrs uint64 // outcomes finalized in memory but not journaled
 }
 
 type dedupEntry struct {
-	res  IngestResult
-	at   time.Time
-	done chan struct{} // closed when res is final
-	ok   bool          // res is valid (false: delivery abandoned)
+	key     string
+	res     IngestResult
+	at      time.Time
+	done    chan struct{} // closed when res is final
+	ok      bool          // res is valid (false: delivery abandoned)
+	pending bool          // res set, journal append in flight (see store)
+	stolen  bool          // claim handed to a newer request (see begin)
 }
 
 type dedupRef struct {
@@ -107,16 +134,149 @@ type dedupRef struct {
 	at  time.Time
 }
 
+// dedupRecord is the persisted form of one finished outcome.
+type dedupRecord struct {
+	Key string       `json:"key"`
+	At  time.Time    `json:"at"`
+	Res IngestResult `json:"res"`
+}
+
 // newDedupWindow builds the window (ttl 0 = default; negative disables
-// deduplication and returns nil).
-func newDedupWindow(ttl time.Duration) *dedupWindow {
+// deduplication and returns nil; claimTTL 0 = default, negative
+// disables claim takeover).
+func newDedupWindow(ttl, claimTTL time.Duration) *dedupWindow {
 	if ttl < 0 {
 		return nil
 	}
 	if ttl == 0 {
 		ttl = defaultIdempotencyWindow
 	}
-	return &dedupWindow{ttl: ttl, entries: make(map[string]*dedupEntry), now: time.Now}
+	if claimTTL == 0 {
+		claimTTL = defaultClaimTTL
+	}
+	return &dedupWindow{ttl: ttl, claimTTL: claimTTL, entries: make(map[string]*dedupEntry), now: time.Now}
+}
+
+// closedChan is the pre-closed done channel of reloaded entries.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// openLog attaches persistence: reload still-fresh outcomes from the
+// snapshot and log in dir, then compact them into a fresh snapshot so
+// boot cost stays proportional to the live window, not ingest history.
+func (d *dedupWindow) openLog(dir string, mode wal.Mode) error {
+	insert := func(p []byte) error {
+		var r dedupRecord
+		if err := json.Unmarshal(p, &r); err != nil {
+			return nil // unreadable outcome: drop it, keep the rest
+		}
+		if d.now().Sub(r.At) >= d.ttl {
+			return nil
+		}
+		d.entries[r.Key] = &dedupEntry{key: r.Key, res: r.Res, at: r.At, done: closedChan, ok: true}
+		d.queue = append(d.queue, dedupRef{key: r.Key, at: r.At})
+		return nil
+	}
+	snapSeq, sr, err := wal.LatestSnapshot(dir)
+	if err != nil {
+		return err
+	}
+	if sr != nil {
+		for {
+			p, err := sr.Record()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				sr.Close()
+				return err
+			}
+			_ = insert(p)
+		}
+		sr.Close()
+	}
+	log, err := wal.Open(dir, wal.Options{Fsync: mode, SegmentBytes: 1 << 20})
+	if err != nil {
+		return err
+	}
+	if err := log.Replay(snapSeq, func(_ uint64, p []byte) error { return insert(p) }); err != nil {
+		log.Close()
+		return err
+	}
+	d.log = log
+	d.dir = dir
+	d.compact()
+	return nil
+}
+
+// compact snapshots the live outcomes at the log watermark and
+// truncates the segments below it. The window's mutex is held only to
+// copy the live set — the snapshot write (file IO, two fsyncs) runs
+// outside it, so keyed requests never queue behind a compaction.
+// Outcomes journaled while the snapshot is being written sit above the
+// captured watermark and survive the truncation.
+func (d *dedupWindow) compact() {
+	d.mu.Lock()
+	log := d.log
+	if log == nil {
+		d.mu.Unlock()
+		return
+	}
+	d.pruneLocked()
+	seq := log.LastSeq()
+	recs := make([][]byte, 0, len(d.entries))
+	for _, ref := range d.queue {
+		e := d.entries[ref.key]
+		if e == nil || !(e.ok || e.pending) || !e.at.Equal(ref.at) {
+			continue
+		}
+		if p, err := json.Marshal(dedupRecord{Key: e.key, At: e.at, Res: e.res}); err == nil {
+			recs = append(recs, p)
+		}
+	}
+	dir := d.dir
+	d.mu.Unlock()
+
+	err := wal.WriteSnapshot(dir, seq, func(sw *wal.SnapshotWriter) error {
+		for _, p := range recs {
+			if err := sw.Record(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return // log intact; retried a full cadence later
+	}
+	_ = log.TruncateBefore(seq + 1)
+	wal.RemoveSnapshotsBefore(dir, seq)
+}
+
+// persistErrors reports outcomes finalized in memory but lost to the
+// journal (nil-safe); non-zero means acked keyed batches stopped being
+// crash-replayable at some point.
+func (d *dedupWindow) persistErrors() uint64 {
+	if d == nil {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.persistErrs
+}
+
+// close releases the persistence log (nil-safe).
+func (d *dedupWindow) close() {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.log != nil {
+		_ = d.log.Close()
+	}
 }
 
 // pruneLocked drops expired entries and enforces the cap. In-flight
@@ -147,15 +307,72 @@ type dedupToken struct {
 }
 
 // store finalizes the claimed delivery: waiting and future retries
-// replay res.
+// replay res, and with persistence attached the outcome is journaled
+// (under the log's fsync policy) before it becomes replayable or the
+// caller can respond — an acked keyed batch replays after a crash
+// instead of double-appending. The journal append (an fsync, in always
+// mode) runs OUTSIDE the window's mutex: only same-key waiters block on
+// it (done is still open), not every other key's begin(). A claim that
+// was taken over (claimTTL) discards its late outcome: the stealer
+// owns the key now.
 func (t *dedupToken) store(res IngestResult) {
 	if t == nil {
 		return
 	}
-	t.d.mu.Lock()
-	t.e.res, t.e.ok = res, true
-	close(t.e.done)
-	t.d.mu.Unlock()
+	d, e := t.d, t.e
+	d.mu.Lock()
+	if e.stolen {
+		d.mu.Unlock()
+		return
+	}
+	e.res = res
+	// pending makes the outcome visible to a concurrent compaction: its
+	// journal record may land just below the snapshot watermark and be
+	// truncated with the segments, so the snapshot must carry it.
+	e.pending = true
+	log := d.log
+	d.mu.Unlock()
+
+	journaled := false
+	if log != nil {
+		p, err := json.Marshal(dedupRecord{Key: e.key, At: e.at, Res: res})
+		if err == nil {
+			_, err = log.Append(p)
+		}
+		if err != nil {
+			// The log is sticky-failed: detach it and count the loss, so
+			// the degradation (acked outcomes no longer crash-replayable)
+			// is visible in the stats instead of silent.
+			d.mu.Lock()
+			d.persistErrs++
+			if d.log == log {
+				_ = d.log.Close()
+				d.log = nil
+			}
+			d.mu.Unlock()
+		} else {
+			journaled = true
+		}
+	}
+
+	compactDue := false
+	d.mu.Lock()
+	if e.stolen { // taken over while journaling; the stealer owns done now
+		d.mu.Unlock()
+		return
+	}
+	e.ok, e.pending = true, false
+	close(e.done)
+	if journaled {
+		if d.appended++; d.appended >= dedupCompactEvery {
+			d.appended = 0 // back off a full cadence, success or failure
+			compactDue = true
+		}
+	}
+	d.mu.Unlock()
+	if compactDue {
+		d.compact()
+	}
 }
 
 // abandon releases the claim without an outcome (the request failed
@@ -165,22 +382,15 @@ func (t *dedupToken) abandon() {
 		return
 	}
 	t.d.mu.Lock()
-	if !t.e.ok { // store may have run already
-		delete(t.d.entries, t.key())
-		close(t.e.done)
+	e := t.e
+	if !e.ok && !e.stolen {
+		if cur := t.d.entries[e.key]; cur == e {
+			delete(t.d.entries, e.key)
+		}
+		close(e.done)
 	}
 	t.d.mu.Unlock()
 	t.e = nil
-}
-
-// key finds the entry's key (abandon is rare; a scan is fine).
-func (t *dedupToken) key() string {
-	for k, e := range t.d.entries {
-		if e == t.e {
-			return k
-		}
-	}
-	return ""
 }
 
 // begin claims key for this request. It returns, exclusively:
@@ -188,6 +398,11 @@ func (t *dedupToken) key() string {
 // abandon), a non-nil result (a finished delivery to replay), or an
 // error (the context ended while waiting on an in-flight delivery).
 // An empty key (or disabled window) returns all nils: no idempotency.
+//
+// An in-flight claim older than claimTTL is treated as abandoned by a
+// dead client and handed to the arriving retry: the old owner's late
+// outcome (if it ever settles) is discarded, and any requests waiting
+// on it wake up and line up behind the new claim.
 func (d *dedupWindow) begin(ctx context.Context, key string) (*dedupToken, *IngestResult, error) {
 	if d == nil || key == "" {
 		return nil, nil, nil
@@ -197,7 +412,7 @@ func (d *dedupWindow) begin(ctx context.Context, key string) (*dedupToken, *Inge
 		d.pruneLocked()
 		e := d.entries[key]
 		if e == nil {
-			e = &dedupEntry{at: d.now(), done: make(chan struct{})}
+			e = &dedupEntry{key: key, at: d.now(), done: make(chan struct{})}
 			d.entries[key] = e
 			d.queue = append(d.queue, dedupRef{key: key, at: e.at})
 			d.mu.Unlock()
@@ -209,10 +424,19 @@ func (d *dedupWindow) begin(ctx context.Context, key string) (*dedupToken, *Inge
 			d.mu.Unlock()
 			return nil, &res, nil
 		}
+		if d.claimTTL > 0 && d.now().Sub(e.at) >= d.claimTTL {
+			e.stolen = true
+			close(e.done) // waiters re-examine and find the fresh claim
+			fresh := &dedupEntry{key: key, at: d.now(), done: make(chan struct{})}
+			d.entries[key] = fresh
+			d.queue = append(d.queue, dedupRef{key: key, at: fresh.at})
+			d.mu.Unlock()
+			return &dedupToken{d: d, e: fresh}, nil, nil
+		}
 		done := e.done
 		d.mu.Unlock()
 		select {
-		case <-done: // finished or abandoned; re-examine
+		case <-done: // finished, abandoned or stolen; re-examine
 		case <-ctx.Done():
 			return nil, nil, ctx.Err()
 		}

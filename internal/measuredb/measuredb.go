@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/url"
+	"path/filepath"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/proxyhttp"
 	"repro/internal/stream"
 	"repro/internal/tsdb"
+	"repro/internal/wal"
 )
 
 func init() {
@@ -100,18 +102,80 @@ type Options struct {
 	// IdempotencyWindow is how long ingest Idempotency-Keys are
 	// remembered (0 = 10 minutes; negative disables deduplication).
 	IdempotencyWindow time.Duration
+	// IdempotencyClaimTTL is how long an unfinished idempotency claim
+	// (a keyed request that never stored an outcome — typically a client
+	// that died mid-request) may block retries of the same key before a
+	// retry takes the claim over and re-executes (0 = 1 minute;
+	// negative disables takeover).
+	IdempotencyClaimTTL time.Duration
+
+	// DataDir enables the durable storage layer: the default engine
+	// becomes a WAL-backed tsdb.Sharded under <DataDir>/tsdb, the stream
+	// replay ring is journaled under <DataDir>/stream (Last-Event-ID
+	// resume survives a restart), and finished ingest idempotency
+	// outcomes persist under <DataDir>/dedup (acked keyed batches replay
+	// after a crash instead of double-appending). Empty keeps everything
+	// in memory. Ignored by the engine when Engine or Store is supplied;
+	// the stream and dedup state still persist.
+	DataDir string
+	// Fsync is the WAL durability policy for all three logs (default
+	// wal.FsyncNone: acked writes survive a process kill; "interval"
+	// bounds machine-crash loss to SyncEvery; "always" fsyncs before
+	// acking, group-committed per shard queue wave).
+	Fsync wal.Mode
+	// SnapshotEvery compacts each tsdb shard's WAL into a snapshot after
+	// this many appended rows (0 = engine default, 65536; negative
+	// disables record-based snapshots).
+	SnapshotEvery int
+	// SnapshotInterval also cuts a shard snapshot when the last one is
+	// older than this (0 disables).
+	SnapshotInterval time.Duration
 }
 
-// New creates a measurements database service.
+// New creates a measurements database service. It can only fail when
+// Options.DataDir requests durability — use Open for that; New panics
+// on a disk error.
 func New(opts Options) *Service {
+	s, err := Open(opts)
+	if err != nil {
+		panic("measuredb: " + err.Error() + " (use Open for durable services)")
+	}
+	return s
+}
+
+// Open creates a measurements database service, recovering the storage
+// engine, the stream replay ring, and the ingest idempotency window
+// from Options.DataDir when set.
+func Open(opts Options) (*Service, error) {
 	st := opts.Engine
 	if st == nil && opts.Store != nil {
 		st = opts.Store
 	}
+	var err error
 	if st == nil {
-		st = tsdb.NewSharded(tsdb.ShardedOptions{Shards: opts.Shards})
+		if opts.DataDir != "" {
+			st, err = tsdb.OpenSharded(tsdb.ShardedOptions{
+				Shards:           opts.Shards,
+				Dir:              filepath.Join(opts.DataDir, "tsdb"),
+				Fsync:            opts.Fsync,
+				SnapshotEvery:    opts.SnapshotEvery,
+				SnapshotInterval: opts.SnapshotInterval,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("open tsdb engine: %w", err)
+			}
+		} else {
+			st = tsdb.NewSharded(tsdb.ShardedOptions{Shards: opts.Shards})
+		}
 	}
-	s := &Service{store: st, bus: opts.Bus, dedup: newDedupWindow(opts.IdempotencyWindow)}
+	dedup := newDedupWindow(opts.IdempotencyWindow, opts.IdempotencyClaimTTL)
+	if dedup != nil && opts.DataDir != "" {
+		if err := dedup.openLog(filepath.Join(opts.DataDir, "dedup"), opts.Fsync); err != nil {
+			st.Close()
+			return nil, fmt.Errorf("open idempotency window: %w", err)
+		}
+	}
+	s := &Service{store: st, bus: opts.Bus, dedup: dedup}
 	if s.bus == nil {
 		// Synchronous delivery: the spine's only subscribers (store
 		// ingest, stream hub) are non-blocking, and publishing inline on
@@ -120,19 +184,28 @@ func New(opts Options) *Service {
 		s.bus = middleware.NewBus(middleware.BusOptions{QueueLen: -1})
 		s.ownBus = true
 	}
-	// On the service's own freshly-created spine these cannot fail; an
-	// externally supplied bus can (already closed), and a service without
-	// its ingest path or stream is unusable — fail loudly at build time
-	// rather than nil-panic on the first request.
-	var err error
-	if s.ingest, err = s.bus.Subscribe(IngestPattern, s.onEvent); err != nil {
-		panic(fmt.Sprintf("measuredb: ingest subscription on supplied bus: %v", err))
+	fail := func(err error) (*Service, error) {
+		dedup.close()
+		if s.ownBus {
+			s.bus.Close()
+		}
+		st.Close()
+		return nil, err
 	}
-	if s.streamS, err = stream.NewService(s.bus, opts.Stream); err != nil {
-		panic(fmt.Sprintf("measuredb: stream service on supplied bus: %v", err))
+	if s.ingest, err = s.bus.Subscribe(IngestPattern, s.onEvent); err != nil {
+		return fail(fmt.Errorf("ingest subscription on supplied bus: %w", err))
+	}
+	streamOpts := opts.Stream
+	if opts.DataDir != "" && streamOpts.Hub.Dir == "" {
+		streamOpts.Hub.Dir = filepath.Join(opts.DataDir, "stream")
+		streamOpts.Hub.Fsync = opts.Fsync
+	}
+	if s.streamS, err = stream.NewService(s.bus, streamOpts); err != nil {
+		s.ingest.Unsubscribe()
+		return fail(fmt.Errorf("stream service: %w", err))
 	}
 	s.apiS = s.buildAPI(opts)
-	return s
+	return s, nil
 }
 
 // Bus exposes the service's event spine. Publishing a measurement
@@ -208,15 +281,20 @@ type Stats struct {
 	Rejected uint64          `json:"rejected"`
 	Store    tsdb.Stats      `json:"store"`
 	Stream   stream.HubStats `json:"stream"`
+	// DedupPersistErrors counts idempotency outcomes that were acked but
+	// could not be journaled (durable services only): non-zero means
+	// keyed retries of those batches would re-execute after a crash.
+	DedupPersistErrors uint64 `json:"dedup_persist_errors,omitempty"`
 }
 
 // Stats returns a snapshot of service counters.
 func (s *Service) Stats() Stats {
 	return Stats{
-		Ingested: s.ingested.Load(),
-		Rejected: s.rejected.Load(),
-		Store:    s.store.Stats(),
-		Stream:   s.streamS.Hub().Stats(),
+		Ingested:           s.ingested.Load(),
+		Rejected:           s.rejected.Load(),
+		Store:              s.store.Stats(),
+		Stream:             s.streamS.Hub().Stats(),
+		DedupPersistErrors: s.dedup.persistErrors(),
 	}
 }
 
@@ -264,7 +342,7 @@ func (s *Service) buildAPI(opts Options) *api.Server {
 		srv.Metrics().RegisterLimiter("publish", opts.Stream.PublishLimiter)
 	}
 
-	srv.Handle(http.MethodPost, "/append", api.DocIn(s.append))
+	srv.Handle(http.MethodPost, "/append", deprecated("/v2/ingest", api.DocIn(s.append)))
 	srv.Handle(http.MethodGet, "/query", read(api.Query(s.query)))
 	srv.Handle(http.MethodGet, "/latest", read(api.Query(s.latest)))
 	srv.Handle(http.MethodGet, "/series", read(api.Query(s.series)))
@@ -291,7 +369,9 @@ func (s *Service) Serve(addr string) (string, error) {
 	return s.srv.Serve(addr, s.Handler())
 }
 
-// Close stops the web interface, the streaming subsystem, and the store.
+// Close stops the web interface, the streaming subsystem, the
+// idempotency window, and the store (draining and syncing any durable
+// state).
 func (s *Service) Close() {
 	s.srv.Close()
 	s.streamS.Close()
@@ -299,29 +379,53 @@ func (s *Service) Close() {
 	if s.ownBus {
 		s.bus.Close()
 	}
+	s.dedup.close()
 	s.store.Close()
 }
 
-// append ingests one measurement(s) document.
+// deprecated marks a legacy route's responses as deprecated, pointing
+// clients at the successor resource.
+func deprecated(successor string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
+		h.ServeHTTP(w, r)
+	})
+}
+
+// append serves POST /v1/append as a thin forwarder onto the /v2/ingest
+// staging path, so the infrastructure has exactly one (durable) write
+// pipeline: rows flow through the same batched engine appends, live
+// stream feed, and counters as the resource-oriented ingest plane. The
+// v1 response shape is kept; responses carry a Deprecation header.
 func (s *Service) append(ctx context.Context, doc *dataformat.Document) (map[string]int, error) {
-	var stored int
+	var ms []dataformat.Measurement
 	switch doc.Kind {
 	case dataformat.KindMeasurement:
-		if err := s.Ingest(doc.Measurement); err != nil {
-			return nil, api.BadRequest(err)
-		}
-		stored = 1
+		ms = []dataformat.Measurement{*doc.Measurement}
 	case dataformat.KindMeasurements:
-		for i := range doc.Measurements {
-			if err := s.Ingest(&doc.Measurements[i]); err != nil {
-				return nil, api.BadRequest(err)
-			}
-			stored++
-		}
+		ms = doc.Measurements
 	default:
 		return nil, api.BadRequest(fmt.Errorf("unsupported document kind %q", doc.Kind))
 	}
-	return map[string]int{"stored": stored}, nil
+	g := s.newIngester()
+	for i := range ms {
+		m := &ms[i]
+		// v1 keeps the document-level validation (units, quantities) the
+		// bus ingest path applies; a bad measurement fails the request
+		// like it always did, rows staged before it stand.
+		if err := m.Validate(); err != nil {
+			g.finish()
+			return nil, api.BadRequest(err)
+		}
+		g.addTo(tsdb.SeriesKey{Device: m.Device, Quantity: string(m.Quantity)},
+			Point{At: m.Timestamp, Value: m.Value})
+	}
+	res := g.finish()
+	if res.Rejected > 0 {
+		return nil, api.BadRequest(errors.New(res.Errors[0].Error))
+	}
+	return map[string]int{"stored": res.Accepted}, nil
 }
 
 // parseRange reads from/to as RFC 3339 timestamps; both optional.

@@ -12,10 +12,12 @@
 package stream
 
 import (
+	"encoding/json"
 	"errors"
 	"time"
 
 	"repro/internal/middleware"
+	"repro/internal/wal"
 
 	"sync"
 )
@@ -45,8 +47,20 @@ type HubOptions struct {
 	// FirstID overrides the first event ID. Zero derives the ID base
 	// from the wall clock, so a restarted hub keeps assigning IDs above
 	// everything it assigned before — a resuming client never mistakes
-	// fresh events for already-seen ones.
+	// fresh events for already-seen ones. A durable hub (Dir set) that
+	// finds existing data continues from the persisted last ID instead.
 	FirstID uint64
+	// Dir re-backs the replay ring with a segmented log on disk: every
+	// published event is journaled, OpenHub reloads the last History
+	// entries, and Last-Event-ID resume works across a process restart,
+	// not just a reconnect. Empty keeps the ring memory-only.
+	Dir string
+	// Fsync is the ring log's durability policy (default wal.FsyncNone:
+	// the journal survives a process kill; choose a stronger mode to
+	// survive machine crashes).
+	Fsync wal.Mode
+	// SyncEvery is the wal.FsyncInterval sync period (default 100ms).
+	SyncEvery time.Duration
 }
 
 func (o HubOptions) withDefaults() HubOptions {
@@ -83,17 +97,77 @@ type Hub struct {
 	delivered uint64
 	evicted   uint64
 	replayed  uint64
+
+	log         *wal.Log // nil: memory-only ring
+	persistErrs uint64
+	sinceTrim   int
 }
 
-// NewHub creates a Hub.
+// NewHub creates a Hub. It can only fail when Options.Dir requests a
+// durable ring — use OpenHub for that; NewHub panics on a disk error.
 func NewHub(opts HubOptions) *Hub {
+	h, err := OpenHub(opts)
+	if err != nil {
+		panic("stream: NewHub: " + err.Error() + " (use OpenHub for durable rings)")
+	}
+	return h
+}
+
+// OpenHub creates a Hub, reloading the replay ring from Options.Dir
+// when set: retained events come back with their original IDs and the
+// ID sequence continues where the previous process stopped, so a
+// subscriber resuming with a pre-restart Last-Event-ID replays the gap
+// exactly as if the connection had merely dropped.
+func OpenHub(opts HubOptions) (*Hub, error) {
 	opts = opts.withDefaults()
-	return &Hub{
+	h := &Hub{
 		opts:   opts,
 		idx:    middleware.NewIndex(),
 		subs:   make(map[int]*Sub),
 		lastID: opts.FirstID - 1,
 	}
+	if opts.Dir == "" {
+		return h, nil
+	}
+	log, err := wal.Open(opts.Dir, wal.Options{
+		FirstSeq:     opts.FirstID,
+		Fsync:        opts.Fsync,
+		SyncEvery:    opts.SyncEvery,
+		SegmentBytes: 1 << 20,
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = log.Replay(0, func(seq uint64, p []byte) error {
+		var ev middleware.Event
+		if err := json.Unmarshal(p, &ev); err != nil {
+			return nil // unreadable entry: skip, keep the rest of the ring
+		}
+		h.ringPush(Entry{ID: seq, Event: ev})
+		return nil
+	})
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	h.lastID = log.LastSeq()
+	if first := opts.FirstID - 1; first > h.lastID {
+		// Never continue an ID sequence the journal may not have seen
+		// to the end: under the weaker fsync modes (or after a persist
+		// failure detached the log) the tail of the previous process's
+		// live IDs can be missing from disk, and re-issuing those IDs
+		// to fresh events would let a resuming client mistake them for
+		// already-seen. Jump the log — and the ID sequence with it, the
+		// ID == seq invariant holds — to the wall-clock-derived FirstID,
+		// which is above everything the previous process assigned.
+		if err := log.SkipTo(opts.FirstID); err != nil {
+			log.Close()
+			return nil, err
+		}
+		h.lastID = first
+	}
+	h.log = log
+	return h, nil
 }
 
 // Sub is one hub subscription: the server-side peer of an SSE
@@ -141,20 +215,34 @@ func (h *Hub) Subscribe(pattern string, afterID uint64) (*Sub, []Entry, error) {
 	var replay []Entry
 	if afterID > 0 && afterID != h.lastID {
 		n := len(h.ring)
+		sawSelf, sawNext := false, false // afterID / afterID+1 retained
 		for i := 0; i < n; i++ {
 			e := h.ring[(h.ringStart+i)%n]
+			if e.ID == afterID {
+				sawSelf = true
+			} else if e.ID == afterID+1 {
+				sawNext = true
+			}
 			if e.ID > afterID && middleware.Match(pattern, e.Event.Topic) {
 				replay = append(replay, e)
 			}
 		}
 		h.replayed += uint64(len(replay))
-		// The resume is gapless only when the ring still reaches back to
-		// afterID+1 (or the client is from a different ID epoch entirely).
+		// The resume is gapless only when the retained entries still
+		// connect to afterID. A durable hub reloaded after a crash can
+		// hold an ID hole (journal tail lost under a weak fsync mode,
+		// then the sequence jumped past the loss): a cursor the journal
+		// never saw — neither it nor its successor retained — names
+		// events that existed and are gone, and must see that flagged.
+		// A retained cursor followed by a jump is the clean SkipTo shape
+		// (nothing between was journaled) and resumes gaplessly.
 		switch {
 		case afterID > h.lastID:
 			sub.Gap = true // future/foreign ID: nothing to line up against
 		case n == 0 || h.ring[h.ringStart].ID > afterID+1:
-			sub.Gap = true
+			sub.Gap = true // expired from the replay window
+		case !sawSelf && !sawNext:
+			sub.Gap = true // cursor sits in an ID hole
 		}
 	}
 
@@ -209,12 +297,8 @@ func (h *Hub) Publish(ev middleware.Event) error {
 	h.published++
 	e := Entry{ID: h.lastID, Event: ev}
 
-	if len(h.ring) < h.opts.History {
-		h.ring = append(h.ring, e)
-	} else {
-		h.ring[h.ringStart] = e
-		h.ringStart = (h.ringStart + 1) % len(h.ring)
-	}
+	h.ringPush(e)
+	h.persistLocked(e)
 
 	var evict []*Sub
 	h.idx.Match(ev.Topic, func(id int) {
@@ -235,6 +319,49 @@ func (h *Hub) Publish(ev middleware.Event) error {
 		h.removeLocked(s)
 	}
 	return nil
+}
+
+// ringPush inserts one entry into the bounded replay ring.
+func (h *Hub) ringPush(e Entry) {
+	if len(h.ring) < h.opts.History {
+		h.ring = append(h.ring, e)
+	} else {
+		h.ring[h.ringStart] = e
+		h.ringStart = (h.ringStart + 1) % len(h.ring)
+	}
+}
+
+// persistLocked journals one published entry to the ring log and
+// periodically drops the segments that have fallen out of the replay
+// window. Persistence is best-effort relative to fan-out: a failure is
+// counted and never stalls live delivery — but it also DETACHES the
+// log, degrading the hub to its memory-only ring. Skipping single
+// records instead would break the event-ID == log-sequence invariant
+// recovery depends on: every later record would land one seq behind
+// its live ID, and a restart would replay shifted, wrong IDs. After a
+// detach, a restart resumes from the last journaled event and resume
+// points beyond it draw the normal gap marker.
+func (h *Hub) persistLocked(e Entry) {
+	if h.log == nil {
+		return
+	}
+	rec, err := json.Marshal(e.Event)
+	if err == nil {
+		_, err = h.log.Append(rec)
+	}
+	if err != nil {
+		h.persistErrs++
+		_ = h.log.Close()
+		h.log = nil
+		return
+	}
+	h.sinceTrim++
+	if h.sinceTrim >= h.opts.History/2+1 {
+		h.sinceTrim = 0
+		if h.lastID >= uint64(h.opts.History) {
+			_ = h.log.TruncateBefore(h.lastID - uint64(h.opts.History) + 1)
+		}
+	}
 }
 
 // KickAll evicts every subscriber (each sees its channel close and, over
@@ -270,6 +397,9 @@ type HubStats struct {
 	Replayed    uint64 `json:"replayed"`
 	Subscribers int    `json:"subscribers"`
 	Retained    int    `json:"retained"`
+	// PersistErrors counts ring-log write failures of a durable hub
+	// (events stay live but would not survive a restart).
+	PersistErrors uint64 `json:"persist_errors,omitempty"`
 }
 
 // Stats returns a snapshot of the hub counters.
@@ -277,16 +407,18 @@ func (h *Hub) Stats() HubStats {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return HubStats{
-		Published:   h.published,
-		Delivered:   h.delivered,
-		Evicted:     h.evicted,
-		Replayed:    h.replayed,
-		Subscribers: len(h.subs),
-		Retained:    len(h.ring),
+		Published:     h.published,
+		Delivered:     h.delivered,
+		Evicted:       h.evicted,
+		Replayed:      h.replayed,
+		Subscribers:   len(h.subs),
+		Retained:      len(h.ring),
+		PersistErrors: h.persistErrs,
 	}
 }
 
-// Close shuts the hub down; every subscriber's channel is closed.
+// Close shuts the hub down; every subscriber's channel is closed and a
+// durable ring log is synced for the next boot.
 func (h *Hub) Close() {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -296,5 +428,8 @@ func (h *Hub) Close() {
 	h.closed = true
 	for _, s := range h.subs {
 		h.removeLocked(s)
+	}
+	if h.log != nil {
+		_ = h.log.Close()
 	}
 }

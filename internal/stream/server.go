@@ -48,7 +48,10 @@ type Service struct {
 // event POSTed to /publish flows into the bus (and so to its local
 // subscribers and back out the hub).
 func NewService(bus EventBus, opts Options) (*Service, error) {
-	hub := NewHub(opts.Hub)
+	hub, err := OpenHub(opts.Hub)
+	if err != nil {
+		return nil, err
+	}
 	sub, err := bus.Subscribe(middleware.WildcardRest, func(ev middleware.Event) {
 		_ = hub.Publish(ev)
 	})

@@ -470,3 +470,146 @@ func waitSubscribers(t *testing.T, svc *Service, n int) {
 	}
 	t.Fatalf("hub never reached %d subscribers", n)
 }
+
+func TestHubDurableResumeAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	h, err := OpenHub(HubOptions{Dir: dir, History: 64, FirstID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := h.Publish(event("measurements/turin/a", fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lastID := h.LastID()
+	if lastID != 10 {
+		t.Fatalf("lastID = %d, want 10", lastID)
+	}
+	h.Close()
+
+	// A new process: the ring comes back from disk, IDs continue, and a
+	// pre-restart Last-Event-ID replays the gap with no Gap flag.
+	h2, err := OpenHub(HubOptions{Dir: dir, History: 64, FirstID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	if got := h2.LastID(); got != lastID {
+		t.Fatalf("reloaded lastID = %d, want %d", got, lastID)
+	}
+	if got := h2.Stats().Retained; got != 10 {
+		t.Fatalf("reloaded retained = %d, want 10", got)
+	}
+	sub, replay, err := h2.Subscribe("measurements/#", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if sub.Gap {
+		t.Fatal("resume across restart flagged a gap")
+	}
+	if len(replay) != 5 || replay[0].ID != 6 || string(replay[4].Event.Payload) != "v9" {
+		t.Fatalf("replay = %d entries, first %v", len(replay), replay)
+	}
+	// New publishes continue the sequence.
+	if err := h2.Publish(event("measurements/turin/a", "fresh")); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, sub.C, 1)
+	if got[0].ID != 11 {
+		t.Fatalf("post-restart ID = %d, want 11", got[0].ID)
+	}
+}
+
+func TestHubDurableRingBoundedAndCompacted(t *testing.T) {
+	dir := t.TempDir()
+	h, err := OpenHub(HubOptions{Dir: dir, History: 8, FirstID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := h.Publish(event("measurements/turin/b", fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Close()
+
+	h2, err := OpenHub(HubOptions{Dir: dir, History: 8, FirstID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	if got := h2.Stats().Retained; got != 8 {
+		t.Fatalf("retained = %d, want History", got)
+	}
+	// Resuming from before the ring reaches back is flagged as a gap,
+	// exactly like the memory-only hub.
+	sub, replay, err := h2.Subscribe("measurements/#", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if !sub.Gap {
+		t.Fatal("expired resume point not flagged")
+	}
+	if len(replay) == 0 || replay[len(replay)-1].ID != 100 {
+		t.Fatalf("replay tail = %v", replay)
+	}
+}
+
+func TestHubDurableReopenNeverReusesLiveIDs(t *testing.T) {
+	// Default (wall-clock) FirstID on reopen: even if the journal tail
+	// were lost, new events must get IDs above everything the previous
+	// process assigned — and a cursor in the resulting ID hole is
+	// flagged as a gap instead of silently skipping events.
+	dir := t.TempDir()
+	h, err := OpenHub(HubOptions{Dir: dir, History: 16, FirstID: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ { // IDs 100..103 journaled
+		if err := h.Publish(event("measurements/turin/c", "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Close()
+
+	// Reopen with a FirstID far ahead (standing in for the wall clock
+	// after IDs 104..120 were assigned live but lost from the journal).
+	h2, err := OpenHub(HubOptions{Dir: dir, History: 16, FirstID: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	if got := h2.LastID(); got != 999 {
+		t.Fatalf("lastID after jump = %d, want 999", got)
+	}
+	if err := h2.Publish(event("measurements/turin/c", "fresh")); err != nil {
+		t.Fatal(err)
+	}
+	// A cursor inside the hole (an ID the journal never saw) is a gap.
+	sub, replay, err := h2.Subscribe("measurements/#", 110)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if !sub.Gap {
+		t.Fatal("cursor in the ID hole not flagged as gap")
+	}
+	if len(replay) != 1 || replay[0].ID != 1000 {
+		t.Fatalf("replay across the hole = %v", replay)
+	}
+	// A cursor exactly at the journal tail resumes gaplessly.
+	sub2, replay2, err := h2.Subscribe("measurements/#", 103)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub2.Close()
+	if sub2.Gap {
+		t.Fatal("journal-tail cursor wrongly flagged")
+	}
+	if len(replay2) != 1 || replay2[0].ID != 1000 {
+		t.Fatalf("replay2 = %v", replay2)
+	}
+}

@@ -1,0 +1,308 @@
+package tsdb
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// The durable layer of the Sharded engine. Each shard owns a segmented
+// write-ahead log under <Dir>/shard-NNNN: the shard's single-writer
+// worker journals every queued row batch (group-committed — one fsync
+// covers everything queued behind the first item) BEFORE applying it to
+// the in-memory store, so a row is never acked without being on disk
+// first. Periodically the worker dumps the shard's store into a
+// snapshot file at the current log watermark and deletes the segments
+// below it, bounding both recovery time and disk footprint. Boot-time
+// recovery is the reverse: load the latest snapshot, replay the log
+// tail above its watermark, and the series catalog rebuilds itself as
+// rows land in the store.
+
+// shardDisk is one shard's durable state; only that shard's worker
+// goroutine touches the mutable fields after recovery.
+type shardDisk struct {
+	log *wal.Log
+	dir string
+
+	sinceSnap int       // rows appended since the last snapshot
+	lastSnap  time.Time // when the last snapshot was cut
+}
+
+// engineMeta pins layout decisions a reopen must honour.
+type engineMeta struct {
+	Shards int `json:"shards"`
+}
+
+const metaFile = "engine.json"
+
+// loadOrWriteMeta reconciles the requested shard count with the one the
+// data directory was created with: rows are placed by device-hash %
+// shards, so reopening with a different count would strand them. The
+// on-disk value wins.
+func loadOrWriteMeta(dir string, shards int) (int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("tsdb: %w", err)
+	}
+	path := filepath.Join(dir, metaFile)
+	raw, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		var m engineMeta
+		if err := json.Unmarshal(raw, &m); err != nil || m.Shards <= 0 {
+			return 0, fmt.Errorf("tsdb: corrupt %s: %v", path, err)
+		}
+		return m.Shards, nil
+	case os.IsNotExist(err):
+		// tmp + fsync + rename (+ directory sync), like snapshots: a
+		// crash during first boot must leave either no meta file or a
+		// whole one — a truncated engine.json would brick the data dir
+		// on every reopen.
+		raw, _ := json.Marshal(engineMeta{Shards: shards})
+		tmp := path + ".tmp"
+		f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return 0, fmt.Errorf("tsdb: %w", err)
+		}
+		_, werr := f.Write(raw)
+		if serr := f.Sync(); werr == nil {
+			werr = serr
+		}
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr == nil {
+			werr = os.Rename(tmp, path)
+		}
+		if werr != nil {
+			os.Remove(tmp)
+			return 0, fmt.Errorf("tsdb: %w", werr)
+		}
+		if d, err := os.Open(dir); err == nil {
+			_ = d.Sync()
+			d.Close()
+		}
+		return shards, nil
+	default:
+		return 0, fmt.Errorf("tsdb: %w", err)
+	}
+}
+
+// recoverShard rebuilds one shard's store from its snapshot and log
+// tail, then leaves the log open for the shard worker to append to.
+// Workers are not running yet, so rows apply directly.
+func recoverShard(dir string, store *Store, opts ShardedOptions) (*shardDisk, error) {
+	apply := func(p []byte) error {
+		rows, err := decodeRows(p)
+		if err != nil {
+			return err
+		}
+		if errs := store.AppendBatch(rows); errs != nil {
+			for _, e := range errs {
+				if e != nil {
+					return e
+				}
+			}
+		}
+		return nil
+	}
+
+	snapSeq, sr, err := wal.LatestSnapshot(dir)
+	if err != nil {
+		return nil, err
+	}
+	if sr != nil {
+		for {
+			p, err := sr.Record()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				sr.Close()
+				return nil, err
+			}
+			if err := apply(p); err != nil {
+				sr.Close()
+				return nil, err
+			}
+		}
+		sr.Close()
+	}
+
+	log, err := wal.Open(dir, wal.Options{
+		SegmentBytes: opts.SegmentBytes,
+		Fsync:        opts.Fsync,
+		SyncEvery:    opts.SyncEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := log.Replay(snapSeq, func(_ uint64, p []byte) error { return apply(p) }); err != nil {
+		log.Close()
+		return nil, err
+	}
+	return &shardDisk{log: log, dir: dir, lastSnap: time.Now()}, nil
+}
+
+// maybeSnapshot cuts a snapshot of the shard's store at the current log
+// watermark when the record- or time-based cadence is due, then drops
+// the log segments and older snapshots below it. Runs on the shard
+// worker, so the store sees no concurrent writes while dumping.
+func (s *Sharded) maybeSnapshot(store *Store, disk *shardDisk) {
+	if disk.sinceSnap == 0 {
+		return
+	}
+	due := (s.snapEvery > 0 && disk.sinceSnap >= s.snapEvery) ||
+		(s.snapInterval > 0 && time.Since(disk.lastSnap) >= s.snapInterval)
+	if !due {
+		return
+	}
+	disk.lastSnap = time.Now() // even on failure: retry next cadence, not next batch
+	seq := disk.log.LastSeq()
+	if err := store.writeSnapshot(disk.dir, seq); err != nil {
+		return // log intact, nothing truncated; recovery still complete
+	}
+	_ = disk.log.TruncateBefore(seq + 1)
+	wal.RemoveSnapshotsBefore(disk.dir, seq)
+	disk.sinceSnap = 0
+}
+
+// snapshotChunk is how many rows one snapshot record carries.
+const snapshotChunk = 2048
+
+// writeSnapshot dumps every sample of the store into a snapshot file at
+// watermark seq. The caller must be the store's only writer.
+func (s *Store) writeSnapshot(dir string, seq uint64) error {
+	return wal.WriteSnapshot(dir, seq, func(sw *wal.SnapshotWriter) error {
+		rows := make([]Row, 0, snapshotChunk)
+		var buf []byte
+		flush := func() error {
+			if len(rows) == 0 {
+				return nil
+			}
+			buf = encodeRows(buf[:0], rows)
+			rows = rows[:0]
+			return sw.Record(buf)
+		}
+		for _, key := range s.Keys() {
+			s.mu.RLock()
+			sr := s.series[key]
+			s.mu.RUnlock()
+			if sr == nil {
+				continue
+			}
+			sr.mu.Lock()
+			if len(sr.spill) > 0 {
+				sr.foldSpill()
+			}
+			for _, seg := range sr.segments {
+				for _, smp := range seg.samples {
+					rows = append(rows, Row{Key: key, Sample: smp})
+					if len(rows) == snapshotChunk {
+						if err := flush(); err != nil {
+							sr.mu.Unlock()
+							return err
+						}
+					}
+				}
+			}
+			sr.mu.Unlock()
+		}
+		return flush()
+	})
+}
+
+// ---------------------------------------------------------------------
+// Row record codec
+// ---------------------------------------------------------------------
+
+// encodeRows appends the WAL/snapshot encoding of a row batch to dst.
+// Consecutive rows of the same series carry a 1-byte key-reuse flag
+// instead of repeating the strings — batched producers ship per-device
+// runs, so the common case is a handful of key payloads per record.
+func encodeRows(dst []byte, rows []Row) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(rows)))
+	var prev SeriesKey
+	for i := range rows {
+		r := &rows[i]
+		if i > 0 && r.Key == prev {
+			dst = append(dst, 0)
+		} else {
+			dst = append(dst, 1)
+			dst = binary.AppendUvarint(dst, uint64(len(r.Key.Device)))
+			dst = append(dst, r.Key.Device...)
+			dst = binary.AppendUvarint(dst, uint64(len(r.Key.Quantity)))
+			dst = append(dst, r.Key.Quantity...)
+			prev = r.Key
+		}
+		dst = binary.AppendVarint(dst, r.Sample.At.UnixNano())
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.Sample.Value))
+	}
+	return dst
+}
+
+var errBadRecord = errors.New("tsdb: malformed row record")
+
+// decodeRows parses one encoded row batch. The record arrived through a
+// CRC-checked frame, so a decode failure means a version mismatch or a
+// bug, not bit rot — it is returned, never papered over.
+func decodeRows(p []byte) ([]Row, error) {
+	n, off := binary.Uvarint(p)
+	if off <= 0 || n > uint64(len(p)) { // each row needs >= 1 byte
+		return nil, errBadRecord
+	}
+	rows := make([]Row, 0, n)
+	var key SeriesKey
+	readString := func() (string, bool) {
+		l, m := binary.Uvarint(p[off:])
+		if m <= 0 {
+			return "", false
+		}
+		off += m
+		if uint64(len(p)-off) < l {
+			return "", false
+		}
+		s := string(p[off : off+int(l)])
+		off += int(l)
+		return s, true
+	}
+	for i := uint64(0); i < n; i++ {
+		if off >= len(p) {
+			return nil, errBadRecord
+		}
+		flag := p[off]
+		off++
+		if flag == 1 {
+			dev, ok := readString()
+			if !ok {
+				return nil, errBadRecord
+			}
+			qty, ok := readString()
+			if !ok {
+				return nil, errBadRecord
+			}
+			key = SeriesKey{Device: dev, Quantity: qty}
+		} else if flag != 0 || i == 0 {
+			return nil, errBadRecord
+		}
+		at, m := binary.Varint(p[off:])
+		if m <= 0 {
+			return nil, errBadRecord
+		}
+		off += m
+		if len(p)-off < 8 {
+			return nil, errBadRecord
+		}
+		val := math.Float64frombits(binary.LittleEndian.Uint64(p[off:]))
+		off += 8
+		rows = append(rows, Row{Key: key, Sample: Sample{At: time.Unix(0, at).UTC(), Value: val}})
+	}
+	return rows, nil
+}

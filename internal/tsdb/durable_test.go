@@ -1,0 +1,239 @@
+package tsdb
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/wal"
+)
+
+var durT0 = time.Date(2015, 3, 9, 10, 0, 0, 0, time.UTC)
+
+// durRows builds n rows spread over several devices, with per-series
+// ascending timestamps.
+func durRows(n int) []Row {
+	rows := make([]Row, n)
+	for i := range rows {
+		dev := []string{"urn:district:turin/building:b01/device:d0",
+			"urn:district:turin/building:b02/device:d1",
+			"urn:district:turin/building:b03/device:d2"}[i%3]
+		rows[i] = Row{
+			Key:    SeriesKey{Device: dev, Quantity: "temperature"},
+			Sample: Sample{At: durT0.Add(time.Duration(i) * time.Second), Value: float64(i) + 0.5},
+		}
+	}
+	return rows
+}
+
+func openDurable(t *testing.T, dir string, opts ShardedOptions) *Sharded {
+	t.Helper()
+	opts.Dir = dir
+	eng, err := OpenSharded(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// assertSameContent verifies two engines hold identical samples for the
+// given keys.
+func assertSameContent(t *testing.T, want, got Engine, keys []SeriesKey) {
+	t.Helper()
+	for _, k := range keys {
+		a, errA := want.Query(k, time.Time{}, durT0.Add(time.Hour))
+		b, errB := got.Query(k, time.Time{}, durT0.Add(time.Hour))
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("%v: err %v vs %v", k, errA, errB)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%v: %d vs %d samples (or differing content)", k, len(a), len(b))
+		}
+	}
+}
+
+func TestDurableRecoveryAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	rows := durRows(500)
+	eng := openDurable(t, dir, ShardedOptions{Shards: 4})
+	if errs := eng.AppendBatch(rows); errs != nil {
+		t.Fatalf("append: %v", errs)
+	}
+	keys := eng.Keys()
+	wantStats := eng.Stats()
+	eng.Close()
+
+	re := openDurable(t, dir, ShardedOptions{Shards: 4})
+	defer re.Close()
+	if got := re.Stats(); got.Samples != wantStats.Samples || got.Series != wantStats.Series {
+		t.Fatalf("recovered stats = %+v, want %+v", got, wantStats)
+	}
+	mem := New(Options{})
+	for _, r := range rows {
+		_ = mem.Append(r.Key, r.Sample)
+	}
+	assertSameContent(t, mem, re, keys)
+}
+
+func TestDurableRecoveryAfterKill(t *testing.T) {
+	// No Close: the engine is abandoned the way a SIGKILL leaves it.
+	// Every append was write(2)-flushed before acking, so even in fsync
+	// mode none the rows survive the process (not machine) death.
+	dir := t.TempDir()
+	rows := durRows(300)
+	eng := openDurable(t, dir, ShardedOptions{Shards: 2, Fsync: wal.FsyncAlways})
+	if errs := eng.AppendBatch(rows); errs != nil {
+		t.Fatalf("append: %v", errs)
+	}
+	want := eng.Stats()
+
+	re := openDurable(t, dir, ShardedOptions{Shards: 2, Fsync: wal.FsyncAlways})
+	defer re.Close()
+	if got := re.Stats(); got.Samples != want.Samples {
+		t.Fatalf("recovered %d samples, want %d", got.Samples, want.Samples)
+	}
+}
+
+func TestDurableTornTailDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	eng := openDurable(t, dir, ShardedOptions{Shards: 1})
+	rows := durRows(100)
+	if errs := eng.AppendBatch(rows); errs != nil {
+		t.Fatalf("append: %v", errs)
+	}
+	eng.Close()
+
+	// A kill mid-append leaves a torn frame at the tail of the shard's
+	// WAL; recovery must keep every whole record and drop the tear.
+	segs, err := filepath.Glob(filepath.Join(dir, "shard-0000", "*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xff, 0x03, 0x00, 0x00, 0xbe, 0xef}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re := openDurable(t, dir, ShardedOptions{Shards: 1})
+	defer re.Close()
+	if got := re.Stats().Samples; got != 100 {
+		t.Fatalf("recovered %d samples, want 100", got)
+	}
+	// And the log keeps working after the truncation.
+	if err := re.Append(rows[0].Key, Sample{At: durT0.Add(time.Hour), Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurableSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	eng := openDurable(t, dir, ShardedOptions{
+		Shards:        1,
+		SnapshotEvery: 100,
+		SegmentBytes:  1 << 10,
+	})
+	for i := 0; i < 10; i++ {
+		if errs := eng.AppendBatch(durRows(100)[i*10 : i*10+10]); errs != nil {
+			t.Fatalf("append: %v", errs)
+		}
+	}
+	// Push enough rows through to cross the snapshot cadence repeatedly.
+	rows := durRows(1000)
+	for i := 0; i < 10; i++ {
+		if errs := eng.AppendBatch(rows[i*100 : (i+1)*100]); errs != nil {
+			t.Fatalf("append: %v", errs)
+		}
+	}
+	want := eng.Stats()
+	eng.Close()
+
+	shardDir := filepath.Join(dir, "shard-0000")
+	snaps, _ := filepath.Glob(filepath.Join(shardDir, "*.snap"))
+	if len(snaps) == 0 {
+		t.Fatal("no snapshot written")
+	}
+	if len(snaps) > 1 {
+		t.Fatalf("old snapshots not pruned: %v", snaps)
+	}
+	segs, _ := filepath.Glob(filepath.Join(shardDir, "*.seg"))
+	// 1100 rows at ~17 bytes each over 1 KiB segments would be ~19
+	// segments without compaction; the truncation must have removed the
+	// bulk of them.
+	if len(segs) > 6 {
+		t.Fatalf("WAL not compacted: %d segments", len(segs))
+	}
+
+	re := openDurable(t, dir, ShardedOptions{Shards: 1, SnapshotEvery: 100, SegmentBytes: 1 << 10})
+	defer re.Close()
+	if got := re.Stats(); got.Samples != want.Samples || got.Series != want.Series {
+		t.Fatalf("recovered stats = %+v, want %+v", got, want)
+	}
+}
+
+func TestDurableShardCountAdopted(t *testing.T) {
+	dir := t.TempDir()
+	eng := openDurable(t, dir, ShardedOptions{Shards: 4})
+	rows := durRows(60)
+	if errs := eng.AppendBatch(rows); errs != nil {
+		t.Fatalf("append: %v", errs)
+	}
+	eng.Close()
+
+	// Reopening with a different shard count must adopt the on-disk
+	// layout — rows are placed by device-hash % shards.
+	re := openDurable(t, dir, ShardedOptions{Shards: 8})
+	defer re.Close()
+	if got := re.NumShards(); got != 4 {
+		t.Fatalf("NumShards = %d, want the created 4", got)
+	}
+	if got := re.Stats().Samples; got != 60 {
+		t.Fatalf("recovered %d samples, want 60", got)
+	}
+}
+
+func TestDurableSynchronousAppendJournaled(t *testing.T) {
+	dir := t.TempDir()
+	key := SeriesKey{Device: "urn:district:turin/building:b09/device:x", Quantity: "humidity"}
+	eng := openDurable(t, dir, ShardedOptions{Shards: 2})
+	if err := eng.Append(key, Sample{At: durT0, Value: 42}); err != nil {
+		t.Fatal(err)
+	}
+	// Abandoned without Close: the synchronous Append must already be in
+	// the WAL when it returned.
+	re := openDurable(t, dir, ShardedOptions{Shards: 2})
+	defer re.Close()
+	smp, err := re.Latest(key)
+	if err != nil || smp.Value != 42 {
+		t.Fatalf("latest = %+v, %v", smp, err)
+	}
+}
+
+func TestRowCodecRoundTrip(t *testing.T) {
+	rows := []Row{
+		{Key: SeriesKey{Device: "d1", Quantity: "temperature"}, Sample: Sample{At: durT0, Value: 1.25}},
+		{Key: SeriesKey{Device: "d1", Quantity: "temperature"}, Sample: Sample{At: durT0.Add(time.Second), Value: -3}},
+		{Key: SeriesKey{Device: "d2", Quantity: "humidity"}, Sample: Sample{At: durT0.Add(2 * time.Second), Value: math.MaxFloat64}},
+		{Key: SeriesKey{Device: "", Quantity: ""}, Sample: Sample{At: durT0, Value: 0}},
+	}
+	enc := encodeRows(nil, rows)
+	dec, err := decodeRows(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, dec) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", rows, dec)
+	}
+	// Truncated records must error, not panic or fabricate rows.
+	for cut := 1; cut < len(enc); cut += 3 {
+		if _, err := decodeRows(enc[:cut]); err == nil {
+			t.Fatalf("decode of %d-byte prefix succeeded", cut)
+		}
+	}
+}

@@ -1,8 +1,13 @@
 package tsdb
 
 import (
+	"fmt"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/wal"
 )
 
 // Engine is the storage surface the measurements services program
@@ -82,6 +87,30 @@ type ShardedOptions struct {
 	// (default 256). Enqueue blocks when a shard's queue is full, which
 	// back-pressures producers instead of growing memory.
 	QueueLen int
+
+	// Dir enables the durable layer: every shard journals its row
+	// batches through a segmented write-ahead log under
+	// <Dir>/shard-NNNN before acking, and compacts the log into
+	// snapshots. Empty keeps the engine purely in-memory. The shard
+	// count is pinned in <Dir>/engine.json at creation; reopening adopts
+	// the stored count (rows are placed by device-hash % shards).
+	Dir string
+	// Fsync is the WAL durability policy (default wal.FsyncNone: acked
+	// rows survive a process kill, an fsync policy decides what a
+	// machine crash can lose).
+	Fsync wal.Mode
+	// SyncEvery is the wal.FsyncInterval background sync period
+	// (default 100ms).
+	SyncEvery time.Duration
+	// SegmentBytes sizes the WAL segments (default 8 MiB).
+	SegmentBytes int64
+	// SnapshotEvery compacts a shard's WAL into a snapshot after this
+	// many appended rows (default 65536; negative disables record-based
+	// snapshots).
+	SnapshotEvery int
+	// SnapshotInterval also cuts a snapshot when the last one is older
+	// than this (checked on append activity; 0 disables).
+	SnapshotInterval time.Duration
 }
 
 // Sharded is a device-hash-partitioned storage engine: N independent
@@ -94,6 +123,16 @@ type ShardedOptions struct {
 type Sharded struct {
 	shards []*Store
 	queues []chan batchItem
+
+	// disks is the per-shard durable state (nil for in-memory engines);
+	// after recovery only each shard's worker touches its entry.
+	disks        []*shardDisk
+	snapEvery    int
+	snapInterval time.Duration
+	// dropped counts fire-and-forget (Enqueue) rows a durable shard
+	// discarded because their WAL append failed — the only queued-write
+	// loss the engine can suffer, surfaced in Stats.
+	dropped atomic.Uint64
 
 	mu     sync.RWMutex // guards closed vs. queue sends
 	closed bool
@@ -112,7 +151,20 @@ type batchItem struct {
 }
 
 // NewSharded creates a Sharded engine and starts its append workers.
+// It can only fail when Options.Dir requests durability — use
+// OpenSharded for that; NewSharded panics on a disk error.
 func NewSharded(opts ShardedOptions) *Sharded {
+	s, err := OpenSharded(opts)
+	if err != nil {
+		panic("tsdb: NewSharded: " + err.Error() + " (use OpenSharded for durable engines)")
+	}
+	return s
+}
+
+// OpenSharded creates a Sharded engine, recovering each shard from its
+// snapshot and WAL tail when Options.Dir enables durability, and starts
+// the append workers.
+func OpenSharded(opts ShardedOptions) (*Sharded, error) {
 	n := opts.Shards
 	if n <= 0 {
 		n = DefaultShards
@@ -121,37 +173,156 @@ func NewSharded(opts ShardedOptions) *Sharded {
 	if qlen <= 0 {
 		qlen = defaultQueueLen
 	}
+	if opts.Dir != "" {
+		var err error
+		if n, err = loadOrWriteMeta(opts.Dir, n); err != nil {
+			return nil, err
+		}
+	}
 	s := &Sharded{
-		shards: make([]*Store, n),
-		queues: make([]chan batchItem, n),
+		shards:       make([]*Store, n),
+		queues:       make([]chan batchItem, n),
+		snapEvery:    opts.SnapshotEvery,
+		snapInterval: opts.SnapshotInterval,
+	}
+	if s.snapEvery == 0 {
+		s.snapEvery = 1 << 16
 	}
 	for i := 0; i < n; i++ {
 		s.shards[i] = New(opts.Store)
 		s.queues[i] = make(chan batchItem, qlen)
+	}
+	if opts.Dir != "" {
+		s.disks = make([]*shardDisk, n)
+		for i := 0; i < n; i++ {
+			disk, err := recoverShard(filepath.Join(opts.Dir, fmt.Sprintf("shard-%04d", i)), s.shards[i], opts)
+			if err != nil {
+				for _, d := range s.disks[:i] {
+					d.log.Close()
+				}
+				return nil, fmt.Errorf("tsdb: recover shard %d: %w", i, err)
+			}
+			s.disks[i] = disk
+		}
+	}
+	for i := 0; i < n; i++ {
 		s.wg.Add(1)
 		go s.worker(i)
 	}
-	return s
+	return s, nil
 }
+
+// Durable reports whether the engine journals its writes to disk.
+func (s *Sharded) Durable() bool { return s.disks != nil }
+
+// maxCommitGroup bounds how many queued batches one WAL group commit
+// (and one store pass) covers.
+const maxCommitGroup = 64
 
 // worker drains one shard's append queue; it is the shard's only queued
 // writer, so queued appends never contend with each other and ride the
-// run-grouped batch path.
+// run-grouped batch path. Everything already queued behind the first
+// item is committed as one group — on a durable shard that is the
+// group-commit path: one WAL append (and one fsync, in always mode)
+// covers the whole wave before any of it is acked.
 func (s *Sharded) worker(i int) {
 	defer s.wg.Done()
 	store := s.shards[i]
-	for item := range s.queues[i] {
-		errs := store.AppendBatch(item.rows)
-		if errs != nil && item.errs != nil {
-			for j, err := range errs {
-				if err != nil {
-					item.errs[item.idx[j]] = err
+	q := s.queues[i]
+	var disk *shardDisk
+	if s.disks != nil {
+		disk = s.disks[i]
+	}
+	group := make([]batchItem, 0, maxCommitGroup)
+	for {
+		item, ok := <-q
+		if !ok {
+			return
+		}
+		group = append(group[:0], item)
+		closed := false
+	drain:
+		for len(group) < maxCommitGroup {
+			select {
+			case it, ok := <-q:
+				if !ok {
+					closed = true
+					break drain
 				}
+				group = append(group, it)
+			default:
+				break drain
 			}
 		}
-		if item.done != nil {
-			item.done.Done()
+		s.commitGroup(store, disk, group)
+		if closed {
+			return
 		}
+	}
+}
+
+// commitGroup journals, applies, and acks one wave of queue items, in
+// that order: a row reaches the WAL (under the shard's fsync policy)
+// before the in-memory store, and the store before its producer is
+// unblocked. A WAL failure fails every row in the wave without applying
+// any of them — the engine never acknowledges state it cannot recover.
+func (s *Sharded) commitGroup(store *Store, disk *shardDisk, group []batchItem) {
+	if disk != nil {
+		var recs [][]byte
+		var buf []byte
+		var bounds []int
+		for _, it := range group {
+			if len(it.rows) == 0 {
+				continue
+			}
+			start := len(buf)
+			buf = encodeRows(buf, it.rows)
+			bounds = append(bounds, start, len(buf))
+		}
+		if len(bounds) > 0 {
+			recs = make([][]byte, 0, len(bounds)/2)
+			for j := 0; j < len(bounds); j += 2 {
+				recs = append(recs, buf[bounds[j]:bounds[j+1]])
+			}
+			if _, err := disk.log.AppendBatch(recs); err != nil {
+				for _, it := range group {
+					if it.errs != nil {
+						for _, j := range it.idx {
+							it.errs[j] = err
+						}
+					} else if len(it.rows) > 0 {
+						// Fire-and-forget rows have no error slot to
+						// fail into; count the loss so it is visible.
+						s.dropped.Add(uint64(len(it.rows)))
+					}
+					if it.done != nil {
+						it.done.Done()
+					}
+				}
+				return
+			}
+		}
+	}
+	for _, it := range group {
+		if len(it.rows) > 0 {
+			errs := store.AppendBatch(it.rows)
+			if errs != nil && it.errs != nil {
+				for j, err := range errs {
+					if err != nil {
+						it.errs[it.idx[j]] = err
+					}
+				}
+			}
+			if disk != nil {
+				disk.sinceSnap += len(it.rows)
+			}
+		}
+		if it.done != nil {
+			it.done.Done()
+		}
+	}
+	if disk != nil {
+		s.maybeSnapshot(store, disk)
 	}
 }
 
@@ -228,8 +399,18 @@ func (s *Sharded) partition(rows []Row, track bool) (per [][]Row, idx [][]int) {
 	return per, idx
 }
 
-// Append stores one sample synchronously in the owning shard.
+// Append stores one sample synchronously in the owning shard. On a
+// durable engine it funnels through the shard's append queue, so the
+// WAL keeps a single writer and the sample is journaled before the call
+// returns.
 func (s *Sharded) Append(key SeriesKey, smp Sample) error {
+	if s.disks != nil {
+		errs := s.AppendBatch([]Row{{Key: key, Sample: smp}})
+		if errs != nil {
+			return errs[0]
+		}
+		return nil
+	}
 	return s.shard(key.Device).Append(key, smp)
 }
 
@@ -274,9 +455,13 @@ func (s *Sharded) AppendBatch(rows []Row) []error {
 
 // Enqueue hands rows to the per-shard append workers without waiting
 // for them to land; Flush establishes a happened-before with readers.
-// Errors are dropped (the only queued-append failure is a closed
-// engine). Rows are copied while partitioning, so the caller may reuse
-// the slice immediately. Returns ErrClosed when the engine is closed.
+// Per-row errors are dropped: on an in-memory engine the only
+// queued-append failure is a closed engine, and on a durable engine a
+// shard whose WAL append fails discards the wave un-applied (the
+// engine never acks state it cannot recover) — those rows are counted
+// in Stats.DroppedRows. Rows are copied while partitioning, so the
+// caller may reuse the slice immediately. Returns ErrClosed when the
+// engine is closed.
 func (s *Sharded) Enqueue(rows []Row) error {
 	if len(rows) == 0 {
 		return nil
@@ -367,6 +552,7 @@ func (s *Sharded) Downsample(key SeriesKey, from, to time.Time, window time.Dura
 func (s *Sharded) Stats() Stats {
 	var st Stats
 	st.Shards = len(s.shards)
+	st.DroppedRows = s.dropped.Load()
 	for _, sh := range s.shards {
 		sub := sh.Stats()
 		st.Series += sub.Series
@@ -378,8 +564,9 @@ func (s *Sharded) Stats() Stats {
 // Drop removes a series from its owning shard.
 func (s *Sharded) Drop(key SeriesKey) { s.shard(key.Device).Drop(key) }
 
-// Close drains the append queues, stops the workers, and closes the
-// shards. Subsequent writes fail with ErrClosed.
+// Close drains the append queues, stops the workers, syncs and closes
+// the per-shard WALs, and closes the shards. Subsequent writes fail
+// with ErrClosed.
 func (s *Sharded) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -392,6 +579,9 @@ func (s *Sharded) Close() {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	for _, d := range s.disks {
+		d.log.Close()
+	}
 	for _, sh := range s.shards {
 		sh.Close()
 	}

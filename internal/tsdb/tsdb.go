@@ -446,6 +446,10 @@ type Stats struct {
 	Series  int
 	Samples int
 	Shards  int `json:",omitempty"`
+	// DroppedRows counts fire-and-forget rows a durable Sharded engine
+	// discarded on WAL failure (always 0 for a plain or in-memory
+	// engine).
+	DroppedRows uint64 `json:",omitempty"`
 }
 
 // Stats reports store-wide counters.

@@ -1,0 +1,182 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshots are the compaction half of the durability layer: a snapshot
+// file captures the full state of a store as of one log sequence, after
+// which every log segment at or below that watermark can be deleted
+// (TruncateBefore). Snapshot files are written to a temp name, fsynced,
+// and renamed into place, so a crash mid-snapshot leaves the previous
+// snapshot (and the uncompacted log) authoritative. Content is a stream
+// of CRC-framed records in the same format as log segments.
+
+const (
+	snapSuffix = ".snap"
+	tmpSuffix  = ".tmp"
+)
+
+// SnapshotWriter frames records into a snapshot file.
+type SnapshotWriter struct {
+	w   *bufio.Writer
+	max int
+}
+
+// Record appends one framed record to the snapshot.
+func (sw *SnapshotWriter) Record(p []byte) error {
+	if len(p) == 0 || len(p) > sw.max {
+		return ErrTooBig
+	}
+	var hdr [frameHeader]byte
+	putFrameHeader(hdr[:], p)
+	if _, err := sw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := sw.w.Write(p)
+	return err
+}
+
+func putFrameHeader(hdr []byte, p []byte) {
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(p)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(p, castagnoli))
+}
+
+// WriteSnapshot atomically writes the snapshot for watermark seq into
+// dir: fn streams the records, then the file is fsynced and renamed to
+// <seq>.snap (the directory is fsynced too, so the rename survives a
+// crash). After it returns, TruncateBefore(seq+1) is safe.
+func WriteSnapshot(dir string, seq uint64, fn func(*SnapshotWriter) error) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	final := snapPath(dir, seq)
+	tmp := final + tmpSuffix
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	sw := &SnapshotWriter{w: bufio.NewWriterSize(f, 1<<16), max: 64 << 20}
+	if err := fn(sw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := sw.w.Flush(); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: write snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+func snapPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%016x%s", seq, snapSuffix))
+}
+
+// syncDir fsyncs a directory so renames and removes are durable; best
+// effort (some filesystems reject directory fsync).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// SnapshotReader streams the records of one snapshot file.
+type SnapshotReader struct {
+	f  *os.File
+	fr *frameReader
+}
+
+// Record returns the next snapshot record; io.EOF ends the stream. A
+// torn or corrupt record returns an error wrapping ErrCorrupt — a
+// snapshot is atomic, so unlike a log tail there is no benign cut.
+func (sr *SnapshotReader) Record() ([]byte, error) {
+	p, err := sr.fr.next()
+	if errors.Is(err, ErrCorrupt) {
+		return nil, fmt.Errorf("wal: snapshot %s: %w", sr.f.Name(), ErrCorrupt)
+	}
+	return p, err
+}
+
+// Close releases the snapshot file.
+func (sr *SnapshotReader) Close() { sr.f.Close() }
+
+// LatestSnapshot opens the newest snapshot in dir, returning its
+// watermark sequence. A (0, nil, nil) return means no snapshot exists.
+func LatestSnapshot(dir string) (uint64, *SnapshotReader, error) {
+	seqs, err := listSnapshots(dir)
+	if err != nil || len(seqs) == 0 {
+		return 0, nil, err
+	}
+	seq := seqs[len(seqs)-1]
+	f, err := os.Open(snapPath(dir, seq))
+	if err != nil {
+		return 0, nil, fmt.Errorf("wal: %w", err)
+	}
+	return seq, &SnapshotReader{f: f, fr: &frameReader{r: bufio.NewReaderSize(f, 1<<16), max: 64 << 20}}, nil
+}
+
+// RemoveSnapshotsBefore deletes snapshots with watermark < seq, plus
+// any abandoned temp files. Best effort.
+func RemoveSnapshotsBefore(dir string, seq uint64) {
+	seqs, err := listSnapshots(dir)
+	if err != nil {
+		return
+	}
+	for _, s := range seqs {
+		if s < seq {
+			_ = os.Remove(snapPath(dir, s))
+		}
+	}
+	if stray, err := filepath.Glob(filepath.Join(dir, "*"+tmpSuffix)); err == nil {
+		for _, p := range stray {
+			_ = os.Remove(p)
+		}
+	}
+}
+
+// listSnapshots returns snapshot watermarks in dir, ascending.
+func listSnapshots(dir string) ([]uint64, error) {
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range names {
+		name := e.Name()
+		if !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(name, snapSuffix), 16, 64)
+		if err != nil {
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}

@@ -3,8 +3,12 @@ package repro
 import (
 	"context"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -20,6 +24,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/stream"
 	"repro/internal/tsdb"
+	"repro/internal/wal"
 )
 
 // System-level integration tests: whole-infrastructure behaviours that
@@ -543,5 +548,238 @@ func TestSystemOntologyEndpointReflectsRegistrations(t *testing.T) {
 	}
 	if v, ok := building.Children[0].Prop(ontology.PropProxyURI); !ok || v == "" {
 		t.Error("device lacks registered proxy URI")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Durable storage layer: crash-recovery goldens
+// ---------------------------------------------------------------------
+
+// durableMeasureDB boots a durable measurements DB over dir with full
+// fsync, serving on a fresh port. The caller decides whether to Close
+// it — NOT closing is the in-process stand-in for a SIGKILL: nothing
+// graceful runs, and everything acked was already fsynced.
+func durableMeasureDB(t *testing.T, dir string) (*measuredb.Service, string) {
+	t.Helper()
+	s, err := measuredb.Open(measuredb.Options{
+		DataDir:              dir,
+		Fsync:                wal.FsyncAlways,
+		Shards:               2,
+		DisableLegacyAliases: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, "http://" + addr
+}
+
+func httpGetBody(t *testing.T, url string) string {
+	t.Helper()
+	rsp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rsp.Body.Close()
+	raw, err := io.ReadAll(rsp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rsp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d: %s", url, rsp.StatusCode, raw)
+	}
+	return string(raw)
+}
+
+func postDurableIngest(t *testing.T, base, key, body string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, base+"/v2/ingest", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", key)
+	rsp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rsp.Body.Close()
+	raw, _ := io.ReadAll(rsp.Body)
+	return rsp, string(raw)
+}
+
+// TestSystemDurableIngestSurvivesRestart is the acked-rows golden: rows
+// acked through /v2/ingest with -data-dir set survive a kill+restart
+// byte-for-byte (query responses identical pre/post, torn WAL tail
+// included), and retrying the acked batch with its Idempotency-Key
+// replays from the persisted dedup window instead of double-appending.
+func TestSystemDurableIngestSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	const dev = "urn:district:turin/building:b01/device:dur0"
+	body := `{"rows":[
+		{"device":"` + dev + `","quantity":"temperature","at":"2015-03-09T10:00:00Z","value":20.5},
+		{"device":"` + dev + `","quantity":"temperature","at":"2015-03-09T10:01:00Z","value":21.25},
+		{"device":"` + dev + `","quantity":"humidity","at":"2015-03-09T10:00:00Z","value":45}
+	]}`
+
+	_, url1 := durableMeasureDB(t, dir) // killed later: never Closed
+	rsp, raw := postDurableIngest(t, url1, "restart-key", body)
+	if rsp.StatusCode != http.StatusOK || !strings.Contains(raw, `"accepted":3`) {
+		t.Fatalf("ingest = %d: %s", rsp.StatusCode, raw)
+	}
+	samplesPath := "/v2/series/" + url.PathEscape(dev) + "/temperature/samples"
+	pre := httpGetBody(t, url1+samplesPath)
+
+	// The kill also tears the tail of a shard WAL mid-frame.
+	segs, err := filepath.Glob(filepath.Join(dir, "tsdb", "shard-*", "*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no WAL segments under the data dir: %v", err)
+	}
+	f, err := os.OpenFile(segs[0], os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x40, 0x00, 0x00, 0x00, 0xca, 0xfe, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, url2 := durableMeasureDB(t, dir)
+	defer s2.Close()
+	post := httpGetBody(t, url2+samplesPath)
+	if pre != post {
+		t.Fatalf("samples differ across restart:\npre:  %s\npost: %s", pre, post)
+	}
+
+	// The acked batch retried with its key replays, not re-executes.
+	preStats := s2.Store().Stats()
+	rsp, raw = postDurableIngest(t, url2, "restart-key", body)
+	if rsp.StatusCode != http.StatusOK {
+		t.Fatalf("retry = %d: %s", rsp.StatusCode, raw)
+	}
+	if rsp.Header.Get("Idempotent-Replay") != "true" || !strings.Contains(raw, `"replayed":true`) {
+		t.Fatalf("retry not replayed: %s", raw)
+	}
+	if got := s2.Store().Stats(); got.Samples != preStats.Samples {
+		t.Fatalf("retry duplicated rows: %d -> %d samples", preStats.Samples, got.Samples)
+	}
+}
+
+// TestSystemSSEResumeAcrossRestart is the stream golden: a subscriber
+// that saw events, went away, and comes back AFTER the service was
+// killed and restarted resumes with its pre-restart Last-Event-ID and
+// receives exactly the events it missed — once each, no duplicates —
+// because the replay ring is journaled next to the tsdb WAL.
+func TestSystemSSEResumeAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	const dev = "urn:district:turin/building:b02/device:dur1"
+	ctx := context.Background()
+	row := func(val float64) string {
+		return fmt.Sprintf(`{"rows":[{"device":"%s","quantity":"temperature","at":"2015-03-09T10:0%d:00Z","value":%g}]}`,
+			dev, int(val), val)
+	}
+	values := func(evs []middleware.Event) []float64 {
+		var out []float64
+		for _, ev := range evs {
+			doc, err := dataformat.Decode(ev.Payload, dataformat.Sniff(ev.Payload))
+			if err != nil || doc.Measurement == nil {
+				t.Fatalf("bad stream payload: %v", err)
+			}
+			out = append(out, doc.Measurement.Value)
+		}
+		return out
+	}
+	collectN := func(sub *stream.Subscription, n int) []middleware.Event {
+		t.Helper()
+		var out []middleware.Event
+		deadline := time.After(10 * time.Second)
+		for len(out) < n {
+			select {
+			case ev, ok := <-sub.Events:
+				if !ok {
+					t.Fatalf("stream ended after %d/%d events", len(out), n)
+				}
+				out = append(out, ev)
+			case <-deadline:
+				t.Fatalf("timeout after %d/%d events", len(out), n)
+			}
+		}
+		return out
+	}
+	waitSubscribers := func(s *measuredb.Service, n int) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for s.Stream().Hub().Stats().Subscribers < n {
+			if time.Now().After(deadline) {
+				t.Fatalf("hub never reached %d subscribers", n)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	s1, url1 := durableMeasureDB(t, dir) // killed later: never Closed
+
+	subA, err := stream.Subscribe(ctx, url1, "measurements/#", stream.SubscribeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitSubscribers(s1, 1)
+	for _, v := range []float64{1, 2, 3} {
+		if rsp, raw := postDurableIngest(t, url1, "", row(v)); rsp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest: %s", raw)
+		}
+	}
+	if got := values(collectN(subA, 3)); got[0] != 1 || got[2] != 3 {
+		t.Fatalf("pre-restart events = %v", got)
+	}
+	lastID := subA.LastID()
+
+	// A second subscriber keeps the hub live while A is away (attached
+	// BEFORE A goes, so the subscriber count never touches zero and
+	// every gap event is journaled as it fans out).
+	bctx, bcancel := context.WithCancel(ctx)
+	subB, err := stream.Subscribe(bctx, url1, "measurements/#", stream.SubscribeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitSubscribers(s1, 2)
+	subA.Close()
+	for _, v := range []float64{4, 5, 6} {
+		if rsp, raw := postDurableIngest(t, url1, "", row(v)); rsp.StatusCode != http.StatusOK {
+			t.Fatalf("gap ingest: %s", raw)
+		}
+	}
+	collectN(subB, 3) // the gap events really went out pre-kill
+	bcancel()
+	subB.Close()
+
+	// Kill + restart, then A resumes with its pre-restart cursor.
+	s2, url2 := durableMeasureDB(t, dir)
+	defer s2.Close()
+	subA2, err := stream.Subscribe(ctx, url2, "measurements/#", stream.SubscribeOptions{AfterID: lastID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subA2.Close()
+	gap := collectN(subA2, 3)
+	if got := values(gap); got[0] != 4 || got[1] != 5 || got[2] != 6 {
+		t.Fatalf("resumed gap = %v, want [4 5 6]", got)
+	}
+	// And the stream continues live past the replayed gap, IDs still
+	// monotonic — no duplicates of the gap can follow.
+	waitSubscribers(s2, 1)
+	if rsp, raw := postDurableIngest(t, url2, "", row(7)); rsp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart ingest: %s", raw)
+	}
+	next := collectN(subA2, 1)
+	if got := values(next); got[0] != 7 {
+		t.Fatalf("post-restart event = %v, want [7]", got)
+	}
+	if stream.EventID(next[0]) <= stream.EventID(gap[2]) {
+		t.Fatalf("IDs not monotonic across restart: %d then %d",
+			stream.EventID(gap[2]), stream.EventID(next[0]))
 	}
 }

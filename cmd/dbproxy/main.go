@@ -74,7 +74,7 @@ func runBIM(in, format, district, masterURL, addr string, synth int, seed int64,
 		if err != nil {
 			return "", nil, err
 		}
-		defer f.Close()
+		defer f.Close() //lint:ignore closecheck read-only input file; close error cannot lose data
 		if format == "vendorb" {
 			building, err = bim.DecodeVendorB(f)
 		} else {
@@ -108,7 +108,7 @@ func runSIM(in, district, masterURL, addr string, synth int, seed int64, legacy 
 		if err != nil {
 			return "", nil, err
 		}
-		defer f.Close()
+		defer f.Close() //lint:ignore closecheck read-only input file; close error cannot lose data
 		network, err = sim.DecodeExport(f)
 		if err != nil {
 			return "", nil, fmt.Errorf("decode %s: %w", in, err)

@@ -1,0 +1,89 @@
+// Command districtlint runs the project's invariant suite (package
+// repro/internal/lint) over module packages and exits non-zero when any
+// finding survives suppression.
+//
+// Usage:
+//
+//	districtlint [-C dir] [-rules rule1,rule2] [patterns...]
+//
+// Patterns default to ./... and are resolved by `go list` relative to
+// the module directory. Findings print one per line in the conventional
+// file:line:col: rule: message form.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	dir := flag.String("C", ".", "module directory to lint")
+	rules := flag.String("rules", "", "comma-separated rule names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: districtlint [-C dir] [-rules rule1,rule2] [patterns...]\n\nrules:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers, err := selectRules(*rules)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "districtlint:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "districtlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "districtlint:", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "districtlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// selectRules resolves the -rules flag against the suite.
+func selectRules(spec string) ([]*lint.Analyzer, error) {
+	all := lint.All()
+	if spec == "" {
+		return all, nil
+	}
+	byName := make(map[string]*lint.Analyzer, len(all))
+	names := make([]string, 0, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+		names = append(names, a.Name)
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (rules: %s)", name, strings.Join(names, ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"net/url"
 	"sync"
@@ -388,7 +389,9 @@ func (p *Proxy) Close() {
 		p.reg.Stop()
 	}
 	p.srv.Close()
-	p.streamS.Close()
+	if err := p.streamS.Close(); err != nil {
+		log.Printf("deviceproxy: stream close: %v", err)
+	}
 	p.bus.Close()
 	_ = p.opts.Driver.Close()
 	p.store.Close()

@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"net/http"
+)
+
+// apienvelope enforces the PR 1 contract: every service surface fails
+// through the internal/api error envelope (api.WriteError and the
+// sentinel table), never through http.Error or a hand-rolled error
+// status. One error shape across every service is what lets clients,
+// the retrying transport, and the middleware chain treat failures
+// uniformly; a single raw http.Error reintroduces the pre-PR-1 ad-hoc
+// bodies. A handler package is any package wired onto the api layer:
+// it imports both net/http and repro/internal/api (the api package
+// itself, which implements the envelope, is exempt).
+var apiEnvelopeAnalyzer = &Analyzer{
+	Name: "apienvelope",
+	Doc:  "handler packages fail through the internal/api error envelope, never http.Error or naked error-status writes",
+	Run:  runAPIEnvelope,
+}
+
+func runAPIEnvelope(p *Pass) {
+	if p.Path == apiPkgPath || !p.importsPath(apiPkgPath) || !p.importsPath("net/http") {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeOf(p.Info, call)
+			if obj == nil {
+				return true
+			}
+			if isPkgFunc(obj, "net/http", "Error") && recvNamed(obj) == nil {
+				p.Reportf(call.Pos(), "http.Error bypasses the error envelope; use api.WriteError (sentinels map through api.RegisterStatus)")
+				return true
+			}
+			if isPkgFunc(obj, "net/http", "WriteHeader") && len(call.Args) == 1 {
+				if code, ok := constStatus(p, call.Args[0]); ok && code >= http.StatusBadRequest {
+					p.Reportf(call.Pos(), "naked WriteHeader(%d) bypasses the error envelope; use api.WriteError or api.WriteErrorStatus", code)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// constStatus evaluates an expression to a constant int status code.
+func constStatus(p *Pass, e ast.Expr) (int64, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}

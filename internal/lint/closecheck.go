@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// closecheck guards the durability teardown paths: Close, Sync, and
+// Flush errors on os.File values and on internal/wal types carry the
+// last word on whether journaled data actually reached disk — an
+// unchecked wal Close can silently drop the final segment flush, and an
+// unchecked file Sync turns fsync-before-rename into plain rename. The
+// rule flags calls to error-returning Close/Sync/Flush methods on those
+// receivers whose result is discarded: expression statements, defers,
+// go statements, and assignments to blank only. Test files are exempt
+// (tests tear down temp dirs where the error genuinely has no
+// consumer).
+var closeCheckAnalyzer = &Analyzer{
+	Name: "closecheck",
+	Doc:  "Close/Sync/Flush errors on os.File and internal/wal values must be checked (returned or logged)",
+	Run:  runCloseCheck,
+}
+
+func runCloseCheck(p *Pass) {
+	for _, f := range p.Files {
+		if name := p.Fset.Position(f.Pos()).Filename; strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				call = n.Call
+			case *ast.AssignStmt:
+				if len(n.Rhs) != 1 || !allBlank(n.Lhs) {
+					return true
+				}
+				call, _ = n.Rhs[0].(*ast.CallExpr)
+			default:
+				return true
+			}
+			if call == nil {
+				return true
+			}
+			if obj := calleeOf(p.Info, call); isDurableCloser(obj) {
+				recv := recvNamed(obj)
+				p.Reportf(call.Pos(), "%s.%s error discarded; a dropped %s on the durability path can lose acked data — return or log it",
+					recv.Obj().Name(), obj.Name(), obj.Name())
+			}
+			return true
+		})
+	}
+}
+
+// allBlank reports whether every assignment target is the blank
+// identifier.
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		if id, ok := e.(*ast.Ident); !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// isDurableCloser matches error-returning Close/Sync/Flush methods
+// whose receiver is os.File or any type of internal/wal.
+func isDurableCloser(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	switch fn.Name() {
+	case "Close", "Sync", "Flush":
+	default:
+		return false
+	}
+	if !returnsError(obj) {
+		return false
+	}
+	recv := recvNamed(obj)
+	if recv == nil || recv.Obj().Pkg() == nil {
+		return false
+	}
+	switch recv.Obj().Pkg().Path() {
+	case "os":
+		return recv.Obj().Name() == "File"
+	case walPkgPath:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ctxflow enforces the PR 1 context-propagation contract in internal
+// packages: a function that was handed a context.Context must thread it
+// — calling context.Background() or context.TODO() with a ctx in
+// lexical scope detaches the work from the caller's deadline and
+// cancellation, exactly the bug class the context-aware client redesign
+// removed. Functions without a ctx parameter (legacy shims, background
+// loops, fire-and-forget publishers) are free to mint their own roots.
+var ctxFlowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "no context.Background()/TODO() while a context.Context parameter is in scope; thread the caller's ctx",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) {
+	if !strings.HasPrefix(p.Path, "repro/internal/") {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig, ok := obj.Type().(*types.Signature)
+			if !ok {
+				continue
+			}
+			checkCtxScope(p, fd.Body, hasCtxParam(sig))
+		}
+	}
+}
+
+// checkCtxScope walks a function body; inScope is whether an enclosing
+// function's signature carries a context.Context. Function literals
+// inherit the lexical scope (a closure sees its parent's ctx) and may
+// add their own ctx parameter.
+func checkCtxScope(p *Pass, body ast.Node, inScope bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lit := false
+			if tv, ok := p.Info.Types[n]; ok {
+				if sig, ok := tv.Type.(*types.Signature); ok {
+					lit = hasCtxParam(sig)
+				}
+			}
+			checkCtxScope(p, n.Body, inScope || lit)
+			return false
+		case *ast.CallExpr:
+			if !inScope {
+				return true
+			}
+			obj := calleeOf(p.Info, n)
+			for _, name := range [...]string{"Background", "TODO"} {
+				if isPkgFunc(obj, "context", name) {
+					p.Reportf(n.Pos(), "context.%s() while a context.Context is in scope; thread the caller's ctx instead", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// hasCtxParam reports whether any parameter of sig is context.Context.
+func hasCtxParam(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isNamedType(sig.Params().At(i).Type(), "context", "Context") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,44 @@
+// Package fixture exercises the apienvelope analyzer: it is
+// type-checked under a handler-package import path and imports both
+// net/http and the api layer, so every raw error write must be flagged
+// and every envelope write must not.
+package fixture
+
+import (
+	"errors"
+	"net/http"
+
+	"repro/internal/api"
+)
+
+var errBroken = errors.New("broken")
+
+func bad(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "boom", http.StatusBadRequest)  // want "apienvelope: http.Error bypasses the error envelope"
+	w.WriteHeader(http.StatusInternalServerError) // want "apienvelope: naked WriteHeader\(500\) bypasses the error envelope"
+	w.WriteHeader(404)                            // want "apienvelope: naked WriteHeader\(404\)"
+}
+
+func good(w http.ResponseWriter, r *http.Request) {
+	api.WriteError(w, r, errBroken)
+	api.WriteErrorStatus(w, r, http.StatusBadGateway, errBroken)
+	w.WriteHeader(http.StatusNoContent) // success statuses are not error writes
+	w.WriteHeader(http.StatusOK)
+}
+
+func dynamic(w http.ResponseWriter, r *http.Request, status int) {
+	// A non-constant status is the envelope's own job (api.WriteError
+	// calls WriteHeader internally); only literal error statuses in
+	// handler code are naked writes.
+	w.WriteHeader(status)
+}
+
+type ownError struct{}
+
+// Error is a method named like http.Error on a local type: not flagged.
+func (ownError) Error(w http.ResponseWriter, msg string, code int) {}
+
+func ownType(w http.ResponseWriter) {
+	var e ownError
+	e.Error(w, "fine", 500)
+}

@@ -1,0 +1,53 @@
+// Package fixture exercises the closecheck analyzer: Close/Sync/Flush
+// errors on os.File and internal/wal values must reach a consumer.
+package fixture
+
+import (
+	"os"
+
+	"repro/internal/wal"
+)
+
+func fileDiscards(f *os.File) {
+	f.Close()       // want "closecheck: File.Close error discarded"
+	_ = f.Sync()    // want "closecheck: File.Sync error discarded"
+	defer f.Close() // want "closecheck: File.Close error discarded"
+	go f.Close()    // want "closecheck: File.Close error discarded"
+}
+
+func fileChecked(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func fileCaptured(f *os.File) {
+	err := f.Close() // captured into a named variable: checked
+	_ = err
+}
+
+func walDiscards(l *wal.Log) {
+	l.Close()    // want "closecheck: Log.Close error discarded"
+	_ = l.Sync() // want "closecheck: Log.Sync error discarded"
+}
+
+func walChecked(l *wal.Log) error {
+	return l.Close()
+}
+
+func snapshotReader(sr *wal.SnapshotReader) {
+	_ = sr.Close() // want "closecheck: SnapshotReader.Close error discarded"
+}
+
+type notDurable struct{}
+
+func (notDurable) Close() error { return nil }
+
+func otherReceivers(n notDurable) {
+	n.Close() // not an os.File or wal value: fine
+}
+
+func voidClose(ch chan int) {
+	close(ch) // the builtin: fine
+}

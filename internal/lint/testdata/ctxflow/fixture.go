@@ -1,0 +1,35 @@
+// Package fixture exercises the ctxflow analyzer: functions with a
+// context.Context parameter must thread it instead of minting fresh
+// roots; functions without one are free to.
+package fixture
+
+import "context"
+
+func withCtx(ctx context.Context) {
+	_ = context.Background() // want "ctxflow: context.Background\(\) while a context.Context is in scope"
+	_ = context.TODO()       // want "ctxflow: context.TODO\(\) while a context.Context is in scope"
+	use(ctx)
+}
+
+func withCtxClosure(ctx context.Context) {
+	go func() {
+		// The closure lexically sees ctx, so a fresh root is still a
+		// detach.
+		_ = context.Background() // want "ctxflow: context.Background\(\)"
+	}()
+}
+
+func withoutCtx() {
+	// No ctx in scope: background loops mint their own roots.
+	ctx := context.Background()
+	use(ctx)
+}
+
+func litOwnCtx() {
+	fn := func(ctx context.Context) {
+		_ = context.TODO() // want "ctxflow: context.TODO\(\)"
+	}
+	fn(context.Background())
+}
+
+func use(context.Context) {}

@@ -1,0 +1,32 @@
+// Package fixture exercises the //lint:ignore directive semantics: a
+// correct directive silences exactly the named rule on exactly the next
+// line (or its own line when trailing); a wrong rule silences nothing;
+// an unknown rule or a missing reason is itself a diagnostic.
+package fixture
+
+import "os"
+
+func ownLine(f *os.File) {
+	//lint:ignore closecheck fixture: own-line directive covers the next line
+	f.Close()
+	f.Close() // want "closecheck: File.Close error discarded" — one line only
+}
+
+func trailing(f *os.File) {
+	f.Close() //lint:ignore closecheck fixture: trailing directive covers its own line
+}
+
+func wrongRule(f *os.File) {
+	//lint:ignore ctxflow fixture: names a known rule, but not the one firing
+	f.Close() // want "closecheck: File.Close error discarded"
+}
+
+func unknownRule(f *os.File) {
+	//lint:ignore nosuchrule bogus // want "lint: //lint:ignore names unknown rule \"nosuchrule\""
+	f.Close() // want "closecheck: File.Close error discarded"
+}
+
+func missingReason(f *os.File) {
+	//lint:ignore closecheck // want "lint: //lint:ignore closecheck needs a reason"
+	f.Close() // want "closecheck: File.Close error discarded"
+}

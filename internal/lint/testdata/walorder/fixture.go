@@ -1,0 +1,56 @@
+// Package fixture exercises the walorder analyzer. It is type-checked
+// under the tsdb import path, so its local Sharded and Store types are
+// the ones the rule keys on: a Store apply in a Sharded method must be
+// dominated by a wal.Log append.
+package fixture
+
+import "repro/internal/wal"
+
+type Store struct{}
+
+func (*Store) Append(p []byte) error         { return nil }
+func (*Store) AppendBatch(ps [][]byte) error { return nil }
+
+type Sharded struct {
+	log   *wal.Log
+	store *Store
+}
+
+func (s *Sharded) applyFirst(p []byte) {
+	_ = s.store.Append(p) // want "walorder: Append applies to the in-memory store before wal.Log append"
+	_, _ = s.log.Append(p)
+}
+
+func (s *Sharded) neverJournaled(p []byte) {
+	_ = s.store.AppendBatch([][]byte{p}) // want "walorder: AppendBatch applies to the in-memory store"
+}
+
+func (s *Sharded) journalFirst(p []byte) {
+	_, _ = s.log.Append(p)
+	_ = s.store.Append(p)
+}
+
+func (s *Sharded) journalInInit(p []byte) error {
+	if _, err := s.log.AppendBatch([][]byte{p}); err != nil {
+		return err
+	}
+	return s.store.Append(p)
+}
+
+func (s *Sharded) branchDoesNotDominate(p []byte) {
+	if len(p) > 0 {
+		_, _ = s.log.Append(p)
+	}
+	// The append above sits inside a branch of an earlier statement; at
+	// statement level it still dominates everything after that if.
+	_ = s.store.Append(p)
+}
+
+// notSharded has a Store apply with no WAL, but the receiver is not
+// Sharded: the rule is about the shard workers, not every user of a
+// Store.
+type notSharded struct{ store *Store }
+
+func (n *notSharded) apply(p []byte) {
+	_ = n.store.Append(p)
+}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Shared type-resolution helpers for the analyzers. Everything works on
+// object identity resolved by go/types, matched back to packages and
+// names by string — analyzers never pattern-match source text.
+
+// walPkgPath is the durable-log package every IO-ordering rule keys on.
+const walPkgPath = "repro/internal/wal"
+
+// apiPkgPath is the versioned API layer (error envelope owner).
+const apiPkgPath = "repro/internal/api"
+
+// calleeOf resolves the object a call expression invokes: a *types.Func
+// for direct function and method calls, a *types.Var for calls through
+// a function-valued variable (closures), nil for type conversions and
+// calls of anonymous function literals.
+func calleeOf(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		// Package-qualified call (os.Open): the selector identifier
+		// resolves directly.
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// isPkgFunc reports whether obj is the package-level function (or any
+// function, method included) pkgPath.name.
+func isPkgFunc(obj types.Object, pkgPath, name string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// pkgPathOf returns the defining package path of obj ("" for builtins).
+func pkgPathOf(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// recvNamed returns the named type of a method's receiver, pointers
+// dereferenced, or nil when obj is not a method.
+func recvNamed(obj types.Object) *types.Named {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return namedOf(sig.Recv().Type())
+}
+
+// namedOf unwraps pointers down to a named type (nil if the underlying
+// type is unnamed).
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+// isNamedType reports whether t (pointers dereferenced) is the named
+// type pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	n := namedOf(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// importsPath reports whether the package imports path (directly).
+func (p *Package) importsPath(path string) bool {
+	for _, imp := range p.Types.Imports() {
+		if imp.Path() == path {
+			return true
+		}
+	}
+	return false
+}
+
+// returnsError reports whether a function object's last result is error.
+func returnsError(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named := namedOf(last)
+	return named != nil && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// funcDeclsOf yields every function declaration of the package with a
+// body, paired with its defining object.
+func (p *Package) funcDeclsOf() map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				out[obj] = fd
+			}
+		}
+	}
+	return out
+}

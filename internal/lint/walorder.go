@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// walorder machine-checks the durability invariant at the heart of PR 5:
+// inside the tsdb shard workers, a batch is journaled to the WAL before
+// it is applied to the in-memory store. Applying first and journaling
+// second means a crash between the two acks data that replay cannot
+// reconstruct — the one ordering bug the crash-recovery suite exists to
+// catch, now caught at compile time instead. Concretely: in any method
+// of tsdb.Sharded whose body applies to a Store (Append/AppendBatch),
+// the apply must be lexically preceded in the same statement list, or
+// dominated by an enclosing statement preceded, by a wal.Log append
+// (Append/AppendBatch).
+var walOrderAnalyzer = &Analyzer{
+	Name: "walorder",
+	Doc:  "tsdb shard workers journal to the WAL before applying a batch to the in-memory store",
+	Run:  runWALOrder,
+}
+
+func runWALOrder(p *Pass) {
+	if p.Path != "repro/internal/tsdb" {
+		return
+	}
+	for obj, fd := range p.funcDeclsOf() {
+		recv := recvNamed(obj)
+		if recv == nil || recv.Obj().Name() != "Sharded" || recv.Obj().Pkg() == nil || recv.Obj().Pkg().Path() != p.Path {
+			continue
+		}
+		checkWALOrder(p, fd.Body)
+	}
+}
+
+// checkWALOrder walks one Sharded method body in statement order,
+// tracking whether a WAL append has happened on the current path. Store
+// applies before the first WAL append are findings. Branch bodies
+// inherit the flag but cannot set it for the fall-through path (an
+// append inside an if does not dominate what follows); a WAL append at
+// statement level does.
+func checkWALOrder(p *Pass, body *ast.BlockStmt) {
+	var walk func(list []ast.Stmt, journaled bool)
+	walk = func(list []ast.Stmt, journaled bool) {
+		for _, s := range list {
+			// A statement that contains a WAL append anywhere (including
+			// `if err := log.AppendBatch(...); err != nil` or an
+			// assignment) marks the rest of this list journaled — but
+			// only after the statement's own subtree is checked with the
+			// incoming state.
+			checkApplies(p, s, journaled)
+			if containsWALAppend(p, s) {
+				journaled = true
+			}
+		}
+	}
+	walk(body.List, false)
+}
+
+// checkApplies flags store applies in the statement's subtree when no
+// WAL append dominates them. Nested function literals are skipped: they
+// run on their own schedule (worker loops are driven per-batch and are
+// walked when their enclosing method is).
+func checkApplies(p *Pass, s ast.Stmt, journaled bool) {
+	if journaled {
+		return
+	}
+	// Within the statement, a WAL append textually before the apply in
+	// the same expression order still satisfies the invariant; handle
+	// the common `if err := wal(); ...` shape by tracking a local flag
+	// in source order.
+	local := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeOf(p.Info, call)
+		if isWALAppend(obj) {
+			local = true
+			return true
+		}
+		if !local && isStoreApply(p, obj) {
+			p.Reportf(call.Pos(), "%s applies to the in-memory store before wal.Log append on this path; journal the batch first (WAL-before-store)", obj.Name())
+		}
+		return true
+	})
+}
+
+// containsWALAppend reports whether the statement's subtree (function
+// literals excluded) performs a wal.Log append.
+func containsWALAppend(p *Pass, s ast.Stmt) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isWALAppend(calleeOf(p.Info, call)) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isWALAppend matches Append/AppendBatch methods of internal/wal types.
+func isWALAppend(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != walPkgPath {
+		return false
+	}
+	return fn.Name() == "Append" || fn.Name() == "AppendBatch"
+}
+
+// isStoreApply matches the in-memory apply entry points: Append,
+// AppendBatch, and appendRun methods on the package's Store type.
+func isStoreApply(p *Pass, obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	switch fn.Name() {
+	case "Append", "AppendBatch", "appendRun":
+	default:
+		return false
+	}
+	recv := recvNamed(obj)
+	return recv != nil && recv.Obj().Name() == "Store" &&
+		recv.Obj().Pkg() != nil && recv.Obj().Pkg().Path() == p.Path
+}

@@ -231,7 +231,9 @@ func (m *Master) Close() {
 		srv.Close()
 	}
 	m.wg.Wait()
-	m.stream.Close()
+	if err := m.stream.Close(); err != nil {
+		m.logf("master: stream close: %v", err)
+	}
 	m.bus.Close()
 }
 

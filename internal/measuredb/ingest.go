@@ -106,7 +106,9 @@ const dedupCompactEvery = 4 * maxDedupEntries
 // leaves no outcome, and the retry re-executes against whatever prefix
 // of the batch the tsdb WAL preserved.
 type dedupWindow struct {
-	mu       sync.Mutex
+	// mu serializes the window map; every keyed request takes it, so
+	// journal IO must stay outside (see store and compact).
+	mu       sync.Mutex // districtlint:lockio
 	ttl      time.Duration
 	claimTTL time.Duration
 	entries  map[string]*dedupEntry
@@ -191,20 +193,20 @@ func (d *dedupWindow) openLog(dir string, mode wal.Mode) error {
 				break
 			}
 			if err != nil {
-				sr.Close()
-				return err
+				return errors.Join(err, sr.Close())
 			}
 			_ = insert(p)
 		}
-		sr.Close()
+		// The snapshot was read to EOF; a close error on the read-only
+		// file cannot invalidate what was decoded.
+		_ = sr.Close() //lint:ignore closecheck read-only snapshot already decoded to EOF; close error cannot lose data
 	}
 	log, err := wal.Open(dir, wal.Options{Fsync: mode, SegmentBytes: 1 << 20})
 	if err != nil {
 		return err
 	}
 	if err := log.Replay(snapSeq, func(_ uint64, p []byte) error { return insert(p) }); err != nil {
-		log.Close()
-		return err
+		return errors.Join(err, log.Close())
 	}
 	d.log = log
 	d.dir = dir
@@ -267,16 +269,22 @@ func (d *dedupWindow) persistErrors() uint64 {
 	return d.persistErrs
 }
 
-// close releases the persistence log (nil-safe).
-func (d *dedupWindow) close() {
+// close releases the persistence log (nil-safe). The log is detached
+// under the window mutex and closed outside it — the close may flush —
+// and the close error is returned: it is the last word on whether the
+// journaled outcomes reached disk.
+func (d *dedupWindow) close() error {
 	if d == nil {
-		return
+		return nil
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.log != nil {
-		_ = d.log.Close()
+	log := d.log
+	d.log = nil
+	d.mu.Unlock()
+	if log == nil {
+		return nil
 	}
+	return log.Close()
 }
 
 // pruneLocked drops expired entries and enforces the cap. In-flight
@@ -342,14 +350,19 @@ func (t *dedupToken) store(res IngestResult) {
 		if err != nil {
 			// The log is sticky-failed: detach it and count the loss, so
 			// the degradation (acked outcomes no longer crash-replayable)
-			// is visible in the stats instead of silent.
+			// is visible in the stats instead of silent. The close runs
+			// outside the window mutex, after the detach.
+			var dead *wal.Log
 			d.mu.Lock()
 			d.persistErrs++
 			if d.log == log {
-				_ = d.log.Close()
+				dead = d.log
 				d.log = nil
 			}
 			d.mu.Unlock()
+			if dead != nil {
+				_ = dead.Close() //lint:ignore closecheck log already sticky-failed; Close error carries no new information
+			}
 		} else {
 			journaled = true
 		}

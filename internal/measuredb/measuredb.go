@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"net/url"
 	"path/filepath"
@@ -185,7 +186,7 @@ func Open(opts Options) (*Service, error) {
 		s.ownBus = true
 	}
 	fail := func(err error) (*Service, error) {
-		dedup.close()
+		err = errors.Join(err, dedup.close())
 		if s.ownBus {
 			s.bus.Close()
 		}
@@ -374,12 +375,16 @@ func (s *Service) Serve(addr string) (string, error) {
 // state).
 func (s *Service) Close() {
 	s.srv.Close()
-	s.streamS.Close()
+	if err := s.streamS.Close(); err != nil {
+		log.Printf("measuredb: stream close: %v", err)
+	}
 	s.ingest.Unsubscribe()
 	if s.ownBus {
 		s.bus.Close()
 	}
-	s.dedup.close()
+	if err := s.dedup.close(); err != nil {
+		log.Printf("measuredb: dedup journal close: %v", err)
+	}
 	s.store.Close()
 }
 

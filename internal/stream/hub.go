@@ -84,7 +84,9 @@ func (o HubOptions) withDefaults() HubOptions {
 type Hub struct {
 	opts HubOptions
 
-	mu        sync.Mutex
+	// mu is the fan-out lock: every publisher and every subscriber
+	// change serializes on it, so nothing slow may ever run under it.
+	mu        sync.Mutex // districtlint:lockio
 	idx       *middleware.Index
 	subs      map[int]*Sub
 	nextSubID int
@@ -98,9 +100,24 @@ type Hub struct {
 	evicted   uint64
 	replayed  uint64
 
-	log         *wal.Log // nil: memory-only ring
+	log         *wal.Log // nil: memory-only ring; pointer guarded by mu
+	jpending    []jrec   // staged journal records, ID order; guarded by mu
 	persistErrs uint64
 	sinceTrim   int
+
+	// jmu serializes journal IO. It is only ever acquired with mu NOT
+	// held (lock order: jmu then mu), so a publisher paying for an
+	// fsync never stalls fan-out for the publishers behind it — they
+	// stage under mu and one drainer group-commits the batch.
+	jmu sync.Mutex
+}
+
+// jrec is one staged journal record. A nil rec poisons the journal (the
+// event could not be encoded; journaling past it would shift every
+// later record one seq behind its live ID).
+type jrec struct {
+	id  uint64
+	rec []byte
 }
 
 // NewHub creates a Hub. It can only fail when Options.Dir requests a
@@ -147,8 +164,7 @@ func OpenHub(opts HubOptions) (*Hub, error) {
 		return nil
 	})
 	if err != nil {
-		log.Close()
-		return nil, err
+		return nil, errors.Join(err, log.Close())
 	}
 	h.lastID = log.LastSeq()
 	if first := opts.FirstID - 1; first > h.lastID {
@@ -161,8 +177,7 @@ func OpenHub(opts HubOptions) (*Hub, error) {
 		// ID == seq invariant holds — to the wall-clock-derived FirstID,
 		// which is above everything the previous process assigned.
 		if err := log.SkipTo(opts.FirstID); err != nil {
-			log.Close()
-			return nil, err
+			return nil, errors.Join(err, log.Close())
 		}
 		h.lastID = first
 	}
@@ -281,6 +296,12 @@ func (h *Hub) removeLocked(s *Sub) {
 // is full is evicted on the spot: unlike the in-process bus (at-most-once,
 // drop-on-overflow), the stream contract is "no silent gaps" — the
 // evicted consumer reconnects and resumes from the replay ring.
+//
+// On a durable hub the event is journaled before Publish returns, but
+// the journal write runs outside the fan-out lock: the record is staged
+// under mu and written under jmu, where concurrent publishers
+// group-commit each other's staged records. An fsync therefore never
+// blocks fan-out, only the publishers waiting on their own ack.
 func (h *Hub) Publish(ev middleware.Event) error {
 	if err := middleware.ValidateTopic(ev.Topic); err != nil {
 		return err
@@ -289,8 +310,8 @@ func (h *Hub) Publish(ev middleware.Event) error {
 		ev.At = time.Now().UTC()
 	}
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	if h.closed {
+		h.mu.Unlock()
 		return ErrHubClosed
 	}
 	h.lastID++
@@ -298,7 +319,7 @@ func (h *Hub) Publish(ev middleware.Event) error {
 	e := Entry{ID: h.lastID, Event: ev}
 
 	h.ringPush(e)
-	h.persistLocked(e)
+	h.stageLocked(e)
 
 	var evict []*Sub
 	h.idx.Match(ev.Topic, func(id int) {
@@ -318,6 +339,9 @@ func (h *Hub) Publish(ev middleware.Event) error {
 		h.evicted++
 		h.removeLocked(s)
 	}
+	h.mu.Unlock()
+
+	h.drainJournal()
 	return nil
 }
 
@@ -331,7 +355,24 @@ func (h *Hub) ringPush(e Entry) {
 	}
 }
 
-// persistLocked journals one published entry to the ring log and
+// stageLocked queues one published entry for the ring log. Encoding
+// happens here (under mu, in ID order — staging order is what keeps the
+// event-ID == log-sequence invariant); the write happens in
+// drainJournal, outside the fan-out lock. An event that fails to encode
+// stages a poison record: journaling past it would land every later
+// record one seq behind its live ID, so the drain detaches instead.
+func (h *Hub) stageLocked(e Entry) {
+	if h.log == nil {
+		return
+	}
+	rec, err := json.Marshal(e.Event)
+	if err != nil {
+		rec = nil
+	}
+	h.jpending = append(h.jpending, jrec{id: e.ID, rec: rec})
+}
+
+// drainJournal writes every staged record to the ring log and
 // periodically drops the segments that have fallen out of the replay
 // window. Persistence is best-effort relative to fan-out: a failure is
 // counted and never stalls live delivery — but it also DETACHES the
@@ -341,25 +382,62 @@ func (h *Hub) ringPush(e Entry) {
 // its live ID, and a restart would replay shifted, wrong IDs. After a
 // detach, a restart resumes from the last journaled event and resume
 // points beyond it draw the normal gap marker.
-func (h *Hub) persistLocked(e Entry) {
-	if h.log == nil {
-		return
-	}
-	rec, err := json.Marshal(e.Event)
-	if err == nil {
-		_, err = h.log.Append(rec)
-	}
-	if err != nil {
-		h.persistErrs++
-		_ = h.log.Close()
-		h.log = nil
-		return
-	}
-	h.sinceTrim++
-	if h.sinceTrim >= h.opts.History/2+1 {
-		h.sinceTrim = 0
-		if h.lastID >= uint64(h.opts.History) {
-			_ = h.log.TruncateBefore(h.lastID - uint64(h.opts.History) + 1)
+//
+// The jmu critical section is where the disk time goes; mu is only
+// taken briefly to swap the staged batch out. A caller returning from
+// drainJournal knows its own staged records were written: they were
+// staged before the call, so either this drain wrote them or a
+// concurrent drainer did before releasing jmu.
+func (h *Hub) drainJournal() {
+	h.jmu.Lock()
+	defer h.jmu.Unlock()
+	for {
+		h.mu.Lock()
+		log := h.log
+		batch := h.jpending
+		h.jpending = nil
+		h.mu.Unlock()
+		if log == nil || len(batch) == 0 {
+			return
+		}
+
+		recs := make([][]byte, 0, len(batch))
+		for _, r := range batch {
+			if r.rec == nil {
+				recs = nil // poison: encode failure, detach below
+				break
+			}
+			recs = append(recs, r.rec)
+		}
+		var err error
+		if recs == nil {
+			err = errors.New("stream: event payload not JSON-encodable")
+		} else {
+			_, err = log.AppendBatch(recs)
+		}
+		if err != nil {
+			h.mu.Lock()
+			h.persistErrs += uint64(len(batch))
+			if h.log == log {
+				h.log = nil
+			}
+			h.mu.Unlock()
+			// The log is already sticky-failed (or holds an event it
+			// must not outlive); Close is cleanup, not durability.
+			_ = log.Close() //lint:ignore closecheck log already sticky-failed; Close error carries no new information
+			return
+		}
+
+		h.mu.Lock()
+		h.sinceTrim += len(batch)
+		due := h.sinceTrim >= h.opts.History/2+1
+		if due {
+			h.sinceTrim = 0
+		}
+		last := batch[len(batch)-1].id
+		h.mu.Unlock()
+		if due && last >= uint64(h.opts.History) {
+			_ = log.TruncateBefore(last - uint64(h.opts.History) + 1)
 		}
 	}
 }
@@ -418,18 +496,30 @@ func (h *Hub) Stats() HubStats {
 }
 
 // Close shuts the hub down; every subscriber's channel is closed and a
-// durable ring log is synced for the next boot.
-func (h *Hub) Close() {
+// durable ring log is drained and synced for the next boot. The
+// returned error is the ring log's close error — a durable hub caller
+// that drops it cannot tell whether the final flush reached disk.
+func (h *Hub) Close() error {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	if h.closed {
-		return
+		h.mu.Unlock()
+		return nil
 	}
 	h.closed = true
 	for _, s := range h.subs {
 		h.removeLocked(s)
 	}
-	if h.log != nil {
-		_ = h.log.Close()
+	h.mu.Unlock()
+
+	// Flush anything still staged (closed is set, so no new records can
+	// appear behind the drain), then detach and close outside mu.
+	h.drainJournal()
+	h.mu.Lock()
+	log := h.log
+	h.log = nil
+	h.mu.Unlock()
+	if log == nil {
+		return nil
 	}
+	return log.Close()
 }

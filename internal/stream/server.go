@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -56,8 +57,7 @@ func NewService(bus EventBus, opts Options) (*Service, error) {
 		_ = hub.Publish(ev)
 	})
 	if err != nil {
-		hub.Close()
-		return nil, err
+		return nil, errors.Join(err, hub.Close())
 	}
 	keepAlive := opts.KeepAlive
 	if keepAlive <= 0 {
@@ -76,10 +76,11 @@ func NewService(bus EventBus, opts Options) (*Service, error) {
 func (s *Service) Hub() *Hub { return s.hub }
 
 // Close detaches from the bus and shuts the hub down; every SSE
-// subscriber's stream ends.
-func (s *Service) Close() {
+// subscriber's stream ends. The error is the hub ring log's close
+// error (nil for a memory-only hub).
+func (s *Service) Close() error {
 	s.sub.Unsubscribe()
-	s.hub.Close()
+	return s.hub.Close()
 }
 
 // Mount registers the streaming endpoints on an api.Server:

@@ -85,10 +85,8 @@ func loadOrWriteMeta(dir string, shards int) (int, error) {
 			os.Remove(tmp)
 			return 0, fmt.Errorf("tsdb: %w", werr)
 		}
-		if d, err := os.Open(dir); err == nil {
-			_ = d.Sync()
-			d.Close()
-		}
+		// Best effort, like the WAL's own directory fsyncs.
+		_ = wal.SyncDir(dir)
 		return shards, nil
 	default:
 		return 0, fmt.Errorf("tsdb: %w", err)
@@ -125,15 +123,15 @@ func recoverShard(dir string, store *Store, opts ShardedOptions) (*shardDisk, er
 				break
 			}
 			if err != nil {
-				sr.Close()
-				return nil, err
+				return nil, errors.Join(err, sr.Close())
 			}
 			if err := apply(p); err != nil {
-				sr.Close()
-				return nil, err
+				return nil, errors.Join(err, sr.Close())
 			}
 		}
-		sr.Close()
+		// The snapshot was applied to EOF; a close error on the
+		// read-only file cannot invalidate what was decoded.
+		_ = sr.Close() //lint:ignore closecheck read-only snapshot already applied to EOF; close error cannot lose data
 	}
 
 	log, err := wal.Open(dir, wal.Options{
@@ -145,8 +143,7 @@ func recoverShard(dir string, store *Store, opts ShardedOptions) (*shardDisk, er
 		return nil, err
 	}
 	if err := log.Replay(snapSeq, func(_ uint64, p []byte) error { return apply(p) }); err != nil {
-		log.Close()
-		return nil, err
+		return nil, errors.Join(err, log.Close())
 	}
 	return &shardDisk{log: log, dir: dir, lastSnap: time.Now()}, nil
 }
@@ -178,7 +175,10 @@ func (s *Sharded) maybeSnapshot(store *Store, disk *shardDisk) {
 const snapshotChunk = 2048
 
 // writeSnapshot dumps every sample of the store into a snapshot file at
-// watermark seq. The caller must be the store's only writer.
+// watermark seq. The caller must be the store's only writer. Each
+// series is flattened into a sample slice under its mutex and written
+// to the snapshot file after the unlock — a reader of a hot series
+// never waits on the snapshot's buffered writes.
 func (s *Store) writeSnapshot(dir string, seq uint64) error {
 	return wal.WriteSnapshot(dir, seq, func(sw *wal.SnapshotWriter) error {
 		rows := make([]Row, 0, snapshotChunk)
@@ -202,18 +202,16 @@ func (s *Store) writeSnapshot(dir string, seq uint64) error {
 			if len(sr.spill) > 0 {
 				sr.foldSpill()
 			}
-			for _, seg := range sr.segments {
-				for _, smp := range seg.samples {
-					rows = append(rows, Row{Key: key, Sample: smp})
-					if len(rows) == snapshotChunk {
-						if err := flush(); err != nil {
-							sr.mu.Unlock()
-							return err
-						}
+			samples := sr.flatten()
+			sr.mu.Unlock()
+			for _, smp := range samples {
+				rows = append(rows, Row{Key: key, Sample: smp})
+				if len(rows) == snapshotChunk {
+					if err := flush(); err != nil {
+						return err
 					}
 				}
 			}
-			sr.mu.Unlock()
 		}
 		return flush()
 	})

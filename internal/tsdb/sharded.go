@@ -1,7 +1,9 @@
 package tsdb
 
 import (
+	"errors"
 	"fmt"
+	"log"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -197,10 +199,11 @@ func OpenSharded(opts ShardedOptions) (*Sharded, error) {
 		for i := 0; i < n; i++ {
 			disk, err := recoverShard(filepath.Join(opts.Dir, fmt.Sprintf("shard-%04d", i)), s.shards[i], opts)
 			if err != nil {
+				err = fmt.Errorf("tsdb: recover shard %d: %w", i, err)
 				for _, d := range s.disks[:i] {
-					d.log.Close()
+					err = errors.Join(err, d.log.Close())
 				}
-				return nil, fmt.Errorf("tsdb: recover shard %d: %w", i, err)
+				return nil, err
 			}
 			s.disks[i] = disk
 		}
@@ -411,6 +414,7 @@ func (s *Sharded) Append(key SeriesKey, smp Sample) error {
 		}
 		return nil
 	}
+	//lint:ignore walorder memory-only engine (no Dir): there is no WAL to journal to on this path
 	return s.shard(key.Device).Append(key, smp)
 }
 
@@ -566,12 +570,22 @@ func (s *Sharded) Drop(key SeriesKey) { s.shard(key.Device).Drop(key) }
 
 // Close drains the append queues, stops the workers, syncs and closes
 // the per-shard WALs, and closes the shards. Subsequent writes fail
-// with ErrClosed.
+// with ErrClosed. It satisfies the void Engine interface; a WAL close
+// failure (the final segment flush may not have reached disk) is
+// logged — use CloseErr to receive it instead.
 func (s *Sharded) Close() {
+	if err := s.CloseErr(); err != nil {
+		log.Printf("tsdb: close: %v", err)
+	}
+}
+
+// CloseErr is Close returning the joined per-shard WAL close errors: the
+// last word on whether every journaled batch reached disk.
+func (s *Sharded) CloseErr() error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return
+		return nil
 	}
 	s.closed = true
 	for _, q := range s.queues {
@@ -579,10 +593,14 @@ func (s *Sharded) Close() {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
-	for _, d := range s.disks {
-		d.log.Close()
+	var err error
+	for i, d := range s.disks {
+		if cerr := d.log.Close(); cerr != nil {
+			err = errors.Join(err, fmt.Errorf("shard %d: %w", i, cerr))
+		}
 	}
 	for _, sh := range s.shards {
 		sh.Close()
 	}
+	return err
 }

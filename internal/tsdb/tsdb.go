@@ -69,7 +69,9 @@ func (o *Options) withDefaults() Options {
 type Store struct {
 	opts Options
 
-	mu     sync.RWMutex
+	// mu guards the series catalog; every append and query resolves its
+	// series through it, so it must never cover disk or network time.
+	mu     sync.RWMutex // districtlint:lockio
 	series map[SeriesKey]*series
 	closed bool
 }
@@ -78,7 +80,9 @@ type Store struct {
 // relative to each other except for the spill segment, which absorbs
 // out-of-order writes and is merged on read.
 type series struct {
-	mu       sync.Mutex
+	// mu serializes one series' readers and writers; snapshot dumps
+	// copy under it and do their file IO after the unlock.
+	mu       sync.Mutex // districtlint:lockio
 	segments []*segment
 	spill    []Sample // out-of-order arrivals, unsorted
 	count    int

@@ -67,7 +67,7 @@ func WriteSnapshot(dir string, seq uint64, fn func(*SnapshotWriter) error) error
 	}
 	sw := &SnapshotWriter{w: bufio.NewWriterSize(f, 1<<16), max: 64 << 20}
 	if err := fn(sw); err != nil {
-		f.Close()
+		err = errors.Join(err, f.Close())
 		os.Remove(tmp)
 		return err
 	}
@@ -85,7 +85,9 @@ func WriteSnapshot(dir string, seq uint64, fn func(*SnapshotWriter) error) error
 		os.Remove(tmp)
 		return fmt.Errorf("wal: %w", err)
 	}
-	syncDir(dir)
+	// Best effort, like every directory fsync here: some filesystems
+	// reject it, and the data fsync above already landed.
+	_ = SyncDir(dir)
 	return nil
 }
 
@@ -93,13 +95,17 @@ func snapPath(dir string, seq uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("%016x%s", seq, snapSuffix))
 }
 
-// syncDir fsyncs a directory so renames and removes are durable; best
-// effort (some filesystems reject directory fsync).
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		d.Close()
+// SyncDir fsyncs a directory so renames and removes inside it are
+// durable. Exported for the other durable layers (the tsdb engine meta
+// file uses the same tmp+fsync+rename dance). Callers on filesystems
+// that reject directory fsync may treat the error as best-effort.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
 	}
+	err = d.Sync()
+	return errors.Join(err, d.Close())
 }
 
 // SnapshotReader streams the records of one snapshot file.
@@ -120,7 +126,7 @@ func (sr *SnapshotReader) Record() ([]byte, error) {
 }
 
 // Close releases the snapshot file.
-func (sr *SnapshotReader) Close() { sr.f.Close() }
+func (sr *SnapshotReader) Close() error { return sr.f.Close() }
 
 // LatestSnapshot opens the newest snapshot in dir, returning its
 // watermark sequence. A (0, nil, nil) return means no snapshot exists.

@@ -245,7 +245,7 @@ func scanSegment(path string, maxRecord int) (count int, valid int64, err error)
 	if err != nil {
 		return 0, 0, fmt.Errorf("wal: %w", err)
 	}
-	defer f.Close()
+	defer f.Close() //lint:ignore closecheck read-only scan; close error cannot lose data
 	r := &frameReader{r: bufio.NewReaderSize(f, 1<<16), max: maxRecord}
 	for {
 		_, err := r.next()
@@ -526,7 +526,7 @@ func (l *Log) replaySegment(base uint64, last bool, after uint64, fn func(uint64
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	defer f.Close()
+	defer f.Close() //lint:ignore closecheck read-only replay; close error cannot lose data
 	r := &frameReader{r: bufio.NewReaderSize(f, 1<<16), max: l.opts.MaxRecord}
 	seq := base
 	for {

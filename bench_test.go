@@ -32,6 +32,7 @@ import (
 	"repro/internal/master"
 	"repro/internal/measuredb"
 	"repro/internal/middleware"
+	"repro/internal/obs"
 	"repro/internal/ontology"
 	"repro/internal/protocol/enocean"
 	"repro/internal/protocol/ieee802154"
@@ -1327,4 +1328,57 @@ func BenchmarkD2_Recovery(b *testing.B) {
 			}
 		})
 	}
+}
+
+// ---------------------------------------------------------------------
+// O — the observability tax. O1 prices full instrumentation on the
+// durable write path: the same AppendBatch waves with metrics off (nil
+// registry, no stage collector — every observation site nil-guards to
+// nothing) versus fully on (per-shard WAL/fsync histograms, commit
+// group sizing, queue-depth gauges, and a per-request stage collector,
+// the shape every traced /v2/ingest pays). The acceptance bar is <= 3%
+// overhead per row.
+// ---------------------------------------------------------------------
+
+func BenchmarkO1_ObsOverhead(b *testing.B) {
+	const batch = 512
+	keys := make([]tsdb.SeriesKey, 16)
+	for d := range keys {
+		keys[d] = tsdb.SeriesKey{
+			Device:   fmt.Sprintf("urn:district:turin/building:b%02d/device:o%d", d/4, d%4),
+			Quantity: "temperature",
+		}
+	}
+	run := func(b *testing.B, reg *obs.Registry, staged bool) {
+		eng, err := tsdb.OpenSharded(tsdb.ShardedOptions{
+			Shards:        8,
+			Store:         tsdb.Options{MaxSamplesPerSeries: 1 << 20},
+			Dir:           b.TempDir(),
+			Fsync:         wal.FsyncNone,
+			SnapshotEvery: -1,
+			Metrics:       reg,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer eng.Close()
+		rows := make([]tsdb.Row, batch)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			durBenchRows(rows, keys, i)
+			var errs []error
+			if staged {
+				errs = eng.AppendBatchStages(rows, &obs.Stages{})
+			} else {
+				errs = eng.AppendBatch(rows)
+			}
+			if errs != nil {
+				b.Fatal(errs[0])
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(batch), "rows/op")
+	}
+	b.Run("obs=off", func(b *testing.B) { run(b, nil, false) })
+	b.Run("obs=on", func(b *testing.B) { run(b, obs.NewRegistry(), true) })
 }

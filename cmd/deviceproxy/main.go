@@ -72,6 +72,7 @@ func main() {
 	legacy := flag.Bool("legacy-aliases", false, "serve unversioned legacy route aliases (escape hatch)")
 	dataDir := flag.String("data-dir", "", "durable storage directory for the proxy's local sample buffer (empty = in-memory)")
 	fsync := flag.String("fsync", "none", "WAL fsync policy with -data-dir: none | interval | always")
+	pprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "deviceproxy: ", log.LstdFlags)
@@ -157,6 +158,7 @@ func main() {
 		MasterURL:            *masterURL,
 		RateLimit:            limiter,
 		DisableLegacyAliases: !*legacy,
+		EnablePprof:          *pprof,
 	})
 	if err != nil {
 		logger.Fatalf("proxy: %v", err)

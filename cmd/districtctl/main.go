@@ -14,6 +14,8 @@
 //	districtctl -master ... watch -url http://measuredb:9002 "measurements/turin/#"
 //	districtctl -master ... series -url http://measuredb:9002 [-device 'urn:district:turin/*']
 //	districtctl -master ... samples -url http://measuredb:9002 -device <uri> -quantity temperature
+//	districtctl -master ... top [-url http://measuredb:9002,...] [-interval 2s]
+//	districtctl -master ... trace <trace-id>
 //
 // The CLI speaks the sub-client SDK: catalog commands ride
 // client.Catalog(), device reads/actuation client.Devices(), live
@@ -73,6 +75,10 @@ func main() {
 		err = cmdSeries(ctx, c, args)
 	case "samples":
 		err = cmdSamples(ctx, c, args)
+	case "top":
+		err = cmdTop(ctx, c, args)
+	case "trace":
+		err = cmdTrace(ctx, c, args)
 	default:
 		usage()
 	}
@@ -82,7 +88,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: districtctl [-master URL] query|model|devices|latest|control|report|watch|series|samples [options]")
+	fmt.Fprintln(os.Stderr, "usage: districtctl [-master URL] query|model|devices|latest|control|report|watch|series|samples|top|trace [options]")
 	os.Exit(2)
 }
 

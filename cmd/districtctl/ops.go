@@ -1,0 +1,165 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/client"
+	"repro/internal/obs"
+)
+
+// Ops commands: "top" polls /v1/metrics across services and renders a
+// live text dashboard; "trace <id>" prints the span records a service
+// retains for one trace, stage timings included. Both ride
+// client.Ops(), so they work against any service in the platform.
+
+// opsTargets resolves the service list for an ops command: the -url
+// comma list verbatim, or the master plus the district's advertised
+// measurements database.
+func opsTargets(ctx context.Context, c *client.Client, urlFlag, district string) ([]string, error) {
+	if urlFlag != "" {
+		var out []string
+		for _, u := range strings.Split(urlFlag, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				out = append(out, u)
+			}
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("-url lists no base URLs")
+		}
+		return out, nil
+	}
+	targets := []string{c.MasterURL}
+	if qr, err := c.Catalog().Query(ctx, district, client.Area{}); err == nil && qr.MeasureURI != "" {
+		targets = append(targets, qr.MeasureURI)
+	}
+	return targets, nil
+}
+
+// cmdTop renders a periodically refreshing metrics dashboard: per-route
+// request counters, then the obs instruments — histograms as
+// p50/p99/count, counters and gauges as plain values.
+func cmdTop(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	urlFlag := fs.String("url", "", "comma-separated service base URLs (default: master + the district's measurements DB)")
+	district := fs.String("district", "turin", "district (for default -url resolution)")
+	interval := fs.Duration("interval", 2*time.Second, "refresh period")
+	iters := fs.Int("n", 0, "number of refreshes (0: until interrupted)")
+	fs.Parse(args)
+	targets, err := opsTargets(ctx, c, *urlFlag, *district)
+	if err != nil {
+		return err
+	}
+	for i := 0; *iters <= 0 || i < *iters; i++ {
+		if i > 0 {
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(*interval):
+			}
+			fmt.Print("\x1b[2J\x1b[H") // clear + home between refreshes
+		}
+		fmt.Printf("districtctl top — %s (refresh %s)\n", time.Now().Format("15:04:05"), *interval)
+		for _, base := range targets {
+			snap, err := c.Ops(base).Metrics(ctx)
+			if err != nil {
+				fmt.Printf("\n== %s ==\n  unreachable: %v\n", base, err)
+				continue
+			}
+			printMetrics(base, snap)
+		}
+	}
+	return nil
+}
+
+// printMetrics renders one service's metrics snapshot.
+func printMetrics(base string, snap *api.MetricsSnapshot) {
+	fmt.Printf("\n== %s ==\n", base)
+	if len(snap.Routes) > 0 {
+		fmt.Printf("  %-44s %10s %8s %9s %9s\n", "ROUTE", "COUNT", "ERRORS", "MEAN_MS", "MAX_MS")
+		for _, r := range snap.Routes {
+			fmt.Printf("  %-44s %10d %8d %9.2f %9.2f\n", r.Route, r.Count, r.Errors, r.MeanMs, r.MaxMs)
+		}
+	}
+	if len(snap.Instruments) == 0 {
+		return
+	}
+	fmt.Printf("  %-58s %s\n", "INSTRUMENT", "VALUE")
+	for _, in := range snap.Instruments {
+		name := in.Name + labelSuffix(in.Labels)
+		if in.Histogram != nil {
+			h := in.Histogram
+			fmt.Printf("  %-58s n=%d p50=%s p99=%s\n",
+				name, h.Count, fmtQuantile(*h, 0.5), fmtQuantile(*h, 0.99))
+			continue
+		}
+		fmt.Printf("  %-58s %g\n", name, in.Value)
+	}
+}
+
+// labelSuffix renders instrument labels as {k=v,...}, sorted.
+func labelSuffix(labels obs.Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + labels[k]
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// fmtQuantile renders a histogram quantile estimate, or "-" while the
+// histogram is empty.
+func fmtQuantile(h obs.HistogramSnapshot, q float64) string {
+	if h.Count == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.4g", h.Quantile(q))
+}
+
+// cmdTrace prints the retained span records for one trace ID: one line
+// per service hop, stage timings indented beneath it.
+func cmdTrace(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	urlFlag := fs.String("url", "", "comma-separated service base URLs to ask (default: master + the district's measurements DB)")
+	district := fs.String("district", "turin", "district (for default -url resolution)")
+	fs.Parse(args)
+	if fs.NArg() < 1 {
+		return fmt.Errorf("usage: districtctl trace [-url URL,...] <trace-id>")
+	}
+	id := fs.Arg(0)
+	targets, err := opsTargets(ctx, c, *urlFlag, *district)
+	if err != nil {
+		return err
+	}
+	found := 0
+	for _, base := range targets {
+		tr, err := c.Ops(base).Trace(ctx, id)
+		if err != nil {
+			continue // not every service saw the trace
+		}
+		for _, sp := range tr.Spans {
+			found++
+			fmt.Printf("%s  %-10s %-6s %-40s %3d %9.3fms\n",
+				sp.Start.Local().Format("15:04:05.000"), sp.Service, sp.Method, sp.Route, sp.Status, sp.DurationMS)
+			for _, st := range sp.Stages {
+				fmt.Printf("    %-28s %9.3fms\n", st.Name, st.DurationMS)
+			}
+		}
+	}
+	if found == 0 {
+		return fmt.Errorf("no retained spans for trace %s (rings are bounded; old traces age out)", id)
+	}
+	return nil
+}

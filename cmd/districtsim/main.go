@@ -37,6 +37,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable storage directory: WAL+snapshots under the measurements DB, persisted stream replay ring and ingest dedup window (empty = in-memory)")
 	fsync := flag.String("fsync", "none", "WAL fsync policy with -data-dir: none | interval | always")
 	snapshotEvery := flag.Int("snapshot-every", 0, "snapshot+compact each storage shard's WAL after N rows (0 = engine default)")
+	pprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof on every service")
 	flag.Parse()
 
 	d, err := core.Bootstrap(core.Spec{
@@ -54,6 +55,7 @@ func main() {
 		DataDir:            *dataDir,
 		FsyncMode:          *fsync,
 		SnapshotEvery:      *snapshotEvery,
+		EnablePprof:        *pprof,
 	})
 	if err != nil {
 		log.Fatalf("bootstrap: %v", err)

@@ -31,6 +31,7 @@ func main() {
 	legacy := flag.Bool("legacy-aliases", false, "serve unversioned legacy route aliases (escape hatch; versioned /v1 paths are always served)")
 	dataDir := flag.String("data-dir", "", "durable storage directory for the registry-event stream replay ring (empty = in-memory)")
 	fsync := flag.String("fsync", "none", "WAL fsync policy with -data-dir: none | interval | always")
+	pprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
@@ -49,6 +50,7 @@ func main() {
 		Logger:               logger,
 		DisableLegacyAliases: !*legacy,
 		Stream:               streamOpts,
+		EnablePprof:          *pprof,
 	})
 	if *district != "" {
 		uri, err := m.Ontology().AddDistrict(*district, *district)

@@ -26,10 +26,14 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"net/url"
 	"sort"
 	"strings"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Version is the current API version prefix served by every Server.
@@ -75,6 +79,13 @@ type Options struct {
 	// DisableLegacyAliases drops the unversioned route aliases; only
 	// /v1/... paths are then served.
 	DisableLegacyAliases bool
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (off by
+	// default: the profiling surface stays opt-in per service).
+	EnablePprof bool
+	// SlowRequest is the slow-request log threshold: requests at or
+	// above it are logged with their trace ID and stage timings
+	// (requires Logger). Zero means a 1s default; negative disables.
+	SlowRequest time.Duration
 }
 
 // Logger is the minimal logging interface the layer needs; *log.Logger
@@ -106,22 +117,32 @@ type Server struct {
 
 	mu        sync.RWMutex
 	routes    map[string]*route
+	v1pattern []*patternRoute   // {param} /v1 routes, in registration order
 	v2routes  map[string]*route // exact-path /v2 routes
 	v2pattern []*patternRoute   // {param} /v2 routes, in registration order
 	metrics   *Metrics
+	tracer    *obs.Tracer
 
 	handlerOnce sync.Once
 	handler     http.Handler
 }
 
-// NewServer creates a Server with the built-in /healthz and /metrics
-// endpoints already registered.
+// NewServer creates a Server with the built-in /healthz, /metrics, and
+// /trace/{id} endpoints already registered.
 func NewServer(opts Options) *Server {
 	s := &Server{
 		opts:     opts,
 		routes:   make(map[string]*route),
 		v2routes: make(map[string]*route),
 		metrics:  NewMetrics(),
+		tracer:   obs.NewTracer(0),
+	}
+	if opts.Logger != nil && opts.SlowRequest >= 0 {
+		slow := opts.SlowRequest
+		if slow == 0 {
+			slow = time.Second
+		}
+		s.tracer.SetSlowLog(slow, opts.Logger.Printf)
 	}
 	s.HandleFunc(http.MethodGet, "/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -144,29 +165,83 @@ func NewServer(opts Options) *Server {
 			return
 		}
 		WriteJSON(w, http.StatusOK, MetricsSnapshot{
-			Routes:   s.metrics.Snapshot(),
-			Limiters: s.metrics.Limiters(),
+			Routes:      s.metrics.Snapshot(),
+			Limiters:    s.metrics.Limiters(),
+			Instruments: s.metrics.Instruments(),
 		})
 	})
+	s.HandleFunc(http.MethodGet, "/trace/{id}", s.handleTrace)
 	return s
+}
+
+// Tracer exposes the server's span ring (tests and embedding services
+// record into it directly).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// TraceResponse is the JSON body of /v1/trace/{id}: every span record
+// this service retains for the trace, oldest first.
+type TraceResponse struct {
+	TraceID string           `json:"traceId"`
+	Spans   []obs.SpanRecord `json:"spans"`
+}
+
+// handleTrace serves the retained span records of one trace ID.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	spans := s.tracer.Get(id)
+	if len(spans) == 0 {
+		WriteError(w, r, NotFound(fmt.Errorf("no retained spans for trace %q", id)))
+		return
+	}
+	WriteJSON(w, http.StatusOK, TraceResponse{TraceID: id, Spans: spans})
 }
 
 // Handle registers handler for method on path. The path must start with
 // "/" and is registered both as /v1<path> and (unless disabled) as the
 // bare legacy alias <path>. Multiple methods may be registered on the
-// same path; other methods then draw a uniform 405 envelope.
+// same path; other methods then draw a uniform 405 envelope. Paths may
+// carry {param} segments (matched like /v2 pattern routes, values via
+// http.Request.PathValue).
 func (s *Server) Handle(method, path string, handler http.Handler) {
 	if !strings.HasPrefix(path, "/") {
 		panic(fmt.Sprintf("api: route %q must start with /", path))
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if strings.Contains(path, "{") {
+		segs := parsePatternSegs(path)
+		for _, pr := range s.v1pattern {
+			if equalSegs(pr.segs, segs) {
+				pr.set(method, handler)
+				return
+			}
+		}
+		pr := &patternRoute{
+			route: route{pattern: path, handlers: make(map[string]http.Handler)},
+			segs:  segs,
+		}
+		pr.set(method, handler)
+		s.v1pattern = append(s.v1pattern, pr)
+		return
+	}
 	rt := s.routes[path]
 	if rt == nil {
 		rt = &route{pattern: path, handlers: make(map[string]http.Handler)}
 		s.routes[path] = rt
 	}
 	rt.set(method, handler)
+}
+
+// parsePatternSegs splits and validates a {param} route path.
+func parsePatternSegs(path string) []string {
+	segs := strings.Split(strings.TrimPrefix(path, "/"), "/")
+	for _, seg := range segs {
+		if strings.HasPrefix(seg, "{") != strings.HasSuffix(seg, "}") ||
+			seg == "{}" || strings.Count(seg, "{") > 1 {
+			panic(fmt.Sprintf("api: malformed segment %q in route %q", seg, path))
+		}
+	}
+	return segs
 }
 
 // set binds one method handler and refreshes the Allow header value.
@@ -215,13 +290,7 @@ func (s *Server) HandleV2(method, path string, handler http.Handler) {
 		rt.set(method, handler)
 		return
 	}
-	segs := strings.Split(strings.TrimPrefix(path, "/"), "/")
-	for _, seg := range segs {
-		if strings.HasPrefix(seg, "{") != strings.HasSuffix(seg, "}") ||
-			seg == "{}" || strings.Count(seg, "{") > 1 {
-			panic(fmt.Sprintf("api: malformed segment %q in route %q", seg, path))
-		}
-	}
+	segs := parsePatternSegs(path)
 	for _, pr := range s.v2pattern {
 		if equalSegs(pr.segs, segs) {
 			pr.set(method, handler)
@@ -345,9 +414,24 @@ func (s *Server) lookup(r *http.Request) (string, http.Handler) {
 	s.mu.RLock()
 	disabled := s.opts.DisableLegacyAliases
 	rt := s.routes[path]
+	patterns := s.v1pattern
 	s.mu.RUnlock()
 	if version == "" && disabled {
 		return "404", notFoundHandler(rawPath, " (unversioned aliases disabled)")
+	}
+	if rt == nil {
+		escPath, _ := stripVersion(r.URL.EscapedPath())
+		for _, pr := range patterns {
+			params, ok := pr.match(escPath)
+			if !ok {
+				continue
+			}
+			for k, v := range params {
+				r.SetPathValue(k, v)
+			}
+			rt = &pr.route
+			break
+		}
 	}
 	if rt == nil {
 		return "404", notFoundHandler(rawPath, "")
@@ -385,8 +469,17 @@ func (s *Server) lookupV2(r *http.Request, rawPath string) (string, http.Handler
 }
 
 // dispatch routes the request and records the matched pattern for the
-// observing middleware.
+// observing middleware. The pprof surface, when enabled, is routed
+// ahead of the versioned tables so the standard /debug/pprof/ paths
+// work as every Go profiling tool expects.
 func (s *Server) dispatch(w http.ResponseWriter, r *http.Request) {
+	if s.opts.EnablePprof && strings.HasPrefix(r.URL.Path, "/debug/pprof") {
+		if ri := routeInfoFrom(r.Context()); ri != nil {
+			ri.Pattern = "/debug/pprof"
+		}
+		servePprof(w, r)
+		return
+	}
 	pattern, h := s.lookup(r)
 	if ri := routeInfoFrom(r.Context()); ri != nil {
 		ri.Pattern = pattern
@@ -394,14 +487,32 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request) {
 	h.ServeHTTP(w, r)
 }
 
+// servePprof dispatches to the net/http/pprof handlers without going
+// through http.DefaultServeMux.
+func servePprof(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/debug/pprof/cmdline":
+		pprof.Cmdline(w, r)
+	case "/debug/pprof/profile":
+		pprof.Profile(w, r)
+	case "/debug/pprof/symbol":
+		pprof.Symbol(w, r)
+	case "/debug/pprof/trace":
+		pprof.Trace(w, r)
+	default:
+		pprof.Index(w, r)
+	}
+}
+
 // Handler returns the service's complete http.Handler: the router
 // wrapped in the standard middleware chain. The chain order is
-// request-ID (outermost) → access log → metrics → gzip → recover →
-// router, so log lines carry request IDs, metrics see every outcome
+// request-ID (outermost) → trace → access log → metrics → gzip →
+// recover → router, so log lines carry request IDs, every request gets
+// a span record with its stage timings, metrics see every outcome
 // including panics, and panic envelopes still travel gzipped.
 func (s *Server) Handler() http.Handler {
 	s.handlerOnce.Do(func() {
-		mws := []Middleware{RequestID()}
+		mws := []Middleware{RequestID(), Trace(s.opts.Service, s.tracer)}
 		if s.opts.Logger != nil {
 			mws = append(mws, AccessLog(s.opts.Service, s.opts.Logger))
 		}

@@ -7,15 +7,24 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// Metrics accumulates per-route request counters. Routes are keyed by
-// "METHOD pattern" (the matched pattern, not the raw path, so metrics
-// cardinality stays bounded under hostile paths).
+// Metrics accumulates per-route request counters and delegates
+// distributions to an internal obs.Registry: every observed route gets
+// a latency histogram (repro_http_request_duration_seconds), and
+// services attach their own registries (storage internals, stream
+// counters) so one /v1/metrics scrape serves the whole picture.
+// Routes are keyed by "METHOD pattern" (the matched pattern, not the
+// raw path, so metrics cardinality stays bounded under hostile paths).
 type Metrics struct {
 	mu       sync.Mutex
 	routes   map[string]*routeStats
 	limiters []limiterEntry
+	reg      *obs.Registry   // route latency histograms
+	attached []*obs.Registry // service-internals registries
+	now      func() time.Time
 }
 
 // limiterEntry labels one registered rate limiter with its tier.
@@ -24,25 +33,53 @@ type limiterEntry struct {
 	rl   *RateLimiter
 }
 
+// maxLatencyWindow is the rotation period of the per-route max-latency
+// gauge: the reported max covers the current and previous window, so a
+// cold-start outlier ages out instead of pinning the gauge forever.
+const maxLatencyWindow = 5 * time.Minute
+
 type routeStats struct {
 	count   uint64
 	errors  uint64 // responses with status >= 400
 	totalNS int64
-	maxNS   int64
+
+	curMaxNS    int64
+	prevMaxNS   int64
+	windowStart time.Time
+
+	hist *obs.Histogram
+}
+
+// maxNS is the windowed max: the slowest request of the current and
+// previous rotation windows.
+func (rs *routeStats) maxNS() int64 {
+	if rs.prevMaxNS > rs.curMaxNS {
+		return rs.prevMaxNS
+	}
+	return rs.curMaxNS
 }
 
 // NewMetrics creates an empty metrics set.
 func NewMetrics() *Metrics {
-	return &Metrics{routes: make(map[string]*routeStats)}
+	return &Metrics{
+		routes: make(map[string]*routeStats),
+		reg:    obs.NewRegistry(),
+		now:    time.Now,
+	}
 }
 
 func (m *Metrics) observe(method, pattern string, status int, d time.Duration) {
 	key := method + " " + pattern
+	now := m.now()
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	rs := m.routes[key]
 	if rs == nil {
-		rs = &routeStats{}
+		rs = &routeStats{
+			windowStart: now,
+			hist: m.reg.Histogram("repro_http_request_duration_seconds",
+				"Handler latency distribution, by route.",
+				obs.LatencyBuckets, obs.Labels{"method": method, "route": pattern}),
+		}
 		m.routes[key] = rs
 	}
 	rs.count++
@@ -51,12 +88,59 @@ func (m *Metrics) observe(method, pattern string, status int, d time.Duration) {
 	}
 	ns := d.Nanoseconds()
 	rs.totalNS += ns
-	if ns > rs.maxNS {
-		rs.maxNS = ns
+	if now.Sub(rs.windowStart) >= maxLatencyWindow {
+		rs.prevMaxNS = rs.curMaxNS
+		rs.curMaxNS = 0
+		rs.windowStart = now
 	}
+	if ns > rs.curMaxNS {
+		rs.curMaxNS = ns
+	}
+	hist := rs.hist
+	m.mu.Unlock()
+	hist.ObserveDuration(d)
 }
 
-// RouteSnapshot is one route's counters at a point in time.
+// AttachRegistry includes a service-internals registry in the metrics
+// endpoints (both the JSON instruments list and the Prometheus
+// exposition). Attaching the same registry twice is a no-op.
+func (m *Metrics) AttachRegistry(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, a := range m.attached {
+		if a == r {
+			return
+		}
+	}
+	m.attached = append(m.attached, r)
+}
+
+// registries snapshots the route-histogram registry plus everything
+// attached.
+func (m *Metrics) registries() []*obs.Registry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*obs.Registry, 0, len(m.attached)+1)
+	out = append(out, m.reg)
+	return append(out, m.attached...)
+}
+
+// Instruments reads every obs instrument visible through this metrics
+// set — route latency histograms first, then attached registries.
+func (m *Metrics) Instruments() []obs.Snapshot {
+	var out []obs.Snapshot
+	for _, r := range m.registries() {
+		out = append(out, r.Snapshot()...)
+	}
+	return out
+}
+
+// RouteSnapshot is one route's counters at a point in time. MaxMs is
+// the windowed max (see maxLatencyWindow), not an all-time high-water
+// mark.
 type RouteSnapshot struct {
 	Route   string  `json:"route"`
 	Count   uint64  `json:"count"`
@@ -111,7 +195,7 @@ func (m *Metrics) Snapshot() []RouteSnapshot {
 			Route:   key,
 			Count:   rs.count,
 			Errors:  rs.errors,
-			MaxMs:   float64(rs.maxNS) / 1e6,
+			MaxMs:   float64(rs.maxNS()) / 1e6,
 			TotalMs: float64(rs.totalNS) / 1e6,
 		}
 		if rs.count > 0 {
@@ -129,10 +213,13 @@ var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
 
 func escapeLabel(v string) string { return labelEscaper.Replace(v) }
 
-// WritePrometheus renders the counters in the Prometheus text exposition
-// format (version 0.0.4), one sample per route and method, labelled with
-// the owning service. Scrapers hit /v1/metrics?format=prometheus (or
-// negotiate text/plain) instead of the JSON snapshot.
+// WritePrometheus renders everything in the Prometheus text exposition
+// format (version 0.0.4), labelled with the owning service: per-route
+// request/error counters and the windowed max gauge, the route latency
+// histograms (_bucket/_sum/_count), rate-limiter counters, and every
+// attached service-internals registry. Scrapers hit
+// /v1/metrics?format=prometheus (or negotiate text/plain) instead of
+// the JSON snapshot.
 func (m *Metrics) WritePrometheus(w io.Writer, service string) {
 	snaps := m.Snapshot()
 	emit := func(name, help, typ string, value func(RouteSnapshot) float64) {
@@ -147,33 +234,36 @@ func (m *Metrics) WritePrometheus(w io.Writer, service string) {
 		func(s RouteSnapshot) float64 { return float64(s.Count) })
 	emit("repro_http_request_errors_total", "Responses with status >= 400, by route.", "counter",
 		func(s RouteSnapshot) float64 { return float64(s.Errors) })
-	emit("repro_http_request_duration_seconds_sum", "Total handler time, by route.", "counter",
-		func(s RouteSnapshot) float64 { return s.TotalMs / 1e3 })
-	emit("repro_http_request_duration_seconds_max", "Slowest handler time, by route.", "gauge",
+	emit("repro_http_request_duration_seconds_max", "Slowest handler time in the recent window, by route.", "gauge",
 		func(s RouteSnapshot) float64 { return s.MaxMs / 1e3 })
 
-	limiters := m.Limiters()
-	if len(limiters) == 0 {
-		return
-	}
-	emitL := func(name, help, typ string, value func(LimiterStats) float64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
-		for _, l := range limiters {
-			fmt.Fprintf(w, "%s{service=%q,tier=%q} %g\n",
-				name, escapeLabel(service), escapeLabel(l.Tier), value(l))
+	if limiters := m.Limiters(); len(limiters) > 0 {
+		emitL := func(name, help, typ string, value func(LimiterStats) float64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+			for _, l := range limiters {
+				fmt.Fprintf(w, "%s{service=%q,tier=%q} %g\n",
+					name, escapeLabel(service), escapeLabel(l.Tier), value(l))
+			}
 		}
+		emitL("repro_rate_limit_allowed_total", "Requests admitted by the tier's limiter.", "counter",
+			func(l LimiterStats) float64 { return float64(l.Allowed) })
+		emitL("repro_rate_limit_rejected_total", "Requests rejected with 429 by the tier's limiter.", "counter",
+			func(l LimiterStats) float64 { return float64(l.Rejected) })
+		emitL("repro_rate_limit_buckets", "Live per-client buckets held by the tier's limiter.", "gauge",
+			func(l LimiterStats) float64 { return float64(l.Buckets) })
 	}
-	emitL("repro_rate_limit_allowed_total", "Requests admitted by the tier's limiter.", "counter",
-		func(l LimiterStats) float64 { return float64(l.Allowed) })
-	emitL("repro_rate_limit_rejected_total", "Requests rejected with 429 by the tier's limiter.", "counter",
-		func(l LimiterStats) float64 { return float64(l.Rejected) })
-	emitL("repro_rate_limit_buckets", "Live per-client buckets held by the tier's limiter.", "gauge",
-		func(l LimiterStats) float64 { return float64(l.Buckets) })
+
+	extra := obs.Labels{"service": service}
+	for _, r := range m.registries() {
+		r.WritePrometheus(w, extra)
+	}
 }
 
-// MetricsSnapshot is the JSON body of /v1/metrics: per-route counters
-// plus, when limiters are registered, per-tier limiter stats.
+// MetricsSnapshot is the JSON body of /v1/metrics: per-route counters,
+// per-tier limiter stats, and the obs instruments (histograms and
+// internals gauges) visible through this server.
 type MetricsSnapshot struct {
-	Routes   []RouteSnapshot `json:"routes"`
-	Limiters []LimiterStats  `json:"limiters,omitempty"`
+	Routes      []RouteSnapshot `json:"routes"`
+	Limiters    []LimiterStats  `json:"limiters,omitempty"`
+	Instruments []obs.Snapshot  `json:"instruments,omitempty"`
 }

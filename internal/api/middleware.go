@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Middleware wraps an http.Handler with cross-cutting behaviour.
@@ -74,6 +76,55 @@ func RequestID() Middleware {
 			ctx = context.WithValue(ctx, ctxKeyRouteInfo, &RouteInfo{})
 			w.Header().Set("X-Request-ID", id)
 			next.ServeHTTP(w, r.WithContext(ctx))
+		})
+	}
+}
+
+// Trace is the cross-service tracing middleware: it adopts an inbound
+// Traceparent header's trace ID (minting one otherwise, so every
+// request is traceable), exposes the ID and a stage-timing collector
+// through the context (obs.TraceIDFrom / obs.StagesFrom), echoes a
+// traceparent on the response so callers learn the ID, and records a
+// span into the tracer's ring when the handler returns. The built-in
+// /healthz and /metrics routes are not recorded — scrapes would churn
+// the ring out of its useful spans.
+func Trace(service string, t *obs.Tracer) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			traceID, _, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceHeader))
+			if !ok {
+				traceID = obs.NewTraceID()
+			}
+			stages := &obs.Stages{}
+			ctx := obs.WithTraceID(r.Context(), traceID)
+			ctx = obs.WithStages(ctx, stages)
+			w.Header().Set(obs.TraceHeader, obs.FormatTraceparent(traceID, obs.NewSpanID()))
+			sw := &statusWriter{ResponseWriter: w}
+			start := time.Now()
+			next.ServeHTTP(sw, r.WithContext(ctx))
+			pattern := "unmatched"
+			if ri := routeInfoFrom(ctx); ri != nil && ri.Pattern != "" {
+				pattern = ri.Pattern
+			}
+			switch pattern {
+			case "/healthz", "/metrics", "/debug/pprof":
+				return
+			}
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			t.Record(obs.SpanRecord{
+				TraceID:    traceID,
+				RequestID:  RequestIDFrom(ctx),
+				Service:    service,
+				Method:     r.Method,
+				Route:      pattern,
+				Status:     status,
+				Start:      start.UTC(),
+				DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+				Stages:     stages.Snapshot(),
+			})
 		})
 	}
 }

@@ -1,0 +1,168 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestMetricsHistogramExposition round-trips the Prometheus text
+// exposition through the obs parser: the per-route latency histogram
+// must come out as a well-formed cumulative family.
+func TestMetricsHistogramExposition(t *testing.T) {
+	s := NewServer(Options{Service: "histtest"})
+	s.Get("/thing", func(ctx context.Context, q url.Values) (any, error) {
+		return map[string]string{"ok": "yes"}, nil
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 5; i++ {
+		rsp, err := http.Get(ts.URL + "/v1/thing")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rsp.Body.Close()
+	}
+	rsp, err := http.Get(ts.URL + "/v1/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rsp.Body.Close()
+	raw, err := io.ReadAll(rsp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obs.ParseProm(strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, raw)
+	}
+	hist, ok := fams["repro_http_request_duration_seconds"]
+	if !ok {
+		t.Fatalf("no route latency histogram in exposition:\n%s", raw)
+	}
+	if hist.Type != "histogram" {
+		t.Fatalf("TYPE = %q, want histogram", hist.Type)
+	}
+	if err := hist.ValidateHistogram(); err != nil {
+		t.Fatalf("malformed histogram: %v", err)
+	}
+	// The five requests all land in one labelled series; its _count
+	// sample must agree with the plain request counter.
+	count := -1.0
+	for _, c := range hist.Counts {
+		if c.Labels["route"] == "/thing" {
+			count = c.Value
+		}
+	}
+	if count != 5 {
+		t.Fatalf("histogram count for /thing = %g, want 5", count)
+	}
+	if _, ok := fams["repro_http_requests_total"]; !ok {
+		t.Fatal("request counter family missing")
+	}
+}
+
+// TestMaxLatencyGaugeWindows pins the windowed-max semantics: a
+// cold-start outlier must age out after two rotation windows instead of
+// pinning the gauge forever.
+func TestMaxLatencyGaugeWindows(t *testing.T) {
+	m := NewMetrics()
+	clock := time.Unix(1700000000, 0)
+	m.now = func() time.Time { return clock }
+
+	maxMs := func() float64 {
+		snaps := m.Snapshot()
+		if len(snaps) != 1 {
+			t.Fatalf("routes = %d, want 1", len(snaps))
+		}
+		return snaps[0].MaxMs
+	}
+
+	m.observe(http.MethodGet, "/x", 200, 100*time.Millisecond)
+	if got := maxMs(); got != 100 {
+		t.Fatalf("max = %gms, want 100", got)
+	}
+
+	// One window later the outlier survives as the previous window's max.
+	clock = clock.Add(maxLatencyWindow + time.Second)
+	m.observe(http.MethodGet, "/x", 200, 10*time.Millisecond)
+	if got := maxMs(); got != 100 {
+		t.Fatalf("max after one rotation = %gms, want 100 (prev window)", got)
+	}
+
+	// Two windows later it has aged out entirely.
+	clock = clock.Add(maxLatencyWindow + time.Second)
+	m.observe(http.MethodGet, "/x", 200, 5*time.Millisecond)
+	if got := maxMs(); got != 10 {
+		t.Fatalf("max after two rotations = %gms, want 10", got)
+	}
+}
+
+// TestTraceMiddlewareAndEndpoint drives one request carrying a
+// traceparent through the full middleware chain and reads the span back
+// from /v1/trace/{id}, stage timings included.
+func TestTraceMiddlewareAndEndpoint(t *testing.T) {
+	s := NewServer(Options{Service: "tracetest"})
+	s.Get("/staged", func(ctx context.Context, q url.Values) (any, error) {
+		obs.StagesFrom(ctx).Observe("fake-stage", 3*time.Millisecond)
+		return map[string]string{"ok": "yes"}, nil
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	traceID := obs.NewTraceID()
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/staged", nil)
+	req.Header.Set(obs.TraceHeader, obs.FormatTraceparent(traceID, obs.NewSpanID()))
+	rsp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsp.Body.Close()
+
+	// The response echoes a traceparent carrying the same trace ID.
+	gotID, _, ok := obs.ParseTraceparent(rsp.Header.Get(obs.TraceHeader))
+	if !ok || gotID != traceID {
+		t.Fatalf("response traceparent = %q, want trace ID %s", rsp.Header.Get(obs.TraceHeader), traceID)
+	}
+
+	var tr TraceResponse
+	rec := get(t, s.Handler(), "/v1/trace/"+traceID, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("trace lookup status = %d: %s", rec.Code, rec.Body)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.TraceID != traceID || len(tr.Spans) != 1 {
+		t.Fatalf("trace response = %+v, want 1 span for %s", tr, traceID)
+	}
+	sp := tr.Spans[0]
+	if sp.Service != "tracetest" || sp.Route != "/staged" || sp.Status != http.StatusOK {
+		t.Fatalf("span = %+v", sp)
+	}
+	if len(sp.Stages) != 1 || sp.Stages[0].Name != "fake-stage" || sp.Stages[0].DurationMS != 3 {
+		t.Fatalf("stages = %+v, want fake-stage at 3ms", sp.Stages)
+	}
+
+	// A request without a traceparent mints its own ID.
+	rec = get(t, s.Handler(), "/v1/staged", nil)
+	minted, _, ok := obs.ParseTraceparent(rec.Header().Get(obs.TraceHeader))
+	if !ok || minted == traceID {
+		t.Fatalf("minted traceparent = %q", rec.Header().Get(obs.TraceHeader))
+	}
+
+	// Unknown IDs are a not-found envelope.
+	rec = get(t, s.Handler(), "/v1/trace/"+obs.NewTraceID(), nil)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown trace status = %d", rec.Code)
+	}
+}

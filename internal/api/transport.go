@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/dataformat"
+	"repro/internal/obs"
 )
 
 // sharedHTTPClient pools connections across every Transport that does
@@ -142,12 +143,22 @@ func retryAfter(rsp *http.Response) time.Duration {
 // Every request carries an X-Request-ID: an inbound one from ctx (when
 // the caller is itself serving a request through this layer) or a fresh
 // one minted per logical request, so cross-service traces line up in
-// access logs. All attempts of one request share the same ID.
+// access logs. All attempts of one request share the same ID. A trace
+// ID travels the same way: a caller-set Traceparent header wins,
+// otherwise a ctx trace ID (set by the Trace middleware) is forwarded
+// with a fresh span ID — the downstream service's span records then
+// carry the same trace ID as the caller's.
 func (t *Transport) Do(ctx context.Context, method, url string, header http.Header, body []byte) ([]byte, *http.Response, error) {
 	requestID := header.Get("X-Request-ID")
 	if requestID == "" {
 		if requestID = RequestIDFrom(ctx); requestID == "" {
 			requestID = NewRequestID()
+		}
+	}
+	traceparent := header.Get(obs.TraceHeader)
+	if traceparent == "" {
+		if id := obs.TraceIDFrom(ctx); id != "" {
+			traceparent = obs.FormatTraceparent(id, obs.NewSpanID())
 		}
 	}
 	var lastErr error
@@ -175,6 +186,9 @@ func (t *Transport) Do(ctx context.Context, method, url string, header http.Head
 			req.Header[k] = vs
 		}
 		req.Header.Set("X-Request-ID", requestID)
+		if traceparent != "" {
+			req.Header.Set(obs.TraceHeader, traceparent)
+		}
 		rsp, err := t.httpClient().Do(req)
 		if err != nil {
 			if ctx.Err() != nil {

@@ -20,6 +20,8 @@
 //	c.Devices()                  device proxies: info/latest/data reads
 //	                             and (batch) actuation
 //	c.Streams()                  live SSE subscriptions + publish ingress
+//	c.Ops(baseURL)               any service's ops surface: metrics
+//	                             snapshots and retained trace spans
 //
 // All methods take a context.Context, speak the versioned /v1 and /v2
 // APIs, and ride the shared retrying transport (internal/api):

@@ -1,0 +1,46 @@
+package client
+
+import (
+	"context"
+	"net/url"
+
+	"repro/internal/api"
+)
+
+// Ops is the operations sub-client, bound to one service base URL. Every
+// service in the platform (master, measurements DB, device proxies)
+// serves the same ops surface, so the same sub-client reads metrics
+// snapshots and retained trace spans from any of them.
+type Ops struct {
+	c    *Client
+	base string
+}
+
+// Ops returns the operations sub-client for the service at baseURL.
+func (c *Client) Ops(baseURL string) *Ops {
+	return &Ops{c: c, base: baseURL}
+}
+
+// Metrics fetches the service's /v1/metrics snapshot: per-route
+// counters, limiter stats, and the obs instruments (histograms,
+// storage-internals gauges) registered by that service.
+func (o *Ops) Metrics(ctx context.Context) (*api.MetricsSnapshot, error) {
+	var out api.MetricsSnapshot
+	if err := o.c.transport().GetJSON(ctx, api.URL(o.base, "/metrics"), &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Trace fetches the span records the service retains for one trace ID,
+// oldest first. Services keep spans in a bounded ring, so old traces
+// age out; a not-found error means the ID was never seen or has been
+// evicted.
+func (o *Ops) Trace(ctx context.Context, id string) (*api.TraceResponse, error) {
+	var out api.TraceResponse
+	u := api.URL(o.base, "/trace/"+url.PathEscape(id))
+	if err := o.c.transport().GetJSON(ctx, u, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -96,6 +96,9 @@ type Spec struct {
 	// SnapshotEvery compacts each tsdb shard's WAL into a snapshot
 	// after this many appended rows (0 = engine default).
 	SnapshotEvery int
+	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof
+	// on the master, measurements DB, and every device proxy.
+	EnablePprof bool
 }
 
 func (s *Spec) withDefaults() Spec {
@@ -163,7 +166,10 @@ func Bootstrap(spec Spec) (*District, error) {
 	}()
 
 	// Master node: the unique entry point.
-	d.Master = master.New(master.Options{DisableLegacyAliases: !spec.LegacyAliases})
+	d.Master = master.New(master.Options{
+		DisableLegacyAliases: !spec.LegacyAliases,
+		EnablePprof:          spec.EnablePprof,
+	})
 	addr, err := d.Master.Serve("127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("core: master: %w", err)
@@ -195,6 +201,7 @@ func Bootstrap(spec Spec) (*District, error) {
 	}
 	mopts := measuredb.Options{
 		DisableLegacyAliases: !spec.LegacyAliases,
+		EnablePprof:          spec.EnablePprof,
 		Shards:               spec.MeasureShards,
 		ReadLimiter:          limiter(spec.MeasureReadRate),
 		BatchLimiter:         limiter(spec.MeasureBatchRate),
@@ -425,6 +432,7 @@ func (d *District) addDevice(deviceURI string, proto Protocol, seed int64) error
 		PollEvery:            d.Spec.PollEvery,
 		MasterURL:            d.MasterURL,
 		DisableLegacyAliases: !d.Spec.LegacyAliases,
+		EnablePprof:          d.Spec.EnablePprof,
 	}
 	if d.ingest != nil {
 		opts.Writer = d.ingest // batched /v2 ingest plane

@@ -24,6 +24,7 @@ import (
 	"repro/internal/dataformat"
 	"repro/internal/measuredb"
 	"repro/internal/middleware"
+	"repro/internal/obs"
 	"repro/internal/proxyhttp"
 	"repro/internal/registry"
 	"repro/internal/stream"
@@ -134,6 +135,11 @@ type Options struct {
 	// DisableLegacyAliases drops the unversioned route aliases; only
 	// versioned paths are then served.
 	DisableLegacyAliases bool
+	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof.
+	EnablePprof bool
+	// SlowRequest is the span-duration threshold above which requests are
+	// logged (0 = 1s; negative disables).
+	SlowRequest time.Duration
 }
 
 // Proxy is a running device proxy.
@@ -417,7 +423,18 @@ func (p *Proxy) buildAPI() *api.Server {
 	s := api.NewServer(api.Options{
 		Service:              "deviceproxy",
 		DisableLegacyAliases: p.opts.DisableLegacyAliases,
+		EnablePprof:          p.opts.EnablePprof,
+		SlowRequest:          p.opts.SlowRequest,
 	})
+	reg := obs.NewRegistry()
+	p.streamS.RegisterMetrics(reg)
+	reg.GaugeFunc("repro_device_buffer_samples",
+		"Samples held in the proxy's local buffer.", nil,
+		func() float64 { return float64(p.store.Stats().Samples) })
+	reg.GaugeFunc("repro_device_buffer_series",
+		"Series held in the proxy's local buffer.", nil,
+		func() float64 { return float64(p.store.Stats().Series) })
+	s.Metrics().AttachRegistry(reg)
 	limit := func(h http.Handler) http.Handler {
 		if p.opts.RateLimit == nil {
 			return h

@@ -72,6 +72,7 @@ func All() []*Analyzer {
 		Analyzers.CloseCheck,
 		Analyzers.CtxFlow,
 		Analyzers.LockIO,
+		Analyzers.ObsNames,
 		Analyzers.WALOrder,
 	}
 }
@@ -83,12 +84,14 @@ var Analyzers = struct {
 	CloseCheck  *Analyzer
 	CtxFlow     *Analyzer
 	LockIO      *Analyzer
+	ObsNames    *Analyzer
 	WALOrder    *Analyzer
 }{
 	APIEnvelope: apiEnvelopeAnalyzer,
 	CloseCheck:  closeCheckAnalyzer,
 	CtxFlow:     ctxFlowAnalyzer,
 	LockIO:      lockIOAnalyzer,
+	ObsNames:    obsNamesAnalyzer,
 	WALOrder:    walOrderAnalyzer,
 }
 

@@ -137,6 +137,10 @@ func TestWALOrder(t *testing.T) {
 	checkFixture(t, "walorder", "repro/internal/tsdb", []*Analyzer{Analyzers.WALOrder})
 }
 
+func TestObsNames(t *testing.T) {
+	checkFixture(t, "obsnames", "repro/internal/fixtureobs", []*Analyzer{Analyzers.ObsNames})
+}
+
 func TestCloseCheck(t *testing.T) {
 	checkFixture(t, "closecheck", "repro/internal/fixtureclose", []*Analyzer{Analyzers.CloseCheck})
 }

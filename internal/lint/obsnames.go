@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// obsnames enforces the observability naming contract the internal/obs
+// registry relies on: every instrument name is a compile-time constant
+// in the repro_ snake_case namespace, carries the unit suffix its type
+// implies (counters count events → _total; histograms measure a unit →
+// _seconds/_bytes/_rows/_series; gauges are instantaneous readings and
+// must not borrow _total), and label keys are constant strings. The
+// registry keys series by name+labels, so a dynamic name or label key
+// is an unbounded-cardinality leak: every distinct runtime value mints
+// a new series that lives until process exit and bloats every scrape.
+// Dynamic label VALUES are fine — cardinality there is a deliberate,
+// visible choice (per-shard, per-route).
+var obsNamesAnalyzer = &Analyzer{
+	Name: "obsnames",
+	Doc:  "obs instruments use constant repro_-prefixed snake_case names with type-implied unit suffixes, and constant label keys",
+	Run:  runObsNames,
+}
+
+// metricNameRe is the allowed name shape: repro_ prefix, lower
+// snake_case throughout.
+var metricNameRe = regexp.MustCompile(`^repro_[a-z0-9_]+$`)
+
+// labelKeyRe is the allowed label-key shape.
+var labelKeyRe = regexp.MustCompile(`^[a-z_][a-z0-9_]*$`)
+
+// histogramSuffixes are the unit suffixes a histogram name may end in.
+var histogramSuffixes = []string{"_seconds", "_bytes", "_rows", "_series"}
+
+// registryMethods maps each *obs.Registry constructor to the index of
+// its name argument (labels are checked structurally, wherever the
+// obs.Labels value is built).
+var registryMethods = map[string]bool{
+	"Counter": true, "CounterFunc": true,
+	"Gauge": true, "GaugeFunc": true,
+	"Histogram": true,
+}
+
+func runObsNames(p *Pass) {
+	// The obs package itself (registry internals, its own tests'
+	// scratch names) is exempt; everything that imports it is in scope.
+	if p.Path == obsPkgPath || !p.importsPath(obsPkgPath) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkRegistryCall(p, n)
+			case *ast.CompositeLit:
+				checkLabelsLiteral(p, n)
+			case *ast.AssignStmt:
+				checkLabelsIndexWrite(p, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkRegistryCall validates the name argument of a Registry
+// constructor call against the prefix and type-suffix rules.
+func checkRegistryCall(p *Pass, call *ast.CallExpr) {
+	obj := calleeOf(p.Info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || !registryMethods[fn.Name()] {
+		return
+	}
+	recv := recvNamed(obj)
+	if recv == nil || recv.Obj().Name() != "Registry" || pkgPathOf(recv.Obj()) != obsPkgPath {
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	kind := fn.Name()
+	name, ok := constString(p, call.Args[0])
+	if !ok {
+		p.Reportf(call.Args[0].Pos(), "%s name must be a compile-time constant string (dynamic names are unbounded series cardinality)", kind)
+		return
+	}
+	if !metricNameRe.MatchString(name) {
+		p.Reportf(call.Args[0].Pos(), "metric name %q must match %s", name, metricNameRe)
+		return
+	}
+	switch kind {
+	case "Counter", "CounterFunc":
+		if !strings.HasSuffix(name, "_total") {
+			p.Reportf(call.Args[0].Pos(), "counter %q must end in _total", name)
+		}
+	case "Gauge", "GaugeFunc":
+		if strings.HasSuffix(name, "_total") {
+			p.Reportf(call.Args[0].Pos(), "gauge %q must not end in _total (that suffix marks counters)", name)
+		}
+	case "Histogram":
+		ok := false
+		for _, suf := range histogramSuffixes {
+			if strings.HasSuffix(name, suf) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			p.Reportf(call.Args[0].Pos(), "histogram %q must end in a unit suffix (%s)", name, strings.Join(histogramSuffixes, ", "))
+		}
+	}
+}
+
+// checkLabelsLiteral requires constant, well-shaped keys in every
+// obs.Labels composite literal. Checking at construction (rather than
+// at the registry call) keeps the common pull-the-literal-into-a-
+// variable refactor legal while still covering every key.
+func checkLabelsLiteral(p *Pass, lit *ast.CompositeLit) {
+	tv, ok := p.Info.Types[lit]
+	if !ok || !isNamedType(tv.Type, obsPkgPath, "Labels") {
+		return
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := constString(p, kv.Key)
+		if !ok {
+			p.Reportf(kv.Key.Pos(), "obs.Labels key must be a compile-time constant string (dynamic keys are unbounded series cardinality)")
+			continue
+		}
+		if !labelKeyRe.MatchString(key) {
+			p.Reportf(kv.Key.Pos(), "obs.Labels key %q must match %s", key, labelKeyRe)
+		}
+	}
+}
+
+// checkLabelsIndexWrite catches the literal-bypass: indexing a
+// non-constant key into an obs.Labels value after construction.
+func checkLabelsIndexWrite(p *Pass, as *ast.AssignStmt) {
+	for _, lhs := range as.Lhs {
+		idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+		if !ok {
+			continue
+		}
+		tv, ok := p.Info.Types[idx.X]
+		if !ok || !isNamedType(tv.Type, obsPkgPath, "Labels") {
+			continue
+		}
+		if _, ok := constString(p, idx.Index); !ok {
+			p.Reportf(idx.Index.Pos(), "obs.Labels key must be a compile-time constant string (dynamic keys are unbounded series cardinality)")
+		}
+	}
+}
+
+// constString evaluates an expression to a constant string.
+func constString(p *Pass, e ast.Expr) (string, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -15,6 +15,9 @@ const walPkgPath = "repro/internal/wal"
 // apiPkgPath is the versioned API layer (error envelope owner).
 const apiPkgPath = "repro/internal/api"
 
+// obsPkgPath is the instrument registry the naming rules key on.
+const obsPkgPath = "repro/internal/obs"
+
 // calleeOf resolves the object a call expression invokes: a *types.Func
 // for direct function and method calls, a *types.Var for calls through
 // a function-valued variable (closures), nil for type conversions and

@@ -22,6 +22,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/dataformat"
 	"repro/internal/middleware"
+	"repro/internal/obs"
 	"repro/internal/ontology"
 	"repro/internal/registry"
 	"repro/internal/stream"
@@ -50,6 +51,11 @@ type Options struct {
 	// re-backs the registry-event replay ring with an on-disk log, so
 	// `districtctl watch` resumes survive a master restart.
 	Stream stream.Options
+	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof.
+	EnablePprof bool
+	// SlowRequest is the span-duration threshold above which requests are
+	// logged (0 = 1s; negative disables).
+	SlowRequest time.Duration
 }
 
 // Master is the ontology + registry service.
@@ -157,7 +163,15 @@ func (m *Master) buildAPI() *api.Server {
 		Service:              "master",
 		Logger:               m.apiLogger(),
 		DisableLegacyAliases: m.opts.DisableLegacyAliases,
+		EnablePprof:          m.opts.EnablePprof,
+		SlowRequest:          m.opts.SlowRequest,
 	})
+	reg := obs.NewRegistry()
+	m.stream.RegisterMetrics(reg)
+	reg.GaugeFunc("repro_registry_proxies",
+		"Proxy registrations currently held by the master.", nil,
+		func() float64 { return float64(len(m.reg.List())) })
+	s.Metrics().AttachRegistry(reg)
 
 	s.Handle(http.MethodPost, "/register", api.Body(m.register))
 	s.Handle(http.MethodDelete, "/register", api.Query(m.deregister))

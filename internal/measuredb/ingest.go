@@ -15,6 +15,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/dataformat"
 	"repro/internal/middleware"
+	"repro/internal/obs"
 	"repro/internal/tsdb"
 	"repro/internal/wal"
 )
@@ -257,6 +258,16 @@ func (d *dedupWindow) compact() {
 	wal.RemoveSnapshotsBefore(dir, seq)
 }
 
+// size reports how many keys the window currently remembers (nil-safe).
+func (d *dedupWindow) size() int {
+	if d == nil {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.entries)
+}
+
 // persistErrors reports outcomes finalized in memory but lost to the
 // journal (nil-safe); non-zero means acked keyed batches stopped being
 // crash-replayable at some point.
@@ -478,13 +489,19 @@ type ingester struct {
 	rows []tsdb.Row
 	src  []int // global row index per staged row
 	next int   // next global row index
+
+	// stages receives the request's store-apply / wal-append /
+	// hub-publish timings (nil outside a traced request; all uses are
+	// guarded so the untraced path takes no timestamps).
+	stages *obs.Stages
 }
 
-func (s *Service) newIngester() *ingester {
+func (s *Service) newIngester(st *obs.Stages) *ingester {
 	return &ingester{
-		s:    s,
-		rows: make([]tsdb.Row, 0, ingestChunk),
-		src:  make([]int, 0, ingestChunk),
+		s:      s,
+		rows:   make([]tsdb.Row, 0, ingestChunk),
+		src:    make([]int, 0, ingestChunk),
+		stages: st,
 	}
 }
 
@@ -539,13 +556,31 @@ func (g *ingester) stage(row int, key tsdb.SeriesKey, p Point) {
 }
 
 // flush applies the staged chunk and folds per-row outcomes into the
-// summary.
+// summary. On the sharded engine the stage collector rides into the
+// shard workers, which attribute the WAL and store waits themselves;
+// other engines get a single store-apply timing around the batch call.
 func (g *ingester) flush() {
 	if len(g.rows) == 0 {
 		return
 	}
-	errs := g.s.store.AppendBatch(g.rows)
+	var errs []error
+	if sh, ok := g.s.store.(*tsdb.Sharded); ok {
+		errs = sh.AppendBatchStages(g.rows, g.stages)
+	} else {
+		var start time.Time
+		if g.stages != nil {
+			start = time.Now()
+		}
+		errs = g.s.store.AppendBatch(g.rows)
+		if g.stages != nil {
+			g.stages.Observe("store-apply", time.Since(start))
+		}
+	}
 	live := g.s.streamS.Hub().Stats().Subscribers > 0
+	var pubStart time.Time
+	if live && g.stages != nil {
+		pubStart = time.Now()
+	}
 	for i := range g.rows {
 		if errs != nil && errs[i] != nil {
 			g.reject(g.src[i], errs[i].Error())
@@ -555,6 +590,9 @@ func (g *ingester) flush() {
 		if live {
 			g.publish(g.rows[i])
 		}
+	}
+	if live && g.stages != nil {
+		g.stages.Observe("hub-publish", time.Since(pubStart))
 	}
 	g.rows = g.rows[:0]
 	g.src = g.src[:0]
@@ -593,7 +631,17 @@ func (g *ingester) finish() IngestResult {
 // delivery and must tok.store (success) or tok.abandon (early failure)
 // — tok is nil when the request carries no key.
 func (s *Service) claimIdempotency(w http.ResponseWriter, r *http.Request) (tok *dedupToken, handled bool) {
-	tok, res, err := s.dedup.begin(r.Context(), r.Header.Get("Idempotency-Key"))
+	key := r.Header.Get("Idempotency-Key")
+	var start time.Time
+	if key != "" {
+		start = time.Now()
+	}
+	tok, res, err := s.dedup.begin(r.Context(), key)
+	if key != "" {
+		d := time.Since(start)
+		s.dedupClaim.ObserveDuration(d)
+		obs.StagesFrom(r.Context()).Observe("dedup-claim", d)
+	}
 	if err != nil {
 		api.WriteError(w, r, api.WithStatus(http.StatusServiceUnavailable,
 			fmt.Errorf("waiting on in-flight idempotent delivery: %v", err)))
@@ -634,7 +682,7 @@ func (s *Service) v2Ingest(w http.ResponseWriter, r *http.Request) {
 	}
 
 	body := http.MaxBytesReader(w, r.Body, maxIngestBody)
-	g := s.newIngester()
+	g := s.newIngester(obs.StagesFrom(r.Context()))
 	if ndjson {
 		dec := json.NewDecoder(body)
 		for {
@@ -693,7 +741,7 @@ func (s *Service) v2PutSamples(w http.ResponseWriter, r *http.Request) {
 		api.WriteError(w, r, api.BadRequest(errors.New("empty samples")))
 		return
 	}
-	g := s.newIngester()
+	g := s.newIngester(obs.StagesFrom(r.Context()))
 	for _, smp := range req.Samples {
 		g.addTo(key, smp)
 	}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/dataformat"
 	"repro/internal/middleware"
+	"repro/internal/obs"
 	"repro/internal/proxyhttp"
 	"repro/internal/stream"
 	"repro/internal/tsdb"
@@ -62,6 +63,13 @@ type Service struct {
 
 	ingested atomic.Uint64
 	rejected atomic.Uint64
+
+	// reg is the service's instrument registry (storage internals,
+	// stream counters, ingest histograms); attached to the API metrics so
+	// /v1/metrics exposes it.
+	reg        *obs.Registry
+	dedupClaim *obs.Histogram // Idempotency-Key claim wait
+	fanout     *obs.Histogram // series matched per selector resolution
 }
 
 // Options configure the service.
@@ -131,6 +139,13 @@ type Options struct {
 	// SnapshotInterval also cuts a shard snapshot when the last one is
 	// older than this (0 disables).
 	SnapshotInterval time.Duration
+
+	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof
+	// on the service's web interface.
+	EnablePprof bool
+	// SlowRequest is the span-duration threshold above which requests are
+	// logged (0 = 1s; negative disables).
+	SlowRequest time.Duration
 }
 
 // New creates a measurements database service. It can only fail when
@@ -148,6 +163,7 @@ func New(opts Options) *Service {
 // engine, the stream replay ring, and the ingest idempotency window
 // from Options.DataDir when set.
 func Open(opts Options) (*Service, error) {
+	reg := obs.NewRegistry()
 	st := opts.Engine
 	if st == nil && opts.Store != nil {
 		st = opts.Store
@@ -161,12 +177,13 @@ func Open(opts Options) (*Service, error) {
 				Fsync:            opts.Fsync,
 				SnapshotEvery:    opts.SnapshotEvery,
 				SnapshotInterval: opts.SnapshotInterval,
+				Metrics:          reg,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("open tsdb engine: %w", err)
 			}
 		} else {
-			st = tsdb.NewSharded(tsdb.ShardedOptions{Shards: opts.Shards})
+			st = tsdb.NewSharded(tsdb.ShardedOptions{Shards: opts.Shards, Metrics: reg})
 		}
 	}
 	dedup := newDedupWindow(opts.IdempotencyWindow, opts.IdempotencyClaimTTL)
@@ -176,7 +193,7 @@ func Open(opts Options) (*Service, error) {
 			return nil, fmt.Errorf("open idempotency window: %w", err)
 		}
 	}
-	s := &Service{store: st, bus: opts.Bus, dedup: dedup}
+	s := &Service{store: st, bus: opts.Bus, dedup: dedup, reg: reg}
 	if s.bus == nil {
 		// Synchronous delivery: the spine's only subscribers (store
 		// ingest, stream hub) are non-blocking, and publishing inline on
@@ -205,8 +222,35 @@ func Open(opts Options) (*Service, error) {
 		s.ingest.Unsubscribe()
 		return fail(fmt.Errorf("stream service: %w", err))
 	}
+	s.registerMetrics()
 	s.apiS = s.buildAPI(opts)
 	return s, nil
+}
+
+// registerMetrics registers the service-level instruments: the stream
+// hub's counters and the ingest/dedup/query internals. The engine's
+// storage instruments were registered by OpenSharded (default engines
+// only — a caller-supplied Engine observes itself).
+func (s *Service) registerMetrics() {
+	s.streamS.RegisterMetrics(s.reg)
+	s.reg.CounterFunc("repro_ingest_rows_total",
+		"Rows accepted into the store, over every ingest path.", nil,
+		func() float64 { return float64(s.ingested.Load()) })
+	s.reg.CounterFunc("repro_ingest_rejected_rows_total",
+		"Rows rejected by validation or the store.", nil,
+		func() float64 { return float64(s.rejected.Load()) })
+	s.reg.CounterFunc("repro_ingest_dedup_persist_errors_total",
+		"Idempotency outcomes acked but not journaled.", nil,
+		func() float64 { return float64(s.dedup.persistErrors()) })
+	s.reg.GaugeFunc("repro_ingest_dedup_window_entries",
+		"Idempotency keys currently remembered.", nil,
+		func() float64 { return float64(s.dedup.size()) })
+	s.dedupClaim = s.reg.Histogram("repro_ingest_dedup_claim_seconds",
+		"Idempotency-Key claim wait (includes waiting out an in-flight delivery of the same key).",
+		obs.FastLatencyBuckets, nil)
+	s.fanout = s.reg.Histogram("repro_query_fanout_series",
+		"Series matched per selector resolution (scatter-gather fan-out width).",
+		obs.CountBuckets, nil)
 }
 
 // Bus exposes the service's event spine. Publishing a measurement
@@ -328,7 +372,10 @@ func (s *Service) buildAPI(opts Options) *api.Server {
 		Service:              "measuredb",
 		Logger:               opts.Logger,
 		DisableLegacyAliases: opts.DisableLegacyAliases,
+		EnablePprof:          opts.EnablePprof,
+		SlowRequest:          opts.SlowRequest,
 	})
+	srv.Metrics().AttachRegistry(s.reg)
 	tier := func(rl *api.RateLimiter, name string) func(http.Handler) http.Handler {
 		if rl == nil {
 			return func(h http.Handler) http.Handler { return h }
@@ -413,7 +460,7 @@ func (s *Service) append(ctx context.Context, doc *dataformat.Document) (map[str
 	default:
 		return nil, api.BadRequest(fmt.Errorf("unsupported document kind %q", doc.Kind))
 	}
-	g := s.newIngester()
+	g := s.newIngester(obs.StagesFrom(ctx))
 	for i := range ms {
 		m := &ms[i]
 		// v1 keeps the document-level validation (units, quantities) the

@@ -79,6 +79,14 @@ func keyLess(a, b tsdb.SeriesKey) bool {
 // scatter one matcher per shard and gather a merged sorted list; exact
 // device selectors only consult the owning shard.
 func (s *Service) resolveSelector(sel SeriesSelector) []tsdb.SeriesKey {
+	keys := s.resolveSelectorKeys(sel)
+	if s.fanout != nil {
+		s.fanout.Observe(float64(len(keys)))
+	}
+	return keys
+}
+
+func (s *Service) resolveSelectorKeys(sel SeriesSelector) []tsdb.SeriesKey {
 	exactDevice := sel.Device != "" && !hasGlob(sel.Device)
 	if exactDevice && sel.Quantity != "" && !hasGlob(sel.Quantity) {
 		key := tsdb.SeriesKey{Device: sel.Device, Quantity: sel.Quantity}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket distribution: atomic per-bucket counters
+// under ascending upper bounds plus an implicit +Inf overflow bucket.
+// Observe is wait-free apart from the CAS loop maintaining the sum, so
+// a histogram can sit on a hot path (or under a fan-out mutex, where
+// the lockio rule bans anything blocking).
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	sumBits atomic.Uint64   // float64 bits of the running sum
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be ascending")
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v, len(bounds) → +Inf
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a latency in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// HistogramSnapshot is a point-in-time reading: per-bucket counts
+// (NOT cumulative; the last entry is the +Inf overflow bucket), the
+// value sum, and the total observation count.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// Snapshot reads the histogram. Count is derived from the bucket
+// counts, so _count always equals the +Inf cumulative bucket even
+// under concurrent observes.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0..1) from the bucket counts with
+// linear interpolation inside the holding bucket; values beyond the
+// last finite bound clamp to it. Returns 0 on an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	cum := uint64(0)
+	for i, c := range s.Counts {
+		prev := float64(cum)
+		cum += c
+		if float64(cum) < target || c == 0 {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		return lo + (hi-lo)*((target-prev)/float64(c))
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// ExpBuckets builds n exponentially spaced upper bounds starting at
+// start and multiplying by factor — the standard shape for latency and
+// size distributions.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets wants start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Shared bucket shapes, so the same family keeps the same bounds
+// wherever it is registered.
+var (
+	// LatencyBuckets covers 0.5ms .. ~4s (route handlers, WAL appends).
+	LatencyBuckets = ExpBuckets(0.0005, 2, 14)
+	// FastLatencyBuckets covers 50µs .. ~0.8s (fsync, dedup claims).
+	FastLatencyBuckets = ExpBuckets(0.00005, 2, 14)
+	// CountBuckets covers 1 .. 2048 (commit-group rows, query fan-out).
+	CountBuckets = ExpBuckets(1, 2, 12)
+)

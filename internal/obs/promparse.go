@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// A minimal parser for the Prometheus text exposition format 0.0.4 —
+// enough to round-trip what the registry writes and to validate the
+// /v1/metrics output in tests (and it keeps the format honest: every
+// sample must belong to a typed family, histograms must be cumulative
+// and closed by a +Inf bucket).
+
+// PromSample is one parsed series sample.
+type PromSample struct {
+	Labels Labels
+	Value  float64
+}
+
+// PromFamily is one metric family: its TYPE, HELP, and samples. For
+// histograms the _bucket/_sum/_count series are folded under the base
+// family name.
+type PromFamily struct {
+	Name    string
+	Type    string
+	Help    string
+	Buckets []PromSample // histogram _bucket series (le in Labels)
+	Sums    []PromSample // histogram _sum series
+	Counts  []PromSample // histogram _count series
+	Samples []PromSample // counter/gauge series
+}
+
+// ParseProm parses a text exposition into families keyed by name.
+func ParseProm(r io.Reader) (map[string]*PromFamily, error) {
+	fams := make(map[string]*PromFamily)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return nil, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			name := fields[2]
+			f := fams[name]
+			if f == nil {
+				f = &PromFamily{Name: name}
+				fams[name] = f
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) < 4 {
+					return nil, fmt.Errorf("line %d: TYPE without a type", lineNo)
+				}
+				f.Type = fields[3]
+			} else if len(fields) == 4 {
+				f.Help = fields[3]
+			}
+			continue
+		}
+		name, labels, val, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		base, series := name, ""
+		for _, sfx := range [...]string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, sfx)
+			if trimmed != name && fams[trimmed] != nil && fams[trimmed].Type == "histogram" {
+				base, series = trimmed, sfx
+				break
+			}
+		}
+		f := fams[base]
+		if f == nil || f.Type == "" {
+			return nil, fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, name)
+		}
+		s := PromSample{Labels: labels, Value: val}
+		switch series {
+		case "_bucket":
+			f.Buckets = append(f.Buckets, s)
+		case "_sum":
+			f.Sums = append(f.Sums, s)
+		case "_count":
+			f.Counts = append(f.Counts, s)
+		default:
+			f.Samples = append(f.Samples, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+// parseSample splits `name{k="v",...} value` into its parts.
+func parseSample(line string) (string, Labels, float64, error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	var name string
+	labels := Labels{}
+	if brace >= 0 {
+		name = rest[:brace]
+		rest = rest[brace+1:]
+		for {
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("malformed labels in %q", line)
+			}
+			key := strings.TrimSpace(rest[:eq])
+			rest = rest[eq+1:]
+			if len(rest) == 0 || rest[0] != '"' {
+				return "", nil, 0, fmt.Errorf("unquoted label value in %q", line)
+			}
+			rest = rest[1:]
+			var val strings.Builder
+			i := 0
+			for ; i < len(rest); i++ {
+				c := rest[i]
+				if c == '\\' && i+1 < len(rest) {
+					i++
+					switch rest[i] {
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						val.WriteByte(rest[i])
+					}
+					continue
+				}
+				if c == '"' {
+					break
+				}
+				val.WriteByte(c)
+			}
+			if i == len(rest) {
+				return "", nil, 0, fmt.Errorf("unterminated label value in %q", line)
+			}
+			labels[key] = val.String()
+			rest = rest[i+1:]
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+				continue
+			}
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			return "", nil, 0, fmt.Errorf("malformed label separator in %q", line)
+		}
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return "", nil, 0, fmt.Errorf("no value in %q", line)
+		}
+		name = rest[:sp]
+		rest = rest[sp:]
+	}
+	valStr := strings.TrimSpace(rest)
+	var v float64
+	switch valStr {
+	case "+Inf", "Inf":
+		v = inf()
+	case "-Inf":
+		v = -inf()
+	default:
+		var err error
+		if v, err = strconv.ParseFloat(valStr, 64); err != nil {
+			return "", nil, 0, fmt.Errorf("bad value %q: %w", valStr, err)
+		}
+	}
+	return name, labels, v, nil
+}
+
+func inf() float64 { return math.Inf(1) }
+
+// ValidateHistogram checks one histogram family's invariants: for every
+// label set, le bounds strictly ascend, cumulative counts never
+// decrease, the series closes with le="+Inf", and the _count series
+// equals the +Inf bucket. Returns nil for a well-formed family.
+func (f *PromFamily) ValidateHistogram() error {
+	if f.Type != "histogram" {
+		return fmt.Errorf("%s: TYPE is %q, want histogram", f.Name, f.Type)
+	}
+	type seriesState struct {
+		lastLe  float64
+		lastCum float64
+		closed  bool
+	}
+	series := make(map[string]*seriesState)
+	keyOf := func(l Labels) string {
+		pruned := make(Labels, len(l))
+		for k, v := range l {
+			if k != "le" {
+				pruned[k] = v
+			}
+		}
+		return renderLabels(pruned, nil)
+	}
+	for _, b := range f.Buckets {
+		key := keyOf(b.Labels)
+		st := series[key]
+		if st == nil {
+			st = &seriesState{lastLe: -inf()}
+			series[key] = st
+		}
+		if st.closed {
+			return fmt.Errorf("%s{%s}: bucket after le=\"+Inf\"", f.Name, key)
+		}
+		leStr, ok := b.Labels["le"]
+		if !ok {
+			return fmt.Errorf("%s{%s}: bucket without le", f.Name, key)
+		}
+		var le float64
+		if leStr == "+Inf" {
+			le = inf()
+			st.closed = true
+		} else {
+			var err error
+			if le, err = strconv.ParseFloat(leStr, 64); err != nil {
+				return fmt.Errorf("%s{%s}: bad le %q", f.Name, key, leStr)
+			}
+		}
+		if le <= st.lastLe {
+			return fmt.Errorf("%s{%s}: le %q not ascending", f.Name, key, leStr)
+		}
+		if b.Value < st.lastCum {
+			return fmt.Errorf("%s{%s}: cumulative count decreased at le=%q", f.Name, key, leStr)
+		}
+		st.lastLe, st.lastCum = le, b.Value
+	}
+	for key, st := range series {
+		if !st.closed {
+			return fmt.Errorf("%s{%s}: missing le=\"+Inf\" bucket", f.Name, key)
+		}
+	}
+	for _, c := range f.Counts {
+		key := keyOf(c.Labels)
+		st := series[key]
+		if st == nil {
+			return fmt.Errorf("%s{%s}: _count without buckets", f.Name, key)
+		}
+		if c.Value != st.lastCum {
+			return fmt.Errorf("%s{%s}: _count %v != +Inf bucket %v", f.Name, key, c.Value, st.lastCum)
+		}
+	}
+	if len(f.Sums) != len(series) || len(f.Counts) != len(series) {
+		return fmt.Errorf("%s: %d series but %d _sum / %d _count samples",
+			f.Name, len(series), len(f.Sums), len(f.Counts))
+	}
+	return nil
+}

@@ -480,6 +480,18 @@ type HubStats struct {
 	PersistErrors uint64 `json:"persist_errors,omitempty"`
 }
 
+// QueueDepth sums the entries buffered across every subscriber queue —
+// a live measure of how far the slowest consumers are behind fan-out.
+func (h *Hub) QueueDepth() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	depth := 0
+	for _, s := range h.subs {
+		depth += len(s.ch)
+	}
+	return depth
+}
+
 // Stats returns a snapshot of the hub counters.
 func (h *Hub) Stats() HubStats {
 	h.mu.Lock()

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/middleware"
+	"repro/internal/obs"
 )
 
 // EventBus is the slice of bus behaviour the streaming service needs;
@@ -74,6 +75,37 @@ func NewService(bus EventBus, opts Options) (*Service, error) {
 
 // Hub exposes the fan-out hub (stats, KickAll).
 func (s *Service) Hub() *Hub { return s.hub }
+
+// RegisterMetrics registers the hub's counters and live state on reg.
+// Everything is a scrape-time callback over Hub.Stats()/QueueDepth(),
+// so the fan-out path pays nothing for being observed.
+func (s *Service) RegisterMetrics(reg *obs.Registry) {
+	h := s.hub
+	reg.CounterFunc("repro_stream_published_total",
+		"Events sequenced into the hub.", nil,
+		func() float64 { return float64(h.Stats().Published) })
+	reg.CounterFunc("repro_stream_delivered_total",
+		"Event deliveries into subscriber queues.", nil,
+		func() float64 { return float64(h.Stats().Delivered) })
+	reg.CounterFunc("repro_stream_evicted_total",
+		"Subscribers evicted for falling behind.", nil,
+		func() float64 { return float64(h.Stats().Evicted) })
+	reg.CounterFunc("repro_stream_replayed_total",
+		"Entries replayed to resuming subscribers.", nil,
+		func() float64 { return float64(h.Stats().Replayed) })
+	reg.CounterFunc("repro_stream_persist_errors_total",
+		"Ring-log write failures of a durable hub.", nil,
+		func() float64 { return float64(h.Stats().PersistErrors) })
+	reg.GaugeFunc("repro_stream_subscribers",
+		"Live hub subscribers.", nil,
+		func() float64 { return float64(h.Stats().Subscribers) })
+	reg.GaugeFunc("repro_stream_retained_events",
+		"Entries held in the replay ring.", nil,
+		func() float64 { return float64(h.Stats().Retained) })
+	reg.GaugeFunc("repro_stream_subscriber_queue_depth",
+		"Entries buffered across all subscriber queues.", nil,
+		func() float64 { return float64(h.QueueDepth()) })
+}
 
 // Close detaches from the bus and shuts the hub down; every SSE
 // subscriber's stream ends. The error is the hub ring log's close

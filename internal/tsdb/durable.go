@@ -9,8 +9,11 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strconv"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -27,13 +30,40 @@ import (
 // rows land in the store.
 
 // shardDisk is one shard's durable state; only that shard's worker
-// goroutine touches the mutable fields after recovery.
+// goroutine mutates it after recovery. sinceSnap and lastSnap are
+// atomics purely so metric scrapes can read them from other
+// goroutines — the worker remains the only writer.
 type shardDisk struct {
 	log *wal.Log
 	dir string
+	mx  *shardMetrics // nil when the engine runs unmetered
 
-	sinceSnap int       // rows appended since the last snapshot
-	lastSnap  time.Time // when the last snapshot was cut
+	sinceSnap atomic.Int64 // rows appended since the last snapshot
+	lastSnap  atomic.Int64 // unix-nanos of the last snapshot cut
+}
+
+// shardMetrics holds one shard's latency histograms. Gauges over the
+// shard's live state are registered as scrape-time callbacks instead,
+// so the append hot path never updates them.
+type shardMetrics struct {
+	walAppend *obs.Histogram
+	fsync     *obs.Histogram
+	snapDur   *obs.Histogram
+}
+
+func newShardMetrics(reg *obs.Registry, i int) *shardMetrics {
+	shard := obs.Labels{"shard": strconv.Itoa(i)}
+	return &shardMetrics{
+		walAppend: reg.Histogram("repro_tsdb_wal_append_seconds",
+			"WAL group-commit append latency, per shard.",
+			obs.LatencyBuckets, shard),
+		fsync: reg.Histogram("repro_tsdb_wal_fsync_seconds",
+			"WAL data-file fsync latency, per shard.",
+			obs.FastLatencyBuckets, shard),
+		snapDur: reg.Histogram("repro_tsdb_snapshot_duration_seconds",
+			"Snapshot cut duration, per shard.",
+			obs.LatencyBuckets, shard),
+	}
 }
 
 // engineMeta pins layout decisions a reopen must honour.
@@ -95,8 +125,9 @@ func loadOrWriteMeta(dir string, shards int) (int, error) {
 
 // recoverShard rebuilds one shard's store from its snapshot and log
 // tail, then leaves the log open for the shard worker to append to.
-// Workers are not running yet, so rows apply directly.
-func recoverShard(dir string, store *Store, opts ShardedOptions) (*shardDisk, error) {
+// Workers are not running yet, so rows apply directly. onSync (may be
+// nil) is handed to the log as its fsync-latency observer.
+func recoverShard(dir string, store *Store, opts ShardedOptions, onSync func(time.Duration)) (*shardDisk, error) {
 	apply := func(p []byte) error {
 		rows, err := decodeRows(p)
 		if err != nil {
@@ -138,6 +169,7 @@ func recoverShard(dir string, store *Store, opts ShardedOptions) (*shardDisk, er
 		SegmentBytes: opts.SegmentBytes,
 		Fsync:        opts.Fsync,
 		SyncEvery:    opts.SyncEvery,
+		OnSync:       onSync,
 	})
 	if err != nil {
 		return nil, err
@@ -145,7 +177,9 @@ func recoverShard(dir string, store *Store, opts ShardedOptions) (*shardDisk, er
 	if err := log.Replay(snapSeq, func(_ uint64, p []byte) error { return apply(p) }); err != nil {
 		return nil, errors.Join(err, log.Close())
 	}
-	return &shardDisk{log: log, dir: dir, lastSnap: time.Now()}, nil
+	disk := &shardDisk{log: log, dir: dir}
+	disk.lastSnap.Store(time.Now().UnixNano())
+	return disk, nil
 }
 
 // maybeSnapshot cuts a snapshot of the shard's store at the current log
@@ -153,22 +187,29 @@ func recoverShard(dir string, store *Store, opts ShardedOptions) (*shardDisk, er
 // the log segments and older snapshots below it. Runs on the shard
 // worker, so the store sees no concurrent writes while dumping.
 func (s *Sharded) maybeSnapshot(store *Store, disk *shardDisk) {
-	if disk.sinceSnap == 0 {
+	pending := disk.sinceSnap.Load()
+	if pending == 0 {
 		return
 	}
-	due := (s.snapEvery > 0 && disk.sinceSnap >= s.snapEvery) ||
-		(s.snapInterval > 0 && time.Since(disk.lastSnap) >= s.snapInterval)
+	lastSnap := time.Unix(0, disk.lastSnap.Load())
+	due := (s.snapEvery > 0 && int(pending) >= s.snapEvery) ||
+		(s.snapInterval > 0 && time.Since(lastSnap) >= s.snapInterval)
 	if !due {
 		return
 	}
-	disk.lastSnap = time.Now() // even on failure: retry next cadence, not next batch
+	start := time.Now()
+	disk.lastSnap.Store(start.UnixNano()) // even on failure: retry next cadence, not next batch
 	seq := disk.log.LastSeq()
-	if err := store.writeSnapshot(disk.dir, seq); err != nil {
+	err := store.writeSnapshot(disk.dir, seq)
+	if disk.mx != nil {
+		disk.mx.snapDur.ObserveDuration(time.Since(start))
+	}
+	if err != nil {
 		return // log intact, nothing truncated; recovery still complete
 	}
 	_ = disk.log.TruncateBefore(seq + 1)
 	wal.RemoveSnapshotsBefore(disk.dir, seq)
-	disk.sinceSnap = 0
+	disk.sinceSnap.Store(0)
 }
 
 // snapshotChunk is how many rows one snapshot record carries.

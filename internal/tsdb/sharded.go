@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"log"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -113,6 +115,13 @@ type ShardedOptions struct {
 	// SnapshotInterval also cuts a snapshot when the last one is older
 	// than this (checked on append activity; 0 disables).
 	SnapshotInterval time.Duration
+
+	// Metrics, when set, registers the engine's internals on the given
+	// registry: per-shard WAL append/fsync latency histograms, WAL
+	// depth and segment gauges, snapshot age/duration, queue depth, and
+	// the commit-group row distribution. Nil disables instrumentation
+	// (the hot path then takes no timestamps).
+	Metrics *obs.Registry
 }
 
 // Sharded is a device-hash-partitioned storage engine: N independent
@@ -136,6 +145,10 @@ type Sharded struct {
 	// loss the engine can suffer, surfaced in Stats.
 	dropped atomic.Uint64
 
+	// groupRows is the commit-group size distribution (nil when the
+	// engine is uninstrumented).
+	groupRows *obs.Histogram
+
 	mu     sync.RWMutex // guards closed vs. queue sends
 	closed bool
 	wg     sync.WaitGroup
@@ -144,12 +157,15 @@ type Sharded struct {
 // batchItem is one unit of work on a shard's append queue. rows are the
 // shard's slice of a caller batch; idx maps them back to the caller's
 // indices inside errs (both nil for fire-and-forget enqueues). done, when
-// set, is signalled after the rows are applied.
+// set, is signalled after the rows are applied. stages, when set,
+// receives the wal-append and store-apply wait times the originating
+// request experienced (see AppendBatchStages).
 type batchItem struct {
-	rows []Row
-	idx  []int
-	errs []error
-	done *sync.WaitGroup
+	rows   []Row
+	idx    []int
+	errs   []error
+	done   *sync.WaitGroup
+	stages *obs.Stages
 }
 
 // NewSharded creates a Sharded engine and starts its append workers.
@@ -194,16 +210,53 @@ func OpenSharded(opts ShardedOptions) (*Sharded, error) {
 		s.shards[i] = New(opts.Store)
 		s.queues[i] = make(chan batchItem, qlen)
 	}
+	reg := opts.Metrics
+	if reg != nil {
+		s.groupRows = reg.Histogram("repro_tsdb_commit_group_rows",
+			"Rows covered by one shard commit group.", obs.CountBuckets, nil)
+		reg.CounterFunc("repro_tsdb_dropped_rows_total",
+			"Fire-and-forget rows dropped after a WAL append failure.", nil,
+			func() float64 { return float64(s.dropped.Load()) })
+		for i := 0; i < n; i++ {
+			q := s.queues[i]
+			reg.GaugeFunc("repro_tsdb_queue_depth",
+				"Batches waiting on the shard append queue.",
+				obs.Labels{"shard": strconv.Itoa(i)},
+				func() float64 { return float64(len(q)) })
+		}
+	}
 	if opts.Dir != "" {
 		s.disks = make([]*shardDisk, n)
 		for i := 0; i < n; i++ {
-			disk, err := recoverShard(filepath.Join(opts.Dir, fmt.Sprintf("shard-%04d", i)), s.shards[i], opts)
+			var mx *shardMetrics
+			var onSync func(time.Duration)
+			if reg != nil {
+				mx = newShardMetrics(reg, i)
+				onSync = mx.fsync.ObserveDuration
+			}
+			disk, err := recoverShard(filepath.Join(opts.Dir, fmt.Sprintf("shard-%04d", i)), s.shards[i], opts, onSync)
 			if err != nil {
 				err = fmt.Errorf("tsdb: recover shard %d: %w", i, err)
 				for _, d := range s.disks[:i] {
 					err = errors.Join(err, d.log.Close())
 				}
 				return nil, err
+			}
+			disk.mx = mx
+			if reg != nil {
+				d := disk
+				shard := obs.Labels{"shard": strconv.Itoa(i)}
+				reg.GaugeFunc("repro_tsdb_wal_pending_rows",
+					"Rows journaled above the shard's snapshot watermark (WAL depth).",
+					shard, func() float64 { return float64(d.sinceSnap.Load()) })
+				reg.GaugeFunc("repro_tsdb_wal_segments",
+					"Live WAL segment files of the shard.",
+					shard, func() float64 { return float64(d.log.Segments()) })
+				reg.GaugeFunc("repro_tsdb_snapshot_age_seconds",
+					"Seconds since the shard's last snapshot cut (or recovery).",
+					shard, func() float64 {
+						return time.Since(time.Unix(0, d.lastSnap.Load())).Seconds()
+					})
 			}
 			s.disks[i] = disk
 		}
@@ -270,6 +323,15 @@ func (s *Sharded) worker(i int) {
 // unblocked. A WAL failure fails every row in the wave without applying
 // any of them — the engine never acknowledges state it cannot recover.
 func (s *Sharded) commitGroup(store *Store, disk *shardDisk, group []batchItem) {
+	if s.groupRows != nil {
+		rows := 0
+		for _, it := range group {
+			rows += len(it.rows)
+		}
+		if rows > 0 {
+			s.groupRows.Observe(float64(rows))
+		}
+	}
 	if disk != nil {
 		var recs [][]byte
 		var buf []byte
@@ -287,7 +349,26 @@ func (s *Sharded) commitGroup(store *Store, disk *shardDisk, group []batchItem) 
 			for j := 0; j < len(bounds); j += 2 {
 				recs = append(recs, buf[bounds[j]:bounds[j+1]])
 			}
-			if _, err := disk.log.AppendBatch(recs); err != nil {
+			// The group commits as one WAL append, so the group's append
+			// latency IS each member request's wal-append wait. Timing
+			// only happens when someone is listening — the uninstrumented
+			// hot path takes no timestamps.
+			timed := disk.mx != nil || anyStages(group)
+			var walStart time.Time
+			if timed {
+				walStart = time.Now()
+			}
+			_, err := disk.log.AppendBatch(recs)
+			if timed {
+				walD := time.Since(walStart)
+				if disk.mx != nil {
+					disk.mx.walAppend.ObserveDuration(walD)
+				}
+				for _, it := range group {
+					it.stages.Observe("wal-append", walD)
+				}
+			}
+			if err != nil {
 				for _, it := range group {
 					if it.errs != nil {
 						for _, j := range it.idx {
@@ -308,7 +389,14 @@ func (s *Sharded) commitGroup(store *Store, disk *shardDisk, group []batchItem) 
 	}
 	for _, it := range group {
 		if len(it.rows) > 0 {
+			var applyStart time.Time
+			if it.stages != nil {
+				applyStart = time.Now()
+			}
 			errs := store.AppendBatch(it.rows)
+			if it.stages != nil {
+				it.stages.Observe("store-apply", time.Since(applyStart))
+			}
 			if errs != nil && it.errs != nil {
 				for j, err := range errs {
 					if err != nil {
@@ -317,7 +405,7 @@ func (s *Sharded) commitGroup(store *Store, disk *shardDisk, group []batchItem) 
 				}
 			}
 			if disk != nil {
-				disk.sinceSnap += len(it.rows)
+				disk.sinceSnap.Add(int64(len(it.rows)))
 			}
 		}
 		if it.done != nil {
@@ -327,6 +415,17 @@ func (s *Sharded) commitGroup(store *Store, disk *shardDisk, group []batchItem) 
 	if disk != nil {
 		s.maybeSnapshot(store, disk)
 	}
+}
+
+// anyStages reports whether any item in the wave carries a stage
+// collector.
+func anyStages(group []batchItem) bool {
+	for _, it := range group {
+		if it.stages != nil {
+			return true
+		}
+	}
+	return false
 }
 
 // NumShards reports the shard count.
@@ -424,6 +523,19 @@ func (s *Sharded) Append(key SeriesKey, smp Sample) error {
 // each worker writes only its own rows' slots, so no locking is needed
 // around the shared slice.
 func (s *Sharded) AppendBatch(rows []Row) []error {
+	return s.appendBatch(rows, nil)
+}
+
+// AppendBatchStages is AppendBatch with per-request stage attribution:
+// the shard workers record the WAL group-append and store-apply waits
+// the batch experienced into st (nil-safe). With the batch split over
+// several shards the stages accumulate across them — the totals then
+// read as work done on the request's behalf, not wall-clock.
+func (s *Sharded) AppendBatchStages(rows []Row, st *obs.Stages) []error {
+	return s.appendBatch(rows, st)
+}
+
+func (s *Sharded) appendBatch(rows []Row, st *obs.Stages) []error {
 	if len(rows) == 0 {
 		return nil
 	}
@@ -444,7 +556,7 @@ func (s *Sharded) AppendBatch(rows []Row) []error {
 			continue
 		}
 		done.Add(1)
-		s.queues[sh] <- batchItem{rows: sub, idx: idx[sh], errs: errs, done: &done}
+		s.queues[sh] <- batchItem{rows: sub, idx: idx[sh], errs: errs, done: &done, stages: st}
 	}
 	s.mu.RUnlock()
 	done.Wait()

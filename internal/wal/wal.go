@@ -97,6 +97,10 @@ type Options struct {
 	// MaxRecord bounds one record's payload (default 64 MiB); it guards
 	// the decoder against reading a garbage length as an allocation.
 	MaxRecord int
+	// OnSync, when set, receives the duration of every data-file fsync
+	// (observability hook). It is called with the log's mutex held and
+	// must not block or call back into the log.
+	OnSync func(d time.Duration)
 }
 
 func (o Options) withDefaults() Options {
@@ -320,7 +324,7 @@ func (l *Log) rollLocked(base uint64) error {
 		return err
 	}
 	if l.opts.Fsync != FsyncNone {
-		if err := l.f.Sync(); err != nil {
+		if err := l.syncFile(l.f); err != nil {
 			return err
 		}
 	}
@@ -404,13 +408,25 @@ func (l *Log) AppendBatch(ps [][]byte) (uint64, error) {
 		return 0, l.failLocked(fmt.Errorf("wal: %w", err))
 	}
 	if l.opts.Fsync == FsyncAlways {
-		if err := l.f.Sync(); err != nil {
+		if err := l.syncFile(l.f); err != nil {
 			return 0, l.failLocked(fmt.Errorf("wal: %w", err))
 		}
 	} else {
 		l.dirty = true
 	}
 	return l.next - 1, nil
+}
+
+// syncFile fsyncs one of the log's data files, reporting the stall to
+// the OnSync observability hook when one is installed.
+func (l *Log) syncFile(f *os.File) error {
+	if l.opts.OnSync == nil {
+		return f.Sync()
+	}
+	start := time.Now()
+	err := f.Sync()
+	l.opts.OnSync(time.Since(start))
+	return err
 }
 
 // failLocked poisons the log after a write-path failure. A failed or
@@ -451,7 +467,7 @@ func (l *Log) syncLocked() error {
 	if !l.dirty {
 		return nil
 	}
-	if err := l.f.Sync(); err != nil {
+	if err := l.syncFile(l.f); err != nil {
 		return err
 	}
 	l.dirty = false

@@ -1,0 +1,125 @@
+package repro
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/client"
+	"repro/internal/obs"
+)
+
+// TestSystemTraceIngest is the cross-service tracing golden: one
+// /v2/ingest request carrying a caller-minted traceparent lands at a
+// durable measurements DB, and the SAME trace ID is retrievable from
+// that service's /v1/trace/{id} ring with the write path's stage
+// timings — dedup claim, WAL group append, store apply, and live-hub
+// publish — attributed to the one request.
+func TestSystemTraceIngest(t *testing.T) {
+	s, base := durableMeasureDB(t, t.TempDir())
+	defer s.Close()
+	c := &client.Client{}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Subscribe FIRST: the hub-publish stage only runs when a live
+	// subscriber exists at flush time.
+	sub, err := c.Streams().SubscribeService(ctx, base, "#")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	waitForGauge(t, c, base, "repro_stream_subscribers", 1)
+
+	const dev = "urn:district:turin/building:b01/device:tr0"
+	body := `{"rows":[
+		{"device":"` + dev + `","quantity":"temperature","at":"2015-03-09T10:00:00Z","value":20.5},
+		{"device":"` + dev + `","quantity":"temperature","at":"2015-03-09T10:01:00Z","value":21.25}
+	]}`
+	traceID := obs.NewTraceID()
+	req, err := http.NewRequest(http.MethodPost, base+"/v2/ingest", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", "trace-key-1")
+	req.Header.Set(obs.TraceHeader, obs.FormatTraceparent(traceID, obs.NewSpanID()))
+	rsp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsp.Body.Close()
+	if rsp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest = %d", rsp.StatusCode)
+	}
+	if got, _, ok := obs.ParseTraceparent(rsp.Header.Get(obs.TraceHeader)); !ok || got != traceID {
+		t.Fatalf("response traceparent = %q, want trace ID %s", rsp.Header.Get(obs.TraceHeader), traceID)
+	}
+
+	// The published rows reach the live subscriber.
+	select {
+	case <-sub.Events:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no live event for the traced ingest")
+	}
+
+	// The span ring records after the response is written; poll briefly.
+	tr := waitForTrace(t, c, base, traceID)
+	if tr.TraceID != traceID || len(tr.Spans) != 1 {
+		t.Fatalf("trace = %+v, want 1 span for %s", tr, traceID)
+	}
+	span := tr.Spans[0]
+	if span.Service != "measuredb" || span.Route != "/v2/ingest" || span.Status != http.StatusOK {
+		t.Fatalf("span = %+v", span)
+	}
+	stages := map[string]float64{}
+	for _, st := range span.Stages {
+		stages[st.Name] = st.DurationMS
+	}
+	for _, want := range []string{"dedup-claim", "wal-append", "store-apply", "hub-publish"} {
+		if _, ok := stages[want]; !ok {
+			t.Errorf("stage %q missing from span (got %v)", want, span.Stages)
+		}
+	}
+}
+
+// waitForGauge polls a service's metrics snapshot until the named
+// instrument reaches at least want.
+func waitForGauge(t *testing.T, c *client.Client, base, name string, want float64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		snap, err := c.Ops(base).Metrics(context.Background())
+		if err == nil {
+			for _, in := range snap.Instruments {
+				if in.Name == name && in.Value >= want {
+					return
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gauge %s never reached %g (last err: %v)", name, want, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// waitForTrace polls /v1/trace/{id} until the service has retained the
+// span (the ring records just after the response flushes).
+func waitForTrace(t *testing.T, c *client.Client, base, id string) *api.TraceResponse {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		tr, err := c.Ops(base).Trace(context.Background(), id)
+		if err == nil {
+			return tr
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s never appeared: %v", id, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

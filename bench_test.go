@@ -23,6 +23,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/bim"
 	"repro/internal/client"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataformat"
 	"repro/internal/dbproxy"
@@ -1381,4 +1382,141 @@ func BenchmarkO1_ObsOverhead(b *testing.B) {
 	}
 	b.Run("obs=off", func(b *testing.B) { run(b, nil, false) })
 	b.Run("obs=on", func(b *testing.B) { run(b, obs.NewRegistry(), true) })
+}
+
+// ---------------------------------------------------------------------
+// C1 — cluster router: the /v2 data plane through the coordinator as
+// the cluster widens. In-memory nodes (8 shards each) behind one
+// coordinator, shard ownership round-robin; op=ingest ships 512-row
+// keyed batches (ns/op is per row), op=query runs a glob aggregate
+// batch query over a preloaded corpus (ns/op is per query). nodes=1 is
+// the router-overhead baseline: same wire path, no fan-out.
+// ---------------------------------------------------------------------
+
+// benchCluster boots nodes in-memory cluster nodes behind a
+// coordinator, shards owned round-robin.
+func benchCluster(b *testing.B, nodes int) (string, func()) {
+	b.Helper()
+	const shards = 8
+	m := master.New(master.Options{})
+	maddr, err := m.Serve("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	masterURL := "http://" + maddr
+	var svcs []*measuredb.Service
+	var nodeURLs []string
+	for i := 0; i < nodes; i++ {
+		s, err := measuredb.Open(measuredb.Options{
+			Shards:               shards,
+			DisableLegacyAliases: true,
+			Cluster:              &measuredb.ClusterOptions{Master: masterURL},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		addr, err := s.Serve("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.SetClusterSelf("http://" + addr)
+		svcs = append(svcs, s)
+		nodeURLs = append(nodeURLs, "http://"+addr)
+	}
+	owners := make([]string, shards)
+	for i := range owners {
+		owners[i] = nodeURLs[i%nodes]
+	}
+	if _, err := m.ClusterMap().Set(cluster.Map{Shards: shards, Owners: owners}); err != nil {
+		b.Fatal(err)
+	}
+	coord, err := measuredb.OpenCoordinator(measuredb.CoordinatorOptions{Master: masterURL})
+	if err != nil {
+		b.Fatal(err)
+	}
+	caddr, err := coord.Serve("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return "http://" + caddr, func() {
+		coord.Close()
+		for _, s := range svcs {
+			s.Close()
+		}
+		m.Close()
+	}
+}
+
+func BenchmarkC1_ClusterRouter(b *testing.B) {
+	const (
+		devices  = 256
+		batchLen = 512
+	)
+	devs := make([]string, devices)
+	for d := range devs {
+		devs[d] = fmt.Sprintf("urn:district:turin/building:b%03d/device:d%d", d/4, d%4)
+	}
+	for _, nodes := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("nodes=%d/op=ingest", nodes), func(b *testing.B) {
+			coordURL, cleanup := benchCluster(b, nodes)
+			defer cleanup()
+			ing := (&client.Client{MasterURL: coordURL}).Ingest(coordURL)
+			ctx := context.Background()
+			rows := make([]measuredb.Point, 0, batchLen)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rows = append(rows, measuredb.Point{
+					Device: devs[i%devices], Quantity: "temperature",
+					At: benchT0.Add(time.Duration(i/devices) * time.Second), Value: float64(i),
+				})
+				if len(rows) == batchLen || i == b.N-1 {
+					if res, err := ing.Append(ctx, rows); err != nil || res.Rejected != 0 {
+						b.Fatalf("append: %+v, %v", res, err)
+					}
+					rows = rows[:0]
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("nodes=%d/op=query", nodes), func(b *testing.B) {
+			coordURL, cleanup := benchCluster(b, nodes)
+			defer cleanup()
+			ctx := context.Background()
+			ing := (&client.Client{MasterURL: coordURL}).Ingest(coordURL)
+			var rows []measuredb.Point
+			for d := range devs {
+				for j := 0; j < 16; j++ {
+					rows = append(rows, measuredb.Point{
+						Device: devs[d], Quantity: "temperature",
+						At: benchT0.Add(time.Duration(j) * time.Second), Value: float64(j),
+					})
+				}
+				if len(rows) >= 1024 {
+					if _, err := ing.Append(ctx, rows); err != nil {
+						b.Fatal(err)
+					}
+					rows = rows[:0]
+				}
+			}
+			if len(rows) > 0 {
+				if _, err := ing.Append(ctx, rows); err != nil {
+					b.Fatal(err)
+				}
+			}
+			tr := &api.Transport{}
+			req := measuredb.BatchQuery{
+				Selectors: []measuredb.SeriesSelector{{Device: "*", Quantity: "temperature"}},
+				Aggregate: true,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var out measuredb.BatchResponse
+				if err := tr.PostJSON(ctx, coordURL+"/v2/query", req, &out); err != nil {
+					b.Fatal(err)
+				}
+				if out.Series != devices {
+					b.Fatalf("series = %d, want %d", out.Series, devices)
+				}
+			}
+		})
+	}
 }

@@ -16,6 +16,8 @@
 //	districtctl -master ... samples -url http://measuredb:9002 -device <uri> -quantity temperature
 //	districtctl -master ... top [-url http://measuredb:9002,...] [-interval 2s]
 //	districtctl -master ... trace <trace-id>
+//	districtctl -master ... cluster status
+//	districtctl -master ... cluster move <shard> <node-url>
 //
 // The CLI speaks the sub-client SDK: catalog commands ride
 // client.Catalog(), device reads/actuation client.Devices(), live
@@ -79,6 +81,8 @@ func main() {
 		err = cmdTop(ctx, c, args)
 	case "trace":
 		err = cmdTrace(ctx, c, args)
+	case "cluster":
+		err = cmdCluster(ctx, c, args)
 	default:
 		usage()
 	}
@@ -88,7 +92,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: districtctl [-master URL] query|model|devices|latest|control|report|watch|series|samples|top|trace [options]")
+	fmt.Fprintln(os.Stderr, "usage: districtctl [-master URL] query|model|devices|latest|control|report|watch|series|samples|top|trace|cluster [options]")
 	os.Exit(2)
 }
 

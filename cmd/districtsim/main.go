@@ -33,6 +33,7 @@ func main() {
 	batchRate := flag.Float64("batch-rate", 0, "measurements DB /v2/query batch-tier rate limit per client IP (req/s, 0 = off)")
 	ingestRate := flag.Float64("ingest-rate", 0, "measurements DB /v2 ingest write-tier rate limit per client IP (req/s, 0 = off)")
 	shards := flag.Int("shards", 0, "measurements DB storage shards (0 = engine default)")
+	measureNodes := flag.Int("measure-nodes", 0, "deploy the measurements DB as this many cluster nodes behind one coordinator (0/1 = single service)")
 	busWrites := flag.Bool("bus-writes", false, "route device samples over the deprecated middleware bus hop instead of /v2 ingest")
 	dataDir := flag.String("data-dir", "", "durable storage directory: WAL+snapshots under the measurements DB, persisted stream replay ring and ingest dedup window (empty = in-memory)")
 	fsync := flag.String("fsync", "none", "WAL fsync policy with -data-dir: none | interval | always")
@@ -51,6 +52,7 @@ func main() {
 		MeasureBatchRate:   *batchRate,
 		MeasureWriteRate:   *ingestRate,
 		MeasureShards:      *shards,
+		MeasureNodes:       *measureNodes,
 		BusWrites:          *busWrites,
 		DataDir:            *dataDir,
 		FsyncMode:          *fsync,
@@ -63,7 +65,14 @@ func main() {
 	fmt.Printf("district %q is up:\n", d.Spec.District)
 	fmt.Printf("  master node     %s\n", d.MasterURL)
 	fmt.Printf("  middleware hub  %s\n", d.HubAddr)
-	fmt.Printf("  measurements DB %s\n", d.MeasureURL)
+	if len(d.MeasureNodeURLs) > 0 {
+		fmt.Printf("  measurements DB %s (coordinator over %d nodes)\n", d.MeasureURL, len(d.MeasureNodeURLs))
+		for i, u := range d.MeasureNodeURLs {
+			fmt.Printf("    node %d        %s\n", i, u)
+		}
+	} else {
+		fmt.Printf("  measurements DB %s\n", d.MeasureURL)
+	}
 	if *dataDir != "" {
 		fmt.Printf("  durable storage %s (fsync=%s)\n", *dataDir, *fsync)
 	}
@@ -83,7 +92,18 @@ func main() {
 	for {
 		select {
 		case <-ticker.C:
-			st := d.Measure.Stats()
+			var st measuredb.Stats
+			if d.Measure != nil {
+				st = d.Measure.Stats()
+			} else {
+				// Clustered deployment: sum the nodes the same way the
+				// coordinator's /v1/stats does.
+				for _, n := range d.MeasureNodes {
+					ns := n.Stats()
+					st.Ingested += ns.Ingested
+					st.Store.Series += ns.Store.Series
+				}
+			}
 			rsp, err := mc.Query(ctx, measuredb.BatchQuery{
 				Selectors: []measuredb.SeriesSelector{{Device: "*"}},
 				Aggregate: true,

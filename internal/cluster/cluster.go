@@ -1,0 +1,121 @@
+// Package cluster is the multi-host layer of the measurements plane: a
+// versioned shard map (shard index → owning measuredb node) published
+// by the master at /v1/cluster/map, a TTL-cached Resolver every router
+// and storage node shares, and the epoch bookkeeping that makes live
+// shard handoff safe. Placement is the same device-hash the Sharded
+// engine uses (tsdb.ShardOf), so a row's cluster owner and its on-disk
+// shard directory always agree — moving shard k between nodes moves
+// exactly the directory shard-000k.
+//
+// Epochs order map versions: every map change increments the epoch,
+// writers stamp requests with the epoch they resolved against
+// (EpochHeader), and a node that sees a stale epoch rejects the write
+// with a retryable envelope instead of accepting rows it may no longer
+// own. Cursors returned by the coordinator embed the epoch the page was
+// cut under, which keeps pagination honest across a handoff.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/tsdb"
+)
+
+// EpochHeader carries the map epoch a client resolved against. A node
+// compares it with its own cached epoch: a request stamped with an
+// older epoch is rejected (CodeStaleEpoch) so the client re-resolves; a
+// newer one makes the node refresh its cache before deciding.
+const EpochHeader = "X-Cluster-Epoch"
+
+// Error codes a cluster-aware node returns inside the standard 503
+// envelope. All three are retryable-after-re-resolve: the coordinator
+// (or any client) refreshes its map and retries against the new owner.
+const (
+	// CodeStaleEpoch: the request was routed with an older map than the
+	// node holds — ownership may have moved.
+	CodeStaleEpoch = "stale_epoch"
+	// CodeShardMoving: the addressed shard is frozen mid-handoff on
+	// this node; retry after the flip lands on the new owner.
+	CodeShardMoving = "shard_moving"
+	// CodeNotOwner: the node's cached map says another node owns the
+	// addressed shard.
+	CodeNotOwner = "not_owner"
+)
+
+// Map is one version of the cluster's shard placement: Owners[i] is the
+// base URL of the measuredb node owning shard i. The shard count is the
+// engine shard count — every node runs the full N-shard engine (unowned
+// shards just stay empty), so a handed-off shard directory lands at the
+// same index on any node.
+type Map struct {
+	Epoch  uint64   `json:"epoch"`
+	Shards int      `json:"shards"`
+	Owners []string `json:"owners"`
+}
+
+// Validate checks structural sanity: a positive shard count, one owner
+// address per shard, no empty addresses.
+func (m *Map) Validate() error {
+	if m.Shards <= 0 {
+		return errors.New("cluster: map needs a positive shard count")
+	}
+	if len(m.Owners) != m.Shards {
+		return fmt.Errorf("cluster: map has %d owners for %d shards", len(m.Owners), m.Shards)
+	}
+	for i, o := range m.Owners {
+		if o == "" {
+			return fmt.Errorf("cluster: shard %d has no owner", i)
+		}
+	}
+	return nil
+}
+
+// ShardFor reports which shard owns a device's series under this map —
+// the engine's own placement function, so routing and storage agree.
+func (m *Map) ShardFor(device string) int { return tsdb.ShardOf(device, m.Shards) }
+
+// Owner returns the base URL owning a shard ("" when out of range).
+func (m *Map) Owner(shard int) string {
+	if shard < 0 || shard >= len(m.Owners) {
+		return ""
+	}
+	return m.Owners[shard]
+}
+
+// OwnerOf returns the base URL owning a device's shard.
+func (m *Map) OwnerOf(device string) string { return m.Owner(m.ShardFor(device)) }
+
+// Nodes returns the distinct owner addresses, sorted.
+func (m *Map) Nodes() []string {
+	seen := make(map[string]bool, len(m.Owners))
+	var out []string
+	for _, o := range m.Owners {
+		if o != "" && !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ShardsOf lists the shards a node owns under this map.
+func (m *Map) ShardsOf(node string) []int {
+	var out []int
+	for i, o := range m.Owners {
+		if o == node {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy (maps travel between goroutines by value;
+// Owners is the only shared backing array).
+func (m *Map) Clone() Map {
+	cp := *m
+	cp.Owners = append([]string(nil), m.Owners...)
+	return cp
+}

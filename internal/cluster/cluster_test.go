@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/tsdb"
+)
+
+func TestMapPlacementMatchesEngine(t *testing.T) {
+	m := Map{Epoch: 1, Shards: 8, Owners: make([]string, 8)}
+	for i := range m.Owners {
+		m.Owners[i] = "http://node-a"
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, dev := range []string{"urn:district:turin/building:b001/device:d1", "d2", ""} {
+		if got, want := m.ShardFor(dev), tsdb.ShardOf(dev, 8); got != want {
+			t.Fatalf("ShardFor(%q) = %d, engine places it in %d", dev, got, want)
+		}
+	}
+}
+
+func TestMapValidate(t *testing.T) {
+	bad := []Map{
+		{Shards: 0},
+		{Shards: 2, Owners: []string{"a"}},
+		{Shards: 2, Owners: []string{"a", ""}},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Fatalf("case %d: Validate accepted %+v", i, m)
+		}
+	}
+}
+
+func TestMapNodesAndShardsOf(t *testing.T) {
+	m := Map{Shards: 4, Owners: []string{"b", "a", "b", "a"}}
+	if got := m.Nodes(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("Nodes() = %v", got)
+	}
+	if got := m.ShardsOf("b"); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Fatalf("ShardsOf(b) = %v", got)
+	}
+	if m.Owner(-1) != "" || m.Owner(4) != "" {
+		t.Fatal("out-of-range Owner should be empty")
+	}
+}
+
+func TestRegistryEpochs(t *testing.T) {
+	r := NewRegistry()
+	if _, ok := r.Current(); ok {
+		t.Fatal("empty registry published a map")
+	}
+	if _, err := r.Move(0, "http://a"); err == nil {
+		t.Fatal("Move before Set should fail")
+	}
+	m1, err := r.Set(Map{Epoch: 99, Shards: 2, Owners: []string{"http://a", "http://a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Epoch != 1 {
+		t.Fatalf("first Set epoch = %d, want 1 (registry owns the counter)", m1.Epoch)
+	}
+	m2, err := r.Move(1, "http://b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Epoch != 2 || m2.Owners[1] != "http://b" {
+		t.Fatalf("Move result %+v", m2)
+	}
+	if _, err := r.Move(5, "http://b"); err == nil {
+		t.Fatal("out-of-range Move accepted")
+	}
+	if _, err := r.Set(Map{Shards: 4, Owners: []string{"a", "a", "a", "a"}}); err == nil {
+		t.Fatal("shard-count change accepted")
+	}
+	// The returned copies must not alias registry state.
+	m2.Owners[0] = "mutated"
+	cur, _ := r.Current()
+	if cur.Owners[0] == "mutated" {
+		t.Fatal("Registry leaked its backing array")
+	}
+}
+
+func TestResolverCachingAndEnsureEpoch(t *testing.T) {
+	var fetches int
+	cur := Map{Epoch: 1, Shards: 2, Owners: []string{"http://a", "http://a"}}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/cluster/map" {
+			http.NotFound(w, r)
+			return
+		}
+		fetches++
+		json.NewEncoder(w).Encode(cur)
+	}))
+	defer srv.Close()
+
+	res := NewResolver(srv.URL, nil, time.Hour)
+	ctx := context.Background()
+	if _, ok := res.Cached(); ok {
+		t.Fatal("fresh resolver has a cached map")
+	}
+	m, err := res.Get(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch != 1 || fetches != 1 {
+		t.Fatalf("epoch=%d fetches=%d", m.Epoch, fetches)
+	}
+	if _, err := res.Get(ctx); err != nil || fetches != 1 {
+		t.Fatalf("Get inside TTL refetched (fetches=%d, err=%v)", fetches, err)
+	}
+	// A request stamped with a newer epoch forces a refresh.
+	cur = Map{Epoch: 2, Shards: 2, Owners: []string{"http://a", "http://b"}}
+	m, err = res.EnsureEpoch(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch != 2 || fetches != 2 {
+		t.Fatalf("EnsureEpoch: epoch=%d fetches=%d", m.Epoch, fetches)
+	}
+	// ...but an epoch the cache already covers is served locally.
+	if _, err := res.EnsureEpoch(ctx, 1); err != nil || fetches != 2 {
+		t.Fatalf("EnsureEpoch(1) refetched (fetches=%d)", fetches)
+	}
+	if got := res.CachedEpoch(); got != 2 {
+		t.Fatalf("CachedEpoch = %d", got)
+	}
+}

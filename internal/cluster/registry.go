@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Registry is the master-side source of truth for the shard map. It
+// hands out immutable snapshots and owns the epoch counter: every
+// accepted change — a whole-map Set or a single-shard Move — bumps the
+// epoch by exactly one, so observers can order map versions without
+// clocks.
+type Registry struct {
+	mu  sync.Mutex
+	cur *Map
+}
+
+// NewRegistry returns an empty registry (no map published yet — the
+// deployment is single-node until a map is Set).
+func NewRegistry() *Registry { return &Registry{} }
+
+// Current returns a copy of the published map, and whether one exists.
+func (r *Registry) Current() (Map, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cur == nil {
+		return Map{}, false
+	}
+	return r.cur.Clone(), true
+}
+
+// Set publishes a whole map. The caller provides placement (Shards,
+// Owners); the registry owns the epoch — whatever the caller sent is
+// replaced with last+1. Once a map exists its shard count is pinned:
+// rows are placed by device-hash % shards, so changing the count would
+// re-home every series.
+func (r *Registry) Set(m Map) (Map, error) {
+	if err := m.Validate(); err != nil {
+		return Map{}, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m = m.Clone()
+	if r.cur != nil {
+		if m.Shards != r.cur.Shards {
+			return Map{}, fmt.Errorf("cluster: shard count is pinned at %d (got %d)", r.cur.Shards, m.Shards)
+		}
+		m.Epoch = r.cur.Epoch + 1
+	} else {
+		m.Epoch = 1
+	}
+	r.cur = &m
+	return m.Clone(), nil
+}
+
+// Move reassigns one shard to a node and bumps the epoch — the flip
+// step of a handoff, called only after the shard's data is in place on
+// the target.
+func (r *Registry) Move(shard int, node string) (Map, error) {
+	if node == "" {
+		return Map{}, errors.New("cluster: move needs a target node")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cur == nil {
+		return Map{}, errors.New("cluster: no map published")
+	}
+	if shard < 0 || shard >= r.cur.Shards {
+		return Map{}, fmt.Errorf("cluster: shard %d out of range [0,%d)", shard, r.cur.Shards)
+	}
+	next := r.cur.Clone()
+	next.Owners[shard] = node
+	next.Epoch++
+	r.cur = &next
+	return next.Clone(), nil
+}

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+)
+
+// DefaultRefresh is how long a resolver trusts a cached map before
+// re-fetching on the next Get. Handoffs are rare and rejected writes
+// force an immediate refresh, so the TTL only bounds how long a purely
+// read-side consumer can lag a flip.
+const DefaultRefresh = 2 * time.Second
+
+// Resolver caches the master-published shard map for a router or
+// storage node. Get serves from cache inside the TTL; Refresh and
+// EnsureEpoch force a fetch — the paths a stale-epoch rejection takes
+// so a retry resolves against the flipped map, not the cached one.
+type Resolver struct {
+	master string
+	t      *api.Transport
+	ttl    time.Duration
+
+	mu      sync.Mutex
+	cur     *Map
+	fetched time.Time
+}
+
+// NewResolver builds a resolver against a master base URL. transport
+// may be nil (a default api.Transport is used); ttl <= 0 means
+// DefaultRefresh.
+func NewResolver(masterURL string, transport *api.Transport, ttl time.Duration) *Resolver {
+	if transport == nil {
+		transport = &api.Transport{}
+	}
+	if ttl <= 0 {
+		ttl = DefaultRefresh
+	}
+	return &Resolver{master: masterURL, t: transport, ttl: ttl}
+}
+
+// Cached returns the cached map without fetching, and whether one
+// exists. Hot paths (per-row ownership checks) use this — they must not
+// block on the network.
+func (r *Resolver) Cached() (Map, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cur == nil {
+		return Map{}, false
+	}
+	return r.cur.Clone(), true
+}
+
+// CachedEpoch returns the cached map's epoch (0 when none) — the value
+// the map-epoch gauge exports.
+func (r *Resolver) CachedEpoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cur == nil {
+		return 0
+	}
+	return r.cur.Epoch
+}
+
+// Get returns the map, fetching from the master when the cache is empty
+// or older than the TTL.
+func (r *Resolver) Get(ctx context.Context) (Map, error) {
+	r.mu.Lock()
+	if r.cur != nil && time.Since(r.fetched) < r.ttl {
+		m := r.cur.Clone()
+		r.mu.Unlock()
+		return m, nil
+	}
+	r.mu.Unlock()
+	return r.Refresh(ctx)
+}
+
+// Refresh fetches the map from the master unconditionally, replacing
+// the cache on success — but never with an older epoch (a lagging
+// response must not roll the cache back across a flip).
+func (r *Resolver) Refresh(ctx context.Context) (Map, error) {
+	var m Map
+	if err := r.t.GetJSON(ctx, api.URL(r.master, "/cluster/map"), &m); err != nil {
+		return Map{}, err
+	}
+	if err := m.Validate(); err != nil {
+		return Map{}, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cur == nil || m.Epoch >= r.cur.Epoch {
+		cp := m.Clone()
+		r.cur = &cp
+		r.fetched = time.Now()
+	}
+	return r.cur.Clone(), nil
+}
+
+// EnsureEpoch returns a map at least as new as epoch, refreshing once
+// if the cache lags. A request stamped with a newer epoch than the
+// cache proves a newer map exists — this is how nodes catch up without
+// polling.
+func (r *Resolver) EnsureEpoch(ctx context.Context, epoch uint64) (Map, error) {
+	r.mu.Lock()
+	if r.cur != nil && r.cur.Epoch >= epoch {
+		m := r.cur.Clone()
+		r.mu.Unlock()
+		return m, nil
+	}
+	r.mu.Unlock()
+	return r.Refresh(ctx)
+}

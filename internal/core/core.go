@@ -15,6 +15,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/bim"
 	"repro/internal/client"
+	"repro/internal/cluster"
 	"repro/internal/dataformat"
 	"repro/internal/dbproxy"
 	"repro/internal/deviceproxy"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/protocol/enocean"
 	"repro/internal/protocol/ieee802154"
 	"repro/internal/sim"
+	"repro/internal/tsdb"
 	"repro/internal/wal"
 	"repro/internal/wsn"
 )
@@ -77,6 +79,12 @@ type Spec struct {
 	// MeasureShards partitions the measurements DB's storage engine by
 	// device hash (0 = the engine default).
 	MeasureShards int
+	// MeasureNodes deploys the measurements DB as a multi-host cluster:
+	// this many shard-owning nodes behind one coordinator, with the
+	// master publishing a round-robin shard map. 0 or 1 keeps the
+	// classic single-service deployment. MeasureURL then points at the
+	// coordinator; the /v2 surface is unchanged for clients.
+	MeasureNodes int
 	// BusWrites routes device-proxy samples to the measurements DB over
 	// the deprecated middleware bus hop instead of the batched /v2
 	// ingest plane — the escape hatch while external deployments
@@ -137,9 +145,19 @@ type District struct {
 	// Hub is the middleware relay node; HubAddr its TCP address.
 	Hub     *middleware.Node
 	HubAddr string
-	// Measure is the global measurements database service.
+	// Measure is the global measurements database service. In a
+	// clustered deployment (Spec.MeasureNodes > 1) it is nil:
+	// MeasureNodes holds the shard owners, Coordinator the router, and
+	// MeasureURL points at the coordinator.
 	Measure    *measuredb.Service
 	MeasureURL string
+	// MeasureNodes and MeasureNodeURLs are the cluster's shard-owning
+	// nodes (clustered deployments only).
+	MeasureNodes    []*measuredb.Service
+	MeasureNodeURLs []string
+	// Coordinator is the cluster's query/ingest router (clustered
+	// deployments only).
+	Coordinator *measuredb.Coordinator
 	// GIS is the district geographic database proxy.
 	GIS *dbproxy.GISProxy
 	// BIMs and SIMs are the per-building / per-network proxies.
@@ -199,40 +217,54 @@ func Bootstrap(spec Spec) (*District, error) {
 		}
 		return api.NewRateLimiter(rate, int(rate*2)+1)
 	}
-	mopts := measuredb.Options{
-		DisableLegacyAliases: !spec.LegacyAliases,
-		EnablePprof:          spec.EnablePprof,
-		Shards:               spec.MeasureShards,
-		ReadLimiter:          limiter(spec.MeasureReadRate),
-		BatchLimiter:         limiter(spec.MeasureBatchRate),
-		WriteLimiter:         limiter(spec.MeasureWriteRate),
-	}
-	if spec.DataDir != "" {
-		mode, err := wal.ParseMode(spec.FsyncMode)
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
+	newMeasureOpts := func(dataDir string, clusterOpts *measuredb.ClusterOptions) (measuredb.Options, error) {
+		mopts := measuredb.Options{
+			DisableLegacyAliases: !spec.LegacyAliases,
+			EnablePprof:          spec.EnablePprof,
+			Shards:               spec.MeasureShards,
+			ReadLimiter:          limiter(spec.MeasureReadRate),
+			BatchLimiter:         limiter(spec.MeasureBatchRate),
+			WriteLimiter:         limiter(spec.MeasureWriteRate),
+			Cluster:              clusterOpts,
 		}
-		mopts.DataDir = filepath.Join(spec.DataDir, "measuredb")
-		mopts.Fsync = mode
-		mopts.SnapshotEvery = spec.SnapshotEvery
+		if spec.DataDir != "" {
+			mode, err := wal.ParseMode(spec.FsyncMode)
+			if err != nil {
+				return mopts, fmt.Errorf("core: %w", err)
+			}
+			mopts.DataDir = filepath.Join(spec.DataDir, dataDir)
+			mopts.Fsync = mode
+			mopts.SnapshotEvery = spec.SnapshotEvery
+		}
+		return mopts, nil
 	}
-	d.Measure, err = measuredb.Open(mopts)
-	if err != nil {
-		return nil, fmt.Errorf("core: measuredb: %w", err)
+	if spec.MeasureNodes > 1 {
+		if err := d.bootstrapMeasureCluster(spec, hubAddr, newMeasureOpts); err != nil {
+			return nil, err
+		}
+	} else {
+		mopts, err := newMeasureOpts("measuredb", nil)
+		if err != nil {
+			return nil, err
+		}
+		d.Measure, err = measuredb.Open(mopts)
+		if err != nil {
+			return nil, fmt.Errorf("core: measuredb: %w", err)
+		}
+		measureAddr, err := d.Measure.Serve("127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("core: measuredb: %w", err)
+		}
+		d.MeasureURL = "http://" + measureAddr
+		measureNode := middleware.NewNode(middleware.NodeOptions{ID: "measure:" + spec.District})
+		if _, err := d.Measure.AttachNode(measureNode); err != nil {
+			return nil, fmt.Errorf("core: measuredb subscribe: %w", err)
+		}
+		if err := measureNode.Dial(hubAddr); err != nil {
+			return nil, fmt.Errorf("core: measuredb node: %w", err)
+		}
+		d.closers = append(d.closers, measureNode.Close, d.Measure.Close)
 	}
-	measureAddr, err := d.Measure.Serve("127.0.0.1:0")
-	if err != nil {
-		return nil, fmt.Errorf("core: measuredb: %w", err)
-	}
-	d.MeasureURL = "http://" + measureAddr
-	measureNode := middleware.NewNode(middleware.NodeOptions{ID: "measure:" + spec.District})
-	if _, err := d.Measure.AttachNode(measureNode); err != nil {
-		return nil, fmt.Errorf("core: measuredb subscribe: %w", err)
-	}
-	if err := measureNode.Dial(hubAddr); err != nil {
-		return nil, fmt.Errorf("core: measuredb node: %w", err)
-	}
-	d.closers = append(d.closers, measureNode.Close, d.Measure.Close)
 
 	// The device proxies' write path: one shared auto-flushing /v2
 	// ingest batcher (unless the deprecated bus hop is requested). It
@@ -298,6 +330,71 @@ func Bootstrap(spec Spec) (*District, error) {
 	}
 	ok = true
 	return d, nil
+}
+
+// bootstrapMeasureCluster deploys the measurements DB as
+// Spec.MeasureNodes shard-owning nodes behind one coordinator: each
+// node runs the full sharded engine (unowned shards stay empty), hears
+// the middleware bus through its own leaf node (the ownership guard
+// keeps broadcast rows single-copy), the master publishes a round-robin
+// shard map, and the coordinator routes the /v2 plane over it.
+func (d *District) bootstrapMeasureCluster(spec Spec, hubAddr string, newMeasureOpts func(string, *measuredb.ClusterOptions) (measuredb.Options, error)) error {
+	shards := spec.MeasureShards
+	if shards <= 0 {
+		shards = tsdb.DefaultShards
+	}
+	for i := 0; i < spec.MeasureNodes; i++ {
+		mopts, err := newMeasureOpts(fmt.Sprintf("measuredb-%d", i), &measuredb.ClusterOptions{Master: d.MasterURL})
+		if err != nil {
+			return err
+		}
+		mopts.Shards = shards // every node must agree on the shard count
+		node, err := measuredb.Open(mopts)
+		if err != nil {
+			return fmt.Errorf("core: measuredb node %d: %w", i, err)
+		}
+		d.closers = append(d.closers, node.Close)
+		addr, err := node.Serve("127.0.0.1:0")
+		if err != nil {
+			return fmt.Errorf("core: measuredb node %d: %w", i, err)
+		}
+		nodeURL := "http://" + addr
+		node.SetClusterSelf(nodeURL)
+		leaf := middleware.NewNode(middleware.NodeOptions{ID: fmt.Sprintf("measure%d:%s", i, spec.District)})
+		if _, err := node.AttachNode(leaf); err != nil {
+			return fmt.Errorf("core: measuredb node %d subscribe: %w", i, err)
+		}
+		if err := leaf.Dial(hubAddr); err != nil {
+			return fmt.Errorf("core: measuredb node %d bus: %w", i, err)
+		}
+		d.closers = append(d.closers, leaf.Close)
+		d.MeasureNodes = append(d.MeasureNodes, node)
+		d.MeasureNodeURLs = append(d.MeasureNodeURLs, nodeURL)
+	}
+	// Publish the initial round-robin map before any ingest starts, so
+	// the very first routed write already sees the real topology.
+	owners := make([]string, shards)
+	for i := range owners {
+		owners[i] = d.MeasureNodeURLs[i%len(d.MeasureNodeURLs)]
+	}
+	if _, err := d.Master.ClusterMap().Set(cluster.Map{Shards: shards, Owners: owners}); err != nil {
+		return fmt.Errorf("core: publish shard map: %w", err)
+	}
+	coord, err := measuredb.OpenCoordinator(measuredb.CoordinatorOptions{
+		Master:      d.MasterURL,
+		EnablePprof: spec.EnablePprof,
+	})
+	if err != nil {
+		return fmt.Errorf("core: coordinator: %w", err)
+	}
+	d.Coordinator = coord
+	d.closers = append(d.closers, coord.Close)
+	addr, err := coord.Serve("127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("core: coordinator: %w", err)
+	}
+	d.MeasureURL = "http://" + addr
+	return nil
 }
 
 // addBuilding creates one building with its BIM proxy and devices.

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/cluster"
 	"repro/internal/dataformat"
 	"repro/internal/middleware"
 	"repro/internal/obs"
@@ -66,6 +67,9 @@ type Master struct {
 	apiS   *api.Server
 	bus    *middleware.Bus
 	stream *stream.Service
+	// shardMap is the cluster shard-map source of truth ("the unique
+	// entry point of the system" also hands out measurement placement).
+	shardMap *cluster.Registry
 
 	mu     sync.Mutex
 	srv    *http.Server
@@ -80,11 +84,12 @@ func New(opts Options) *Master {
 		opts.LivenessTTL = 5 * time.Minute
 	}
 	m := &Master{
-		opts:   opts,
-		ont:    ontology.New(),
-		reg:    registry.New(),
-		bus:    middleware.NewBus(middleware.BusOptions{QueueLen: -1}),
-		stopCh: make(chan struct{}),
+		opts:     opts,
+		ont:      ontology.New(),
+		reg:      registry.New(),
+		bus:      middleware.NewBus(middleware.BusOptions{QueueLen: -1}),
+		shardMap: cluster.NewRegistry(),
+		stopCh:   make(chan struct{}),
 	}
 	// Registry lifecycle events stream to remote subscribers (districtctl
 	// watch "registry/#", dashboards) through the master's own bus. On
@@ -123,6 +128,10 @@ func (m *Master) Ontology() *ontology.Ontology { return m.ont }
 
 // Registry exposes the proxy registry.
 func (m *Master) Registry() *registry.Registry { return m.reg }
+
+// ClusterMap exposes the shard-map registry (districtsim's bootstrap
+// publishes the initial placement through it in-process).
+func (m *Master) ClusterMap() *cluster.Registry { return m.shardMap }
 
 // Metrics exposes the per-route API metrics.
 func (m *Master) Metrics() *api.Metrics { return m.apiS.Metrics() }
@@ -185,8 +194,56 @@ func (m *Master) buildAPI() *api.Server {
 	s.Get("/proxies", func(ctx context.Context, q url.Values) (any, error) {
 		return m.reg.List(), nil
 	})
+	reg.GaugeFunc("repro_cluster_map_epoch",
+		"Epoch of the published cluster shard map (0 = single-node, no map).", nil,
+		func() float64 {
+			cur, ok := m.shardMap.Current()
+			if !ok {
+				return 0
+			}
+			return float64(cur.Epoch)
+		})
+	s.Get("/cluster/map", func(ctx context.Context, q url.Values) (any, error) {
+		cur, ok := m.shardMap.Current()
+		if !ok {
+			return nil, api.NotFound(errors.New("no cluster map published (single-node deployment)"))
+		}
+		return cur, nil
+	})
+	s.Handle(http.MethodPost, "/cluster/map", api.Body(m.setClusterMap))
+	s.Handle(http.MethodPost, "/cluster/move", api.Body(m.moveShard))
 	m.stream.Mount(s)
 	return s
+}
+
+// setClusterMap publishes a whole shard map (epoch assigned by the
+// registry) and announces it on the bus so watchers see the flip.
+func (m *Master) setClusterMap(ctx context.Context, in cluster.Map) (cluster.Map, error) {
+	out, err := m.shardMap.Set(in)
+	if err != nil {
+		return cluster.Map{}, api.BadRequest(err)
+	}
+	m.logf("master: cluster map set: epoch=%d shards=%d nodes=%v", out.Epoch, out.Shards, out.Nodes())
+	m.publishEvent("cluster/map", out)
+	return out, nil
+}
+
+// clusterMove is the body of POST /v1/cluster/move — the flip step of a
+// shard handoff, called once the shard's data is in place on the
+// target node.
+type clusterMove struct {
+	Shard int    `json:"shard"`
+	Node  string `json:"node"`
+}
+
+func (m *Master) moveShard(ctx context.Context, in clusterMove) (cluster.Map, error) {
+	out, err := m.shardMap.Move(in.Shard, in.Node)
+	if err != nil {
+		return cluster.Map{}, api.BadRequest(err)
+	}
+	m.logf("master: cluster map: shard %d -> %s (epoch %d)", in.Shard, in.Node, out.Epoch)
+	m.publishEvent("cluster/map", out)
+	return out, nil
 }
 
 // Handler returns the master's HTTP API.

@@ -1,0 +1,295 @@
+package measuredb
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/cluster"
+	"repro/internal/master"
+	"repro/internal/tsdb"
+)
+
+func TestEpochCursorRoundTrip(t *testing.T) {
+	inner := encodeCursor(tsdb.Cursor{After: time.Unix(12, 34).UTC(), Seen: 2})
+	wrapped := wrapEpochCursor(7, inner)
+	epoch, got, ok := unwrapEpochCursor(wrapped)
+	if !ok || epoch != 7 || got != inner {
+		t.Fatalf("unwrap(%q) = (%d, %q, %v), want (7, %q, true)", wrapped, epoch, got, ok, inner)
+	}
+	if wrapEpochCursor(7, "") != "" {
+		t.Fatal("wrapping an empty cursor should stay empty")
+	}
+	// Plain node cursors pass through unwrapped.
+	if e, got, ok := unwrapEpochCursor(inner); ok || e != 0 || got != inner {
+		t.Fatalf("plain cursor mangled: (%d, %q, %v)", e, got, ok)
+	}
+	if _, got, ok := unwrapEpochCursor("!!not-base64!!"); ok || got != "!!not-base64!!" {
+		t.Fatal("junk cursor should pass through for the node to reject")
+	}
+}
+
+func TestMergeSeriesPages(t *testing.T) {
+	a := &SeriesPage{Series: []SeriesInfo{
+		{Device: "a", Quantity: "q", Samples: 1},
+		{Device: "c", Quantity: "q", Samples: 3},
+	}}
+	b := &SeriesPage{Series: []SeriesInfo{
+		{Device: "b", Quantity: "q", Samples: 2},
+		{Device: "c", Quantity: "q", Samples: 5}, // mid-handoff duplicate
+		{Device: "d", Quantity: "q", Samples: 4},
+	}}
+	out, more := mergeSeriesPages([]*SeriesPage{a, b}, 10)
+	want := []string{"a", "b", "c", "d"}
+	if len(out) != len(want) || more {
+		t.Fatalf("merged %d series (more=%v), want %d", len(out), more, len(want))
+	}
+	for i, dev := range want {
+		if out[i].Device != dev {
+			t.Fatalf("out[%d].Device = %q, want %q", i, out[i].Device, dev)
+		}
+	}
+	if out[2].Samples != 5 {
+		t.Fatalf("duplicate collapse kept %d samples, want the fuller copy (5)", out[2].Samples)
+	}
+	out, more = mergeSeriesPages([]*SeriesPage{a, b}, 2)
+	if len(out) != 2 || !more {
+		t.Fatalf("limit cut: got %d series, more=%v", len(out), more)
+	}
+}
+
+func TestMergeBatchResults(t *testing.T) {
+	sel := SeriesSelector{Device: "*"}
+	merged := mergeBatchResults(sel, []BatchResult{
+		{Selector: sel, Error: "no matching series"},
+		{Selector: sel, Series: []BatchSeries{{Device: "x", Quantity: "q", Samples: []Point{{Value: 1}}}}},
+	})
+	if merged.Error != "" || len(merged.Series) != 1 {
+		t.Fatalf("one-node match should drop the other's miss: %+v", merged)
+	}
+	merged = mergeBatchResults(sel, []BatchResult{
+		{Selector: sel, Error: "no matching series"},
+		{Selector: sel, Error: "no matching series"},
+	})
+	if merged.Error != "no matching series" {
+		t.Fatalf("all-miss should keep the error, got %+v", merged)
+	}
+}
+
+// testCluster is a 2-node in-memory cluster behind one coordinator.
+type testCluster struct {
+	master    *master.Master
+	masterURL string
+	nodes     []*Service
+	nodeURLs  []string
+	coord     *Coordinator
+	coordURL  string
+	shards    int
+}
+
+func newTestCluster(t *testing.T, shards int) *testCluster {
+	t.Helper()
+	tc := &testCluster{shards: shards}
+	tc.master = master.New(master.Options{})
+	addr, err := tc.master.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.masterURL = "http://" + addr
+	t.Cleanup(tc.master.Close)
+	for i := 0; i < 2; i++ {
+		n, err := Open(Options{Shards: shards, Cluster: &ClusterOptions{
+			Master:  tc.masterURL,
+			Refresh: 10 * time.Millisecond,
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(n.Close)
+		addr, err := n.Serve("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.SetClusterSelf("http://" + addr)
+		tc.nodes = append(tc.nodes, n)
+		tc.nodeURLs = append(tc.nodeURLs, "http://"+addr)
+	}
+	owners := make([]string, shards)
+	for i := range owners {
+		owners[i] = tc.nodeURLs[i%2]
+	}
+	if _, err := tc.master.ClusterMap().Set(cluster.Map{Shards: shards, Owners: owners}); err != nil {
+		t.Fatal(err)
+	}
+	tc.coord, err = OpenCoordinator(CoordinatorOptions{Master: tc.masterURL, Refresh: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tc.coord.Close)
+	caddr, err := tc.coord.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.coordURL = "http://" + caddr
+	return tc
+}
+
+// deviceInShard fabricates a device URI hashing to the wanted shard.
+func deviceInShard(shard, shards int) string {
+	for i := 0; ; i++ {
+		dev := fmt.Sprintf("urn:district:t/b%02d/d%d", shard, i)
+		if tsdb.ShardOf(dev, shards) == shard {
+			return dev
+		}
+	}
+}
+
+// postJSON posts a body and returns the status plus decoded envelope or
+// result.
+func postJSON(t *testing.T, url string, hdr map[string]string, body, out any) (int, http.Header) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	rsp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rsp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(rsp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s response: %v", url, err)
+		}
+	}
+	return rsp.StatusCode, rsp.Header
+}
+
+func TestClusterRoutingAndGuards(t *testing.T) {
+	const shards = 4
+	tc := newTestCluster(t, shards)
+	// In the past: zero-To queries default their upper bound to now.
+	base := time.Now().UTC().Add(-time.Hour).Truncate(time.Second)
+
+	// One device per shard, ingested through the coordinator.
+	var rows []Point
+	devs := make([]string, shards)
+	for s := 0; s < shards; s++ {
+		devs[s] = deviceInShard(s, shards)
+		for j := 0; j < 3; j++ {
+			rows = append(rows, Point{Device: devs[s], Quantity: "temperature",
+				At: base.Add(time.Duration(j) * time.Second), Value: float64(s*10 + j)})
+		}
+	}
+	var res IngestResult
+	status, _ := postJSON(t, tc.coordURL+"/v2/ingest", map[string]string{"Idempotency-Key": "k1"},
+		IngestBatch{Rows: rows}, &res)
+	if status != http.StatusOK || res.Accepted != len(rows) || res.Rejected != 0 {
+		t.Fatalf("coordinator ingest: status=%d res=%+v", status, res)
+	}
+
+	// Rows landed only on their owners.
+	for s, dev := range devs {
+		owner, other := tc.nodes[s%2], tc.nodes[(s+1)%2]
+		if n := owner.Store().Len(tsdb.SeriesKey{Device: dev, Quantity: "temperature"}); n != 3 {
+			t.Fatalf("shard %d owner holds %d samples, want 3", s, n)
+		}
+		if n := other.Store().Len(tsdb.SeriesKey{Device: dev, Quantity: "temperature"}); n != 0 {
+			t.Fatalf("shard %d non-owner holds %d samples, want 0", s, n)
+		}
+	}
+
+	// Keyed replay: same request again must not double-apply.
+	status, _ = postJSON(t, tc.coordURL+"/v2/ingest", map[string]string{"Idempotency-Key": "k1"},
+		IngestBatch{Rows: rows}, &res)
+	if status != http.StatusOK || res.Accepted != len(rows) {
+		t.Fatalf("replayed ingest: status=%d res=%+v", status, res)
+	}
+	for s, dev := range devs {
+		if n := tc.nodes[s%2].Store().Len(tsdb.SeriesKey{Device: dev, Quantity: "temperature"}); n != 3 {
+			t.Fatalf("replay double-applied: shard %d has %d samples", s, n)
+		}
+	}
+
+	// Direct write to the wrong node: retryable not_owner envelope.
+	var env api.Envelope
+	status, hdr := postJSON(t, tc.nodeURLs[1]+"/v2/ingest", nil,
+		IngestBatch{Rows: []Point{{Device: devs[0], Quantity: "temperature", At: base, Value: 1}}}, &env)
+	if status != http.StatusServiceUnavailable || env.Code != cluster.CodeNotOwner {
+		t.Fatalf("wrong-node write: status=%d env=%+v", status, env)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("wrong-node write: missing Retry-After")
+	}
+
+	// Frozen shard: retryable shard_moving envelope on the owner.
+	rsp, err := http.Post(tc.nodeURLs[0]+"/v1/cluster/shards/0/freeze", "application/json", nil)
+	if err != nil || rsp.StatusCode != http.StatusOK {
+		t.Fatalf("freeze: %v status=%d", err, rsp.StatusCode)
+	}
+	rsp.Body.Close()
+	status, hdr = postJSON(t, tc.nodeURLs[0]+"/v2/ingest", nil,
+		IngestBatch{Rows: []Point{{Device: devs[0], Quantity: "temperature", At: base, Value: 1}}}, &env)
+	if status != http.StatusServiceUnavailable || env.Code != cluster.CodeShardMoving {
+		t.Fatalf("frozen-shard write: status=%d env=%+v", status, env)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("frozen-shard write: missing Retry-After")
+	}
+	// Release (map unchanged: node still owns shard 0, data stays).
+	rsp, err = http.Post(tc.nodeURLs[0]+"/v1/cluster/shards/0/release", "application/json", nil)
+	if err != nil || rsp.StatusCode != http.StatusOK {
+		t.Fatalf("release: %v status=%d", err, rsp.StatusCode)
+	}
+	rsp.Body.Close()
+	if n := tc.nodes[0].Store().Len(tsdb.SeriesKey{Device: devs[0], Quantity: "temperature"}); n != 3 {
+		t.Fatalf("aborted handoff lost data: %d samples, want 3", n)
+	}
+
+	// Stale epoch: bump the map, then write with the old epoch.
+	cur, _ := tc.master.ClusterMap().Current()
+	if _, err := tc.master.ClusterMap().Move(0, tc.nodeURLs[0]); err != nil { // no-op move, epoch++
+		t.Fatal(err)
+	}
+	status, _ = postJSON(t, tc.nodeURLs[0]+"/v2/ingest",
+		map[string]string{cluster.EpochHeader: fmt.Sprint(cur.Epoch - 1)},
+		IngestBatch{Rows: []Point{{Device: devs[0], Quantity: "temperature", At: base, Value: 1}}}, &env)
+	if status != http.StatusServiceUnavailable || env.Code != cluster.CodeStaleEpoch {
+		t.Fatalf("stale-epoch write: status=%d env=%+v", status, env)
+	}
+
+	// Merged catalog and batch query through the coordinator.
+	var page SeriesPage
+	if err := (&api.Transport{}).GetJSON(context.Background(), tc.coordURL+"/v2/series", &page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Count != shards {
+		t.Fatalf("merged catalog lists %d series, want %d", page.Count, shards)
+	}
+	var batch BatchResponse
+	status, _ = postJSON(t, tc.coordURL+"/v2/query", nil,
+		BatchQuery{Selectors: []SeriesSelector{{Device: "*"}}}, &batch)
+	if status != http.StatusOK || batch.Series != shards || batch.Samples != len(rows) {
+		t.Fatalf("merged batch query: status=%d series=%d samples=%d (want %d/%d)",
+			status, batch.Series, batch.Samples, shards, len(rows))
+	}
+	// Exact-device selector routes to the one owner.
+	status, _ = postJSON(t, tc.coordURL+"/v2/query", nil,
+		BatchQuery{Selectors: []SeriesSelector{{Device: devs[1], Quantity: "temperature"}}}, &batch)
+	if status != http.StatusOK || batch.Series != 1 || batch.Samples != 3 {
+		t.Fatalf("exact-device query: status=%d series=%d samples=%d", status, batch.Series, batch.Samples)
+	}
+}

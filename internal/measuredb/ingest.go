@@ -682,6 +682,13 @@ func (s *Service) v2Ingest(w http.ResponseWriter, r *http.Request) {
 	}
 
 	body := http.MaxBytesReader(w, r.Body, maxIngestBody)
+	if s.cnode != nil {
+		// Clustered nodes buffer the whole request before applying any
+		// row: a request addressed to a frozen or foreign shard must be
+		// rejected before anything reaches the WAL (cluster.go).
+		s.clusterIngest(w, r, tok, body, ndjson)
+		return
+	}
 	g := s.newIngester(obs.StagesFrom(r.Context()))
 	if ndjson {
 		dec := json.NewDecoder(body)
@@ -740,6 +747,13 @@ func (s *Service) v2PutSamples(w http.ResponseWriter, r *http.Request) {
 	if len(req.Samples) == 0 {
 		api.WriteError(w, r, api.BadRequest(errors.New("empty samples")))
 		return
+	}
+	if s.cnode != nil {
+		s.cnode.gate.RLock()
+		defer s.cnode.gate.RUnlock()
+		if !s.clusterAdmitKey(w, r, key.Device) {
+			return
+		}
 	}
 	g := s.newIngester(obs.StagesFrom(r.Context()))
 	for _, smp := range req.Samples {

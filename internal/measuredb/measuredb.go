@@ -70,6 +70,10 @@ type Service struct {
 	reg        *obs.Registry
 	dedupClaim *obs.Histogram // Idempotency-Key claim wait
 	fanout     *obs.Histogram // series matched per selector resolution
+
+	// cnode holds the node's cluster state — cached shard map, handoff
+	// freezes, ownership guards (cluster.go); nil on unclustered nodes.
+	cnode *clusterNode
 }
 
 // Options configure the service.
@@ -140,6 +144,13 @@ type Options struct {
 	// older than this (0 disables).
 	SnapshotInterval time.Duration
 
+	// Cluster attaches the node to a multi-host cluster: it caches the
+	// master-published shard map, rejects writes for shards it does not
+	// own (or that are frozen mid-handoff) with retryable envelopes, and
+	// serves the /v1/cluster handoff plane. Requires the default sharded
+	// engine — a caller-supplied Engine or Store cannot be clustered.
+	Cluster *ClusterOptions
+
 	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof
 	// on the service's web interface.
 	EnablePprof bool
@@ -186,6 +197,12 @@ func Open(opts Options) (*Service, error) {
 			st = tsdb.NewSharded(tsdb.ShardedOptions{Shards: opts.Shards, Metrics: reg})
 		}
 	}
+	if opts.Cluster != nil {
+		if _, ok := st.(*tsdb.Sharded); !ok {
+			st.Close()
+			return nil, errors.New("cluster mode requires the sharded engine")
+		}
+	}
 	dedup := newDedupWindow(opts.IdempotencyWindow, opts.IdempotencyClaimTTL)
 	if dedup != nil && opts.DataDir != "" {
 		if err := dedup.openLog(filepath.Join(opts.DataDir, "dedup"), opts.Fsync); err != nil {
@@ -194,6 +211,9 @@ func Open(opts Options) (*Service, error) {
 		}
 	}
 	s := &Service{store: st, bus: opts.Bus, dedup: dedup, reg: reg}
+	if opts.Cluster != nil {
+		s.cnode = newClusterNode(opts.Cluster)
+	}
 	if s.bus == nil {
 		// Synchronous delivery: the spine's only subscribers (store
 		// ingest, stream hub) are non-blocking, and publishing inline on
@@ -251,6 +271,9 @@ func (s *Service) registerMetrics() {
 	s.fanout = s.reg.Histogram("repro_query_fanout_series",
 		"Series matched per selector resolution (scatter-gather fan-out width).",
 		obs.CountBuckets, nil)
+	if s.cnode != nil {
+		s.registerClusterMetrics()
+	}
 }
 
 // Bus exposes the service's event spine. Publishing a measurement
@@ -269,6 +292,13 @@ func (s *Service) Ingest(m *dataformat.Measurement) error {
 	if err := m.Validate(); err != nil {
 		s.rejected.Add(1)
 		return err
+	}
+	if s.cnode != nil && !s.clusterOwnsDevice(m.Device) {
+		// Broadcast bus traffic reaches every cluster node; only the
+		// owner stores a row (anything else double-counts it). Dropping
+		// is correct on this fire-and-forget plane — the acked /v2 path
+		// is the loss-free one.
+		return nil
 	}
 	key := tsdb.SeriesKey{Device: m.Device, Quantity: string(m.Quantity)}
 	if err := s.store.Append(key, tsdb.Sample{At: m.Timestamp, Value: m.Value}); err != nil {
@@ -399,6 +429,9 @@ func (s *Service) buildAPI(opts Options) *api.Server {
 		return s.Stats(), nil
 	})
 	s.mountV2(srv, read, batch, write)
+	if s.cnode != nil {
+		s.mountCluster(srv)
+	}
 	s.streamS.Mount(srv)
 	return srv
 }

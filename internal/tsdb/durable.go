@@ -182,6 +182,49 @@ func recoverShard(dir string, store *Store, opts ShardedOptions, onSync func(tim
 	return disk, nil
 }
 
+// ReadShardDir streams the row batches a shard directory holds — the
+// latest snapshot first, then the WAL tail above its watermark —
+// without opening a live engine. The cluster restore path replays a
+// copied shard directory through the receiving node's own write path
+// with it, so the rows are re-journaled locally instead of adopting the
+// source's files wholesale.
+func ReadShardDir(dir string, fn func([]Row) error) error {
+	apply := func(p []byte) error {
+		rows, err := decodeRows(p)
+		if err != nil {
+			return err
+		}
+		return fn(rows)
+	}
+	snapSeq, sr, err := wal.LatestSnapshot(dir)
+	if err != nil {
+		return err
+	}
+	if sr != nil {
+		for {
+			p, err := sr.Record()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				return errors.Join(err, sr.Close())
+			}
+			if err := apply(p); err != nil {
+				return errors.Join(err, sr.Close())
+			}
+		}
+		_ = sr.Close() //lint:ignore closecheck read-only snapshot already applied to EOF; close error cannot lose data
+	}
+	log, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		return err
+	}
+	if err := log.Replay(snapSeq, func(_ uint64, p []byte) error { return apply(p) }); err != nil {
+		return errors.Join(err, log.Close())
+	}
+	return log.Close()
+}
+
 // maybeSnapshot cuts a snapshot of the shard's store at the current log
 // watermark when the record- or time-based cadence is due, then drops
 // the log segments and older snapshots below it. Runs on the shard

@@ -166,6 +166,11 @@ type batchItem struct {
 	errs   []error
 	done   *sync.WaitGroup
 	stages *obs.Stages
+	// reset, when set, marks a shard-reset request: the worker empties
+	// the shard (store + durable state) and sends the outcome. Reset
+	// items never join a commit group — everything queued before one is
+	// committed first, everything after it applies to the emptied shard.
+	reset chan error
 }
 
 // NewSharded creates a Sharded engine and starts its append workers.
@@ -295,8 +300,13 @@ func (s *Sharded) worker(i int) {
 		if !ok {
 			return
 		}
+		if item.reset != nil {
+			item.reset <- s.resetShard(store, disk)
+			continue
+		}
 		group = append(group[:0], item)
 		closed := false
+		var pendingReset chan error
 	drain:
 		for len(group) < maxCommitGroup {
 			select {
@@ -305,16 +315,50 @@ func (s *Sharded) worker(i int) {
 					closed = true
 					break drain
 				}
+				if it.reset != nil {
+					// A reset must not ride a commit group: rows queued
+					// behind it would be journaled before the reset runs
+					// and then truncated by it. Commit what came first,
+					// then reset.
+					pendingReset = it.reset
+					break drain
+				}
 				group = append(group, it)
 			default:
 				break drain
 			}
 		}
 		s.commitGroup(store, disk, group)
+		if pendingReset != nil {
+			pendingReset <- s.resetShard(store, disk)
+		}
 		if closed {
 			return
 		}
 	}
+}
+
+// resetShard empties one shard: the in-memory store, and on a durable
+// shard the WAL — an empty snapshot is cut at the current watermark and
+// every segment and older snapshot below it is dropped, so a reopen
+// recovers the shard as empty. Runs on the shard worker, never
+// concurrently with an append.
+func (s *Sharded) resetShard(store *Store, disk *shardDisk) error {
+	store.Reset()
+	if disk == nil {
+		return nil
+	}
+	seq := disk.log.LastSeq()
+	if err := wal.WriteSnapshot(disk.dir, seq, func(*wal.SnapshotWriter) error { return nil }); err != nil {
+		return err
+	}
+	if err := disk.log.TruncateBefore(seq + 1); err != nil {
+		return err
+	}
+	wal.RemoveSnapshotsBefore(disk.dir, seq)
+	disk.sinceSnap.Store(0)
+	disk.lastSnap.Store(time.Now().UnixNano())
+	return nil
 }
 
 // commitGroup journals, applies, and acks one wave of queue items, in
@@ -433,12 +477,98 @@ func (s *Sharded) NumShards() int { return len(s.shards) }
 
 // ShardFor reports which shard owns a device's series.
 func (s *Sharded) ShardFor(device string) int {
-	return int(fnv64a(device) % uint64(len(s.shards)))
+	return ShardOf(device, len(s.shards))
+}
+
+// ShardOf is THE placement function: which of n shards owns a device's
+// series (FNV-1a of the device URI mod n). The engine partitions rows
+// with it and the cluster layer routes requests with it, so a row's
+// owning node and its on-disk shard directory can never disagree.
+func ShardOf(device string, n int) int {
+	return int(fnv64a(device) % uint64(n))
 }
 
 // Shard exposes one shard's Store (scatter-gather planners fan reads
 // over the shards directly).
 func (s *Sharded) Shard(i int) *Store { return s.shards[i] }
+
+// ShardDir reports shard i's on-disk directory ("" on an in-memory
+// engine). The cluster handoff archives the directory's files directly.
+func (s *Sharded) ShardDir(i int) string {
+	if s.disks == nil || i < 0 || i >= len(s.disks) {
+		return ""
+	}
+	return s.disks[i].dir
+}
+
+// SyncShard waits for everything queued on shard i to be applied, then
+// fsyncs its WAL so the shard's segment files are complete on disk. A
+// frozen shard synced this way can be archived byte-for-byte.
+func (s *Sharded) SyncShard(i int) error {
+	if i < 0 || i >= len(s.shards) {
+		return fmt.Errorf("tsdb: shard %d out of range [0,%d)", i, len(s.shards))
+	}
+	var done sync.WaitGroup
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	done.Add(1)
+	s.queues[i] <- batchItem{done: &done}
+	s.mu.RUnlock()
+	done.Wait()
+	if s.disks == nil {
+		return nil
+	}
+	return s.disks[i].log.Sync()
+}
+
+// ResetShard empties shard i through its worker queue: appends enqueued
+// before the call commit first, the shard is then wiped (store and, on
+// a durable engine, WAL + snapshots), and appends enqueued after land
+// in the emptied shard. The handoff protocol resets the source copy
+// after ownership flips, and a restore target resets before replaying
+// so a retried restore cannot double-apply.
+func (s *Sharded) ResetShard(i int) error {
+	if i < 0 || i >= len(s.shards) {
+		return fmt.Errorf("tsdb: shard %d out of range [0,%d)", i, len(s.shards))
+	}
+	ch := make(chan error, 1)
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	s.queues[i] <- batchItem{reset: ch}
+	s.mu.RUnlock()
+	return <-ch
+}
+
+// ShardStatus is a point-in-time operational description of one shard,
+// the unit `districtctl cluster status` reports per node.
+type ShardStatus struct {
+	Shard       int    `json:"shard"`
+	Series      int    `json:"series"`
+	Samples     int    `json:"samples"`
+	WALPending  int64  `json:"wal_pending_rows"`
+	WALSegments int    `json:"wal_segments"`
+	Dir         string `json:"dir,omitempty"`
+}
+
+// ShardStatus snapshots one shard's live counters (zero durable fields
+// on an in-memory engine).
+func (s *Sharded) ShardStatus(i int) ShardStatus {
+	st := s.shards[i].Stats()
+	out := ShardStatus{Shard: i, Series: st.Series, Samples: st.Samples}
+	if s.disks != nil {
+		d := s.disks[i]
+		out.WALPending = d.sinceSnap.Load()
+		out.WALSegments = d.log.Segments()
+		out.Dir = d.dir
+	}
+	return out
+}
 
 // shard returns the Store owning a device.
 func (s *Sharded) shard(device string) *Store {

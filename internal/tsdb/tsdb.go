@@ -475,3 +475,12 @@ func (s *Store) Drop(key SeriesKey) {
 	delete(s.series, key)
 	s.mu.Unlock()
 }
+
+// Reset drops every series in one critical section, returning the store
+// to empty. Readers holding a series pointer finish against the
+// orphaned catalog; new lookups see nothing.
+func (s *Store) Reset() {
+	s.mu.Lock()
+	s.series = make(map[SeriesKey]*series)
+	s.mu.Unlock()
+}

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -10,10 +11,12 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataformat"
 	"repro/internal/deviceproxy"
@@ -841,5 +844,279 @@ func TestSystemSSEResumeAcrossRestart(t *testing.T) {
 	if stream.EventID(next[0]) <= stream.EventID(gap[2]) {
 		t.Fatalf("IDs not monotonic across restart: %d then %d",
 			stream.EventID(gap[2]), stream.EventID(next[0]))
+	}
+}
+
+// ---------------------------------------------------------------------
+// Cluster: live shard handoff golden
+// ---------------------------------------------------------------------
+
+// clusterHandoffNode boots one durable cluster node against the master,
+// serving on a fresh port, with its self URL announced for ownership
+// checks.
+func clusterHandoffNode(t *testing.T, masterURL string, shards int) (*measuredb.Service, string) {
+	t.Helper()
+	s, err := measuredb.Open(measuredb.Options{
+		DataDir:              t.TempDir(),
+		Fsync:                wal.FsyncNone,
+		Shards:               shards,
+		DisableLegacyAliases: true,
+		Cluster: &measuredb.ClusterOptions{
+			Master:  masterURL,
+			Refresh: 50 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	addr, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetClusterSelf("http://" + addr)
+	return s, "http://" + addr
+}
+
+// clusterBatchQuery runs one /v2/query against base and returns the raw
+// response bytes plus the decoded document.
+func clusterBatchQuery(t *testing.T, base string, req measuredb.BatchQuery) ([]byte, measuredb.BatchResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsp, err := http.Post(base+"/v2/query", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rsp.Body.Close()
+	raw, err := io.ReadAll(rsp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rsp.StatusCode != http.StatusOK {
+		t.Fatalf("query = %d: %s", rsp.StatusCode, raw)
+	}
+	var out measuredb.BatchResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	return raw, out
+}
+
+// TestSystemClusterHandoffUnderLiveIngest is the kill-free handoff
+// golden: a 2-node cluster behind one coordinator keeps accepting keyed
+// /v2 writes while one shard is moved live from node 0 to node 1 —
+// freeze, archive, replay, epoch flip, release. Afterwards every acked
+// row is present exactly once, a bounded /v2/query over a quiesced
+// series is byte-for-byte identical across the epoch flip, and a keyed
+// batch retried across the move still replays instead of re-executing.
+func TestSystemClusterHandoffUnderLiveIngest(t *testing.T) {
+	ctx := context.Background()
+	m := master.New(master.Options{})
+	maddr, err := m.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	masterURL := "http://" + maddr
+
+	const shards = 4
+	n0, url0 := clusterHandoffNode(t, masterURL, shards)
+	n1, url1 := clusterHandoffNode(t, masterURL, shards)
+
+	// Everything starts on node 0; the move drags one shard to node 1.
+	owners := make([]string, shards)
+	for i := range owners {
+		owners[i] = url0
+	}
+	preMap, err := m.ClusterMap().Set(cluster.Map{Shards: shards, Owners: owners})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord, err := measuredb.OpenCoordinator(measuredb.CoordinatorOptions{
+		Master: masterURL, Refresh: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	caddr, err := coord.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordURL := "http://" + caddr
+
+	devInShard := func(shard int) string {
+		for i := 0; ; i++ {
+			dev := fmt.Sprintf("urn:district:turin/cluster:c%d/device:d%d", shard, i)
+			if tsdb.ShardOf(dev, shards) == shard {
+				return dev
+			}
+		}
+	}
+	const moveShard = 1
+	movDev := devInShard(moveShard) // rides the moving shard
+	stayDev := devInShard(2)        // stays on node 0 throughout
+
+	c := &client.Client{MasterURL: masterURL}
+	ing := c.Ingest(coordURL)
+	base := time.Now().UTC().Add(-time.Hour).Truncate(time.Second)
+
+	// Quiesced series on the moving shard: written once, then only read.
+	// Its bounded query is the byte-for-byte golden across the flip.
+	static := []measuredb.Point{
+		{Device: movDev, Quantity: "humidity", At: base.Add(-30 * time.Minute), Value: 41},
+		{Device: movDev, Quantity: "humidity", At: base.Add(-29 * time.Minute), Value: 42.5},
+		{Device: movDev, Quantity: "humidity", At: base.Add(-28 * time.Minute), Value: 44},
+	}
+	if res, err := ing.Append(ctx, static); err != nil || res.Accepted != len(static) {
+		t.Fatalf("static seed: %+v, %v", res, err)
+	}
+	// A keyed stay-shard batch: retried verbatim after the move below to
+	// prove the dedup window still replays across the cluster epoch flip.
+	dedupRows := []measuredb.Point{
+		{Device: stayDev, Quantity: "humidity", At: base.Add(-30 * time.Minute), Value: 7},
+	}
+	if res, err := ing.Append(ctx, dedupRows, client.WithIdempotencyKey("handoff-dedup")); err != nil || res.Accepted != 1 {
+		t.Fatalf("dedup seed: %+v, %v", res, err)
+	}
+	goldenQuery := measuredb.BatchQuery{
+		Selectors: []measuredb.SeriesSelector{{Device: movDev, Quantity: "humidity"}},
+		From:      base.Add(-40 * time.Minute),
+		To:        base.Add(-20 * time.Minute),
+		Limit:     100,
+	}
+	goldenPre, pre := clusterBatchQuery(t, coordURL, goldenQuery)
+	if pre.Series != 1 || pre.Samples != len(static) {
+		t.Fatalf("golden pre-move: %d series, %d samples", pre.Series, pre.Samples)
+	}
+
+	// Live keyed ingest through the coordinator: one row per series per
+	// batch at distinct timestamps. A batch whose delivery fails is
+	// retried with the SAME key until it acks — exactly how a real
+	// producer rides out a handoff.
+	var (
+		mu      sync.Mutex
+		acked   []measuredb.Point
+		loopErr error
+	)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rows := []measuredb.Point{
+				{Device: movDev, Quantity: "temperature", At: base.Add(time.Duration(i) * time.Second), Value: float64(i)},
+				{Device: stayDev, Quantity: "temperature", At: base.Add(time.Duration(i) * time.Second), Value: float64(-i)},
+			}
+			key := fmt.Sprintf("handoff-live-%d", i)
+			delivered := false
+			for attempt := 0; attempt < 50 && !delivered; attempt++ {
+				res, err := ing.Append(ctx, rows, client.WithIdempotencyKey(key))
+				if err == nil && res.Rejected == 0 {
+					delivered = true
+					break
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+			mu.Lock()
+			if delivered {
+				acked = append(acked, rows...)
+			} else if loopErr == nil {
+				loopErr = fmt.Errorf("batch %d never acked through the handoff", i)
+			}
+			mu.Unlock()
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	time.Sleep(250 * time.Millisecond) // let pre-move batches land
+	rep, err := c.Cluster().Move(ctx, moveShard, url1)
+	if err != nil {
+		t.Fatalf("move: %v", err)
+	}
+	if rep.From != url0 || rep.To != url1 || rep.Rows == 0 || rep.Epoch <= preMap.Epoch {
+		t.Fatalf("move report: %+v (pre epoch %d)", rep, preMap.Epoch)
+	}
+	time.Sleep(250 * time.Millisecond) // and post-flip batches
+	close(stop)
+	<-done
+	if loopErr != nil {
+		t.Fatal(loopErr)
+	}
+
+	// The moved shard now lives on node 1 — bytes included — and node 0
+	// released (and wiped) its copy.
+	movKey := tsdb.SeriesKey{Device: movDev, Quantity: "humidity"}
+	if n := n1.Store().Len(movKey); n != len(static) {
+		t.Fatalf("target node holds %d static samples, want %d", n, len(static))
+	}
+	if n := n0.Store().Len(movKey); n != 0 {
+		t.Fatalf("source node still holds %d samples after release", n)
+	}
+
+	// Byte-for-byte golden across the epoch flip.
+	goldenPost, _ := clusterBatchQuery(t, coordURL, goldenQuery)
+	if string(goldenPre) != string(goldenPost) {
+		t.Fatalf("query differs across the flip:\npre:  %s\npost: %s", goldenPre, goldenPost)
+	}
+
+	// Every acked live row is present exactly once, on both the moved
+	// and the unmoved series.
+	perSeries := map[string]map[int64]float64{}
+	mu.Lock()
+	for _, p := range acked {
+		k := p.Device
+		if perSeries[k] == nil {
+			perSeries[k] = map[int64]float64{}
+		}
+		perSeries[k][p.At.UnixNano()] = p.Value
+	}
+	ackedN := len(acked)
+	mu.Unlock()
+	if ackedN == 0 {
+		t.Fatal("no batches acked during the handoff window")
+	}
+	for dev, want := range perSeries {
+		_, out := clusterBatchQuery(t, coordURL, measuredb.BatchQuery{
+			Selectors: []measuredb.SeriesSelector{{Device: dev, Quantity: "temperature"}},
+			From:      base.Add(-time.Minute),
+			To:        base.Add(20 * time.Minute),
+			Limit:     tsdb.DefaultPageLimit,
+		})
+		if len(out.Results) != 1 || out.Results[0].Error != "" {
+			t.Fatalf("%s: %+v", dev, out.Results)
+		}
+		seen := map[int64]int{}
+		for _, s := range out.Results[0].Series {
+			for _, p := range s.Samples {
+				seen[p.At.UnixNano()]++
+			}
+		}
+		for at, val := range want {
+			if seen[at] != 1 {
+				t.Fatalf("%s: acked row at %s appears %d times (value %v), want exactly once",
+					dev, time.Unix(0, at).UTC(), seen[at], val)
+			}
+		}
+	}
+
+	// The pre-move keyed batch retried across the flip still replays.
+	stayKey := tsdb.SeriesKey{Device: stayDev, Quantity: "humidity"}
+	preLen := n0.Store().Len(stayKey)
+	res, err := ing.Append(ctx, dedupRows, client.WithIdempotencyKey("handoff-dedup"))
+	if err != nil || res.Accepted != 1 {
+		t.Fatalf("dedup retry: %+v, %v", res, err)
+	}
+	if n := n0.Store().Len(stayKey); n != preLen {
+		t.Fatalf("dedup regression: %d -> %d samples after keyed retry", preLen, n)
 	}
 }

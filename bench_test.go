@@ -13,6 +13,8 @@ import (
 	"context"
 	"fmt"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -1519,4 +1521,171 @@ func BenchmarkC1_ClusterRouter(b *testing.B) {
 			}
 		})
 	}
+}
+
+// ---------------------------------------------------------------------
+// D3/D4 — the columnar block tier. D3 prices the block codec against
+// the legacy snapshot codec on the same quantized sensor walk (0.25
+// steps — the shape real metering data has) and times the full
+// compaction cycle: cut + rollups + head snapshot + WAL truncate. D4
+// prices a month-range aggregate served by the block index/rollup tier
+// against the same aggregate raw-scanned from memory.
+// ---------------------------------------------------------------------
+
+// blockBenchRows builds a deterministic quantized random walk: one row
+// per second per series, values stepping by ±0.25 like a discretized
+// sensor. Quantized deltas are the case the XOR float codec exists for.
+func blockBenchRows(keys []tsdb.SeriesKey, perSeries int, base time.Time) []tsdb.Row {
+	rows := make([]tsdb.Row, 0, len(keys)*perSeries)
+	vals := make([]float64, len(keys))
+	for d := range vals {
+		vals[d] = 20 + float64(d)
+	}
+	for i := 0; i < perSeries; i++ {
+		for d, k := range keys {
+			switch (i * 7919 / (d + 1)) % 3 {
+			case 0:
+				vals[d] += 0.25
+			case 1:
+				vals[d] -= 0.25
+			}
+			rows = append(rows, tsdb.Row{Key: k, Sample: tsdb.Sample{
+				At: base.Add(time.Duration(i) * time.Second), Value: vals[d]}})
+		}
+	}
+	return rows
+}
+
+func BenchmarkD3_BlockCodecFootprint(b *testing.B) {
+	const perSeries = 8192
+	keys := make([]tsdb.SeriesKey, 32)
+	for d := range keys {
+		keys[d] = tsdb.SeriesKey{
+			Device:   fmt.Sprintf("urn:district:turin/building:b%02d/device:c%d", d/4, d%4),
+			Quantity: "temperature",
+		}
+	}
+	base := time.Now().UTC().Add(-6 * time.Hour).Truncate(time.Second)
+	rows := blockBenchRows(keys, perSeries, base)
+	total := len(rows)
+	for _, codec := range []string{"snapshot", "block"} {
+		b.Run("codec="+codec, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dir := b.TempDir()
+				opts := tsdb.ShardedOptions{
+					Shards:        1,
+					Store:         tsdb.Options{MaxSamplesPerSeries: 1 << 20},
+					Dir:           dir,
+					SnapshotEvery: -1, // only the explicit compaction below
+				}
+				if codec == "snapshot" {
+					opts.Blocks = tsdb.BlockPolicy{HeadWindow: -1} // legacy full-store snapshots
+				} else {
+					opts.Blocks = tsdb.BlockPolicy{HeadWindow: time.Minute}
+				}
+				eng, err := tsdb.OpenSharded(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for off := 0; off < len(rows); off += 4096 {
+					end := off + 4096
+					if end > len(rows) {
+						end = len(rows)
+					}
+					if errs := eng.AppendBatch(rows[off:end]); errs != nil {
+						b.Fatal(errs[0])
+					}
+				}
+				b.StartTimer()
+				if err := eng.CompactAll(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				pattern := "*.snap"
+				if codec == "block" {
+					pattern = "*.blk"
+				}
+				files, err := filepath.Glob(filepath.Join(dir, "shard-0000", pattern))
+				if err != nil || len(files) == 0 {
+					b.Fatalf("no %s files after compaction (%v)", pattern, err)
+				}
+				var onDisk int64
+				for _, f := range files {
+					st, err := os.Stat(f)
+					if err != nil {
+						b.Fatal(err)
+					}
+					onDisk += st.Size()
+				}
+				b.ReportMetric(float64(onDisk)/float64(total), "bytes/sample")
+				eng.Close()
+			}
+			b.ReportMetric(float64(total), "rows/op")
+		})
+	}
+}
+
+func BenchmarkD4_RollupAggregate(b *testing.B) {
+	// One sample per minute for 30 days, ending a day ago: the
+	// month-on-a-dashboard query shape.
+	const perSeries = 43200
+	key := tsdb.SeriesKey{Device: "urn:district:turin/building:b01/device:m0", Quantity: "temperature"}
+	base := time.Now().UTC().Add(-31 * 24 * time.Hour).Truncate(time.Minute)
+	rows := make([]tsdb.Row, perSeries)
+	v := 20.0
+	for i := range rows {
+		switch (i * 7919) % 3 {
+		case 0:
+			v += 0.25
+		case 1:
+			v -= 0.25
+		}
+		rows[i] = tsdb.Row{Key: key, Sample: tsdb.Sample{
+			At: base.Add(time.Duration(i) * time.Minute), Value: v}}
+	}
+	from, to := base.Add(-time.Hour), base.Add(perSeries*time.Minute+time.Hour)
+
+	b.Run("path=rollup", func(b *testing.B) {
+		opts := tsdb.ShardedOptions{
+			Shards:        1,
+			Store:         tsdb.Options{MaxSamplesPerSeries: 1 << 20},
+			Dir:           b.TempDir(),
+			SnapshotEvery: -1,
+			Blocks:        tsdb.BlockPolicy{HeadWindow: time.Minute},
+		}
+		eng, err := tsdb.OpenSharded(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer eng.Close()
+		if errs := eng.AppendBatch(rows); errs != nil {
+			b.Fatal(errs[0])
+		}
+		if err := eng.CompactAll(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			agg, err := eng.Aggregate(key, from, to)
+			if err != nil || agg.Count != perSeries {
+				b.Fatalf("aggregate: %+v, %v", agg, err)
+			}
+		}
+	})
+	b.Run("path=raw", func(b *testing.B) {
+		mem := tsdb.New(tsdb.Options{MaxSamplesPerSeries: 1 << 20})
+		for _, r := range rows {
+			if err := mem.Append(r.Key, r.Sample); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			agg, err := mem.Aggregate(key, from, to)
+			if err != nil || agg.Count != perSeries {
+				b.Fatalf("aggregate: %+v, %v", agg, err)
+			}
+		}
+	})
 }

@@ -18,6 +18,9 @@
 //	districtctl -master ... trace <trace-id>
 //	districtctl -master ... cluster status
 //	districtctl -master ... cluster move <shard> <node-url>
+//	districtctl -master ... data status [-url http://measuredb:9002]
+//	districtctl -master ... data compact [-shard N]
+//	districtctl data verify -dir /var/lib/district/measuredb/tsdb
 //
 // The CLI speaks the sub-client SDK: catalog commands ride
 // client.Catalog(), device reads/actuation client.Devices(), live
@@ -83,6 +86,8 @@ func main() {
 		err = cmdTrace(ctx, c, args)
 	case "cluster":
 		err = cmdCluster(ctx, c, args)
+	case "data":
+		err = cmdData(ctx, c, args)
 	default:
 		usage()
 	}
@@ -92,7 +97,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: districtctl [-master URL] query|model|devices|latest|control|report|watch|series|samples|top|trace|cluster [options]")
+	fmt.Fprintln(os.Stderr, "usage: districtctl [-master URL] query|model|devices|latest|control|report|watch|series|samples|top|trace|cluster|data [options]")
 	os.Exit(2)
 }
 

@@ -38,6 +38,9 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable storage directory: WAL+snapshots under the measurements DB, persisted stream replay ring and ingest dedup window (empty = in-memory)")
 	fsync := flag.String("fsync", "none", "WAL fsync policy with -data-dir: none | interval | always")
 	snapshotEvery := flag.Int("snapshot-every", 0, "snapshot+compact each storage shard's WAL after N rows (0 = engine default)")
+	headWindow := flag.Duration("head-window", 0, "with -data-dir: keep this much recent data in the RAM head, compact older samples into columnar block files (0 = engine default 30m, negative = disable blocks)")
+	retentionRaw := flag.Duration("retention-raw", 0, "with -data-dir: demote raw samples older than this to 1m/1h rollups (0 = keep forever)")
+	retentionRollup := flag.Duration("retention-rollup", 0, "with -data-dir: drop rollups of raw-expired data older than this (0 = keep forever)")
 	pprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof on every service")
 	flag.Parse()
 
@@ -57,6 +60,9 @@ func main() {
 		DataDir:            *dataDir,
 		FsyncMode:          *fsync,
 		SnapshotEvery:      *snapshotEvery,
+		HeadWindow:         *headWindow,
+		RetentionRaw:       *retentionRaw,
+		RetentionRollup:    *retentionRollup,
 		EnablePprof:        *pprof,
 	})
 	if err != nil {

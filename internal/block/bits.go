@@ -1,0 +1,107 @@
+// Package block implements the immutable columnar block format used for
+// historical (cold) time-series storage: delta-of-delta timestamps and
+// XOR-compressed float values per series, precomputed 1m/1h rollup
+// buckets, a per-series index, CRC-framed sections, and an atomic
+// tmp+fsync+rename writer. Blocks are read via mmap where available so
+// cold data stays out of the Go heap.
+//
+// The package is self-contained (no dependency on internal/tsdb) so the
+// tsdb layer can build on top of it without an import cycle.
+package block
+
+import "errors"
+
+// errBitsEOF is returned by bitReader when the stream runs out.
+var errBitsEOF = errors.New("block: bitstream exhausted")
+
+// bitWriter appends individual bits to a byte slice, MSB-first within
+// each byte.
+type bitWriter struct {
+	b []byte
+	// free is the number of unused low-order bits in the last byte of
+	// b; 0 means the last byte is full (or b is empty).
+	free uint
+}
+
+func (w *bitWriter) writeBit(bit uint64) {
+	if w.free == 0 {
+		w.b = append(w.b, 0)
+		w.free = 8
+	}
+	w.free--
+	if bit != 0 {
+		w.b[len(w.b)-1] |= 1 << w.free
+	}
+}
+
+// writeBits writes the low n bits of v, most significant first. n must
+// be in [0, 64].
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	for n > 0 {
+		if w.free == 0 {
+			w.b = append(w.b, 0)
+			w.free = 8
+		}
+		take := n
+		if take > w.free {
+			take = w.free
+		}
+		shift := n - take
+		chunk := byte((v >> shift) & ((1 << take) - 1))
+		w.free -= take
+		w.b[len(w.b)-1] |= chunk << w.free
+		n -= take
+	}
+}
+
+func (w *bitWriter) bytes() []byte { return w.b }
+
+// bitReader consumes bits MSB-first from a byte slice.
+type bitReader struct {
+	b   []byte
+	off int  // index of next byte
+	rem uint // unread bits remaining in b[off-1] (0 → advance)
+}
+
+func newBitReader(b []byte) *bitReader { return &bitReader{b: b} }
+
+func (r *bitReader) readBit() (uint64, error) {
+	if r.rem == 0 {
+		if r.off >= len(r.b) {
+			return 0, errBitsEOF
+		}
+		r.off++
+		r.rem = 8
+	}
+	r.rem--
+	return uint64(r.b[r.off-1]>>r.rem) & 1, nil
+}
+
+// readBits reads n bits (n in [0, 64]) MSB-first.
+func (r *bitReader) readBits(n uint) (uint64, error) {
+	var v uint64
+	for n > 0 {
+		if r.rem == 0 {
+			if r.off >= len(r.b) {
+				return 0, errBitsEOF
+			}
+			r.off++
+			r.rem = 8
+		}
+		take := n
+		if take > r.rem {
+			take = r.rem
+		}
+		r.rem -= take
+		chunk := uint64(r.b[r.off-1]>>r.rem) & ((1 << take) - 1)
+		v = v<<take | chunk
+		n -= take
+	}
+	return v, nil
+}
+
+// zigzag maps signed integers to unsigned so small magnitudes encode
+// small.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

@@ -1,0 +1,12 @@
+//go:build !linux && !darwin
+
+package block
+
+import "os"
+
+// Portable fallback: no mmap, read the file into memory.
+func mapFile(f *os.File, size int64) ([]byte, bool, error) {
+	return readFile(f, size)
+}
+
+func unmapFile(data []byte) error { return nil }

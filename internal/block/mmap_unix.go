@@ -1,0 +1,24 @@
+//go:build linux || darwin
+
+package block
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile mmaps the file read-only. On mmap failure it falls back to
+// reading the whole file into memory (mapped=false) so exotic
+// filesystems still work.
+func mapFile(f *os.File, size int64) ([]byte, bool, error) {
+	if int64(int(size)) != size {
+		return readFile(f, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return readFile(f, size)
+	}
+	return data, true, nil
+}
+
+func unmapFile(data []byte) error { return syscall.Munmap(data) }

@@ -1,0 +1,15 @@
+package block
+
+import (
+	"io"
+	"os"
+)
+
+// readFile loads the whole file into a heap buffer — the non-mmap path.
+func readFile(f *os.File, size int64) ([]byte, bool, error) {
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), buf); err != nil {
+		return nil, false, err
+	}
+	return buf, false, nil
+}

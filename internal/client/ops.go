@@ -2,9 +2,11 @@ package client
 
 import (
 	"context"
+	"fmt"
 	"net/url"
 
 	"repro/internal/api"
+	"repro/internal/measuredb"
 )
 
 // Ops is the operations sub-client, bound to one service base URL. Every
@@ -30,6 +32,29 @@ func (o *Ops) Metrics(ctx context.Context) (*api.MetricsSnapshot, error) {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// StorageStatus fetches a measurements DB's per-shard durable storage
+// report (GET /v1/storage): head series/samples, WAL watermarks, block
+// files and their on-disk bytes.
+func (o *Ops) StorageStatus(ctx context.Context) (*measuredb.StorageStatus, error) {
+	var out measuredb.StorageStatus
+	if err := o.c.transport().GetJSON(ctx, api.URL(o.base, "/storage"), &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Compact forces a block compaction cycle on a measurements DB
+// (POST /v1/storage/compact): head rows past the head window are cut
+// into a block file, retention applies, and the WAL truncates. A
+// negative shard compacts every shard.
+func (o *Ops) Compact(ctx context.Context, shard int) error {
+	u := api.URL(o.base, "/storage/compact")
+	if shard >= 0 {
+		u = api.URL(o.base, fmt.Sprintf("/storage/compact?shard=%d", shard))
+	}
+	return o.c.transport().PostJSON(ctx, u, nil, nil)
 }
 
 // Trace fetches the span records the service retains for one trace ID,

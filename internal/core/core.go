@@ -104,6 +104,16 @@ type Spec struct {
 	// SnapshotEvery compacts each tsdb shard's WAL into a snapshot
 	// after this many appended rows (0 = engine default).
 	SnapshotEvery int
+	// HeadWindow bounds how much recent data each storage shard keeps in
+	// its RAM head with DataDir set; older samples compact into columnar
+	// block files (0 = engine default, 30m; negative disables blocks).
+	HeadWindow time.Duration
+	// RetentionRaw is how long raw samples are kept before compaction
+	// demotes them to 1m/1h rollups (0 = forever).
+	RetentionRaw time.Duration
+	// RetentionRollup is how long rollups of raw-expired data are kept
+	// before they are dropped entirely (0 = forever).
+	RetentionRollup time.Duration
 	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof
 	// on the master, measurements DB, and every device proxy.
 	EnablePprof bool
@@ -235,6 +245,11 @@ func Bootstrap(spec Spec) (*District, error) {
 			mopts.DataDir = filepath.Join(spec.DataDir, dataDir)
 			mopts.Fsync = mode
 			mopts.SnapshotEvery = spec.SnapshotEvery
+			mopts.Blocks = tsdb.BlockPolicy{
+				HeadWindow:      spec.HeadWindow,
+				RetentionRaw:    spec.RetentionRaw,
+				RetentionRollup: spec.RetentionRollup,
+			}
 		}
 		return mopts, nil
 	}

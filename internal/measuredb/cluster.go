@@ -585,6 +585,20 @@ func (s *Service) clusterRestore(w http.ResponseWriter, r *http.Request) {
 		api.WriteError(w, r, api.Internal(fmt.Errorf("reset shard %d: %w", i, err)))
 		return
 	}
+	// Compacted blocks ship wholesale: their raw-expired series exist
+	// only as rollups, which have no row form to replay. The copy runs
+	// before the row replay so the restored read view layers the WAL
+	// tail over the blocks exactly like the source did. Block-less
+	// archives skip the import so they restore onto any engine.
+	if names, err := tsdb.BlockFiles(tmp); err != nil {
+		api.WriteError(w, r, api.BadRequest(fmt.Errorf("bad archive block manifest: %v", err)))
+		return
+	} else if len(names) > 0 {
+		if err := sh.ImportShardBlocks(i, tmp); err != nil {
+			api.WriteError(w, r, api.Internal(fmt.Errorf("import shard %d blocks: %w", i, err)))
+			return
+		}
+	}
 	rows := 0
 	err = tsdb.ReadShardDir(tmp, func(batch []tsdb.Row) error {
 		for _, row := range batch {

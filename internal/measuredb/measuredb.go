@@ -143,6 +143,12 @@ type Options struct {
 	// SnapshotInterval also cuts a shard snapshot when the last one is
 	// older than this (0 disables).
 	SnapshotInterval time.Duration
+	// Blocks tunes the columnar block layer of the durable engine: how
+	// much recent data stays in the RAM head, and how long raw samples
+	// and rollups are retained on disk. The zero value keeps the default
+	// 30m head window with infinite retention. Only meaningful with
+	// DataDir.
+	Blocks tsdb.BlockPolicy
 
 	// Cluster attaches the node to a multi-host cluster: it caches the
 	// master-published shard map, rejects writes for shards it does not
@@ -188,6 +194,7 @@ func Open(opts Options) (*Service, error) {
 				Fsync:            opts.Fsync,
 				SnapshotEvery:    opts.SnapshotEvery,
 				SnapshotInterval: opts.SnapshotInterval,
+				Blocks:           opts.Blocks,
 				Metrics:          reg,
 			})
 			if err != nil {
@@ -384,6 +391,8 @@ func (s *Service) Stats() Stats {
 //	GET  /v1/series?device=              (all series, or one device's)
 //	GET  /v1/aggregate?device=&quantity=&from=&to=[&window=]
 //	GET  /v1/stats
+//	GET  /v1/storage                     per-shard durable storage status
+//	POST /v1/storage/compact[?shard=N]   force a block compaction cycle
 //	GET  /v1/stream?topic=<pattern>      live events (SSE)
 //	POST /v1/publish                     event ingress (middleware.Event JSON)
 //	GET  /v1/metrics, /v1/healthz
@@ -429,6 +438,7 @@ func (s *Service) buildAPI(opts Options) *api.Server {
 		return s.Stats(), nil
 	})
 	s.mountV2(srv, read, batch, write)
+	s.mountStorage(srv)
 	if s.cnode != nil {
 		s.mountCluster(srv)
 	}

@@ -107,7 +107,7 @@ func (s *Service) resolveSelectorKeys(sel SeriesSelector) []tsdb.SeriesKey {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				per[i] = matchKeys(sh.Shard(i).Keys(), sel)
+				per[i] = matchKeys(sh.ShardKeys(i), sel)
 			}(i)
 		}
 		wg.Wait()

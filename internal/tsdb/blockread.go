@@ -1,0 +1,637 @@
+package tsdb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/block"
+)
+
+// The merged read path of a block-bearing shard. Every read captures a
+// consistent view — the in-memory head result plus retained references
+// to the overlapping blocks — under one blockSet read lock, then does
+// the block decoding after the unlock against the retained immutable
+// files. Compaction's publish+evict runs under the write lock, so a
+// reader sees the cut rows exactly once: in the head before the swap,
+// in the block after it.
+
+// maxCursorSkip caps the per-source overfetch a merged page performs to
+// honour a cursor's same-timestamp skip count. It exceeds any plausible
+// number of samples sharing one nanosecond timestamp (and the default
+// per-series head bound), so the cap is theoretical; a series with more
+// duplicates at a single instant than this could repeat samples across
+// a page boundary.
+const maxCursorSkip = 1 << 17
+
+func sampleAt(t int64, v float64) Sample {
+	return Sample{At: time.Unix(0, t).UTC(), Value: v}
+}
+
+// blocksFor returns retained references to the shard's blocks that
+// contain key and overlap [fromN, toN], in cut order. Callers must
+// Release every returned block. Head reads that must be consistent with
+// the returned view are performed by the capture callback, still under
+// the read lock.
+func (bs *blockSet) blocksFor(key block.Key, fromN, toN int64, capture func()) []*block.Block {
+	bs.mu.RLock()
+	var out []*block.Block
+	for _, b := range bs.blocks {
+		if b.MaxT() < fromN || b.MinT() > toN {
+			continue
+		}
+		if _, ok := b.Meta(key); ok {
+			b.Retain()
+			out = append(out, b)
+		}
+	}
+	if capture != nil {
+		capture()
+	}
+	bs.mu.RUnlock()
+	return out
+}
+
+func releaseAll(blks []*block.Block) {
+	for _, b := range blks {
+		_ = b.Release()
+	}
+}
+
+// countRead attributes one merged read to the head or the block path.
+func (s *Sharded) countRead(usedBlocks bool) {
+	if usedBlocks {
+		s.blockReads.Add(1)
+	} else {
+		s.headReads.Add(1)
+	}
+}
+
+// mergedQueryPage is Store.QueryPage over head+blocks: per-source
+// bounded fetches, a k-way merge in (timestamp, source) order with
+// blocks (cut order) before the head, and the cursor's same-timestamp
+// skip applied globally. The per-source fetch bound is
+// limit+skip+1, so if the merged output fits in the limit every source
+// was exhausted — More is exact, never a guess.
+func (s *Sharded) mergedQueryPage(key SeriesKey, from, to time.Time, cur Cursor, limit int) (Page, error) {
+	i := s.ShardFor(key.Device)
+	store, bs := s.shards[i], s.bsets[i]
+	if to.IsZero() {
+		to = time.Now()
+	}
+	if to.Before(from) {
+		return Page{}, ErrBadInterval
+	}
+	if limit <= 0 {
+		limit = DefaultPageLimit
+	}
+	start, skip := from, 0
+	if !cur.zero() && !cur.After.Before(from) {
+		start, skip = cur.After, cur.Seen
+	}
+	if start.After(to) {
+		return Page{}, nil
+	}
+	need := limit + min(skip, maxCursorSkip) + 1
+
+	var headPage Page
+	var headErr error
+	startN, toN := start.UnixNano(), to.UnixNano()
+	blks := bs.blocksFor(bk(key), startN, toN, func() {
+		headPage, headErr = store.QueryPage(key, start, to, Cursor{}, need)
+	})
+	defer releaseAll(blks)
+	s.countRead(len(blks) > 0)
+	if headErr != nil && !errors.Is(headErr, ErrNoSeries) {
+		return Page{}, headErr
+	}
+	if errors.Is(headErr, ErrNoSeries) && len(blks) == 0 {
+		if s.keyInAnyBlock(bs, bk(key)) {
+			return Page{}, nil // series exists, nothing in range
+		}
+		return Page{}, ErrNoSeries
+	}
+
+	// Sources in merge order: blocks in cut order, then the head.
+	srcs := make([][]Sample, 0, len(blks)+1)
+	capped := make([]bool, 0, len(blks)+1)
+	var pts []block.Point
+	for _, b := range blks {
+		pts = pts[:0]
+		var err error
+		pts, err = b.PointsLimit(pts, bk(key), startN, toN, need)
+		if err != nil {
+			if errors.Is(err, block.ErrRawDemoted) {
+				continue // raw data retired by retention; nothing to page
+			}
+			return Page{}, err
+		}
+		if len(pts) == 0 {
+			continue
+		}
+		smps := make([]Sample, len(pts))
+		for j, p := range pts {
+			smps[j] = sampleAt(p.T, p.V)
+		}
+		srcs = append(srcs, smps)
+		capped = append(capped, len(pts) >= need)
+	}
+	srcs = append(srcs, headPage.Samples)
+	capped = append(capped, headPage.More)
+
+	merged := mergeSamples(srcs, limit+min(skip, maxCursorSkip)+1)
+
+	var page Page
+	page.Samples = make([]Sample, 0, min(limit, len(merged)))
+	for _, smp := range merged {
+		if skip > 0 && smp.At.Equal(start) {
+			skip--
+			continue
+		}
+		page.Samples = append(page.Samples, smp)
+		if len(page.Samples) > limit {
+			break
+		}
+	}
+	if len(page.Samples) > limit {
+		page.Samples = page.Samples[:limit]
+		page.More = true
+	} else {
+		// Output fits: More only if a capped source might hold more.
+		// (With the limit+skip+1 bound a capped source forces >limit
+		// output, so this only fires in the pathological over-skip
+		// case; resume conservatively from the last sample.)
+		for _, c := range capped {
+			if c {
+				page.More = true
+				break
+			}
+		}
+	}
+	if n := len(page.Samples); n > 0 && page.More {
+		last := page.Samples[n-1].At
+		seen := 0
+		for j := n - 1; j >= 0 && page.Samples[j].At.Equal(last); j-- {
+			seen++
+		}
+		if !cur.zero() && last.Equal(cur.After) {
+			seen += cur.Seen
+		}
+		page.Next = Cursor{After: last, Seen: seen}
+	}
+	return page, nil
+}
+
+// keyInAnyBlock reports whether any published block of the set carries
+// the key (range-independent existence check).
+func (s *Sharded) keyInAnyBlock(bs *blockSet, key block.Key) bool {
+	bs.mu.RLock()
+	defer bs.mu.RUnlock()
+	for _, b := range bs.blocks {
+		if _, ok := b.Meta(key); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeSamples k-way merges ascending sources in (timestamp, source
+// index) order, stopping after max samples. Equal timestamps keep
+// source order, which matches the pre-compaction in-head order (the
+// compactor cuts rows in stored order).
+func mergeSamples(srcs [][]Sample, max int) []Sample {
+	live := 0
+	var only []Sample
+	for _, s := range srcs {
+		if len(s) > 0 {
+			live++
+			only = s
+		}
+	}
+	if live == 0 {
+		return nil
+	}
+	if live == 1 {
+		if len(only) > max {
+			only = only[:max]
+		}
+		return only
+	}
+	idx := make([]int, len(srcs))
+	total := 0
+	for _, s := range srcs {
+		total += len(s)
+	}
+	out := make([]Sample, 0, min(total, max))
+	for len(out) < max {
+		best := -1
+		for si, s := range srcs {
+			if idx[si] >= len(s) {
+				continue
+			}
+			if best < 0 || s[idx[si]].At.Before(srcs[best][idx[best]].At) {
+				best = si
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, srcs[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}
+
+// mergedQuery materializes a full range query through the merged pager.
+func (s *Sharded) mergedQuery(key SeriesKey, from, to time.Time) ([]Sample, error) {
+	if to.IsZero() {
+		to = time.Now()
+	}
+	if to.Before(from) {
+		return nil, ErrBadInterval
+	}
+	it := iterPager(s, key, from, to, 0)
+	var out []Sample
+	for {
+		smp, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, smp)
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// mergedLatest returns the newest sample across head and blocks. The
+// head normally wins (blocks hold strictly older rows), but an
+// out-of-order arrival after a cut can leave the head older than a
+// block's index tail, so both are consulted.
+func (s *Sharded) mergedLatest(key SeriesKey) (Sample, error) {
+	i := s.ShardFor(key.Device)
+	store, bs := s.shards[i], s.bsets[i]
+	var head Sample
+	var headErr error
+	var best Sample
+	haveBlock := false
+	bs.mu.RLock()
+	head, headErr = store.Latest(key)
+	for _, b := range bs.blocks {
+		if m, ok := b.Meta(bk(key)); ok {
+			smp := sampleAt(m.LastT, m.LastV)
+			if !haveBlock || !smp.At.Before(best.At) {
+				best, haveBlock = smp, true
+			}
+		}
+	}
+	bs.mu.RUnlock()
+	s.countRead(haveBlock && (headErr != nil || head.At.Before(best.At)))
+	if headErr == nil && (!haveBlock || !head.At.Before(best.At)) {
+		return head, nil
+	}
+	if haveBlock {
+		return best, nil
+	}
+	return Sample{}, headErr
+}
+
+// mergedLen counts stored samples across head and blocks. Demoted
+// series keep contributing their index counts — sample accounting stays
+// invariant across compaction and retention demotion (only rollup
+// deletion shrinks it).
+func (s *Sharded) mergedLen(key SeriesKey) int {
+	i := s.ShardFor(key.Device)
+	store, bs := s.shards[i], s.bsets[i]
+	n := store.Len(key)
+	bs.mu.RLock()
+	for _, b := range bs.blocks {
+		if m, ok := b.Meta(bk(key)); ok {
+			n += int(m.Count)
+		}
+	}
+	bs.mu.RUnlock()
+	return n
+}
+
+// shardKeysMerged unions one shard's head catalog with its block
+// indexes. A series whose rows have all been cut (or whose head entry
+// was lost to a restart) still lists.
+func (s *Sharded) shardKeysMerged(i int) []SeriesKey {
+	seen := make(map[SeriesKey]struct{})
+	for _, k := range s.shards[i].Keys() {
+		seen[k] = struct{}{}
+	}
+	bs := s.bsets[i]
+	bs.mu.RLock()
+	for _, b := range bs.blocks {
+		for _, m := range b.Series() {
+			seen[SeriesKey{Device: m.Key.Device, Quantity: m.Key.Quantity}] = struct{}{}
+		}
+	}
+	bs.mu.RUnlock()
+	out := make([]SeriesKey, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	return out
+}
+
+// ShardKeys lists the series of one shard, head and blocks merged (the
+// scatter-gather planners fan over shards with it).
+func (s *Sharded) ShardKeys(i int) []SeriesKey {
+	if s.bsets == nil {
+		return s.shards[i].Keys()
+	}
+	return s.shardKeysMerged(i)
+}
+
+// mergedKeysForDevice unions the owning shard's head and block series
+// of one device, sorted by quantity like Store.KeysForDevice.
+func (s *Sharded) mergedKeysForDevice(device string) []SeriesKey {
+	i := s.ShardFor(device)
+	seen := make(map[SeriesKey]struct{})
+	for _, k := range s.shards[i].KeysForDevice(device) {
+		seen[k] = struct{}{}
+	}
+	bs := s.bsets[i]
+	bs.mu.RLock()
+	for _, b := range bs.blocks {
+		for _, m := range b.Series() {
+			if m.Key.Device == device {
+				seen[SeriesKey{Device: device, Quantity: m.Key.Quantity}] = struct{}{}
+			}
+		}
+	}
+	bs.mu.RUnlock()
+	out := make([]SeriesKey, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Quantity < out[b].Quantity })
+	return out
+}
+
+// metaAggregate converts a block index entry's whole-series statistics
+// into an Aggregate.
+func metaAggregate(m block.SeriesMeta) Aggregate {
+	return Aggregate{
+		Count: int(m.Count),
+		Min:   m.Min, Max: m.Max, Sum: m.Sum,
+		First: sampleAt(m.FirstT, m.FirstV),
+		Last:  sampleAt(m.LastT, m.LastV),
+	}
+}
+
+// bucketAggregate converts a rollup bucket into an Aggregate.
+func bucketAggregate(b block.Bucket) Aggregate {
+	return Aggregate{
+		Count: int(b.Count),
+		Min:   b.Min, Max: b.Max, Sum: b.Sum,
+		First: sampleAt(b.FirstT, b.FirstV),
+		Last:  sampleAt(b.LastT, b.LastV),
+	}
+}
+
+// combine folds src into dst: counts/sums add, min/max widen, First is
+// the earliest-timestamped (first folded wins ties), Last the latest
+// (last folded wins ties — fold blocks in cut order, head last, to
+// match raw-scan semantics).
+func (a *Aggregate) combine(src Aggregate) {
+	if src.Count == 0 {
+		return
+	}
+	if a.Count == 0 {
+		*a = src
+		return
+	}
+	if src.Min < a.Min {
+		a.Min = src.Min
+	}
+	if src.Max > a.Max {
+		a.Max = src.Max
+	}
+	a.Sum += src.Sum
+	a.Count += src.Count
+	if src.First.At.Before(a.First.At) {
+		a.First = src.First
+	}
+	if !src.Last.At.Before(a.Last.At) {
+		a.Last = src.Last
+	}
+}
+
+// mergedAggregate is the pushdown Aggregate over head+blocks. Blocks
+// fully inside the range contribute their index statistics in O(1)
+// without touching sample data; partially covered blocks scan only the
+// overlap (raw chunks when present, whole rollup buckets otherwise —
+// the documented boundary approximation for demoted data).
+func (s *Sharded) mergedAggregate(key SeriesKey, from, to time.Time) (Aggregate, error) {
+	i := s.ShardFor(key.Device)
+	store, bs := s.shards[i], s.bsets[i]
+	if to.IsZero() {
+		to = time.Now()
+	}
+	if to.Before(from) {
+		return Aggregate{}, ErrBadInterval
+	}
+	fromN, toN := from.UnixNano(), to.UnixNano()
+
+	var headAgg Aggregate
+	var headErr error
+	blks := bs.blocksFor(bk(key), fromN, toN, func() {
+		headAgg, headErr = store.Aggregate(key, from, to)
+	})
+	defer releaseAll(blks)
+	s.countRead(len(blks) > 0)
+	if headErr != nil && !errors.Is(headErr, ErrNoSeries) {
+		return Aggregate{}, headErr
+	}
+	if errors.Is(headErr, ErrNoSeries) && len(blks) == 0 && !s.keyInAnyBlock(bs, bk(key)) {
+		return Aggregate{}, ErrNoSeries
+	}
+
+	var agg Aggregate
+	var pts []block.Point
+	for _, b := range blks {
+		m, _ := b.Meta(bk(key))
+		switch {
+		case fromN <= m.MinT && m.MaxT <= toN:
+			agg.combine(metaAggregate(m))
+		case m.HasRaw():
+			pts = pts[:0]
+			var err error
+			pts, err = b.Points(pts, bk(key), fromN, toN)
+			if err != nil {
+				return Aggregate{}, err
+			}
+			var part Aggregate
+			for _, p := range pts {
+				part.add(sampleAt(p.T, p.V))
+			}
+			agg.combine(part)
+		default:
+			// Demoted: fold every 1m bucket whose samples intersect the
+			// range. Boundary buckets are included whole — the
+			// approximation raw retention buys.
+			bks, err := b.Rollup(bk(key), block.Res1m)
+			if err != nil {
+				return Aggregate{}, err
+			}
+			var part Aggregate
+			for _, rb := range bks {
+				if rb.LastT < fromN || rb.FirstT > toN {
+					continue
+				}
+				part.combine(bucketAggregate(rb))
+			}
+			agg.combine(part)
+		}
+	}
+	agg.combine(headAgg)
+	agg.finish()
+	return agg, nil
+}
+
+// mergedDownsample is the pushdown Downsample. Windows that are whole
+// multiples of a rollup resolution are served from precomputed 1m/1h
+// buckets for the fully covered stretches — a month-range scan touches
+// rollup frames, not raw chunks — with raw scans only at the window
+// boundaries the rollup grid cannot split. Other window widths fall
+// back to the exact merged raw walk.
+//
+// Alignment: rollup buckets start at unix-epoch multiples of their
+// resolution, and time.Truncate windows do too (the zero-time offset is
+// divisible by both 60s and 3600s), so when res divides window every
+// rollup bucket lies wholly inside exactly one window.
+func (s *Sharded) mergedDownsample(key SeriesKey, from, to time.Time, window time.Duration) ([]Bucket, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("tsdb: non-positive window %v", window)
+	}
+	var res int64
+	switch {
+	case window%time.Hour == 0:
+		res = block.Res1h
+	case window%time.Minute == 0:
+		res = block.Res1m
+	default:
+		// No rollup grid divides the window: exact merged raw walk.
+		return downsampleIter(iterPager(s, key, from, to, 0), from, window)
+	}
+
+	i := s.ShardFor(key.Device)
+	store, bs := s.shards[i], s.bsets[i]
+	if to.IsZero() {
+		to = time.Now()
+	}
+	if to.Before(from) {
+		return nil, ErrBadInterval
+	}
+	fromN, toN := from.UnixNano(), to.UnixNano()
+
+	// windows accumulates per-window aggregates; keys are window start
+	// nanos (post from-clamp, matching Store.Downsample semantics).
+	windows := make(map[int64]*Aggregate)
+	fold := func(at time.Time, a Aggregate) {
+		startT := at.Truncate(window)
+		if startT.Before(from) {
+			startT = from
+		}
+		w := windows[startT.UnixNano()]
+		if w == nil {
+			w = &Aggregate{}
+			windows[startT.UnixNano()] = w
+		}
+		w.combine(a)
+	}
+
+	var headSamples []Sample
+	var headErr error
+	blks := bs.blocksFor(bk(key), fromN, toN, func() {
+		// Materialize the head's contribution while the view is locked
+		// (it is bounded by the head window, so this stays small); an
+		// iterator paging after the unlock could race a compaction and
+		// miss rows mid-cut.
+		headSamples, headErr = store.Query(key, from, to)
+	})
+	defer releaseAll(blks)
+	s.countRead(len(blks) > 0)
+	if headErr != nil && !errors.Is(headErr, ErrNoSeries) {
+		return nil, headErr
+	}
+
+	var pts []block.Point
+	for _, b := range blks {
+		m, _ := b.Meta(bk(key))
+		bks, err := b.Rollup(bk(key), res)
+		if err != nil {
+			return nil, err
+		}
+		raw := m.HasRaw()
+		for _, rb := range bks {
+			if rb.LastT < fromN || rb.FirstT > toN {
+				continue
+			}
+			if rb.FirstT >= fromN && rb.LastT <= toN {
+				// Bucket fully inside the range: fold it whole. res
+				// divides window, so the bucket cannot straddle a
+				// window boundary.
+				fold(time.Unix(0, rb.Start).UTC(), bucketAggregate(rb))
+				continue
+			}
+			// Boundary bucket. Exact when raw survives; whole-bucket
+			// approximation once demoted.
+			if !raw {
+				fold(time.Unix(0, rb.Start).UTC(), bucketAggregate(rb))
+				continue
+			}
+			lo, hi := rb.FirstT, rb.LastT
+			if lo < fromN {
+				lo = fromN
+			}
+			if hi > toN {
+				hi = toN
+			}
+			pts = pts[:0]
+			var err error
+			pts, err = b.PointsLimit(pts, bk(key), lo, hi, -1)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range pts {
+				smp := sampleAt(p.T, p.V)
+				var one Aggregate
+				one.add(smp)
+				fold(smp.At, one)
+			}
+		}
+	}
+
+	// Head samples fold individually (exact).
+	for _, smp := range headSamples {
+		var one Aggregate
+		one.add(smp)
+		fold(smp.At, one)
+	}
+
+	if len(windows) == 0 {
+		if errors.Is(headErr, ErrNoSeries) && !s.keyInAnyBlock(bs, bk(key)) {
+			return nil, ErrNoSeries
+		}
+		return nil, nil
+	}
+	starts := make([]int64, 0, len(windows))
+	for t := range windows {
+		starts = append(starts, t)
+	}
+	sort.Slice(starts, func(a, b int) bool { return starts[a] < starts[b] })
+	out := make([]Bucket, 0, len(starts))
+	for _, t := range starts {
+		a := windows[t]
+		a.finish()
+		out = append(out, Bucket{Start: time.Unix(0, t).UTC(), Aggregate: *a})
+	}
+	return out, nil
+}

@@ -1,0 +1,689 @@
+package tsdb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// blockKey is the single series most block tests revolve around.
+var blockKey = SeriesKey{Device: "urn:district:turin/building:b01/device:d0", Quantity: "temperature"}
+
+// oldRows builds n rows per key ending well before now, so a compaction
+// with a short head window cuts all of them. Timestamps are UTC and
+// second-aligned so they survive the row codec byte-for-byte.
+func oldRows(n int, keys ...SeriesKey) []Row {
+	base := time.Now().UTC().Truncate(time.Second).Add(-3 * time.Hour)
+	rows := make([]Row, 0, n*len(keys))
+	for i := 0; i < n; i++ {
+		for _, k := range keys {
+			rows = append(rows, Row{
+				Key:    k,
+				Sample: Sample{At: base.Add(time.Duration(i) * time.Second), Value: float64(i) + 0.25},
+			})
+		}
+	}
+	return rows
+}
+
+// memReference loads rows into a plain in-memory store, the behavioural
+// oracle every merged read path is compared against.
+func memReference(rows []Row) *Store {
+	mem := New(Options{})
+	for _, r := range rows {
+		_ = mem.Append(r.Key, r.Sample)
+	}
+	return mem
+}
+
+// assertReadsEqual compares every read path between the oracle and the
+// engine under test, byte for byte.
+func assertReadsEqual(t *testing.T, want *Store, got Engine, key SeriesKey, from, to time.Time) {
+	t.Helper()
+	a, errA := want.Query(key, from, to)
+	b, errB := got.Query(key, from, to)
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("query err: %v vs %v", errA, errB)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("query: %d vs %d samples (or differing content)", len(a), len(b))
+	}
+	aggA, errA := want.Aggregate(key, from, to)
+	aggB, errB := got.Aggregate(key, from, to)
+	if (errA == nil) != (errB == nil) || !reflect.DeepEqual(aggA, aggB) {
+		t.Fatalf("aggregate: %+v (%v) vs %+v (%v)", aggA, errA, aggB, errB)
+	}
+	for _, window := range []time.Duration{time.Minute, time.Hour, 90 * time.Second} {
+		dsA, errA := want.Downsample(key, from, to, window)
+		dsB, errB := got.Downsample(key, from, to, window)
+		if (errA == nil) != (errB == nil) || !reflect.DeepEqual(dsA, dsB) {
+			t.Fatalf("downsample %v: %d (%v) vs %d (%v) buckets\n%+v\n%+v",
+				window, len(dsA), errA, len(dsB), errB, dsA, dsB)
+		}
+	}
+	lA, errA := want.Latest(key)
+	lB, errB := got.Latest(key)
+	if (errA == nil) != (errB == nil) || lA != lB {
+		t.Fatalf("latest: %+v (%v) vs %+v (%v)", lA, errA, lB, errB)
+	}
+	if la, lb := want.Len(key), got.Len(key); la != lb {
+		t.Fatalf("len: %d vs %d", la, lb)
+	}
+}
+
+func TestBlockCompactionPreservesEveryReadPath(t *testing.T) {
+	dir := t.TempDir()
+	k2 := SeriesKey{Device: "urn:district:turin/building:b02/device:d1", Quantity: "humidity"}
+	rows := oldRows(500, blockKey, k2)
+	eng := openDurable(t, dir, ShardedOptions{
+		Shards: 2,
+		Blocks: BlockPolicy{HeadWindow: time.Minute},
+	})
+	defer eng.Close()
+	if errs := eng.AppendBatch(rows); errs != nil {
+		t.Fatalf("append: %v", errs)
+	}
+	if err := eng.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Everything is older than the 1m head window, so it all lives in
+	// blocks now; the head must be empty of those rows but every read
+	// path must still see them exactly.
+	var bTotal int
+	for i := 0; i < eng.NumShards(); i++ {
+		bTotal += eng.ShardStatus(i).Blocks
+	}
+	if bTotal == 0 {
+		t.Fatal("no blocks cut")
+	}
+	mem := memReference(rows)
+	from, to := time.Time{}, time.Now()
+	assertReadsEqual(t, mem, eng, blockKey, from, to)
+	assertReadsEqual(t, mem, eng, k2, from, to)
+	sortKeys := func(keys []SeriesKey) []SeriesKey {
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].Device != keys[j].Device {
+				return keys[i].Device < keys[j].Device
+			}
+			return keys[i].Quantity < keys[j].Quantity
+		})
+		return keys
+	}
+	if got, want := sortKeys(eng.Keys()), sortKeys(mem.Keys()); !reflect.DeepEqual(got, want) {
+		t.Fatalf("keys: %v vs %v", got, want)
+	}
+	if got, want := eng.KeysForDevice(blockKey.Device), mem.KeysForDevice(blockKey.Device); !reflect.DeepEqual(got, want) {
+		t.Fatalf("keys for device: %v vs %v", got, want)
+	}
+	// Writes after compaction land in the head and merge seamlessly.
+	late := Sample{At: time.Now().UTC().Truncate(time.Second), Value: 99.5}
+	if err := eng.Append(blockKey, late); err != nil {
+		t.Fatal(err)
+	}
+	_ = mem.Append(blockKey, late)
+	assertReadsEqual(t, mem, eng, blockKey, from, time.Now())
+}
+
+func TestBlockCompactionSurvivesRestartAndKill(t *testing.T) {
+	dir := t.TempDir()
+	rows := oldRows(400, blockKey)
+	eng := openDurable(t, dir, ShardedOptions{Shards: 1, Blocks: BlockPolicy{HeadWindow: time.Minute}})
+	if errs := eng.AppendBatch(rows); errs != nil {
+		t.Fatalf("append: %v", errs)
+	}
+	if err := eng.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	mem := memReference(rows)
+
+	// Clean close, reopen: the manifest snapshot anchors the blocks.
+	eng.Close()
+	re := openDurable(t, dir, ShardedOptions{Shards: 1, Blocks: BlockPolicy{HeadWindow: time.Minute}})
+	assertReadsEqual(t, mem, re, blockKey, time.Time{}, time.Now())
+	if re.ShardStatus(0).Blocks == 0 {
+		t.Fatal("blocks not adopted after restart")
+	}
+
+	// Append more, compact, abandon without Close (kill): the snapshot +
+	// manifest written by the compaction must fully recover.
+	late := oldRows(50, blockKey)
+	for i := range late {
+		late[i].Sample.At = late[i].Sample.At.Add(20 * time.Minute)
+		_ = mem.Append(late[i].Key, late[i].Sample)
+	}
+	if errs := re.AppendBatch(late); errs != nil {
+		t.Fatalf("append: %v", errs)
+	}
+	if err := re.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	re2 := openDurable(t, dir, ShardedOptions{Shards: 1, Blocks: BlockPolicy{HeadWindow: time.Minute}})
+	defer re2.Close()
+	assertReadsEqual(t, mem, re2, blockKey, time.Time{}, time.Now())
+}
+
+func TestBlockCursorStableAcrossCompaction(t *testing.T) {
+	dir := t.TempDir()
+	rows := oldRows(600, blockKey)
+	eng := openDurable(t, dir, ShardedOptions{Shards: 1, Blocks: BlockPolicy{HeadWindow: time.Minute}})
+	defer eng.Close()
+	if errs := eng.AppendBatch(rows); errs != nil {
+		t.Fatalf("append: %v", errs)
+	}
+
+	// Walk a few pages against the pure head, compact mid-walk (the rows
+	// move from RAM into a block file), then finish the walk. The
+	// value-based cursor must keep the union exact: no duplicate, no gap.
+	var got []Sample
+	var cur Cursor
+	to := time.Now()
+	pages := 0
+	for {
+		page, err := eng.QueryPage(blockKey, time.Time{}, to, cur, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, page.Samples...)
+		pages++
+		if pages == 3 {
+			if err := eng.CompactAll(); err != nil {
+				t.Fatal(err)
+			}
+			if eng.ShardStatus(0).Blocks == 0 {
+				t.Fatal("compaction cut no block mid-walk")
+			}
+		}
+		if !page.More {
+			break
+		}
+		cur = page.Next
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("cursor walk returned %d samples, want %d", len(got), len(rows))
+	}
+	for i, smp := range got {
+		if !smp.At.Equal(rows[i].Sample.At) || smp.Value != rows[i].Sample.Value {
+			t.Fatalf("sample %d = %+v, want %+v", i, smp, rows[i].Sample)
+		}
+	}
+}
+
+func TestBlockReadsUnderConcurrentCompaction(t *testing.T) {
+	dir := t.TempDir()
+	rows := oldRows(300, blockKey)
+	eng := openDurable(t, dir, ShardedOptions{Shards: 1, Blocks: BlockPolicy{HeadWindow: time.Minute}})
+	defer eng.Close()
+	if errs := eng.AppendBatch(rows); errs != nil {
+		t.Fatalf("append: %v", errs)
+	}
+	mem := memReference(rows)
+	want, err := mem.Query(blockKey, time.Time{}, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// The first cycle cuts the block; later ones are no-op snapshots,
+		// still exercising the publish+evict swap against readers.
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := eng.CompactAll(); err != nil {
+				return
+			}
+		}
+	}()
+	to := time.Now()
+	for i := 0; i < 200; i++ {
+		got, err := eng.Query(blockKey, time.Time{}, to)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("iteration %d: %d vs %d samples (or differing content)", i, len(want), len(got))
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestBlockOrphanAndTmpCleanedOnRecovery(t *testing.T) {
+	dir := t.TempDir()
+	rows := oldRows(100, blockKey)
+	eng := openDurable(t, dir, ShardedOptions{Shards: 1, Blocks: BlockPolicy{HeadWindow: time.Minute}})
+	if errs := eng.AppendBatch(rows); errs != nil {
+		t.Fatalf("append: %v", errs)
+	}
+	eng.Close() // no compaction ran: the WAL holds every row
+
+	// A crash between block rename and snapshot write leaves a .blk the
+	// manifest does not list, plus possibly an abandoned temp file. Both
+	// must be deleted on recovery, and no data lost (the WAL was never
+	// truncated past them).
+	shardDir := filepath.Join(dir, "shard-0000")
+	orphan := filepath.Join(shardDir, "00000000000000ff.blk")
+	if err := os.WriteFile(orphan, []byte("not a block at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(shardDir, "0000000000000100.blk.tmp")
+	if err := os.WriteFile(tmp, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openDurable(t, dir, ShardedOptions{Shards: 1, Blocks: BlockPolicy{HeadWindow: time.Minute}})
+	defer re.Close()
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphan block not deleted: %v", err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("temp block not deleted: %v", err)
+	}
+	mem := memReference(rows)
+	assertReadsEqual(t, mem, re, blockKey, time.Time{}, time.Now())
+}
+
+func TestBlockCorruptManifestBlockFailsOpenLoudly(t *testing.T) {
+	dir := t.TempDir()
+	rows := oldRows(200, blockKey)
+	eng := openDurable(t, dir, ShardedOptions{Shards: 1, Blocks: BlockPolicy{HeadWindow: time.Minute}})
+	if errs := eng.AppendBatch(rows); errs != nil {
+		t.Fatalf("append: %v", errs)
+	}
+	if err := eng.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+
+	blks, err := filepath.Glob(filepath.Join(dir, "shard-0000", "*.blk"))
+	if err != nil || len(blks) == 0 {
+		t.Fatalf("no block files: %v", err)
+	}
+	// Truncating a manifest-listed block is real data loss (the WAL below
+	// it is gone); recovery must fail loudly, never silently serve less.
+	if err := os.Truncate(blks[0], 10); err != nil {
+		t.Fatal(err)
+	}
+	opts := ShardedOptions{Shards: 1, Blocks: BlockPolicy{HeadWindow: time.Minute}}
+	opts.Dir = dir
+	if re, err := OpenSharded(opts); err == nil {
+		re.Close()
+		t.Fatal("open succeeded over a corrupt manifest-listed block")
+	}
+}
+
+func TestBlockRetentionDemoteGolden(t *testing.T) {
+	dir := t.TempDir()
+	// One sample per minute, minute i carrying value i+1, ending hours in
+	// the past — all beyond both the head window and the raw horizon.
+	base := time.Now().UTC().Truncate(time.Hour).Add(-6 * time.Hour)
+	var rows []Row
+	for i := 0; i < 10; i++ {
+		rows = append(rows, Row{Key: blockKey, Sample: Sample{
+			At: base.Add(time.Duration(i)*time.Minute + 5*time.Second), Value: float64(i + 1)}})
+	}
+	eng := openDurable(t, dir, ShardedOptions{Shards: 1, Blocks: BlockPolicy{
+		HeadWindow:   time.Minute,
+		RetentionRaw: time.Hour,
+	}})
+	defer eng.Close()
+	if errs := eng.AppendBatch(rows); errs != nil {
+		t.Fatalf("append: %v", errs)
+	}
+	// First cycle cuts the block; the second demotes it (a block is only
+	// demotable once it exists and lies wholly past the horizon).
+	if err := eng.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.ShardStatus(0)
+	if st.Blocks == 0 {
+		t.Fatal("no blocks")
+	}
+	if st.BlockSamples != 10 {
+		t.Fatalf("index samples = %d, want 10 (demotion must keep counts)", st.BlockSamples)
+	}
+
+	// Raw reads of the demoted range come back empty — the samples are
+	// gone by policy, not error.
+	got, err := eng.Query(blockKey, time.Time{}, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("demoted raw query returned %d samples, want 0", len(got))
+	}
+
+	// Whole-series aggregate stays exact: the index aggregates were built
+	// from the raw data before demotion.
+	agg, err := eng.Aggregate(blockKey, time.Time{}, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Count != 10 || agg.Min != 1 || agg.Max != 10 || agg.Sum != 55 || agg.Mean != 5.5 ||
+		agg.First.Value != 1 || agg.Last.Value != 10 {
+		t.Fatalf("whole-range aggregate = %+v", agg)
+	}
+
+	// Partial range over a demoted block folds whole 1m buckets that
+	// overlap [from, to]: minutes 2, 3 and 4 here (minute 5's sample sits
+	// at +5s past `to`).
+	agg, err = eng.Aggregate(blockKey, base.Add(2*time.Minute), base.Add(5*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Count != 3 || agg.Min != 3 || agg.Max != 5 || agg.Sum != 12 {
+		t.Fatalf("partial demoted aggregate = %+v, want count 3 min 3 max 5 sum 12", agg)
+	}
+
+	// 1m downsample over the demoted range reproduces the original
+	// buckets exactly (one sample per bucket).
+	buckets, err := eng.Downsample(blockKey, base, base.Add(10*time.Minute), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buckets) != 10 {
+		t.Fatalf("downsample over demoted block: %d buckets, want 10", len(buckets))
+	}
+	for i, b := range buckets {
+		if b.Count != 1 || b.Min != float64(i+1) || b.Max != float64(i+1) {
+			t.Fatalf("bucket %d = %+v", i, b)
+		}
+	}
+
+	// Latest survives demotion through the index aggregates.
+	last, err := eng.Latest(blockKey)
+	if err != nil || last.Value != 10 {
+		t.Fatalf("latest after demotion = %+v, %v", last, err)
+	}
+}
+
+func TestBlockRetentionRollupDropGolden(t *testing.T) {
+	dir := t.TempDir()
+	old := oldRows(50, blockKey) // ~3h old
+	fresh := SeriesKey{Device: "urn:district:turin/building:b01/device:d9", Quantity: "temperature"}
+	now := time.Now().UTC().Truncate(time.Second)
+	eng := openDurable(t, dir, ShardedOptions{Shards: 1, Blocks: BlockPolicy{
+		HeadWindow:      time.Minute,
+		RetentionRollup: 2 * time.Hour,
+	}})
+	defer eng.Close()
+	if errs := eng.AppendBatch(old); errs != nil {
+		t.Fatalf("append: %v", errs)
+	}
+	if err := eng.Append(fresh, Sample{At: now, Value: 7}); err != nil {
+		t.Fatal(err)
+	}
+	// Cycle one cuts the old rows into a block (entirely past the 2h
+	// rollup horizon); cycle two deletes that block.
+	if err := eng.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.ShardStatus(0); st.Blocks != 0 {
+		t.Fatalf("expired block not dropped: %+v", st)
+	}
+	// Until restart the head catalog still lists the emptied series (the
+	// compactor keeps catalog entries when it evicts rows into a block);
+	// its data is gone.
+	got, err := eng.Query(blockKey, time.Time{}, time.Now())
+	if err != nil || len(got) != 0 {
+		t.Fatalf("expired series query = %d samples, %v; want empty", len(got), err)
+	}
+	if n := eng.Len(blockKey); n != 0 {
+		t.Fatalf("expired series len = %d, want 0", n)
+	}
+	if n := eng.Len(fresh); n != 1 {
+		t.Fatalf("fresh series len = %d, want 1", n)
+	}
+	blks, _ := filepath.Glob(filepath.Join(dir, "shard-0000", "*.blk"))
+	if len(blks) != 0 {
+		t.Fatalf("expired block files left on disk: %v", blks)
+	}
+
+	// A restart rebuilds the catalog from the snapshot, which has no rows
+	// for the expired series: it is gone entirely.
+	eng.Close()
+	re := openDurable(t, dir, ShardedOptions{Shards: 1, Blocks: BlockPolicy{
+		HeadWindow:      time.Minute,
+		RetentionRollup: 2 * time.Hour,
+	}})
+	defer re.Close()
+	if _, err := re.Query(blockKey, time.Time{}, time.Now()); err != ErrNoSeries {
+		t.Fatalf("expired series query after restart err = %v, want ErrNoSeries", err)
+	}
+	if n := re.Len(fresh); n != 1 {
+		t.Fatalf("fresh series len after restart = %d, want 1", n)
+	}
+}
+
+func TestBlockDropSeriesRewritesBlocks(t *testing.T) {
+	dir := t.TempDir()
+	k2 := SeriesKey{Device: blockKey.Device, Quantity: "humidity"}
+	rows := oldRows(100, blockKey, k2)
+	eng := openDurable(t, dir, ShardedOptions{Shards: 1, Blocks: BlockPolicy{HeadWindow: time.Minute}})
+	defer eng.Close()
+	if errs := eng.AppendBatch(rows); errs != nil {
+		t.Fatalf("append: %v", errs)
+	}
+	if err := eng.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.DropSeries(blockKey); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Query(blockKey, time.Time{}, time.Now()); err != ErrNoSeries {
+		t.Fatalf("dropped series err = %v, want ErrNoSeries", err)
+	}
+	if n := eng.Len(k2); n != 100 {
+		t.Fatalf("sibling series len = %d, want 100", n)
+	}
+	// The drop survives a restart: blocks were rewritten, not masked.
+	eng.Close()
+	re := openDurable(t, dir, ShardedOptions{Shards: 1, Blocks: BlockPolicy{HeadWindow: time.Minute}})
+	defer re.Close()
+	if _, err := re.Query(blockKey, time.Time{}, time.Now()); err != ErrNoSeries {
+		t.Fatalf("dropped series err after restart = %v, want ErrNoSeries", err)
+	}
+	if n := re.Len(k2); n != 100 {
+		t.Fatalf("sibling series len after restart = %d, want 100", n)
+	}
+}
+
+func TestBlockImportAndReset(t *testing.T) {
+	src := t.TempDir()
+	rows := oldRows(120, blockKey)
+	eng := openDurable(t, src, ShardedOptions{Shards: 1, Blocks: BlockPolicy{HeadWindow: time.Minute}})
+	if errs := eng.AppendBatch(rows); errs != nil {
+		t.Fatalf("append: %v", errs)
+	}
+	if err := eng.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+
+	dst := t.TempDir()
+	re := openDurable(t, dst, ShardedOptions{Shards: 1, Blocks: BlockPolicy{HeadWindow: time.Minute}})
+	defer re.Close()
+	if err := re.ImportShardBlocks(0, filepath.Join(src, "shard-0000")); err != nil {
+		t.Fatal(err)
+	}
+	mem := memReference(rows)
+	assertReadsEqual(t, mem, re, blockKey, time.Time{}, time.Now())
+
+	// Reset wipes blocks too, durably.
+	if err := re.ResetShard(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := re.Query(blockKey, time.Time{}, time.Now()); err != ErrNoSeries {
+		t.Fatalf("query after reset err = %v, want ErrNoSeries", err)
+	}
+	blks, _ := filepath.Glob(filepath.Join(dst, "shard-0000", "*.blk"))
+	if len(blks) != 0 {
+		t.Fatalf("reset left block files: %v", blks)
+	}
+}
+
+func TestBlockVerifyShardDir(t *testing.T) {
+	dir := t.TempDir()
+	rows := oldRows(150, blockKey)
+	eng := openDurable(t, dir, ShardedOptions{Shards: 2, Blocks: BlockPolicy{HeadWindow: time.Minute}})
+	if errs := eng.AppendBatch(rows); errs != nil {
+		t.Fatalf("append: %v", errs)
+	}
+	if err := eng.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+
+	results, err := VerifyDataDir(dir)
+	if err != nil {
+		t.Fatalf("verify clean dir: %v", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("verified %d shard dirs, want 2", len(results))
+	}
+	var blocks int
+	for _, r := range results {
+		blocks += r.Blocks
+		if len(r.OrphanBlocks) != 0 {
+			t.Fatalf("unexpected orphans: %v", r.OrphanBlocks)
+		}
+	}
+	if blocks == 0 {
+		t.Fatal("verify saw no blocks")
+	}
+
+	// Corruption must surface.
+	blks, _ := filepath.Glob(filepath.Join(dir, "shard-*", "*.blk"))
+	if len(blks) == 0 {
+		t.Fatal("no block files")
+	}
+	f, err := os.OpenFile(blks[0], os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xff, 0xfe}, 32); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := VerifyDataDir(dir); err == nil {
+		t.Fatal("verify passed over a corrupt block")
+	}
+}
+
+func TestBlockStatsAndStatusAccounting(t *testing.T) {
+	dir := t.TempDir()
+	rows := oldRows(200, blockKey)
+	eng := openDurable(t, dir, ShardedOptions{Shards: 1, Blocks: BlockPolicy{HeadWindow: time.Minute}})
+	defer eng.Close()
+	if errs := eng.AppendBatch(rows); errs != nil {
+		t.Fatalf("append: %v", errs)
+	}
+	before := eng.Stats()
+	if err := eng.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	after := eng.Stats()
+	if before.Samples != after.Samples || before.Series != after.Series {
+		t.Fatalf("stats changed across compaction: %+v vs %+v", before, after)
+	}
+	st := eng.ShardStatus(0)
+	if st.Blocks == 0 || st.BlockBytes == 0 || st.BlockSamples != 200 {
+		t.Fatalf("shard status = %+v", st)
+	}
+	if st.Samples != 200 || st.Series != 1 {
+		t.Fatalf("shard status merged counts = %+v", st)
+	}
+}
+
+func TestBlockHeadWindowDisabledKeepsLegacySnapshots(t *testing.T) {
+	dir := t.TempDir()
+	rows := oldRows(100, blockKey)
+	eng := openDurable(t, dir, ShardedOptions{
+		Shards:        1,
+		SnapshotEvery: 50,
+		Blocks:        BlockPolicy{HeadWindow: -1},
+	})
+	if errs := eng.AppendBatch(rows); errs != nil {
+		t.Fatalf("append: %v", errs)
+	}
+	if err := eng.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.ShardStatus(0); st.Blocks != 0 {
+		t.Fatalf("blocks cut despite disabled head window: %+v", st)
+	}
+	eng.Close()
+	re := openDurable(t, dir, ShardedOptions{Shards: 1, Blocks: BlockPolicy{HeadWindow: -1}})
+	defer re.Close()
+	mem := memReference(rows)
+	assertReadsEqual(t, mem, re, blockKey, time.Time{}, time.Now())
+}
+
+// TestBlockPagedWalkManyPages exercises the merged QueryPage More/Next
+// contract across the head/block boundary with awkward page sizes.
+func TestBlockPagedWalkManyPages(t *testing.T) {
+	dir := t.TempDir()
+	rows := oldRows(237, blockKey)
+	eng := openDurable(t, dir, ShardedOptions{Shards: 1, Blocks: BlockPolicy{HeadWindow: time.Minute}})
+	defer eng.Close()
+	if errs := eng.AppendBatch(rows); errs != nil {
+		t.Fatalf("append: %v", errs)
+	}
+	if err := eng.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh rows into the head so the walk crosses blocks into head.
+	now := time.Now().UTC().Truncate(time.Second)
+	for i := 0; i < 23; i++ {
+		smp := Sample{At: now.Add(time.Duration(i-30) * time.Second), Value: float64(1000 + i)}
+		if err := eng.Append(blockKey, smp); err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, Row{Key: blockKey, Sample: smp})
+	}
+	for _, limit := range []int{1, 7, 100, 1000} {
+		var got []Sample
+		var cur Cursor
+		to := time.Now()
+		for {
+			page, err := eng.QueryPage(blockKey, time.Time{}, to, cur, limit)
+			if err != nil {
+				t.Fatalf("limit %d: %v", limit, err)
+			}
+			got = append(got, page.Samples...)
+			if !page.More {
+				break
+			}
+			if len(page.Samples) == 0 {
+				t.Fatalf("limit %d: empty page with More set", limit)
+			}
+			cur = page.Next
+		}
+		if len(got) != len(rows) {
+			t.Fatalf("limit %d: walked %d samples, want %d", limit, len(got), len(rows))
+		}
+		for i, smp := range got {
+			if !smp.At.Equal(rows[i].Sample.At) || smp.Value != rows[i].Sample.Value {
+				t.Fatalf("limit %d: sample %d = %+v, want %+v", limit, i, smp, rows[i].Sample)
+			}
+		}
+	}
+	_ = fmt.Sprintf // keep fmt imported if assertions change
+}

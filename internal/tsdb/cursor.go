@@ -131,12 +131,20 @@ func searchSamples(samples []Sample, f func(Sample) bool) int {
 	return lo
 }
 
+// pager serves bounded pages of one series range scan. The Store is
+// one implementation; a durable Sharded shard with block files is
+// another (its pages merge the in-memory head with the on-disk blocks).
+// The Iterator works against either.
+type pager interface {
+	QueryPage(key SeriesKey, from, to time.Time, cur Cursor, limit int) (Page, error)
+}
+
 // Iterator walks one series range in bounded pages: memory stays
 // O(page size) however large the range is. The store may mutate between
 // pages; the value-based cursor keeps the walk gap- and duplicate-free
 // with respect to the samples that remain stored.
 type Iterator struct {
-	s        *Store
+	p        pager
 	key      SeriesKey
 	from, to time.Time
 	pageSize int
@@ -153,13 +161,18 @@ type Iterator struct {
 // walk is stable while the series keeps growing. pageSize <= 0 means
 // DefaultPageLimit.
 func (s *Store) Iter(key SeriesKey, from, to time.Time, pageSize int) *Iterator {
+	return iterPager(s, key, from, to, pageSize)
+}
+
+// iterPager builds an Iterator over any pager.
+func iterPager(p pager, key SeriesKey, from, to time.Time, pageSize int) *Iterator {
 	if to.IsZero() {
 		to = time.Now()
 	}
 	if pageSize <= 0 {
 		pageSize = DefaultPageLimit
 	}
-	return &Iterator{s: s, key: key, from: from, to: to, pageSize: pageSize}
+	return &Iterator{p: p, key: key, from: from, to: to, pageSize: pageSize}
 }
 
 // StartAt positions the iterator to resume after cur (e.g. a cursor a
@@ -185,7 +198,7 @@ func (it *Iterator) Next() (Sample, bool) {
 			it.done = true
 			return Sample{}, false
 		}
-		page, err := it.s.QueryPage(it.key, it.from, it.to, it.page.Next, it.pageSize)
+		page, err := it.p.QueryPage(it.key, it.from, it.to, it.page.Next, it.pageSize)
 		if err != nil {
 			it.err = err
 			return Sample{}, false

@@ -46,9 +46,10 @@ type shardDisk struct {
 // shard's live state are registered as scrape-time callbacks instead,
 // so the append hot path never updates them.
 type shardMetrics struct {
-	walAppend *obs.Histogram
-	fsync     *obs.Histogram
-	snapDur   *obs.Histogram
+	walAppend  *obs.Histogram
+	fsync      *obs.Histogram
+	snapDur    *obs.Histogram
+	compactDur *obs.Histogram
 }
 
 func newShardMetrics(reg *obs.Registry, i int) *shardMetrics {
@@ -62,6 +63,9 @@ func newShardMetrics(reg *obs.Registry, i int) *shardMetrics {
 			obs.FastLatencyBuckets, shard),
 		snapDur: reg.Histogram("repro_tsdb_snapshot_duration_seconds",
 			"Snapshot cut duration, per shard.",
+			obs.LatencyBuckets, shard),
+		compactDur: reg.Histogram("repro_tsdb_block_compaction_seconds",
+			"Block compaction cycle duration (cut + retention + snapshot), per shard.",
 			obs.LatencyBuckets, shard),
 	}
 }
@@ -126,8 +130,10 @@ func loadOrWriteMeta(dir string, shards int) (int, error) {
 // recoverShard rebuilds one shard's store from its snapshot and log
 // tail, then leaves the log open for the shard worker to append to.
 // Workers are not running yet, so rows apply directly. onSync (may be
-// nil) is handed to the log as its fsync-latency observer.
-func recoverShard(dir string, store *Store, opts ShardedOptions, onSync func(time.Duration)) (*shardDisk, error) {
+// nil) is handed to the log as its fsync-latency observer. The returned
+// manifest names the block files the snapshot anchors (nil for legacy
+// or empty snapshots); the caller opens them.
+func recoverShard(dir string, store *Store, opts ShardedOptions, onSync func(time.Duration)) (*shardDisk, []string, error) {
 	apply := func(p []byte) error {
 		rows, err := decodeRows(p)
 		if err != nil {
@@ -143,21 +149,35 @@ func recoverShard(dir string, store *Store, opts ShardedOptions, onSync func(tim
 		return nil
 	}
 
+	var manifest []string
 	snapSeq, sr, err := wal.LatestSnapshot(dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if sr != nil {
+		first := true
 		for {
 			p, err := sr.Record()
 			if errors.Is(err, io.EOF) {
 				break
 			}
 			if err != nil {
-				return nil, errors.Join(err, sr.Close())
+				return nil, nil, errors.Join(err, sr.Close())
+			}
+			if first {
+				first = false
+				// The first record of a block-bearing snapshot is the
+				// block manifest, not rows.
+				if names, ok, merr := decodeManifest(p); ok {
+					if merr != nil {
+						return nil, nil, errors.Join(merr, sr.Close())
+					}
+					manifest = names
+					continue
+				}
 			}
 			if err := apply(p); err != nil {
-				return nil, errors.Join(err, sr.Close())
+				return nil, nil, errors.Join(err, sr.Close())
 			}
 		}
 		// The snapshot was applied to EOF; a close error on the
@@ -172,14 +192,14 @@ func recoverShard(dir string, store *Store, opts ShardedOptions, onSync func(tim
 		OnSync:       onSync,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := log.Replay(snapSeq, func(_ uint64, p []byte) error { return apply(p) }); err != nil {
-		return nil, errors.Join(err, log.Close())
+		return nil, nil, errors.Join(err, log.Close())
 	}
 	disk := &shardDisk{log: log, dir: dir}
 	disk.lastSnap.Store(time.Now().UnixNano())
-	return disk, nil
+	return disk, manifest, nil
 }
 
 // ReadShardDir streams the row batches a shard directory holds — the
@@ -201,6 +221,7 @@ func ReadShardDir(dir string, fn func([]Row) error) error {
 		return err
 	}
 	if sr != nil {
+		first := true
 		for {
 			p, err := sr.Record()
 			if errors.Is(err, io.EOF) {
@@ -208,6 +229,17 @@ func ReadShardDir(dir string, fn func([]Row) error) error {
 			}
 			if err != nil {
 				return errors.Join(err, sr.Close())
+			}
+			if first {
+				first = false
+				// Skip the block manifest: ReadShardDir emits only the
+				// rows that can replay through a write path (head
+				// snapshot rows + WAL tail). Block files ship wholesale
+				// via BlockFiles/ImportShardBlocks — demoted data has
+				// no raw rows to replay.
+				if _, ok, _ := decodeManifest(p); ok {
+					continue
+				}
 			}
 			if err := apply(p); err != nil {
 				return errors.Join(err, sr.Close())
@@ -228,8 +260,10 @@ func ReadShardDir(dir string, fn func([]Row) error) error {
 // maybeSnapshot cuts a snapshot of the shard's store at the current log
 // watermark when the record- or time-based cadence is due, then drops
 // the log segments and older snapshots below it. Runs on the shard
-// worker, so the store sees no concurrent writes while dumping.
-func (s *Sharded) maybeSnapshot(store *Store, disk *shardDisk) {
+// worker, so the store sees no concurrent writes while dumping. On a
+// block-bearing shard the snapshot step IS the compaction cycle: head
+// rows past the head window move into a block file in the same pass.
+func (s *Sharded) maybeSnapshot(store *Store, disk *shardDisk, bs *blockSet) {
 	pending := disk.sinceSnap.Load()
 	if pending == 0 {
 		return
@@ -242,6 +276,10 @@ func (s *Sharded) maybeSnapshot(store *Store, disk *shardDisk) {
 	}
 	start := time.Now()
 	disk.lastSnap.Store(start.UnixNano()) // even on failure: retry next cadence, not next batch
+	if bs != nil {
+		_ = s.compactShard(store, disk, bs) // on failure: log intact, previous view authoritative
+		return
+	}
 	seq := disk.log.LastSeq()
 	err := store.writeSnapshot(disk.dir, seq)
 	if disk.mx != nil {

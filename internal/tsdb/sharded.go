@@ -115,6 +115,13 @@ type ShardedOptions struct {
 	// SnapshotInterval also cuts a snapshot when the last one is older
 	// than this (checked on append activity; 0 disables).
 	SnapshotInterval time.Duration
+	// Blocks configures the columnar block layer of a durable engine:
+	// at snapshot cadence each shard cuts head rows older than the head
+	// window into compressed immutable block files with 1m/1h rollups,
+	// and applies the raw/rollup retention horizons. Only meaningful
+	// with Dir set; the zero value means DefaultHeadWindow and infinite
+	// retention.
+	Blocks BlockPolicy
 
 	// Metrics, when set, registers the engine's internals on the given
 	// registry: per-shard WAL append/fsync latency histograms, WAL
@@ -137,7 +144,11 @@ type Sharded struct {
 
 	// disks is the per-shard durable state (nil for in-memory engines);
 	// after recovery only each shard's worker touches its entry.
-	disks        []*shardDisk
+	disks []*shardDisk
+	// bsets is the per-shard published block view (nil for in-memory
+	// engines); workers mutate, readers capture under its read lock.
+	bsets        []*blockSet
+	blockPolicy  BlockPolicy
 	snapEvery    int
 	snapInterval time.Duration
 	// dropped counts fire-and-forget (Enqueue) rows a durable shard
@@ -148,6 +159,11 @@ type Sharded struct {
 	// groupRows is the commit-group size distribution (nil when the
 	// engine is uninstrumented).
 	groupRows *obs.Histogram
+
+	// headReads/blockReads classify merged reads by whether any block
+	// file was consulted (exposed as repro_tsdb_reads_total{path=...}).
+	headReads  atomic.Uint64
+	blockReads atomic.Uint64
 
 	mu     sync.RWMutex // guards closed vs. queue sends
 	closed bool
@@ -171,7 +187,28 @@ type batchItem struct {
 	// items never join a commit group — everything queued before one is
 	// committed first, everything after it applies to the emptied shard.
 	reset chan error
+	// op, when set, is a queued admin operation (forced compaction,
+	// block import, series drop). Like reset it never joins a commit
+	// group: everything queued before it commits first.
+	op *shardOp
 }
+
+// shardOp is one admin operation routed through a shard's worker so it
+// runs with single-writer semantics against the store and blocks.
+type shardOp struct {
+	kind opKind
+	dir  string    // opImport: source shard directory
+	key  SeriesKey // opDrop: series to remove
+	done chan error
+}
+
+type opKind int
+
+const (
+	opCompact opKind = iota
+	opImport
+	opDrop
+)
 
 // NewSharded creates a Sharded engine and starts its append workers.
 // It can only fail when Options.Dir requests durability — use
@@ -232,6 +269,19 @@ func OpenSharded(opts ShardedOptions) (*Sharded, error) {
 	}
 	if opts.Dir != "" {
 		s.disks = make([]*shardDisk, n)
+		s.bsets = make([]*blockSet, n)
+		s.blockPolicy = opts.Blocks
+		fail := func(i int, err error) error {
+			for _, d := range s.disks[:i] {
+				err = errors.Join(err, d.log.Close())
+			}
+			for _, bs := range s.bsets[:i] {
+				for _, b := range bs.blocks {
+					err = errors.Join(err, b.Close())
+				}
+			}
+			return err
+		}
 		for i := 0; i < n; i++ {
 			var mx *shardMetrics
 			var onSync func(time.Duration)
@@ -239,15 +289,16 @@ func OpenSharded(opts ShardedOptions) (*Sharded, error) {
 				mx = newShardMetrics(reg, i)
 				onSync = mx.fsync.ObserveDuration
 			}
-			disk, err := recoverShard(filepath.Join(opts.Dir, fmt.Sprintf("shard-%04d", i)), s.shards[i], opts, onSync)
+			disk, manifest, err := recoverShard(filepath.Join(opts.Dir, fmt.Sprintf("shard-%04d", i)), s.shards[i], opts, onSync)
 			if err != nil {
-				err = fmt.Errorf("tsdb: recover shard %d: %w", i, err)
-				for _, d := range s.disks[:i] {
-					err = errors.Join(err, d.log.Close())
-				}
-				return nil, err
+				return nil, fail(i, fmt.Errorf("tsdb: recover shard %d: %w", i, err))
+			}
+			blocks, nextID, err := openManifestBlocks(disk.dir, manifest)
+			if err != nil {
+				return nil, fail(i, errors.Join(fmt.Errorf("tsdb: recover shard %d: %w", i, err), disk.log.Close()))
 			}
 			disk.mx = mx
+			bs := &blockSet{dir: disk.dir, blocks: blocks, nextID: nextID}
 			if reg != nil {
 				d := disk
 				shard := obs.Labels{"shard": strconv.Itoa(i)}
@@ -262,8 +313,53 @@ func OpenSharded(opts ShardedOptions) (*Sharded, error) {
 					shard, func() float64 {
 						return time.Since(time.Unix(0, d.lastSnap.Load())).Seconds()
 					})
+				reg.GaugeFunc("repro_tsdb_block_files",
+					"Published columnar block files of the shard.",
+					shard, func() float64 {
+						bs.mu.RLock()
+						defer bs.mu.RUnlock()
+						return float64(len(bs.blocks))
+					})
+				reg.GaugeFunc("repro_tsdb_block_bytes",
+					"On-disk bytes of the shard's published block files.",
+					shard, func() float64 {
+						bs.mu.RLock()
+						defer bs.mu.RUnlock()
+						var sum int64
+						for _, b := range bs.blocks {
+							sum += b.Size()
+						}
+						return float64(sum)
+					})
+				reg.GaugeFunc("repro_tsdb_block_rollup_lag_seconds",
+					"Age of the newest block-covered sample — how far the rollup tier trails the head (0 until the first cut).",
+					shard, func() float64 {
+						bs.mu.RLock()
+						defer bs.mu.RUnlock()
+						var maxT int64
+						for _, b := range bs.blocks {
+							if b.MaxT() > maxT {
+								maxT = b.MaxT()
+							}
+						}
+						if maxT == 0 {
+							return 0
+						}
+						return time.Since(time.Unix(0, maxT)).Seconds()
+					})
 			}
 			s.disks[i] = disk
+			s.bsets[i] = bs
+		}
+		if reg != nil {
+			reg.CounterFunc("repro_tsdb_reads_total",
+				"Merged reads by whether any block file was consulted.",
+				obs.Labels{"path": "head"},
+				func() float64 { return float64(s.headReads.Load()) })
+			reg.CounterFunc("repro_tsdb_reads_total",
+				"Merged reads by whether any block file was consulted.",
+				obs.Labels{"path": "blocks"},
+				func() float64 { return float64(s.blockReads.Load()) })
 		}
 	}
 	for i := 0; i < n; i++ {
@@ -291,8 +387,10 @@ func (s *Sharded) worker(i int) {
 	store := s.shards[i]
 	q := s.queues[i]
 	var disk *shardDisk
+	var bs *blockSet
 	if s.disks != nil {
 		disk = s.disks[i]
+		bs = s.bsets[i]
 	}
 	group := make([]batchItem, 0, maxCommitGroup)
 	for {
@@ -300,13 +398,13 @@ func (s *Sharded) worker(i int) {
 		if !ok {
 			return
 		}
-		if item.reset != nil {
-			item.reset <- s.resetShard(store, disk)
+		if item.reset != nil || item.op != nil {
+			s.runBarrier(store, disk, bs, item)
 			continue
 		}
 		group = append(group[:0], item)
 		closed := false
-		var pendingReset chan error
+		var pending *batchItem
 	drain:
 		for len(group) < maxCommitGroup {
 			select {
@@ -315,12 +413,13 @@ func (s *Sharded) worker(i int) {
 					closed = true
 					break drain
 				}
-				if it.reset != nil {
-					// A reset must not ride a commit group: rows queued
-					// behind it would be journaled before the reset runs
-					// and then truncated by it. Commit what came first,
-					// then reset.
-					pendingReset = it.reset
+				if it.reset != nil || it.op != nil {
+					// A reset or admin op must not ride a commit group:
+					// rows queued behind it would be journaled before it
+					// runs and then truncated/compacted by it. Commit
+					// what came first, then run the barrier item.
+					it := it
+					pending = &it
 					break drain
 				}
 				group = append(group, it)
@@ -328,9 +427,9 @@ func (s *Sharded) worker(i int) {
 				break drain
 			}
 		}
-		s.commitGroup(store, disk, group)
-		if pendingReset != nil {
-			pendingReset <- s.resetShard(store, disk)
+		s.commitGroup(store, disk, bs, group)
+		if pending != nil {
+			s.runBarrier(store, disk, bs, *pending)
 		}
 		if closed {
 			return
@@ -338,19 +437,46 @@ func (s *Sharded) worker(i int) {
 	}
 }
 
+// runBarrier executes a reset or admin-op queue item on the shard
+// worker, outside any commit group.
+func (s *Sharded) runBarrier(store *Store, disk *shardDisk, bs *blockSet, item batchItem) {
+	if item.reset != nil {
+		item.reset <- s.resetShard(store, disk, bs)
+		return
+	}
+	op := item.op
+	var err error
+	switch {
+	case disk == nil:
+		err = fmt.Errorf("tsdb: admin op requires a durable engine")
+	case op.kind == opCompact:
+		err = s.compactShard(store, disk, bs)
+	case op.kind == opImport:
+		err = s.importBlocks(store, disk, bs, op.dir)
+	case op.kind == opDrop:
+		err = s.dropSeries(store, disk, bs, op.key)
+	}
+	op.done <- err
+}
+
 // resetShard empties one shard: the in-memory store, and on a durable
 // shard the WAL — an empty snapshot is cut at the current watermark and
 // every segment and older snapshot below it is dropped, so a reopen
 // recovers the shard as empty. Runs on the shard worker, never
 // concurrently with an append.
-func (s *Sharded) resetShard(store *Store, disk *shardDisk) error {
+func (s *Sharded) resetShard(store *Store, disk *shardDisk, bs *blockSet) error {
 	store.Reset()
 	if disk == nil {
 		return nil
 	}
+	// An empty snapshot carries no manifest, which recovery reads as
+	// "no blocks" — the durable statement that the block files are gone.
 	seq := disk.log.LastSeq()
 	if err := wal.WriteSnapshot(disk.dir, seq, func(*wal.SnapshotWriter) error { return nil }); err != nil {
 		return err
+	}
+	if bs != nil {
+		bs.clear()
 	}
 	if err := disk.log.TruncateBefore(seq + 1); err != nil {
 		return err
@@ -366,7 +492,7 @@ func (s *Sharded) resetShard(store *Store, disk *shardDisk) error {
 // before the in-memory store, and the store before its producer is
 // unblocked. A WAL failure fails every row in the wave without applying
 // any of them — the engine never acknowledges state it cannot recover.
-func (s *Sharded) commitGroup(store *Store, disk *shardDisk, group []batchItem) {
+func (s *Sharded) commitGroup(store *Store, disk *shardDisk, bs *blockSet, group []batchItem) {
 	if s.groupRows != nil {
 		rows := 0
 		for _, it := range group {
@@ -457,7 +583,7 @@ func (s *Sharded) commitGroup(store *Store, disk *shardDisk, group []batchItem) 
 		}
 	}
 	if disk != nil {
-		s.maybeSnapshot(store, disk)
+		s.maybeSnapshot(store, disk, bs)
 	}
 }
 
@@ -554,10 +680,17 @@ type ShardStatus struct {
 	WALPending  int64  `json:"wal_pending_rows"`
 	WALSegments int    `json:"wal_segments"`
 	Dir         string `json:"dir,omitempty"`
+	// Block-layer counters (zero on an in-memory engine): published
+	// block files, their on-disk bytes, and the samples they cover
+	// (index counts — demoted series still contribute).
+	Blocks       int   `json:"blocks,omitempty"`
+	BlockBytes   int64 `json:"block_bytes,omitempty"`
+	BlockSamples int64 `json:"block_samples,omitempty"`
 }
 
 // ShardStatus snapshots one shard's live counters (zero durable fields
-// on an in-memory engine).
+// on an in-memory engine). Series and Samples merge the head with the
+// block files.
 func (s *Sharded) ShardStatus(i int) ShardStatus {
 	st := s.shards[i].Stats()
 	out := ShardStatus{Shard: i, Series: st.Series, Samples: st.Samples}
@@ -566,6 +699,16 @@ func (s *Sharded) ShardStatus(i int) ShardStatus {
 		out.WALPending = d.sinceSnap.Load()
 		out.WALSegments = d.log.Segments()
 		out.Dir = d.dir
+		bs := s.bsets[i]
+		out.Series = len(s.shardKeysMerged(i))
+		bs.mu.RLock()
+		out.Blocks = len(bs.blocks)
+		for _, b := range bs.blocks {
+			out.BlockBytes += b.Size()
+			out.BlockSamples += b.NumSamples()
+		}
+		bs.mu.RUnlock()
+		out.Samples += int(out.BlockSamples)
 	}
 	return out
 }
@@ -744,36 +887,57 @@ func (s *Sharded) Flush() {
 	done.Wait()
 }
 
-// Query routes to the owning shard.
+// Query routes to the owning shard; on a durable engine the result
+// merges the in-memory head with the shard's block files.
 func (s *Sharded) Query(key SeriesKey, from, to time.Time) ([]Sample, error) {
+	if s.bsets != nil {
+		return s.mergedQuery(key, from, to)
+	}
 	return s.shard(key.Device).Query(key, from, to)
 }
 
 // QueryPage routes to the owning shard. A series lives in exactly one
 // shard, so the value-based cursor is by construction a per-shard resume
-// position and keeps its mutation-safety across pages.
+// position and keeps its mutation-safety across pages — including
+// across a compaction moving samples from the head into a block
+// mid-walk, since the cursor is a timestamp, not an offset.
 func (s *Sharded) QueryPage(key SeriesKey, from, to time.Time, cur Cursor, limit int) (Page, error) {
+	if s.bsets != nil {
+		return s.mergedQueryPage(key, from, to, cur, limit)
+	}
 	return s.shard(key.Device).QueryPage(key, from, to, cur, limit)
 }
 
-// Iter returns the owning shard's iterator.
+// Iter returns an iterator over the owning shard (head and blocks
+// merged on a durable engine).
 func (s *Sharded) Iter(key SeriesKey, from, to time.Time, pageSize int) *Iterator {
+	if s.bsets != nil {
+		return iterPager(s, key, from, to, pageSize)
+	}
 	return s.shard(key.Device).Iter(key, from, to, pageSize)
 }
 
 // Latest routes to the owning shard.
 func (s *Sharded) Latest(key SeriesKey) (Sample, error) {
+	if s.bsets != nil {
+		return s.mergedLatest(key)
+	}
 	return s.shard(key.Device).Latest(key)
 }
 
 // Len routes to the owning shard.
-func (s *Sharded) Len(key SeriesKey) int { return s.shard(key.Device).Len(key) }
+func (s *Sharded) Len(key SeriesKey) int {
+	if s.bsets != nil {
+		return s.mergedLen(key)
+	}
+	return s.shard(key.Device).Len(key)
+}
 
 // Keys concatenates every shard's keys, in no particular order.
 func (s *Sharded) Keys() []SeriesKey {
 	var out []SeriesKey
-	for _, sh := range s.shards {
-		out = append(out, sh.Keys()...)
+	for i := range s.shards {
+		out = append(out, s.ShardKeys(i)...)
 	}
 	return out
 }
@@ -781,20 +945,35 @@ func (s *Sharded) Keys() []SeriesKey {
 // KeysForDevice routes to the owning shard (a device's series never
 // straddle shards).
 func (s *Sharded) KeysForDevice(device string) []SeriesKey {
+	if s.bsets != nil {
+		return s.mergedKeysForDevice(device)
+	}
 	return s.shard(device).KeysForDevice(device)
 }
 
-// Aggregate routes to the owning shard.
+// Aggregate routes to the owning shard. On a durable engine blocks
+// fully inside the range answer from their index statistics without
+// touching sample data.
 func (s *Sharded) Aggregate(key SeriesKey, from, to time.Time) (Aggregate, error) {
+	if s.bsets != nil {
+		return s.mergedAggregate(key, from, to)
+	}
 	return s.shard(key.Device).Aggregate(key, from, to)
 }
 
-// Downsample routes to the owning shard.
+// Downsample routes to the owning shard. On a durable engine,
+// minute/hour-multiple windows are served from precomputed rollups over
+// the block-covered stretches of the range.
 func (s *Sharded) Downsample(key SeriesKey, from, to time.Time, window time.Duration) ([]Bucket, error) {
+	if s.bsets != nil {
+		return s.mergedDownsample(key, from, to, window)
+	}
 	return s.shard(key.Device).Downsample(key, from, to, window)
 }
 
-// Stats sums the shard counters.
+// Stats sums the shard counters. Samples counts head and block samples
+// together, so it is invariant across compaction (and across retention
+// demotion — demoted series keep contributing their index counts).
 func (s *Sharded) Stats() Stats {
 	var st Stats
 	st.Shards = len(s.shards)
@@ -804,11 +983,97 @@ func (s *Sharded) Stats() Stats {
 		st.Series += sub.Series
 		st.Samples += sub.Samples
 	}
+	if s.bsets != nil {
+		st.Series = 0
+		for i := range s.shards {
+			st.Series += len(s.ShardKeys(i))
+		}
+		for _, bs := range s.bsets {
+			bs.mu.RLock()
+			for _, b := range bs.blocks {
+				st.Samples += int(b.NumSamples())
+			}
+			bs.mu.RUnlock()
+		}
+	}
 	return st
 }
 
-// Drop removes a series from its owning shard.
-func (s *Sharded) Drop(key SeriesKey) { s.shard(key.Device).Drop(key) }
+// Drop removes a series from its owning shard. On a durable engine the
+// removal routes through the shard worker, which also rewrites any
+// block files containing the series and anchors the new view with a
+// snapshot; a failure there leaves the block copies in place (the head
+// part is already gone) and is reported via DropSeries.
+func (s *Sharded) Drop(key SeriesKey) {
+	if s.bsets != nil {
+		if err := s.DropSeries(key); err != nil && !errors.Is(err, ErrClosed) {
+			log.Printf("tsdb: drop %s: %v", key, err)
+		}
+		return
+	}
+	s.shard(key.Device).Drop(key)
+}
+
+// DropSeries is Drop with the block-rewrite outcome reported.
+func (s *Sharded) DropSeries(key SeriesKey) error {
+	if s.bsets == nil {
+		s.shard(key.Device).Drop(key)
+		return nil
+	}
+	return s.enqueueOp(s.ShardFor(key.Device), &shardOp{kind: opDrop, key: key})
+}
+
+// CompactShard forces one compaction cycle on shard i through its
+// worker queue: cut head rows past the head window into a block, apply
+// retention, snapshot, truncate the WAL. Requires a durable engine.
+func (s *Sharded) CompactShard(i int) error {
+	if i < 0 || i >= len(s.shards) {
+		return fmt.Errorf("tsdb: shard %d out of range [0,%d)", i, len(s.shards))
+	}
+	if s.bsets == nil {
+		return fmt.Errorf("tsdb: compaction requires a durable engine")
+	}
+	return s.enqueueOp(i, &shardOp{kind: opCompact})
+}
+
+// CompactAll forces a compaction cycle on every shard.
+func (s *Sharded) CompactAll() error {
+	var err error
+	for i := range s.shards {
+		if cerr := s.CompactShard(i); cerr != nil {
+			err = errors.Join(err, fmt.Errorf("shard %d: %w", i, cerr))
+		}
+	}
+	return err
+}
+
+// ImportShardBlocks copies the block files referenced by srcDir's
+// snapshot manifest into shard i and publishes them. The cluster
+// restore path ships block files wholesale with it — rollup-only
+// (demoted) data has no raw rows left to replay through the write path.
+func (s *Sharded) ImportShardBlocks(i int, srcDir string) error {
+	if i < 0 || i >= len(s.shards) {
+		return fmt.Errorf("tsdb: shard %d out of range [0,%d)", i, len(s.shards))
+	}
+	if s.bsets == nil {
+		return fmt.Errorf("tsdb: block import requires a durable engine")
+	}
+	return s.enqueueOp(i, &shardOp{kind: opImport, dir: srcDir})
+}
+
+// enqueueOp routes an admin op through shard i's worker and waits for
+// its outcome.
+func (s *Sharded) enqueueOp(i int, op *shardOp) error {
+	op.done = make(chan error, 1)
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	s.queues[i] <- batchItem{op: op}
+	s.mu.RUnlock()
+	return <-op.done
+}
 
 // Close drains the append queues, stops the workers, syncs and closes
 // the per-shard WALs, and closes the shards. Subsequent writes fail
@@ -839,6 +1104,17 @@ func (s *Sharded) CloseErr() error {
 	for i, d := range s.disks {
 		if cerr := d.log.Close(); cerr != nil {
 			err = errors.Join(err, fmt.Errorf("shard %d: %w", i, cerr))
+		}
+	}
+	for i, bs := range s.bsets {
+		bs.mu.Lock()
+		blocks := bs.blocks
+		bs.blocks = nil
+		bs.mu.Unlock()
+		for _, b := range blocks {
+			if cerr := b.Close(); cerr != nil {
+				err = errors.Join(err, fmt.Errorf("shard %d: %w", i, cerr))
+			}
 		}
 	}
 	for _, sh := range s.shards {

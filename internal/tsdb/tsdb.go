@@ -410,7 +410,13 @@ func (s *Store) Downsample(key SeriesKey, from, to time.Time, window time.Durati
 	if window <= 0 {
 		return nil, fmt.Errorf("tsdb: non-positive window %v", window)
 	}
-	it := s.Iter(key, from, to, 0)
+	return downsampleIter(s.Iter(key, from, to, 0), from, window)
+}
+
+// downsampleIter folds an iterator's samples into fixed windows — the
+// shared core of Store.Downsample and the merged head+block raw
+// fallback path.
+func downsampleIter(it *Iterator, from time.Time, window time.Duration) ([]Bucket, error) {
 	var out []Bucket
 	var cur Aggregate
 	var curStart time.Time
@@ -441,6 +447,92 @@ func (s *Store) Downsample(key SeriesKey, from, to time.Time, window time.Durati
 	}
 	flush()
 	return out, nil
+}
+
+// collectBefore returns, per series, copies of every stored sample with
+// At before t, in ascending time order (spills are folded first). The
+// compactor calls it on the shard worker to gather the rows a block cut
+// will cover; series with no old samples are omitted.
+func (s *Store) collectBefore(t time.Time) map[SeriesKey][]Sample {
+	out := make(map[SeriesKey][]Sample)
+	for _, key := range s.Keys() {
+		s.mu.RLock()
+		sr := s.series[key]
+		s.mu.RUnlock()
+		if sr == nil {
+			continue
+		}
+		sr.mu.Lock()
+		if len(sr.spill) > 0 {
+			sr.foldSpill()
+		}
+		var old []Sample
+		for _, seg := range sr.segments {
+			n := len(seg.samples)
+			if n == 0 {
+				continue
+			}
+			if !seg.samples[0].At.Before(t) {
+				break
+			}
+			hi := searchSamples(seg.samples, func(smp Sample) bool { return !smp.At.Before(t) })
+			old = append(old, seg.samples[:hi]...)
+			if hi < n {
+				break
+			}
+		}
+		sr.mu.Unlock()
+		if len(old) > 0 {
+			out[key] = old
+		}
+	}
+	return out
+}
+
+// evictBefore drops every stored sample with At before t from every
+// series, keeping the (possibly now-empty) series entries in the
+// catalog. Purely in-memory — the compactor runs it under the block
+// view's write lock to swap "rows in head" for "rows in the new block"
+// atomically against readers.
+func (s *Store) evictBefore(t time.Time) {
+	for _, key := range s.Keys() {
+		s.mu.RLock()
+		sr := s.series[key]
+		s.mu.RUnlock()
+		if sr == nil {
+			continue
+		}
+		sr.mu.Lock()
+		if len(sr.spill) > 0 {
+			sr.foldSpill()
+		}
+		for len(sr.segments) > 0 {
+			seg := sr.segments[0]
+			n := len(seg.samples)
+			if n == 0 {
+				sr.segments = sr.segments[1:]
+				continue
+			}
+			if !seg.samples[0].At.Before(t) {
+				break
+			}
+			hi := searchSamples(seg.samples, func(smp Sample) bool { return !smp.At.Before(t) })
+			sr.count -= hi
+			if hi == n {
+				sr.segments = sr.segments[1:]
+				continue
+			}
+			seg.samples = seg.samples[hi:]
+			break
+		}
+		if len(sr.segments) == 0 {
+			sr.lastAt = time.Time{}
+			if len(sr.spill) == 0 {
+				sr.count = 0
+			}
+		}
+		sr.mu.Unlock()
+	}
 }
 
 // Stats summarizes the whole store (or, for a Sharded engine, all

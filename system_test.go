@@ -983,6 +983,20 @@ func TestSystemClusterHandoffUnderLiveIngest(t *testing.T) {
 	if res, err := ing.Append(ctx, dedupRows, client.WithIdempotencyKey("handoff-dedup")); err != nil || res.Accepted != 1 {
 		t.Fatalf("dedup seed: %+v, %v", res, err)
 	}
+	// Force a block compaction on node 0: the quiesced humidity rows are
+	// ~90 minutes old, well past the head window, so they move from the
+	// WAL into a columnar block file. The shard handoff below must ship
+	// those block bytes for the golden query to survive the flip.
+	if err := c.Ops(url0).Compact(ctx, -1); err != nil {
+		t.Fatalf("pre-move compaction: %v", err)
+	}
+	st0, err := c.Ops(url0).StorageStatus(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st0.Durable || st0.Shards[moveShard].Blocks == 0 {
+		t.Fatalf("moving shard has no blocks before the move: %+v", st0.Shards[moveShard])
+	}
 	goldenQuery := measuredb.BatchQuery{
 		Selectors: []measuredb.SeriesSelector{{Device: movDev, Quantity: "humidity"}},
 		From:      base.Add(-40 * time.Minute),
@@ -1061,6 +1075,15 @@ func TestSystemClusterHandoffUnderLiveIngest(t *testing.T) {
 	}
 	if n := n0.Store().Len(movKey); n != 0 {
 		t.Fatalf("source node still holds %d samples after release", n)
+	}
+	// The block file rode along: the target serves the moved shard from
+	// block storage, not just replayed WAL rows.
+	st1, err := c.Ops(url1).StorageStatus(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Shards[moveShard].Blocks == 0 {
+		t.Fatalf("moved shard has no blocks on the target: %+v", st1.Shards[moveShard])
 	}
 
 	// Byte-for-byte golden across the epoch flip.

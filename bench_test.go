@@ -12,7 +12,9 @@ package repro
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -1688,4 +1690,196 @@ func BenchmarkD4_RollupAggregate(b *testing.B) {
 			}
 		}
 	})
+}
+
+// ---------------------------------------------------------------------
+// H — the hot-path allocation overhaul: per-row allocation budgets on
+// the /v2 ingest decode and query encode planes (pooled scanner and
+// row encoders vs the reflecting encoding/json paths they replaced),
+// and the generation-keyed result cache's cached-vs-uncached latency.
+// The committed ceilings live in BENCH_hotpath.json and hotalloc_ci.json;
+// CI runs H1/H2 at -benchtime=1x and fails on regression.
+// ---------------------------------------------------------------------
+
+// discardResponseWriter sinks a response body without buffering it, so
+// MemStats deltas around a handler call measure the handler, not the
+// recorder.
+type discardResponseWriter struct {
+	h      http.Header
+	status int
+}
+
+func (d *discardResponseWriter) Header() http.Header { return d.h }
+
+func (d *discardResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+func (d *discardResponseWriter) WriteHeader(status int) {
+	if d.status == 0 {
+		d.status = status
+	}
+}
+
+// benchAllocsPerRow times fn (which processes rowsPerOp rows per call)
+// and reports steady-state heap allocations per row from the MemStats
+// delta across the timed loop. One untimed warm-up call primes pools,
+// interners, and lazily created metrics so the figure is the per-row
+// budget, not first-request setup.
+func benchAllocsPerRow(b *testing.B, rowsPerOp int, fn func()) {
+	b.Helper()
+	fn()
+	b.ReportAllocs()
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn()
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&m1)
+	rows := float64(b.N) * float64(rowsPerOp)
+	b.ReportMetric(float64(m1.Mallocs-m0.Mallocs)/rows, "allocs/row")
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(rows/secs, "rows/s")
+	}
+}
+
+// H1 — ingest decode allocations. One op is a full POST /v2/ingest of
+// 8192 rows through the service handler (routing and envelope
+// included); allocs/row is the steady-state heap cost of decoding,
+// validating, and applying one row. The pooled zero-copy scanner's
+// budget is <= 2 allocs/row on both transports.
+func BenchmarkH1_IngestAllocs(b *testing.B) {
+	const (
+		devices   = 64
+		rowsPerOp = 8192
+	)
+	deviceOf := func(d int) string {
+		return fmt.Sprintf("urn:district:turin/building:b%03d/device:d0", d)
+	}
+	rowJSON := func(i int) string {
+		return fmt.Sprintf(`{"device":%q,"quantity":"temperature","at":"2015-03-09T%02d:%02d:%02dZ","value":%d.25}`,
+			deviceOf(i%devices), 10+i/3600%8, i/60%60, i%60, i%97)
+	}
+	var nd, batch bytes.Buffer
+	batch.WriteString(`{"rows":[`)
+	for i := 0; i < rowsPerOp; i++ {
+		nd.WriteString(rowJSON(i))
+		nd.WriteByte('\n')
+		if i > 0 {
+			batch.WriteByte(',')
+		}
+		batch.WriteString(rowJSON(i))
+	}
+	batch.WriteString(`]}`)
+
+	run := func(b *testing.B, body []byte, contentType string) {
+		svc := measuredb.New(measuredb.Options{
+			DisableLegacyAliases: true,
+			Engine: tsdb.NewSharded(tsdb.ShardedOptions{
+				Store: tsdb.Options{MaxSamplesPerSeries: 1 << 22},
+			}),
+		})
+		b.Cleanup(svc.Close)
+		h := svc.Handler()
+		benchAllocsPerRow(b, rowsPerOp, func() {
+			req := httptest.NewRequest("POST", "/v2/ingest", bytes.NewReader(body))
+			req.Header.Set("Content-Type", contentType)
+			w := &discardResponseWriter{h: make(http.Header)}
+			h.ServeHTTP(w, req)
+			if w.status != 200 {
+				b.Fatalf("ingest status %d", w.status)
+			}
+		})
+	}
+	b.Run("transport=ndjson", func(b *testing.B) { run(b, nd.Bytes(), measuredb.NDJSONType) })
+	b.Run("transport=json-batch", func(b *testing.B) { run(b, batch.Bytes(), "application/json") })
+}
+
+// H2 — query encode allocations. One op streams a 50000-row series out
+// of GET /v2/.../samples through the service handler into a discarding
+// writer; allocs/row is the steady-state encode cost per emitted row.
+// The pooled append encoders' budget is <= 1 alloc/row on NDJSON (CSV
+// pays two per-row string conversions to encoding/csv and is reported
+// for reference, without a ceiling).
+func BenchmarkH2_QueryEncodeAllocs(b *testing.B) {
+	const rowsPerOp = 50000
+	device := "urn:district:turin/building:b000/device:d0"
+	svc := measuredb.New(measuredb.Options{
+		DisableLegacyAliases: true,
+		Engine: tsdb.NewSharded(tsdb.ShardedOptions{
+			Store: tsdb.Options{MaxSamplesPerSeries: 1 << 20},
+		}),
+	})
+	b.Cleanup(svc.Close)
+	store := svc.Store()
+	key := tsdb.SeriesKey{Device: device, Quantity: "temperature"}
+	for i := 0; i < rowsPerOp; i++ {
+		if err := store.Append(key, tsdb.Sample{At: benchT0.Add(time.Duration(i) * time.Second), Value: float64(i) + 0.25}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	h := svc.Handler()
+	target := "/v2/series/" + url.PathEscape(device) + "/temperature/samples"
+	run := func(b *testing.B, encoding string) {
+		benchAllocsPerRow(b, rowsPerOp, func() {
+			req := httptest.NewRequest("GET", target+"?encoding="+encoding, nil)
+			w := &discardResponseWriter{h: make(http.Header)}
+			h.ServeHTTP(w, req)
+			if w.status != 200 {
+				b.Fatalf("samples status %d", w.status)
+			}
+		})
+	}
+	b.Run("encoding=ndjson", func(b *testing.B) { run(b, "ndjson") })
+	b.Run("encoding=csv", func(b *testing.B) { run(b, "csv") })
+}
+
+// H3 — the generation-keyed result cache. The op is a full GET
+// /v2/.../aggregate through the handler over a 200k-sample series; with
+// the cache on, every request after the first is a key build, two
+// atomic loads, and a pre-encoded body write. The acceptance bar is
+// >= 5x latency improvement cached vs uncached (byte-identity of the
+// responses is asserted by the measuredb test suite, not here).
+func BenchmarkH3_CachedAggregate(b *testing.B) {
+	const perSeries = 200000
+	device := "urn:district:turin/building:b000/device:d0"
+	key := tsdb.SeriesKey{Device: device, Quantity: "temperature"}
+	target := "/v2/series/" + url.PathEscape(device) + "/temperature/aggregate"
+	for _, mode := range []struct {
+		name  string
+		bytes int64
+	}{{"cache=off", 0}, {"cache=on", 64 << 20}} {
+		b.Run(mode.name, func(b *testing.B) {
+			svc := measuredb.New(measuredb.Options{
+				DisableLegacyAliases: true,
+				QCacheBytes:          mode.bytes,
+				Engine: tsdb.NewSharded(tsdb.ShardedOptions{
+					Store: tsdb.Options{MaxSamplesPerSeries: 1 << 20},
+				}),
+			})
+			b.Cleanup(svc.Close)
+			store := svc.Store()
+			for i := 0; i < perSeries; i++ {
+				if err := store.Append(key, tsdb.Sample{At: benchT0.Add(time.Duration(i) * time.Second), Value: float64(i % 977)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			h := svc.Handler()
+			do := func() {
+				req := httptest.NewRequest("GET", target, nil)
+				w := &discardResponseWriter{h: make(http.Header)}
+				h.ServeHTTP(w, req)
+				if w.status != 200 {
+					b.Fatalf("aggregate status %d", w.status)
+				}
+			}
+			do() // fill the cache (and fault in the head pages) untimed
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				do()
+			}
+		})
+	}
 }

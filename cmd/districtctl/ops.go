@@ -86,6 +86,7 @@ func printMetrics(base string, snap *api.MetricsSnapshot) {
 			fmt.Printf("  %-44s %10d %8d %9.2f %9.2f\n", r.Route, r.Count, r.Errors, r.MeanMs, r.MaxMs)
 		}
 	}
+	printQCacheLine(snap)
 	if len(snap.Instruments) == 0 {
 		return
 	}
@@ -100,6 +101,32 @@ func printMetrics(base string, snap *api.MetricsSnapshot) {
 		}
 		fmt.Printf("  %-58s %g\n", name, in.Value)
 	}
+}
+
+// printQCacheLine digests the query result-cache counters into one
+// hit-ratio line when the service has the cache enabled (the raw
+// instruments still print below it).
+func printQCacheLine(snap *api.MetricsSnapshot) {
+	vals := map[string]float64{}
+	for _, in := range snap.Instruments {
+		switch in.Name {
+		case "repro_qcache_hits_total", "repro_qcache_misses_total",
+			"repro_qcache_evictions_total", "repro_qcache_bytes", "repro_qcache_entries":
+			vals[in.Name] = in.Value
+		}
+	}
+	hits, hasHits := vals["repro_qcache_hits_total"]
+	misses, hasMisses := vals["repro_qcache_misses_total"]
+	if !hasHits || !hasMisses {
+		return
+	}
+	ratio := 0.0
+	if total := hits + misses; total > 0 {
+		ratio = 100 * hits / total
+	}
+	fmt.Printf("  qcache: %.1f%% hit (hits=%.0f misses=%.0f evictions=%.0f) entries=%.0f bytes=%.0f\n",
+		ratio, hits, misses, vals["repro_qcache_evictions_total"],
+		vals["repro_qcache_entries"], vals["repro_qcache_bytes"])
 }
 
 // labelSuffix renders instrument labels as {k=v,...}, sorted.

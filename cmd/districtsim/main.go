@@ -41,6 +41,7 @@ func main() {
 	headWindow := flag.Duration("head-window", 0, "with -data-dir: keep this much recent data in the RAM head, compact older samples into columnar block files (0 = engine default 30m, negative = disable blocks)")
 	retentionRaw := flag.Duration("retention-raw", 0, "with -data-dir: demote raw samples older than this to 1m/1h rollups (0 = keep forever)")
 	retentionRollup := flag.Duration("retention-rollup", 0, "with -data-dir: drop rollups of raw-expired data older than this (0 = keep forever)")
+	qcacheBytes := flag.Int64("qcache-bytes", 0, "bound the measurements DB's generation-keyed query result cache in bytes (0 = disabled)")
 	pprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof on every service")
 	flag.Parse()
 
@@ -63,6 +64,7 @@ func main() {
 		HeadWindow:         *headWindow,
 		RetentionRaw:       *retentionRaw,
 		RetentionRollup:    *retentionRollup,
+		QCacheBytes:        *qcacheBytes,
 		EnablePprof:        *pprof,
 	})
 	if err != nil {

@@ -1,12 +1,14 @@
 package api
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"sync"
 
 	"repro/internal/dataformat"
 )
@@ -14,11 +16,63 @@ import (
 // maxBodyBytes bounds request bodies accepted by the adapters.
 const maxBodyBytes = 16 << 20
 
+// RawJSON is a pre-encoded JSON payload: WriteJSON (and the typed
+// adapters through it) write it verbatim instead of re-encoding. Result
+// caches return it so a cached response reaches the wire byte-for-byte
+// identical to the encode that filled the cache.
+type RawJSON []byte
+
+// jsonBufPool recycles encode buffers across responses: a response body
+// is encoded into a pooled buffer and written in one call, so the
+// per-request encoder and its bytes.Buffer growth are not re-allocated
+// per request.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledEncodeBuf caps the buffers the pool keeps; an occasional
+// giant page should not pin its high-water mark forever.
+const maxPooledEncodeBuf = 1 << 20
+
+func putEncodeBuf(buf *bytes.Buffer) {
+	if buf.Cap() <= maxPooledEncodeBuf {
+		buf.Reset()
+		jsonBufPool.Put(buf)
+	}
+}
+
+// EncodeJSON returns exactly the bytes WriteJSON would write for v
+// (including the trailing newline json.Encoder appends). The returned
+// slice is freshly allocated — safe to retain.
+func EncodeJSON(v any) ([]byte, error) {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		putEncodeBuf(buf)
+		return nil, err
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	putEncodeBuf(buf)
+	return out, nil
+}
+
 // WriteJSON writes v as a JSON response with the given status.
 func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	if raw, ok := v.(RawJSON); ok {
+		w.WriteHeader(status)
+		_, _ = w.Write(raw)
+		return
+	}
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		// Encode-into-buffer failed before any byte reached the client:
+		// the status line is still ours to set.
+		putEncodeBuf(buf)
+		WriteError(w, nil, err)
+		return
+	}
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
+	putEncodeBuf(buf)
 }
 
 // writeResult encodes a handler's return value: common-format documents

@@ -114,6 +114,11 @@ type Spec struct {
 	// RetentionRollup is how long rollups of raw-expired data are kept
 	// before they are dropped entirely (0 = forever).
 	RetentionRollup time.Duration
+	// QCacheBytes bounds the measurements DB's generation-keyed query
+	// result cache — and, in a clustered deployment, the coordinator's
+	// per-device proxy cache. 0 (the default) disables both, preserving
+	// uncached behavior exactly.
+	QCacheBytes int64
 	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof
 	// on the master, measurements DB, and every device proxy.
 	EnablePprof bool
@@ -235,6 +240,7 @@ func Bootstrap(spec Spec) (*District, error) {
 			ReadLimiter:          limiter(spec.MeasureReadRate),
 			BatchLimiter:         limiter(spec.MeasureBatchRate),
 			WriteLimiter:         limiter(spec.MeasureWriteRate),
+			QCacheBytes:          spec.QCacheBytes,
 			Cluster:              clusterOpts,
 		}
 		if spec.DataDir != "" {
@@ -398,6 +404,7 @@ func (d *District) bootstrapMeasureCluster(spec Spec, hubAddr string, newMeasure
 	coord, err := measuredb.OpenCoordinator(measuredb.CoordinatorOptions{
 		Master:      d.MasterURL,
 		EnablePprof: spec.EnablePprof,
+		QCacheBytes: spec.QCacheBytes,
 	})
 	if err != nil {
 		return fmt.Errorf("core: coordinator: %w", err)

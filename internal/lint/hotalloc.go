@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// hotalloc guards the allocation discipline of the ingest/query hot
+// paths: a function whose doc comment carries the marker
+// "districtlint:hotpath" (or any function in a file whose package
+// clause carries it) runs per row, so reflection-based decoding and
+// fmt-style formatting are banned inside it — json.Unmarshal and
+// friends allocate and reflect per call, and fmt.Sprintf/fmt.Errorf
+// used for control flow ("format the error, usually throw it away")
+// put an allocation on the fast path. Hot code formats with
+// strconv/append helpers and builds errors lazily at the point they
+// are actually returned to a caller that keeps them.
+var hotAllocAnalyzer = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "no fmt formatting or encoding/json reflection inside districtlint:hotpath-annotated functions",
+	Run:  runHotAlloc,
+}
+
+// hotPathMarker designates a hot function in its doc comment (or a
+// whole file in its package-clause doc).
+const hotPathMarker = "districtlint:hotpath"
+
+func runHotAlloc(p *Pass) {
+	for _, f := range p.Files {
+		fileHot := f.Doc != nil && strings.Contains(f.Doc.Text(), hotPathMarker)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !fileHot && !(fd.Doc != nil && strings.Contains(fd.Doc.Text(), hotPathMarker)) {
+				continue
+			}
+			fname := fd.Name.Name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeOf(p.Info, call)
+				if callee == nil {
+					return true
+				}
+				if what, bad := hotAllocCall(callee); bad {
+					p.Reportf(call.Pos(),
+						"%s allocates per call in hot path %q (%s); use strconv/append formatting or a hand-rolled decoder",
+						what, fname, hotPathMarker)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// hotAllocCall classifies a resolved callee as hot-path-hostile: the
+// fmt string builders (Errorf included — an error formatted on the fast
+// path is usually thrown away) and the reflecting entry points of
+// encoding/json.
+func hotAllocCall(obj types.Object) (string, bool) {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		switch fn.Name() {
+		case "Sprintf", "Errorf", "Sprint", "Sprintln":
+			return "fmt." + fn.Name(), true
+		}
+	case "encoding/json":
+		switch fn.Name() {
+		case "Unmarshal", "Marshal", "MarshalIndent", "NewDecoder", "NewEncoder":
+			return "json." + fn.Name(), true
+		}
+	}
+	return "", false
+}

@@ -71,6 +71,7 @@ func All() []*Analyzer {
 		Analyzers.APIEnvelope,
 		Analyzers.CloseCheck,
 		Analyzers.CtxFlow,
+		Analyzers.HotAlloc,
 		Analyzers.LockIO,
 		Analyzers.ObsNames,
 		Analyzers.WALOrder,
@@ -83,6 +84,7 @@ var Analyzers = struct {
 	APIEnvelope *Analyzer
 	CloseCheck  *Analyzer
 	CtxFlow     *Analyzer
+	HotAlloc    *Analyzer
 	LockIO      *Analyzer
 	ObsNames    *Analyzer
 	WALOrder    *Analyzer
@@ -90,6 +92,7 @@ var Analyzers = struct {
 	APIEnvelope: apiEnvelopeAnalyzer,
 	CloseCheck:  closeCheckAnalyzer,
 	CtxFlow:     ctxFlowAnalyzer,
+	HotAlloc:    hotAllocAnalyzer,
 	LockIO:      lockIOAnalyzer,
 	ObsNames:    obsNamesAnalyzer,
 	WALOrder:    walOrderAnalyzer,

@@ -141,6 +141,10 @@ func TestObsNames(t *testing.T) {
 	checkFixture(t, "obsnames", "repro/internal/fixtureobs", []*Analyzer{Analyzers.ObsNames})
 }
 
+func TestHotAlloc(t *testing.T) {
+	checkFixture(t, "hotalloc", "repro/internal/fixturehot", []*Analyzer{Analyzers.HotAlloc})
+}
+
 func TestCloseCheck(t *testing.T) {
 	checkFixture(t, "closecheck", "repro/internal/fixtureclose", []*Analyzer{Analyzers.CloseCheck})
 }

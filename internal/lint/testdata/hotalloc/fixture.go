@@ -1,0 +1,60 @@
+// Package fixturehot exercises the hotalloc rule: fmt formatting and
+// encoding/json reflection are banned inside functions carrying
+// the hotpath marker, and nowhere else.
+package fixturehot
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+type row struct {
+	Device string  `json:"device"`
+	V      float64 `json:"value"`
+}
+
+// decodeRow is a per-row decode loop body.
+//
+// districtlint:hotpath
+func decodeRow(b []byte) (row, error) {
+	var r row
+	if err := json.Unmarshal(b, &r); err != nil { // want "hotalloc: json\.Unmarshal allocates per call in hot path \"decodeRow\""
+		return row{}, fmt.Errorf("bad row: %v", err) // want "hotalloc: fmt\.Errorf allocates per call"
+	}
+	return r, nil
+}
+
+// formatRow renders a row the slow way.
+//
+// districtlint:hotpath
+func formatRow(r row) string {
+	return fmt.Sprintf("%s=%g", r.Device, r.V) // want "hotalloc: fmt\.Sprintf allocates per call"
+}
+
+// encodeRow boxes an encoder per call.
+//
+// districtlint:hotpath
+func encodeRow(r row) ([]byte, error) {
+	return json.Marshal(r) // want "hotalloc: json\.Marshal allocates per call"
+}
+
+// appendRow is annotated and clean: strconv append formatting and a
+// lazily built static error are the sanctioned idiom.
+//
+// districtlint:hotpath
+func appendRow(dst []byte, r row) ([]byte, error) {
+	if r.Device == "" {
+		return dst, errors.New("empty device")
+	}
+	dst = append(dst, r.Device...)
+	dst = append(dst, '=')
+	return strconv.AppendFloat(dst, r.V, 'g', -1, 64), nil
+}
+
+// coldFormat is not annotated: the same calls are fine off the hot
+// path.
+func coldFormat(r row) string {
+	return fmt.Sprintf("%s=%g", r.Device, r.V)
+}

@@ -218,13 +218,14 @@ func (s *Service) clusterOwnsDevice(device string) bool {
 // request's idempotency claim (abandoned by the caller's defer on
 // rejection, so the retry re-executes).
 func (s *Service) clusterIngest(w http.ResponseWriter, r *http.Request, tok *dedupToken, body io.Reader, ndjson bool) {
+	sc := newPointScanner(body)
+	defer sc.release()
 	var pts []Point
 	var malformed string
 	if ndjson {
-		dec := json.NewDecoder(body)
+		var p Point
 		for {
-			var p Point
-			if err := dec.Decode(&p); err != nil {
+			if err := sc.next(&p); err != nil {
 				if errors.Is(err, io.EOF) {
 					break
 				}
@@ -233,19 +234,19 @@ func (s *Service) clusterIngest(w http.ResponseWriter, r *http.Request, tok *ded
 				malformed = "malformed row: " + err.Error()
 				break
 			}
-			pts = append(pts, p)
+			sc.pts = append(sc.pts, p)
 		}
+		pts = sc.pts
 	} else {
-		var batch IngestBatch
-		if err := json.NewDecoder(body).Decode(&batch); err != nil {
+		var err error
+		if pts, err = sc.decodeBatch("rows"); err != nil {
 			api.WriteError(w, r, api.BadRequest(fmt.Errorf("bad request body: %v", err)))
 			return
 		}
-		if len(batch.Rows) == 0 {
+		if len(pts) == 0 {
 			api.WriteError(w, r, api.BadRequest(errors.New("empty rows")))
 			return
 		}
-		pts = batch.Rows
 	}
 	if err := s.clusterCheckEpoch(r); err != nil {
 		writeClusterRetry(w, r, err)

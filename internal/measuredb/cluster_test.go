@@ -92,7 +92,9 @@ type testCluster struct {
 	shards    int
 }
 
-func newTestCluster(t *testing.T, shards int) *testCluster {
+// newTestCluster builds the harness; an optional qcacheBytes argument
+// turns on the coordinator's per-owner result cache.
+func newTestCluster(t *testing.T, shards int, qcacheBytes ...int64) *testCluster {
 	t.Helper()
 	tc := &testCluster{shards: shards}
 	tc.master = master.New(master.Options{})
@@ -126,7 +128,11 @@ func newTestCluster(t *testing.T, shards int) *testCluster {
 	if _, err := tc.master.ClusterMap().Set(cluster.Map{Shards: shards, Owners: owners}); err != nil {
 		t.Fatal(err)
 	}
-	tc.coord, err = OpenCoordinator(CoordinatorOptions{Master: tc.masterURL, Refresh: 10 * time.Millisecond})
+	copts := CoordinatorOptions{Master: tc.masterURL, Refresh: 10 * time.Millisecond}
+	if len(qcacheBytes) > 0 {
+		copts.QCacheBytes = qcacheBytes[0]
+	}
+	tc.coord, err = OpenCoordinator(copts)
 	if err != nil {
 		t.Fatal(err)
 	}

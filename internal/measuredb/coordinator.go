@@ -1,6 +1,7 @@
 package measuredb
 
 import (
+	"bytes"
 	"context"
 	"encoding/base64"
 	"encoding/json"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/proxyhttp"
+	"repro/internal/qcache"
 	"repro/internal/tsdb"
 )
 
@@ -58,6 +60,16 @@ type Coordinator struct {
 	fwdErrs      map[string]*obs.Counter // per-node forward errors
 	fwdRetries   map[string]*obs.Counter // per-node ownership retries
 	staleCursors atomic.Uint64
+
+	// qc caches successful per-device GET proxies, keyed by (route,
+	// epoch, owner, request identity, the coordinator's write counter
+	// for that owner). The counter bumps on every write this
+	// coordinator forwards, so a client writing and reading through the
+	// same coordinator keeps read-your-writes; writes arriving through
+	// another coordinator are only seen once the epoch or LRU turns
+	// over (the documented single-coordinator caveat). nil = disabled.
+	qc        *qcache.Cache
+	writeGens sync.Map // owner base URL -> *atomic.Uint64
 }
 
 // CoordinatorOptions configure a cluster coordinator.
@@ -77,6 +89,9 @@ type CoordinatorOptions struct {
 	// SlowRequest is the span-duration threshold above which requests
 	// are logged (0 = 1s; negative disables).
 	SlowRequest time.Duration
+	// QCacheBytes bounds the coordinator's per-device GET result cache
+	// (see Coordinator.qc). Zero — the default — disables it.
+	QCacheBytes int64
 }
 
 // coordinator fan-out and retry bounds.
@@ -118,8 +133,31 @@ func OpenCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 	c.reg.CounterFunc("repro_cluster_stale_cursor_total",
 		"Cursors presented from an older map epoch than the coordinator holds.", nil,
 		func() float64 { return float64(c.staleCursors.Load()) })
+	if opts.QCacheBytes > 0 {
+		c.qc = qcache.New(opts.QCacheBytes)
+		registerQCacheMetrics(c.reg, c.qc)
+	}
 	c.apiS = c.buildAPI(opts)
 	return c, nil
+}
+
+// bumpWriteGen advances the coordinator-observed write counter of one
+// owner node, unaddressing every cached read keyed under the old value.
+func (c *Coordinator) bumpWriteGen(node string) {
+	if c.qc == nil {
+		return
+	}
+	g, _ := c.writeGens.LoadOrStore(node, new(atomic.Uint64))
+	g.(*atomic.Uint64).Add(1)
+}
+
+// writeGenOf reads one owner's write counter.
+func (c *Coordinator) writeGenOf(node string) uint64 {
+	g, ok := c.writeGens.Load(node)
+	if !ok {
+		return 0
+	}
+	return g.(*atomic.Uint64).Load()
 }
 
 // forwardErr bumps the per-node forward-failure counter, lazily
@@ -358,15 +396,39 @@ func (c *Coordinator) deviceProxy(route string) http.Handler {
 			q := r.URL.Query()
 			c.unwrapCursorParam(q, m)
 			owner := m.Owner(m.ShardFor(device))
-			u := api.URL2(owner, "/series/"+url.PathEscape(device)+"/"+url.PathEscape(quantity)+"/"+suffix+"?"+q.Encode())
+			encodedQ := q.Encode()
+			u := api.URL2(owner, "/series/"+url.PathEscape(device)+"/"+url.PathEscape(quantity)+"/"+suffix+"?"+encodedQ)
 			header := http.Header{}
 			for _, h := range []string{"Accept", "Content-Type", "Idempotency-Key"} {
 				if v := r.Header.Get(h); v != "" {
 					header.Set(h, v)
 				}
 			}
+			// GET proxies consult the per-owner cache: the key carries
+			// the map epoch and this coordinator's write counter for the
+			// owner, so a handoff or a forwarded write re-keys it.
+			var ckey string
+			if c.qc != nil && r.Method == http.MethodGet {
+				sc := getQCScratch()
+				sc.k.Str("proxy").Str(route).Uint(m.Epoch).Str(owner).
+					Str(device).Str(quantity).Str(encodedQ).
+					Str(r.Header.Get("Accept")).Uint(c.writeGenOf(owner))
+				ckey = sc.k.String()
+				putQCScratch(sc)
+				if v, hit := c.qc.Get(ckey); hit {
+					ct, cachedRaw := splitCachedCT(v)
+					c.relayParts(w, http.StatusOK, ct, cachedRaw, route, m.Epoch)
+					return
+				}
+			}
 			raw, rsp, err := c.forward(r.Context(), r.Method, u, m.Epoch, header, body)
 			if err == nil {
+				if route == "put_samples" {
+					c.bumpWriteGen(owner)
+				}
+				if ckey != "" && rsp.StatusCode == http.StatusOK {
+					c.qc.Put(ckey, joinCachedCT(rsp.Header.Get("Content-Type"), raw))
+				}
 				c.relayBody(w, rsp, raw, route, m.Epoch)
 				return
 			}
@@ -381,22 +443,45 @@ func (c *Coordinator) deviceProxy(route string) http.Handler {
 	})
 }
 
+// joinCachedCT packs a content type and body into one cache value;
+// splitCachedCT undoes it. The NUL separator cannot appear in a media
+// type.
+func joinCachedCT(ct string, raw []byte) []byte {
+	v := make([]byte, 0, len(ct)+1+len(raw))
+	v = append(v, ct...)
+	v = append(v, 0)
+	return append(v, raw...)
+}
+
+func splitCachedCT(v []byte) (string, []byte) {
+	i := bytes.IndexByte(v, 0)
+	if i < 0 {
+		return "", v
+	}
+	return string(v[:i]), v[i+1:]
+}
+
 // relayBody writes a successful node response back to the client,
 // epoch-wrapping the cursor of JSON sample pages.
 func (c *Coordinator) relayBody(w http.ResponseWriter, rsp *http.Response, raw []byte, route string, epoch uint64) {
-	ct := rsp.Header.Get("Content-Type")
+	c.relayParts(w, rsp.StatusCode, rsp.Header.Get("Content-Type"), raw, route, epoch)
+}
+
+// relayParts is relayBody over already-split response parts (the cached
+// replay path shares it, so hits and misses emit identical bytes).
+func (c *Coordinator) relayParts(w http.ResponseWriter, status int, ct string, raw []byte, route string, epoch uint64) {
 	if route == "samples" && strings.HasPrefix(ct, "application/json") {
 		var page SamplesPage
 		if json.Unmarshal(raw, &page) == nil {
 			page.NextCursor = wrapEpochCursor(epoch, page.NextCursor)
-			api.WriteJSON(w, rsp.StatusCode, page)
+			api.WriteJSON(w, status, page)
 			return
 		}
 	}
 	if ct != "" {
 		w.Header().Set("Content-Type", ct)
 	}
-	w.WriteHeader(rsp.StatusCode)
+	w.WriteHeader(status)
 	_, _ = w.Write(raw)
 }
 
@@ -919,6 +1004,7 @@ func (c *Coordinator) fanIngest(ctx context.Context, m cluster.Map, key string, 
 			lastErr = o.err
 			continue
 		}
+		c.bumpWriteGen(o.node)
 		res.Accepted += o.rsp.Accepted
 		for _, re := range o.rsp.Errors {
 			if re.Row >= 0 && re.Row < len(o.rows) {

@@ -496,16 +496,25 @@ type ingester struct {
 	stages *obs.Stages
 }
 
+// ingesterPool recycles ingesters (and their chunk-sized staging
+// slices) across requests; finish returns them.
+var ingesterPool = sync.Pool{New: func() any { return new(ingester) }}
+
 func (s *Service) newIngester(st *obs.Stages) *ingester {
-	return &ingester{
-		s:      s,
-		rows:   make([]tsdb.Row, 0, ingestChunk),
-		src:    make([]int, 0, ingestChunk),
-		stages: st,
+	g := ingesterPool.Get().(*ingester)
+	if g.rows == nil {
+		g.rows = make([]tsdb.Row, 0, ingestChunk)
+		g.src = make([]int, 0, ingestChunk)
 	}
+	g.s = s
+	g.stages = st
+	g.next = 0
+	return g
 }
 
 // reject records one failed row.
+//
+// districtlint:hotpath
 func (g *ingester) reject(row int, msg string) {
 	g.res.Rejected++
 	if len(g.res.Errors) < maxIngestErrors {
@@ -517,6 +526,8 @@ func (g *ingester) reject(row int, msg string) {
 
 // add validates and stages one self-contained row (device and quantity
 // on the row itself).
+//
+// districtlint:hotpath
 func (g *ingester) add(p Point) {
 	row := g.next
 	g.next++
@@ -532,6 +543,8 @@ func (g *ingester) add(p Point) {
 }
 
 // addTo validates and stages one row of a path-named series.
+//
+// districtlint:hotpath
 func (g *ingester) addTo(key tsdb.SeriesKey, p Point) {
 	row := g.next
 	g.next++
@@ -539,6 +552,8 @@ func (g *ingester) addTo(key tsdb.SeriesKey, p Point) {
 }
 
 // stage applies the shared value/time validation and queues the row.
+//
+// districtlint:hotpath
 func (g *ingester) stage(row int, key tsdb.SeriesKey, p Point) {
 	if math.IsNaN(p.Value) || math.IsInf(p.Value, 0) {
 		g.reject(row, "non-finite value")
@@ -559,6 +574,8 @@ func (g *ingester) stage(row int, key tsdb.SeriesKey, p Point) {
 // summary. On the sharded engine the stage collector rides into the
 // shard workers, which attribute the WAL and store waits themselves;
 // other engines get a single store-apply timing around the batch call.
+//
+// districtlint:hotpath
 func (g *ingester) flush() {
 	if len(g.rows) == 0 {
 		return
@@ -613,12 +630,19 @@ func (g *ingester) publish(r tsdb.Row) {
 	})
 }
 
-// finish applies any staged tail and returns the summary.
+// finish applies any staged tail and returns the summary, recycling
+// the ingester: it must not be touched afterwards. The result's error
+// slice escapes to the caller, so res is detached rather than reused.
 func (g *ingester) finish() IngestResult {
 	g.flush()
 	g.s.ingested.Add(uint64(g.res.Accepted))
 	g.s.rejected.Add(uint64(g.res.Rejected))
-	return g.res
+	res := g.res
+	g.res = IngestResult{}
+	g.s = nil
+	g.stages = nil
+	ingesterPool.Put(g)
+	return res
 }
 
 // ---------------------------------------------------------------------
@@ -689,12 +713,13 @@ func (s *Service) v2Ingest(w http.ResponseWriter, r *http.Request) {
 		s.clusterIngest(w, r, tok, body, ndjson)
 		return
 	}
-	g := s.newIngester(obs.StagesFrom(r.Context()))
+	sc := newPointScanner(body)
+	defer sc.release()
 	if ndjson {
-		dec := json.NewDecoder(body)
+		g := s.newIngester(obs.StagesFrom(r.Context()))
+		var p Point
 		for {
-			var p Point
-			if err := dec.Decode(&p); err != nil {
+			if err := sc.next(&p); err != nil {
 				if errors.Is(err, io.EOF) {
 					break
 				}
@@ -705,19 +730,23 @@ func (s *Service) v2Ingest(w http.ResponseWriter, r *http.Request) {
 			}
 			g.add(p)
 		}
-	} else {
-		var batch IngestBatch
-		if err := json.NewDecoder(body).Decode(&batch); err != nil {
-			api.WriteError(w, r, api.BadRequest(fmt.Errorf("bad request body: %v", err)))
-			return
-		}
-		if len(batch.Rows) == 0 {
-			api.WriteError(w, r, api.BadRequest(errors.New("empty rows")))
-			return
-		}
-		for _, p := range batch.Rows {
-			g.add(p)
-		}
+		res := g.finish()
+		tok.store(res)
+		api.WriteJSON(w, http.StatusOK, res)
+		return
+	}
+	pts, err := sc.decodeBatch("rows")
+	if err != nil {
+		api.WriteError(w, r, api.BadRequest(fmt.Errorf("bad request body: %v", err)))
+		return
+	}
+	if len(pts) == 0 {
+		api.WriteError(w, r, api.BadRequest(errors.New("empty rows")))
+		return
+	}
+	g := s.newIngester(obs.StagesFrom(r.Context()))
+	for i := range pts {
+		g.add(pts[i])
 	}
 	res := g.finish()
 	tok.store(res)
@@ -739,12 +768,14 @@ func (s *Service) v2PutSamples(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer tok.abandon() // no-op once the outcome is stored
-	var req SeriesAppend
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody)).Decode(&req); err != nil {
+	sc := newPointScanner(http.MaxBytesReader(w, r.Body, maxIngestBody))
+	defer sc.release()
+	samples, err := sc.decodeBatch("samples")
+	if err != nil {
 		api.WriteError(w, r, api.BadRequest(fmt.Errorf("bad request body: %v", err)))
 		return
 	}
-	if len(req.Samples) == 0 {
+	if len(samples) == 0 {
 		api.WriteError(w, r, api.BadRequest(errors.New("empty samples")))
 		return
 	}
@@ -756,7 +787,7 @@ func (s *Service) v2PutSamples(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	g := s.newIngester(obs.StagesFrom(r.Context()))
-	for _, smp := range req.Samples {
+	for _, smp := range samples {
 		g.addTo(key, smp)
 	}
 	res := g.finish()

@@ -16,6 +16,7 @@ import (
 	"net/url"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -24,6 +25,7 @@ import (
 	"repro/internal/middleware"
 	"repro/internal/obs"
 	"repro/internal/proxyhttp"
+	"repro/internal/qcache"
 	"repro/internal/stream"
 	"repro/internal/tsdb"
 	"repro/internal/wal"
@@ -74,6 +76,13 @@ type Service struct {
 	// cnode holds the node's cluster state — cached shard map, handoff
 	// freezes, ownership guards (cluster.go); nil on unclustered nodes.
 	cnode *clusterNode
+
+	// qc is the generation-keyed result cache (nil = disabled, which
+	// Get/Put treat as always-miss) and qsh the sharded engine whose
+	// generation counters key it. Both set only when Options.QCacheBytes
+	// is positive and the engine is the default sharded one.
+	qc  *qcache.Cache
+	qsh *tsdb.Sharded
 }
 
 // Options configure the service.
@@ -150,6 +159,14 @@ type Options struct {
 	// DataDir.
 	Blocks tsdb.BlockPolicy
 
+	// QCacheBytes bounds the generation-keyed query/aggregate result
+	// cache (internal/qcache). Zero (the default) disables it entirely:
+	// every read evaluates from the store, exactly as before the cache
+	// existed. Only the default sharded engine can be cached — a
+	// caller-supplied Engine or Store has no generation counters, so the
+	// option is ignored there.
+	QCacheBytes int64
+
 	// Cluster attaches the node to a multi-host cluster: it caches the
 	// master-published shard map, rejects writes for shards it does not
 	// own (or that are frozen mid-handoff) with retryable envelopes, and
@@ -218,6 +235,12 @@ func Open(opts Options) (*Service, error) {
 		}
 	}
 	s := &Service{store: st, bus: opts.Bus, dedup: dedup, reg: reg}
+	if opts.QCacheBytes > 0 {
+		if sh, ok := st.(*tsdb.Sharded); ok {
+			s.qc = qcache.New(opts.QCacheBytes)
+			s.qsh = sh
+		}
+	}
 	if opts.Cluster != nil {
 		s.cnode = newClusterNode(opts.Cluster)
 	}
@@ -278,6 +301,16 @@ func (s *Service) registerMetrics() {
 	s.fanout = s.reg.Histogram("repro_query_fanout_series",
 		"Series matched per selector resolution (scatter-gather fan-out width).",
 		obs.CountBuckets, nil)
+	if s.qc != nil {
+		registerQCacheMetrics(s.reg, s.qc)
+		for i := 0; i < s.qsh.NumShards(); i++ {
+			shard := i
+			s.reg.GaugeFunc("repro_qcache_shard_generation",
+				"Mutation generation of one engine shard (every acked append wave, compaction publish, retention pass, or restore bumps it; cache keys embed the value, so a moving generation is what retires stale entries).",
+				obs.Labels{"shard": strconv.Itoa(shard)},
+				func() float64 { return float64(s.qsh.ShardGeneration(shard)) })
+		}
+	}
 	if s.cnode != nil {
 		s.registerClusterMetrics()
 	}

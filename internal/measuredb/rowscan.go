@@ -1,0 +1,1161 @@
+package measuredb
+
+import (
+	"bytes"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// The hand-rolled row scanner of the ingest plane: parses Point rows
+// out of JSON and NDJSON request bodies without reflection,
+// intermediate maps, or per-row buffers. encoding/json charges several
+// allocations per row (the reflect-driven decode, the key strings, the
+// time re-parse); the scanner reads rows in place over one pooled,
+// refilling window and interns the device/quantity strings, so
+// steady-state ingest of a known device fleet allocates nothing per
+// row.
+//
+// Behavior is deliberately bit-compatible with encoding/json where it
+// matters (the fuzz tests hold it to the oracle): case-insensitive key
+// matching with Unicode simple folding, last-duplicate-wins, null as a
+// no-op, U+FFFD replacement of invalid UTF-8 in strings, surrogate-pair
+// decoding, the JSON number grammar (stricter than strconv), and
+// timestamps fed to time.Time.UnmarshalJSON exactly as the decoder
+// would (raw, still-escaped, quotes included). Only the error TEXT
+// differs; every input that fails encoding/json fails the scanner and
+// vice versa.
+
+const (
+	// minScanBuf is the initial refill window; it grows to hold the
+	// largest single token seen, then is reused via the pool.
+	minScanBuf = 8 << 10
+	// maxScanDepth bounds unknown-field nesting, mirroring
+	// encoding/json's 10000 limit.
+	maxScanDepth = 10000
+	// maxInterned caps the device/quantity intern table a pooled scanner
+	// carries across requests; hostile high-cardinality bodies fall back
+	// to plain allocation instead of growing it forever.
+	maxInterned = 4096
+)
+
+// scanError is a malformed-input diagnosis. The message is composed
+// lazily in Error(), so the hot parse loop never formats strings.
+type scanError struct {
+	msg string
+	off int64
+}
+
+func (e *scanError) Error() string {
+	return "invalid JSON: " + e.msg + " at byte " + strconv.FormatInt(e.off, 10)
+}
+
+// pointScanner scans Point rows from a JSON byte stream over a
+// refilling window. Scanners are pooled; the intern table survives
+// across requests on purpose.
+type pointScanner struct {
+	r     io.Reader
+	buf   []byte
+	pos   int   // next unread byte
+	limit int   // end of valid data in buf
+	eof   bool  // r is exhausted
+	base  int64 // stream offset of buf[0] (error positions)
+
+	interned map[string]string
+	pts      []Point // pooled row slice for whole-body decodes
+	scratch  []byte  // unescape spill buffer
+	stack    []byte  // container stack for skipValue
+}
+
+var pointScannerPool = sync.Pool{New: func() any { return new(pointScanner) }}
+
+// newPointScanner readies a pooled scanner over r.
+func newPointScanner(r io.Reader) *pointScanner {
+	sc := pointScannerPool.Get().(*pointScanner)
+	sc.r = r
+	sc.pos, sc.limit, sc.base = 0, 0, 0
+	sc.eof = false
+	if sc.buf == nil {
+		sc.buf = make([]byte, minScanBuf)
+	}
+	if sc.interned == nil || len(sc.interned) > maxInterned {
+		sc.interned = make(map[string]string, 64)
+	}
+	return sc
+}
+
+// release returns the scanner (and its row slice) to the pool. Rows
+// returned by decodeBatch are invalid after this.
+func (sc *pointScanner) release() {
+	sc.r = nil
+	sc.pts = sc.pts[:0]
+	pointScannerPool.Put(sc)
+}
+
+// refill slides the live window to the front of the buffer and reads
+// more input. keep is the earliest buffer offset the caller still
+// references; its post-slide position is returned. io.EOF reports an
+// exhausted source with no new bytes.
+func (sc *pointScanner) refill(keep int) (int, error) {
+	if sc.eof {
+		return keep, io.EOF
+	}
+	if keep > 0 {
+		copy(sc.buf, sc.buf[keep:sc.limit])
+		sc.base += int64(keep)
+		sc.pos -= keep
+		sc.limit -= keep
+		keep = 0
+	}
+	if sc.limit == len(sc.buf) {
+		nb := make([]byte, len(sc.buf)*2)
+		copy(nb, sc.buf[:sc.limit])
+		sc.buf = nb
+	}
+	for {
+		n, err := sc.r.Read(sc.buf[sc.limit:])
+		sc.limit += n
+		if err == io.EOF {
+			sc.eof = true
+			if n == 0 {
+				return keep, io.EOF
+			}
+			return keep, nil
+		}
+		if err != nil {
+			return keep, err
+		}
+		if n > 0 {
+			return keep, nil
+		}
+	}
+}
+
+// cur returns the byte at the read position, refilling as needed;
+// ok=false is a clean end of input.
+func (sc *pointScanner) cur() (byte, bool, error) {
+	for sc.pos >= sc.limit {
+		if _, err := sc.refill(sc.pos); err != nil {
+			if err == io.EOF {
+				return 0, false, nil
+			}
+			return 0, false, err
+		}
+	}
+	return sc.buf[sc.pos], true, nil
+}
+
+// skipWS advances over JSON whitespace.
+func (sc *pointScanner) skipWS() error {
+	for {
+		for sc.pos < sc.limit {
+			switch sc.buf[sc.pos] {
+			case ' ', '\t', '\r', '\n':
+				sc.pos++
+			default:
+				return nil
+			}
+		}
+		if _, err := sc.refill(sc.pos); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+func (sc *pointScanner) errAt(msg string) error {
+	return &scanError{msg: msg, off: sc.base + int64(sc.pos)}
+}
+
+// next parses the next NDJSON row into p. io.EOF reports a clean end
+// of input; any other error poisons the rest of the stream.
+//
+// districtlint:hotpath
+func (sc *pointScanner) next(p *Point) error {
+	*p = Point{}
+	if err := sc.skipWS(); err != nil {
+		return err
+	}
+	c, ok, err := sc.cur()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return io.EOF
+	}
+	if c == 'n' {
+		// A bare null decodes as a zero row, as json.Decoder would.
+		return sc.literal("null")
+	}
+	if c != '{' {
+		return sc.errAt("expected '{'")
+	}
+	return sc.parsePoint(p)
+}
+
+// Field tags of the Point row shape.
+const (
+	fieldNone = iota
+	fieldDevice
+	fieldQuantity
+	fieldAt
+	fieldValue
+)
+
+var (
+	nameDevice   = []byte("device")
+	nameQuantity = []byte("quantity")
+	nameAt       = []byte("at")
+	nameValue    = []byte("value")
+)
+
+// fieldOf matches a decoded key to a Point field the way encoding/json
+// does: exact match first, then case-insensitive with Unicode simple
+// folding.
+func fieldOf(key []byte) int {
+	switch string(key) {
+	case "device":
+		return fieldDevice
+	case "quantity":
+		return fieldQuantity
+	case "at":
+		return fieldAt
+	case "value":
+		return fieldValue
+	}
+	switch {
+	case bytes.EqualFold(key, nameDevice):
+		return fieldDevice
+	case bytes.EqualFold(key, nameQuantity):
+		return fieldQuantity
+	case bytes.EqualFold(key, nameAt):
+		return fieldAt
+	case bytes.EqualFold(key, nameValue):
+		return fieldValue
+	}
+	return fieldNone
+}
+
+// parsePoint decodes one {...} row; the opening brace is at the read
+// position. Duplicate keys overwrite (last wins), unknown keys are
+// skipped after full syntax validation, null never touches a field.
+//
+// districtlint:hotpath
+func (sc *pointScanner) parsePoint(p *Point) error {
+	sc.pos++ // '{'
+	if err := sc.skipWS(); err != nil {
+		return err
+	}
+	c, ok, err := sc.cur()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return sc.errAt("unexpected end of object")
+	}
+	if c == '}' {
+		sc.pos++
+		return nil
+	}
+	for {
+		if err := sc.skipWS(); err != nil {
+			return err
+		}
+		key, err := sc.scanString()
+		if err != nil {
+			return err
+		}
+		field := fieldOf(key)
+		if err := sc.skipWS(); err != nil {
+			return err
+		}
+		c, ok, err := sc.cur()
+		if err != nil {
+			return err
+		}
+		if !ok || c != ':' {
+			return sc.errAt("expected ':'")
+		}
+		sc.pos++
+		if err := sc.skipWS(); err != nil {
+			return err
+		}
+		switch field {
+		case fieldDevice:
+			s, isNull, err := sc.stringValue()
+			if err != nil {
+				return err
+			}
+			if !isNull {
+				p.Device = s
+			}
+		case fieldQuantity:
+			s, isNull, err := sc.stringValue()
+			if err != nil {
+				return err
+			}
+			if !isNull {
+				p.Quantity = s
+			}
+		case fieldAt:
+			if err := sc.timeValue(&p.At); err != nil {
+				return err
+			}
+		case fieldValue:
+			v, isNull, err := sc.numberValue()
+			if err != nil {
+				return err
+			}
+			if !isNull {
+				p.Value = v
+			}
+		default:
+			if err := sc.skipValue(); err != nil {
+				return err
+			}
+		}
+		if err := sc.skipWS(); err != nil {
+			return err
+		}
+		c, ok, err = sc.cur()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return sc.errAt("unexpected end of object")
+		}
+		switch c {
+		case ',':
+			sc.pos++
+		case '}':
+			sc.pos++
+			return nil
+		default:
+			return sc.errAt("expected ',' or '}'")
+		}
+	}
+}
+
+// scanStringRaw scans the quoted token at the read position, validating
+// escapes and rejecting raw control characters, and returns the raw
+// bytes including both quotes plus whether any escape occurred. The
+// slice aliases the scan buffer: use it before the next scanner call.
+func (sc *pointScanner) scanStringRaw() ([]byte, bool, error) {
+	c, ok, err := sc.cur()
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok || c != '"' {
+		return nil, false, sc.errAt("expected string")
+	}
+	start := sc.pos
+	i := sc.pos + 1
+	hasEsc := false
+	more := func() error {
+		ns, err := sc.refill(start)
+		if err != nil {
+			return err
+		}
+		i -= start - ns
+		start = ns
+		return nil
+	}
+	for {
+		if i >= sc.limit {
+			if err := more(); err != nil {
+				if err == io.EOF {
+					sc.pos = sc.limit
+					return nil, false, sc.errAt("unterminated string")
+				}
+				return nil, false, err
+			}
+			continue
+		}
+		switch c := sc.buf[i]; {
+		case c == '"':
+			raw := sc.buf[start : i+1]
+			sc.pos = i + 1
+			return raw, hasEsc, nil
+		case c == '\\':
+			hasEsc = true
+			i++
+			for i >= sc.limit {
+				if err := more(); err != nil {
+					if err == io.EOF {
+						sc.pos = sc.limit
+						return nil, false, sc.errAt("unterminated string")
+					}
+					return nil, false, err
+				}
+			}
+			switch sc.buf[i] {
+			case '"', '\\', '/', 'b', 'f', 'n', 'r', 't':
+				i++
+			case 'u':
+				i++
+				for k := 0; k < 4; k++ {
+					for i >= sc.limit {
+						if err := more(); err != nil {
+							if err == io.EOF {
+								sc.pos = sc.limit
+								return nil, false, sc.errAt("unterminated string")
+							}
+							return nil, false, err
+						}
+					}
+					if !isHex(sc.buf[i]) {
+						sc.pos = i
+						return nil, false, sc.errAt("invalid \\u escape")
+					}
+					i++
+				}
+			default:
+				sc.pos = i
+				return nil, false, sc.errAt("invalid escape character")
+			}
+		case c < 0x20:
+			sc.pos = i
+			return nil, false, sc.errAt("control character in string")
+		default:
+			i++
+		}
+	}
+}
+
+func isHex(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+func hex4(b []byte) rune {
+	var r rune
+	for _, c := range b[:4] {
+		r <<= 4
+		switch {
+		case c >= '0' && c <= '9':
+			r |= rune(c - '0')
+		case c >= 'a' && c <= 'f':
+			r |= rune(c-'a') + 10
+		default:
+			r |= rune(c-'A') + 10
+		}
+	}
+	return r
+}
+
+// scanString scans the string token at the read position and returns
+// its decoded bytes (escapes applied, invalid UTF-8 replaced with
+// U+FFFD, exactly as encoding/json decodes it). The slice aliases the
+// scan buffer or the scanner's scratch — use it before the next call.
+func (sc *pointScanner) scanString() ([]byte, error) {
+	raw, hasEsc, err := sc.scanStringRaw()
+	if err != nil {
+		return nil, err
+	}
+	body := raw[1 : len(raw)-1]
+	if !hasEsc {
+		ascii := true
+		for _, b := range body {
+			if b >= utf8.RuneSelf {
+				ascii = false
+				break
+			}
+		}
+		if ascii || utf8.Valid(body) {
+			return body, nil
+		}
+	}
+	return sc.unescape(body), nil
+}
+
+// unescape decodes body's (pre-validated) escapes into the scanner's
+// scratch buffer, replacing invalid UTF-8 and unpaired surrogates with
+// U+FFFD the way encoding/json's unquote does.
+func (sc *pointScanner) unescape(body []byte) []byte {
+	out := sc.scratch[:0]
+	for i := 0; i < len(body); {
+		c := body[i]
+		switch {
+		case c == '\\':
+			i++
+			switch body[i] {
+			case '"':
+				out = append(out, '"')
+				i++
+			case '\\':
+				out = append(out, '\\')
+				i++
+			case '/':
+				out = append(out, '/')
+				i++
+			case 'b':
+				out = append(out, '\b')
+				i++
+			case 'f':
+				out = append(out, '\f')
+				i++
+			case 'n':
+				out = append(out, '\n')
+				i++
+			case 'r':
+				out = append(out, '\r')
+				i++
+			case 't':
+				out = append(out, '\t')
+				i++
+			case 'u':
+				r := hex4(body[i+1:])
+				i += 5
+				if utf16.IsSurrogate(r) {
+					var r2 rune = -1
+					if i+5 < len(body) && body[i] == '\\' && body[i+1] == 'u' {
+						r2 = hex4(body[i+2:])
+					}
+					if dec := utf16.DecodeRune(r, r2); dec != utf8.RuneError {
+						out = utf8.AppendRune(out, dec)
+						i += 6
+						break
+					}
+					r = utf8.RuneError
+				}
+				out = utf8.AppendRune(out, r)
+			}
+		case c < utf8.RuneSelf:
+			out = append(out, c)
+			i++
+		default:
+			r, size := utf8.DecodeRune(body[i:])
+			if r == utf8.RuneError && size == 1 {
+				out = utf8.AppendRune(out, utf8.RuneError)
+				i++
+			} else {
+				out = append(out, body[i:i+size]...)
+				i += size
+			}
+		}
+	}
+	sc.scratch = out
+	return out
+}
+
+// intern returns b as a string, reusing the previous allocation for a
+// repeated value.
+func (sc *pointScanner) intern(b []byte) string {
+	if s, ok := sc.interned[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if len(sc.interned) < maxInterned {
+		sc.interned[s] = s
+	}
+	return s
+}
+
+// stringValue parses a string (or null) field value.
+func (sc *pointScanner) stringValue() (string, bool, error) {
+	c, ok, err := sc.cur()
+	if err != nil {
+		return "", false, err
+	}
+	if !ok {
+		return "", false, sc.errAt("unexpected end of value")
+	}
+	if c == 'n' {
+		return "", true, sc.literal("null")
+	}
+	if c != '"' {
+		return "", false, sc.errAt("expected string value")
+	}
+	b, err := sc.scanString()
+	if err != nil {
+		return "", false, err
+	}
+	return sc.intern(b), false, nil
+}
+
+// timeValue parses a timestamp (or null) field value. The fast path
+// hand-parses the plain UTC RFC 3339 shape; everything else goes
+// through time.Time.UnmarshalJSON with the raw quoted token, exactly
+// the bytes encoding/json would hand it.
+func (sc *pointScanner) timeValue(t *time.Time) error {
+	c, ok, err := sc.cur()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return sc.errAt("unexpected end of value")
+	}
+	if c == 'n' {
+		return sc.literal("null")
+	}
+	if c != '"' {
+		return sc.errAt("expected timestamp string")
+	}
+	off := sc.base + int64(sc.pos)
+	raw, hasEsc, err := sc.scanStringRaw()
+	if err != nil {
+		return err
+	}
+	if !hasEsc {
+		if tt, ok := parseRFC3339(raw[1 : len(raw)-1]); ok {
+			*t = tt
+			return nil
+		}
+	}
+	if err := t.UnmarshalJSON(raw); err != nil {
+		return &scanError{msg: "bad timestamp: " + err.Error(), off: off}
+	}
+	return nil
+}
+
+// numberValue parses a number (or null) field value, enforcing the
+// JSON number grammar before converting.
+func (sc *pointScanner) numberValue() (float64, bool, error) {
+	c, ok, err := sc.cur()
+	if err != nil {
+		return 0, false, err
+	}
+	if !ok {
+		return 0, false, sc.errAt("unexpected end of value")
+	}
+	if c == 'n' {
+		return 0, true, sc.literal("null")
+	}
+	off := sc.base + int64(sc.pos)
+	tok, err := sc.scanNumber()
+	if err != nil {
+		return 0, false, err
+	}
+	if v, ok := fastFloat(tok); ok {
+		return v, false, nil
+	}
+	v, perr := strconv.ParseFloat(string(tok), 64)
+	if perr != nil {
+		// Grammar already validated, so this is a range overflow —
+		// an error in encoding/json as well.
+		return 0, false, &scanError{msg: "number out of range", off: off}
+	}
+	return v, false, nil
+}
+
+// scanNumber scans the number token at the read position, enforcing
+// JSON grammar (strconv accepts hex floats, a leading '+', "Inf" — all
+// invalid JSON). The slice aliases the scan buffer.
+func (sc *pointScanner) scanNumber() ([]byte, error) {
+	start := sc.pos
+	i := sc.pos
+	more := func() bool {
+		if i < sc.limit {
+			return true
+		}
+		ns, err := sc.refill(start)
+		if err != nil {
+			return false
+		}
+		i -= start - ns
+		start = ns
+		return i < sc.limit
+	}
+	digits := func() int {
+		n := 0
+		for more() && sc.buf[i] >= '0' && sc.buf[i] <= '9' {
+			n++
+			i++
+		}
+		return n
+	}
+	fail := func(msg string) error {
+		sc.pos = i
+		return sc.errAt(msg)
+	}
+	if more() && sc.buf[i] == '-' {
+		i++
+	}
+	// Integer part: a single 0, or a nonzero digit run.
+	if !more() || sc.buf[i] < '0' || sc.buf[i] > '9' {
+		return nil, fail("invalid number")
+	}
+	if sc.buf[i] == '0' {
+		i++
+	} else if digits() == 0 {
+		return nil, fail("invalid number")
+	}
+	if more() && sc.buf[i] == '.' {
+		i++
+		if digits() == 0 {
+			return nil, fail("invalid number")
+		}
+	}
+	if more() && (sc.buf[i] == 'e' || sc.buf[i] == 'E') {
+		i++
+		if more() && (sc.buf[i] == '+' || sc.buf[i] == '-') {
+			i++
+		}
+		if digits() == 0 {
+			return nil, fail("invalid number")
+		}
+	}
+	tok := sc.buf[start:i]
+	sc.pos = i
+	return tok, nil
+}
+
+// pow10 holds the exactly-representable powers of ten of the fast
+// float path.
+var pow10 = [16]float64{1, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11, 1e12, 1e13, 1e14, 1e15}
+
+// fastFloat converts plain decimals of up to 15 significant digits and
+// no exponent without allocating: mantissa and scale are both exact in
+// float64, and the correctly-rounded division yields bit-identical
+// results to strconv.ParseFloat.
+func fastFloat(tok []byte) (float64, bool) {
+	i := 0
+	neg := false
+	if i < len(tok) && tok[i] == '-' {
+		neg = true
+		i++
+	}
+	var mant uint64
+	ndig, scale := 0, 0
+	seenDot := false
+	for ; i < len(tok); i++ {
+		c := tok[i]
+		switch {
+		case c >= '0' && c <= '9':
+			mant = mant*10 + uint64(c-'0')
+			ndig++
+			if seenDot {
+				scale++
+			}
+		case c == '.':
+			seenDot = true
+		default:
+			return 0, false // exponent form: let strconv handle it
+		}
+	}
+	if ndig > 15 {
+		return 0, false
+	}
+	v := float64(mant) / pow10[scale]
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
+// literal consumes one fixed literal ("null", "true", "false").
+func (sc *pointScanner) literal(lit string) error {
+	for j := 0; j < len(lit); j++ {
+		c, ok, err := sc.cur()
+		if err != nil {
+			return err
+		}
+		if !ok || c != lit[j] {
+			return sc.errAt("invalid literal")
+		}
+		sc.pos++
+	}
+	return nil
+}
+
+// skipValue consumes (and fully validates) one JSON value of an
+// unknown field, iteratively, with the same nesting bound as
+// encoding/json.
+func (sc *pointScanner) skipValue() error {
+	stack := sc.stack[:0]
+	defer func() { sc.stack = stack[:0] }()
+value:
+	for {
+		if err := sc.skipWS(); err != nil {
+			return err
+		}
+		c, ok, err := sc.cur()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return sc.errAt("unexpected end of value")
+		}
+		switch {
+		case c == '{':
+			sc.pos++
+			if err := sc.skipWS(); err != nil {
+				return err
+			}
+			c2, ok, err := sc.cur()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return sc.errAt("unexpected end of object")
+			}
+			if c2 == '}' {
+				sc.pos++
+				break // empty object: one complete value
+			}
+			if len(stack) >= maxScanDepth {
+				return sc.errAt("exceeded max nesting depth")
+			}
+			stack = append(stack, '{')
+			if err := sc.objectKey(); err != nil {
+				return err
+			}
+			continue value
+		case c == '[':
+			sc.pos++
+			if err := sc.skipWS(); err != nil {
+				return err
+			}
+			c2, ok, err := sc.cur()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return sc.errAt("unexpected end of array")
+			}
+			if c2 == ']' {
+				sc.pos++
+				break
+			}
+			if len(stack) >= maxScanDepth {
+				return sc.errAt("exceeded max nesting depth")
+			}
+			stack = append(stack, '[')
+			continue value
+		case c == '"':
+			if _, _, err := sc.scanStringRaw(); err != nil {
+				return err
+			}
+		case c == 't':
+			if err := sc.literal("true"); err != nil {
+				return err
+			}
+		case c == 'f':
+			if err := sc.literal("false"); err != nil {
+				return err
+			}
+		case c == 'n':
+			if err := sc.literal("null"); err != nil {
+				return err
+			}
+		case c == '-' || c >= '0' && c <= '9':
+			if _, err := sc.scanNumber(); err != nil {
+				return err
+			}
+		default:
+			return sc.errAt("unexpected character")
+		}
+		// One value finished: unwind closers and continue after commas.
+		for {
+			if len(stack) == 0 {
+				return nil
+			}
+			if err := sc.skipWS(); err != nil {
+				return err
+			}
+			c, ok, err := sc.cur()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return sc.errAt("unexpected end of value")
+			}
+			if stack[len(stack)-1] == '{' {
+				switch c {
+				case ',':
+					sc.pos++
+					if err := sc.skipWS(); err != nil {
+						return err
+					}
+					if err := sc.objectKey(); err != nil {
+						return err
+					}
+					continue value
+				case '}':
+					sc.pos++
+					stack = stack[:len(stack)-1]
+				default:
+					return sc.errAt("expected ',' or '}'")
+				}
+			} else {
+				switch c {
+				case ',':
+					sc.pos++
+					continue value
+				case ']':
+					sc.pos++
+					stack = stack[:len(stack)-1]
+				default:
+					return sc.errAt("expected ',' or ']'")
+				}
+			}
+		}
+	}
+}
+
+// objectKey consumes `"key" :` inside a skipped object.
+func (sc *pointScanner) objectKey() error {
+	if _, _, err := sc.scanStringRaw(); err != nil {
+		return err
+	}
+	if err := sc.skipWS(); err != nil {
+		return err
+	}
+	c, ok, err := sc.cur()
+	if err != nil {
+		return err
+	}
+	if !ok || c != ':' {
+		return sc.errAt("expected ':'")
+	}
+	sc.pos++
+	return nil
+}
+
+// decodeBatch parses a whole {"<field>":[...]} request body, appending
+// rows to the scanner's pooled slice (valid until release). Semantics
+// mirror json.Unmarshal into the single-slice-field structs of the
+// ingest plane: unknown keys are skipped after validation, a repeated
+// field restarts the slice, null leaves it empty, a null array element
+// is a zero row, trailing bytes after the top-level value are ignored
+// (json.Decoder reads one value), and any syntax error fails the whole
+// body before a single row is applied.
+func (sc *pointScanner) decodeBatch(field string) ([]Point, error) {
+	sc.pts = sc.pts[:0]
+	if err := sc.skipWS(); err != nil {
+		return nil, err
+	}
+	c, ok, err := sc.cur()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, io.EOF // empty body, the decoder's wording
+	}
+	if c == 'n' {
+		if err := sc.literal("null"); err != nil {
+			return nil, err
+		}
+		return sc.pts, nil
+	}
+	if c != '{' {
+		return nil, sc.errAt("expected '{'")
+	}
+	sc.pos++
+	if err := sc.skipWS(); err != nil {
+		return nil, err
+	}
+	if c, ok, err = sc.cur(); err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, sc.errAt("unexpected end of object")
+	}
+	if c == '}' {
+		sc.pos++
+		return sc.pts, nil
+	}
+	fieldName := []byte(field)
+	for {
+		if err := sc.skipWS(); err != nil {
+			return nil, err
+		}
+		key, err := sc.scanString()
+		if err != nil {
+			return nil, err
+		}
+		match := string(key) == field || bytes.EqualFold(key, fieldName)
+		if err := sc.skipWS(); err != nil {
+			return nil, err
+		}
+		if c, ok, err = sc.cur(); err != nil {
+			return nil, err
+		}
+		if !ok || c != ':' {
+			return nil, sc.errAt("expected ':'")
+		}
+		sc.pos++
+		if err := sc.skipWS(); err != nil {
+			return nil, err
+		}
+		if match {
+			if err := sc.rowArray(); err != nil {
+				return nil, err
+			}
+		} else if err := sc.skipValue(); err != nil {
+			return nil, err
+		}
+		if err := sc.skipWS(); err != nil {
+			return nil, err
+		}
+		if c, ok, err = sc.cur(); err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, sc.errAt("unexpected end of object")
+		}
+		switch c {
+		case ',':
+			sc.pos++
+		case '}':
+			sc.pos++
+			return sc.pts, nil
+		default:
+			return nil, sc.errAt("expected ',' or '}'")
+		}
+	}
+}
+
+// rowArray parses the row array (or null) of a batch body into the
+// pooled slice, restarting it: a duplicate field replaces the earlier
+// value like json.Unmarshal does. Replacement carries Unmarshal's
+// element-reuse semantics: the restarted slice appends over the same
+// backing array, so row i of the later array decodes INTO the earlier
+// row i — absent and null fields keep the earlier value. prev is
+// whatever this decodeBatch call has already parsed (empty on the
+// first field occurrence, matching Unmarshal's fresh nil slice).
+func (sc *pointScanner) rowArray() error {
+	prev := sc.pts
+	sc.pts = sc.pts[:0]
+	c, ok, err := sc.cur()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return sc.errAt("unexpected end of value")
+	}
+	if c == 'n' {
+		return sc.literal("null")
+	}
+	if c != '[' {
+		return sc.errAt("expected array of rows")
+	}
+	sc.pos++
+	if err := sc.skipWS(); err != nil {
+		return err
+	}
+	if c, ok, err = sc.cur(); err != nil {
+		return err
+	}
+	if !ok {
+		return sc.errAt("unexpected end of array")
+	}
+	if c == ']' {
+		sc.pos++
+		return nil
+	}
+	for {
+		if err := sc.skipWS(); err != nil {
+			return err
+		}
+		if c, ok, err = sc.cur(); err != nil {
+			return err
+		}
+		if !ok {
+			return sc.errAt("unexpected end of array")
+		}
+		var p Point
+		if n := len(sc.pts); n < len(prev) {
+			p = prev[n] // reused element: decode merges over it
+		}
+		switch c {
+		case 'n':
+			// null never touches the element; a reused one keeps its
+			// earlier value, exactly as Unmarshal leaves it.
+			if err := sc.literal("null"); err != nil {
+				return err
+			}
+		case '{':
+			if err := sc.parsePoint(&p); err != nil {
+				return err
+			}
+		default:
+			return sc.errAt("expected object row")
+		}
+		sc.pts = append(sc.pts, p)
+		if err := sc.skipWS(); err != nil {
+			return err
+		}
+		if c, ok, err = sc.cur(); err != nil {
+			return err
+		}
+		if !ok {
+			return sc.errAt("unexpected end of array")
+		}
+		switch c {
+		case ',':
+			sc.pos++
+		case ']':
+			sc.pos++
+			return nil
+		default:
+			return sc.errAt("expected ',' or ']'")
+		}
+	}
+}
+
+// daysIn is the day count of each month in a non-leap year.
+var daysIn = [13]int{0, 31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31}
+
+// parseRFC3339 parses the strict, dominant RFC 3339 shape —
+// YYYY-MM-DDThh:mm:ss[.fffffffff]Z — without allocating. ok=false
+// sends the caller to time.Time.UnmarshalJSON, which handles numeric
+// offsets, leap seconds, and every malformed case exactly as
+// encoding/json would.
+func parseRFC3339(b []byte) (time.Time, bool) {
+	num2 := func(i int) (int, bool) {
+		d1, d2 := b[i]-'0', b[i+1]-'0'
+		if d1 > 9 || d2 > 9 {
+			return 0, false
+		}
+		return int(d1)*10 + int(d2), true
+	}
+	if len(b) < 20 || b[4] != '-' || b[7] != '-' || b[10] != 'T' || b[13] != ':' || b[16] != ':' {
+		return time.Time{}, false
+	}
+	y1, ok1 := num2(0)
+	y2, ok2 := num2(2)
+	month, ok3 := num2(5)
+	day, ok4 := num2(8)
+	hour, ok5 := num2(11)
+	minute, ok6 := num2(14)
+	sec, ok7 := num2(17)
+	if !(ok1 && ok2 && ok3 && ok4 && ok5 && ok6 && ok7) {
+		return time.Time{}, false
+	}
+	year := y1*100 + y2
+	i := 19
+	nanos := 0
+	if i < len(b) && b[i] == '.' {
+		i++
+		start := i
+		mult := 100000000
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			if i-start >= 9 {
+				return time.Time{}, false // over-long fraction: slow path
+			}
+			nanos += int(b[i]-'0') * mult
+			mult /= 10
+			i++
+		}
+		if i == start {
+			return time.Time{}, false
+		}
+	}
+	if i != len(b)-1 || b[i] != 'Z' {
+		return time.Time{}, false // numeric offsets: slow path
+	}
+	maxDay := daysIn[month%13]
+	if month == 2 && year%4 == 0 && (year%100 != 0 || year%400 == 0) {
+		maxDay = 29
+	}
+	if month < 1 || month > 12 || day < 1 || day > maxDay ||
+		hour > 23 || minute > 59 || sec > 59 {
+		return time.Time{}, false
+	}
+	return time.Date(year, time.Month(month), day, hour, minute, sec, nanos, time.UTC), true
+}

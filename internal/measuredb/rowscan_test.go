@@ -1,0 +1,291 @@
+package measuredb
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The row scanner's contract is bit-compatibility with encoding/json
+// on everything except error text: same rows out, same inputs rejected.
+// These tests hold it to that contract with the real decoder as the
+// oracle — first over a table of known-nasty shapes, then under fuzz.
+
+// oracleNDJSON mirrors the production NDJSON loop over json.Decoder:
+// rows decoded up to the first error, and whether the stream ended in
+// an error or a clean EOF (the first error poisons the rest, as both
+// ingest paths treat it).
+func oracleNDJSON(data []byte) ([]Point, bool) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var rows []Point
+	for {
+		var p Point
+		if err := dec.Decode(&p); err != nil {
+			return rows, !errors.Is(err, io.EOF)
+		}
+		rows = append(rows, p)
+	}
+}
+
+// scanNDJSON is the same loop over the hand-rolled scanner.
+func scanNDJSON(data []byte) ([]Point, bool) {
+	sc := newPointScanner(bytes.NewReader(data))
+	defer sc.release()
+	var rows []Point
+	var p Point
+	for {
+		if err := sc.next(&p); err != nil {
+			return rows, !errors.Is(err, io.EOF)
+		}
+		rows = append(rows, p)
+	}
+}
+
+// oracleBatch decodes a whole {"rows":[...]} body the way the ingest
+// plane did before the scanner: one json.Decoder value (trailing bytes
+// ignored), unmarshalled into the single-slice-field struct.
+func oracleBatch(data []byte) ([]Point, bool) {
+	var batch struct {
+		Rows []Point `json:"rows"`
+	}
+	if err := json.NewDecoder(bytes.NewReader(data)).Decode(&batch); err != nil {
+		return nil, false
+	}
+	return batch.Rows, true
+}
+
+func scanBatch(data []byte) ([]Point, bool) {
+	sc := newPointScanner(bytes.NewReader(data))
+	defer sc.release()
+	pts, err := sc.decodeBatch("rows")
+	if err != nil {
+		return nil, false
+	}
+	// The scanner's rows alias pooled memory; the comparison below
+	// outlives release, so copy.
+	out := make([]Point, len(pts))
+	copy(out, pts)
+	return out, true
+}
+
+// samePoint compares decoded rows for oracle equality: strings exact,
+// values by bit pattern (-0 and NaN distinctions included), times by
+// instant and by re-rendered RFC 3339 text (which pins the decoded
+// zone offset without comparing Location pointers).
+func samePoint(a, b Point) bool {
+	return a.Device == b.Device &&
+		a.Quantity == b.Quantity &&
+		math.Float64bits(a.Value) == math.Float64bits(b.Value) &&
+		a.At.Equal(b.At) &&
+		a.At.Format(time.RFC3339Nano) == b.At.Format(time.RFC3339Nano)
+}
+
+func diffRows(t *testing.T, input []byte, got, want []Point) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("input %q: scanner decoded %d rows, oracle %d\nscanner: %+v\noracle:  %+v", input, len(got), len(want), got, want)
+	}
+	for i := range got {
+		if !samePoint(got[i], want[i]) {
+			t.Fatalf("input %q: row %d differs\nscanner: %+v\noracle:  %+v", input, i, got[i], want[i])
+		}
+	}
+}
+
+func checkNDJSONOracle(t *testing.T, data []byte) {
+	t.Helper()
+	got, gotErr := scanNDJSON(data)
+	want, wantErr := oracleNDJSON(data)
+	if gotErr != wantErr {
+		t.Fatalf("input %q: scanner errored=%v, oracle errored=%v (scanner rows %+v, oracle rows %+v)", data, gotErr, wantErr, got, want)
+	}
+	diffRows(t, data, got, want)
+}
+
+func checkBatchOracle(t *testing.T, data []byte) {
+	t.Helper()
+	got, gotOK := scanBatch(data)
+	want, wantOK := oracleBatch(data)
+	if gotOK != wantOK {
+		t.Fatalf("input %q: scanner ok=%v, oracle ok=%v", data, gotOK, wantOK)
+	}
+	if gotOK {
+		diffRows(t, data, got, want)
+	}
+}
+
+// rowScannerCorpus is the seed corpus shared by the table tests and the
+// fuzzers: every scanner fast path, every slow-path fallback, and the
+// encoding/json quirks the scanner mirrors on purpose.
+var rowScannerCorpus = []string{
+	// The dominant well-formed shapes.
+	`{"device":"urn:d/1","quantity":"temperature","at":"2015-03-09T10:00:00Z","value":21.5}`,
+	"{\"device\":\"a\",\"at\":\"2015-03-09T10:00:00Z\",\"value\":1}\n{\"device\":\"b\",\"at\":\"2015-03-09T10:00:01Z\",\"value\":2}\n",
+	`{}`,
+	``,
+	`   ` + "\n\t",
+	// Field-name matching: exact, folded, unknown, duplicate (last
+	// wins), and null (never touches the field).
+	`{"DEVICE":"a","Quantity":"q","AT":"2015-03-09T10:00:00Z","VaLuE":3}`,
+	`{"device":"a","device":"b"}`,
+	`{"device":"a","device":null}`,
+	`{"device":null,"at":null,"value":null,"quantity":null}`,
+	`{"unknown":{"nested":[1,2,{"x":"y"}],"b":true},"value":7}`,
+	`{"extra":"😀","value":1}`,
+	// Strings: escapes, surrogates (paired, lone, half-paired), invalid
+	// UTF-8 (U+FFFD replacement), controls, and long tokens that force
+	// window refills.
+	`{"device":"A\n\t\"\\\/\b\f\r"}`,
+	`{"device":"😀   "}`,
+	`{"device":"\ud800"}`,
+	`{"device":"\ud800A"}`,
+	`{"device":"\udc00\ud800"}`,
+	"{\"device\":\"\xff\xfe ok \xc3\x28\"}",
+	"{\"device\":\"\x01\"}",
+	`{"device":"` + strings.Repeat("x", 9000) + `"}`,
+	`{"device":"unterminated`,
+	`{"device":"bad \x escape"}`,
+	`{"device":"bad \u00zz escape"}`,
+	// Numbers: the exact-fast-path boundary (15 digits), exponents,
+	// leading-zero rules, -0, overflow, and malformed grammar strconv
+	// would have accepted.
+	`{"value":0}`,
+	`{"value":-0}`,
+	`{"value":0.1}`,
+	`{"value":123456789012345}`,
+	`{"value":1234567890123456}`,
+	`{"value":0.000000000000001}`,
+	`{"value":1.7976931348623157e308}`,
+	`{"value":1e400}`,
+	`{"value":-1e-400}`,
+	`{"value":2.5e-1}`,
+	`{"value":5E+3}`,
+	`{"value":01}`,
+	`{"value":.5}`,
+	`{"value":1.}`,
+	`{"value":1e}`,
+	`{"value":+1}`,
+	`{"value":0x10}`,
+	`{"value":Inf}`,
+	`{"value":NaN}`,
+	// Timestamps: the hand-parsed Z fast path, fractions, offsets and
+	// malformed shapes that fall back to time.UnmarshalJSON, leap days,
+	// and escapes inside the raw token (handed over still escaped).
+	`{"at":"2015-03-09T10:00:00Z"}`,
+	`{"at":"2015-03-09T10:00:00.123456789Z"}`,
+	`{"at":"2015-03-09T10:00:00.1234567891Z"}`,
+	`{"at":"2015-03-09T10:00:00+01:30"}`,
+	`{"at":"2016-02-29T00:00:00Z"}`,
+	`{"at":"2015-02-29T00:00:00Z"}`,
+	`{"at":"2100-02-29T00:00:00Z"}`,
+	`{"at":"2000-02-29T23:59:59.999999999Z"}`,
+	`{"at":"2015-03-09T24:00:00Z"}`,
+	`{"at":"2015-03-09 10:00:00Z"}`,
+	`{"at":"2015-03-09T10:00:00Z"}`,
+	`{"at":"not a time"}`,
+	`{"at":5}`,
+	`{"at":""}`,
+	// Wrong value types and broken structure.
+	`{"device":5}`,
+	`{"value":"5"}`,
+	`{"device":"a"`,
+	`{"device":"a",}`,
+	`{"device" "a"}`,
+	`{device:"a"}`,
+	`[{"value":1}]`,
+	`"just a string"`,
+	`42`,
+	`true`,
+	`null`,
+	"null\n{\"value\":1}\nnull",
+	`nul`,
+	// Batch bodies: the rows field in every position, folded, duplicate
+	// (element-reuse semantics), null rows, null elements, unknown
+	// siblings, and trailing garbage after the top-level value.
+	`{"rows":[{"device":"a","at":"2015-03-09T10:00:00Z","value":1}]}`,
+	`{"rows":[]}`,
+	`{"rows":null}`,
+	`{"ROWS":[{"value":1}],"other":3}`,
+	`{"before":{"rows":[9]},"rows":[{"value":1},null,{"value":2}]}`,
+	`{"rows":[{"device":"a","value":1}],"rows":[{"value":2}]}`,
+	`{"rows":[{"device":"a","value":1},{"device":"b"}],"rows":[null,{"quantity":"q"}]}`,
+	`{"rows":[{"device":"a"}],"rows":null}`,
+	`{"rows":[{"value":1}]} trailing garbage`,
+	`{"rows":[{"value":1}]}{"rows":[{"value":2}]}`,
+	`{"rows":[1]}`,
+	`{"rows":{"not":"array"}}`,
+	`{"rows":[{"value":1}`,
+}
+
+func TestRowScannerNDJSONOracle(t *testing.T) {
+	for _, input := range rowScannerCorpus {
+		checkNDJSONOracle(t, []byte(input))
+	}
+}
+
+func TestRowScannerBatchOracle(t *testing.T) {
+	for _, input := range rowScannerCorpus {
+		checkBatchOracle(t, []byte(input))
+	}
+}
+
+// TestRowScannerSmallReads re-runs the corpus through a one-byte-at-a-
+// time reader, so every token shape crosses a refill boundary at every
+// possible offset.
+func TestRowScannerSmallReads(t *testing.T) {
+	for _, input := range rowScannerCorpus {
+		sc := newPointScanner(iotest(strings.NewReader(input)))
+		var got []Point
+		var p Point
+		gotErr := false
+		for {
+			err := sc.next(&p)
+			if err != nil {
+				gotErr = !errors.Is(err, io.EOF)
+				break
+			}
+			got = append(got, p)
+		}
+		sc.release()
+		want, wantErr := oracleNDJSON([]byte(input))
+		if gotErr != wantErr {
+			t.Fatalf("input %q (1-byte reads): scanner errored=%v, oracle errored=%v", input, gotErr, wantErr)
+		}
+		diffRows(t, []byte(input), got, want)
+	}
+}
+
+// iotest wraps r to deliver one byte per Read.
+func iotest(r io.Reader) io.Reader { return &oneByteReader{r: r} }
+
+type oneByteReader struct{ r io.Reader }
+
+func (o *oneByteReader) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return o.r.Read(p)
+}
+
+func FuzzRowScannerNDJSON(f *testing.F) {
+	for _, input := range rowScannerCorpus {
+		f.Add([]byte(input))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		checkNDJSONOracle(t, data)
+	})
+}
+
+func FuzzRowScannerBatch(f *testing.F) {
+	for _, input := range rowScannerCorpus {
+		f.Add([]byte(input))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		checkBatchOracle(t, data)
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 	"sort"
@@ -16,6 +17,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/dataformat"
+	"repro/internal/qcache"
 	"repro/internal/tsdb"
 )
 
@@ -268,29 +270,34 @@ func (s *Service) v2Series(ctx context.Context, q url.Values) (any, error) {
 	if err != nil {
 		return nil, api.BadRequest(err)
 	}
-	keys := s.resolveSelector(SeriesSelector{Device: q.Get("device"), Quantity: q.Get("quantity")})
-	if after != (tsdb.SeriesKey{}) {
-		i := sort.Search(len(keys), func(i int) bool {
-			if keys[i].Device != after.Device {
-				return keys[i].Device > after.Device
-			}
-			return keys[i].Quantity > after.Quantity
-		})
-		keys = keys[i:]
-	}
-	page := SeriesPage{Series: make([]SeriesInfo, 0, min(limit, len(keys)))}
-	for _, k := range keys {
-		if len(page.Series) == limit {
-			page.NextCursor = encodeSeriesCursor(tsdb.SeriesKey{
-				Device:   page.Series[limit-1].Device,
-				Quantity: page.Series[limit-1].Quantity,
+	return s.cachedAll(func(k *qcache.Key) {
+		k.Str("series").Str(q.Get("device")).Str(q.Get("quantity")).
+			Int(int64(limit)).Str(after.Device).Str(after.Quantity)
+	}, func() (any, error) {
+		keys := s.resolveSelector(SeriesSelector{Device: q.Get("device"), Quantity: q.Get("quantity")})
+		if after != (tsdb.SeriesKey{}) {
+			i := sort.Search(len(keys), func(i int) bool {
+				if keys[i].Device != after.Device {
+					return keys[i].Device > after.Device
+				}
+				return keys[i].Quantity > after.Quantity
 			})
-			break
+			keys = keys[i:]
 		}
-		page.Series = append(page.Series, SeriesInfo{Device: k.Device, Quantity: k.Quantity, Samples: s.store.Len(k)})
-	}
-	page.Count = len(page.Series)
-	return page, nil
+		page := SeriesPage{Series: make([]SeriesInfo, 0, min(limit, len(keys)))}
+		for _, k := range keys {
+			if len(page.Series) == limit {
+				page.NextCursor = encodeSeriesCursor(tsdb.SeriesKey{
+					Device:   page.Series[limit-1].Device,
+					Quantity: page.Series[limit-1].Quantity,
+				})
+				break
+			}
+			page.Series = append(page.Series, SeriesInfo{Device: k.Device, Quantity: k.Quantity, Samples: s.store.Len(k)})
+		}
+		page.Count = len(page.Series)
+		return page, nil
+	})
 }
 
 // samplesParams decodes the shared parameters of the per-series routes.
@@ -341,22 +348,32 @@ func (s *Service) v2Samples(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if mediaType == "application/json" || mediaType == "" {
-		page, err := s.store.QueryPage(key, from, to, cur, limit)
+		out, err := s.cachedDevice(key.Device, func(k *qcache.Key) {
+			k.Str("samples").Str(key.Device).Str(key.Quantity).
+				Int(from.UnixNano()).Int(to.UnixNano()).Int(int64(limit)).
+				Int(cur.After.UnixNano()).Int(int64(cur.Seen))
+		}, func() (any, error) {
+			page, err := s.store.QueryPage(key, from, to, cur, limit)
+			if err != nil {
+				return nil, err
+			}
+			out := SamplesPage{
+				Device:   key.Device,
+				Quantity: key.Quantity,
+				Samples:  make([]Point, len(page.Samples)),
+				Count:    len(page.Samples),
+			}
+			for i, smp := range page.Samples {
+				out.Samples[i] = Point{At: smp.At, Value: smp.Value}
+			}
+			if page.More {
+				out.NextCursor = encodeCursor(page.Next)
+			}
+			return out, nil
+		})
 		if err != nil {
 			api.WriteError(w, r, err)
 			return
-		}
-		out := SamplesPage{
-			Device:   key.Device,
-			Quantity: key.Quantity,
-			Samples:  make([]Point, len(page.Samples)),
-			Count:    len(page.Samples),
-		}
-		for i, smp := range page.Samples {
-			out.Samples[i] = Point{At: smp.At, Value: smp.Value}
-		}
-		if page.More {
-			out.NextCursor = encodeCursor(page.Next)
 		}
 		api.WriteJSON(w, http.StatusOK, out)
 		return
@@ -395,18 +412,23 @@ func (s *Service) streamSamples(w http.ResponseWriter, r *http.Request, key tsdb
 	var finish func()
 	switch mediaType {
 	case NDJSONType:
-		enc := json.NewEncoder(w)
-		writeRow = func(p Point) error { return enc.Encode(p) }
+		buf := getRowBuf()
+		defer putRowBuf(buf)
+		writeRow = func(p Point) error {
+			buf.b = appendPointNDJSON(buf.b[:0], p)
+			_, err := w.Write(buf.b)
+			return err
+		}
 		finish = func() {}
 	case CSVType:
 		cw := csv.NewWriter(w)
 		_ = cw.Write([]string{"device", "quantity", "at", "value"})
+		var record [4]string
 		writeRow = func(p Point) error {
-			return cw.Write([]string{
-				p.Device, p.Quantity,
-				p.At.UTC().Format(time.RFC3339Nano),
-				strconv.FormatFloat(p.Value, 'g', -1, 64),
-			})
+			record[0], record[1] = p.Device, p.Quantity
+			record[2] = p.At.UTC().Format(time.RFC3339Nano)
+			record[3] = strconv.FormatFloat(p.Value, 'g', -1, 64)
+			return cw.Write(record[:])
 		}
 		finish = func() { cw.Flush() }
 	}
@@ -447,27 +469,38 @@ func (s *Service) v2Latest(ctx context.Context, p api.Params, q url.Values) (any
 }
 
 // v2Aggregate serves a range summary, or windowed buckets with window=.
+// Responses flow through the generation-keyed result cache: repeated
+// identical aggregates over a quiescent shard are served from cache,
+// byte-identical to a fresh evaluation.
 func (s *Service) v2Aggregate(ctx context.Context, p api.Params, q url.Values) (any, error) {
 	key, from, to, err := samplesParams(p, q)
 	if err != nil {
 		return nil, err
 	}
-	if ws := q.Get("window"); ws != "" {
-		window, err := time.ParseDuration(ws)
-		if err != nil {
+	ws := q.Get("window")
+	var window time.Duration
+	if ws != "" {
+		if window, err = time.ParseDuration(ws); err != nil {
 			return nil, api.BadRequest(fmt.Errorf("bad window: %v", err))
 		}
-		buckets, err := s.store.Downsample(key, from, to, window)
+	}
+	return s.cachedDevice(key.Device, func(k *qcache.Key) {
+		k.Str("agg").Str(key.Device).Str(key.Quantity).
+			Int(from.UnixNano()).Int(to.UnixNano()).Str(ws)
+	}, func() (any, error) {
+		if ws != "" {
+			buckets, err := s.store.Downsample(key, from, to, window)
+			if err != nil {
+				return nil, err
+			}
+			return buckets, nil
+		}
+		agg, err := s.store.Aggregate(key, from, to)
 		if err != nil {
 			return nil, err
 		}
-		return buckets, nil
-	}
-	agg, err := s.store.Aggregate(key, from, to)
-	if err != nil {
-		return nil, err
-	}
-	return aggregateResponse(key, agg), nil
+		return aggregateResponse(key, agg), nil
+	})
 }
 
 // aggregateResponse renders a store aggregate on the wire.
@@ -588,8 +621,16 @@ func (s *Service) evalBatch(plan batchPlan) BatchResponse {
 // encoding=ndjson) whose raw-sample rows ride the store iterator, so the
 // response is O(1) in server memory however much the selectors match.
 func (s *Service) v2Query(w http.ResponseWriter, r *http.Request) {
+	// The body is read whole (it is already bounded) so the raw bytes can
+	// key the result cache: two textually identical batch requests share
+	// one cache entry without re-normalizing the parsed form.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxIngestBody))
+	if err != nil {
+		api.WriteError(w, r, api.BadRequest(fmt.Errorf("bad request body: %v", err)))
+		return
+	}
 	var req BatchQuery
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody)).Decode(&req); err != nil {
+	if err := json.Unmarshal(body, &req); err != nil {
 		api.WriteError(w, r, api.BadRequest(fmt.Errorf("bad request body: %v", err)))
 		return
 	}
@@ -613,7 +654,16 @@ func (s *Service) v2Query(w http.ResponseWriter, r *http.Request) {
 		s.streamBatch(w, plan)
 		return
 	}
-	api.WriteJSON(w, http.StatusOK, s.evalBatch(plan))
+	out, err := s.cachedAll(func(k *qcache.Key) {
+		k.Str("query").Bytes(body)
+	}, func() (any, error) {
+		return s.evalBatch(plan), nil
+	})
+	if err != nil {
+		api.WriteError(w, r, err)
+		return
+	}
+	api.WriteJSON(w, http.StatusOK, out)
 }
 
 // BatchRow is one line of an NDJSON-streamed batch response. Exactly one
@@ -658,6 +708,20 @@ func (s *Service) streamBatch(w http.ResponseWriter, plan batchPlan) {
 			flusher.Flush()
 		}
 		return enc.Encode(row) == nil
+	}
+	// Raw sample rows dominate large streams; they bypass the reflecting
+	// encoder for a pooled append buffer (identical bytes, no per-row
+	// BatchRow pointer fields).
+	buf := getRowBuf()
+	defer putRowBuf(buf)
+	emitSample := func(selector int, device, quantity string, at time.Time, v float64) bool {
+		rows++
+		if rows%256 == 0 && flusher != nil {
+			flusher.Flush()
+		}
+		buf.b = appendBatchSampleRow(buf.b[:0], selector, device, quantity, at, v)
+		_, err := w.Write(buf.b)
+		return err == nil
 	}
 	for i, sel := range req.Selectors {
 		keys := s.resolveSelector(sel)
@@ -709,9 +773,7 @@ func (s *Service) streamBatch(w http.ResponseWriter, plan batchPlan) {
 						break
 					}
 					n++
-					at, v := smp.At, smp.Value
-					row.At, row.Value = &at, &v
-					if !emit(row) {
+					if !emitSample(i, key.Device, key.Quantity, smp.At, smp.Value) {
 						return
 					}
 				}

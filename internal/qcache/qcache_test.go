@@ -1,0 +1,171 @@
+package qcache
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilCacheIsValid(t *testing.T) {
+	var c *Cache
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	c.Put("k", []byte("v")) // must not panic
+	if st := c.Stats(); st != (Stats{}) {
+		t.Fatalf("nil cache stats = %+v, want zero", st)
+	}
+	if New(0) != nil || New(-1) != nil {
+		t.Fatal("non-positive budget should return the nil cache")
+	}
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := New(1 << 20)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", []byte("hello"))
+	got, ok := c.Get("a")
+	if !ok || string(got) != "hello" {
+		t.Fatalf("Get(a) = %q, %v", got, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPutCopiesValue(t *testing.T) {
+	c := New(1 << 20)
+	buf := []byte("original")
+	c.Put("k", buf)
+	copy(buf, "mutated!")
+	got, _ := c.Get("k")
+	if string(got) != "original" {
+		t.Fatalf("cached value aliased the caller's buffer: %q", got)
+	}
+}
+
+func TestReplaceSameKey(t *testing.T) {
+	c := New(1 << 20)
+	c.Put("k", []byte("one"))
+	c.Put("k", []byte("twotwo"))
+	got, _ := c.Get("k")
+	if string(got) != "twotwo" {
+		t.Fatalf("replace lost: %q", got)
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("replace minted an entry: %+v", st)
+	}
+}
+
+func TestEvictionUnderPressure(t *testing.T) {
+	// Tiny budget: ~4 entries per shard before eviction kicks in.
+	c := New(numShards * 4 * (entryOverhead + 64))
+	val := []byte(strings.Repeat("x", 48))
+	for i := 0; i < 10*numShards; i++ {
+		c.Put(fmt.Sprintf("key-%04d", i), val)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions under pressure: %+v", st)
+	}
+	var sum int64
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		if c.shards[i].cur > c.shards[i].max {
+			t.Fatalf("shard %d over budget: %d > %d", i, c.shards[i].cur, c.shards[i].max)
+		}
+		sum += c.shards[i].cur
+		c.shards[i].mu.Unlock()
+	}
+	if sum != st.Bytes {
+		t.Fatalf("bytes accounting drifted: shards=%d stats=%d", sum, st.Bytes)
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	// One shard's worth of keys that all hash to... easier: use a cache
+	// where every entry goes somewhere, touch one key, then flood; the
+	// touched key should be likelier to survive than the untouched ones
+	// is probabilistic — instead pin determinism by exercising a single
+	// shard directly.
+	c := New(numShards * 3 * (entryOverhead + 16))
+	var keys []string
+	for i := 0; keys == nil || len(keys) < 4; i++ {
+		k := fmt.Sprintf("k%05d", i)
+		if shardOf(k) == 0 {
+			keys = append(keys, k)
+		}
+	}
+	for _, k := range keys[:3] {
+		c.Put(k, []byte("v"))
+	}
+	// Refresh keys[0]; adding keys[3] must evict keys[1] (LRU), not it.
+	if _, ok := c.Get(keys[0]); !ok {
+		t.Fatal("warm key missing")
+	}
+	c.Put(keys[3], []byte("v"))
+	if _, ok := c.Get(keys[0]); !ok {
+		t.Fatal("recently-used key was evicted")
+	}
+	if _, ok := c.Get(keys[1]); ok {
+		t.Fatal("least-recently-used key survived eviction")
+	}
+}
+
+func TestOversizeValueRejected(t *testing.T) {
+	c := New(numShards * 128)
+	c.Put("big", make([]byte, 4096))
+	if _, ok := c.Get("big"); ok {
+		t.Fatal("oversize value was cached")
+	}
+	if st := c.Stats(); st.Bytes != 0 {
+		t.Fatalf("rejected value left bytes behind: %+v", st)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(1 << 18)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := fmt.Sprintf("k-%d", i%97)
+				if v, ok := c.Get(k); ok && len(v) == 0 {
+					t.Error("empty cached value")
+					return
+				}
+				c.Put(k, []byte(k))
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestKeyBuilder(t *testing.T) {
+	var k Key
+	k.Str("dev/1").Str("temp").Int(-5).Uint(42).Gens([]uint64{1, 2, 3})
+	a := k.String()
+	k.Reset()
+	k.Str("dev/1").Str("temp").Int(-5).Uint(42).Gens([]uint64{1, 2, 3})
+	if b := k.String(); a != b {
+		t.Fatalf("same parts, different keys: %q vs %q", a, b)
+	}
+	k.Reset()
+	k.Str("dev/1").Str("temp").Int(-5).Uint(42).Gens([]uint64{1, 2, 4})
+	if b := k.String(); a == b {
+		t.Fatal("generation change did not change the key")
+	}
+	// Adjacent parts must not concatenate ambiguously.
+	var k1, k2 Key
+	k1.Str("ab").Str("c")
+	k2.Str("a").Str("bc")
+	if k1.String() == k2.String() {
+		t.Fatal("part boundaries collide")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/block"
@@ -27,6 +28,37 @@ const maxCursorSkip = 1 << 17
 
 func sampleAt(t int64, v float64) Sample {
 	return Sample{At: time.Unix(0, t).UTC(), Value: v}
+}
+
+// readScratch is the block-decode scratch one merged read borrows: the
+// point-decode buffer, the per-source slices of a page merge, and the
+// sample arena the decoded points land in. A request touching many
+// series (a batch query fanning over selectors) reuses one scratch per
+// merged call instead of re-growing these for every series. Nothing
+// handed back to callers may alias the scratch — page results are
+// copied out before release.
+type readScratch struct {
+	pts    []block.Point
+	srcs   [][]Sample
+	capped []bool
+	smps   []Sample
+	merged []Sample
+}
+
+var readScratchPool = sync.Pool{New: func() any { return new(readScratch) }}
+
+func getReadScratch() *readScratch { return readScratchPool.Get().(*readScratch) }
+
+func (rs *readScratch) release() {
+	for i := range rs.srcs {
+		rs.srcs[i] = nil
+	}
+	rs.srcs = rs.srcs[:0]
+	rs.capped = rs.capped[:0]
+	rs.pts = rs.pts[:0]
+	rs.smps = rs.smps[:0]
+	rs.merged = rs.merged[:0]
+	readScratchPool.Put(rs)
 }
 
 // blocksFor returns retained references to the shard's blocks that
@@ -114,14 +146,17 @@ func (s *Sharded) mergedQueryPage(key SeriesKey, from, to time.Time, cur Cursor,
 	}
 
 	// Sources in merge order: blocks in cut order, then the head.
-	srcs := make([][]Sample, 0, len(blks)+1)
-	capped := make([]bool, 0, len(blks)+1)
-	var pts []block.Point
+	// Decode scratch (points, per-source views into one sample arena)
+	// is pooled across calls; page.Samples below copies out of it.
+	rs := getReadScratch()
+	defer rs.release()
+	srcs, capped, pts, arena := rs.srcs, rs.capped, rs.pts, rs.smps
 	for _, b := range blks {
 		pts = pts[:0]
 		var err error
 		pts, err = b.PointsLimit(pts, bk(key), startN, toN, need)
 		if err != nil {
+			rs.pts = pts
 			if errors.Is(err, block.ErrRawDemoted) {
 				continue // raw data retired by retention; nothing to page
 			}
@@ -130,17 +165,21 @@ func (s *Sharded) mergedQueryPage(key SeriesKey, from, to time.Time, cur Cursor,
 		if len(pts) == 0 {
 			continue
 		}
-		smps := make([]Sample, len(pts))
-		for j, p := range pts {
-			smps[j] = sampleAt(p.T, p.V)
+		base := len(arena)
+		for _, p := range pts {
+			arena = append(arena, sampleAt(p.T, p.V))
 		}
-		srcs = append(srcs, smps)
+		// Full slice expression: later arena appends must not stomp
+		// this source's tail.
+		srcs = append(srcs, arena[base:len(arena):len(arena)])
 		capped = append(capped, len(pts) >= need)
 	}
 	srcs = append(srcs, headPage.Samples)
 	capped = append(capped, headPage.More)
+	rs.srcs, rs.capped, rs.pts, rs.smps = srcs, capped, pts, arena
 
-	merged := mergeSamples(srcs, limit+min(skip, maxCursorSkip)+1)
+	merged := mergeSamplesInto(rs.merged[:0], srcs, limit+min(skip, maxCursorSkip)+1)
+	rs.merged = merged
 
 	var page Page
 	page.Samples = make([]Sample, 0, min(limit, len(merged)))
@@ -196,11 +235,13 @@ func (s *Sharded) keyInAnyBlock(bs *blockSet, key block.Key) bool {
 	return false
 }
 
-// mergeSamples k-way merges ascending sources in (timestamp, source
-// index) order, stopping after max samples. Equal timestamps keep
-// source order, which matches the pre-compaction in-head order (the
-// compactor cuts rows in stored order).
-func mergeSamples(srcs [][]Sample, max int) []Sample {
+// mergeSamplesInto k-way merges ascending sources in (timestamp, source
+// index) order into dst, stopping after max samples. Equal timestamps
+// keep source order, which matches the pre-compaction in-head order
+// (the compactor cuts rows in stored order). The result is always
+// backed by dst's array (or a growth of it), never by a source, so dst
+// may be pooled scratch while sources alias store-owned memory.
+func mergeSamplesInto(dst []Sample, srcs [][]Sample, max int) []Sample {
 	live := 0
 	var only []Sample
 	for _, s := range srcs {
@@ -210,21 +251,16 @@ func mergeSamples(srcs [][]Sample, max int) []Sample {
 		}
 	}
 	if live == 0 {
-		return nil
+		return dst
 	}
 	if live == 1 {
 		if len(only) > max {
 			only = only[:max]
 		}
-		return only
+		return append(dst, only...)
 	}
 	idx := make([]int, len(srcs))
-	total := 0
-	for _, s := range srcs {
-		total += len(s)
-	}
-	out := make([]Sample, 0, min(total, max))
-	for len(out) < max {
+	for len(dst) < max {
 		best := -1
 		for si, s := range srcs {
 			if idx[si] >= len(s) {
@@ -237,10 +273,10 @@ func mergeSamples(srcs [][]Sample, max int) []Sample {
 		if best < 0 {
 			break
 		}
-		out = append(out, srcs[best][idx[best]])
+		dst = append(dst, srcs[best][idx[best]])
 		idx[best]++
 	}
-	return out
+	return dst
 }
 
 // mergedQuery materializes a full range query through the merged pager.
@@ -454,21 +490,21 @@ func (s *Sharded) mergedAggregate(key SeriesKey, from, to time.Time) (Aggregate,
 	}
 
 	var agg Aggregate
-	var pts []block.Point
+	rs := getReadScratch()
+	defer rs.release()
 	for _, b := range blks {
 		m, _ := b.Meta(bk(key))
 		switch {
 		case fromN <= m.MinT && m.MaxT <= toN:
 			agg.combine(metaAggregate(m))
 		case m.HasRaw():
-			pts = pts[:0]
 			var err error
-			pts, err = b.Points(pts, bk(key), fromN, toN)
+			rs.pts, err = b.Points(rs.pts[:0], bk(key), fromN, toN)
 			if err != nil {
 				return Aggregate{}, err
 			}
 			var part Aggregate
-			for _, p := range pts {
+			for _, p := range rs.pts {
 				part.add(sampleAt(p.T, p.V))
 			}
 			agg.combine(part)
@@ -562,7 +598,8 @@ func (s *Sharded) mergedDownsample(key SeriesKey, from, to time.Time, window tim
 		return nil, headErr
 	}
 
-	var pts []block.Point
+	rs := getReadScratch()
+	defer rs.release()
 	for _, b := range blks {
 		m, _ := b.Meta(bk(key))
 		bks, err := b.Rollup(bk(key), res)
@@ -594,13 +631,12 @@ func (s *Sharded) mergedDownsample(key SeriesKey, from, to time.Time, window tim
 			if hi > toN {
 				hi = toN
 			}
-			pts = pts[:0]
 			var err error
-			pts, err = b.PointsLimit(pts, bk(key), lo, hi, -1)
+			rs.pts, err = b.PointsLimit(rs.pts[:0], bk(key), lo, hi, -1)
 			if err != nil {
 				return nil, err
 			}
-			for _, p := range pts {
+			for _, p := range rs.pts {
 				smp := sampleAt(p.T, p.V)
 				var one Aggregate
 				one.add(smp)

@@ -263,22 +263,25 @@ func ReadShardDir(dir string, fn func([]Row) error) error {
 // worker, so the store sees no concurrent writes while dumping. On a
 // block-bearing shard the snapshot step IS the compaction cycle: head
 // rows past the head window move into a block file in the same pass.
-func (s *Sharded) maybeSnapshot(store *Store, disk *shardDisk, bs *blockSet) {
+// Reports whether a pass ran at all (even a failed one) — the caller
+// bumps the shard generation on it, since a compaction pass may have
+// republished the block view.
+func (s *Sharded) maybeSnapshot(store *Store, disk *shardDisk, bs *blockSet) bool {
 	pending := disk.sinceSnap.Load()
 	if pending == 0 {
-		return
+		return false
 	}
 	lastSnap := time.Unix(0, disk.lastSnap.Load())
 	due := (s.snapEvery > 0 && int(pending) >= s.snapEvery) ||
 		(s.snapInterval > 0 && time.Since(lastSnap) >= s.snapInterval)
 	if !due {
-		return
+		return false
 	}
 	start := time.Now()
 	disk.lastSnap.Store(start.UnixNano()) // even on failure: retry next cadence, not next batch
 	if bs != nil {
 		_ = s.compactShard(store, disk, bs) // on failure: log intact, previous view authoritative
-		return
+		return true
 	}
 	seq := disk.log.LastSeq()
 	err := store.writeSnapshot(disk.dir, seq)
@@ -286,11 +289,12 @@ func (s *Sharded) maybeSnapshot(store *Store, disk *shardDisk, bs *blockSet) {
 		disk.mx.snapDur.ObserveDuration(time.Since(start))
 	}
 	if err != nil {
-		return // log intact, nothing truncated; recovery still complete
+		return true // log intact, nothing truncated; recovery still complete
 	}
 	_ = disk.log.TruncateBefore(seq + 1)
 	wal.RemoveSnapshotsBefore(disk.dir, seq)
 	disk.sinceSnap.Store(0)
+	return true
 }
 
 // snapshotChunk is how many rows one snapshot record carries.

@@ -165,6 +165,14 @@ type Sharded struct {
 	headReads  atomic.Uint64
 	blockReads atomic.Uint64
 
+	// gens is the per-shard mutation generation: bumped after every
+	// applied append wave, every compaction/snapshot pass, and every
+	// reset or admin op — always before the mutation's caller is
+	// unblocked. Result caches snapshot it into their keys, so any shard
+	// mutation implicitly invalidates cached reads over that shard while
+	// read-your-writes stays exact.
+	gens []atomic.Uint64
+
 	mu     sync.RWMutex // guards closed vs. queue sends
 	closed bool
 	wg     sync.WaitGroup
@@ -191,6 +199,10 @@ type batchItem struct {
 	// block import, series drop). Like reset it never joins a commit
 	// group: everything queued before it commits first.
 	op *shardOp
+	// release, when set, returns the item's row storage to its pool once
+	// the worker is finished with it (applied, or dropped on a WAL
+	// failure). Only the worker calls it, exactly once.
+	release func()
 }
 
 // shardOp is one admin operation routed through a shard's worker so it
@@ -242,6 +254,7 @@ func OpenSharded(opts ShardedOptions) (*Sharded, error) {
 	s := &Sharded{
 		shards:       make([]*Store, n),
 		queues:       make([]chan batchItem, n),
+		gens:         make([]atomic.Uint64, n),
 		snapEvery:    opts.SnapshotEvery,
 		snapInterval: opts.SnapshotInterval,
 	}
@@ -261,10 +274,14 @@ func OpenSharded(opts ShardedOptions) (*Sharded, error) {
 			func() float64 { return float64(s.dropped.Load()) })
 		for i := 0; i < n; i++ {
 			q := s.queues[i]
+			g := &s.gens[i]
+			shard := obs.Labels{"shard": strconv.Itoa(i)}
 			reg.GaugeFunc("repro_tsdb_queue_depth",
 				"Batches waiting on the shard append queue.",
-				obs.Labels{"shard": strconv.Itoa(i)},
-				func() float64 { return float64(len(q)) })
+				shard, func() float64 { return float64(len(q)) })
+			reg.GaugeFunc("repro_tsdb_shard_generation",
+				"Shard mutation generation: bumps on applied append waves, compaction passes, resets, and admin ops.",
+				shard, func() float64 { return float64(g.Load()) })
 		}
 	}
 	if opts.Dir != "" {
@@ -399,7 +416,7 @@ func (s *Sharded) worker(i int) {
 			return
 		}
 		if item.reset != nil || item.op != nil {
-			s.runBarrier(store, disk, bs, item)
+			s.runBarrier(i, store, disk, bs, item)
 			continue
 		}
 		group = append(group[:0], item)
@@ -427,9 +444,9 @@ func (s *Sharded) worker(i int) {
 				break drain
 			}
 		}
-		s.commitGroup(store, disk, bs, group)
+		s.commitGroup(i, store, disk, bs, group)
 		if pending != nil {
-			s.runBarrier(store, disk, bs, *pending)
+			s.runBarrier(i, store, disk, bs, *pending)
 		}
 		if closed {
 			return
@@ -438,10 +455,14 @@ func (s *Sharded) worker(i int) {
 }
 
 // runBarrier executes a reset or admin-op queue item on the shard
-// worker, outside any commit group.
-func (s *Sharded) runBarrier(store *Store, disk *shardDisk, bs *blockSet, item batchItem) {
+// worker, outside any commit group. The shard generation bumps before
+// the outcome is sent: the caller — and anyone it tells — can never
+// observe a cached pre-op result after the op is acknowledged.
+func (s *Sharded) runBarrier(i int, store *Store, disk *shardDisk, bs *blockSet, item batchItem) {
 	if item.reset != nil {
-		item.reset <- s.resetShard(store, disk, bs)
+		err := s.resetShard(store, disk, bs)
+		s.gens[i].Add(1)
+		item.reset <- err
 		return
 	}
 	op := item.op
@@ -456,6 +477,7 @@ func (s *Sharded) runBarrier(store *Store, disk *shardDisk, bs *blockSet, item b
 	case op.kind == opDrop:
 		err = s.dropSeries(store, disk, bs, op.key)
 	}
+	s.gens[i].Add(1)
 	op.done <- err
 }
 
@@ -492,7 +514,7 @@ func (s *Sharded) resetShard(store *Store, disk *shardDisk, bs *blockSet) error 
 // before the in-memory store, and the store before its producer is
 // unblocked. A WAL failure fails every row in the wave without applying
 // any of them — the engine never acknowledges state it cannot recover.
-func (s *Sharded) commitGroup(store *Store, disk *shardDisk, bs *blockSet, group []batchItem) {
+func (s *Sharded) commitGroup(i int, store *Store, disk *shardDisk, bs *blockSet, group []batchItem) {
 	if s.groupRows != nil {
 		rows := 0
 		for _, it := range group {
@@ -552,6 +574,9 @@ func (s *Sharded) commitGroup(store *Store, disk *shardDisk, bs *blockSet, group
 					if it.done != nil {
 						it.done.Done()
 					}
+					if it.release != nil {
+						it.release()
+					}
 				}
 				return
 			}
@@ -577,13 +602,23 @@ func (s *Sharded) commitGroup(store *Store, disk *shardDisk, bs *blockSet, group
 			if disk != nil {
 				disk.sinceSnap.Add(int64(len(it.rows)))
 			}
+			// Generation bump before the ack: a producer unblocked by
+			// done.Done() re-reading its own write can never match a
+			// cache entry keyed to the pre-append generation.
+			s.gens[i].Add(1)
 		}
 		if it.done != nil {
 			it.done.Done()
 		}
+		if it.release != nil {
+			it.release()
+		}
 	}
-	if disk != nil {
-		s.maybeSnapshot(store, disk, bs)
+	if disk != nil && s.maybeSnapshot(store, disk, bs) {
+		// A snapshot pass on a block-bearing shard IS the compaction
+		// cycle — head rows moved into blocks, retention applied. Bump so
+		// cached merged reads over the pre-compaction view expire.
+		s.gens[i].Add(1)
 	}
 }
 
@@ -600,6 +635,25 @@ func anyStages(group []batchItem) bool {
 
 // NumShards reports the shard count.
 func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// ShardGeneration reports shard i's mutation generation. It increases
+// monotonically: after every applied append wave (before the producer is
+// unblocked), every compaction/snapshot pass, and every reset or admin
+// op. Two equal readings around a read guarantee the shard's visible
+// data did not change in between — the contract result caches build on.
+func (s *Sharded) ShardGeneration(i int) uint64 {
+	return s.gens[i].Load()
+}
+
+// Generations appends every shard's current generation to buf and
+// returns it, in shard order. A caching reader snapshots the set once
+// per request instead of taking len(shards) separate calls.
+func (s *Sharded) Generations(buf []uint64) []uint64 {
+	for i := range s.gens {
+		buf = append(buf, s.gens[i].Load())
+	}
+	return buf
+}
 
 // ShardFor reports which shard owns a device's series.
 func (s *Sharded) ShardFor(device string) int {
@@ -733,15 +787,66 @@ func fnv64a(s string) uint64 {
 	return h
 }
 
+// partitionScratch is the reusable working set of one append wave:
+// counting arrays, one flat row/index backing sliced into per-shard
+// windows, and the caller-aligned error slots. Waves recycle it through
+// scratchPool, so a steady-state ingest stream repartitions in place
+// instead of re-allocating per batch.
+type partitionScratch struct {
+	counts  []int
+	offs    []int
+	shardOf []int32
+	rows    []Row
+	idx     []int
+	per     [][]Row
+	peridx  [][]int
+	errs    []error
+	// pending counts the shard workers still holding windows of rows
+	// (fire-and-forget waves); the last release returns the scratch.
+	pending atomic.Int32
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(partitionScratch) }}
+
+// errSlots returns n zeroed caller-aligned error slots backed by the
+// scratch.
+func (sc *partitionScratch) errSlots(n int) []error {
+	if cap(sc.errs) < n {
+		sc.errs = make([]error, n)
+	}
+	errs := sc.errs[:n]
+	for i := range errs {
+		errs[i] = nil
+	}
+	return errs
+}
+
 // partition splits rows into per-shard sub-batches, recording each row's
 // original index when track is set (so per-row errors line up). A
 // counting pass sizes every sub-batch exactly — no growth reallocations
 // on the ingest hot path — and the device hash is computed once per run
-// of equal devices, since batched producers ship per-device runs.
-func (s *Sharded) partition(rows []Row, track bool) (per [][]Row, idx [][]int) {
+// of equal devices, since batched producers ship per-device runs. The
+// sub-batches are windows over one flat copy owned by sc: callers may
+// reuse their input immediately, and the whole wave recycles as one
+// unit once every worker is done with it.
+//
+// districtlint:hotpath
+func (s *Sharded) partition(sc *partitionScratch, rows []Row, track bool) (per [][]Row, idx [][]int) {
 	n := len(s.shards)
-	counts := make([]int, n)
-	shardOf := make([]int32, len(rows))
+	if cap(sc.counts) < n {
+		sc.counts = make([]int, n)
+		sc.offs = make([]int, n)
+		sc.per = make([][]Row, n)
+		sc.peridx = make([][]int, n)
+	}
+	counts := sc.counts[:n]
+	for i := range counts {
+		counts[i] = 0
+	}
+	if cap(sc.shardOf) < len(rows) {
+		sc.shardOf = make([]int32, len(rows))
+	}
+	shardOf := sc.shardOf[:len(rows)]
 	lastDev, sh := "", 0
 	for i := range rows {
 		if i == 0 || rows[i].Key.Device != lastDev {
@@ -751,24 +856,45 @@ func (s *Sharded) partition(rows []Row, track bool) (per [][]Row, idx [][]int) {
 		shardOf[i] = int32(sh)
 		counts[sh]++
 	}
-	per = make([][]Row, n)
-	if track {
-		idx = make([][]int, n)
+	if cap(sc.rows) < len(rows) {
+		sc.rows = make([]Row, len(rows))
 	}
-	for sh, c := range counts {
+	flat := sc.rows[:len(rows)]
+	var flatIdx []int
+	if track {
+		if cap(sc.idx) < len(rows) {
+			sc.idx = make([]int, len(rows))
+		}
+		flatIdx = sc.idx[:len(rows)]
+	}
+	per = sc.per[:n]
+	idx = nil
+	if track {
+		idx = sc.peridx[:n]
+	}
+	offs := sc.offs[:n]
+	sum := 0
+	for shn, c := range counts {
+		offs[shn] = sum
 		if c == 0 {
-			continue
+			per[shn] = nil
+			if track {
+				idx[shn] = nil
+			}
+		} else {
+			// Full slice expression: appends stay inside the window.
+			per[shn] = flat[sum : sum : sum+c]
+			if track {
+				idx[shn] = flatIdx[sum : sum : sum+c]
+			}
 		}
-		per[sh] = make([]Row, 0, c)
-		if track {
-			idx[sh] = make([]int, 0, c)
-		}
+		sum += c
 	}
 	for i, r := range rows {
-		sh := shardOf[i]
-		per[sh] = append(per[sh], r)
+		shn := shardOf[i]
+		per[shn] = append(per[shn], r)
 		if track {
-			idx[sh] = append(idx[sh], i)
+			idx[shn] = append(idx[shn], i)
 		}
 	}
 	return per, idx
@@ -786,8 +912,17 @@ func (s *Sharded) Append(key SeriesKey, smp Sample) error {
 		}
 		return nil
 	}
+	sh := s.ShardFor(key.Device)
 	//lint:ignore walorder memory-only engine (no Dir): there is no WAL to journal to on this path
-	return s.shard(key.Device).Append(key, smp)
+	if err := s.shards[sh].Append(key, smp); err != nil {
+		return err
+	}
+	// Store applied, so bump the shard generation before acknowledging:
+	// a result-cache key snapshotted after this ack can never collide
+	// with one built before the write (the queue workers keep the same
+	// apply-bump-ack order).
+	s.gens[sh].Add(1)
+	return nil
 }
 
 // AppendBatch splits rows by owning shard and applies the sub-batches in
@@ -812,8 +947,9 @@ func (s *Sharded) appendBatch(rows []Row, st *obs.Stages) []error {
 	if len(rows) == 0 {
 		return nil
 	}
-	per, idx := s.partition(rows, true)
-	errs := make([]error, len(rows))
+	sc := scratchPool.Get().(*partitionScratch)
+	per, idx := s.partition(sc, rows, true)
+	errs := sc.errSlots(len(rows))
 	var done sync.WaitGroup
 
 	s.mu.RLock()
@@ -822,6 +958,8 @@ func (s *Sharded) appendBatch(rows []Row, st *obs.Stages) []error {
 		for i := range errs {
 			errs[i] = ErrClosed
 		}
+		sc.errs = nil // the slice escapes to the caller
+		scratchPool.Put(sc)
 		return errs
 	}
 	for sh, sub := range per {
@@ -833,12 +971,16 @@ func (s *Sharded) appendBatch(rows []Row, st *obs.Stages) []error {
 	}
 	s.mu.RUnlock()
 	done.Wait()
-
+	// Every worker has acked: the row windows are dead, the scratch can
+	// carry the next wave. The error slice only escapes on failure.
 	for _, err := range errs {
 		if err != nil {
+			sc.errs = nil
+			scratchPool.Put(sc)
 			return errs
 		}
 	}
+	scratchPool.Put(sc)
 	return nil
 }
 
@@ -855,17 +997,33 @@ func (s *Sharded) Enqueue(rows []Row) error {
 	if len(rows) == 0 {
 		return nil
 	}
-	per, _ := s.partition(rows, false)
+	sc := scratchPool.Get().(*partitionScratch)
+	per, _ := s.partition(sc, rows, false)
+	nonEmpty := 0
+	for _, sub := range per {
+		if len(sub) > 0 {
+			nonEmpty++
+		}
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
+		scratchPool.Put(sc)
 		return ErrClosed
+	}
+	// The workers hold windows of the scratch until they apply (or drop)
+	// them; the last one to finish recycles the wave.
+	sc.pending.Store(int32(nonEmpty))
+	release := func() {
+		if sc.pending.Add(-1) == 0 {
+			scratchPool.Put(sc)
+		}
 	}
 	for sh, sub := range per {
 		if len(sub) == 0 {
 			continue
 		}
-		s.queues[sh] <- batchItem{rows: sub}
+		s.queues[sh] <- batchItem{rows: sub, release: release}
 	}
 	return nil
 }
@@ -1011,13 +1169,17 @@ func (s *Sharded) Drop(key SeriesKey) {
 		}
 		return
 	}
-	s.shard(key.Device).Drop(key)
+	sh := s.ShardFor(key.Device)
+	s.shards[sh].Drop(key)
+	s.gens[sh].Add(1) // mutation acked below: retire cached reads of the series
 }
 
 // DropSeries is Drop with the block-rewrite outcome reported.
 func (s *Sharded) DropSeries(key SeriesKey) error {
 	if s.bsets == nil {
-		s.shard(key.Device).Drop(key)
+		sh := s.ShardFor(key.Device)
+		s.shards[sh].Drop(key)
+		s.gens[sh].Add(1)
 		return nil
 	}
 	return s.enqueueOp(s.ShardFor(key.Device), &shardOp{kind: opDrop, key: key})
